@@ -1,0 +1,72 @@
+//! Ablation: Parallel-Adapters reduction factor `k` (DESIGN.md §5; the
+//! paper fixes k = 8 in §6.1).
+//!
+//! Sweeps k over the analytic accountants (trainable parameters, cached
+//! step FLOPs, cached memory) and benchmarks a real side-network training
+//! step at each k on a micro model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pac_cluster::CostModel;
+use pac_model::ModelConfig;
+use pac_nn::cross_entropy;
+use pac_peft::memory::{MemoryModel, Phase};
+use pac_peft::{Technique, Tuner};
+use pac_tensor::rng::seeded;
+use rand::Rng as _;
+
+fn print_sweep_once() {
+    println!("\nParallel-Adapters reduction factor sweep (T5-Large):");
+    println!(
+        "{:>4} | {:>12} {:>16} {:>18}",
+        "k", "trainable M", "cached TFLOP/mb", "cached memory GB"
+    );
+    for k in [2usize, 4, 8, 16, 32] {
+        let t = Technique::ParallelAdapters { reduction: k };
+        let cfg = ModelConfig::t5_large();
+        let cm = CostModel::new(cfg.clone(), t, 128);
+        let mm = MemoryModel::paper_defaults(cfg.clone(), t);
+        println!(
+            "{:>4} | {:>12.1} {:>16.3} {:>18.2}",
+            k,
+            t.trainable_params(&cfg) as f64 / 1e6,
+            cm.cached_step_flops(16) / 1e12,
+            mm.breakdown(Phase::CachedTraining).total_gb()
+        );
+    }
+    println!("(k = 8 is the paper's sweet spot: ≈1% trainable, ≈0.5 GB cached)\n");
+}
+
+fn bench_real_step(c: &mut Criterion) {
+    print_sweep_once();
+    let cfg = ModelConfig::micro(2, 1, 32, 4);
+    let mut group = c.benchmark_group("pa_training_step_by_k");
+    for k in [2usize, 4, 8] {
+        let mut tuner = Tuner::new(
+            Technique::ParallelAdapters { reduction: k },
+            &cfg,
+            2,
+            &mut seeded(7),
+        );
+        let mut rng = seeded(8);
+        let tokens: Vec<Vec<usize>> = (0..8)
+            .map(|_| (0..12).map(|_| rng.gen_range(0..64)).collect())
+            .collect();
+        let targets: Vec<usize> = (0..8).map(|_| rng.gen_range(0..2)).collect();
+        // Pre-capture activations so the bench isolates the side network
+        // (the cached path).
+        let (_, ctx) = tuner.forward(&tokens).unwrap();
+        let acts = tuner.cacheable_acts(&ctx).unwrap().to_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let (logits, sctx) = tuner.forward_cached(&acts).unwrap();
+                let (_, dl) = cross_entropy(&logits, &targets).unwrap();
+                let mut t2 = tuner.clone();
+                t2.backward(&sctx, &dl).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_real_step);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Ablations: straggler tolerance, fail-stop recovery, and the
+//! memory-optimization landscape (fp16 / activation recomputation) around
+//! the paper's design point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pac_cluster::{Cluster, CostModel};
+use pac_model::ModelConfig;
+use pac_peft::memory::{MemoryModel, Phase};
+use pac_peft::Technique;
+use pac_planner::Planner;
+
+fn print_straggler_table_once() {
+    println!("\nStraggler sensitivity (T5-Base, 4 Nanos, Parallel Adapters):");
+    println!(
+        "{:>10} | {:>14} | {:>24}",
+        "slowdown", "makespan (s)", "plan"
+    );
+    let cost = CostModel::new(ModelConfig::t5_base(), Technique::parallel_default(), 128);
+    for slow in [1.0f64, 2.0, 4.0, 8.0] {
+        let cluster = if slow > 1.0 {
+            Cluster::nanos(4).with_straggler(3, slow)
+        } else {
+            Cluster::nanos(4)
+        };
+        let planner = Planner::paper_defaults(cluster, 8);
+        match planner.plan(&cost) {
+            Some(o) => println!(
+                "{:>10} | {:>14.2} | {:>24}",
+                format!("×{slow}"),
+                o.best_makespan_s,
+                o.best.grouping_string()
+            ),
+            None => println!("{:>10} | {:>14} |", format!("×{slow}"), "OOM"),
+        }
+    }
+    println!();
+
+    println!("Fail-stop recovery (T5-Base, 8 → fewer Nanos):");
+    let planner = Planner::paper_defaults(Cluster::nanos(8), 16);
+    for failed in [0usize, 1, 2, 4] {
+        let gone: Vec<usize> = (0..failed).collect();
+        match planner.replan_without(&cost, &gone) {
+            Some(o) => println!(
+                "  {} failed → {} stages {} at {:.2} s/mini-batch",
+                failed,
+                o.best.num_stages(),
+                o.best.grouping_string(),
+                o.best_makespan_s
+            ),
+            None => println!("  {failed} failed → unrecoverable"),
+        }
+    }
+    println!();
+
+    println!("Memory-optimization landscape (T5-Large, Full fine-tuning, GB):");
+    let base = MemoryModel::paper_defaults(ModelConfig::t5_large(), Technique::Full);
+    let rows = [
+        ("f32", base.clone()),
+        ("fp16", base.clone().with_fp16()),
+        ("f32 + recompute", base.clone().with_recompute()),
+        ("fp16 + recompute", base.clone().with_fp16().with_recompute()),
+    ];
+    for (label, m) in rows {
+        let b = m.breakdown(Phase::Training);
+        println!(
+            "  {:<18} weights {:>5.2}  acts {:>5.2}  grads {:>5.2}  total {:>5.2}",
+            label,
+            b.weights as f64 / 1e9,
+            b.activations as f64 / 1e9,
+            b.gradients as f64 / 1e9,
+            b.total_gb()
+        );
+    }
+    let pa_cached = MemoryModel::paper_defaults(
+        ModelConfig::t5_large(),
+        Technique::parallel_default(),
+    )
+    .breakdown(Phase::CachedTraining);
+    println!(
+        "  {:<18} total {:>5.2}  <- PAC's design point beats all of them",
+        "PA + cache (f32)",
+        pa_cached.total_gb()
+    );
+    println!();
+}
+
+fn bench_replanning(c: &mut Criterion) {
+    print_straggler_table_once();
+    let cost = CostModel::new(ModelConfig::t5_base(), Technique::parallel_default(), 128);
+    let planner = Planner::paper_defaults(Cluster::nanos(8), 16);
+    let mut group = c.benchmark_group("replan_after_failures");
+    for failed in [1usize, 2, 4] {
+        let gone: Vec<usize> = (0..failed).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(failed), &failed, |b, _| {
+            b.iter(|| planner.replan_without(&cost, &gone))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replanning);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation: 1F1B vs GPipe micro-batch scheduling (DESIGN.md §5).
+//!
+//! Benchmarks the simulator over both disciplines and, more importantly,
+//! prints the memory/makespan trade-off table the ablation is really about
+//! (criterion runs the closures; the summary is emitted once at startup).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pac_cluster::{Cluster, CostModel};
+use pac_model::ModelConfig;
+use pac_parallel::{simulate_plan, ParallelPlan, Schedule};
+use pac_peft::Technique;
+
+fn setup() -> (Cluster, CostModel, ParallelPlan) {
+    let cluster = Cluster::nanos(4);
+    let cost = CostModel::new(ModelConfig::t5_base(), Technique::parallel_default(), 128);
+    let layers = cost.layer_costs().len();
+    let plan = ParallelPlan::pipeline_even(layers, 4);
+    (cluster, cost, plan)
+}
+
+fn print_tradeoff_once() {
+    let (cluster, cost, plan) = setup();
+    println!("\n1F1B vs GPipe (T5-Base, 4 stages, bs 16):");
+    println!(
+        "{:>6} | {:>12} {:>14} | {:>12} {:>14}",
+        "micro", "1F1B (s)", "peak act (MB)", "GPipe (s)", "peak act (MB)"
+    );
+    for micro in [2usize, 4, 8, 16] {
+        let a = simulate_plan(&cluster, &cost, &plan, 16, micro, Schedule::OneFOneB);
+        let b = simulate_plan(&cluster, &cost, &plan, 16, micro, Schedule::GPipe);
+        let act = |r: &pac_parallel::SimResult| {
+            r.peak_bytes
+                .iter()
+                .zip(plan.stages.iter())
+                .map(|(&p, _)| p)
+                .max()
+                .unwrap_or(0) as f64
+                / 1e6
+        };
+        println!(
+            "{:>6} | {:>12.2} {:>14.1} | {:>12.2} {:>14.1}",
+            micro,
+            a.makespan_s,
+            act(&a),
+            b.makespan_s,
+            act(&b)
+        );
+    }
+    println!("(1F1B trades a little latency for bounded in-flight activations)\n");
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    print_tradeoff_once();
+    let (cluster, cost, plan) = setup();
+    let mut group = c.benchmark_group("schedule_sim");
+    for micro in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("1f1b", micro), &micro, |b, &m| {
+            b.iter(|| simulate_plan(&cluster, &cost, &plan, 16, m, Schedule::OneFOneB))
+        });
+        group.bench_with_input(BenchmarkId::new("gpipe", micro), &micro, |b, &m| {
+            b.iter(|| simulate_plan(&cluster, &cost, &plan, 16, m, Schedule::GPipe))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedules);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Planner latency: the paper claims the full planning sweep finishes
+//! "within three seconds on an edge device"; on a laptop-class CPU the
+//! whole stage-count × micro-batch sweep over T5-Large and 8 devices should
+//! run in milliseconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pac_cluster::{Cluster, CostModel};
+use pac_model::ModelConfig;
+use pac_peft::Technique;
+use pac_planner::Planner;
+
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner");
+    for model in ModelConfig::paper_models() {
+        for devices in [4usize, 8] {
+            let cluster = Cluster::nanos(devices);
+            let cost = CostModel::new(model.clone(), Technique::parallel_default(), 128);
+            let planner = Planner::paper_defaults(cluster, 16);
+            group.bench_with_input(
+                BenchmarkId::new(model.name.clone(), devices),
+                &devices,
+                |b, _| b.iter(|| planner.plan(&cost)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_partition_dp_only(c: &mut Criterion) {
+    use pac_planner::{partition_for_stages, Profile};
+    let cost = CostModel::new(ModelConfig::t5_large(), Technique::parallel_default(), 128);
+    let profile = Profile::from_cost_model(&cost);
+    let cluster = Cluster::nanos(8);
+    c.bench_function("partition_dp_t5large_8dev_4stages", |b| {
+        b.iter(|| partition_for_stages(&profile, &cluster, 4, 4.0, 4))
+    });
+}
+
+criterion_group!(benches, bench_planning, bench_partition_dp_only);
+criterion_main!(benches);

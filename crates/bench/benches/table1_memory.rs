@@ -1,0 +1,53 @@
+//! Memory-accounting throughput (Table 1 machinery) plus the end-to-end
+//! Table 2 cell estimation cost — both must be cheap enough to sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pac_cluster::Cluster;
+use pac_core::systems::{estimate_cell, System};
+use pac_data::TaskKind;
+use pac_model::ModelConfig;
+use pac_peft::memory::{MemoryModel, Phase};
+use pac_peft::Technique;
+
+fn bench_memory_breakdown(c: &mut Criterion) {
+    let m = MemoryModel::paper_defaults(ModelConfig::t5_large(), Technique::parallel_default());
+    c.bench_function("memory_breakdown_t5large", |b| {
+        b.iter(|| {
+            (
+                m.breakdown(Phase::Training),
+                m.breakdown(Phase::CachedTraining),
+                m.breakdown(Phase::Inference),
+            )
+        })
+    });
+}
+
+fn bench_table2_cell(c: &mut Criterion) {
+    let cluster = Cluster::nanos(8);
+    let model = ModelConfig::t5_base();
+    c.bench_function("table2_cell_pac_t5base_mrpc", |b| {
+        b.iter(|| {
+            estimate_cell(
+                System::Pac,
+                Technique::parallel_default(),
+                &model,
+                TaskKind::Mrpc,
+                &cluster,
+            )
+        })
+    });
+    c.bench_function("table2_cell_eddl_t5base_mrpc", |b| {
+        b.iter(|| {
+            estimate_cell(
+                System::Eddl,
+                Technique::adapters_default(),
+                &model,
+                TaskKind::Mrpc,
+                &cluster,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_memory_breakdown, bench_table2_cell);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Kernel throughput: parallel matmul vs reference, across the shapes the
+//! micro-scale training actually uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pac_tensor::{init, ops, rng::seeded};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128, 256] {
+        let mut rng = seeded(1);
+        let a = init::randn(&mut rng, [n, n], 1.0);
+        let b = init::randn(&mut rng, [n, n], 1.0);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            bch.iter(|| ops::matmul(&a, &b).unwrap())
+        });
+        if n <= 128 {
+            group.bench_with_input(BenchmarkId::new("reference", n), &n, |bch, _| {
+                bch.iter(|| ops::matmul_ref(&a, &b).unwrap())
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bch, _| {
+            bch.iter(|| ops::matmul_nt(&a, &b).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bch, _| {
+            bch.iter(|| ops::matmul_tn(&a, &b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = seeded(2);
+    let x = init::randn(&mut rng, [256, 256], 1.0);
+    c.bench_function("softmax_rows_256x256", |b| {
+        b.iter(|| pac_tensor::reduce::softmax_rows(&x))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_softmax);
+criterion_main!(benches);

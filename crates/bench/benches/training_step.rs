@@ -1,0 +1,52 @@
+//! Real micro-scale training-step times per fine-tuning technique — the
+//! wall-clock analog of Figure 8(a) on this machine's CPU.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pac_model::ModelConfig;
+use pac_nn::cross_entropy;
+use pac_peft::{Technique, Tuner};
+use pac_tensor::rng::seeded;
+use rand::Rng as _;
+
+fn bench_training_steps(c: &mut Criterion) {
+    let cfg = ModelConfig::micro(2, 1, 32, 4);
+    let mut rng = seeded(9);
+    let tokens: Vec<Vec<usize>> = (0..8)
+        .map(|_| (0..12).map(|_| rng.gen_range(0..64)).collect())
+        .collect();
+    let targets: Vec<usize> = (0..8).map(|_| rng.gen_range(0..2)).collect();
+
+    let mut group = c.benchmark_group("training_step");
+    for technique in Technique::all_paper() {
+        let tuner = Tuner::new(technique, &cfg, 2, &mut seeded(10));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(technique.name()),
+            &technique,
+            |b, _| {
+                b.iter(|| {
+                    let mut t = tuner.clone();
+                    let (logits, ctx) = t.forward(&tokens).unwrap();
+                    let (_, dl) = cross_entropy(&logits, &targets).unwrap();
+                    t.backward(&ctx, &dl).unwrap();
+                })
+            },
+        );
+    }
+
+    // The cached Parallel-Adapters step (no backbone at all).
+    let mut pa = Tuner::new(Technique::parallel_default(), &cfg, 2, &mut seeded(10));
+    let (_, ctx) = pa.forward(&tokens).unwrap();
+    let acts = pa.cacheable_acts(&ctx).unwrap().to_vec();
+    group.bench_function("Parallel Adapters + cache", |b| {
+        b.iter(|| {
+            let mut t = pa.clone();
+            let (logits, sctx) = t.forward_cached(&acts).unwrap();
+            let (_, dl) = cross_entropy(&logits, &targets).unwrap();
+            t.backward(&sctx, &dl).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_steps);
+criterion_main!(benches);

@@ -1,0 +1,274 @@
+//! `repro` — regenerate every table and figure of the PAC paper.
+//!
+//! ```text
+//! cargo run --release -p pac-bench --bin repro -- all
+//! cargo run --release -p pac-bench --bin repro -- table2
+//! ```
+//!
+//! Subcommands: `table1 fig3 table2 table3 fig8 fig9 fig10 fig11 all`
+//! (plus `table3-quick` for a faster quality grid).
+
+use pac_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    match which {
+        "table1" => table1(),
+        "fig3" => fig3(),
+        "table2" => table2(),
+        "table3" => table3(false),
+        "table3-quick" => table3(true),
+        "fig6" => fig6(),
+        "fig8" => fig8(),
+        "fig9" => fig9(),
+        "fig10" => fig10(),
+        "fig11" => fig11(),
+        "all" => {
+            table1();
+            fig3();
+            table2();
+            fig6();
+            fig8();
+            fig9();
+            fig10();
+            fig11();
+            table3(false);
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!(
+                "usage: repro [table1|fig3|table2|table3|table3-quick|fig6|fig8|fig9|fig10|fig11|all]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!("\n{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+}
+
+fn table1() {
+    header("Table 1 — memory footprint breakdown (T5-Large, bs 16, seq 128)");
+    println!(
+        "{:<24} {:>16} {:>9} {:>12} {:>9} {:>9}",
+        "Technique", "Trainable", "Weights", "Activations", "Grads", "Total"
+    );
+    for r in exp::table1() {
+        let trainable = match (r.trainable_m, r.trainable_pct) {
+            (Some(m), Some(p)) => format!("{m:.0}M ({p:.2}%)"),
+            _ => "/".into(),
+        };
+        println!(
+            "{:<24} {:>16} {:>8.2}G {:>11.2}G {:>8.2}G {:>8.2}G",
+            r.technique, trainable, r.weights_gb, r.activations_gb, r.gradients_gb, r.total_gb
+        );
+    }
+    println!("\npaper (GB): Full 2.75/5.33/2.75/10.83 · Adapters 2.80/4.04/0.05/6.89");
+    println!("            LoRA 2.78/4.31/0.04/7.13 · Inference 2.75/-/-/2.75");
+}
+
+fn fig3() {
+    header("Figure 3 — forward vs backward FLOPs (T5-Large, bs 16, seq 128)");
+    println!(
+        "{:<20} {:>10} {:>10} {:>12}",
+        "Technique", "fwd TFLOP", "bwd TFLOP", "fwd share"
+    );
+    for r in exp::fig3() {
+        println!(
+            "{:<20} {:>10.2} {:>10.2} {:>11.1}%",
+            r.technique,
+            r.fwd_tflops,
+            r.bwd_tflops,
+            100.0 * r.fwd_fraction
+        );
+    }
+    println!("\npaper: forward ≈ 54% of a PEFT step, ≈ 1/3 of a full fine-tuning step");
+}
+
+fn table2() {
+    header("Table 2 — training durations in hours (8 Jetson Nanos; OOM = does not fit)");
+    let rows = exp::table2();
+    println!(
+        "{:<20} {:<12} | {:^27} | {:^27} | {:^27}",
+        "Technique", "System", "T5-Base", "BART-Large", "T5-Large"
+    );
+    println!(
+        "{:<20} {:<12} | {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} {:>6}",
+        "", "", "MRPC", "STS-B", "SST-2", "QNLI", "MRPC", "STS-B", "SST-2", "QNLI", "MRPC",
+        "STS-B", "SST-2", "QNLI"
+    );
+    for r in &rows {
+        let mut line = format!("{:<20} {:<12}", r.technique, r.system);
+        for model_cells in &r.cells {
+            line.push_str(" |");
+            for c in model_cells {
+                line.push_str(&format!(" {:>6}", c.display()));
+            }
+        }
+        println!("{line}");
+    }
+    println!("\npaper PAC row: 0.14/0.22/1.34/2.12 | 0.29/0.45/2.69/4.25 | 0.69/1.09/8.88/14.02");
+}
+
+fn fig6() {
+    header("Figure 6(b) — hybrid-parallelism pipeline timeline (2 stages × 2 devices)");
+    use pac_cluster::{Cluster, CostModel};
+    use pac_model::ModelConfig;
+    use pac_parallel::{simulate_plan, ParallelPlan, Schedule, StageAssignment};
+    use pac_peft::Technique;
+
+    // The paper's Figure 6 instance: the LLM split into 2 stages, each
+    // replicated on a 2-device group, 6 micro-batches, 1F1B + AllReduce.
+    let cluster = Cluster::nanos(4);
+    let cost = CostModel::new(ModelConfig::t5_base(), Technique::parallel_default(), 128);
+    let layers = cost.layer_costs().len();
+    let plan = ParallelPlan {
+        stages: vec![
+            StageAssignment {
+                layer_start: 0,
+                layer_end: layers / 2,
+                devices: vec![0, 1],
+            },
+            StageAssignment {
+                layer_start: layers / 2,
+                layer_end: layers,
+                devices: vec![2, 3],
+            },
+        ],
+    };
+    for (name, schedule) in [
+        ("1F1B (PAC)", Schedule::OneFOneB),
+        ("GPipe flush", Schedule::GPipe),
+        ("GPipe, wave 2 (memory-capped Eco-FL)", Schedule::GPipeWave { wave: 2 }),
+    ] {
+        let sim = simulate_plan(&cluster, &cost, &plan, 12, 6, schedule);
+        println!(
+            "\n{name}: makespan {:.2} s, peak in-flight {:?}",
+            sim.makespan_s, sim.peak_inflight
+        );
+        println!("{}", sim.ascii_gantt(72));
+    }
+    println!("\ndigits = forward of micro-batch n; letters = backward (a = mb 0); . = idle");
+}
+
+fn table3(quick: bool) {
+    header(if quick {
+        "Table 3 (quick) — quality parity, micro scale, 2 tasks"
+    } else {
+        "Table 3 — quality parity across techniques (micro-scale real training)"
+    });
+    let out = exp::table3(quick);
+    let tasks: Vec<String> = {
+        let mut t: Vec<String> = out.cells.iter().map(|c| c.task.clone()).collect();
+        t.dedup();
+        t
+    };
+    print!("{:<22}", "Technique");
+    for t in &tasks {
+        print!(" {t:>8}");
+    }
+    println!();
+    for technique in ["Full Model", "Adapters", "LoRA", "Parallel Adapters"] {
+        print!("{technique:<22}");
+        for t in &tasks {
+            let m = out
+                .cells
+                .iter()
+                .find(|c| c.technique == technique && &c.task == t)
+                .map(|c| c.metric)
+                .unwrap_or(f64::NAN);
+            print!(" {m:>8.1}");
+        }
+        println!();
+    }
+    print!("{:<22}", "Diff from mean");
+    for t in &tasks {
+        let d = out
+            .pa_diff_from_mean
+            .iter()
+            .find(|(task, _)| task == t)
+            .map(|(_, d)| *d)
+            .unwrap_or(f64::NAN);
+        print!(" {d:>+8.2}");
+    }
+    println!("\n\npaper: PA within ±0.37 of the baseline mean on every task");
+    println!("(micro models have wider variance; the parity claim is the target)");
+}
+
+fn fig8() {
+    header("Figure 8 — per-sample time & peak per-device memory (T5-Base, 8 Nanos)");
+    println!("{:<22} {:>14} {:>12}", "Technique", "s / sample", "peak GB");
+    for r in exp::fig8() {
+        println!("{:<22} {:>14.3} {:>12.2}", r.label, r.per_sample_s, r.peak_gb);
+    }
+    println!("\npaper: P.A. −31.9% time vs Full; P.A.+cache −96.4% time, −74.6% memory");
+}
+
+fn fig9() {
+    header("Figure 9 — throughput (samples/s) and per-device weights (GB) vs devices");
+    let rows = exp::fig9();
+    for model in ["T5-Base", "BART-Large", "T5-Large"] {
+        println!("\n## {model}");
+        println!(
+            "{:>8} | {:>22} | {:>22} | {:>22}",
+            "devices", "PAC", "Eco-FL", "EDDL"
+        );
+        for n in 2..=8usize {
+            let cell = |sys: &str| {
+                rows.iter()
+                    .find(|r| r.model == model && r.system == sys && r.devices == n)
+                    .map(|r| match (r.throughput, r.weight_gb) {
+                        (Some(t), Some(w)) => format!("{t:>8.2}/s {w:>6.2}GB"),
+                        _ => "OOM".to_string(),
+                    })
+                    .unwrap_or_default()
+            };
+            println!(
+                "{:>8} | {:>22} | {:>22} | {:>22}",
+                n,
+                cell("PAC"),
+                cell("Eco-FL"),
+                cell("EDDL")
+            );
+        }
+    }
+    println!("\npaper: PAC ≥ Eco-FL (up to +39.5%); EDDL OOMs on BART-Large & T5-Large");
+}
+
+fn fig10() {
+    header("Figure 10 — device groupings chosen by the PAC planner");
+    println!(
+        "{:<12} {:>8} {:<30} {:>7} {:>7}",
+        "Model", "devices", "grouping", "stages", "micro"
+    );
+    for r in exp::fig10() {
+        println!(
+            "{:<12} {:>8} {:<30} {:>7} {:>7}",
+            r.model, r.devices, r.grouping, r.stages, r.micro_batches
+        );
+    }
+    println!("\npaper example: BART-Large on 8 devices → 2 stages of 4 Nanos each");
+}
+
+fn fig11() {
+    header("Figure 11 — fine-tuning time with/without activation cache (MRPC, 8 Nanos)");
+    println!(
+        "{:<12} {:>7} {:>14} {:>14} {:>11}",
+        "Model", "epochs", "no cache (h)", "cache (h)", "saved"
+    );
+    for r in exp::fig11() {
+        println!(
+            "{:<12} {:>7} {:>14.2} {:>14.2} {:>10.1}%",
+            r.model,
+            r.epochs,
+            r.no_cache_h,
+            r.with_cache_h,
+            100.0 * r.reduction
+        );
+    }
+    println!("\npaper: up to 79.5% per-epoch reduction; ~71% cumulative at 10 epochs");
+}

@@ -1,0 +1,167 @@
+//! The Table 3 quality-parity experiment: Parallel Adapters must match the
+//! mean of Full / Adapters / LoRA fine-tuning across tasks.
+
+use crate::trainer::{finetune, TrainConfig};
+use pac_data::{Dataset, TaskKind};
+use pac_model::{EncDecModel, ModelConfig};
+use pac_peft::{Technique, Tuner};
+use pac_tensor::rng::seeded;
+use pac_tensor::Result;
+use serde::{Deserialize, Serialize};
+
+/// One technique's score on one task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QualityCell {
+    /// Technique name (paper row).
+    pub technique: String,
+    /// Task name (paper column).
+    pub task: String,
+    /// Metric on [0, 100].
+    pub metric: f64,
+}
+
+/// Builds a shared "pretrained" backbone: full fine-tuning on a disjoint
+/// pretext split of the same task family stands in for large-corpus
+/// pre-training (no pretrained checkpoints are available offline). Every
+/// technique then starts from the *identical* checkpoint, mirroring the
+/// paper's use of published pretrained weights — in particular, the frozen
+/// backbone's features are informative, which is what Parallel Adapters and
+/// the other PEFT techniques rely on.
+fn pretrained_backbone(
+    cfg: &ModelConfig,
+    task: TaskKind,
+    pretext_n: usize,
+    seed: u64,
+) -> Result<EncDecModel> {
+    let mut full = Tuner::new(Technique::Full, cfg, task.n_out(), &mut seeded(seed));
+    let pretext = Dataset::generate(task, pretext_n, 13, seed.wrapping_add(77));
+    let (ptrain, peval) = pretext.split(0.9);
+    finetune(
+        &mut full,
+        &ptrain,
+        &peval,
+        &TrainConfig {
+            epochs: 5,
+            lr: 3e-3,
+            batch_size: 8,
+            seed: seed.wrapping_add(78),
+            clip: Some(5.0),
+            ..Default::default()
+        },
+    )?;
+    match full {
+        Tuner::Full(f) => Ok(f.model),
+        _ => unreachable!("constructed as Full"),
+    }
+}
+
+/// Runs the Table 3 grid for one micro model over the given tasks.
+///
+/// Every technique fine-tunes from the *same* backbone checkpoint on the
+/// *same* data. Returns one cell per (technique, task).
+///
+/// # Errors
+/// Propagates training errors.
+pub fn run_quality_experiment(
+    model_cfg: &ModelConfig,
+    tasks: &[TaskKind],
+    train_n: usize,
+    epochs: usize,
+    seed: u64,
+) -> Result<Vec<QualityCell>> {
+    let mut cells = Vec::new();
+    for &task in tasks {
+        let backbone = pretrained_backbone(model_cfg, task, train_n, seed)?;
+        let data = Dataset::generate(task, train_n + train_n / 4, 13, seed.wrapping_add(1));
+        let (train, eval) = data.split(0.8);
+        for technique in Technique::all_paper() {
+            let mut tuner = Tuner::wrap(
+                technique,
+                backbone.clone(),
+                task.n_out(),
+                &mut seeded(seed.wrapping_add(2)),
+            );
+            let report = finetune(
+                &mut tuner,
+                &train,
+                &eval,
+                &TrainConfig {
+                    epochs,
+                    lr: if matches!(technique, Technique::Full) {
+                        3e-3 // full fine-tuning needs a gentler LR
+                    } else {
+                        1e-2
+                    },
+                    batch_size: 8,
+                    seed: seed.wrapping_add(3),
+                    clip: Some(5.0),
+                    ..Default::default()
+                },
+            )?;
+            cells.push(QualityCell {
+                technique: technique.name().to_string(),
+                task: task.name().to_string(),
+                metric: report.metric,
+            });
+        }
+    }
+    Ok(cells)
+}
+
+/// Summarizes cells into the paper's "Difference from Mean" row: for each
+/// task, PA's metric minus the mean of Full/Adapters/LoRA.
+pub fn pa_difference_from_mean(cells: &[QualityCell]) -> Vec<(String, f64)> {
+    let tasks: Vec<String> = {
+        let mut t: Vec<String> = cells.iter().map(|c| c.task.clone()).collect();
+        t.dedup();
+        t
+    };
+    tasks
+        .into_iter()
+        .map(|task| {
+            let baseline: Vec<f64> = cells
+                .iter()
+                .filter(|c| c.task == task && c.technique != "Parallel Adapters")
+                .map(|c| c.metric)
+                .collect();
+            let mean = baseline.iter().sum::<f64>() / baseline.len().max(1) as f64;
+            let pa = cells
+                .iter()
+                .find(|c| c.task == task && c.technique == "Parallel Adapters")
+                .map(|c| c.metric)
+                .unwrap_or(0.0);
+            (task, pa - mean)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_grid_produces_all_cells() {
+        let cfg = ModelConfig::micro(1, 1, 16, 2);
+        let cells =
+            run_quality_experiment(&cfg, &[TaskKind::Sst2], 32, 2, 99).unwrap();
+        assert_eq!(cells.len(), 4);
+        assert!(cells.iter().all(|c| (0.0..=100.0).contains(&c.metric)));
+    }
+
+    #[test]
+    fn pa_parity_on_learnable_task() {
+        // A longer run on SST-2: Parallel Adapters must land in the same
+        // band as the baseline mean (the Table 3 claim, at micro scale a
+        // generous ±20 points absorbs micro-model variance).
+        let cfg = ModelConfig::micro(2, 1, 32, 4);
+        let cells = run_quality_experiment(&cfg, &[TaskKind::Sst2], 96, 5, 17).unwrap();
+        let diffs = pa_difference_from_mean(&cells);
+        assert_eq!(diffs.len(), 1);
+        let (_, d) = &diffs[0];
+        assert!(d.abs() < 20.0, "PA deviates from baseline mean by {d}");
+        // And everything must beat chance.
+        for c in &cells {
+            assert!(c.metric > 55.0, "{} scored {}", c.technique, c.metric);
+        }
+    }
+}

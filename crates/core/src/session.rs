@@ -1,0 +1,331 @@
+//! The end-to-end PAC workflow (paper Figure 4, Steps 0–5), executed for
+//! real at micro scale across simulated devices (threads).
+
+use crate::trainer::evaluate;
+use pac_cluster::{Cluster, CostModel};
+use pac_data::{Dataset, TaskKind};
+use pac_model::ModelConfig;
+use pac_nn::{Adam, Module, Optimizer};
+use pac_parallel::engine::{dp_step_cached, dp_step_tokens};
+use pac_parallel::ParallelPlan;
+use pac_peft::{ActivationCache, CacheStats, Technique, Tuner};
+use pac_planner::Planner;
+use pac_tensor::rng::seeded;
+use pac_tensor::{Result, Tensor};
+
+/// Configuration for a PAC fine-tuning session.
+#[derive(Debug, Clone, Copy)]
+pub struct PacConfig {
+    /// Number of collaborating (simulated) edge devices.
+    pub devices: usize,
+    /// Parallel-Adapters reduction factor `k` (paper: 8).
+    pub reduction: usize,
+    /// Fine-tuning epochs (epoch 1 fills the cache).
+    pub epochs: usize,
+    /// Global mini-batch size (split across devices).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for PacConfig {
+    fn default() -> Self {
+        PacConfig {
+            devices: 4,
+            reduction: 8,
+            epochs: 3,
+            batch_size: 8,
+            lr: 1e-2,
+            seed: 42,
+        }
+    }
+}
+
+/// Report of a PAC session.
+#[derive(Debug, Clone)]
+pub struct PacReport {
+    /// The plan the PAC planner chose for the (paper-scale) architecture.
+    pub plan: ParallelPlan,
+    /// Simulated mini-batch makespan of that plan (seconds).
+    pub planned_makespan_s: f64,
+    /// Mean training loss per epoch (real training).
+    pub epoch_losses: Vec<f32>,
+    /// Final task metric on [0, 100].
+    pub metric: f64,
+    /// Activation-cache statistics.
+    pub cache_stats: CacheStats,
+    /// Trainable / total parameter counts of the micro model.
+    pub trainable_params: usize,
+    /// Total parameters of the micro model.
+    pub total_params: usize,
+}
+
+/// A PAC fine-tuning session (paper Figure 4).
+#[derive(Debug, Clone)]
+pub struct PacSession {
+    /// Session configuration.
+    pub config: PacConfig,
+}
+
+impl PacSession {
+    /// Creates a session.
+    pub fn new(config: PacConfig) -> Self {
+        PacSession { config }
+    }
+
+    /// Runs Steps 0–5 for `model_cfg` on `task` with `train_n` training and
+    /// `eval_n` evaluation samples:
+    ///
+    /// 0. equip the backbone with Parallel Adapters;
+    /// 1. profile (analytically, over the cost model);
+    /// 2. plan stage partitioning and device grouping;
+    /// 3. freeze the backbone;
+    /// 4. epoch 1: collaborative training with cache fill (data-parallel
+    ///    replicas across simulated devices);
+    /// 5. epochs ≥ 2: cache-only data-parallel fine-tuning.
+    ///
+    /// # Errors
+    /// Propagates shape errors from training.
+    pub fn run(
+        &self,
+        model_cfg: &ModelConfig,
+        task: TaskKind,
+        train_n: usize,
+        eval_n: usize,
+    ) -> Result<PacReport> {
+        let backbone =
+            pac_model::EncDecModel::new(model_cfg, task.n_out(), &mut seeded(self.config.seed));
+        self.run_with_backbone(backbone, task, train_n, eval_n)
+    }
+
+    /// Like [`PacSession::run`] but starting from a user-provided
+    /// ("pretrained") backbone — the realistic deployment path, since PAC
+    /// personalizes an existing LLM.
+    ///
+    /// # Errors
+    /// Propagates shape errors from training.
+    pub fn run_with_backbone(
+        &self,
+        backbone: pac_model::EncDecModel,
+        task: TaskKind,
+        train_n: usize,
+        eval_n: usize,
+    ) -> Result<PacReport> {
+        let cfg = &self.config;
+        let model_cfg = backbone.config.clone();
+        let model_cfg = &model_cfg;
+        let n_dev = cfg.devices.max(1);
+
+        // Step 0: backbone + Parallel Adapters.
+        let technique = Technique::ParallelAdapters {
+            reduction: cfg.reduction,
+        };
+        let mut rng = seeded(cfg.seed);
+        let tuner = Tuner::wrap(technique, backbone, task.n_out(), &mut rng);
+        let trainable = tuner.num_trainable();
+        let total = tuner.total_params();
+
+        // Steps 1–2: profile + plan (on the cluster model; the micro model's
+        // own shape is used so the plan is structurally valid for it).
+        let cluster = Cluster::nanos(n_dev);
+        let cost = CostModel::new(model_cfg.clone(), technique, 16);
+        let planner = Planner::paper_defaults(cluster, cfg.batch_size.max(n_dev));
+        let (plan, makespan) = match planner.plan(&cost) {
+            Some(outcome) => (outcome.best, outcome.best_makespan_s),
+            None => (
+                ParallelPlan::data_parallel(model_cfg.total_layers(), n_dev),
+                f64::NAN,
+            ),
+        };
+
+        // Step 3 happened inside the tuner (backbone frozen).
+        // Steps 4–5: replicated training across devices.
+        let mut replicas = vec![tuner; n_dev];
+        let mut opts: Vec<Adam> = (0..n_dev).map(|_| Adam::new(cfg.lr)).collect();
+        let mut cache = ActivationCache::new();
+
+        let data = Dataset::generate(task, train_n + eval_n, 13, cfg.seed.wrapping_add(1));
+        let (train, eval) = data.split(train_n as f64 / (train_n + eval_n) as f64);
+
+        let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+        for epoch in 0..cfg.epochs {
+            let mut sum = 0.0f32;
+            let mut count = 0usize;
+            for batch in train.batches(cfg.batch_size, epoch, cfg.seed.wrapping_add(2)) {
+                if batch.len() < n_dev {
+                    continue; // drop ragged tail batches (cannot shard evenly)
+                }
+                for r in replicas.iter_mut() {
+                    r.zero_grads();
+                }
+                let share = batch.len() / n_dev;
+                let usable = share * n_dev;
+
+                let loss = if epoch == 0 || !cache_has_all(&cache, &batch.ids[..usable]) {
+                    // Phase 1: full forwards, filling the cache shard-wise.
+                    let shards: Vec<(Vec<Vec<usize>>, Vec<usize>)> = (0..n_dev)
+                        .map(|k| {
+                            (
+                                batch.tokens[k * share..(k + 1) * share].to_vec(),
+                                class_targets(&batch, k * share, (k + 1) * share, task),
+                            )
+                        })
+                        .collect();
+                    // Fill cache: forward each shard once on its replica.
+                    for (k, (tokens, _)) in shards.iter().enumerate() {
+                        let (_, ctx) = replicas[k].forward(tokens)?;
+                        if let Some(acts) = replicas[k].cacheable_acts(&ctx) {
+                            cache.insert_batch(&batch.ids[k * share..(k + 1) * share], acts);
+                        }
+                    }
+                    dp_step_tokens(&mut replicas, &shards)?
+                } else {
+                    // Phase 2: cache-only DP training.
+                    let shards: Vec<(Vec<Tensor>, Vec<f32>)> = (0..n_dev)
+                        .map(|k| {
+                            let ids = &batch.ids[k * share..(k + 1) * share];
+                            let acts = cache
+                                .get_batch(ids)
+                                .expect("cache warm after epoch 1");
+                            let targets = float_targets(&batch, k * share, (k + 1) * share, task);
+                            (acts, targets)
+                        })
+                        .collect();
+                    dp_step_cached(&mut replicas, &shards, task.is_regression())?
+                };
+                sum += loss;
+                count += 1;
+                for (r, o) in replicas.iter_mut().zip(opts.iter_mut()) {
+                    o.step(r);
+                }
+            }
+            epoch_losses.push(sum / count.max(1) as f32);
+        }
+
+        let metric = evaluate(&mut replicas[0], &eval)?;
+        Ok(PacReport {
+            plan,
+            planned_makespan_s: makespan,
+            epoch_losses,
+            metric,
+            cache_stats: cache.stats(),
+            trainable_params: trainable,
+            total_params: total,
+        })
+    }
+}
+
+fn cache_has_all(cache: &ActivationCache, ids: &[u64]) -> bool {
+    ids.iter().all(|&id| cache.contains(id))
+}
+
+fn class_targets(batch: &pac_data::Batch, lo: usize, hi: usize, task: TaskKind) -> Vec<usize> {
+    if task.is_regression() {
+        // dp_step_tokens computes cross-entropy; regression tasks use the
+        // cached path exclusively after epoch 1 — for epoch 1 we bucket the
+        // score into {0, 1} halves, an acceptable warm-up signal for the
+        // frozen-backbone phase (documented substitution).
+        batch.labels[lo..hi]
+            .iter()
+            .map(|l| usize::from(l.score() >= 2.5))
+            .collect()
+    } else {
+        batch.labels[lo..hi].iter().map(|l| l.class()).collect()
+    }
+}
+
+fn float_targets(batch: &pac_data::Batch, lo: usize, hi: usize, task: TaskKind) -> Vec<f32> {
+    batch.labels[lo..hi]
+        .iter()
+        .map(|l| {
+            if task.is_regression() {
+                l.score()
+            } else {
+                l.class() as f32
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_runs_end_to_end_and_learns() {
+        let cfg = ModelConfig::micro(2, 1, 32, 4);
+        // Pretrain a backbone briefly so the frozen features are useful
+        // (the paper personalizes a *pretrained* LLM).
+        let backbone = {
+            use crate::trainer::{finetune, TrainConfig};
+            let mut full = Tuner::new(Technique::Full, &cfg, 2, &mut seeded(41));
+            let pre = Dataset::generate(TaskKind::Sst2, 80, 13, 999);
+            let (ptrain, peval) = pre.split(0.9);
+            finetune(
+                &mut full,
+                &ptrain,
+                &peval,
+                &TrainConfig {
+                    epochs: 4,
+                    lr: 3e-3,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            match full {
+                Tuner::Full(f) => f.model,
+                _ => unreachable!(),
+            }
+        };
+        let session = PacSession::new(PacConfig {
+            devices: 2,
+            reduction: 4,
+            epochs: 3,
+            batch_size: 8,
+            lr: 1e-2,
+            seed: 42,
+        });
+        let report = session
+            .run_with_backbone(backbone, TaskKind::Sst2, 48, 16)
+            .unwrap();
+        assert_eq!(report.epoch_losses.len(), 3);
+        assert!(
+            report.epoch_losses.last().unwrap() < &report.epoch_losses[0],
+            "losses {:?}",
+            report.epoch_losses
+        );
+        assert!(report.metric > 60.0, "metric {}", report.metric);
+        // The cache was filled in epoch 1 and hit in epochs 2–3.
+        assert!(report.cache_stats.entries > 0);
+        assert!(report.cache_stats.hits > 0);
+        // PEFT: trainable ≪ total.
+        assert!(report.trainable_params * 5 < report.total_params);
+    }
+
+    #[test]
+    fn session_plan_is_valid_for_the_cluster() {
+        let cfg = ModelConfig::micro(2, 2, 16, 2);
+        let session = PacSession::new(PacConfig {
+            devices: 4,
+            epochs: 1,
+            ..Default::default()
+        });
+        let report = session.run(&cfg, TaskKind::Qnli, 24, 8).unwrap();
+        assert!(report.plan.validate(cfg.total_layers(), 4).is_ok());
+    }
+
+    #[test]
+    fn single_device_session_works() {
+        let cfg = ModelConfig::micro(1, 1, 16, 2);
+        let session = PacSession::new(PacConfig {
+            devices: 1,
+            epochs: 2,
+            batch_size: 4,
+            ..Default::default()
+        });
+        let report = session.run(&cfg, TaskKind::Mrpc, 16, 8).unwrap();
+        assert_eq!(report.epoch_losses.len(), 2);
+    }
+}

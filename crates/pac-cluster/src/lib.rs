@@ -1,0 +1,31 @@
+//! # pac-cluster
+//!
+//! Edge-cluster hardware models and the analytic transformer cost model.
+//!
+//! The paper's testbed — NVIDIA Jetson Nano boards (0.47 TFLOPS, 4 GB) on a
+//! 128 Mbps LAN — is not available in this environment, so this crate models
+//! it deterministically:
+//!
+//! * [`device`] — device specs (sustained FLOP/s, usable DRAM) with an
+//!   efficiency factor calibrated to edge-training workloads;
+//! * [`network`] — link specs and transfer times;
+//! * [`collective`] — ring-AllReduce / broadcast / redistribution costs;
+//! * [`cost`] — per-layer forward/backward FLOPs, weight bytes and retained
+//!   activation bytes for every fine-tuning technique, derived from the
+//!   exact model architecture (`pac_model::ModelConfig`).
+//!
+//! Every simulated experiment (Tables 1–2, Figures 3/8/9/10/11) is a
+//! function of these models, which is why the *shape* of the paper's results
+//! (who wins, who OOMs, where crossovers fall) is preserved.
+
+#![deny(missing_docs)]
+
+pub mod collective;
+pub mod cost;
+pub mod device;
+pub mod network;
+
+pub use collective::CollectiveModel;
+pub use cost::{CostModel, LayerCost, LayerRole};
+pub use device::{Cluster, DeviceSpec};
+pub use network::LinkSpec;

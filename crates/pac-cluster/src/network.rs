@@ -1,0 +1,72 @@
+//! Network link models.
+
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point link's bandwidth and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way latency in seconds.
+    pub latency_s: f64,
+}
+
+impl LinkSpec {
+    /// The paper's testbed LAN: 128 Mbps with ~1 ms latency.
+    pub fn lan_128mbps() -> Self {
+        LinkSpec {
+            bandwidth_bps: 128e6,
+            latency_s: 1e-3,
+        }
+    }
+
+    /// Gigabit Ethernet (for sensitivity studies).
+    pub fn gigabit() -> Self {
+        LinkSpec {
+            bandwidth_bps: 1e9,
+            latency_s: 0.3e-3,
+        }
+    }
+
+    /// Congested Wi-Fi (for sensitivity studies).
+    pub fn wifi_slow() -> Self {
+        LinkSpec {
+            bandwidth_bps: 30e6,
+            latency_s: 5e-3,
+        }
+    }
+
+    /// Seconds to move `bytes` across the link.
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.latency_s + (bytes as f64 * 8.0) / self.bandwidth_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_lan_spec() {
+        let l = LinkSpec::lan_128mbps();
+        assert_eq!(l.bandwidth_bps, 128e6);
+        // 16 MB at 128 Mbps = 1 s (plus latency).
+        let t = l.transfer_time(16 * 1000 * 1000);
+        assert!((t - 1.001).abs() < 1e-3, "{t}");
+    }
+
+    #[test]
+    fn latency_dominates_small_transfers() {
+        let l = LinkSpec::lan_128mbps();
+        let t = l.transfer_time(16);
+        assert!(t < 2e-3);
+        assert!(t >= l.latency_s);
+    }
+
+    #[test]
+    fn faster_links_are_faster() {
+        let bytes = 1_000_000;
+        assert!(LinkSpec::gigabit().transfer_time(bytes) < LinkSpec::lan_128mbps().transfer_time(bytes));
+        assert!(LinkSpec::lan_128mbps().transfer_time(bytes) < LinkSpec::wifi_slow().transfer_time(bytes));
+    }
+}

@@ -1,0 +1,199 @@
+//! Datasets and mini-batch iteration.
+
+use crate::synth::{generate_sample, Label, Sample};
+use crate::task::TaskKind;
+use pac_tensor::rng::seeded;
+use rand::seq::SliceRandom;
+
+/// A mini-batch ready for the model: equal-length token rows plus targets.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Sample ids (activation-cache keys).
+    pub ids: Vec<u64>,
+    /// Token rows.
+    pub tokens: Vec<Vec<usize>>,
+    /// Targets.
+    pub labels: Vec<Label>,
+}
+
+impl Batch {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Classification targets as a class-id vector; panics on regression
+    /// batches.
+    pub fn classes(&self) -> Vec<usize> {
+        self.labels.iter().map(Label::class).collect()
+    }
+
+    /// Regression targets; panics on classification batches.
+    pub fn scores(&self) -> Vec<f32> {
+        self.labels.iter().map(Label::score).collect()
+    }
+}
+
+/// An in-memory synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The task this dataset instantiates.
+    pub task: TaskKind,
+    /// The samples.
+    pub samples: Vec<Sample>,
+    /// Sequence length of every sample.
+    pub seq_len: usize,
+}
+
+impl Dataset {
+    /// Generates `n` samples of `task` with the given sequence length.
+    pub fn generate(task: TaskKind, n: usize, seq_len: usize, seed: u64) -> Self {
+        let samples = (0..n as u64)
+            .map(|i| generate_sample(task, seed, i, seq_len))
+            .collect();
+        Dataset {
+            task,
+            samples,
+            seq_len,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Splits into `(train, eval)` at `train_fraction`.
+    pub fn split(mut self, train_fraction: f64) -> (Dataset, Dataset) {
+        let cut = ((self.samples.len() as f64) * train_fraction).round() as usize;
+        let eval = self.samples.split_off(cut.min(self.samples.len()));
+        let eval_ds = Dataset {
+            task: self.task,
+            samples: eval,
+            seq_len: self.seq_len,
+        };
+        (self, eval_ds)
+    }
+
+    /// Mini-batches in a deterministic shuffled order for `epoch`.
+    ///
+    /// The shuffle depends on `(shuffle_seed, epoch)` so every epoch visits
+    /// samples in a fresh order while staying reproducible.
+    pub fn batches(&self, batch_size: usize, epoch: usize, shuffle_seed: u64) -> Vec<Batch> {
+        let mut order: Vec<usize> = (0..self.samples.len()).collect();
+        let mut rng = seeded(shuffle_seed.wrapping_add(epoch as u64));
+        order.shuffle(&mut rng);
+        order
+            .chunks(batch_size.max(1))
+            .map(|chunk| {
+                let mut ids = Vec::with_capacity(chunk.len());
+                let mut tokens = Vec::with_capacity(chunk.len());
+                let mut labels = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    let s = &self.samples[i];
+                    ids.push(s.id);
+                    tokens.push(s.tokens.clone());
+                    labels.push(s.label);
+                }
+                Batch {
+                    ids,
+                    tokens,
+                    labels,
+                }
+            })
+            .collect()
+    }
+
+    /// Shards the dataset across `n` data-parallel workers; worker `w` gets
+    /// samples `w, w+n, w+2n, …` (round-robin, balanced within ±1).
+    pub fn shard(&self, n: usize, w: usize) -> Dataset {
+        Dataset {
+            task: self.task,
+            samples: self
+                .samples
+                .iter()
+                .skip(w)
+                .step_by(n.max(1))
+                .cloned()
+                .collect(),
+            seq_len: self.seq_len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_and_batch() {
+        let ds = Dataset::generate(TaskKind::Sst2, 25, 12, 3);
+        assert_eq!(ds.len(), 25);
+        let batches = ds.batches(8, 0, 42);
+        assert_eq!(batches.len(), 4); // 8+8+8+1
+        assert_eq!(batches[0].len(), 8);
+        assert_eq!(batches[3].len(), 1);
+        // All samples visited exactly once.
+        let mut seen: Vec<u64> = batches.iter().flat_map(|b| b.ids.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..25).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn epochs_shuffle_differently_but_deterministically() {
+        let ds = Dataset::generate(TaskKind::Qnli, 32, 12, 5);
+        let e0a = ds.batches(8, 0, 1);
+        let e0b = ds.batches(8, 0, 1);
+        let e1 = ds.batches(8, 1, 1);
+        assert_eq!(e0a[0].ids, e0b[0].ids);
+        assert_ne!(
+            e0a.iter().flat_map(|b| b.ids.clone()).collect::<Vec<_>>(),
+            e1.iter().flat_map(|b| b.ids.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn split_partitions_without_loss() {
+        let ds = Dataset::generate(TaskKind::Mrpc, 20, 12, 7);
+        let (tr, ev) = ds.split(0.8);
+        assert_eq!(tr.len(), 16);
+        assert_eq!(ev.len(), 4);
+    }
+
+    #[test]
+    fn shards_partition_the_dataset() {
+        let ds = Dataset::generate(TaskKind::Sst2, 10, 12, 9);
+        let shards: Vec<Dataset> = (0..3).map(|w| ds.shard(3, w)).collect();
+        let total: usize = shards.iter().map(Dataset::len).sum();
+        assert_eq!(total, 10);
+        let mut ids: Vec<u64> = shards
+            .iter()
+            .flat_map(|s| s.samples.iter().map(|x| x.id))
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..10).collect::<Vec<u64>>());
+        // Balanced within one sample.
+        let sizes: Vec<usize> = shards.iter().map(Dataset::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn batch_label_accessors() {
+        let ds = Dataset::generate(TaskKind::StsB, 4, 13, 11);
+        let b = &ds.batches(4, 0, 0)[0];
+        assert_eq!(b.scores().len(), 4);
+        let ds2 = Dataset::generate(TaskKind::Sst2, 4, 13, 11);
+        let b2 = &ds2.batches(4, 0, 0)[0];
+        assert_eq!(b2.classes().len(), 4);
+    }
+}

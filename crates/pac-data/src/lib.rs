@@ -1,0 +1,35 @@
+//! # pac-data
+//!
+//! Synthetic GLUE-analog workloads for the PAC reproduction.
+//!
+//! The paper evaluates on four GLUE tasks — MRPC (paraphrase), STS-B
+//! (semantic similarity regression), SST-2 (sentiment) and QNLI (question
+//! NLI). Pretrained checkpoints and the real datasets are unavailable
+//! offline, so this crate generates *synthetic analogs* with the same task
+//! **types**, the same **relative dataset sizes**, and planted structure a
+//! micro-scale transformer can actually learn:
+//!
+//! | Task  | Type                      | Synthetic structure                         |
+//! |-------|---------------------------|---------------------------------------------|
+//! | MRPC  | sentence-pair classification | is segment B a permutation of segment A? |
+//! | STS-B | sentence-pair regression  | target = token-overlap fraction × 5          |
+//! | SST-2 | single-sentence classification | majority sentiment-vocabulary vote     |
+//! | QNLI  | question/answer entailment | does segment B contain A's "answer" token? |
+//!
+//! Time/memory experiments depend only on sample counts × sequence length
+//! (which match the paper); quality experiments (Table 3) compare
+//! fine-tuning *techniques* against each other on identical data, which the
+//! substitution preserves.
+
+#![deny(missing_docs)]
+
+pub mod dataset;
+pub mod metrics;
+pub mod synth;
+pub mod task;
+pub mod tokenizer;
+
+pub use dataset::{Batch, Dataset};
+pub use synth::{Label, Sample};
+pub use task::TaskKind;
+pub use tokenizer::Tokenizer;

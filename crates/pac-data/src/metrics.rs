@@ -1,0 +1,169 @@
+//! Evaluation metrics matching the paper's Table 3 conventions.
+
+use crate::task::TaskKind;
+
+/// Classification accuracy.
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/target length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let correct = pred.iter().zip(truth).filter(|(p, t)| p == t).count();
+    correct as f64 / pred.len() as f64
+}
+
+/// Binary F1 with class `1` as positive.
+pub fn f1_binary(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/target length mismatch");
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut fne = 0.0;
+    for (&p, &t) in pred.iter().zip(truth) {
+        match (p, t) {
+            (1, 1) => tp += 1.0,
+            (1, 0) => fp += 1.0,
+            (0, 1) => fne += 1.0,
+            _ => {}
+        }
+    }
+    if tp == 0.0 {
+        return 0.0;
+    }
+    let precision = tp / (tp + fp);
+    let recall = tp / (tp + fne);
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Pearson correlation coefficient.
+pub fn pearson(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series length mismatch");
+    let n = a.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let ma = a.iter().map(|&x| x as f64).sum::<f64>() / n;
+    let mb = b.iter().map(|&x| x as f64).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let dx = x as f64 - ma;
+        let dy = y as f64 - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Spearman rank correlation (Pearson over average ranks).
+pub fn spearman(a: &[f32], b: &[f32]) -> f64 {
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+fn ranks(x: &[f32]) -> Vec<f32> {
+    let mut idx: Vec<usize> = (0..x.len()).collect();
+    idx.sort_by(|&i, &j| x[i].partial_cmp(&x[j]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0f32; x.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        // Average ranks over ties.
+        let mut j = i;
+        while j + 1 < idx.len() && x[idx[j + 1]] == x[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f32 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// The paper's per-task headline metric, scaled to [0, 100]:
+/// MRPC → mean(F1, accuracy); STS-B → mean(Pearson, Spearman);
+/// SST-2/QNLI → accuracy.
+pub fn task_metric(
+    task: TaskKind,
+    class_pred: &[usize],
+    class_truth: &[usize],
+    score_pred: &[f32],
+    score_truth: &[f32],
+) -> f64 {
+    match task {
+        TaskKind::Mrpc => {
+            100.0 * (f1_binary(class_pred, class_truth) + accuracy(class_pred, class_truth)) / 2.0
+        }
+        TaskKind::StsB => {
+            100.0 * (pearson(score_pred, score_truth) + spearman(score_pred, score_truth)) / 2.0
+        }
+        TaskKind::Sst2 | TaskKind::Qnli => 100.0 * accuracy(class_pred, class_truth),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 0, 1], &[1, 0, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1, 1], &[1, 1]), 1.0);
+    }
+
+    #[test]
+    fn f1_known_values() {
+        // tp=1, fp=1, fn=1 → p=0.5, r=0.5, f1=0.5
+        assert_eq!(f1_binary(&[1, 1, 0], &[1, 0, 1]), 0.5);
+        // No positive predictions → 0.
+        assert_eq!(f1_binary(&[0, 0], &[1, 1]), 0.0);
+        // Perfect.
+        assert_eq!(f1_binary(&[1, 0, 1], &[1, 0, 1]), 1.0);
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        assert!((pearson(&a, &a) - 1.0).abs() < 1e-9);
+        let neg: Vec<f32> = a.iter().map(|x| -x).collect();
+        assert!((pearson(&a, &neg) + 1.0).abs() < 1e-9);
+        let c = [5.0f32, 5.0, 5.0, 5.0];
+        assert_eq!(pearson(&a, &c), 0.0);
+    }
+
+    #[test]
+    fn spearman_is_rank_invariant() {
+        // Monotone transform preserves Spearman exactly.
+        let a = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let b: Vec<f32> = a.iter().map(|x| x.exp()).collect();
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-9);
+        // But not Pearson.
+        assert!(pearson(&a, &b) < 1.0);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn task_metric_dispatch() {
+        let cp = [1usize, 0, 1, 1];
+        let ct = [1usize, 0, 1, 0];
+        let sp = [1.0f32, 2.0, 3.0];
+        let st = [1.1f32, 2.2, 2.9];
+        assert!(task_metric(TaskKind::Sst2, &cp, &ct, &[], &[]) == 75.0);
+        let mrpc = task_metric(TaskKind::Mrpc, &cp, &ct, &[], &[]);
+        assert!(mrpc > 70.0 && mrpc < 90.0);
+        let stsb = task_metric(TaskKind::StsB, &[], &[], &sp, &st);
+        assert!(stsb > 90.0);
+    }
+}

@@ -1,0 +1,425 @@
+//! The full encoder-decoder model (T5/BART structure) with explicit
+//! forward/backward, used for real micro-scale training.
+
+use crate::config::ModelConfig;
+use pac_nn::{
+    Activation, Embedding, LayerNorm, LayerNormCtx, Linear, LinearCtx, Module, Param,
+    TransformerLayer, TransformerLayerCtx,
+};
+use pac_tensor::{Result, Tensor, TensorError};
+use rand::Rng;
+
+/// Context captured by [`EncDecModel::forward`].
+#[derive(Debug, Clone)]
+pub struct EncDecCtx {
+    /// Input token ids, one row per batch element (all equal length).
+    pub tokens: Vec<Vec<usize>>,
+    /// Positions used for the positional-embedding backward.
+    positions: Vec<usize>,
+    enc_ctxs: Vec<TransformerLayerCtx>,
+    dec_ctxs: Vec<TransformerLayerCtx>,
+    /// Per-backbone-layer outputs (encoder layers then decoder layers).
+    ///
+    /// These are the `b_i` activations the paper's Parallel Adapters consume
+    /// and the activation cache stores.
+    pub layer_outputs: Vec<Tensor>,
+    /// Final encoder output fed to every decoder layer's cross-attention.
+    pub enc_out: Tensor,
+    final_ln: LayerNormCtx,
+    head_ctx: LinearCtx,
+    batch: usize,
+    seq: usize,
+}
+
+/// Encoder-decoder transformer with a task head on the first decoder
+/// position (the T5 "text-to-text reduced to classification" pattern: the
+/// decoder is fed a single start token and the head reads its output).
+#[derive(Debug, Clone)]
+pub struct EncDecModel {
+    /// Architecture this model instantiates.
+    pub config: ModelConfig,
+    /// Token embedding shared by encoder and decoder (T5/BART tie these).
+    pub embed: Embedding,
+    /// Learned positional embedding.
+    pub pos: Embedding,
+    /// Encoder stack.
+    pub encoder: Vec<TransformerLayer>,
+    /// Decoder stack (causal self-attention + cross-attention).
+    pub decoder: Vec<TransformerLayer>,
+    /// Final LayerNorm before the head.
+    pub final_ln: LayerNorm,
+    /// Task head `[hidden, n_out]`.
+    pub head: Linear,
+    /// Decoder start-token id.
+    pub start_token: usize,
+}
+
+impl EncDecModel {
+    /// Builds a model from `config` with `n_out` head outputs.
+    pub fn new(config: &ModelConfig, n_out: usize, rng: &mut impl Rng) -> Self {
+        let d = config.hidden;
+        let encoder = (0..config.enc_layers)
+            .map(|i| {
+                TransformerLayer::encoder(
+                    &format!("enc{i}"),
+                    rng,
+                    d,
+                    config.heads,
+                    config.ff_dim,
+                    Activation::Gelu,
+                )
+            })
+            .collect();
+        let decoder = (0..config.dec_layers)
+            .map(|i| {
+                TransformerLayer::decoder(
+                    &format!("dec{i}"),
+                    rng,
+                    d,
+                    config.heads,
+                    config.ff_dim,
+                    Activation::Gelu,
+                )
+            })
+            .collect();
+        EncDecModel {
+            config: config.clone(),
+            embed: Embedding::new("embed", rng, config.vocab, d),
+            pos: Embedding::new("pos", rng, config.max_seq, d),
+            encoder,
+            decoder,
+            final_ln: LayerNorm::new("final_ln", d),
+            head: Linear::new("head", rng, d, n_out, true),
+            start_token: 1,
+        }
+    }
+
+    /// Number of backbone layers (encoder + decoder).
+    pub fn num_layers(&self) -> usize {
+        self.encoder.len() + self.decoder.len()
+    }
+
+    /// Head output width.
+    pub fn n_out(&self) -> usize {
+        self.head.out_dim()
+    }
+
+    /// Embeds a batch of equal-length token sequences into `[b, s, d]`.
+    ///
+    /// # Errors
+    /// Returns a shape error on ragged batches or OOV/overlong sequences.
+    pub fn embed_batch(&self, tokens: &[Vec<usize>]) -> Result<(Tensor, Vec<usize>)> {
+        let batch = tokens.len();
+        let seq = tokens.first().map(|t| t.len()).unwrap_or(0);
+        if batch == 0 || seq == 0 || tokens.iter().any(|t| t.len() != seq) {
+            return Err(TensorError::ShapeMismatch {
+                op: "embed_batch",
+                lhs: vec![batch],
+                rhs: vec![seq],
+            });
+        }
+        let flat: Vec<usize> = tokens.iter().flatten().copied().collect();
+        let tok_emb = self.embed.forward(&flat)?;
+        let positions: Vec<usize> = (0..batch).flat_map(|_| 0..seq).collect();
+        let pos_emb = self.pos.forward(&positions)?;
+        let x = tok_emb.add(&pos_emb)?.reshape([batch, seq, self.config.hidden])?;
+        Ok((x, positions))
+    }
+
+    /// Full forward pass: `tokens → logits [batch, n_out]`.
+    ///
+    /// # Errors
+    /// Propagates shape errors from the constituent layers.
+    pub fn forward(&self, tokens: &[Vec<usize>]) -> Result<(Tensor, EncDecCtx)> {
+        let batch = tokens.len();
+        let d = self.config.hidden;
+        let (mut x, positions) = self.embed_batch(tokens)?;
+        let seq = tokens[0].len();
+
+        let mut enc_ctxs = Vec::with_capacity(self.encoder.len());
+        let mut layer_outputs = Vec::with_capacity(self.num_layers());
+        for layer in &self.encoder {
+            let (y, ctx) = layer.forward(&x, None)?;
+            enc_ctxs.push(ctx);
+            layer_outputs.push(y.clone());
+            x = y;
+        }
+        let enc_out = x;
+
+        // Decoder input: one start token per batch element.
+        let dec_tokens: Vec<usize> = vec![self.start_token; batch];
+        let dec_emb = self.embed.forward(&dec_tokens)?;
+        let dec_pos = self.pos.forward(&vec![0usize; batch])?;
+        let mut xd = dec_emb.add(&dec_pos)?.reshape([batch, 1, d])?;
+
+        let mut dec_ctxs = Vec::with_capacity(self.decoder.len());
+        for layer in &self.decoder {
+            let (y, ctx) = layer.forward(&xd, Some(&enc_out))?;
+            dec_ctxs.push(ctx);
+            layer_outputs.push(y.clone());
+            xd = y;
+        }
+
+        let (normed, final_ln) = self.final_ln.forward(&xd)?;
+        let (logits, head_ctx) = self.head.forward(&normed)?;
+
+        Ok((
+            logits,
+            EncDecCtx {
+                tokens: tokens.to_vec(),
+                positions,
+                enc_ctxs,
+                dec_ctxs,
+                layer_outputs,
+                enc_out,
+                final_ln,
+                head_ctx,
+                batch,
+                seq,
+            },
+        ))
+    }
+
+    /// Full backward pass from `dlogits` (`[batch, n_out]`); accumulates
+    /// gradients into every trainable parameter.
+    ///
+    /// # Errors
+    /// Propagates shape errors from the constituent layers.
+    pub fn backward(&mut self, ctx: &EncDecCtx, dlogits: &Tensor) -> Result<()> {
+        let d = self.config.hidden;
+        let (batch, seq) = (ctx.batch, ctx.seq);
+
+        let d_normed = self.head.backward(&ctx.head_ctx, dlogits)?;
+        let mut dxd = self
+            .final_ln
+            .backward(&ctx.final_ln, &d_normed)?
+            .reshape([batch, 1, d])?;
+
+        // Decoder stack (reverse). Cross-attention gradients accumulate into
+        // the encoder output.
+        let mut d_enc_total = Tensor::zeros(ctx.enc_out.dims());
+        for (layer, lctx) in self.decoder.iter_mut().zip(ctx.dec_ctxs.iter()).rev() {
+            let (dx, d_enc) = layer.backward(lctx, &dxd)?;
+            dxd = dx;
+            if let Some(de) = d_enc {
+                d_enc_total.add_assign(&de)?;
+            }
+        }
+
+        // Decoder input embedding gradient.
+        let dec_tokens: Vec<usize> = vec![self.start_token; batch];
+        let dxd2 = dxd.reshape([batch, d])?;
+        self.embed.backward(&dec_tokens, &dxd2)?;
+        self.pos.backward(&vec![0usize; batch], &dxd2)?;
+
+        // Encoder stack (reverse).
+        let mut dx = d_enc_total;
+        for (layer, lctx) in self.encoder.iter_mut().zip(ctx.enc_ctxs.iter()).rev() {
+            let (g, _) = layer.backward(lctx, &dx)?;
+            dx = g;
+        }
+
+        // Encoder input embedding gradient.
+        let flat: Vec<usize> = ctx.tokens.iter().flatten().copied().collect();
+        let dx2 = dx.reshape([batch * seq, d])?;
+        self.embed.backward(&flat, &dx2)?;
+        self.pos.backward(&ctx.positions, &dx2)?;
+        Ok(())
+    }
+
+    /// Freezes the backbone (everything except the task head).
+    ///
+    /// This is Step 3 of the PAC workflow; PEFT wrappers then add their own
+    /// trainable parameters on top.
+    pub fn freeze_backbone(&mut self) {
+        let head_name_prefix = "head";
+        self.visit_params(&mut |p| {
+            if !p.name.starts_with(head_name_prefix) {
+                p.trainable = false;
+            }
+        });
+    }
+}
+
+impl Module for EncDecModel {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.embed.visit_params(f);
+        self.pos.visit_params(f);
+        for l in &mut self.encoder {
+            l.visit_params(f);
+        }
+        for l in &mut self.decoder {
+            l.visit_params(f);
+        }
+        self.final_ln.visit_params(f);
+        self.head.visit_params(f);
+    }
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        self.embed.visit_params_ref(f);
+        self.pos.visit_params_ref(f);
+        for l in &self.encoder {
+            l.visit_params_ref(f);
+        }
+        for l in &self.decoder {
+            l.visit_params_ref(f);
+        }
+        self.final_ln.visit_params_ref(f);
+        self.head.visit_params_ref(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pac_nn::{cross_entropy, Adam, Optimizer};
+    use pac_tensor::rng::seeded;
+
+    fn micro_model(seed: u64) -> EncDecModel {
+        let cfg = ModelConfig::micro(2, 2, 16, 2);
+        EncDecModel::new(&cfg, 3, &mut seeded(seed))
+    }
+
+    fn batch(seed: u64, b: usize, s: usize, vocab: usize) -> Vec<Vec<usize>> {
+        use rand::Rng;
+        let mut rng = seeded(seed);
+        (0..b)
+            .map(|_| (0..s).map(|_| rng.gen_range(0..vocab)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn forward_produces_logits_and_layer_outputs() {
+        let m = micro_model(80);
+        let toks = batch(81, 3, 5, 64);
+        let (logits, ctx) = m.forward(&toks).unwrap();
+        assert_eq!(logits.dims(), &[3, 3]);
+        assert_eq!(ctx.layer_outputs.len(), 4);
+        assert_eq!(ctx.layer_outputs[0].dims(), &[3, 5, 16]); // encoder
+        assert_eq!(ctx.layer_outputs[3].dims(), &[3, 1, 16]); // decoder
+        assert!(logits.all_finite());
+    }
+
+    #[test]
+    fn ragged_batches_are_rejected() {
+        let m = micro_model(82);
+        let toks = vec![vec![1, 2, 3], vec![1, 2]];
+        assert!(m.forward(&toks).is_err());
+        assert!(m.forward(&[]).is_err());
+    }
+
+    #[test]
+    fn backward_populates_all_trainable_grads() {
+        let mut m = micro_model(83);
+        let toks = batch(84, 2, 4, 64);
+        let (logits, ctx) = m.forward(&toks).unwrap();
+        let (_, dlogits) = cross_entropy(&logits, &[0, 1]).unwrap();
+        m.backward(&ctx, &dlogits).unwrap();
+        let mut zero_grads = 0usize;
+        let mut total = 0usize;
+        m.visit_params_ref(&mut |p| {
+            total += 1;
+            if p.grad.norm() == 0.0 {
+                zero_grads += 1;
+            }
+        });
+        // Decoder self-attention Q/K legitimately receive zero gradient: the
+        // decoder sees a single position, its 1×1 softmax is constant, so no
+        // gradient flows into the score projections. Everything else must be
+        // touched.
+        let expected_zero = 2 * m.decoder.len();
+        assert!(
+            zero_grads <= expected_zero,
+            "{zero_grads}/{total} params have zero grad (expected ≤ {expected_zero})"
+        );
+    }
+
+    #[test]
+    fn frozen_backbone_leaves_only_head_trainable() {
+        let mut m = micro_model(85);
+        let total = m.num_params();
+        m.freeze_backbone();
+        let trainable = m.num_trainable();
+        assert_eq!(trainable, m.head.num_params());
+        assert!(trainable < total / 100);
+    }
+
+    #[test]
+    fn a_few_training_steps_reduce_loss() {
+        let mut m = micro_model(86);
+        let toks = batch(87, 4, 4, 64);
+        let targets = [0usize, 1, 2, 0];
+        let mut opt = Adam::new(5e-3);
+        let mut first = 0.0f32;
+        let mut last = 0.0f32;
+        for step in 0..15 {
+            let (logits, ctx) = m.forward(&toks).unwrap();
+            let (loss, dlogits) = cross_entropy(&logits, &targets).unwrap();
+            if step == 0 {
+                first = loss;
+            }
+            last = loss;
+            m.zero_grads();
+            m.backward(&ctx, &dlogits).unwrap();
+            opt.step(&mut m);
+        }
+        assert!(
+            last < first * 0.7,
+            "loss did not drop: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn frozen_backbone_is_bitwise_invariant_under_training() {
+        let mut m = micro_model(88);
+        m.freeze_backbone();
+        let snapshot: Vec<f32> = {
+            let mut v = Vec::new();
+            m.visit_params_ref(&mut |p| {
+                if !p.trainable {
+                    v.extend_from_slice(p.value.data());
+                }
+            });
+            v
+        };
+        let toks = batch(89, 2, 4, 64);
+        let mut opt = Adam::new(1e-2);
+        for _ in 0..3 {
+            let (logits, ctx) = m.forward(&toks).unwrap();
+            let (_, dl) = cross_entropy(&logits, &[1, 2]).unwrap();
+            m.zero_grads();
+            m.backward(&ctx, &dl).unwrap();
+            opt.step(&mut m);
+        }
+        let mut after = Vec::new();
+        m.visit_params_ref(&mut |p| {
+            if !p.trainable {
+                after.extend_from_slice(p.value.data());
+            }
+        });
+        assert_eq!(snapshot, after, "frozen backbone weights moved");
+    }
+
+    #[test]
+    fn layer_outputs_are_invariant_when_backbone_frozen() {
+        // The property the activation cache relies on (paper §4.2): frozen
+        // backbone ⇒ identical layer outputs for identical inputs, even
+        // after head training steps.
+        let mut m = micro_model(90);
+        m.freeze_backbone();
+        let toks = batch(91, 2, 4, 64);
+        let (_, ctx1) = m.forward(&toks).unwrap();
+        // Train the head a bit.
+        let mut opt = Adam::new(1e-2);
+        for _ in 0..3 {
+            let (logits, ctx) = m.forward(&toks).unwrap();
+            let (_, dl) = cross_entropy(&logits, &[1, 0]).unwrap();
+            m.zero_grads();
+            m.backward(&ctx, &dl).unwrap();
+            opt.step(&mut m);
+        }
+        let (_, ctx2) = m.forward(&toks).unwrap();
+        for (a, b) in ctx1.layer_outputs.iter().zip(ctx2.layer_outputs.iter()) {
+            assert!(a.approx_eq(b, 0.0), "cached activations would be stale");
+        }
+    }
+}

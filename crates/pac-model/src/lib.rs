@@ -1,0 +1,32 @@
+//! # pac-model
+//!
+//! Encoder-decoder transformer LLMs assembled from `pac-nn` layers.
+//!
+//! Two families of model objects live here:
+//!
+//! * [`config::ModelConfig`] — architecture descriptors. The three **paper
+//!   configs** (T5-Base, BART-Large, T5-Large; Table 4 of the PAC paper) are
+//!   used *analytically* by the cost model and planner: parameter counts,
+//!   activation sizes and FLOPs are computed from them exactly, which is what
+//!   drives every simulated experiment. **Micro configs** are small enough to
+//!   train for real on a CPU and drive the quality-parity and correctness
+//!   experiments.
+//! * [`encdec::EncDecModel`] / [`encoder::EncoderModel`] — real, trainable
+//!   models with explicit forward/backward. `EncDecModel` mirrors the paper's
+//!   T5/BART structure (encoder + causally-masked decoder with
+//!   cross-attention + task head). `EncoderModel` is the encoder-only variant
+//!   the real pipeline-parallel engine partitions into [`stage::StageModel`]s
+//!   (a single activation tensor flows between stages, matching the
+//!   pipeline-parallel payload in the paper's Figure 6).
+
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod encdec;
+pub mod encoder;
+pub mod stage;
+
+pub use config::{ModelConfig, ModelKind};
+pub use encdec::{EncDecCtx, EncDecModel};
+pub use encoder::{EncoderCtx, EncoderModel};
+pub use stage::{StageCtx, StageData, StageModel, StageUnit};

@@ -1,0 +1,420 @@
+//! Pipeline-stage models: a contiguous chunk of an [`crate::EncoderModel`].
+//!
+//! A [`StageModel`] owns a sequence of [`StageUnit`]s (embedding, transformer
+//! layers, head) and exposes `forward`/`backward` with per-micro-batch
+//! contexts, so the pipeline engine can keep several micro-batches in flight
+//! on the same stage (1F1B scheduling).
+
+use pac_nn::{
+    Embedding, LayerNorm, LayerNormCtx, Linear, LinearCtx, Module, Param, TransformerLayer,
+    TransformerLayerCtx,
+};
+use pac_tensor::{Result, Tensor, TensorError};
+
+/// One building block of a stage.
+#[derive(Debug, Clone)]
+pub enum StageUnit {
+    /// Token + positional embedding (first stage only).
+    Embed {
+        /// Token embedding table.
+        embed: Embedding,
+        /// Positional embedding table.
+        pos: Embedding,
+    },
+    /// A transformer layer.
+    Layer(Box<TransformerLayer>),
+    /// Final LayerNorm + mean-pool + classification head (last stage only).
+    Head {
+        /// Final LayerNorm.
+        ln: LayerNorm,
+        /// Classification head.
+        head: Linear,
+    },
+}
+
+/// Data flowing into a stage: raw tokens for stage 0, hidden states after.
+#[derive(Debug, Clone)]
+pub enum StageData {
+    /// Token ids (first stage input).
+    Tokens(Vec<Vec<usize>>),
+    /// Hidden states `[b, s, d]` (inter-stage payload).
+    Hidden(Tensor),
+    /// Head logits `[b, n_out]` (pipeline output).
+    Logits(Tensor),
+}
+
+impl StageData {
+    /// Bytes this payload occupies on the wire (what pipeline communication
+    /// costs are charged on).
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            StageData::Tokens(t) => t.iter().map(|r| r.len() * 4).sum(),
+            StageData::Hidden(t) | StageData::Logits(t) => t.size_bytes(),
+        }
+    }
+}
+
+/// Per-unit saved context.
+#[derive(Debug, Clone)]
+enum UnitCtx {
+    Embed {
+        tokens: Vec<Vec<usize>>,
+        positions: Vec<usize>,
+    },
+    Layer(TransformerLayerCtx),
+    Head {
+        ln: LayerNormCtx,
+        head: LinearCtx,
+        batch: usize,
+        seq: usize,
+        dim: usize,
+    },
+}
+
+/// Context captured by [`StageModel::forward`] for one micro-batch.
+#[derive(Debug, Clone)]
+pub struct StageCtx {
+    units: Vec<UnitCtx>,
+    /// Bytes of activation memory this context retains (for the live memory
+    /// accounting of the real engine).
+    pub activation_bytes: usize,
+    /// Per-layer outputs produced inside this stage, in layer order.
+    pub layer_outputs: Vec<Tensor>,
+}
+
+/// A pipeline stage: an ordered list of units with explicit fwd/bwd.
+#[derive(Debug, Clone)]
+pub struct StageModel {
+    /// Stage index within the pipeline.
+    pub index: usize,
+    units: Vec<StageUnit>,
+}
+
+impl StageModel {
+    /// Creates a stage from its units.
+    pub fn new(index: usize, units: Vec<StageUnit>) -> Self {
+        StageModel { index, units }
+    }
+
+    /// Number of transformer layers in this stage.
+    pub fn num_layers(&self) -> usize {
+        self.units
+            .iter()
+            .filter(|u| matches!(u, StageUnit::Layer(_)))
+            .count()
+    }
+
+    /// True when this stage contains the embedding (stage 0).
+    pub fn has_embed(&self) -> bool {
+        self.units.iter().any(|u| matches!(u, StageUnit::Embed { .. }))
+    }
+
+    /// True when this stage contains the head (last stage).
+    pub fn has_head(&self) -> bool {
+        self.units.iter().any(|u| matches!(u, StageUnit::Head { .. }))
+    }
+
+    /// Forward pass over one micro-batch.
+    ///
+    /// # Errors
+    /// Returns a shape error when the payload kind does not match the stage
+    /// position (e.g. hidden states fed to an embedding stage).
+    pub fn forward(&self, input: StageData) -> Result<(StageData, StageCtx)> {
+        let mut data = input;
+        let mut ctxs = Vec::with_capacity(self.units.len());
+        let mut act_bytes = 0usize;
+        let mut layer_outputs = Vec::new();
+        for unit in &self.units {
+            data = match (unit, data) {
+                (StageUnit::Embed { embed, pos }, StageData::Tokens(tokens)) => {
+                    let batch = tokens.len();
+                    let seq = tokens.first().map(|t| t.len()).unwrap_or(0);
+                    if batch == 0 || seq == 0 || tokens.iter().any(|t| t.len() != seq) {
+                        return Err(TensorError::ShapeMismatch {
+                            op: "stage_embed",
+                            lhs: vec![batch],
+                            rhs: vec![seq],
+                        });
+                    }
+                    let flat: Vec<usize> = tokens.iter().flatten().copied().collect();
+                    let positions: Vec<usize> = (0..batch).flat_map(|_| 0..seq).collect();
+                    let x = embed
+                        .forward(&flat)?
+                        .add(&pos.forward(&positions)?)?
+                        .reshape([batch, seq, embed.dim()])?;
+                    ctxs.push(UnitCtx::Embed { tokens, positions });
+                    StageData::Hidden(x)
+                }
+                (StageUnit::Layer(layer), StageData::Hidden(x)) => {
+                    let (y, ctx) = layer.forward(&x, None)?;
+                    act_bytes += x.size_bytes(); // retained inside the layer ctx
+                    ctxs.push(UnitCtx::Layer(ctx));
+                    layer_outputs.push(y.clone());
+                    StageData::Hidden(y)
+                }
+                (StageUnit::Head { ln, head }, StageData::Hidden(x)) => {
+                    let (batch, seq, dim) = match x.dims() {
+                        &[b, s, d] => (b, s, d),
+                        _ => {
+                            return Err(TensorError::RankMismatch {
+                                op: "stage_head",
+                                expected: 3,
+                                actual: x.rank(),
+                            })
+                        }
+                    };
+                    let (normed, ln_ctx) = ln.forward(&x)?;
+                    let pooled = crate::encoder::pool::mean_pool(&normed, batch, seq, dim)?;
+                    let (logits, head_ctx) = head.forward(&pooled)?;
+                    act_bytes += x.size_bytes();
+                    ctxs.push(UnitCtx::Head {
+                        ln: ln_ctx,
+                        head: head_ctx,
+                        batch,
+                        seq,
+                        dim,
+                    });
+                    StageData::Logits(logits)
+                }
+                (unit, data) => {
+                    return Err(TensorError::ShapeMismatch {
+                        op: match unit {
+                            StageUnit::Embed { .. } => "stage expects tokens",
+                            StageUnit::Layer(_) => "stage expects hidden states",
+                            StageUnit::Head { .. } => "head expects hidden states",
+                        },
+                        lhs: vec![self.index],
+                        rhs: vec![match data {
+                            StageData::Tokens(_) => 0,
+                            StageData::Hidden(_) => 1,
+                            StageData::Logits(_) => 2,
+                        }],
+                    })
+                }
+            };
+        }
+        Ok((
+            data,
+            StageCtx {
+                units: ctxs,
+                activation_bytes: act_bytes,
+                layer_outputs,
+            },
+        ))
+    }
+
+    /// Backward pass over one micro-batch.
+    ///
+    /// `dy` is the gradient of the stage output (`dlogits` for the last
+    /// stage, hidden-state gradient otherwise). Returns the gradient to send
+    /// upstream, or `None` when this stage starts at the embedding.
+    ///
+    /// # Errors
+    /// Propagates shape errors from the constituent layers.
+    pub fn backward(&mut self, ctx: &StageCtx, dy: &Tensor) -> Result<Option<Tensor>> {
+        let mut grad = dy.clone();
+        for (unit, uctx) in self.units.iter_mut().zip(ctx.units.iter()).rev() {
+            match (unit, uctx) {
+                (
+                    StageUnit::Head { ln, head },
+                    UnitCtx::Head {
+                        ln: ln_ctx,
+                        head: head_ctx,
+                        batch,
+                        seq,
+                        dim,
+                    },
+                ) => {
+                    let d_pooled = head.backward(head_ctx, &grad)?;
+                    let d_normed =
+                        crate::encoder::pool::mean_pool_backward(&d_pooled, *batch, *seq, *dim)?;
+                    grad = ln
+                        .backward(ln_ctx, &d_normed)?
+                        .reshape([*batch, *seq, *dim])?;
+                }
+                (StageUnit::Layer(layer), UnitCtx::Layer(lctx)) => {
+                    let (dx, _) = layer.backward(lctx, &grad)?;
+                    grad = dx;
+                }
+                (StageUnit::Embed { embed, pos }, UnitCtx::Embed { tokens, positions }) => {
+                    let batch = tokens.len();
+                    let seq = tokens[0].len();
+                    let flat: Vec<usize> = tokens.iter().flatten().copied().collect();
+                    let g2 = grad.clone().reshape([batch * seq, embed.dim()])?;
+                    embed.backward(&flat, &g2)?;
+                    pos.backward(positions, &g2)?;
+                    return Ok(None);
+                }
+                _ => {
+                    return Err(TensorError::ShapeMismatch {
+                        op: "stage_backward ctx mismatch",
+                        lhs: vec![self.index],
+                        rhs: vec![],
+                    })
+                }
+            }
+        }
+        Ok(Some(grad))
+    }
+}
+
+impl Module for StageModel {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for u in &mut self.units {
+            match u {
+                StageUnit::Embed { embed, pos } => {
+                    embed.visit_params(f);
+                    pos.visit_params(f);
+                }
+                StageUnit::Layer(l) => l.visit_params(f),
+                StageUnit::Head { ln, head } => {
+                    ln.visit_params(f);
+                    head.visit_params(f);
+                }
+            }
+        }
+    }
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        for u in &self.units {
+            match u {
+                StageUnit::Embed { embed, pos } => {
+                    embed.visit_params_ref(f);
+                    pos.visit_params_ref(f);
+                }
+                StageUnit::Layer(l) => l.visit_params_ref(f),
+                StageUnit::Head { ln, head } => {
+                    ln.visit_params_ref(f);
+                    head.visit_params_ref(f);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::encoder::EncoderModel;
+    use pac_nn::cross_entropy;
+    use pac_tensor::rng::seeded;
+    use rand::Rng as _;
+
+    fn model(seed: u64, layers: usize) -> EncoderModel {
+        let cfg = ModelConfig::micro(layers, 0, 16, 2);
+        EncoderModel::new(&cfg, 2, &mut seeded(seed))
+    }
+
+    fn batch(seed: u64, b: usize, s: usize) -> Vec<Vec<usize>> {
+        let mut rng = seeded(seed);
+        (0..b)
+            .map(|_| (0..s).map(|_| rng.gen_range(0..64)).collect())
+            .collect()
+    }
+
+    /// Runs a chain of stages forward, producing logits.
+    fn chain_forward(
+        stages: &[StageModel],
+        tokens: Vec<Vec<usize>>,
+    ) -> (Tensor, Vec<StageCtx>) {
+        let mut data = StageData::Tokens(tokens);
+        let mut ctxs = Vec::new();
+        for s in stages {
+            let (out, ctx) = s.forward(data).unwrap();
+            ctxs.push(ctx);
+            data = out;
+        }
+        match data {
+            StageData::Logits(l) => (l, ctxs),
+            _ => panic!("pipeline did not end in logits"),
+        }
+    }
+
+    #[test]
+    fn pipeline_forward_matches_monolithic() {
+        let m = model(110, 4);
+        let toks = batch(111, 3, 5);
+        let (mono_logits, _) = m.forward(&toks).unwrap();
+        for cuts in [vec![4], vec![2, 2], vec![1, 1, 1, 1], vec![1, 3]] {
+            let stages = m.clone().partition(&cuts).unwrap();
+            let (pipe_logits, _) = chain_forward(&stages, toks.clone());
+            assert!(
+                pipe_logits.approx_eq(&mono_logits, 1e-5),
+                "mismatch for cuts {cuts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_backward_matches_monolithic_grads() {
+        let m = model(112, 3);
+        let toks = batch(113, 2, 4);
+        let targets = [0usize, 1];
+
+        // Monolithic.
+        let mut mono = m.clone();
+        let (logits, ctx) = mono.forward(&toks).unwrap();
+        let (_, dl) = cross_entropy(&logits, &targets).unwrap();
+        mono.backward(&ctx, &dl).unwrap();
+        let mut mono_grads = Vec::new();
+        mono.visit_params_ref(&mut |p| mono_grads.push((p.name.clone(), p.grad.clone())));
+
+        // Pipelined (2 stages).
+        let mut stages = m.partition(&[2, 1]).unwrap();
+        let (plogits, ctxs) = chain_forward(&stages, toks.clone());
+        let (_, pdl) = cross_entropy(&plogits, &targets).unwrap();
+        let mut grad = pdl;
+        let mut upstream: Option<Tensor> = Some(grad.clone());
+        for (s, c) in stages.iter_mut().zip(ctxs.iter()).rev() {
+            grad = upstream.take().expect("gradient chain broke early");
+            upstream = s.backward(c, &grad).unwrap();
+        }
+        assert!(upstream.is_none(), "stage 0 must terminate the chain");
+
+        let mut pipe_grads = Vec::new();
+        for s in &stages {
+            s.visit_params_ref(&mut |p| pipe_grads.push((p.name.clone(), p.grad.clone())));
+        }
+
+        assert_eq!(mono_grads.len(), pipe_grads.len());
+        let mono_map: std::collections::HashMap<_, _> = mono_grads.into_iter().collect();
+        for (name, g) in pipe_grads {
+            let mg = &mono_map[&name];
+            assert!(
+                g.approx_eq(mg, 1e-4),
+                "gradient mismatch for {name}: |Δ| = {}",
+                g.sub(mg).unwrap().norm()
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_payload_kind_is_error() {
+        let m = model(114, 2);
+        let stages = m.partition(&[1, 1]).unwrap();
+        // Hidden into embed stage:
+        let hidden = StageData::Hidden(Tensor::zeros([1, 2, 16]));
+        assert!(stages[0].forward(hidden).is_err());
+        // Tokens into a non-embed stage:
+        let toks = StageData::Tokens(batch(115, 1, 2));
+        assert!(stages[1].forward(toks).is_err());
+    }
+
+    #[test]
+    fn wire_bytes_accounting() {
+        let t = StageData::Tokens(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(t.wire_bytes(), 24);
+        let h = StageData::Hidden(Tensor::zeros([2, 3, 4]));
+        assert_eq!(h.wire_bytes(), 96);
+    }
+
+    #[test]
+    fn stage_flags() {
+        let m = model(116, 3);
+        let stages = m.partition(&[1, 1, 1]).unwrap();
+        assert!(stages[0].has_embed() && !stages[0].has_head());
+        assert!(!stages[1].has_embed() && !stages[1].has_head());
+        assert!(!stages[2].has_embed() && stages[2].has_head());
+        assert_eq!(stages.iter().map(|s| s.num_layers()).sum::<usize>(), 3);
+    }
+}

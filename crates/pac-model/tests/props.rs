@@ -1,0 +1,118 @@
+//! Property-based tests: stage partitioning must preserve the model's
+//! function and gradients for *any* valid cut.
+
+use pac_model::{EncoderModel, ModelConfig, StageData};
+use pac_nn::{cross_entropy, Module};
+use pac_tensor::rng::seeded;
+use pac_tensor::Tensor;
+use proptest::prelude::*;
+use rand::Rng;
+
+fn model(seed: u64, layers: usize) -> EncoderModel {
+    let cfg = ModelConfig::micro(layers, 0, 16, 2);
+    EncoderModel::new(&cfg, 2, &mut seeded(seed))
+}
+
+fn batch(seed: u64, b: usize, s: usize) -> Vec<Vec<usize>> {
+    let mut rng = seeded(seed);
+    (0..b)
+        .map(|_| (0..s).map(|_| rng.gen_range(0..64)).collect())
+        .collect()
+}
+
+/// Random layer cuts summing to `layers`.
+fn arb_cuts(layers: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..=layers, 1..=layers)
+        .prop_map(move |mut v| {
+            // Normalize to sum exactly `layers`.
+            let mut remaining = layers;
+            let mut cuts = Vec::new();
+            for x in v.drain(..) {
+                if remaining == 0 {
+                    break;
+                }
+                let take = x.min(remaining);
+                cuts.push(take);
+                remaining -= take;
+            }
+            if remaining > 0 {
+                cuts.push(remaining);
+            }
+            cuts
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For any partition, chaining stage forwards reproduces the
+    /// monolithic logits exactly, and chained backwards reproduce the
+    /// monolithic gradients.
+    #[test]
+    fn any_partition_is_function_preserving(
+        cuts in arb_cuts(4),
+        seed in 0u64..200,
+    ) {
+        let m = model(seed, 4);
+        let toks = batch(seed.wrapping_add(1), 2, 5);
+        let targets = [0usize, 1];
+
+        // Monolithic reference.
+        let mut mono = m.clone();
+        let (logits, ctx) = mono.forward(&toks).unwrap();
+        let (_, dl) = cross_entropy(&logits, &targets).unwrap();
+        mono.backward(&ctx, &dl).unwrap();
+        let mut mono_grads: std::collections::HashMap<String, Tensor> = Default::default();
+        mono.visit_params_ref(&mut |p| {
+            mono_grads.insert(p.name.clone(), p.grad.clone());
+        });
+
+        // Partitioned.
+        let mut stages = m.partition(&cuts).unwrap();
+        let mut data = StageData::Tokens(toks);
+        let mut ctxs = Vec::new();
+        for s in &stages {
+            let (out, c) = s.forward(data).unwrap();
+            ctxs.push(c);
+            data = out;
+        }
+        let plogits = match data {
+            StageData::Logits(l) => l,
+            _ => unreachable!("chain ends in logits"),
+        };
+        prop_assert!(plogits.approx_eq(&logits, 1e-5));
+
+        let (_, pdl) = cross_entropy(&plogits, &targets).unwrap();
+        let mut upstream = Some(pdl);
+        for (s, c) in stages.iter_mut().zip(ctxs.iter()).rev() {
+            let g = upstream.take().expect("gradient chain intact");
+            upstream = s.backward(c, &g).unwrap();
+        }
+        prop_assert!(upstream.is_none());
+
+        for s in &stages {
+            s.visit_params_ref(&mut |p| {
+                let mg = &mono_grads[&p.name];
+                assert!(
+                    p.grad.approx_eq(mg, 1e-4),
+                    "gradient mismatch {} under cuts {cuts:?}",
+                    p.name
+                );
+            });
+        }
+    }
+
+    /// Partition parameter conservation: any cut keeps the exact parameter
+    /// multiset (counted via byte totals and per-stage sums).
+    #[test]
+    fn any_partition_conserves_parameters(cuts in arb_cuts(6), seed in 0u64..200) {
+        let m = model(seed, 6);
+        let total = m.num_params();
+        let stages = m.partition(&cuts).unwrap();
+        let sum: usize = stages.iter().map(|s| s.num_params()).sum();
+        prop_assert_eq!(sum, total);
+        // Exactly one embed and one head across the chain.
+        prop_assert_eq!(stages.iter().filter(|s| s.has_embed()).count(), 1);
+        prop_assert_eq!(stages.iter().filter(|s| s.has_head()).count(), 1);
+    }
+}

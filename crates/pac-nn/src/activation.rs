@@ -1,0 +1,106 @@
+//! Pointwise nonlinearities with exact derivative implementations.
+
+use pac_tensor::Tensor;
+
+/// Supported activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Gaussian error linear unit (tanh approximation, as used by T5/BART
+    /// implementations).
+    Gelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Identity (no-op), useful for ablations.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation elementwise.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        match self {
+            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::Gelu => x.map(gelu),
+            Activation::Tanh => x.map(f32::tanh),
+            Activation::Identity => x.clone(),
+        }
+    }
+
+    /// Backward pass: `dx = dy ⊙ f'(x)` given the forward *input* `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` and `dy` shapes differ (programming error).
+    pub fn backward(&self, x: &Tensor, dy: &Tensor) -> Tensor {
+        let d = match self {
+            Activation::Relu => x.map(|v| if v > 0.0 { 1.0 } else { 0.0 }),
+            Activation::Gelu => x.map(gelu_prime),
+            Activation::Tanh => x.map(|v| 1.0 - v.tanh().powi(2)),
+            Activation::Identity => Tensor::ones(x.dims()),
+        };
+        d.mul(dy).expect("activation backward shapes must match")
+    }
+}
+
+/// Tanh-approximated GELU: `0.5 x (1 + tanh(√(2/π)(x + 0.044715 x³)))`.
+fn gelu(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Derivative of the tanh-approximated GELU.
+fn gelu_prime(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let inner = C * (x + 0.044_715 * x * x * x);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044_715 * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::assert_grad_close;
+    use pac_tensor::{init, rng::seeded};
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], [3]).unwrap();
+        assert_eq!(Activation::Relu.forward(&x).data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn gelu_known_values() {
+        // GELU(0) = 0, GELU(x) ≈ x for large x, ≈ 0 for very negative x.
+        let x = Tensor::from_vec(vec![0.0, 6.0, -6.0], [3]).unwrap();
+        let y = Activation::Gelu.forward(&x);
+        assert!(y.data()[0].abs() < 1e-6);
+        assert!((y.data()[1] - 6.0).abs() < 1e-3);
+        assert!(y.data()[2].abs() < 1e-3);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let x = Tensor::from_vec(vec![1.5, -2.5], [2]).unwrap();
+        assert_eq!(Activation::Identity.forward(&x), x);
+        let dy = Tensor::ones([2]);
+        assert_eq!(Activation::Identity.backward(&x, &dy), dy);
+    }
+
+    #[test]
+    fn all_gradients_match_finite_difference() {
+        let mut rng = seeded(6);
+        // Avoid the ReLU kink at exactly 0 by shifting values away from it.
+        let x = init::randn(&mut rng, [3, 4], 1.0).map(|v| if v.abs() < 0.05 { v + 0.1 } else { v });
+        for act in [
+            Activation::Relu,
+            Activation::Gelu,
+            Activation::Tanh,
+            Activation::Identity,
+        ] {
+            let dy = Tensor::ones(x.dims());
+            let dx = act.backward(&x, &dy);
+            assert_grad_close(&x, &dx, 2e-2, |xp| act.forward(xp).sum());
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Multi-head scaled-dot-product attention (self- and cross-attention).
+
+use crate::linear::{Linear, LinearCtx};
+use crate::param::{Module, Param};
+use pac_tensor::{ops, reduce, Result, Tensor, TensorError};
+use rand::Rng;
+
+/// Context saved by [`MultiHeadAttention::forward`] for the backward pass.
+#[derive(Debug, Clone)]
+pub struct AttentionCtx {
+    /// Projection input contexts (q from `x`, k/v from `kv`).
+    q_ctx: LinearCtx,
+    k_ctx: LinearCtx,
+    v_ctx: LinearCtx,
+    /// Projected queries/keys/values, `[b*s, d]` / `[b*skv, d]`.
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    /// Softmax attention weights per (batch, head), each `[s, s_kv]`.
+    attn: Vec<Tensor>,
+    /// Concatenated per-head outputs before the output projection.
+    o_ctx: LinearCtx,
+    batch: usize,
+    s_q: usize,
+    s_kv: usize,
+}
+
+/// Multi-head attention with separate Q/K/V/O projections.
+///
+/// Self-attention passes the same tensor for `x` and `kv`; cross-attention
+/// (decoder → encoder) passes the encoder output as `kv` and receives its
+/// gradient back from [`MultiHeadAttention::backward`].
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    /// Query projection `[d, d]`.
+    pub wq: Linear,
+    /// Key projection `[d, d]`.
+    pub wk: Linear,
+    /// Value projection `[d, d]`.
+    pub wv: Linear,
+    /// Output projection `[d, d]`.
+    pub wo: Linear,
+    heads: usize,
+    dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Creates an MHA block with `heads` heads over model dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim` is not divisible by `heads`.
+    pub fn new(name: &str, rng: &mut impl Rng, dim: usize, heads: usize) -> Self {
+        assert!(dim % heads == 0, "dim must be divisible by heads");
+        MultiHeadAttention {
+            wq: Linear::new(&format!("{name}.wq"), rng, dim, dim, false),
+            wk: Linear::new(&format!("{name}.wk"), rng, dim, dim, false),
+            wv: Linear::new(&format!("{name}.wv"), rng, dim, dim, false),
+            wo: Linear::new(&format!("{name}.wo"), rng, dim, dim, false),
+            heads,
+            dim,
+        }
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Model dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Extracts the `[s, dh]` block of head `h`, batch `b` from a
+    /// `[b*s, heads*dh]` tensor.
+    fn head_block(t: &Tensor, b: usize, h: usize, s: usize, dh: usize) -> Tensor {
+        let (_, cols) = t.as_2d();
+        let mut out = Vec::with_capacity(s * dh);
+        for ti in 0..s {
+            let r = b * s + ti;
+            out.extend_from_slice(&t.data()[r * cols + h * dh..r * cols + (h + 1) * dh]);
+        }
+        Tensor::from_vec(out, [s, dh]).expect("head block shape is consistent")
+    }
+
+    /// Accumulates an `[s, dh]` head block back into a `[b*s, heads*dh]`
+    /// destination.
+    fn add_head_block(dst: &mut Tensor, src: &Tensor, b: usize, h: usize, s: usize, dh: usize) {
+        let (_, cols) = dst.as_2d();
+        for ti in 0..s {
+            let r = b * s + ti;
+            let drow = &mut dst.data_mut()[r * cols + h * dh..r * cols + (h + 1) * dh];
+            for (d, v) in drow.iter_mut().zip(&src.data()[ti * dh..(ti + 1) * dh]) {
+                *d += v;
+            }
+        }
+    }
+
+    /// Forward pass.
+    ///
+    /// * `x`  — `[batch, s_q, d]` query-side input.
+    /// * `kv` — `[batch, s_kv, d]` key/value-side input (`x` itself for
+    ///   self-attention).
+    /// * `causal` — apply a lower-triangular mask (decoder self-attention).
+    ///
+    /// # Errors
+    /// Returns shape errors if the inputs are not rank-3 `[b, s, d]` with
+    /// matching batch and model dimensions.
+    pub fn forward(&self, x: &Tensor, kv: &Tensor, causal: bool) -> Result<(Tensor, AttentionCtx)> {
+        let (batch, s_q, d) = Self::expect_bsd("attention", x)?;
+        let (kb, s_kv, kd) = Self::expect_bsd("attention", kv)?;
+        if kb != batch || kd != d || d != self.dim {
+            return Err(TensorError::ShapeMismatch {
+                op: "attention",
+                lhs: x.dims().to_vec(),
+                rhs: kv.dims().to_vec(),
+            });
+        }
+        let dh = d / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let (q, q_ctx) = self.wq.forward(x)?;
+        let (k, k_ctx) = self.wk.forward(kv)?;
+        let (v, v_ctx) = self.wv.forward(kv)?;
+
+        let mut o_concat = Tensor::zeros([batch * s_q, d]);
+        let mut attn_saved = Vec::with_capacity(batch * self.heads);
+        for b in 0..batch {
+            for h in 0..self.heads {
+                let qb = Self::head_block(&q, b, h, s_q, dh);
+                let kb_ = Self::head_block(&k, b, h, s_kv, dh);
+                let vb = Self::head_block(&v, b, h, s_kv, dh);
+                let mut scores = ops::matmul_nt(&qb, &kb_)?;
+                scores.scale_in_place(scale);
+                if causal {
+                    for i in 0..s_q {
+                        for j in 0..s_kv {
+                            if j > i {
+                                scores.data_mut()[i * s_kv + j] = f32::NEG_INFINITY;
+                            }
+                        }
+                    }
+                }
+                let attn = reduce::softmax_rows(&scores);
+                let ob = ops::matmul(&attn, &vb)?;
+                Self::add_head_block(&mut o_concat, &ob, b, h, s_q, dh);
+                attn_saved.push(attn);
+            }
+        }
+
+        let (y, o_ctx) = self.wo.forward(&o_concat)?;
+        let y = y.reshape([batch, s_q, d])?;
+        Ok((
+            y,
+            AttentionCtx {
+                q_ctx,
+                k_ctx,
+                v_ctx,
+                q,
+                k,
+                v,
+                attn: attn_saved,
+                o_ctx,
+                batch,
+                s_q,
+                s_kv,
+            },
+        ))
+    }
+
+    /// Backward pass. Returns `(dx, dkv)`: the gradient w.r.t. the
+    /// query-side input and the key/value-side input. For self-attention the
+    /// caller adds them together.
+    ///
+    /// # Errors
+    /// Propagates shape errors from the constituent matmuls.
+    pub fn backward(&mut self, ctx: &AttentionCtx, dy: &Tensor) -> Result<(Tensor, Tensor)> {
+        let d = self.dim;
+        let dh = d / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let (batch, s_q, s_kv) = (ctx.batch, ctx.s_q, ctx.s_kv);
+
+        // Through the output projection.
+        let d_oconcat = self.wo.backward(&ctx.o_ctx, dy)?;
+
+        let mut dq = Tensor::zeros([batch * s_q, d]);
+        let mut dk = Tensor::zeros([batch * s_kv, d]);
+        let mut dv = Tensor::zeros([batch * s_kv, d]);
+
+        for b in 0..batch {
+            for h in 0..self.heads {
+                let attn = &ctx.attn[b * self.heads + h];
+                let do_bh = Self::head_block(&d_oconcat, b, h, s_q, dh);
+                let vb = Self::head_block(&ctx.v, b, h, s_kv, dh);
+                let qb = Self::head_block(&ctx.q, b, h, s_q, dh);
+                let kb = Self::head_block(&ctx.k, b, h, s_kv, dh);
+
+                // o = attn · v
+                let d_attn = ops::matmul_nt(&do_bh, &vb)?;
+                let dv_bh = ops::matmul_tn(attn, &do_bh)?;
+
+                // attn = softmax(scores); masked entries have attn == 0 so
+                // their gradient is exactly zero through the softmax Jacobian.
+                let mut ds = reduce::softmax_rows_backward(attn, &d_attn)?;
+                ds.scale_in_place(scale);
+
+                // scores = q · kᵀ (· scale, already folded into ds)
+                let dq_bh = ops::matmul(&ds, &kb)?;
+                let dk_bh = ops::matmul_tn(&ds, &qb)?;
+
+                Self::add_head_block(&mut dq, &dq_bh, b, h, s_q, dh);
+                Self::add_head_block(&mut dk, &dk_bh, b, h, s_kv, dh);
+                Self::add_head_block(&mut dv, &dv_bh, b, h, s_kv, dh);
+            }
+        }
+
+        let dx = self.wq.backward(&ctx.q_ctx, &dq)?;
+        let dkv_k = self.wk.backward(&ctx.k_ctx, &dk)?;
+        let dkv_v = self.wv.backward(&ctx.v_ctx, &dv)?;
+        let dkv = dkv_k.add(&dkv_v)?;
+
+        Ok((
+            dx.reshape([batch, s_q, d])?,
+            dkv.reshape([batch, s_kv, d])?,
+        ))
+    }
+
+    fn expect_bsd(op: &'static str, t: &Tensor) -> Result<(usize, usize, usize)> {
+        match t.dims() {
+            &[b, s, d] => Ok((b, s, d)),
+            _ => Err(TensorError::RankMismatch {
+                op,
+                expected: 3,
+                actual: t.rank(),
+            }),
+        }
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.wq.visit_params(f);
+        self.wk.visit_params(f);
+        self.wv.visit_params(f);
+        self.wo.visit_params(f);
+    }
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        self.wq.visit_params_ref(f);
+        self.wk.visit_params_ref(f);
+        self.wv.visit_params_ref(f);
+        self.wo.visit_params_ref(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::assert_grad_close;
+    use pac_tensor::{init, rng::seeded};
+
+    fn mha(seed: u64, d: usize, h: usize) -> MultiHeadAttention {
+        let mut rng = seeded(seed);
+        MultiHeadAttention::new("attn", &mut rng, d, h)
+    }
+
+    #[test]
+    fn forward_shape_and_param_count() {
+        let a = mha(30, 8, 2);
+        let mut rng = seeded(31);
+        let x = init::randn(&mut rng, [2, 3, 8], 1.0);
+        let (y, _) = a.forward(&x, &x, false).unwrap();
+        assert_eq!(y.dims(), &[2, 3, 8]);
+        assert_eq!(a.num_params(), 4 * 8 * 8);
+    }
+
+    #[test]
+    fn rejects_bad_ranks_and_dims() {
+        let a = mha(32, 8, 2);
+        let x2d = Tensor::zeros([3, 8]);
+        assert!(a.forward(&x2d, &x2d, false).is_err());
+        let x = Tensor::zeros([1, 3, 8]);
+        let bad_kv = Tensor::zeros([2, 3, 8]);
+        assert!(a.forward(&x, &bad_kv, false).is_err());
+    }
+
+    #[test]
+    fn causal_mask_blocks_future_positions() {
+        let a = mha(33, 4, 1);
+        let mut rng = seeded(34);
+        let x = init::randn(&mut rng, [1, 4, 4], 1.0);
+        let (_, ctx) = a.forward(&x, &x, true).unwrap();
+        let attn = &ctx.attn[0];
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_eq!(attn.get(&[i, j]).unwrap(), 0.0, "future leak at ({i},{j})");
+            }
+            let rowsum: f32 = attn.row(i).unwrap().iter().sum();
+            assert!((rowsum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn causal_future_input_does_not_affect_past_output() {
+        let a = mha(35, 4, 2);
+        let mut rng = seeded(36);
+        let x1 = init::randn(&mut rng, [1, 3, 4], 1.0);
+        let mut x2 = x1.clone();
+        // Perturb only the last position.
+        for c in 0..4 {
+            let v = x2.get(&[0, 2, c]).unwrap();
+            x2.set(&[0, 2, c], v + 1.0).unwrap();
+        }
+        let (y1, _) = a.forward(&x1, &x1, true).unwrap();
+        let (y2, _) = a.forward(&x2, &x2, true).unwrap();
+        for t in 0..2 {
+            for c in 0..4 {
+                assert!(
+                    (y1.get(&[0, t, c]).unwrap() - y2.get(&[0, t, c]).unwrap()).abs() < 1e-6,
+                    "position {t} changed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_attention_gradient_matches_finite_difference() {
+        let a = mha(37, 4, 2);
+        let mut rng = seeded(38);
+        let x = init::randn(&mut rng, [1, 3, 4], 0.5);
+        let w = init::randn(&mut rng, [1, 3, 4], 1.0);
+
+        let (_, ctx) = a.forward(&x, &x, false).unwrap();
+        let mut a2 = a.clone();
+        let (dx, dkv) = a2.backward(&ctx, &w).unwrap();
+        let total = dx.add(&dkv).unwrap();
+
+        assert_grad_close(&x, &total, 3e-2, |xp| {
+            a.forward(xp, xp, false).unwrap().0.mul(&w).unwrap().sum()
+        });
+    }
+
+    #[test]
+    fn cross_attention_kv_gradient_matches_finite_difference() {
+        let a = mha(39, 4, 1);
+        let mut rng = seeded(40);
+        let x = init::randn(&mut rng, [1, 2, 4], 0.5);
+        let kv = init::randn(&mut rng, [1, 3, 4], 0.5);
+        let w = init::randn(&mut rng, [1, 2, 4], 1.0);
+
+        let (_, ctx) = a.forward(&x, &kv, false).unwrap();
+        let mut a2 = a.clone();
+        let (dx, dkv) = a2.backward(&ctx, &w).unwrap();
+
+        assert_grad_close(&kv, &dkv, 3e-2, |kvp| {
+            a.forward(&x, kvp, false).unwrap().0.mul(&w).unwrap().sum()
+        });
+        assert_grad_close(&x, &dx, 3e-2, |xp| {
+            a.forward(xp, &kv, false).unwrap().0.mul(&w).unwrap().sum()
+        });
+    }
+
+    #[test]
+    fn causal_gradient_matches_finite_difference() {
+        let a = mha(41, 4, 2);
+        let mut rng = seeded(42);
+        let x = init::randn(&mut rng, [1, 3, 4], 0.5);
+        let w = init::randn(&mut rng, [1, 3, 4], 1.0);
+
+        let (_, ctx) = a.forward(&x, &x, true).unwrap();
+        let mut a2 = a.clone();
+        let (dx, dkv) = a2.backward(&ctx, &w).unwrap();
+        let total = dx.add(&dkv).unwrap();
+
+        assert_grad_close(&x, &total, 3e-2, |xp| {
+            a.forward(xp, xp, true).unwrap().0.mul(&w).unwrap().sum()
+        });
+    }
+
+    #[test]
+    fn weight_gradients_match_finite_difference() {
+        let a = mha(43, 4, 2);
+        let mut rng = seeded(44);
+        let x = init::randn(&mut rng, [1, 2, 4], 0.5);
+
+        let (_, ctx) = a.forward(&x, &x, false).unwrap();
+        let mut a2 = a.clone();
+        a2.backward(&ctx, &Tensor::ones([1, 2, 4])).unwrap();
+
+        assert_grad_close(&a.wq.w.value, &a2.wq.w.grad, 3e-2, |wp| {
+            let mut at = a.clone();
+            at.wq.w.value = wp.clone();
+            at.forward(&x, &x, false).unwrap().0.sum()
+        });
+        assert_grad_close(&a.wv.w.value, &a2.wv.w.grad, 3e-2, |wp| {
+            let mut at = a.clone();
+            at.wv.w.value = wp.clone();
+            at.forward(&x, &x, false).unwrap().0.sum()
+        });
+    }
+}

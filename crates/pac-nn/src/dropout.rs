@@ -1,0 +1,106 @@
+//! Inverted dropout with a deterministic, seedable mask.
+
+use pac_tensor::{Result, Tensor};
+use rand::Rng;
+
+/// Inverted dropout: during training each element is zeroed with probability
+/// `p` and survivors are scaled by `1/(1-p)` so expectations match eval mode.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p ∈ [0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
+        Dropout { p }
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+
+    /// Forward pass. In training mode returns `(y, mask)`; in eval mode the
+    /// mask is all-ones and `y == x`.
+    pub fn forward(&self, x: &Tensor, training: bool, rng: &mut impl Rng) -> (Tensor, Tensor) {
+        if !training || self.p == 0.0 {
+            return (x.clone(), Tensor::ones(x.dims()));
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f32> = (0..x.numel())
+            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(mask_data, x.dims()).expect("mask matches input shape");
+        let y = x.mul(&mask).expect("mask matches input shape");
+        (y, mask)
+    }
+
+    /// Backward pass: `dx = dy ⊙ mask`.
+    ///
+    /// # Errors
+    /// Returns a shape error if `dy` and `mask` differ.
+    pub fn backward(&self, mask: &Tensor, dy: &Tensor) -> Result<Tensor> {
+        dy.mul(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pac_tensor::rng::seeded;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut rng = seeded(20);
+        let d = Dropout::new(0.5);
+        let x = Tensor::ones([4, 4]);
+        let (y, mask) = d.forward(&x, false, &mut rng);
+        assert_eq!(y, x);
+        assert_eq!(mask, Tensor::ones([4, 4]));
+    }
+
+    #[test]
+    fn training_preserves_expectation() {
+        let mut rng = seeded(21);
+        let d = Dropout::new(0.3);
+        let x = Tensor::ones([100, 100]);
+        let (y, _) = d.forward(&x, true, &mut rng);
+        // E[y] = 1; with 10k samples the mean should be within a few percent.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut rng = seeded(22);
+        let d = Dropout::new(0.5);
+        let x = Tensor::ones([8, 8]);
+        let (y, mask) = d.forward(&x, true, &mut rng);
+        let dx = d.backward(&mask, &Tensor::ones([8, 8])).unwrap();
+        // Where the forward output is zero the gradient must be zero, and
+        // vice versa.
+        for (yv, dv) in y.data().iter().zip(dx.data().iter()) {
+            assert_eq!(*yv == 0.0, *dv == 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let d = Dropout::new(0.4);
+        let x = Tensor::ones([16]);
+        let (y1, _) = d.forward(&x, true, &mut seeded(33));
+        let (y2, _) = d.forward(&x, true, &mut seeded(33));
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout p")]
+    fn invalid_p_panics() {
+        let _ = Dropout::new(1.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Finite-difference gradient checking utilities.
+//!
+//! Used by unit tests throughout this crate and by downstream crates to
+//! validate hand-derived backward passes: perturb each input (or parameter)
+//! element by ±ε, evaluate a scalar loss, and compare the central difference
+//! against the analytic gradient.
+
+use pac_tensor::Tensor;
+
+/// Result of a gradient check: maximum absolute and relative error observed.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between numeric and analytic gradients.
+    pub max_abs_err: f32,
+    /// Largest relative difference (normalized by magnitude, floor 1.0).
+    pub max_rel_err: f32,
+}
+
+impl GradCheckReport {
+    /// True when the analytic gradient agrees with the numeric one within
+    /// `tol` in both absolute and relative terms.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_abs_err <= tol || self.max_rel_err <= tol
+    }
+}
+
+/// Checks an analytic gradient of a scalar-valued function of one tensor.
+///
+/// `f` must be a pure function of the input; `analytic` is the gradient to
+/// verify; `eps` is the perturbation step.
+pub fn check_input_grad(
+    x: &Tensor,
+    analytic: &Tensor,
+    eps: f32,
+    mut f: impl FnMut(&Tensor) -> f32,
+) -> GradCheckReport {
+    assert_eq!(
+        x.dims(),
+        analytic.dims(),
+        "analytic gradient must match input shape"
+    );
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    for i in 0..x.numel() {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        let numeric = (f(&xp) - f(&xm)) / (2.0 * eps);
+        let a = analytic.data()[i];
+        let abs = (numeric - a).abs();
+        let rel = abs / numeric.abs().max(a.abs()).max(1.0);
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(rel);
+    }
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+    }
+}
+
+/// Convenience: asserts that `analytic` matches the numeric gradient of `f`
+/// at `x` within `tol`.
+///
+/// # Panics
+/// Panics with a diagnostic message when the check fails.
+pub fn assert_grad_close(x: &Tensor, analytic: &Tensor, tol: f32, f: impl FnMut(&Tensor) -> f32) {
+    // ε = 3e-3 balances O(ε²) truncation error against f32 cancellation for
+    // the strongly curved losses (softmax·GELU compositions) checked here.
+    let report = check_input_grad(x, analytic, 3e-3, f);
+    assert!(
+        report.passes(tol),
+        "gradient check failed: max_abs_err={}, max_rel_err={} (tol {tol})",
+        report.max_abs_err,
+        report.max_rel_err
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_gradient_passes() {
+        // f(x) = Σ x², df/dx = 2x
+        let x = Tensor::from_vec(vec![1.0, -2.0, 3.0], [3]).unwrap();
+        let analytic = x.scale(2.0);
+        let report = check_input_grad(&x, &analytic, 1e-3, |t| {
+            t.data().iter().map(|v| v * v).sum()
+        });
+        assert!(report.passes(1e-2), "{report:?}");
+    }
+
+    #[test]
+    fn wrong_gradient_fails() {
+        let x = Tensor::from_vec(vec![1.0, -2.0, 3.0], [3]).unwrap();
+        let wrong = x.scale(3.0); // should be 2x
+        let report = check_input_grad(&x, &wrong, 1e-3, |t| {
+            t.data().iter().map(|v| v * v).sum()
+        });
+        assert!(!report.passes(1e-2));
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient check failed")]
+    fn assert_grad_close_panics_on_mismatch() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], [2]).unwrap();
+        let wrong = Tensor::zeros([2]);
+        assert_grad_close(&x, &wrong, 1e-3, |t| t.data().iter().map(|v| v * v).sum());
+    }
+}

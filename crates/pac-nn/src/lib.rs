@@ -1,0 +1,47 @@
+//! # pac-nn
+//!
+//! Neural-network layers with **explicit, hand-derived forward and backward
+//! passes** — the style used by high-performance training systems, and
+//! exactly the interface pipeline-parallel stage execution needs:
+//!
+//! * `forward(&self, x) -> (y, Ctx)` is pure with respect to parameters, so
+//!   multiple micro-batches can be in flight on one stage concurrently
+//!   (1F1B scheduling);
+//! * `backward(&mut self, ctx, dy) -> dx` consumes the per-micro-batch
+//!   context and accumulates parameter gradients.
+//!
+//! Every layer's backward pass is validated against central finite
+//! differences in its unit tests (see [`gradcheck`]).
+//!
+//! The crate deliberately avoids trait objects on the hot path: the
+//! transformer block composes concrete layers, and per-layer contexts are
+//! plain structs moved by value between the forward and backward halves.
+
+#![deny(missing_docs)]
+
+pub mod activation;
+pub mod attention;
+pub mod dropout;
+pub mod embedding;
+pub mod feedforward;
+pub mod gradcheck;
+pub mod linear;
+pub mod loss;
+pub mod norm;
+pub mod optim;
+pub mod param;
+pub mod schedule;
+pub mod transformer;
+
+pub use activation::Activation;
+pub use attention::{AttentionCtx, MultiHeadAttention};
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use feedforward::{FeedForward, FeedForwardCtx};
+pub use linear::{Linear, LinearCtx};
+pub use loss::{cross_entropy, cross_entropy_smoothed, mse};
+pub use norm::{LayerNorm, LayerNormCtx};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use param::{Module, Param};
+pub use schedule::LrSchedule;
+pub use transformer::{TransformerLayer, TransformerLayerCtx};

@@ -1,0 +1,145 @@
+//! Learning-rate schedules for fine-tuning runs.
+
+/// A learning-rate schedule: maps a 0-based step index to a multiplier of
+/// the base learning rate.
+///
+/// ```
+/// use pac_nn::LrSchedule;
+///
+/// let s = LrSchedule::Warmup { warmup: 4 };
+/// assert_eq!(s.multiplier(0), 0.25);
+/// assert_eq!(s.lr_at(0.01, 100), 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant base LR.
+    Constant,
+    /// Linear warmup over `warmup` steps, then constant.
+    Warmup {
+        /// Number of warmup steps.
+        warmup: usize,
+    },
+    /// Linear warmup then linear decay to zero at `total` steps.
+    WarmupLinearDecay {
+        /// Number of warmup steps.
+        warmup: usize,
+        /// Total steps (decay endpoint).
+        total: usize,
+    },
+    /// Linear warmup then cosine decay to `floor` at `total` steps.
+    WarmupCosine {
+        /// Number of warmup steps.
+        warmup: usize,
+        /// Total steps.
+        total: usize,
+        /// Final multiplier (≥ 0).
+        floor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The LR multiplier at `step` (0-based).
+    pub fn multiplier(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Warmup { warmup } => {
+                if warmup == 0 || step >= warmup {
+                    1.0
+                } else {
+                    (step + 1) as f32 / warmup as f32
+                }
+            }
+            LrSchedule::WarmupLinearDecay { warmup, total } => {
+                let w = LrSchedule::Warmup { warmup }.multiplier(step);
+                if step < warmup || total <= warmup {
+                    w
+                } else {
+                    let span = (total - warmup) as f32;
+                    let done = (step - warmup) as f32;
+                    (1.0 - done / span).max(0.0)
+                }
+            }
+            LrSchedule::WarmupCosine {
+                warmup,
+                total,
+                floor,
+            } => {
+                let w = LrSchedule::Warmup { warmup }.multiplier(step);
+                if step < warmup || total <= warmup {
+                    w
+                } else {
+                    let span = (total - warmup) as f32;
+                    let done = ((step - warmup) as f32).min(span);
+                    let cos = 0.5 * (1.0 + (std::f32::consts::PI * done / span).cos());
+                    floor + (1.0 - floor) * cos
+                }
+            }
+        }
+    }
+
+    /// The absolute LR at `step` for a given base LR.
+    pub fn lr_at(&self, base_lr: f32, step: usize) -> f32 {
+        base_lr * self.multiplier(step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        for s in [0usize, 5, 1000] {
+            assert_eq!(LrSchedule::Constant.multiplier(s), 1.0);
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { warmup: 4 };
+        assert_eq!(s.multiplier(0), 0.25);
+        assert_eq!(s.multiplier(1), 0.5);
+        assert_eq!(s.multiplier(3), 1.0);
+        assert_eq!(s.multiplier(100), 1.0);
+        // Degenerate warmup of zero steps.
+        assert_eq!(LrSchedule::Warmup { warmup: 0 }.multiplier(0), 1.0);
+    }
+
+    #[test]
+    fn linear_decay_reaches_zero() {
+        let s = LrSchedule::WarmupLinearDecay {
+            warmup: 2,
+            total: 10,
+        };
+        assert!(s.multiplier(1) <= 1.0);
+        assert_eq!(s.multiplier(2), 1.0);
+        assert!((s.multiplier(6) - 0.5).abs() < 1e-6);
+        assert_eq!(s.multiplier(10), 0.0);
+        assert_eq!(s.multiplier(50), 0.0);
+    }
+
+    #[test]
+    fn cosine_decays_smoothly_to_floor() {
+        let s = LrSchedule::WarmupCosine {
+            warmup: 0,
+            total: 100,
+            floor: 0.1,
+        };
+        assert!((s.multiplier(0) - 1.0).abs() < 1e-6);
+        assert!((s.multiplier(100) - 0.1).abs() < 1e-6);
+        // Monotone decreasing after warmup.
+        let mut prev = f32::INFINITY;
+        for step in 0..=100 {
+            let m = s.multiplier(step);
+            assert!(m <= prev + 1e-6, "not monotone at {step}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn lr_at_scales_base() {
+        let s = LrSchedule::Warmup { warmup: 2 };
+        assert_eq!(s.lr_at(0.01, 0), 0.005);
+        assert_eq!(s.lr_at(0.01, 5), 0.01);
+    }
+}

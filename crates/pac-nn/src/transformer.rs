@@ -1,0 +1,301 @@
+//! Pre-norm transformer layer (encoder or decoder flavor).
+
+use crate::attention::{AttentionCtx, MultiHeadAttention};
+use crate::feedforward::{FeedForward, FeedForwardCtx};
+use crate::norm::{LayerNorm, LayerNormCtx};
+use crate::param::{Module, Param};
+use pac_tensor::{Result, Tensor};
+use rand::Rng;
+
+/// Context saved by [`TransformerLayer::forward`].
+#[derive(Debug, Clone)]
+pub struct TransformerLayerCtx {
+    ln1: LayerNormCtx,
+    attn: AttentionCtx,
+    cross: Option<(LayerNormCtx, AttentionCtx)>,
+    ln2: LayerNormCtx,
+    ffn: FeedForwardCtx,
+    dims: Vec<usize>,
+}
+
+/// A pre-norm transformer layer:
+///
+/// ```text
+/// h1 = x  + SelfAttn(LN1(x))          (causal in decoder layers)
+/// h2 = h1 + CrossAttn(LNc(h1), enc)   (decoder layers only)
+/// y  = h2 + FFN(LN2(h2))
+/// ```
+///
+/// Encoder layers omit the cross-attention sub-block. Pre-norm is used by
+/// both T5 and (in its stable variants) BART-class models and keeps deep
+/// micro-models trainable without LR warmup.
+#[derive(Debug, Clone)]
+pub struct TransformerLayer {
+    /// Pre-self-attention LayerNorm.
+    pub ln1: LayerNorm,
+    /// Self-attention block.
+    pub self_attn: MultiHeadAttention,
+    /// Optional (decoder) cross-attention with its LayerNorm.
+    pub cross_attn: Option<(LayerNorm, MultiHeadAttention)>,
+    /// Pre-FFN LayerNorm.
+    pub ln2: LayerNorm,
+    /// Feed-forward block.
+    pub ffn: FeedForward,
+    /// Whether self-attention is causally masked (decoder).
+    pub causal: bool,
+}
+
+impl TransformerLayer {
+    /// Creates an encoder layer (bidirectional self-attention, no
+    /// cross-attention).
+    pub fn encoder(
+        name: &str,
+        rng: &mut impl Rng,
+        dim: usize,
+        heads: usize,
+        ff_dim: usize,
+        act: crate::Activation,
+    ) -> Self {
+        TransformerLayer {
+            ln1: LayerNorm::new(&format!("{name}.ln1"), dim),
+            self_attn: MultiHeadAttention::new(&format!("{name}.self"), rng, dim, heads),
+            cross_attn: None,
+            ln2: LayerNorm::new(&format!("{name}.ln2"), dim),
+            ffn: FeedForward::new(&format!("{name}.ffn"), rng, dim, ff_dim, act),
+            causal: false,
+        }
+    }
+
+    /// Creates a decoder layer (causal self-attention + cross-attention).
+    pub fn decoder(
+        name: &str,
+        rng: &mut impl Rng,
+        dim: usize,
+        heads: usize,
+        ff_dim: usize,
+        act: crate::Activation,
+    ) -> Self {
+        TransformerLayer {
+            ln1: LayerNorm::new(&format!("{name}.ln1"), dim),
+            self_attn: MultiHeadAttention::new(&format!("{name}.self"), rng, dim, heads),
+            cross_attn: Some((
+                LayerNorm::new(&format!("{name}.lnc"), dim),
+                MultiHeadAttention::new(&format!("{name}.cross"), rng, dim, heads),
+            )),
+            ln2: LayerNorm::new(&format!("{name}.ln2"), dim),
+            ffn: FeedForward::new(&format!("{name}.ffn"), rng, dim, ff_dim, act),
+            causal: true,
+        }
+    }
+
+    /// True when this layer has a cross-attention sub-block.
+    pub fn is_decoder(&self) -> bool {
+        self.cross_attn.is_some()
+    }
+
+    /// Forward pass. `enc` must be `Some` for decoder layers and is ignored
+    /// by encoder layers.
+    ///
+    /// # Errors
+    /// Returns shape errors on malformed inputs, or a rank error if a
+    /// decoder layer is called without `enc`.
+    pub fn forward(
+        &self,
+        x: &Tensor,
+        enc: Option<&Tensor>,
+    ) -> Result<(Tensor, TransformerLayerCtx)> {
+        let dims = x.dims().to_vec();
+
+        let (n1, ln1_ctx) = self.ln1.forward(x)?;
+        let (a, attn_ctx) = self.self_attn.forward(&n1, &n1, self.causal)?;
+        let h1 = x.add(&a)?;
+
+        let (h2, cross_ctx) = if let Some((lnc, cross)) = &self.cross_attn {
+            let enc = enc.ok_or(pac_tensor::TensorError::RankMismatch {
+                op: "decoder layer requires encoder output",
+                expected: 3,
+                actual: 0,
+            })?;
+            let (nc, lnc_ctx) = lnc.forward(&h1)?;
+            let (c, cctx) = cross.forward(&nc, enc, false)?;
+            (h1.add(&c)?, Some((lnc_ctx, cctx)))
+        } else {
+            (h1, None)
+        };
+
+        let (n2, ln2_ctx) = self.ln2.forward(&h2)?;
+        let (f, ffn_ctx) = self.ffn.forward(&n2)?;
+        let y = h2.add(&f.reshape(dims.clone())?)?;
+
+        Ok((
+            y,
+            TransformerLayerCtx {
+                ln1: ln1_ctx,
+                attn: attn_ctx,
+                cross: cross_ctx,
+                ln2: ln2_ctx,
+                ffn: ffn_ctx,
+                dims,
+            },
+        ))
+    }
+
+    /// Backward pass. Returns `(dx, d_enc)`; `d_enc` is `Some` only for
+    /// decoder layers and carries the gradient flowing into the encoder
+    /// output.
+    ///
+    /// # Errors
+    /// Propagates shape errors from sub-blocks.
+    pub fn backward(
+        &mut self,
+        ctx: &TransformerLayerCtx,
+        dy: &Tensor,
+    ) -> Result<(Tensor, Option<Tensor>)> {
+        // FFN branch: y = h2 + FFN(LN2(h2)).
+        let d_f = self.ffn.backward(&ctx.ffn, dy)?;
+        let d_n2 = self.ln2.backward(&ctx.ln2, &d_f)?;
+        let d_h2 = dy.add(&d_n2.reshape(ctx.dims.clone())?)?;
+
+        // Cross-attention branch.
+        let (d_h1, d_enc) = if let Some((lnc, cross)) = &mut self.cross_attn {
+            let (lnc_ctx, cctx) = ctx
+                .cross
+                .as_ref()
+                .expect("decoder ctx must contain cross-attention context");
+            let (d_nc, d_enc) = cross.backward(cctx, &d_h2)?;
+            let d_from_cross = lnc.backward(lnc_ctx, &d_nc)?;
+            (
+                d_h2.add(&d_from_cross.reshape(ctx.dims.clone())?)?,
+                Some(d_enc),
+            )
+        } else {
+            (d_h2, None)
+        };
+
+        // Self-attention branch: h1 = x + SelfAttn(LN1(x)).
+        let (d_n1_q, d_n1_kv) = self.self_attn.backward(&ctx.attn, &d_h1)?;
+        let d_n1 = d_n1_q.add(&d_n1_kv)?;
+        let d_from_attn = self.ln1.backward(&ctx.ln1, &d_n1)?;
+        let dx = d_h1.add(&d_from_attn.reshape(ctx.dims.clone())?)?;
+
+        Ok((dx, d_enc))
+    }
+}
+
+impl Module for TransformerLayer {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.ln1.visit_params(f);
+        self.self_attn.visit_params(f);
+        if let Some((lnc, cross)) = &mut self.cross_attn {
+            lnc.visit_params(f);
+            cross.visit_params(f);
+        }
+        self.ln2.visit_params(f);
+        self.ffn.visit_params(f);
+    }
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        self.ln1.visit_params_ref(f);
+        self.self_attn.visit_params_ref(f);
+        if let Some((lnc, cross)) = &self.cross_attn {
+            lnc.visit_params_ref(f);
+            cross.visit_params_ref(f);
+        }
+        self.ln2.visit_params_ref(f);
+        self.ffn.visit_params_ref(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::assert_grad_close;
+    use crate::Activation;
+    use pac_tensor::{init, rng::seeded};
+
+    #[test]
+    fn encoder_layer_shapes() {
+        let mut rng = seeded(60);
+        let l = TransformerLayer::encoder("enc0", &mut rng, 8, 2, 16, Activation::Gelu);
+        let x = init::randn(&mut rng, [2, 4, 8], 1.0);
+        let (y, _) = l.forward(&x, None).unwrap();
+        assert_eq!(y.dims(), &[2, 4, 8]);
+        assert!(!l.is_decoder());
+    }
+
+    #[test]
+    fn decoder_layer_requires_encoder_output() {
+        let mut rng = seeded(61);
+        let l = TransformerLayer::decoder("dec0", &mut rng, 8, 2, 16, Activation::Gelu);
+        let x = init::randn(&mut rng, [1, 3, 8], 1.0);
+        assert!(l.forward(&x, None).is_err());
+        let enc = init::randn(&mut rng, [1, 5, 8], 1.0);
+        let (y, _) = l.forward(&x, Some(&enc)).unwrap();
+        assert_eq!(y.dims(), &[1, 3, 8]);
+        assert!(l.is_decoder());
+    }
+
+    #[test]
+    fn encoder_gradient_matches_finite_difference() {
+        let mut rng = seeded(62);
+        let l = TransformerLayer::encoder("enc0", &mut rng, 4, 2, 8, Activation::Gelu);
+        let x = init::randn(&mut rng, [1, 3, 4], 0.5);
+        let w = init::randn(&mut rng, [1, 3, 4], 1.0);
+
+        let (_, ctx) = l.forward(&x, None).unwrap();
+        let mut l2 = l.clone();
+        let (dx, d_enc) = l2.backward(&ctx, &w).unwrap();
+        assert!(d_enc.is_none());
+
+        assert_grad_close(&x, &dx, 4e-2, |xp| {
+            l.forward(xp, None).unwrap().0.mul(&w).unwrap().sum()
+        });
+    }
+
+    #[test]
+    fn decoder_gradients_match_finite_difference() {
+        let mut rng = seeded(63);
+        let l = TransformerLayer::decoder("dec0", &mut rng, 4, 2, 8, Activation::Gelu);
+        let x = init::randn(&mut rng, [1, 2, 4], 0.5);
+        let enc = init::randn(&mut rng, [1, 3, 4], 0.5);
+        let w = init::randn(&mut rng, [1, 2, 4], 1.0);
+
+        let (_, ctx) = l.forward(&x, Some(&enc)).unwrap();
+        let mut l2 = l.clone();
+        let (dx, d_enc) = l2.backward(&ctx, &w).unwrap();
+        let d_enc = d_enc.unwrap();
+
+        assert_grad_close(&x, &dx, 4e-2, |xp| {
+            l.forward(xp, Some(&enc)).unwrap().0.mul(&w).unwrap().sum()
+        });
+        assert_grad_close(&enc, &d_enc, 4e-2, |ep| {
+            l.forward(&x, Some(ep)).unwrap().0.mul(&w).unwrap().sum()
+        });
+    }
+
+    #[test]
+    fn residual_path_preserves_identity_at_zero_weights() {
+        // If every sub-block output is (near) zero, y ≈ x via the residuals.
+        let mut rng = seeded(64);
+        let mut l = TransformerLayer::encoder("enc0", &mut rng, 4, 1, 8, Activation::Gelu);
+        l.visit_params(&mut |p| {
+            if !p.name.contains("gamma") {
+                p.value.data_mut().fill(0.0);
+            }
+        });
+        let x = init::randn(&mut rng, [1, 2, 4], 1.0);
+        let (y, _) = l.forward(&x, None).unwrap();
+        assert!(y.approx_eq(&x, 1e-5));
+    }
+
+    #[test]
+    fn param_traversal_counts_subblocks() {
+        let mut rng = seeded(65);
+        let enc = TransformerLayer::encoder("e", &mut rng, 8, 2, 16, Activation::Gelu);
+        let dec = TransformerLayer::decoder("d", &mut rng, 8, 2, 16, Activation::Gelu);
+        // Decoder adds one MHA (4 * d * d) and one LayerNorm (2 * d).
+        assert_eq!(
+            dec.num_params(),
+            enc.num_params() + 4 * 8 * 8 + 2 * 8
+        );
+    }
+}

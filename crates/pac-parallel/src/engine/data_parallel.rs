@@ -1,0 +1,327 @@
+//! Real data-parallel training with AllReduce-style gradient averaging.
+//!
+//! Each replica ("device") computes gradients on its shard in parallel
+//! (Rayon); [`allreduce_mean`] then averages the gradients across replicas
+//! and writes the result back into every replica — semantically a ring
+//! AllReduce. With equal shard sizes this is bit-for-bit the mean-gradient
+//! of the concatenated batch, which the tests verify against single-device
+//! training.
+
+use pac_nn::{cross_entropy, mse, Module};
+use pac_peft::Tuner;
+use pac_tensor::{Result, Tensor, TensorError};
+use rayon::prelude::*;
+
+/// Averages trainable gradients across replicas in place (AllReduce-mean).
+///
+/// Replicas must have identical parameter structure.
+///
+/// # Panics
+/// Panics if replicas disagree on parameter count or shapes.
+pub fn allreduce_mean<M: Module>(replicas: &mut [M]) {
+    let n = replicas.len();
+    if n <= 1 {
+        return;
+    }
+    // Gather.
+    let mut sums: Vec<Tensor> = Vec::new();
+    {
+        let mut first = true;
+        for r in replicas.iter() {
+            let mut idx = 0usize;
+            r.visit_params_ref(&mut |p| {
+                if !p.trainable {
+                    return;
+                }
+                if first {
+                    sums.push(p.grad.clone());
+                } else {
+                    sums[idx]
+                        .add_assign(&p.grad)
+                        .expect("replica gradient shapes must match");
+                }
+                idx += 1;
+            });
+            first = false;
+        }
+    }
+    let inv = 1.0 / n as f32;
+    for s in &mut sums {
+        s.scale_in_place(inv);
+    }
+    // Scatter.
+    for r in replicas.iter_mut() {
+        let mut idx = 0usize;
+        r.visit_params(&mut |p| {
+            if !p.trainable {
+                return;
+            }
+            p.grad = sums[idx].clone();
+            idx += 1;
+        });
+    }
+}
+
+/// One data-parallel step over token shards: each replica computes its
+/// shard's gradient concurrently; gradients are then AllReduce-averaged.
+///
+/// `shards[k]` is `(tokens, class_targets)` for replica `k`. Returns the
+/// mean loss across replicas.
+///
+/// # Errors
+/// Returns an error if shard and replica counts differ or any forward
+/// fails.
+pub fn dp_step_tokens(
+    replicas: &mut [Tuner],
+    shards: &[(Vec<Vec<usize>>, Vec<usize>)],
+) -> Result<f32> {
+    if replicas.len() != shards.len() || replicas.is_empty() {
+        return Err(TensorError::ShapeMismatch {
+            op: "dp_step_tokens",
+            lhs: vec![replicas.len()],
+            rhs: vec![shards.len()],
+        });
+    }
+    let losses: Vec<Result<f32>> = replicas
+        .par_iter_mut()
+        .zip(shards.par_iter())
+        .map(|(tuner, (tokens, targets))| {
+            let (logits, ctx) = tuner.forward(tokens)?;
+            let (loss, dl) = cross_entropy(&logits, targets)?;
+            tuner.backward(&ctx, &dl)?;
+            Ok(loss)
+        })
+        .collect();
+    let mut total = 0.0f32;
+    for l in losses {
+        total += l?;
+    }
+    allreduce_mean(replicas);
+    Ok(total / replicas.len() as f32)
+}
+
+/// One cache-enabled data-parallel step (PAC epochs ≥ 2, paper §5.2): each
+/// replica trains the Parallel-Adapters side network from its shard's
+/// cached activations.
+///
+/// `shards[k]` is `(per-layer cached activations, targets)` for replica
+/// `k`; `regression` selects MSE over cross-entropy.
+///
+/// # Errors
+/// Returns an error on count mismatches or if a replica is not a
+/// Parallel-Adapters tuner.
+pub fn dp_step_cached(
+    replicas: &mut [Tuner],
+    shards: &[(Vec<Tensor>, Vec<f32>)],
+    regression: bool,
+) -> Result<f32> {
+    if replicas.len() != shards.len() || replicas.is_empty() {
+        return Err(TensorError::ShapeMismatch {
+            op: "dp_step_cached",
+            lhs: vec![replicas.len()],
+            rhs: vec![shards.len()],
+        });
+    }
+    let losses: Vec<Result<f32>> = replicas
+        .par_iter_mut()
+        .zip(shards.par_iter())
+        .map(|(tuner, (acts, targets))| {
+            let (logits, ctx) = tuner.forward_cached(acts)?;
+            let (loss, dl) = if regression {
+                let target = Tensor::from_vec(targets.clone(), [targets.len(), 1])?;
+                mse(&logits, &target)?
+            } else {
+                let classes: Vec<usize> = targets.iter().map(|&t| t as usize).collect();
+                cross_entropy(&logits, &classes)?
+            };
+            tuner.backward(&ctx, &dl)?;
+            Ok(loss)
+        })
+        .collect();
+    let mut total = 0.0f32;
+    for l in losses {
+        total += l?;
+    }
+    allreduce_mean(replicas);
+    Ok(total / replicas.len() as f32)
+}
+
+/// Redistribution step between PAC phase 1 and phase 2 (paper §5.2):
+/// equalizes replica parameters by broadcasting replica 0's trainable
+/// values (in a real deployment this is the collective that also ships the
+/// activation cache).
+pub fn broadcast_params(replicas: &mut [Tuner]) {
+    if replicas.len() <= 1 {
+        return;
+    }
+    let mut values: Vec<Tensor> = Vec::new();
+    replicas[0].visit_params_ref(&mut |p| {
+        if p.trainable {
+            values.push(p.value.clone());
+        }
+    });
+    for r in replicas[1..].iter_mut() {
+        let mut idx = 0usize;
+        r.visit_params(&mut |p| {
+            if p.trainable {
+                p.value = values[idx].clone();
+                idx += 1;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pac_model::ModelConfig;
+    use pac_nn::{Adam, Optimizer};
+    use pac_peft::Technique;
+    use pac_tensor::rng::seeded;
+    use rand::Rng as _;
+
+    fn batch(seed: u64, b: usize, s: usize) -> (Vec<Vec<usize>>, Vec<usize>) {
+        let mut rng = seeded(seed);
+        let toks = (0..b)
+            .map(|_| (0..s).map(|_| rng.gen_range(0..64)).collect())
+            .collect();
+        let targets = (0..b).map(|_| rng.gen_range(0..2)).collect();
+        (toks, targets)
+    }
+
+    #[test]
+    fn dp_gradients_match_single_device() {
+        let cfg = ModelConfig::micro(2, 1, 16, 2);
+        let base = Tuner::new(Technique::adapters_default(), &cfg, 2, &mut seeded(210));
+        let (tokens, targets) = batch(211, 4, 5);
+
+        // Single device, full batch.
+        let mut single = base.clone();
+        let (logits, ctx) = single.forward(&tokens).unwrap();
+        let (_, dl) = cross_entropy(&logits, &targets).unwrap();
+        single.backward(&ctx, &dl).unwrap();
+        let mut expected: Vec<Tensor> = Vec::new();
+        single.visit_params_ref(&mut |p| {
+            if p.trainable {
+                expected.push(p.grad.clone());
+            }
+        });
+
+        // Two replicas, half batch each.
+        let mut replicas = vec![base.clone(), base];
+        let shards = vec![
+            (tokens[..2].to_vec(), targets[..2].to_vec()),
+            (tokens[2..].to_vec(), targets[2..].to_vec()),
+        ];
+        dp_step_tokens(&mut replicas, &shards).unwrap();
+
+        for r in &replicas {
+            let mut idx = 0usize;
+            r.visit_params_ref(&mut |p| {
+                if p.trainable {
+                    assert!(
+                        p.grad.approx_eq(&expected[idx], 1e-5),
+                        "grad {idx} diverged: |Δ|={}",
+                        p.grad.sub(&expected[idx]).unwrap().norm()
+                    );
+                    idx += 1;
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn replicas_stay_in_sync_across_steps() {
+        let cfg = ModelConfig::micro(1, 1, 16, 2);
+        let base = Tuner::new(Technique::parallel_default(), &cfg, 2, &mut seeded(212));
+        let mut replicas = vec![base.clone(), base.clone(), base];
+        let mut opts: Vec<Adam> = (0..3).map(|_| Adam::new(1e-2)).collect();
+        for step in 0..3 {
+            let shards: Vec<_> = (0..3).map(|k| batch(300 + step * 10 + k, 2, 4)).collect();
+            for r in replicas.iter_mut() {
+                r.zero_grads();
+            }
+            dp_step_tokens(&mut replicas, &shards).unwrap();
+            for (r, o) in replicas.iter_mut().zip(opts.iter_mut()) {
+                o.step(r);
+            }
+        }
+        // All replicas must hold identical parameters after synced steps.
+        let mut p0: Vec<Tensor> = Vec::new();
+        replicas[0].visit_params_ref(&mut |p| p0.push(p.value.clone()));
+        for r in &replicas[1..] {
+            let mut idx = 0;
+            r.visit_params_ref(&mut |p| {
+                assert!(p.value.approx_eq(&p0[idx], 1e-6), "replica diverged at {idx}");
+                idx += 1;
+            });
+        }
+    }
+
+    #[test]
+    fn cached_dp_trains_parallel_adapters() {
+        let cfg = ModelConfig::micro(2, 1, 16, 2);
+        let base = Tuner::new(Technique::parallel_default(), &cfg, 2, &mut seeded(213));
+        // Build cached activations by running the full forward once.
+        let mut warm = base.clone();
+        let (t0, y0) = batch(214, 2, 4);
+        let (t1, y1) = batch(215, 2, 4);
+        let (_, c0) = warm.forward(&t0).unwrap();
+        let acts0 = warm.cacheable_acts(&c0).unwrap().to_vec();
+        let (_, c1) = warm.forward(&t1).unwrap();
+        let acts1 = warm.cacheable_acts(&c1).unwrap().to_vec();
+
+        let mut replicas = vec![base.clone(), base];
+        let shards = vec![
+            (acts0, y0.iter().map(|&c| c as f32).collect::<Vec<f32>>()),
+            (acts1, y1.iter().map(|&c| c as f32).collect::<Vec<f32>>()),
+        ];
+        let mut losses = Vec::new();
+        let mut opts: Vec<Adam> = (0..2).map(|_| Adam::new(1e-2)).collect();
+        for _ in 0..10 {
+            for r in replicas.iter_mut() {
+                r.zero_grads();
+            }
+            let l = dp_step_cached(&mut replicas, &shards, false).unwrap();
+            losses.push(l);
+            for (r, o) in replicas.iter_mut().zip(opts.iter_mut()) {
+                o.step(r);
+            }
+        }
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.9),
+            "cached DP loss did not drop: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn shard_count_mismatch_is_error() {
+        let cfg = ModelConfig::micro(1, 1, 16, 2);
+        let base = Tuner::new(Technique::Full, &cfg, 2, &mut seeded(216));
+        let mut replicas = vec![base];
+        let shards = vec![batch(217, 2, 4), batch(218, 2, 4)];
+        assert!(dp_step_tokens(&mut replicas, &shards).is_err());
+    }
+
+    #[test]
+    fn broadcast_synchronizes_parameters() {
+        let cfg = ModelConfig::micro(1, 1, 16, 2);
+        let a = Tuner::new(Technique::parallel_default(), &cfg, 2, &mut seeded(219));
+        let b = Tuner::new(Technique::parallel_default(), &cfg, 2, &mut seeded(220));
+        let mut replicas = vec![a, b];
+        broadcast_params(&mut replicas);
+        let mut p0: Vec<Tensor> = Vec::new();
+        replicas[0].visit_params_ref(&mut |p| {
+            if p.trainable {
+                p0.push(p.value.clone());
+            }
+        });
+        let mut idx = 0;
+        replicas[1].visit_params_ref(&mut |p| {
+            if p.trainable {
+                assert!(p.value.approx_eq(&p0[idx], 0.0));
+                idx += 1;
+            }
+        });
+    }
+}

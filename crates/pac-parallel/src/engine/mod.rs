@@ -1,0 +1,15 @@
+//! Real multi-threaded training engines at micro scale.
+//!
+//! These engines execute actual tensor math on real threads — one thread per
+//! simulated device — and are tested for gradient equivalence against
+//! single-device training. They demonstrate that the parallel disciplines
+//! the timeline simulator models (1F1B pipelining, data-parallel gradient
+//! averaging, and their hybrid) are *correct*, not just fast on paper.
+
+pub mod data_parallel;
+pub mod hybrid;
+pub mod pipeline;
+
+pub use data_parallel::{allreduce_mean, dp_step_cached, dp_step_tokens};
+pub use hybrid::HybridEngine;
+pub use pipeline::{run_pipeline_mini_batch, PipelineOutcome};

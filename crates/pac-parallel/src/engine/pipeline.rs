@@ -1,0 +1,317 @@
+//! Real threaded pipeline-parallel engine with 1F1B scheduling.
+//!
+//! One OS thread per stage ("device"); bounded crossbeam channels carry
+//! activations forward and gradients backward, modeling the LAN links.
+//! Every stage executes exactly the op sequence from
+//! [`crate::schedule::stage_op_sequence`], so the real engine and the
+//! timeline simulator implement the *same* discipline.
+
+use crate::schedule::{stage_op_sequence, Op, Schedule};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use pac_model::{StageCtx, StageData, StageModel};
+use pac_nn::cross_entropy;
+use pac_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Result of running one mini-batch through the real pipeline.
+#[derive(Debug)]
+pub struct PipelineOutcome {
+    /// The stages, with gradients accumulated (returned because stage
+    /// threads take ownership).
+    pub stages: Vec<StageModel>,
+    /// Mean loss over micro-batches.
+    pub loss: f32,
+    /// Per-stage peak retained activation bytes observed (live validation
+    /// of the 1F1B memory claim).
+    pub peak_act_bytes: Vec<usize>,
+}
+
+/// Runs one mini-batch of `micro_batches` through the stage chain with the
+/// given schedule. `micro_batches[m]` is `(tokens, class_targets)`; the
+/// last stage computes softmax cross-entropy and scales gradients by
+/// `1 / M` so the accumulated gradient equals the full-batch mean gradient.
+///
+/// # Panics
+/// Panics if a stage thread panics (gradient-math bugs should fail loudly
+/// in tests) or if `stages`/`micro_batches` are empty.
+pub fn run_pipeline_mini_batch(
+    stages: Vec<StageModel>,
+    micro_batches: Vec<(Vec<Vec<usize>>, Vec<usize>)>,
+    schedule: Schedule,
+) -> PipelineOutcome {
+    assert!(!stages.is_empty(), "pipeline needs at least one stage");
+    assert!(!micro_batches.is_empty(), "pipeline needs micro-batches");
+    let s_n = stages.len();
+    let m_n = micro_batches.len();
+
+    // Channel capacity bounds in-flight transfers like a real link buffer.
+    let cap = m_n.max(1);
+    let mut fwd_txs: Vec<Option<Sender<(usize, StageData)>>> = Vec::new();
+    let mut fwd_rxs: Vec<Option<Receiver<(usize, StageData)>>> = vec![None];
+    let mut bwd_txs: Vec<Option<Sender<(usize, Tensor)>>> = vec![None];
+    let mut bwd_rxs: Vec<Option<Receiver<(usize, Tensor)>>> = Vec::new();
+    for _ in 0..s_n - 1 {
+        let (ftx, frx) = bounded(cap);
+        fwd_txs.push(Some(ftx));
+        fwd_rxs.push(Some(frx));
+        let (btx, brx) = bounded(cap);
+        bwd_txs.push(Some(btx));
+        bwd_rxs.push(Some(brx));
+    }
+    fwd_txs.push(None);
+    bwd_rxs.push(None);
+
+    let results: Vec<(StageModel, f32, usize)> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(s_n);
+        for (s, mut stage) in stages.into_iter().enumerate() {
+            let fwd_tx = fwd_txs[s].take();
+            let fwd_rx = fwd_rxs[s].take();
+            let bwd_tx = bwd_txs[s].take();
+            let bwd_rx = bwd_rxs[s].take();
+            let mb_inputs: Vec<(Vec<Vec<usize>>, Vec<usize>)> = if s == 0 {
+                micro_batches.clone()
+            } else if s == s_n - 1 {
+                micro_batches.clone() // needs targets
+            } else {
+                Vec::new()
+            };
+            handles.push(scope.spawn(move || {
+                let ops = stage_op_sequence(schedule, s, s_n, m_n);
+                let mut ctxs: HashMap<usize, StageCtx> = HashMap::new();
+                let mut outputs: HashMap<usize, Tensor> = HashMap::new();
+                let mut loss_sum = 0.0f32;
+                let mut live_act = 0usize;
+                let mut peak_act = 0usize;
+                for op in ops {
+                    match op {
+                        Op::F(m) => {
+                            let input = if s == 0 {
+                                StageData::Tokens(mb_inputs[m].0.clone())
+                            } else {
+                                let (idx, data) = fwd_rx
+                                    .as_ref()
+                                    .expect("interior stage has a forward receiver")
+                                    .recv()
+                                    .expect("upstream stage closed unexpectedly");
+                                debug_assert_eq!(idx, m, "forward arrived out of order");
+                                data
+                            };
+                            let (out, ctx) =
+                                stage.forward(input).expect("stage forward failed");
+                            live_act += ctx.activation_bytes;
+                            peak_act = peak_act.max(live_act);
+                            ctxs.insert(m, ctx);
+                            match out {
+                                StageData::Logits(l) => {
+                                    outputs.insert(m, l);
+                                }
+                                other => {
+                                    fwd_tx
+                                        .as_ref()
+                                        .expect("non-final stage has a forward sender")
+                                        .send((m, other))
+                                        .expect("downstream stage closed unexpectedly");
+                                }
+                            }
+                        }
+                        Op::B(m) => {
+                            let grad = if s == s_n - 1 {
+                                let logits =
+                                    outputs.remove(&m).expect("logits missing for backward");
+                                let (loss, dl) = cross_entropy(&logits, &mb_inputs[m].1)
+                                    .expect("loss computation failed");
+                                loss_sum += loss;
+                                dl.scale(1.0 / m_n as f32)
+                            } else {
+                                let (idx, g) = bwd_rx
+                                    .as_ref()
+                                    .expect("non-final stage has a backward receiver")
+                                    .recv()
+                                    .expect("downstream stage closed unexpectedly");
+                                debug_assert_eq!(idx, m, "backward arrived out of order");
+                                g
+                            };
+                            let ctx = ctxs.remove(&m).expect("ctx missing for backward");
+                            let upstream =
+                                stage.backward(&ctx, &grad).expect("stage backward failed");
+                            live_act -= ctx.activation_bytes;
+                            if let Some(g) = upstream {
+                                bwd_tx
+                                    .as_ref()
+                                    .expect("non-first stage has a backward sender")
+                                    .send((m, g))
+                                    .expect("upstream stage closed unexpectedly");
+                            }
+                        }
+                    }
+                }
+                (stage, loss_sum, peak_act)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stage thread panicked"))
+            .collect()
+    });
+
+    let mut stages_out = Vec::with_capacity(s_n);
+    let mut loss = 0.0f32;
+    let mut peaks = Vec::with_capacity(s_n);
+    for (stage, l, peak) in results {
+        stages_out.push(stage);
+        loss += l;
+        peaks.push(peak);
+    }
+    PipelineOutcome {
+        stages: stages_out,
+        loss: loss / m_n as f32,
+        peak_act_bytes: peaks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pac_model::{EncoderModel, ModelConfig};
+    use pac_nn::Module;
+    use pac_tensor::rng::seeded;
+    use rand::Rng as _;
+
+    fn model(seed: u64, layers: usize) -> EncoderModel {
+        let cfg = ModelConfig::micro(layers, 0, 16, 2);
+        EncoderModel::new(&cfg, 2, &mut seeded(seed))
+    }
+
+    fn micro_batches(seed: u64, m: usize, b: usize, s: usize) -> Vec<(Vec<Vec<usize>>, Vec<usize>)> {
+        let mut rng = seeded(seed);
+        (0..m)
+            .map(|_| {
+                let toks: Vec<Vec<usize>> = (0..b)
+                    .map(|_| (0..s).map(|_| rng.gen_range(0..64)).collect())
+                    .collect();
+                let targets: Vec<usize> = (0..b).map(|_| rng.gen_range(0..2)).collect();
+                (toks, targets)
+            })
+            .collect()
+    }
+
+    /// Reference: monolithic gradient over the concatenated mini-batch.
+    fn monolithic_grads(
+        m: &EncoderModel,
+        mbs: &[(Vec<Vec<usize>>, Vec<usize>)],
+    ) -> (f32, Vec<(String, Tensor)>) {
+        let mut model = m.clone();
+        let all_tokens: Vec<Vec<usize>> = mbs.iter().flat_map(|(t, _)| t.clone()).collect();
+        let all_targets: Vec<usize> = mbs.iter().flat_map(|(_, t)| t.clone()).collect();
+        let (logits, ctx) = model.forward(&all_tokens).unwrap();
+        let (loss, dl) = cross_entropy(&logits, &all_targets).unwrap();
+        model.backward(&ctx, &dl).unwrap();
+        let mut grads = Vec::new();
+        model.visit_params_ref(&mut |p| grads.push((p.name.clone(), p.grad.clone())));
+        (loss, grads)
+    }
+
+    fn pipeline_grads(outcome: &PipelineOutcome) -> Vec<(String, Tensor)> {
+        let mut grads = Vec::new();
+        for s in &outcome.stages {
+            s.visit_params_ref(&mut |p| grads.push((p.name.clone(), p.grad.clone())));
+        }
+        grads
+    }
+
+    #[test]
+    fn pipeline_gradients_match_monolithic_for_both_schedules() {
+        let m = model(200, 4);
+        let mbs = micro_batches(201, 4, 2, 5);
+        let (mono_loss, mono) = monolithic_grads(&m, &mbs);
+        let mono_map: HashMap<String, Tensor> = mono.into_iter().collect();
+
+        for schedule in [Schedule::OneFOneB, Schedule::GPipe] {
+            let stages = m.clone().partition(&[2, 2]).unwrap();
+            let out = run_pipeline_mini_batch(stages, mbs.clone(), schedule);
+            assert!(
+                (out.loss - mono_loss).abs() < 1e-5,
+                "{schedule:?}: loss {} vs {mono_loss}",
+                out.loss
+            );
+            for (name, g) in pipeline_grads(&out) {
+                let mg = &mono_map[&name];
+                assert!(
+                    g.approx_eq(mg, 1e-4),
+                    "{schedule:?}: grad mismatch on {name} (|Δ|={})",
+                    g.sub(mg).unwrap().norm()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wave_limited_gpipe_matches_monolithic_and_bounds_memory() {
+        // The memory-constrained Eco-FL schedule must be *numerically*
+        // identical to the others — it only reorders work.
+        let m = model(208, 4);
+        let mbs = micro_batches(209, 6, 2, 5);
+        let (mono_loss, mono) = monolithic_grads(&m, &mbs);
+        let mono_map: HashMap<String, Tensor> = mono.into_iter().collect();
+        let stages = m.clone().partition(&[2, 2]).unwrap();
+        let out = run_pipeline_mini_batch(stages, mbs.clone(), Schedule::GPipeWave { wave: 2 });
+        assert!((out.loss - mono_loss).abs() < 1e-5);
+        for (name, g) in pipeline_grads(&out) {
+            assert!(g.approx_eq(&mono_map[&name], 1e-4), "{name}");
+        }
+        // And it must hold fewer activations than unbounded GPipe.
+        let stages2 = m.partition(&[2, 2]).unwrap();
+        let unbounded = run_pipeline_mini_batch(stages2, mbs, Schedule::GPipe);
+        assert!(
+            out.peak_act_bytes[0] < unbounded.peak_act_bytes[0],
+            "wave {} vs gpipe {}",
+            out.peak_act_bytes[0],
+            unbounded.peak_act_bytes[0]
+        );
+    }
+
+    #[test]
+    fn deeper_pipelines_still_match() {
+        let m = model(202, 4);
+        let mbs = micro_batches(203, 3, 2, 4);
+        let (_, mono) = monolithic_grads(&m, &mbs);
+        let mono_map: HashMap<String, Tensor> = mono.into_iter().collect();
+        let stages = m.partition(&[1, 1, 1, 1]).unwrap();
+        let out = run_pipeline_mini_batch(stages, mbs, Schedule::OneFOneB);
+        for (name, g) in pipeline_grads(&out) {
+            assert!(g.approx_eq(&mono_map[&name], 1e-4), "{name}");
+        }
+    }
+
+    #[test]
+    fn one_f_one_b_uses_less_activation_memory_than_gpipe() {
+        let m = model(204, 4);
+        let mbs = micro_batches(205, 8, 2, 5);
+        let s1 = m.clone().partition(&[1, 1, 1, 1]).unwrap();
+        let o1 = run_pipeline_mini_batch(s1, mbs.clone(), Schedule::OneFOneB);
+        let s2 = m.partition(&[1, 1, 1, 1]).unwrap();
+        let o2 = run_pipeline_mini_batch(s2, mbs, Schedule::GPipe);
+        // The first stage shows the largest gap: 1F1B keeps ≤ S in flight,
+        // GPipe keeps all M = 8.
+        assert!(
+            o1.peak_act_bytes[0] < o2.peak_act_bytes[0],
+            "1F1B {} vs GPipe {}",
+            o1.peak_act_bytes[0],
+            o2.peak_act_bytes[0]
+        );
+    }
+
+    #[test]
+    fn single_stage_pipeline_degenerates_to_gradient_accumulation() {
+        let m = model(206, 2);
+        let mbs = micro_batches(207, 3, 2, 4);
+        let (mono_loss, mono) = monolithic_grads(&m, &mbs);
+        let mono_map: HashMap<String, Tensor> = mono.into_iter().collect();
+        let stages = m.partition(&[2]).unwrap();
+        let out = run_pipeline_mini_batch(stages, mbs, Schedule::OneFOneB);
+        assert!((out.loss - mono_loss).abs() < 1e-5);
+        for (name, g) in pipeline_grads(&out) {
+            assert!(g.approx_eq(&mono_map[&name], 1e-4), "{name}");
+        }
+    }
+}

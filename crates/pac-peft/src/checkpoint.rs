@@ -1,0 +1,325 @@
+//! Checkpointing of trainable (adapter) parameters.
+//!
+//! PAC's deployment story is "one backbone, many personalizations": the
+//! frozen backbone ships once, and each personalization is only the
+//! technique's trainable parameters — megabytes, not gigabytes. This module
+//! serializes exactly that trainable set in a small self-describing binary
+//! format:
+//!
+//! ```text
+//! magic "PACCKPT1" · u32 entry count · entries…
+//! entry: u32 name len · name bytes · u32 rank · u64 dims… · f32 data…
+//! ```
+//!
+//! All integers are little-endian. Loading matches parameters by name and
+//! verifies shapes, so a checkpoint from a different architecture fails
+//! loudly instead of silently corrupting weights.
+
+use pac_nn::Module;
+use pac_tensor::Tensor;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"PACCKPT1";
+
+/// Errors produced by checkpoint (de)serialization.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The byte stream is not a PAC checkpoint (bad magic or truncation).
+    Format(String),
+    /// The checkpoint does not match the module (missing/extra/mis-shaped
+    /// parameters).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Format(m) => write!(f, "malformed checkpoint: {m}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Serializes every *trainable* parameter of `module` into `w`.
+///
+/// # Errors
+/// Returns I/O errors from the writer.
+pub fn save_trainable<M: Module>(module: &M, w: &mut impl Write) -> Result<(), CheckpointError> {
+    let mut entries: Vec<(String, Tensor)> = Vec::new();
+    module.visit_params_ref(&mut |p| {
+        if p.trainable {
+            entries.push((p.name.clone(), p.value.clone()));
+        }
+    });
+    w.write_all(MAGIC)?;
+    w.write_all(&(entries.len() as u32).to_le_bytes())?;
+    for (name, value) in &entries {
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name.as_bytes())?;
+        w.write_all(&(value.rank() as u32).to_le_bytes())?;
+        for &d in value.dims() {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &v in value.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a checkpoint previously written by [`save_trainable`] into
+/// `module`'s trainable parameters (matched by name).
+///
+/// # Errors
+/// Fails on malformed streams, unknown parameter names, shape mismatches,
+/// or trainable parameters missing from the checkpoint.
+pub fn load_trainable<M: Module>(module: &mut M, r: &mut impl Read) -> Result<(), CheckpointError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Format("bad magic".into()));
+    }
+    let count = read_u32(r)? as usize;
+    let mut loaded: std::collections::HashMap<String, Tensor> = std::collections::HashMap::new();
+    for _ in 0..count {
+        let name_len = read_u32(r)? as usize;
+        if name_len > 4096 {
+            return Err(CheckpointError::Format(format!(
+                "implausible name length {name_len}"
+            )));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        r.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| CheckpointError::Format("non-UTF-8 parameter name".into()))?;
+        let rank = read_u32(r)? as usize;
+        if rank > 8 {
+            return Err(CheckpointError::Format(format!("implausible rank {rank}")));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u64(r)? as usize);
+        }
+        let numel: usize = dims.iter().product();
+        if numel > 1 << 30 {
+            return Err(CheckpointError::Format(format!(
+                "implausible tensor size {numel}"
+            )));
+        }
+        let mut data = Vec::with_capacity(numel);
+        let mut buf = [0u8; 4];
+        for _ in 0..numel {
+            r.read_exact(&mut buf)?;
+            data.push(f32::from_le_bytes(buf));
+        }
+        let t = Tensor::from_vec(data, dims)
+            .map_err(|e| CheckpointError::Format(format!("tensor rebuild failed: {e}")))?;
+        loaded.insert(name, t);
+    }
+
+    // Apply, verifying full coverage both ways.
+    let mut error: Option<CheckpointError> = None;
+    let mut applied = 0usize;
+    module.visit_params(&mut |p| {
+        if !p.trainable || error.is_some() {
+            return;
+        }
+        match loaded.get(&p.name) {
+            Some(t) if t.dims() == p.value.dims() => {
+                p.value = t.clone();
+                applied += 1;
+            }
+            Some(t) => {
+                error = Some(CheckpointError::Mismatch(format!(
+                    "{}: shape {:?} vs checkpoint {:?}",
+                    p.name,
+                    p.value.dims(),
+                    t.dims()
+                )));
+            }
+            None => {
+                error = Some(CheckpointError::Mismatch(format!(
+                    "trainable parameter {} absent from checkpoint",
+                    p.name
+                )));
+            }
+        }
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    if applied != loaded.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint has {} entries but module consumed {applied}",
+            loaded.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Serializes to an in-memory buffer.
+///
+/// # Errors
+/// Propagates [`save_trainable`] errors (none for in-memory writers).
+pub fn to_bytes<M: Module>(module: &M) -> Result<Vec<u8>, CheckpointError> {
+    let mut out = Vec::new();
+    save_trainable(module, &mut out)?;
+    Ok(out)
+}
+
+/// Deserializes from an in-memory buffer.
+///
+/// # Errors
+/// Propagates [`load_trainable`] errors.
+pub fn from_bytes<M: Module>(module: &mut M, bytes: &[u8]) -> Result<(), CheckpointError> {
+    load_trainable(module, &mut &bytes[..])
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, CheckpointError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, CheckpointError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Technique, Tuner};
+    use pac_model::ModelConfig;
+    use pac_nn::cross_entropy;
+    use pac_tensor::rng::seeded;
+    use rand::Rng;
+
+    fn toks(seed: u64, b: usize) -> Vec<Vec<usize>> {
+        let mut rng = seeded(seed);
+        (0..b)
+            .map(|_| (0..4).map(|_| rng.gen_range(0..64)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_restores_exact_function() {
+        let cfg = ModelConfig::micro(2, 1, 16, 2);
+        for technique in Technique::all_extended() {
+            let mut donor = Tuner::new(technique, &cfg, 2, &mut seeded(700));
+            // Nudge the donor's trainable weights so the checkpoint is
+            // distinguishable from init.
+            donor.visit_params(&mut |p| {
+                if p.trainable {
+                    p.value.map_in_place(|v| v + 0.01);
+                }
+            });
+            let bytes = to_bytes(&donor).unwrap();
+            // PEFT checkpoints are tiny relative to the model; a Full
+            // checkpoint is the whole model plus per-tensor name overhead.
+            let bound = if matches!(technique, Technique::Full) {
+                donor.total_params() * 4 + 64 * 1024
+            } else {
+                donor.total_params() * 4 / 2
+            };
+            assert!(
+                bytes.len() < bound,
+                "{}: checkpoint {} B (bound {bound})",
+                technique.name(),
+                bytes.len()
+            );
+
+            let mut recipient = Tuner::new(technique, &cfg, 2, &mut seeded(700));
+            from_bytes(&mut recipient, &bytes).unwrap();
+
+            let batch = toks(701, 2);
+            let (a, _) = donor.forward(&batch).unwrap();
+            let (b, _) = recipient.forward(&batch).unwrap();
+            assert!(
+                a.approx_eq(&b, 0.0),
+                "{}: restored model diverges",
+                technique.name()
+            );
+        }
+    }
+
+    #[test]
+    fn adapter_checkpoints_are_megabyte_scale_not_gigabyte() {
+        // The deployment claim: a Parallel-Adapters personalization of a
+        // micro model is ≪ the backbone.
+        let cfg = ModelConfig::micro(2, 2, 32, 4);
+        let tuner = Tuner::new(Technique::parallel_default(), &cfg, 2, &mut seeded(702));
+        let bytes = to_bytes(&tuner).unwrap();
+        let backbone_bytes = tuner.total_params() * 4;
+        assert!(bytes.len() * 5 < backbone_bytes);
+    }
+
+    #[test]
+    fn corrupted_streams_are_rejected() {
+        let cfg = ModelConfig::micro(1, 1, 16, 2);
+        let tuner = Tuner::new(Technique::parallel_default(), &cfg, 2, &mut seeded(703));
+        let bytes = to_bytes(&tuner).unwrap();
+
+        let mut t = tuner.clone();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            from_bytes(&mut t, &bad),
+            Err(CheckpointError::Format(_))
+        ));
+        // Truncation.
+        assert!(from_bytes(&mut t, &bytes[..bytes.len() / 2]).is_err());
+        // Empty.
+        assert!(from_bytes(&mut t, &[]).is_err());
+    }
+
+    #[test]
+    fn cross_architecture_load_fails_loudly() {
+        let small = ModelConfig::micro(1, 1, 16, 2);
+        let big = ModelConfig::micro(1, 1, 32, 2);
+        let donor = Tuner::new(Technique::parallel_default(), &small, 2, &mut seeded(704));
+        let bytes = to_bytes(&donor).unwrap();
+        let mut recipient = Tuner::new(Technique::parallel_default(), &big, 2, &mut seeded(705));
+        assert!(matches!(
+            from_bytes(&mut recipient, &bytes),
+            Err(CheckpointError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_survives_training_and_reload() {
+        // Train → save → fresh tuner → load → identical predictions.
+        let cfg = ModelConfig::micro(1, 1, 16, 2);
+        let mut t = Tuner::new(Technique::parallel_default(), &cfg, 2, &mut seeded(706));
+        let batch = toks(707, 4);
+        let targets = [0usize, 1, 0, 1];
+        let mut opt = pac_nn::Adam::new(1e-2);
+        use pac_nn::Optimizer;
+        for _ in 0..5 {
+            let (logits, ctx) = t.forward(&batch).unwrap();
+            let (_, dl) = cross_entropy(&logits, &targets).unwrap();
+            t.zero_grads();
+            t.backward(&ctx, &dl).unwrap();
+            opt.step(&mut t);
+        }
+        let bytes = to_bytes(&t).unwrap();
+        let mut fresh = Tuner::new(Technique::parallel_default(), &cfg, 2, &mut seeded(706));
+        from_bytes(&mut fresh, &bytes).unwrap();
+        let (a, _) = t.forward(&batch).unwrap();
+        let (b, _) = fresh.forward(&batch).unwrap();
+        assert!(a.approx_eq(&b, 0.0));
+    }
+}

@@ -1,0 +1,307 @@
+//! Prompt tuning (Lester et al. 2021) — an extension technique from the
+//! paper's related-work section (§7).
+//!
+//! A small matrix of trainable "virtual token" embeddings is prepended to
+//! the encoder input; everything else is frozen. Like Adapters and LoRA
+//! (and unlike Parallel Adapters), computing the prompt gradient requires a
+//! full backward pass through the backbone — the gradient must reach the
+//! *input* embeddings — so prompt tuning inherits the resource profile the
+//! paper criticizes, while being even more parameter-frugal.
+
+use pac_model::EncDecModel;
+use pac_nn::{LayerNormCtx, LinearCtx, Module, Param, TransformerLayerCtx};
+use pac_tensor::{init, Result, Tensor, TensorError};
+use rand::Rng;
+
+/// Context of a prompt-tuned forward pass.
+#[derive(Debug, Clone)]
+pub struct PromptCtx {
+    enc_ctxs: Vec<TransformerLayerCtx>,
+    dec_ctxs: Vec<TransformerLayerCtx>,
+    enc_out: Tensor,
+    final_ln: LayerNormCtx,
+    head_ctx: LinearCtx,
+    batch: usize,
+    /// Sequence length *including* the virtual tokens.
+    full_seq: usize,
+}
+
+/// Prompt tuning over a frozen backbone.
+#[derive(Debug, Clone)]
+pub struct PromptTuner {
+    /// Frozen backbone (head stays trainable).
+    pub model: EncDecModel,
+    /// Virtual-token embeddings `[p, d]`.
+    pub prompt: Param,
+}
+
+impl PromptTuner {
+    /// Attaches `virtual_tokens` trainable embeddings and freezes the
+    /// backbone.
+    pub fn new(mut model: EncDecModel, virtual_tokens: usize, rng: &mut impl Rng) -> Self {
+        model.freeze_backbone();
+        let d = model.config.hidden;
+        PromptTuner {
+            model,
+            prompt: Param::new(
+                "prompt.embeddings",
+                init::randn(rng, [virtual_tokens, d], 0.02),
+            ),
+        }
+    }
+
+    /// Number of virtual tokens.
+    pub fn virtual_tokens(&self) -> usize {
+        self.prompt.value.as_2d().0
+    }
+
+    /// Forward pass: virtual tokens prepended to the embedded input.
+    ///
+    /// # Errors
+    /// Returns shape errors on ragged batches or when `seq + p` exceeds the
+    /// positional table.
+    pub fn forward(&self, tokens: &[Vec<usize>]) -> Result<(Tensor, PromptCtx)> {
+        let m = &self.model;
+        let d = m.config.hidden;
+        let p = self.virtual_tokens();
+        let batch = tokens.len();
+        let seq = tokens.first().map(|t| t.len()).unwrap_or(0);
+        if batch == 0 || seq == 0 || tokens.iter().any(|t| t.len() != seq) {
+            return Err(TensorError::ShapeMismatch {
+                op: "prompt_forward",
+                lhs: vec![batch],
+                rhs: vec![seq],
+            });
+        }
+        let full_seq = seq + p;
+        if full_seq > m.config.max_seq {
+            return Err(TensorError::IndexOutOfBounds {
+                index: full_seq,
+                bound: m.config.max_seq,
+            });
+        }
+
+        // Embed [prompt ; tokens] with positions 0..full_seq.
+        let flat: Vec<usize> = tokens.iter().flatten().copied().collect();
+        let tok_emb = m.embed.forward(&flat)?; // [b*s, d]
+        let positions: Vec<usize> = (0..batch).flat_map(|_| 0..full_seq).collect();
+        let pos_emb = m.pos.forward(&positions)?; // [b*full_seq, d]
+        let mut x = Tensor::zeros([batch * full_seq, d]);
+        for b in 0..batch {
+            for t in 0..p {
+                let dst = (b * full_seq + t) * d;
+                x.data_mut()[dst..dst + d]
+                    .copy_from_slice(&self.prompt.value.data()[t * d..(t + 1) * d]);
+            }
+            for t in 0..seq {
+                let dst = (b * full_seq + p + t) * d;
+                let src = (b * seq + t) * d;
+                x.data_mut()[dst..dst + d].copy_from_slice(&tok_emb.data()[src..src + d]);
+            }
+        }
+        let mut x = x.add(&pos_emb)?.reshape([batch, full_seq, d])?;
+
+        let mut enc_ctxs = Vec::with_capacity(m.encoder.len());
+        for layer in &m.encoder {
+            let (y, ctx) = layer.forward(&x, None)?;
+            enc_ctxs.push(ctx);
+            x = y;
+        }
+        let enc_out = x;
+
+        let dec_tokens: Vec<usize> = vec![m.start_token; batch];
+        let dec_emb = m.embed.forward(&dec_tokens)?;
+        let dec_pos = m.pos.forward(&vec![0usize; batch])?;
+        let mut xd = dec_emb.add(&dec_pos)?.reshape([batch, 1, d])?;
+        let mut dec_ctxs = Vec::with_capacity(m.decoder.len());
+        for layer in &m.decoder {
+            let (y, ctx) = layer.forward(&xd, Some(&enc_out))?;
+            dec_ctxs.push(ctx);
+            xd = y;
+        }
+
+        let (normed, final_ln) = m.final_ln.forward(&xd)?;
+        let (logits, head_ctx) = m.head.forward(&normed)?;
+        Ok((
+            logits,
+            PromptCtx {
+                enc_ctxs,
+                dec_ctxs,
+                enc_out,
+                final_ln,
+                head_ctx,
+                batch,
+                full_seq,
+            },
+        ))
+    }
+
+    /// Backward pass: traverses the whole (frozen) backbone to reach the
+    /// prompt embeddings at the encoder input.
+    ///
+    /// # Errors
+    /// Propagates shape errors.
+    pub fn backward(&mut self, ctx: &PromptCtx, dlogits: &Tensor) -> Result<()> {
+        let m = &mut self.model;
+        let d = m.config.hidden;
+        let p = self.prompt.value.as_2d().0;
+        let (batch, full_seq) = (ctx.batch, ctx.full_seq);
+
+        let d_normed = m.head.backward(&ctx.head_ctx, dlogits)?;
+        let mut dxd = m
+            .final_ln
+            .backward(&ctx.final_ln, &d_normed)?
+            .reshape([batch, 1, d])?;
+
+        let mut d_enc_total = Tensor::zeros(ctx.enc_out.dims());
+        for (layer, lctx) in m.decoder.iter_mut().zip(ctx.dec_ctxs.iter()).rev() {
+            let (dx, d_enc) = layer.backward(lctx, &dxd)?;
+            dxd = dx;
+            if let Some(de) = d_enc {
+                d_enc_total.add_assign(&de)?;
+            }
+        }
+
+        let mut dx = d_enc_total;
+        for (layer, lctx) in m.encoder.iter_mut().zip(ctx.enc_ctxs.iter()).rev() {
+            let (g, _) = layer.backward(lctx, &dx)?;
+            dx = g;
+        }
+
+        // Scatter the gradient rows of the virtual-token positions into the
+        // prompt parameter (summed over the batch).
+        if self.prompt.trainable {
+            let dx2 = dx.reshape([batch * full_seq, d])?;
+            let mut dprompt = Tensor::zeros([p, d]);
+            for b in 0..batch {
+                for t in 0..p {
+                    let src = (b * full_seq + t) * d;
+                    let dst = t * d;
+                    for j in 0..d {
+                        dprompt.data_mut()[dst + j] += dx2.data()[src + j];
+                    }
+                }
+            }
+            self.prompt.accumulate_grad(&dprompt);
+        }
+        Ok(())
+    }
+}
+
+impl Module for PromptTuner {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.model.visit_params(f);
+        f(&mut self.prompt);
+    }
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&Param)) {
+        self.model.visit_params_ref(f);
+        f(&self.prompt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pac_model::ModelConfig;
+    use pac_nn::{cross_entropy, Adam, Optimizer};
+    use pac_tensor::rng::seeded;
+    use rand::Rng;
+
+    fn tuner(seed: u64, p: usize) -> PromptTuner {
+        let cfg = ModelConfig::micro(2, 1, 16, 2);
+        let model = EncDecModel::new(&cfg, 2, &mut seeded(seed));
+        PromptTuner::new(model, p, &mut seeded(seed + 1))
+    }
+
+    fn toks(seed: u64, b: usize) -> Vec<Vec<usize>> {
+        let mut rng = seeded(seed);
+        (0..b)
+            .map(|_| (0..4).map(|_| rng.gen_range(0..64)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn forward_shapes_and_trainable_set() {
+        let t = tuner(600, 3);
+        let batch = toks(601, 2);
+        let (logits, _) = t.forward(&batch).unwrap();
+        assert_eq!(logits.dims(), &[2, 2]);
+        // Trainable = prompt + head.
+        let expected = 3 * 16 + t.model.head.num_params();
+        assert_eq!(t.num_trainable(), expected);
+    }
+
+    #[test]
+    fn overlong_prompt_is_rejected() {
+        let t = tuner(602, 40); // 40 + 4 > max_seq (32 for micro)
+        assert!(t.forward(&toks(603, 1)).is_err());
+    }
+
+    #[test]
+    fn prompt_gradient_matches_finite_difference() {
+        let mut t = tuner(604, 2);
+        let batch = toks(605, 2);
+        let targets = [0usize, 1];
+        let (logits, ctx) = t.forward(&batch).unwrap();
+        let (_, dl) = cross_entropy(&logits, &targets).unwrap();
+        t.zero_grads();
+        t.backward(&ctx, &dl).unwrap();
+        let grad = t.prompt.grad.clone();
+
+        // Small ε: the loss is strongly curved through LayerNorm+softmax
+        // (verified: central differences converge to the analytic value).
+        let eps = 1e-3f32;
+        for i in [0usize, 7, 19, 31] {
+            let loss_at = |delta: f32| {
+                let mut tp = t.clone();
+                tp.prompt.value.data_mut()[i] += delta;
+                let (lp, _) = tp.forward(&batch).unwrap();
+                cross_entropy(&lp, &targets).unwrap().0
+            };
+            let numeric = (loss_at(eps) - loss_at(-eps)) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[i]).abs() < 1e-2_f32.max(numeric.abs() * 0.05),
+                "dprompt[{i}]: numeric {numeric} vs analytic {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_with_frozen_backbone() {
+        let mut t = tuner(606, 4);
+        let backbone_before: Vec<f32> = {
+            let mut v = Vec::new();
+            t.model.visit_params_ref(&mut |p| {
+                if !p.trainable {
+                    v.extend_from_slice(p.value.data());
+                }
+            });
+            v
+        };
+        let batch = toks(607, 4);
+        let targets = [0usize, 1, 0, 1];
+        let mut opt = Adam::new(5e-2);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for i in 0..25 {
+            let (logits, ctx) = t.forward(&batch).unwrap();
+            let (loss, dl) = cross_entropy(&logits, &targets).unwrap();
+            if i == 0 {
+                first = loss;
+            }
+            last = loss;
+            t.zero_grads();
+            t.backward(&ctx, &dl).unwrap();
+            opt.step(&mut t);
+        }
+        assert!(last < first, "first {first} last {last}");
+        let mut after = Vec::new();
+        t.model.visit_params_ref(&mut |p| {
+            if !p.trainable {
+                after.extend_from_slice(p.value.data());
+            }
+        });
+        assert_eq!(backbone_before, after, "backbone moved under prompt tuning");
+    }
+}

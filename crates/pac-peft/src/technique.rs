@@ -1,0 +1,211 @@
+//! Fine-tuning technique descriptors and analytic parameter accounting.
+
+use pac_model::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// A fine-tuning technique, with its structural hyperparameters.
+///
+/// ```
+/// use pac_peft::Technique;
+/// use pac_model::ModelConfig;
+///
+/// let cfg = ModelConfig::t5_large();
+/// let pa = Technique::parallel_default();
+/// assert!(pa.trainable_fraction(&cfg) < 0.02);     // ~1% of the backbone
+/// assert!(!pa.backprop_through_backbone());        // the gradient highway
+/// assert!(pa.supports_activation_cache());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Technique {
+    /// Update every backbone parameter.
+    Full,
+    /// Houlsby bottleneck adapters at the end of each transformer layer;
+    /// `reduction` is the hidden-size reduction factor `k` (bottleneck dim =
+    /// `h / k`).
+    Adapters {
+        /// Reduction factor `k` (paper uses 8).
+        reduction: usize,
+    },
+    /// LoRA low-rank deltas on the Q and V projections of every attention
+    /// block.
+    Lora {
+        /// Low-rank dimension `r` (the paper's ~9 M trainable parameters on
+        /// T5-Large corresponds to r = 32).
+        rank: usize,
+    },
+    /// The paper's Parallel Adapters side network with reduction factor `k`
+    /// (side hidden dim = `h / k`; paper uses k = 8).
+    ParallelAdapters {
+        /// Reduction factor `k`.
+        reduction: usize,
+    },
+    /// Prompt tuning (Lester et al. 2021): trainable virtual-token
+    /// embeddings prepended to the encoder input. An extension technique
+    /// from the paper's related work (§7).
+    PromptTuning {
+        /// Number of virtual tokens `p`.
+        virtual_tokens: usize,
+    },
+}
+
+impl Technique {
+    /// Paper-default Adapters (k = 8).
+    pub fn adapters_default() -> Self {
+        Technique::Adapters { reduction: 8 }
+    }
+
+    /// Paper-default LoRA (r = 32, matching the 1.26% trainable-parameter
+    /// share of Table 1).
+    pub fn lora_default() -> Self {
+        Technique::Lora { rank: 32 }
+    }
+
+    /// Paper-default Parallel Adapters (k = 8, §6.1).
+    pub fn parallel_default() -> Self {
+        Technique::ParallelAdapters { reduction: 8 }
+    }
+
+    /// Default prompt tuning (20 virtual tokens, the common setting).
+    pub fn prompt_default() -> Self {
+        Technique::PromptTuning { virtual_tokens: 20 }
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Technique::Full => "Full Model",
+            Technique::Adapters { .. } => "Adapters",
+            Technique::Lora { .. } => "LoRA",
+            Technique::ParallelAdapters { .. } => "Parallel Adapters",
+            Technique::PromptTuning { .. } => "Prompt Tuning",
+        }
+    }
+
+    /// Number of trainable parameters this technique introduces (or, for
+    /// Full, the whole backbone).
+    pub fn trainable_params(&self, cfg: &ModelConfig) -> usize {
+        let h = cfg.hidden;
+        let layers = cfg.total_layers();
+        match *self {
+            Technique::Full => cfg.total_params(),
+            Technique::Adapters { reduction } => {
+                // Per layer: down (h×r + r) + up (r×h + h), r = h / k.
+                let r = (h / reduction).max(1);
+                layers * (2 * h * r + r + h)
+            }
+            Technique::Lora { rank } => {
+                // Q and V of each attention block get A [h×r] + B [r×h].
+                // Encoder layers have one attention block, decoder layers two.
+                let blocks = cfg.enc_layers + 2 * cfg.dec_layers;
+                blocks * 2 * (2 * h * rank)
+            }
+            Technique::ParallelAdapters { reduction } => {
+                let r = (h / reduction).max(1);
+                // Per layer: down-projection h×r + side recurrence r×r + r.
+                // Plus one up-projection r×h and a side LayerNorm 2h.
+                layers * (h * r + r * r + r) + r * h + 2 * h
+            }
+            Technique::PromptTuning { virtual_tokens } => virtual_tokens * h,
+        }
+    }
+
+    /// Fraction of the backbone parameter count that is trainable.
+    pub fn trainable_fraction(&self, cfg: &ModelConfig) -> f64 {
+        self.trainable_params(cfg) as f64 / cfg.total_params() as f64
+    }
+
+    /// Whether backward must traverse the backbone (true for everything but
+    /// Parallel Adapters — the property the paper's Figure 5 illustrates).
+    pub fn backprop_through_backbone(&self) -> bool {
+        !matches!(self, Technique::ParallelAdapters { .. })
+    }
+
+    /// Whether the technique supports the activation cache (backbone frozen
+    /// *and* trainable parameters outside the backbone).
+    pub fn supports_activation_cache(&self) -> bool {
+        matches!(self, Technique::ParallelAdapters { .. })
+    }
+
+    /// The four techniques in the paper's table order.
+    pub fn all_paper() -> Vec<Technique> {
+        vec![
+            Technique::Full,
+            Technique::adapters_default(),
+            Technique::lora_default(),
+            Technique::parallel_default(),
+        ]
+    }
+
+    /// The paper techniques plus the extension techniques implemented in
+    /// this reproduction.
+    pub fn all_extended() -> Vec<Technique> {
+        let mut v = Self::all_paper();
+        v.push(Self::prompt_default());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t5_large_trainable_counts_match_table1() {
+        let cfg = ModelConfig::t5_large();
+        // Table 1: Full 737M (100%), Adapters 12M (1.70%), LoRA 9M (1.26%).
+        let full = Technique::Full.trainable_params(&cfg);
+        assert!((full as f64 - 737e6).abs() / 737e6 < 0.01, "{full}");
+
+        let ad = Technique::adapters_default().trainable_params(&cfg);
+        assert!(
+            (ad as f64 - 12e6).abs() / 12e6 < 0.10,
+            "adapters {ad} (want ≈12M)"
+        );
+
+        let lora = Technique::lora_default().trainable_params(&cfg);
+        assert!(
+            (lora as f64 - 9e6).abs() / 9e6 < 0.10,
+            "lora {lora} (want ≈9M)"
+        );
+    }
+
+    #[test]
+    fn peft_fractions_are_small() {
+        let cfg = ModelConfig::t5_large();
+        for t in [
+            Technique::adapters_default(),
+            Technique::lora_default(),
+            Technique::parallel_default(),
+        ] {
+            let f = t.trainable_fraction(&cfg);
+            assert!(f < 0.02, "{} fraction {f}", t.name());
+        }
+        assert_eq!(Technique::Full.trainable_fraction(&cfg), 1.0);
+    }
+
+    #[test]
+    fn only_parallel_adapters_skip_backbone_backprop() {
+        assert!(Technique::Full.backprop_through_backbone());
+        assert!(Technique::adapters_default().backprop_through_backbone());
+        assert!(Technique::lora_default().backprop_through_backbone());
+        assert!(!Technique::parallel_default().backprop_through_backbone());
+        assert!(Technique::parallel_default().supports_activation_cache());
+        assert!(!Technique::lora_default().supports_activation_cache());
+    }
+
+    #[test]
+    fn parallel_adapters_are_lightweight() {
+        let cfg = ModelConfig::t5_large();
+        let pa = Technique::parallel_default().trainable_params(&cfg);
+        // Comparable order to Adapters (both ≈ 1% of the backbone).
+        assert!(pa > 1_000_000 && pa < 20_000_000, "{pa}");
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Technique::Full.name(), "Full Model");
+        assert_eq!(Technique::adapters_default().name(), "Adapters");
+        assert_eq!(Technique::lora_default().name(), "LoRA");
+        assert_eq!(Technique::parallel_default().name(), "Parallel Adapters");
+    }
+}

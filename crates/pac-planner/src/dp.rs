@@ -1,0 +1,265 @@
+//! The paper's dynamic-programming partitioner (Eq. 2–3).
+//!
+//! `W(0→y, D_n, s)` — the minimal bottleneck stage time using the first `y`
+//! layers, the first `n` devices and `s` stages — satisfies
+//!
+//! ```text
+//! W(0→y, Dₙ, s) = min over (q, m) of max( W(0→q, Dₙ₋ₘ, s−1),
+//!                                          T(q+1→y, last m devices) )
+//! ```
+//!
+//! where `T` is the data-parallel execution time of the candidate stage on
+//! its `m`-device group (Eq. 3): the slowest group member gates the stage,
+//! and an assignment whose per-device working set exceeds device memory
+//! gets `T = +∞` (the paper's OOM rule).
+
+use crate::profile::Profile;
+use pac_cluster::Cluster;
+use pac_parallel::{ParallelPlan, StageAssignment};
+
+/// Memoization table and reconstruction data for one DP run.
+#[derive(Debug)]
+pub struct DpTable {
+    /// `w[y][n][s]` = optimal bottleneck time (seconds); `INFINITY` if
+    /// infeasible.
+    w: Vec<Vec<Vec<f64>>>,
+    /// Back-pointers `(q, m)` for reconstruction.
+    back: Vec<Vec<Vec<Option<(usize, usize)>>>>,
+    layers: usize,
+    devices: usize,
+}
+
+/// Per-device stage execution time (Eq. 3) with the OOM rule.
+///
+/// `samples_per_dev` is the micro-batch share each group member processes.
+fn stage_time(
+    profile: &Profile,
+    cluster: &Cluster,
+    start: usize,
+    end: usize,
+    dev_lo: usize,
+    dev_hi: usize,
+    samples_per_dev: f64,
+    is_first: bool,
+    is_last: bool,
+    inflight: usize,
+) -> f64 {
+    let flops = profile.range_flops(start, end) * samples_per_dev;
+    let slowest = cluster.devices[dev_lo..dev_hi]
+        .iter()
+        .map(|d| d.effective_flops())
+        .fold(f64::INFINITY, f64::min);
+
+    // Memory check (paper: OOM ⇒ +∞). Weights + grads/opt + activations
+    // for the in-flight micro-batches, plus embeddings on the endpoints.
+    let mut bytes = profile.range_weight_bytes(start, end)
+        + 3 * profile.range_trainable_bytes(start, end)
+        + (profile.range_act_bytes(start, end) as f64 * samples_per_dev).ceil() as usize
+            * inflight;
+    if is_first || is_last {
+        bytes += profile.embed_bytes;
+    }
+    let min_mem = cluster.devices[dev_lo..dev_hi]
+        .iter()
+        .map(|d| d.usable_memory)
+        .min()
+        .unwrap_or(0);
+    if bytes > min_mem {
+        return f64::INFINITY;
+    }
+    flops / slowest
+}
+
+/// Runs the DP for exactly `n_stages` stages over all `cluster` devices and
+/// reconstructs the optimal plan.
+///
+/// `samples_per_micro` is the micro-batch size before group subdivision;
+/// `inflight` bounds concurrently retained micro-batches (stage count under
+/// 1F1B — callers usually pass `n_stages`).
+///
+/// Returns `None` when no feasible partition exists (every assignment OOMs
+/// or there are fewer layers than stages).
+pub fn partition_for_stages(
+    profile: &Profile,
+    cluster: &Cluster,
+    n_stages: usize,
+    samples_per_micro: f64,
+    inflight: usize,
+) -> Option<(ParallelPlan, f64)> {
+    let l_n = profile.num_layers();
+    let d_n = cluster.len();
+    if n_stages == 0 || n_stages > l_n || n_stages > d_n {
+        return None;
+    }
+
+    let inf = f64::INFINITY;
+    // w[y][n][s]: first y layers, first n devices, s stages.
+    let mut w = vec![vec![vec![inf; n_stages + 1]; d_n + 1]; l_n + 1];
+    let mut back: Vec<Vec<Vec<Option<(usize, usize)>>>> =
+        vec![vec![vec![None; n_stages + 1]; d_n + 1]; l_n + 1];
+    w[0][0][0] = 0.0;
+
+    for s in 1..=n_stages {
+        for y in s..=l_n {
+            for n in s..=d_n {
+                // The new (s-th) stage takes layers q..y on devices n-m..n.
+                for q in (s - 1)..y {
+                    for m in 1..=(n - (s - 1)) {
+                        let prev = w[q][n - m][s - 1];
+                        if !prev.is_finite() {
+                            continue;
+                        }
+                        let t = stage_time(
+                            profile,
+                            cluster,
+                            q,
+                            y,
+                            n - m,
+                            n,
+                            samples_per_micro / m as f64,
+                            q == 0,
+                            y == l_n,
+                            inflight,
+                        );
+                        let cand = prev.max(t);
+                        if cand < w[y][n][s] {
+                            w[y][n][s] = cand;
+                            back[y][n][s] = Some((q, m));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let table = DpTable {
+        w,
+        back,
+        layers: l_n,
+        devices: d_n,
+    };
+    table.reconstruct(n_stages)
+}
+
+impl DpTable {
+    /// Reconstructs the optimal plan for `n_stages` from the back-pointers.
+    fn reconstruct(&self, n_stages: usize) -> Option<(ParallelPlan, f64)> {
+        let bottleneck = self.w[self.layers][self.devices][n_stages];
+        if !bottleneck.is_finite() {
+            return None;
+        }
+        let mut stages_rev = Vec::with_capacity(n_stages);
+        let mut y = self.layers;
+        let mut n = self.devices;
+        for s in (1..=n_stages).rev() {
+            let (q, m) = self.back[y][n][s]?;
+            stages_rev.push(StageAssignment {
+                layer_start: q,
+                layer_end: y,
+                devices: (n - m..n).collect(),
+            });
+            y = q;
+            n -= m;
+        }
+        stages_rev.reverse();
+        Some((
+            ParallelPlan {
+                stages: stages_rev,
+            },
+            bottleneck,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pac_cluster::CostModel;
+    use pac_model::ModelConfig;
+    use pac_peft::Technique;
+
+    fn profile(cfg: ModelConfig, t: Technique) -> Profile {
+        Profile::from_cost_model(&CostModel::new(cfg, t, 128))
+    }
+
+    #[test]
+    fn single_stage_uses_all_devices() {
+        let p = profile(ModelConfig::t5_base(), Technique::parallel_default());
+        let cluster = Cluster::nanos(4);
+        let (plan, t) = partition_for_stages(&p, &cluster, 1, 4.0, 1).unwrap();
+        assert_eq!(plan.num_stages(), 1);
+        assert_eq!(plan.stages[0].group_size(), 4);
+        assert!(plan.validate(p.num_layers(), 4).is_ok());
+        assert!(t.is_finite() && t > 0.0);
+    }
+
+    #[test]
+    fn partitions_are_time_balanced_not_count_balanced() {
+        // Decoder layers process 8 tokens vs the encoder's 128, so a
+        // time-balanced partition packs many decoder layers into one stage.
+        // The DP must balance *time*, which means stage FLOP sums are even
+        // though layer counts are not.
+        let p = profile(ModelConfig::t5_base(), Technique::parallel_default());
+        let cluster = Cluster::nanos(4);
+        let (plan, bottleneck) = partition_for_stages(&p, &cluster, 4, 4.0, 4).unwrap();
+        assert_eq!(plan.num_stages(), 4);
+        assert!(plan.validate(24, 4).is_ok());
+        let times: Vec<f64> = plan
+            .stages
+            .iter()
+            .map(|s| p.range_flops(s.layer_start, s.layer_end))
+            .collect();
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        assert!(max / mean < 1.5, "time-unbalanced: {times:?}");
+        // The reported bottleneck corresponds to the max stage time.
+        assert!(bottleneck > 0.0);
+    }
+
+    #[test]
+    fn per_device_work_is_invariant_to_stage_count() {
+        // With all 8 devices in use, the total FLOPs per device is the same
+        // whether the model is 2 stages × 4-wide or 8 stages × 1-wide, so
+        // bottleneck times must be within granularity of each other (the
+        // pipeline *bubble* difference is what the simulator adds on top).
+        let p = profile(ModelConfig::t5_base(), Technique::parallel_default());
+        let cluster = Cluster::nanos(8);
+        let (_, t2) = partition_for_stages(&p, &cluster, 2, 8.0, 2).unwrap();
+        let (_, t8) = partition_for_stages(&p, &cluster, 8, 8.0, 8).unwrap();
+        let ratio = t8 / t2;
+        assert!((0.6..1.7).contains(&ratio), "t8 {t8} vs t2 {t2}");
+    }
+
+    #[test]
+    fn infeasible_requests_return_none() {
+        let p = profile(ModelConfig::t5_base(), Technique::parallel_default());
+        let cluster = Cluster::nanos(2);
+        assert!(partition_for_stages(&p, &cluster, 0, 1.0, 1).is_none());
+        assert!(partition_for_stages(&p, &cluster, 3, 1.0, 1).is_none()); // > devices
+        let tiny = Cluster::nanos(30);
+        assert!(partition_for_stages(&p, &tiny, 25, 1.0, 1).is_none()); // > layers
+    }
+
+    #[test]
+    fn oom_rule_rejects_single_device_t5_large_full() {
+        // A full-fine-tuning T5-Large stage on one Nano cannot fit: the DP
+        // must return None for the 1-stage/1-device request.
+        let p = profile(ModelConfig::t5_large(), Technique::Full);
+        let cluster = Cluster::nanos(1);
+        assert!(partition_for_stages(&p, &cluster, 1, 16.0, 1).is_none());
+    }
+
+    #[test]
+    fn heterogeneous_groups_respect_slowest_member() {
+        // With one fast and one slow device in the same group the stage
+        // time must be gated by the slow one: splitting into 2 stages puts
+        // the boundary so the slow device gets less work.
+        let p = profile(ModelConfig::t5_base(), Technique::parallel_default());
+        let cluster = Cluster::smart_home(); // TX2, 2× Nano, Pi4
+        let result = partition_for_stages(&p, &cluster, 2, 4.0, 2);
+        assert!(result.is_some());
+        let (plan, t) = result.unwrap();
+        assert!(plan.validate(24, 4).is_ok());
+        assert!(t.is_finite());
+    }
+}

@@ -1,0 +1,43 @@
+//! # pac-tensor
+//!
+//! Dense `f32` tensor substrate for the PAC framework.
+//!
+//! This crate provides the numeric foundation that every higher layer of the
+//! PAC reproduction builds on: a row-major dense tensor, cache-blocked and
+//! [Rayon]-parallel matrix multiplication, broadcasting elementwise
+//! arithmetic, reductions, softmax, and deterministic random initialization.
+//!
+//! The design goals, in order:
+//!
+//! 1. **Correctness** — every kernel has a scalar reference implementation it
+//!    is property-tested against.
+//! 2. **Determinism** — all randomness is seeded; parallel reductions use
+//!    order-independent accumulation so results are reproducible across
+//!    thread counts.
+//! 3. **Throughput** — matmul is blocked for cache locality and parallelized
+//!    over row panels with Rayon, which is sufficient to train the
+//!    micro-scale transformers used in the paper-reproduction experiments on
+//!    a laptop-class CPU.
+//!
+//! [Rayon]: https://docs.rs/rayon
+
+#![deny(missing_docs)]
+
+pub mod error;
+pub mod init;
+pub mod ops;
+pub mod reduce;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use error::{Result, TensorError};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience prelude bringing the common types and traits into scope.
+pub mod prelude {
+    pub use crate::error::{Result, TensorError};
+    pub use crate::shape::Shape;
+    pub use crate::tensor::Tensor;
+}

@@ -1,0 +1,250 @@
+//! Matrix multiplication kernels.
+//!
+//! Three variants cover every product needed by the explicit backward passes
+//! in `pac-nn`:
+//!
+//! * [`matmul`]      — `C = A · B`       (forward pass)
+//! * [`matmul_nt`]   — `C = A · Bᵀ`      (input gradients: `dX = dY · Wᵀ`)
+//! * [`matmul_tn`]   — `C = Aᵀ · B`      (weight gradients: `dW = Xᵀ · dY`)
+//!
+//! All kernels view their operands through the 2-D interpretation of
+//! [`Tensor::as_2d`] (leading dimensions folded into rows), are blocked for
+//! cache locality, and parallelize over output-row panels with Rayon. Within
+//! a panel the innermost loop is over contiguous columns so the compiler can
+//! auto-vectorize.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Row-panel size for parallel work distribution.
+const PANEL: usize = 32;
+/// K-dimension blocking factor.
+const KBLOCK: usize = 64;
+
+/// Minimum FLOP count (2·m·n·k) below which kernels stay single-threaded —
+/// spawning Rayon tasks for tiny matmuls costs more than it saves.
+const PAR_THRESHOLD_FLOPS: usize = 1 << 18;
+
+fn check_inner(op: &'static str, a: &Tensor, b: &Tensor, ak: usize, bk: usize) -> Result<()> {
+    if ak != bk {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    Ok(())
+}
+
+/// `C[m,n] = A[m,k] · B[k,n]`.
+///
+/// # Errors
+/// Returns [`TensorError::ShapeMismatch`] if the inner dimensions differ.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.as_2d();
+    let (bk, n) = b.as_2d();
+    check_inner("matmul", a, b, k, bk)?;
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+
+    let kernel = |r0: usize, chunk: &mut [f32]| {
+        let rows = chunk.len() / n;
+        for kb in (0..k).step_by(KBLOCK) {
+            let kend = (kb + KBLOCK).min(k);
+            for ri in 0..rows {
+                let r = r0 + ri;
+                let crow = &mut chunk[ri * n..(ri + 1) * n];
+                for kk in kb..kend {
+                    let aik = ad[r * k + kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[kk * n..(kk + 1) * n];
+                    for (c, bv) in crow.iter_mut().zip(brow.iter()) {
+                        *c += aik * bv;
+                    }
+                }
+            }
+        }
+    };
+
+    if 2 * m * n * k < PAR_THRESHOLD_FLOPS {
+        kernel(0, &mut out);
+    } else {
+        out.par_chunks_mut(PANEL * n)
+            .enumerate()
+            .for_each(|(p, chunk)| kernel(p * PANEL, chunk));
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+/// `C[m,n] = A[m,k] · B[n,k]ᵀ`.
+///
+/// # Errors
+/// Returns [`TensorError::ShapeMismatch`] if the inner dimensions differ.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.as_2d();
+    let (n, bk) = b.as_2d();
+    check_inner("matmul_nt", a, b, k, bk)?;
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+
+    let kernel = |r0: usize, chunk: &mut [f32]| {
+        let rows = chunk.len() / n;
+        for ri in 0..rows {
+            let r = r0 + ri;
+            let arow = &ad[r * k..(r + 1) * k];
+            let crow = &mut chunk[ri * n..(ri + 1) * n];
+            for (c, cval) in crow.iter_mut().enumerate() {
+                // Dot product of two contiguous rows — auto-vectorizes well.
+                let brow = &bd[c * k..(c + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in arow.iter().zip(brow.iter()) {
+                    acc += x * y;
+                }
+                *cval = acc;
+            }
+        }
+    };
+
+    if 2 * m * n * k < PAR_THRESHOLD_FLOPS {
+        kernel(0, &mut out);
+    } else {
+        out.par_chunks_mut(PANEL * n)
+            .enumerate()
+            .for_each(|(p, chunk)| kernel(p * PANEL, chunk));
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+/// `C[m,n] = A[k,m]ᵀ · B[k,n]`.
+///
+/// # Errors
+/// Returns [`TensorError::ShapeMismatch`] if the leading (shared) dimensions
+/// differ.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = a.as_2d();
+    let (bk, n) = b.as_2d();
+    check_inner("matmul_tn", a, b, k, bk)?;
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+
+    let kernel = |r0: usize, chunk: &mut [f32]| {
+        let rows = chunk.len() / n;
+        for kk in 0..k {
+            let arow = &ad[kk * m..(kk + 1) * m];
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for ri in 0..rows {
+                let aik = arow[r0 + ri];
+                if aik == 0.0 {
+                    continue;
+                }
+                let crow = &mut chunk[ri * n..(ri + 1) * n];
+                for (c, bv) in crow.iter_mut().zip(brow.iter()) {
+                    *c += aik * bv;
+                }
+            }
+        }
+    };
+
+    if 2 * m * n * k < PAR_THRESHOLD_FLOPS {
+        kernel(0, &mut out);
+    } else {
+        out.par_chunks_mut(PANEL * n)
+            .enumerate()
+            .for_each(|(p, chunk)| kernel(p * PANEL, chunk));
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+/// Reference (naive triple-loop) matmul used to validate the fast kernels.
+///
+/// # Errors
+/// Returns [`TensorError::ShapeMismatch`] if the inner dimensions differ.
+pub fn matmul_ref(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = a.as_2d();
+    let (bk, n) = b.as_2d();
+    check_inner("matmul_ref", a, b, k, bk)?;
+    let mut out = vec![0.0f32; m * n];
+    for r in 0..m {
+        for c in 0..n {
+            let mut acc = 0.0f64;
+            for kk in 0..k {
+                acc += a.data()[r * k + kk] as f64 * b.data()[kk * n + c] as f64;
+            }
+            out[r * n + c] = acc as f32;
+        }
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use crate::rng::seeded;
+
+    #[test]
+    fn matmul_small_exact() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], [3, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul_nt(&a, &Tensor::zeros([2, 4])).is_err());
+        assert!(matmul_tn(&Tensor::zeros([3, 2]), &Tensor::zeros([4, 2])).is_err());
+    }
+
+    #[test]
+    fn fast_kernels_match_reference() {
+        let mut rng = seeded(3);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (16, 32, 8), (33, 65, 31), (64, 64, 64)] {
+            let a = init::randn(&mut rng, [m, k], 1.0);
+            let b = init::randn(&mut rng, [k, n], 1.0);
+            let fast = matmul(&a, &b).unwrap();
+            let slow = matmul_ref(&a, &b).unwrap();
+            assert!(fast.approx_eq(&slow, 1e-3), "matmul mismatch {m}x{k}x{n}");
+
+            let bt = b.transpose_2d();
+            let nt = matmul_nt(&a, &bt).unwrap();
+            assert!(nt.approx_eq(&slow, 1e-3), "matmul_nt mismatch {m}x{k}x{n}");
+
+            let at = a.transpose_2d();
+            let tn = matmul_tn(&at, &b).unwrap();
+            assert!(tn.approx_eq(&slow, 1e-3), "matmul_tn mismatch {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn large_matmul_crosses_parallel_threshold() {
+        let mut rng = seeded(9);
+        let a = init::randn(&mut rng, [128, 96], 1.0);
+        let b = init::randn(&mut rng, [96, 130], 1.0);
+        let fast = matmul(&a, &b).unwrap();
+        let slow = matmul_ref(&a, &b).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-2));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = seeded(4);
+        let a = init::randn(&mut rng, [5, 5], 1.0);
+        let mut eye = Tensor::zeros([5, 5]);
+        for i in 0..5 {
+            eye.set(&[i, i], 1.0).unwrap();
+        }
+        assert!(matmul(&a, &eye).unwrap().approx_eq(&a, 1e-6));
+        assert!(matmul(&eye, &a).unwrap().approx_eq(&a, 1e-6));
+    }
+}

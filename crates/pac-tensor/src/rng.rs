@@ -1,0 +1,62 @@
+//! Deterministic random number generation helpers.
+//!
+//! All stochastic code in the PAC reproduction (weight init, synthetic data,
+//! shuffling, dropout) flows through seeded [`rand::rngs::StdRng`] instances
+//! created here, so every experiment is exactly reproducible.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Creates a seeded RNG.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream id.
+///
+/// Used to give each layer / device / worker its own independent but
+/// reproducible stream. Uses the SplitMix64 finalizer so nearby inputs
+/// produce decorrelated outputs.
+pub fn derive_seed(parent: u64, stream: u64) -> u64 {
+    let mut z = parent
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded(1);
+        let mut b = seeded(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn derive_seed_decorrelates_streams() {
+        let s0 = derive_seed(7, 0);
+        let s1 = derive_seed(7, 1);
+        let s2 = derive_seed(8, 0);
+        assert_ne!(s0, s1);
+        assert_ne!(s0, s2);
+        // Stable across calls.
+        assert_eq!(derive_seed(7, 0), s0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for tensor algebra laws.
+
+use pac_tensor::{init, ops, reduce, rng, Tensor};
+use proptest::prelude::*;
+
+fn arb_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..12, 1usize..12, 1usize..12)
+}
+
+fn tensor_of(seed: u64, rows: usize, cols: usize) -> Tensor {
+    let mut r = rng::seeded(seed);
+    init::randn(&mut r, [rows, cols], 1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_matches_reference((m, k, n) in arb_dims(), seed in 0u64..1000) {
+        let a = tensor_of(seed, m, k);
+        let b = tensor_of(seed.wrapping_add(1), k, n);
+        let fast = ops::matmul(&a, &b).unwrap();
+        let slow = ops::matmul_ref(&a, &b).unwrap();
+        prop_assert!(fast.approx_eq(&slow, 1e-3));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition((m, k, n) in arb_dims(), seed in 0u64..1000) {
+        // A(B + C) = AB + AC
+        let a = tensor_of(seed, m, k);
+        let b = tensor_of(seed.wrapping_add(1), k, n);
+        let c = tensor_of(seed.wrapping_add(2), k, n);
+        let lhs = ops::matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let rhs = ops::matmul(&a, &b).unwrap().add(&ops::matmul(&a, &c).unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-2));
+    }
+
+    #[test]
+    fn transpose_involution(m in 1usize..16, n in 1usize..16, seed in 0u64..1000) {
+        let a = tensor_of(seed, m, n);
+        prop_assert_eq!(a.transpose_2d().transpose_2d(), a);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose((m, k, n) in arb_dims(), seed in 0u64..1000) {
+        let a = tensor_of(seed, m, k);
+        let b = tensor_of(seed.wrapping_add(3), n, k);
+        let fused = ops::matmul_nt(&a, &b).unwrap();
+        let explicit = ops::matmul(&a, &b.transpose_2d()).unwrap();
+        prop_assert!(fused.approx_eq(&explicit, 1e-3));
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose((m, k, n) in arb_dims(), seed in 0u64..1000) {
+        let a = tensor_of(seed, k, m);
+        let b = tensor_of(seed.wrapping_add(4), k, n);
+        let fused = ops::matmul_tn(&a, &b).unwrap();
+        let explicit = ops::matmul(&a.transpose_2d(), &b).unwrap();
+        prop_assert!(fused.approx_eq(&explicit, 1e-3));
+    }
+
+    #[test]
+    fn add_commutes(m in 1usize..16, n in 1usize..16, seed in 0u64..1000) {
+        let a = tensor_of(seed, m, n);
+        let b = tensor_of(seed.wrapping_add(5), m, n);
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in 1usize..10, n in 1usize..10, seed in 0u64..1000) {
+        let x = tensor_of(seed, m, n);
+        let y = reduce::softmax_rows(&x);
+        for r in 0..m {
+            let s: f32 = y.row(r).unwrap().iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(y.row(r).unwrap().iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_invariant_to_row_shift(m in 1usize..8, n in 1usize..8, seed in 0u64..1000, shift in -10.0f32..10.0) {
+        let x = tensor_of(seed, m, n);
+        let y1 = reduce::softmax_rows(&x);
+        let y2 = reduce::softmax_rows(&x.add_scalar(shift));
+        prop_assert!(y1.approx_eq(&y2, 1e-4));
+    }
+
+    #[test]
+    fn concat_split_round_trip(m in 1usize..8, w in 1usize..8, parts in 1usize..5, seed in 0u64..1000) {
+        let tensors: Vec<Tensor> = (0..parts)
+            .map(|i| tensor_of(seed.wrapping_add(i as u64), m, w))
+            .collect();
+        let refs: Vec<&Tensor> = tensors.iter().collect();
+        let merged = Tensor::concat_cols(&refs).unwrap();
+        let back = merged.split_cols(parts).unwrap();
+        for (orig, got) in tensors.iter().zip(back.iter()) {
+            prop_assert!(orig.approx_eq(got, 0.0));
+        }
+    }
+
+    #[test]
+    fn sum_rows_matches_manual(m in 1usize..10, n in 1usize..10, seed in 0u64..1000) {
+        let x = tensor_of(seed, m, n);
+        let s = reduce::sum_rows(&x);
+        for c in 0..n {
+            let manual: f32 = (0..m).map(|r| x.get(&[r, c]).unwrap()).sum();
+            prop_assert!((s.data()[c] - manual).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn norm_is_scale_homogeneous(m in 1usize..10, n in 1usize..10, seed in 0u64..1000, c in 0.1f32..4.0) {
+        let x = tensor_of(seed, m, n);
+        let scaled = x.scale(c);
+        prop_assert!((scaled.norm() - c * x.norm()).abs() < 1e-2 * (1.0 + x.norm()));
+    }
+}

@@ -1,0 +1,77 @@
+//! Exploring the hybrid-parallelism planner across models and clusters
+//! (the paper's Figure 10 device-grouping study, interactively).
+//!
+//! For each paper model and cluster size, prints the plan PAC's dynamic
+//! program selects (Eq. 2–6) next to the two degenerate strategies —
+//! Eco-FL's straight pipeline and EDDL's pure data parallelism — with their
+//! simulated mini-batch times and OOM verdicts.
+//!
+//! ```text
+//! cargo run --release --example cluster_planning
+//! ```
+
+use pac_cluster::{Cluster, CostModel};
+use pac_core::prelude::*;
+use pac_parallel::{simulate_data_parallel, simulate_plan, ParallelPlan, Schedule};
+use pac_planner::Planner;
+
+fn main() {
+    println!("=== PAC planner exploration (cf. paper Figure 10) ===\n");
+    let technique = Technique::parallel_default();
+
+    for model in ModelConfig::paper_models() {
+        println!("## {} ({} layers)", model.name, model.total_layers());
+        println!(
+            "{:>8} | {:<22} | {:>12} | {:>12} | {:>12}",
+            "devices", "PAC plan", "PAC (s)", "Eco-FL (s)", "EDDL (s)"
+        );
+        for n in [2usize, 4, 6, 8] {
+            let cluster = Cluster::nanos(n);
+            let limit = cluster.devices[0].usable_memory;
+            let cost = CostModel::new(model.clone(), technique, 128);
+            let layers = cost.layer_costs().len();
+            let mini_batch = n; // paper Fig 9: batch size = #devices
+
+            // PAC: planner-selected hybrid.
+            let planner = Planner::paper_defaults(cluster.clone(), mini_batch);
+            let (pac_desc, pac_time) = match planner.plan(&cost) {
+                Some(o) => (o.best.grouping_string(), format!("{:.2}", o.best_makespan_s)),
+                None => ("—".into(), "OOM".into()),
+            };
+
+            // Eco-FL: straight pipeline, one stage per device.
+            let ecofl = {
+                let plan = ParallelPlan::pipeline_even(layers, n);
+                let sim = simulate_plan(&cluster, &cost, &plan, mini_batch, n, Schedule::GPipe);
+                if sim.oom_stage(limit).is_some() {
+                    "OOM".to_string()
+                } else {
+                    format!("{:.2}", sim.makespan_s)
+                }
+            };
+
+            // EDDL: full replica per device.
+            let eddl = {
+                let sim = simulate_data_parallel(&cluster, &cost, mini_batch);
+                if sim.oom_device(limit).is_some() {
+                    "OOM".to_string()
+                } else {
+                    format!("{:.2}", sim.step_s)
+                }
+            };
+
+            println!(
+                "{:>8} | {:<22} | {:>12} | {:>12} | {:>12}",
+                n, pac_desc, pac_time, ecofl, eddl
+            );
+        }
+        println!();
+    }
+
+    println!("Notes:");
+    println!("- 'PAC plan' shows stage groups, e.g. [4N] [4N] = 2 stages × 4 Nanos.");
+    println!("- EDDL OOMs whenever one Nano cannot hold a full model replica");
+    println!("  (BART-Large and T5-Large), matching the paper's Figure 9.");
+    println!("- PAC's hybrid plans beat the straight pipeline by shrinking the");
+    println!("  stage count (fewer bubbles, less inter-stage traffic).");
+}
