@@ -58,7 +58,10 @@ fn print_straggler_table_once() {
         ("f32", base.clone()),
         ("fp16", base.clone().with_fp16()),
         ("f32 + recompute", base.clone().with_recompute()),
-        ("fp16 + recompute", base.clone().with_fp16().with_recompute()),
+        (
+            "fp16 + recompute",
+            base.clone().with_fp16().with_recompute(),
+        ),
     ];
     for (label, m) in rows {
         let b = m.breakdown(Phase::Training);
@@ -71,11 +74,9 @@ fn print_straggler_table_once() {
             b.total_gb()
         );
     }
-    let pa_cached = MemoryModel::paper_defaults(
-        ModelConfig::t5_large(),
-        Technique::parallel_default(),
-    )
-    .breakdown(Phase::CachedTraining);
+    let pa_cached =
+        MemoryModel::paper_defaults(ModelConfig::t5_large(), Technique::parallel_default())
+            .breakdown(Phase::CachedTraining);
     println!(
         "  {:<18} total {:>5.2}  <- PAC's design point beats all of them",
         "PA + cache (f32)",

@@ -7,12 +7,32 @@
 //!
 //! Subcommands: `table1 fig3 table2 table3 fig8 fig9 fig10 fig11 all`
 //! (plus `table3-quick` for a faster quality grid).
+//!
+//! Pass `--telemetry` (with any subcommand, or alone) to enable live
+//! engine metrics and print a report after the run: per-stage pipeline
+//! utilization, activation-cache hit rate, and AllReduce communication
+//! volume. `--telemetry` alone runs a micro workload that exercises the
+//! real pipeline engine and a full PAC session.
 
 use pac_bench::experiments as exp;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map(String::as_str).unwrap_or("all");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry = {
+        let before = args.len();
+        args.retain(|a| a != "--telemetry");
+        args.len() != before
+    };
+    if telemetry {
+        pac_telemetry::set_enabled(true);
+    }
+    let which = match args.first().map(String::as_str) {
+        Some(w) => w,
+        // Bare `--telemetry`: a small workload that touches every
+        // instrumented subsystem beats re-running the full suite.
+        None if telemetry => "telemetry-demo",
+        None => "all",
+    };
     match which {
         "table1" => table1(),
         "fig3" => fig3(),
@@ -24,6 +44,7 @@ fn main() {
         "fig9" => fig9(),
         "fig10" => fig10(),
         "fig11" => fig11(),
+        "telemetry-demo" => telemetry_demo(),
         "all" => {
             table1();
             fig3();
@@ -38,10 +59,124 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: repro [table1|fig3|table2|table3|table3-quick|fig6|fig8|fig9|fig10|fig11|all]"
+                "usage: repro [--telemetry] [table1|fig3|table2|table3|table3-quick|fig6|fig8|fig9|fig10|fig11|telemetry-demo|all]"
             );
             std::process::exit(2);
         }
+    }
+    if telemetry {
+        telemetry_report();
+    }
+}
+
+/// Micro workload exercising every instrumented subsystem: the real 1F1B
+/// pipeline engine, and a full PAC session (cache fill + cached epochs +
+/// data-parallel AllReduce).
+fn telemetry_demo() {
+    use pac_core::{PacConfig, PacSession};
+    use pac_data::TaskKind;
+    use pac_model::{EncoderModel, ModelConfig};
+    use pac_parallel::engine::run_pipeline_mini_batch;
+    use pac_parallel::Schedule;
+    use pac_tensor::rng::seeded;
+    use rand::Rng as _;
+
+    header("Telemetry demo — real 1F1B pipeline + PAC session at micro scale");
+
+    // Real threaded pipeline: 4 stages × 4 micro-batches.
+    let cfg = ModelConfig::micro(4, 0, 16, 2);
+    let model = EncoderModel::new(&cfg, 2, &mut seeded(600));
+    let stages = model.partition(&[1; 4]).unwrap();
+    let mut rng = seeded(601);
+    let micro_batches: Vec<(Vec<Vec<usize>>, Vec<usize>)> = (0..4)
+        .map(|_| {
+            let toks: Vec<Vec<usize>> = (0..2)
+                .map(|_| (0..6).map(|_| rng.gen_range(0..64)).collect())
+                .collect();
+            let targets: Vec<usize> = (0..2).map(|_| rng.gen_range(0..2)).collect();
+            (toks, targets)
+        })
+        .collect();
+    let out = run_pipeline_mini_batch(stages, micro_batches, Schedule::OneFOneB);
+    println!(
+        "pipeline: loss {:.4}, wall {:.2} ms, peak act bytes {:?}",
+        out.loss,
+        out.wall_s * 1e3,
+        out.peak_act_bytes
+    );
+
+    // PAC session: epoch 1 fills the cache, epochs 2–3 train from it with
+    // AllReduce-synchronized replicas.
+    let session = PacSession::new(PacConfig {
+        devices: 2,
+        epochs: 3,
+        batch_size: 8,
+        ..Default::default()
+    });
+    let report = session
+        .run(&ModelConfig::micro(2, 1, 16, 2), TaskKind::Sst2, 32, 8)
+        .expect("micro session");
+    println!(
+        "session: metric {:.1}, cache {} entries / {} hits / {} misses",
+        report.metric,
+        report.cache_stats.entries,
+        report.cache_stats.hits,
+        report.cache_stats.misses
+    );
+}
+
+/// Prints the derived telemetry report plus the raw metric snapshot.
+fn telemetry_report() {
+    header("Telemetry report");
+    let get = |k: &str| pac_telemetry::get(k).unwrap_or(0);
+
+    // Per-stage pipeline utilization (busy / wall, aggregated over runs).
+    let wall_ns = get("pipeline.wall_ns");
+    if wall_ns > 0 {
+        println!(
+            "pipeline: {} run(s), wall {:.2} ms",
+            get("pipeline.runs"),
+            wall_ns as f64 / 1e6
+        );
+        let mut s = 0usize;
+        while let Some(busy) = pac_telemetry::get(&format!("pipeline.stage{s}.busy_ns")) {
+            println!(
+                "  stage {s}: utilization {:>5.1}%  ({} ops, busy {:.2} ms)",
+                100.0 * busy as f64 / wall_ns as f64,
+                get(&format!("pipeline.stage{s}.ops")),
+                busy as f64 / 1e6
+            );
+            s += 1;
+        }
+    }
+
+    // Activation-cache effectiveness.
+    let (hits, misses) = (get("cache.hits"), get("cache.misses"));
+    if hits + misses > 0 {
+        println!(
+            "cache: hit rate {:>5.1}%  ({hits} hits / {misses} misses, {} fills, {:.1} KiB resident)",
+            100.0 * hits as f64 / (hits + misses) as f64,
+            get("cache.fills"),
+            get("cache.bytes") as f64 / 1024.0
+        );
+    }
+
+    // Communication volume.
+    let ar_bytes = get("allreduce.bytes");
+    if ar_bytes > 0 {
+        println!(
+            "allreduce: {:.1} KiB over {} reduction(s), {:.2} ms",
+            ar_bytes as f64 / 1024.0,
+            get("allreduce.reductions"),
+            get("allreduce.ns") as f64 / 1e6
+        );
+    }
+
+    let rows = pac_telemetry::snapshot();
+    if rows.is_empty() {
+        println!("(no metrics recorded — the selected experiment is analytic-only)");
+    } else {
+        println!("\nraw metrics:\n{}", pac_telemetry::render(&rows));
     }
 }
 
@@ -143,7 +278,10 @@ fn fig6() {
     for (name, schedule) in [
         ("1F1B (PAC)", Schedule::OneFOneB),
         ("GPipe flush", Schedule::GPipe),
-        ("GPipe, wave 2 (memory-capped Eco-FL)", Schedule::GPipeWave { wave: 2 }),
+        (
+            "GPipe, wave 2 (memory-capped Eco-FL)",
+            Schedule::GPipeWave { wave: 2 },
+        ),
     ] {
         let sim = simulate_plan(&cluster, &cost, &plan, 12, 6, schedule);
         println!(
@@ -203,7 +341,10 @@ fn fig8() {
     header("Figure 8 — per-sample time & peak per-device memory (T5-Base, 8 Nanos)");
     println!("{:<22} {:>14} {:>12}", "Technique", "s / sample", "peak GB");
     for r in exp::fig8() {
-        println!("{:<22} {:>14.3} {:>12.2}", r.label, r.per_sample_s, r.peak_gb);
+        println!(
+            "{:<22} {:>14.3} {:>12.2}",
+            r.label, r.per_sample_s, r.peak_gb
+        );
     }
     println!("\npaper: P.A. −31.9% time vs Full; P.A.+cache −96.4% time, −74.6% memory");
 }

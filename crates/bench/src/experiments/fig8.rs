@@ -45,7 +45,14 @@ pub fn fig8() -> Vec<Fig8Row> {
 
     for technique in Technique::all_paper() {
         let cost = CostModel::new(model.clone(), technique, 128);
-        let sim = simulate_plan(&cluster, &cost, &reference, MINI_BATCH, micro, Schedule::OneFOneB);
+        let sim = simulate_plan(
+            &cluster,
+            &cost,
+            &reference,
+            MINI_BATCH,
+            micro,
+            Schedule::OneFOneB,
+        );
         rows.push(Fig8Row {
             label: technique.name().to_string(),
             per_sample_s: sim.makespan_s / MINI_BATCH as f64,

@@ -47,8 +47,13 @@ pub fn fig9() -> Vec<Fig9Row> {
             // Eco-FL: straight pipeline, GPipe flush with the in-flight
             // wave limited to what memory allows (paper §6.2).
             let plan = ParallelPlan::pipeline_even(layers, n);
-            let ecofl = pac_parallel::simulate::simulate_ecofl(&cluster, &cost, mini_batch, n)
-                .map(|sim| (mini_batch as f64 / sim.makespan_s, plan_weight_gb(&plan, &cost)));
+            let ecofl =
+                pac_parallel::simulate::simulate_ecofl(&cluster, &cost, mini_batch, n).map(|sim| {
+                    (
+                        mini_batch as f64 / sim.makespan_s,
+                        plan_weight_gb(&plan, &cost),
+                    )
+                });
             rows.push(point(&model.name, "Eco-FL", n, ecofl));
 
             // EDDL: full replica per device.

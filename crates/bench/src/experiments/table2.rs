@@ -66,7 +66,13 @@ pub fn table2() -> Vec<Table2Row> {
 mod tests {
     use super::*;
 
-    fn cell<'a>(rows: &'a [Table2Row], tech: &str, sys: &str, model: usize, task: usize) -> &'a CellResult {
+    fn cell<'a>(
+        rows: &'a [Table2Row],
+        tech: &str,
+        sys: &str,
+        model: usize,
+        task: usize,
+    ) -> &'a CellResult {
         &rows
             .iter()
             .find(|r| r.technique.contains(tech) && r.system.contains(sys))
@@ -96,7 +102,9 @@ mod tests {
         for model in 0..3 {
             for task in 0..4 {
                 assert!(
-                    cell(&rows, "Parallel", "PAC", model, task).hours().is_some(),
+                    cell(&rows, "Parallel", "PAC", model, task)
+                        .hours()
+                        .is_some(),
                     "PAC OOM at m{model} t{task}"
                 );
             }
@@ -104,9 +112,17 @@ mod tests {
 
         // Adapters × Standalone works on T5-Base but OOMs on BART/T5-Large
         // (paper row 4).
-        assert!(cell(&rows, "Adapters", "Standalone", 0, 0).hours().is_some());
-        assert_eq!(*cell(&rows, "Adapters", "Standalone", 1, 0), CellResult::Oom);
-        assert_eq!(*cell(&rows, "Adapters", "Standalone", 2, 0), CellResult::Oom);
+        assert!(cell(&rows, "Adapters", "Standalone", 0, 0)
+            .hours()
+            .is_some());
+        assert_eq!(
+            *cell(&rows, "Adapters", "Standalone", 1, 0),
+            CellResult::Oom
+        );
+        assert_eq!(
+            *cell(&rows, "Adapters", "Standalone", 2, 0),
+            CellResult::Oom
+        );
 
         // EDDL × PEFT: T5-Base only (paper rows 5/8).
         assert!(cell(&rows, "LoRA", "EDDL", 0, 0).hours().is_some());

@@ -133,8 +133,7 @@ impl Personalizer {
                     self.tuner.backward(&ctx, &dl)?;
                     loss
                 } else {
-                    let tokens: Vec<Vec<usize>> =
-                        chunk.iter().map(|i| i.tokens.clone()).collect();
+                    let tokens: Vec<Vec<usize>> = chunk.iter().map(|i| i.tokens.clone()).collect();
                     let (logits, ctx) = self.tuner.forward(&tokens)?;
                     if let Some(acts) = self.tuner.cacheable_acts(&ctx) {
                         self.cache.insert_batch(&ids, acts);

@@ -142,8 +142,7 @@ mod tests {
     #[test]
     fn quality_grid_produces_all_cells() {
         let cfg = ModelConfig::micro(1, 1, 16, 2);
-        let cells =
-            run_quality_experiment(&cfg, &[TaskKind::Sst2], 32, 2, 99).unwrap();
+        let cells = run_quality_experiment(&cfg, &[TaskKind::Sst2], 32, 2, 99).unwrap();
         assert_eq!(cells.len(), 4);
         assert!(cells.iter().all(|c| (0.0..=100.0).contains(&c.metric)));
     }

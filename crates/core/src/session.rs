@@ -165,6 +165,7 @@ impl PacSession {
 
                 let loss = if epoch == 0 || !cache_has_all(&cache, &batch.ids[..usable]) {
                     // Phase 1: full forwards, filling the cache shard-wise.
+                    let _span = pac_telemetry::span("session.phase1");
                     let shards: Vec<(Vec<Vec<usize>>, Vec<usize>)> = (0..n_dev)
                         .map(|k| {
                             (
@@ -183,12 +184,11 @@ impl PacSession {
                     dp_step_tokens(&mut replicas, &shards)?
                 } else {
                     // Phase 2: cache-only DP training.
+                    let _span = pac_telemetry::span("session.phase2");
                     let shards: Vec<(Vec<Tensor>, Vec<f32>)> = (0..n_dev)
                         .map(|k| {
                             let ids = &batch.ids[k * share..(k + 1) * share];
-                            let acts = cache
-                                .get_batch(ids)
-                                .expect("cache warm after epoch 1");
+                            let acts = cache.get_batch(ids).expect("cache warm after epoch 1");
                             let targets = float_targets(&batch, k * share, (k + 1) * share, task);
                             (acts, targets)
                         })

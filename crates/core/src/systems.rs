@@ -175,9 +175,7 @@ pub fn estimate_cell(
                 return CellResult::Oom;
             }
             let redistribute = redistribution_time(cluster, &cost, task.train_size());
-            let total = epoch1
-                + redistribute
-                + cached.step_s * steps as f64 * (epochs - 1) as f64;
+            let total = epoch1 + redistribute + cached.step_s * steps as f64 * (epochs - 1) as f64;
             return CellResult::Hours(total / 3600.0);
         }
     };
@@ -200,7 +198,13 @@ mod tests {
         for model in ModelConfig::paper_models() {
             for system in [System::Standalone, System::Eddl] {
                 let r = estimate_cell(system, Technique::Full, &model, TaskKind::Mrpc, &nanos8());
-                assert_eq!(r, CellResult::Oom, "{} × Full × {}", system.name(), model.name);
+                assert_eq!(
+                    r,
+                    CellResult::Oom,
+                    "{} × Full × {}",
+                    system.name(),
+                    model.name
+                );
             }
         }
         let r = estimate_cell(
@@ -257,7 +261,9 @@ mod tests {
             (System::EcoFl, Technique::lora_default()),
             (System::Eddl, Technique::lora_default()),
         ] {
-            if let Some(h) = estimate_cell(system, technique, &model, TaskKind::Mrpc, &cluster).hours() {
+            if let Some(h) =
+                estimate_cell(system, technique, &model, TaskKind::Mrpc, &cluster).hours()
+            {
                 assert!(
                     pac < h,
                     "PAC {pac:.3} h not faster than {} × {} at {h:.3} h",

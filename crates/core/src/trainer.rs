@@ -91,6 +91,7 @@ pub fn finetune(
     let mut step = 0usize;
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
+        let _epoch_span = pac_telemetry::span("trainer.epoch");
         let mut sum = 0.0f32;
         let batches = train.batches(cfg.batch_size, epoch, cfg.seed);
         for batch in &batches {
@@ -129,23 +130,29 @@ pub fn finetune_with_cache(
     cfg: &TrainConfig,
     cache: &mut ActivationCache,
 ) -> Result<TrainReport> {
-    debug_assert!(matches!(tuner.technique(), Technique::ParallelAdapters { .. }));
+    debug_assert!(matches!(
+        tuner.technique(),
+        Technique::ParallelAdapters { .. }
+    ));
     let mut opt = Adam::new(cfg.lr);
     let mut step = 0usize;
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
+        let _epoch_span = pac_telemetry::span("trainer.epoch");
         let mut sum = 0.0f32;
         let batches = train.batches(cfg.batch_size, epoch, cfg.seed);
         for batch in &batches {
             tuner.zero_grads();
             let loss = if let Some(acts) = cache.get_batch(&batch.ids) {
                 // Cache hit: no backbone forward at all.
+                let _span = pac_telemetry::span("trainer.cached_batch");
                 let (logits, ctx) = tuner.forward_cached(&acts)?;
                 let (loss, dl) = loss_and_grad(&logits, batch, train.task, cfg.label_smoothing)?;
                 tuner.backward(&ctx, &dl)?;
                 loss
             } else {
                 // Epoch-1 path: full forward, then fill the cache.
+                let _span = pac_telemetry::span("trainer.fill_batch");
                 let (logits, ctx) = tuner.forward(&batch.tokens)?;
                 let acts = tuner
                     .cacheable_acts(&ctx)

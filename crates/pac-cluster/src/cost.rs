@@ -78,9 +78,7 @@ impl CostModel {
     /// Side-network hidden width for Parallel Adapters (0 otherwise).
     fn side_r(&self) -> usize {
         match self.technique {
-            Technique::ParallelAdapters { reduction } => {
-                (self.config.hidden / reduction).max(1)
-            }
+            Technique::ParallelAdapters { reduction } => (self.config.hidden / reduction).max(1),
             _ => 0,
         }
     }
@@ -101,8 +99,7 @@ impl CostModel {
                 let s_enc = self.seq as f64;
                 // Self-attention over dec tokens + cross-attention into the
                 // encoder sequence + FFN.
-                s * (8.0 * h * h + 4.0 * s * h + 4.0 * h * ff)
-                    + s * (8.0 * h * h + 4.0 * s_enc * h)
+                s * (8.0 * h * h + 4.0 * s * h + 4.0 * h * ff) + s * (8.0 * h * h + 4.0 * s_enc * h)
             }
         }
     }
@@ -277,7 +274,11 @@ impl CostModel {
 
     /// Total backward FLOPs for a mini-batch.
     pub fn total_bwd_flops(&self, batch: usize) -> f64 {
-        self.layer_costs().iter().map(|l| l.bwd_flops()).sum::<f64>() * batch as f64
+        self.layer_costs()
+            .iter()
+            .map(|l| l.bwd_flops())
+            .sum::<f64>()
+            * batch as f64
     }
 
     /// Forward share of a training step (the paper's Figure 3 quantity).
@@ -377,7 +378,11 @@ mod tests {
     fn pa_retains_far_fewer_activations() {
         let full = CostModel::new(model(), Technique::Full, 128);
         let pa = CostModel::new(model(), Technique::parallel_default(), 128);
-        let full_act: usize = full.layer_costs().iter().map(|l| l.retained_act_bytes).sum();
+        let full_act: usize = full
+            .layer_costs()
+            .iter()
+            .map(|l| l.retained_act_bytes)
+            .sum();
         let pa_act: usize = pa.layer_costs().iter().map(|l| l.retained_act_bytes).sum();
         assert!(
             pa_act * 3 < full_act,

@@ -65,7 +65,10 @@ impl DeviceSpec {
     /// # Panics
     /// Panics if `factor` is not positive and finite.
     pub fn slowed(&self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "slowdown must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "slowdown must be positive"
+        );
         DeviceSpec {
             name: format!("{} (×1/{factor:.1})", self.name),
             efficiency: self.efficiency / factor,

@@ -66,7 +66,12 @@ mod tests {
     #[test]
     fn faster_links_are_faster() {
         let bytes = 1_000_000;
-        assert!(LinkSpec::gigabit().transfer_time(bytes) < LinkSpec::lan_128mbps().transfer_time(bytes));
-        assert!(LinkSpec::lan_128mbps().transfer_time(bytes) < LinkSpec::wifi_slow().transfer_time(bytes));
+        assert!(
+            LinkSpec::gigabit().transfer_time(bytes) < LinkSpec::lan_128mbps().transfer_time(bytes)
+        );
+        assert!(
+            LinkSpec::lan_128mbps().transfer_time(bytes)
+                < LinkSpec::wifi_slow().transfer_time(bytes)
+        );
     }
 }

@@ -18,7 +18,12 @@ pub enum TaskKind {
 impl TaskKind {
     /// All four tasks in the paper's column order.
     pub fn all() -> [TaskKind; 4] {
-        [TaskKind::Mrpc, TaskKind::StsB, TaskKind::Sst2, TaskKind::Qnli]
+        [
+            TaskKind::Mrpc,
+            TaskKind::StsB,
+            TaskKind::Sst2,
+            TaskKind::Qnli,
+        ]
     }
 
     /// Display name as in the paper's tables.

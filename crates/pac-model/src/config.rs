@@ -195,9 +195,21 @@ mod tests {
             (got - want).abs() / want < tol
         };
         // T5-Base is actually 223M parameters; the paper rounds to "0.25B".
-        assert!(close(t5b.total_params(), 223e6, 0.02), "{}", t5b.total_params());
-        assert!(close(bart.total_params(), 0.41e9, 0.03), "{}", bart.total_params());
-        assert!(close(t5l.total_params(), 0.737e9, 0.03), "{}", t5l.total_params());
+        assert!(
+            close(t5b.total_params(), 223e6, 0.02),
+            "{}",
+            t5b.total_params()
+        );
+        assert!(
+            close(bart.total_params(), 0.41e9, 0.03),
+            "{}",
+            bart.total_params()
+        );
+        assert!(
+            close(t5l.total_params(), 0.737e9, 0.03),
+            "{}",
+            t5l.total_params()
+        );
     }
 
     #[test]

@@ -122,7 +122,9 @@ impl EncDecModel {
         let tok_emb = self.embed.forward(&flat)?;
         let positions: Vec<usize> = (0..batch).flat_map(|_| 0..seq).collect();
         let pos_emb = self.pos.forward(&positions)?;
-        let x = tok_emb.add(&pos_emb)?.reshape([batch, seq, self.config.hidden])?;
+        let x = tok_emb
+            .add(&pos_emb)?
+            .reshape([batch, seq, self.config.hidden])?;
         Ok((x, positions))
     }
 

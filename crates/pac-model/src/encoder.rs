@@ -85,10 +85,7 @@ impl EncoderModel {
     ///
     /// # Errors
     /// Returns a shape error on ragged or empty batches.
-    pub fn embed_batch_for_profile(
-        &self,
-        tokens: &[Vec<usize>],
-    ) -> Result<(Tensor, Vec<usize>)> {
+    pub fn embed_batch_for_profile(&self, tokens: &[Vec<usize>]) -> Result<(Tensor, Vec<usize>)> {
         let batch = tokens.len();
         let seq = tokens.first().map(|t| t.len()).unwrap_or(0);
         if batch == 0 || seq == 0 || tokens.iter().any(|t| t.len() != seq) {
@@ -255,7 +252,12 @@ pub(crate) fn mean_pool(x: &Tensor, batch: usize, seq: usize, d: usize) -> Resul
 }
 
 /// Backward of [`mean_pool`]: spreads `dy/seq` over every position.
-pub(crate) fn mean_pool_backward(dy: &Tensor, batch: usize, seq: usize, d: usize) -> Result<Tensor> {
+pub(crate) fn mean_pool_backward(
+    dy: &Tensor,
+    batch: usize,
+    seq: usize,
+    d: usize,
+) -> Result<Tensor> {
     let mut out = Tensor::zeros([batch * seq, d]);
     for b in 0..batch {
         for s in 0..seq {
@@ -355,7 +357,9 @@ mod tests {
         assert_eq!(y.dims(), &[2, 4]);
         // Pool of a constant tensor is that constant.
         let c = Tensor::full([2, 3, 4], 5.0);
-        assert!(mean_pool(&c, 2, 3, 4).unwrap().approx_eq(&Tensor::full([2, 4], 5.0), 1e-6));
+        assert!(mean_pool(&c, 2, 3, 4)
+            .unwrap()
+            .approx_eq(&Tensor::full([2, 4], 5.0), 1e-6));
         // Backward spreads uniformly and preserves total gradient mass.
         let dy = Tensor::ones([2, 4]);
         let dx = mean_pool_backward(&dy, 2, 3, 4).unwrap();

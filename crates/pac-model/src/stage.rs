@@ -12,6 +12,10 @@ use pac_nn::{
 use pac_tensor::{Result, Tensor, TensorError};
 
 /// One building block of a stage.
+///
+/// Variant sizes differ by design: embeddings dwarf heads. Stages hold a
+/// handful of units, so boxing would cost more in indirection than it saves.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum StageUnit {
     /// Token + positional embedding (first stage only).
@@ -55,6 +59,7 @@ impl StageData {
 }
 
 /// Per-unit saved context.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 enum UnitCtx {
     Embed {
@@ -106,12 +111,16 @@ impl StageModel {
 
     /// True when this stage contains the embedding (stage 0).
     pub fn has_embed(&self) -> bool {
-        self.units.iter().any(|u| matches!(u, StageUnit::Embed { .. }))
+        self.units
+            .iter()
+            .any(|u| matches!(u, StageUnit::Embed { .. }))
     }
 
     /// True when this stage contains the head (last stage).
     pub fn has_head(&self) -> bool {
-        self.units.iter().any(|u| matches!(u, StageUnit::Head { .. }))
+        self.units
+            .iter()
+            .any(|u| matches!(u, StageUnit::Head { .. }))
     }
 
     /// Forward pass over one micro-batch.
@@ -313,10 +322,7 @@ mod tests {
     }
 
     /// Runs a chain of stages forward, producing logits.
-    fn chain_forward(
-        stages: &[StageModel],
-        tokens: Vec<Vec<usize>>,
-    ) -> (Tensor, Vec<StageCtx>) {
+    fn chain_forward(stages: &[StageModel], tokens: Vec<Vec<usize>>) -> (Tensor, Vec<StageCtx>) {
         let mut data = StageData::Tokens(tokens);
         let mut ctxs = Vec::new();
         for s in stages {

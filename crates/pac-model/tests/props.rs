@@ -22,24 +22,23 @@ fn batch(seed: u64, b: usize, s: usize) -> Vec<Vec<usize>> {
 
 /// Random layer cuts summing to `layers`.
 fn arb_cuts(layers: usize) -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(1usize..=layers, 1..=layers)
-        .prop_map(move |mut v| {
-            // Normalize to sum exactly `layers`.
-            let mut remaining = layers;
-            let mut cuts = Vec::new();
-            for x in v.drain(..) {
-                if remaining == 0 {
-                    break;
-                }
-                let take = x.min(remaining);
-                cuts.push(take);
-                remaining -= take;
+    prop::collection::vec(1usize..=layers, 1..=layers).prop_map(move |mut v| {
+        // Normalize to sum exactly `layers`.
+        let mut remaining = layers;
+        let mut cuts = Vec::new();
+        for x in v.drain(..) {
+            if remaining == 0 {
+                break;
             }
-            if remaining > 0 {
-                cuts.push(remaining);
-            }
-            cuts
-        })
+            let take = x.min(remaining);
+            cuts.push(take);
+            remaining -= take;
+        }
+        if remaining > 0 {
+            cuts.push(remaining);
+        }
+        cuts
+    })
 }
 
 proptest! {

@@ -91,7 +91,8 @@ mod tests {
     fn all_gradients_match_finite_difference() {
         let mut rng = seeded(6);
         // Avoid the ReLU kink at exactly 0 by shifting values away from it.
-        let x = init::randn(&mut rng, [3, 4], 1.0).map(|v| if v.abs() < 0.05 { v + 0.1 } else { v });
+        let x =
+            init::randn(&mut rng, [3, 4], 1.0).map(|v| if v.abs() < 0.05 { v + 0.1 } else { v });
         for act in [
             Activation::Relu,
             Activation::Gelu,

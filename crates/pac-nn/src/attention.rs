@@ -50,7 +50,7 @@ impl MultiHeadAttention {
     /// # Panics
     /// Panics if `dim` is not divisible by `heads`.
     pub fn new(name: &str, rng: &mut impl Rng, dim: usize, heads: usize) -> Self {
-        assert!(dim % heads == 0, "dim must be divisible by heads");
+        assert!(dim.is_multiple_of(heads), "dim must be divisible by heads");
         MultiHeadAttention {
             wq: Linear::new(&format!("{name}.wq"), rng, dim, dim, false),
             wk: Linear::new(&format!("{name}.wk"), rng, dim, dim, false),
@@ -219,10 +219,7 @@ impl MultiHeadAttention {
         let dkv_v = self.wv.backward(&ctx.v_ctx, &dv)?;
         let dkv = dkv_k.add(&dkv_v)?;
 
-        Ok((
-            dx.reshape([batch, s_q, d])?,
-            dkv.reshape([batch, s_kv, d])?,
-        ))
+        Ok((dx.reshape([batch, s_q, d])?, dkv.reshape([batch, s_kv, d])?))
     }
 
     fn expect_bsd(op: &'static str, t: &Tensor) -> Result<(usize, usize, usize)> {

@@ -18,7 +18,10 @@ impl Embedding {
     /// convention).
     pub fn new(name: &str, rng: &mut impl Rng, vocab: usize, dim: usize) -> Self {
         Embedding {
-            table: Param::new(format!("{name}.table"), init::randn(rng, [vocab, dim], 0.02)),
+            table: Param::new(
+                format!("{name}.table"),
+                init::randn(rng, [vocab, dim], 0.02),
+            ),
             vocab,
             dim,
         }
@@ -99,10 +102,7 @@ mod tests {
         let y = e.forward(&[3, 3, 7]).unwrap();
         assert_eq!(y.dims(), &[3, 4]);
         assert_eq!(y.row(0).unwrap(), y.row(1).unwrap());
-        assert_eq!(
-            y.row(2).unwrap(),
-            &e.table.value.data()[7 * 4..8 * 4]
-        );
+        assert_eq!(y.row(2).unwrap(), &e.table.value.data()[7 * 4..8 * 4]);
     }
 
     #[test]

@@ -95,9 +95,7 @@ mod tests {
     fn wrong_gradient_fails() {
         let x = Tensor::from_vec(vec![1.0, -2.0, 3.0], [3]).unwrap();
         let wrong = x.scale(3.0); // should be 2x
-        let report = check_input_grad(&x, &wrong, 1e-3, |t| {
-            t.data().iter().map(|v| v * v).sum()
-        });
+        let report = check_input_grad(&x, &wrong, 1e-3, |t| t.data().iter().map(|v| v * v).sum());
         assert!(!report.passes(1e-2));
     }
 

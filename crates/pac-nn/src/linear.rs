@@ -163,11 +163,7 @@ mod tests {
 
         // Numeric gradient w.r.t. W.
         assert_grad_close(&l.w.value, &l2.w.grad, 1e-2, |wp| {
-            let lt = Linear::from_weights(
-                "t",
-                wp.clone(),
-                l.b.as_ref().map(|b| b.value.clone()),
-            );
+            let lt = Linear::from_weights("t", wp.clone(), l.b.as_ref().map(|b| b.value.clone()));
             lt.forward(&x).unwrap().0.sum()
         });
 

@@ -199,12 +199,7 @@ mod tests {
         let dx = ln2.backward(&ctx, &w).unwrap();
 
         assert_grad_close(&x, &dx, 2e-2, |xp| {
-            ln.forward(xp)
-                .unwrap()
-                .0
-                .mul(&w)
-                .unwrap()
-                .sum()
+            ln.forward(xp).unwrap().0.mul(&w).unwrap().sum()
         });
     }
 

@@ -57,9 +57,7 @@ impl Sgd {
             p.grad.axpy(wd, &v).expect("shapes match by construction");
         }
         if self.momentum > 0.0 {
-            let m = p
-                .opt_m
-                .get_or_insert_with(|| Tensor::zeros(p.value.dims()));
+            let m = p.opt_m.get_or_insert_with(|| Tensor::zeros(p.value.dims()));
             m.scale_in_place(self.momentum);
             m.add_assign(&p.grad).expect("shapes match by construction");
             let update = m.clone();

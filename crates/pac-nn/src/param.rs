@@ -121,7 +121,12 @@ pub trait Module {
         let mut acc = 0.0f64;
         self.visit_params_ref(&mut |p| {
             if p.trainable {
-                acc += p.grad.data().iter().map(|x| (*x as f64).powi(2)).sum::<f64>();
+                acc += p
+                    .grad
+                    .data()
+                    .iter()
+                    .map(|x| (*x as f64).powi(2))
+                    .sum::<f64>();
             }
         });
         acc.sqrt() as f32

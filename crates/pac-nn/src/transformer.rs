@@ -293,9 +293,6 @@ mod tests {
         let enc = TransformerLayer::encoder("e", &mut rng, 8, 2, 16, Activation::Gelu);
         let dec = TransformerLayer::decoder("d", &mut rng, 8, 2, 16, Activation::Gelu);
         // Decoder adds one MHA (4 * d * d) and one LayerNorm (2 * d).
-        assert_eq!(
-            dec.num_params(),
-            enc.num_params() + 4 * 8 * 8 + 2 * 8
-        );
+        assert_eq!(dec.num_params(), enc.num_params() + 4 * 8 * 8 + 2 * 8);
     }
 }

@@ -23,6 +23,7 @@ pub fn allreduce_mean<M: Module>(replicas: &mut [M]) {
     if n <= 1 {
         return;
     }
+    let _span = pac_telemetry::span("allreduce");
     // Gather.
     let mut sums: Vec<Tensor> = Vec::new();
     {
@@ -48,6 +49,11 @@ pub fn allreduce_mean<M: Module>(replicas: &mut [M]) {
     let inv = 1.0 / n as f32;
     for s in &mut sums {
         s.scale_in_place(inv);
+    }
+    if pac_telemetry::enabled() {
+        let payload: usize = sums.iter().map(Tensor::size_bytes).sum();
+        pac_telemetry::counter_add("allreduce.bytes", (payload * n) as u64);
+        pac_telemetry::counter_inc("allreduce.reductions");
     }
     // Scatter.
     for r in replicas.iter_mut() {
@@ -82,6 +88,7 @@ pub fn dp_step_tokens(
             rhs: vec![shards.len()],
         });
     }
+    let _span = pac_telemetry::span("dp.step_tokens");
     let losses: Vec<Result<f32>> = replicas
         .par_iter_mut()
         .zip(shards.par_iter())
@@ -122,6 +129,7 @@ pub fn dp_step_cached(
             rhs: vec![shards.len()],
         });
     }
+    let _span = pac_telemetry::span("dp.step_cached");
     let losses: Vec<Result<f32>> = replicas
         .par_iter_mut()
         .zip(shards.par_iter())
@@ -252,7 +260,10 @@ mod tests {
         for r in &replicas[1..] {
             let mut idx = 0;
             r.visit_params_ref(&mut |p| {
-                assert!(p.value.approx_eq(&p0[idx], 1e-6), "replica diverged at {idx}");
+                assert!(
+                    p.value.approx_eq(&p0[idx], 1e-6),
+                    "replica diverged at {idx}"
+                );
                 idx += 1;
             });
         }

@@ -17,6 +17,9 @@ use pac_model::StageModel;
 use pac_nn::{Module, Optimizer, Param};
 use pac_tensor::{Result, Tensor, TensorError};
 
+/// One micro-batch: `(token rows, class targets)`.
+type MicroBatch = (Vec<Vec<usize>>, Vec<usize>);
+
 /// Hybrid-parallel training engine over real threads.
 #[derive(Debug)]
 pub struct HybridEngine {
@@ -75,7 +78,7 @@ impl HybridEngine {
             }
         }
         // Per-lane slices of every micro-batch.
-        let lane_inputs: Vec<Vec<(Vec<Vec<usize>>, Vec<usize>)>> = (0..g)
+        let lane_inputs: Vec<Vec<MicroBatch>> = (0..g)
             .map(|k| {
                 micro_batches
                     .iter()
@@ -89,13 +92,20 @@ impl HybridEngine {
                     .collect()
             })
             .collect();
+        if pac_telemetry::enabled() {
+            for (k, input) in lane_inputs.iter().enumerate() {
+                let rows: usize = input.iter().map(|(t, _)| t.len()).sum();
+                pac_telemetry::counter_add(&format!("hybrid.lane{k}.rows"), rows as u64);
+            }
+            pac_telemetry::counter_inc("hybrid.runs");
+        }
 
         let schedule = self.schedule;
         let lanes = std::mem::take(&mut self.lanes);
         let outcomes: Vec<(Vec<StageModel>, f32)> = std::thread::scope(|scope| {
             let handles: Vec<_> = lanes
                 .into_iter()
-                .zip(lane_inputs.into_iter())
+                .zip(lane_inputs)
                 .map(|(stage_chain, input)| {
                     scope.spawn(move || {
                         let out = run_pipeline_mini_batch(stage_chain, input, schedule);
@@ -117,10 +127,13 @@ impl HybridEngine {
         }
 
         // AllReduce each stage's gradients across lanes.
-        for s in 0..self.num_stages() {
-            let mut group: Vec<&mut StageModel> =
-                self.lanes.iter_mut().map(|lane| &mut lane[s]).collect();
-            allreduce_group(&mut group);
+        {
+            let _span = pac_telemetry::span("hybrid.allreduce");
+            for s in 0..self.num_stages() {
+                let mut group: Vec<&mut StageModel> =
+                    self.lanes.iter_mut().map(|lane| &mut lane[s]).collect();
+                allreduce_group(&mut group);
+            }
         }
         Ok(loss / g as f32)
     }
@@ -182,6 +195,14 @@ fn allreduce_group(group: &mut [&mut StageModel]) {
     let inv = 1.0 / n as f32;
     for s in &mut sums {
         s.scale_in_place(inv);
+    }
+    if pac_telemetry::enabled() {
+        // Logical comms volume: every lane ships its full gradient set into
+        // the reduction (what a ring AllReduce moves, up to the 2(n−1)/n
+        // factor accounted in the cost model).
+        let payload: usize = sums.iter().map(Tensor::size_bytes).sum();
+        pac_telemetry::counter_add("allreduce.bytes", (payload * n) as u64);
+        pac_telemetry::counter_inc("allreduce.reductions");
     }
     for stage in group.iter_mut() {
         let mut idx = 0usize;
@@ -249,7 +270,10 @@ mod tests {
         let mut engine = HybridEngine::new(stages, 2, Schedule::OneFOneB);
         assert_eq!(engine.num_devices(), 4);
         let loss = engine.run_mini_batch(&mbs).unwrap();
-        assert!((loss - mono_loss).abs() < 1e-5, "loss {loss} vs {mono_loss}");
+        assert!(
+            (loss - mono_loss).abs() < 1e-5,
+            "loss {loss} vs {mono_loss}"
+        );
 
         for lane in &engine.lanes {
             for stage in lane {
@@ -271,10 +295,8 @@ mod tests {
         let m = model(232, 2);
         let stages = m.partition(&[1, 1]).unwrap();
         let mut engine = HybridEngine::new(stages, 2, Schedule::OneFOneB);
-        let mut opts: Vec<Box<dyn Optimizer>> = vec![
-            Box::new(Sgd::new(0.05)),
-            Box::new(Sgd::new(0.05)),
-        ];
+        let mut opts: Vec<Box<dyn Optimizer>> =
+            vec![Box::new(Sgd::new(0.05)), Box::new(Sgd::new(0.05))];
         for step in 0..3 {
             let mbs = micro_batches(240 + step, 2, 4, 4);
             engine.zero_grads();
@@ -316,10 +338,8 @@ mod tests {
         let m = model(235, 2);
         let stages = m.partition(&[1, 1]).unwrap();
         let mut engine = HybridEngine::new(stages, 2, Schedule::OneFOneB);
-        let mut opts: Vec<Box<dyn Optimizer>> = vec![
-            Box::new(Sgd::new(0.05)),
-            Box::new(Sgd::new(0.05)),
-        ];
+        let mut opts: Vec<Box<dyn Optimizer>> =
+            vec![Box::new(Sgd::new(0.05)), Box::new(Sgd::new(0.05))];
         let mbs = micro_batches(236, 2, 4, 4);
         let mut first = 0.0;
         let mut last = 0.0;

@@ -6,12 +6,13 @@
 //! [`crate::schedule::stage_op_sequence`], so the real engine and the
 //! timeline simulator implement the *same* discipline.
 
-use crate::schedule::{stage_op_sequence, Op, Schedule};
+use crate::schedule::{stage_op_sequence, Op, Schedule, SimEvent};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use pac_model::{StageCtx, StageData, StageModel};
 use pac_nn::cross_entropy;
 use pac_tensor::Tensor;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Result of running one mini-batch through the real pipeline.
 #[derive(Debug)]
@@ -24,6 +25,17 @@ pub struct PipelineOutcome {
     /// Per-stage peak retained activation bytes observed (live validation
     /// of the 1F1B memory claim).
     pub peak_act_bytes: Vec<usize>,
+    /// Measured timeline of every executed op, in the same format the
+    /// simulator emits — start/end are seconds since mini-batch start,
+    /// covering compute only (channel waits are idle, sends are comms).
+    /// Feed to [`SimResult::from_events`](crate::schedule::SimResult::from_events)
+    /// to render or compare against a simulated run.
+    pub events: Vec<SimEvent>,
+    /// Per-stage total compute time (seconds); `busy / wall_s` is the
+    /// stage's utilization.
+    pub stage_busy_s: Vec<f64>,
+    /// Wall-clock duration of the whole mini-batch (seconds).
+    pub wall_s: f64,
 }
 
 /// Runs one mini-batch of `micro_batches` through the stage chain with the
@@ -61,17 +73,17 @@ pub fn run_pipeline_mini_batch(
     fwd_txs.push(None);
     bwd_rxs.push(None);
 
-    let results: Vec<(StageModel, f32, usize)> = std::thread::scope(|scope| {
+    let epoch = Instant::now();
+    let results: Vec<(StageModel, f32, usize, Vec<SimEvent>, f64)> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(s_n);
         for (s, mut stage) in stages.into_iter().enumerate() {
             let fwd_tx = fwd_txs[s].take();
             let fwd_rx = fwd_rxs[s].take();
             let bwd_tx = bwd_txs[s].take();
             let bwd_rx = bwd_rxs[s].take();
-            let mb_inputs: Vec<(Vec<Vec<usize>>, Vec<usize>)> = if s == 0 {
+            // First stage needs the tokens, last stage needs the targets.
+            let mb_inputs: Vec<(Vec<Vec<usize>>, Vec<usize>)> = if s == 0 || s == s_n - 1 {
                 micro_batches.clone()
-            } else if s == s_n - 1 {
-                micro_batches.clone() // needs targets
             } else {
                 Vec::new()
             };
@@ -82,6 +94,8 @@ pub fn run_pipeline_mini_batch(
                 let mut loss_sum = 0.0f32;
                 let mut live_act = 0usize;
                 let mut peak_act = 0usize;
+                let mut events: Vec<SimEvent> = Vec::with_capacity(2 * m_n);
+                let mut busy = 0.0f64;
                 for op in ops {
                     match op {
                         Op::F(m) => {
@@ -96,8 +110,17 @@ pub fn run_pipeline_mini_batch(
                                 debug_assert_eq!(idx, m, "forward arrived out of order");
                                 data
                             };
-                            let (out, ctx) =
-                                stage.forward(input).expect("stage forward failed");
+                            let t0 = epoch.elapsed().as_secs_f64();
+                            let (out, ctx) = stage.forward(input).expect("stage forward failed");
+                            let t1 = epoch.elapsed().as_secs_f64();
+                            busy += t1 - t0;
+                            events.push(SimEvent {
+                                stage: s,
+                                micro: m,
+                                forward: true,
+                                start: t0,
+                                end: t1,
+                            });
                             live_act += ctx.activation_bytes;
                             peak_act = peak_act.max(live_act);
                             ctxs.insert(m, ctx);
@@ -115,13 +138,11 @@ pub fn run_pipeline_mini_batch(
                             }
                         }
                         Op::B(m) => {
-                            let grad = if s == s_n - 1 {
-                                let logits =
-                                    outputs.remove(&m).expect("logits missing for backward");
-                                let (loss, dl) = cross_entropy(&logits, &mb_inputs[m].1)
-                                    .expect("loss computation failed");
-                                loss_sum += loss;
-                                dl.scale(1.0 / m_n as f32)
+                            // Receive before the timestamp so channel waits
+                            // count as idle; the last stage's loss compute
+                            // is part of its backward time.
+                            let received = if s == s_n - 1 {
+                                None
                             } else {
                                 let (idx, g) = bwd_rx
                                     .as_ref()
@@ -129,11 +150,32 @@ pub fn run_pipeline_mini_batch(
                                     .recv()
                                     .expect("downstream stage closed unexpectedly");
                                 debug_assert_eq!(idx, m, "backward arrived out of order");
-                                g
+                                Some(g)
+                            };
+                            let t0 = epoch.elapsed().as_secs_f64();
+                            let grad = match received {
+                                Some(g) => g,
+                                None => {
+                                    let logits =
+                                        outputs.remove(&m).expect("logits missing for backward");
+                                    let (loss, dl) = cross_entropy(&logits, &mb_inputs[m].1)
+                                        .expect("loss computation failed");
+                                    loss_sum += loss;
+                                    dl.scale(1.0 / m_n as f32)
+                                }
                             };
                             let ctx = ctxs.remove(&m).expect("ctx missing for backward");
                             let upstream =
                                 stage.backward(&ctx, &grad).expect("stage backward failed");
+                            let t1 = epoch.elapsed().as_secs_f64();
+                            busy += t1 - t0;
+                            events.push(SimEvent {
+                                stage: s,
+                                micro: m,
+                                forward: false,
+                                start: t0,
+                                end: t1,
+                            });
                             live_act -= ctx.activation_bytes;
                             if let Some(g) = upstream {
                                 bwd_tx
@@ -145,7 +187,7 @@ pub fn run_pipeline_mini_batch(
                         }
                     }
                 }
-                (stage, loss_sum, peak_act)
+                (stage, loss_sum, peak_act, events, busy)
             }));
         }
         handles
@@ -153,19 +195,34 @@ pub fn run_pipeline_mini_batch(
             .map(|h| h.join().expect("stage thread panicked"))
             .collect()
     });
+    let wall_s = epoch.elapsed().as_secs_f64();
 
     let mut stages_out = Vec::with_capacity(s_n);
     let mut loss = 0.0f32;
     let mut peaks = Vec::with_capacity(s_n);
-    for (stage, l, peak) in results {
+    let mut events = Vec::with_capacity(2 * s_n * m_n);
+    let mut stage_busy_s = Vec::with_capacity(s_n);
+    for (s, (stage, l, peak, evs, busy)) in results.into_iter().enumerate() {
         stages_out.push(stage);
         loss += l;
         peaks.push(peak);
+        if pac_telemetry::enabled() {
+            pac_telemetry::counter_add(&format!("pipeline.stage{s}.busy_ns"), (busy * 1e9) as u64);
+            pac_telemetry::counter_add(&format!("pipeline.stage{s}.ops"), evs.len() as u64);
+            pac_telemetry::gauge_max(&format!("pipeline.stage{s}.peak_act_bytes"), peak as u64);
+        }
+        events.extend(evs);
+        stage_busy_s.push(busy);
     }
+    pac_telemetry::counter_inc("pipeline.runs");
+    pac_telemetry::counter_add("pipeline.wall_ns", (wall_s * 1e9) as u64);
     PipelineOutcome {
         stages: stages_out,
         loss: loss / m_n as f32,
         peak_act_bytes: peaks,
+        events,
+        stage_busy_s,
+        wall_s,
     }
 }
 
@@ -182,7 +239,12 @@ mod tests {
         EncoderModel::new(&cfg, 2, &mut seeded(seed))
     }
 
-    fn micro_batches(seed: u64, m: usize, b: usize, s: usize) -> Vec<(Vec<Vec<usize>>, Vec<usize>)> {
+    fn micro_batches(
+        seed: u64,
+        m: usize,
+        b: usize,
+        s: usize,
+    ) -> Vec<(Vec<Vec<usize>>, Vec<usize>)> {
         let mut rng = seeded(seed);
         (0..m)
             .map(|_| {

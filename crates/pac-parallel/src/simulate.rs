@@ -75,7 +75,8 @@ pub fn simulate_plan(
 
         // Transfer: each receiving device of the next stage pulls its slice
         // of the micro-batch activation.
-        let send_bytes = (boundary as f64 * mini_batch as f64 / micro as f64
+        let send_bytes = (boundary as f64 * mini_batch as f64
+            / micro as f64
             / plan
                 .stages
                 .get(si + 1)
@@ -110,7 +111,11 @@ pub fn simulate_plan(
 /// Simulates one pure data-parallel mini-batch (EDDL): every device hosts
 /// the full model and processes `mini_batch / n` samples, then AllReduces
 /// the trainable bytes.
-pub fn simulate_data_parallel(cluster: &Cluster, cost: &CostModel, mini_batch: usize) -> DpSimResult {
+pub fn simulate_data_parallel(
+    cluster: &Cluster,
+    cost: &CostModel,
+    mini_batch: usize,
+) -> DpSimResult {
     let n = cluster.len().max(1);
     let layers = cost.layer_costs();
     let coll = CollectiveModel::new(cluster.link);
@@ -249,14 +254,24 @@ mod tests {
             &CostModel::new(ModelConfig::t5_large(), Technique::adapters_default(), 128),
             4,
         );
-        assert!(large.oom_device(limit).is_some(), "T5-Large must OOM under DP");
+        assert!(
+            large.oom_device(limit).is_some(),
+            "T5-Large must OOM under DP"
+        );
 
         let bart = simulate_data_parallel(
             &cluster,
-            &CostModel::new(ModelConfig::bart_large(), Technique::parallel_default(), 128),
+            &CostModel::new(
+                ModelConfig::bart_large(),
+                Technique::parallel_default(),
+                128,
+            ),
             4,
         );
-        assert!(bart.oom_device(limit).is_some(), "BART-Large must OOM under DP");
+        assert!(
+            bart.oom_device(limit).is_some(),
+            "BART-Large must OOM under DP"
+        );
     }
 
     #[test]
@@ -334,7 +349,14 @@ mod tests {
         let cluster = Cluster::nanos(4);
         let layers = cost(Technique::Full).layer_costs().len();
         let plan = ParallelPlan::pipeline_even(layers, 4);
-        let t_full = simulate_plan(&cluster, &cost(Technique::Full), &plan, 8, 4, Schedule::OneFOneB);
+        let t_full = simulate_plan(
+            &cluster,
+            &cost(Technique::Full),
+            &plan,
+            8,
+            4,
+            Schedule::OneFOneB,
+        );
         let t_pa = simulate_plan(
             &cluster,
             &cost(Technique::parallel_default()),

@@ -1,0 +1,220 @@
+//! Sim-vs-real consistency: the threaded pipeline engine and the timeline
+//! simulator must implement the *same* 1F1B/GPipe discipline.
+//!
+//! Three layers of agreement are checked on a uniform micro pipeline:
+//!
+//! 1. **Op order** — each real stage executes exactly
+//!    [`stage_op_sequence`], in order (the engine is built on it, but the
+//!    measured event stream is the proof that the timestamps reflect it).
+//! 2. **Causality** — measured timestamps respect the simulator's
+//!    dependency rules: `F(s−1, m)` before `F(s, m)`, `B(s+1, m)` before
+//!    `B(s, m)`, forward before backward of the same micro-batch, and ops
+//!    on one stage never overlap.
+//! 3. **Timeline shape** — a simulator parameterized with the *measured*
+//!    mean forward/backward times predicts the measured makespan within a
+//!    loose tolerance, and the real in-flight memory profile obeys the
+//!    1F1B bound the simulator derives (stage `s` holds ≤ `S − s`).
+//!
+//! On failure the measured and simulated timelines are both rendered via
+//! [`SimResult::ascii_gantt`] so the divergence is visible at a glance.
+
+use pac_model::{EncoderModel, ModelConfig};
+use pac_parallel::engine::{run_pipeline_mini_batch, PipelineOutcome};
+use pac_parallel::schedule::{
+    simulate_pipeline, stage_op_sequence, Op, Schedule, SimEvent, SimResult, SimStage,
+};
+use pac_tensor::rng::seeded;
+use rand::Rng as _;
+
+const STAGES: usize = 4;
+const MICROS: usize = 4;
+
+fn run_real(schedule: Schedule) -> PipelineOutcome {
+    let cfg = ModelConfig::micro(STAGES, 0, 16, 2);
+    let model = EncoderModel::new(&cfg, 2, &mut seeded(400));
+    let stages = model.partition(&[1; STAGES]).unwrap();
+    let mut rng = seeded(401);
+    let micro_batches: Vec<(Vec<Vec<usize>>, Vec<usize>)> = (0..MICROS)
+        .map(|_| {
+            let toks: Vec<Vec<usize>> = (0..2)
+                .map(|_| (0..6).map(|_| rng.gen_range(0..64)).collect())
+                .collect();
+            let targets: Vec<usize> = (0..2).map(|_| rng.gen_range(0..2)).collect();
+            (toks, targets)
+        })
+        .collect();
+    run_pipeline_mini_batch(stages, micro_batches, schedule)
+}
+
+/// The measured per-stage op stream, in start-time order.
+fn measured_ops(events: &[SimEvent], stage: usize) -> Vec<Op> {
+    let mut evs: Vec<&SimEvent> = events.iter().filter(|e| e.stage == stage).collect();
+    evs.sort_by(|a, b| a.start.total_cmp(&b.start));
+    evs.iter()
+        .map(|e| {
+            if e.forward {
+                Op::F(e.micro)
+            } else {
+                Op::B(e.micro)
+            }
+        })
+        .collect()
+}
+
+fn gantts(outcome: &PipelineOutcome, sim: &SimResult) -> String {
+    let real = SimResult::from_events(outcome.events.clone(), STAGES);
+    format!(
+        "measured:\n{}\nsimulated:\n{}",
+        real.ascii_gantt(72),
+        sim.ascii_gantt(72)
+    )
+}
+
+#[test]
+fn real_stage_op_order_matches_schedule() {
+    for schedule in [Schedule::OneFOneB, Schedule::GPipe] {
+        let out = run_real(schedule);
+        assert_eq!(out.events.len(), 2 * STAGES * MICROS);
+        for s in 0..STAGES {
+            let expected = stage_op_sequence(schedule, s, STAGES, MICROS);
+            let got = measured_ops(&out.events, s);
+            assert_eq!(
+                got, expected,
+                "{schedule:?}: stage {s} executed a different op order"
+            );
+        }
+    }
+}
+
+#[test]
+fn real_timestamps_respect_simulator_dependencies() {
+    let out = run_real(Schedule::OneFOneB);
+    let find = |stage: usize, micro: usize, forward: bool| -> &SimEvent {
+        out.events
+            .iter()
+            .find(|e| e.stage == stage && e.micro == micro && e.forward == forward)
+            .expect("every op appears exactly once")
+    };
+    let eps = 1e-9;
+    for m in 0..MICROS {
+        for s in 0..STAGES {
+            let f = find(s, m, true);
+            let b = find(s, m, false);
+            assert!(f.start <= f.end && b.start <= b.end, "degenerate interval");
+            assert!(
+                f.end <= b.start + eps,
+                "stage {s} micro {m}: backward started before its forward ended"
+            );
+            if s > 0 {
+                let up = find(s - 1, m, true);
+                assert!(
+                    up.end <= f.start + eps,
+                    "F({s},{m}) started before F({},{m}) ended",
+                    s - 1
+                );
+            }
+            if s < STAGES - 1 {
+                let down = find(s + 1, m, false);
+                assert!(
+                    down.end <= b.start + eps,
+                    "B({s},{m}) started before B({},{m}) ended",
+                    s + 1
+                );
+            }
+        }
+    }
+    // Ops on one stage serialize.
+    for s in 0..STAGES {
+        let mut evs: Vec<&SimEvent> = out.events.iter().filter(|e| e.stage == s).collect();
+        evs.sort_by(|a, b| a.start.total_cmp(&b.start));
+        for w in evs.windows(2) {
+            assert!(
+                w[1].start >= w[0].end - eps,
+                "stage {s}: overlapping ops in the measured timeline"
+            );
+        }
+    }
+}
+
+#[test]
+fn measured_timeline_agrees_with_simulation() {
+    let out = run_real(Schedule::OneFOneB);
+
+    // Parameterize the simulator with the *measured* mean compute times, so
+    // the comparison isolates scheduling shape from absolute speed.
+    let sim_stages: Vec<SimStage> = (0..STAGES)
+        .map(|s| {
+            let mean = |forward: bool| -> f64 {
+                let durs: Vec<f64> = out
+                    .events
+                    .iter()
+                    .filter(|e| e.stage == s && e.forward == forward)
+                    .map(|e| e.end - e.start)
+                    .collect();
+                durs.iter().sum::<f64>() / durs.len() as f64
+            };
+            SimStage {
+                fwd_s: mean(true),
+                bwd_s: mean(false),
+                send_fwd_s: 0.0,
+                send_bwd_s: 0.0,
+                weight_bytes: 0,
+                act_bytes_per_mb: 0,
+                fixed_bytes: 0,
+                allreduce_s: 0.0,
+            }
+        })
+        .collect();
+    let sim = simulate_pipeline(&sim_stages, MICROS, Schedule::OneFOneB);
+
+    // The real timeline includes thread spawn/channel overhead and OS
+    // jitter, so the tolerance is deliberately loose: the measured critical
+    // path must be at least the simulated one (the sim is an ideal lower
+    // bound built from the same mean op costs) and within a generous
+    // constant factor of it.
+    let measured_span = out.events.iter().fold(0.0f64, |a, e| a.max(e.end));
+    let ratio = measured_span / sim.makespan_s;
+    assert!(
+        ratio > 0.5 && ratio < 10.0,
+        "measured/simulated makespan ratio {ratio:.3} out of tolerance\n{}",
+        gantts(&out, &sim)
+    );
+
+    // The real engine must obey the 1F1B in-flight bound the simulator
+    // derives: stage s retains at most S − s micro-batches.
+    let real = SimResult::from_events(out.events.clone(), STAGES);
+    for (s, (&rp, &sp)) in real
+        .peak_inflight
+        .iter()
+        .zip(sim.peak_inflight.iter())
+        .enumerate()
+    {
+        assert!(
+            rp <= STAGES - s,
+            "stage {s}: measured inflight {rp} exceeds the 1F1B bound\n{}",
+            gantts(&out, &sim)
+        );
+        assert_eq!(
+            rp,
+            sp,
+            "stage {s}: measured inflight {rp} != simulated {sp}\n{}",
+            gantts(&out, &sim)
+        );
+    }
+
+    // Busy-time bookkeeping: PipelineOutcome::stage_busy_s must equal the
+    // per-stage event durations it was derived from.
+    for s in 0..STAGES {
+        let from_events: f64 = out
+            .events
+            .iter()
+            .filter(|e| e.stage == s)
+            .map(|e| e.end - e.start)
+            .sum();
+        assert!(
+            (from_events - out.stage_busy_s[s]).abs() < 1e-9,
+            "stage {s}: busy bookkeeping diverged"
+        );
+        assert!(out.stage_busy_s[s] <= out.wall_s + 1e-9);
+    }
+}

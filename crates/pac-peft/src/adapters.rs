@@ -7,9 +7,7 @@
 //! analyzes.
 
 use pac_model::EncDecModel;
-use pac_nn::{
-    Activation, Linear, LinearCtx, Module, Param, TransformerLayerCtx,
-};
+use pac_nn::{Activation, Linear, LinearCtx, Module, Param, TransformerLayerCtx};
 use pac_tensor::{Result, Tensor};
 use rand::Rng;
 
@@ -293,9 +291,7 @@ mod tests {
         let (_, ctx) = a.forward(&y).unwrap();
         let mut a2 = a.clone();
         let dy = a2.backward(&ctx, &Tensor::ones([3, 6])).unwrap();
-        pac_nn::gradcheck::assert_grad_close(&y, &dy, 2e-2, |yp| {
-            a.forward(yp).unwrap().0.sum()
-        });
+        pac_nn::gradcheck::assert_grad_close(&y, &dy, 2e-2, |yp| a.forward(yp).unwrap().0.sum());
     }
 
     #[test]

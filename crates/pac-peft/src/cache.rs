@@ -62,6 +62,11 @@ impl ActivationCache {
             self.bytes -= old.iter().map(Tensor::size_bytes).sum::<usize>();
         }
         self.bytes += new_bytes;
+        if pac_telemetry::enabled() {
+            pac_telemetry::counter_inc("cache.fills");
+            pac_telemetry::gauge_set("cache.bytes", self.bytes as u64);
+            pac_telemetry::gauge_set("cache.entries", self.entries.len() as u64);
+        }
     }
 
     /// Fetches the cached activations of `sample_id`, updating hit/miss
@@ -69,9 +74,11 @@ impl ActivationCache {
     pub fn get(&mut self, sample_id: u64) -> Option<&Vec<Tensor>> {
         if self.entries.contains_key(&sample_id) {
             self.hits += 1;
+            pac_telemetry::counter_inc("cache.hits");
             self.entries.get(&sample_id)
         } else {
             self.misses += 1;
+            pac_telemetry::counter_inc("cache.misses");
             None
         }
     }
@@ -91,9 +98,11 @@ impl ActivationCache {
         }
         if !sample_ids.iter().all(|id| self.entries.contains_key(id)) {
             self.misses += 1;
+            pac_telemetry::counter_inc("cache.misses");
             return None;
         }
         self.hits += 1;
+        pac_telemetry::counter_inc("cache.hits");
         let layers = self.entries[&sample_ids[0]].len();
         let mut out = Vec::with_capacity(layers);
         for l in 0..layers {
@@ -158,6 +167,10 @@ impl ActivationCache {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.bytes = 0;
+        if pac_telemetry::enabled() {
+            pac_telemetry::gauge_set("cache.bytes", 0);
+            pac_telemetry::gauge_set("cache.entries", 0);
+        }
     }
 
     /// Current statistics.
@@ -185,7 +198,9 @@ mod tests {
 
     fn acts(seed: u64, layers: usize, s: usize, d: usize) -> Vec<Tensor> {
         let mut rng = seeded(seed);
-        (0..layers).map(|_| init::randn(&mut rng, [1, s, d], 1.0)).collect()
+        (0..layers)
+            .map(|_| init::randn(&mut rng, [1, s, d], 1.0))
+            .collect()
     }
 
     #[test]

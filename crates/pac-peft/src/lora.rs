@@ -56,7 +56,7 @@ pub struct LoraPair {
     pub scale: f32,
 }
 
-fn target_mut<'m>(model: &'m mut EncDecModel, site: AttnSite, proj: Proj) -> &'m mut Linear {
+fn target_mut(model: &mut EncDecModel, site: AttnSite, proj: Proj) -> &mut Linear {
     let attn = match site {
         AttnSite::EncSelf(i) => &mut model.encoder[i].self_attn,
         AttnSite::DecSelf(i) => &mut model.decoder[i].self_attn,
@@ -109,7 +109,10 @@ impl LoraTuner {
                     format!("lora.{site:?}.{proj:?}.a"),
                     init::randn(rng, [d, rank], (1.0 / rank as f32).sqrt()),
                 );
-                let b = Param::new(format!("lora.{site:?}.{proj:?}.b"), Tensor::zeros([rank, d]));
+                let b = Param::new(
+                    format!("lora.{site:?}.{proj:?}.b"),
+                    Tensor::zeros([rank, d]),
+                );
                 pairs.push(LoraPair {
                     site,
                     proj,
@@ -310,6 +313,8 @@ mod tests {
         let mut t = tuner(148);
         let mut names = Vec::new();
         t.visit_params(&mut |p| names.push(p.name.clone()));
-        assert!(names.iter().all(|n| n.starts_with("lora") || n.starts_with("head")));
+        assert!(names
+            .iter()
+            .all(|n| n.starts_with("lora") || n.starts_with("head")));
     }
 }

@@ -179,8 +179,7 @@ impl MemoryModel {
                 let r = (h / reduction).max(1);
                 // Side network retains its own (r-dim) contexts plus the
                 // b_i inputs feeding each down-projection.
-                let b_inputs =
-                    c.enc_layers * h * enc_tokens + c.dec_layers * h * dec_tokens;
+                let b_inputs = c.enc_layers * h * enc_tokens + c.dec_layers * h * dec_tokens;
                 let side = c.total_layers() * 3 * r * enc_tokens;
                 (b_inputs + side) * 4
             }
@@ -303,7 +302,8 @@ mod tests {
         let train = m.breakdown(Phase::Training).total();
         let cached = m.breakdown(Phase::CachedTraining).total();
         assert!(cached < train / 2, "train {train} cached {cached}");
-        let vs_full = 1.0 - cached as f64 / t5l(Technique::Full).breakdown(Phase::Training).total() as f64;
+        let vs_full =
+            1.0 - cached as f64 / t5l(Technique::Full).breakdown(Phase::Training).total() as f64;
         assert!(vs_full > 0.6, "reduction vs full {vs_full}");
     }
 
@@ -331,7 +331,12 @@ mod tests {
         let a = f32_model.breakdown(Phase::Training);
         let b = fp16.breakdown(Phase::Training);
         assert!((b.weights as f64 / a.weights as f64 - 0.5).abs() < 0.01);
-        assert!(b.total() < a.total() * 7 / 10, "{} vs {}", b.total(), a.total());
+        assert!(
+            b.total() < a.total() * 7 / 10,
+            "{} vs {}",
+            b.total(),
+            a.total()
+        );
         // Optimizer master state stays f32, so it's not exactly half.
         assert!(b.activations * 2 > a.activations);
     }

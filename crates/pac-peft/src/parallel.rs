@@ -90,7 +90,11 @@ impl ParallelAdapters {
                     &m.decoder[i - m.encoder.len()].self_attn.wq.w.value
                 };
                 let w = init::structural_prune(src, d, r);
-                Linear::from_weights(&format!("side.down{i}"), w.scale(0.1), Some(Tensor::zeros([r])))
+                Linear::from_weights(
+                    &format!("side.down{i}"),
+                    w.scale(0.1),
+                    Some(Tensor::zeros([r])),
+                )
             } else {
                 Linear::new(&format!("side.down{i}"), rng, d, r, true)
             };
@@ -407,7 +411,8 @@ mod tests {
             .visit_params_ref(&mut |p| backbone_gnorm += p.grad.norm());
         assert_eq!(backbone_gnorm, 0.0, "gradient leaked into the backbone");
         let mut side_gnorm = 0.0f32;
-        t.side.visit_params_ref(&mut |p| side_gnorm += p.grad.norm());
+        t.side
+            .visit_params_ref(&mut |p| side_gnorm += p.grad.norm());
         assert!(side_gnorm > 0.0, "side network got no gradient");
     }
 

@@ -83,6 +83,16 @@ impl Technique {
 
     /// Number of trainable parameters this technique introduces (or, for
     /// Full, the whole backbone).
+    ///
+    /// The count is purely structural — it is **not** clamped against the
+    /// backbone size. Over-parameterized settings are legal and counted
+    /// as-is: LoRA with `rank > hidden / 4` on a small model adds
+    /// `4 · h · rank` parameters per attention block and can exceed
+    /// `Technique::Full` (e.g. rank 45 on hidden 16 — a configuration that
+    /// once tripped a property test assuming PEFT < Full unconditionally).
+    /// Such settings waste parameters but compute fine; callers comparing
+    /// against Full must gate on sane hyperparameters themselves, as the
+    /// planner does.
     pub fn trainable_params(&self, cfg: &ModelConfig) -> usize {
         let h = cfg.hidden;
         let layers = cfg.total_layers();
@@ -199,6 +209,32 @@ mod tests {
         let pa = Technique::parallel_default().trainable_params(&cfg);
         // Comparable order to Adapters (both ≈ 1% of the backbone).
         assert!(pa > 1_000_000 && pa < 20_000_000, "{pa}");
+    }
+
+    #[test]
+    fn over_parameterized_lora_exceeds_full_and_is_counted_structurally() {
+        // Deterministic reproduction of the proptest regression once pinned
+        // in tests/cross_crate_props.proptest-regressions: LoRA rank 45 on
+        // Micro-1e1d-h16. With h = 16, one encoder + one decoder layer give
+        // 3 attention blocks, so LoRA adds 3 · 2 · (2 · 16 · 45) = 8640
+        // parameters — more than the whole micro backbone. The count is
+        // intentionally unclamped (see `trainable_params` docs); the
+        // property test excludes such configs via rank · 4 ≤ hidden.
+        let cfg = ModelConfig::micro(1, 1, 16, 2);
+        let lora = Technique::Lora { rank: 45 };
+        assert_eq!(lora.trainable_params(&cfg), 3 * 2 * (2 * 16 * 45));
+        assert!(
+            lora.trainable_params(&cfg) > Technique::Full.trainable_params(&cfg),
+            "rank 45 on hidden 16 must exceed the micro backbone ({} vs {})",
+            lora.trainable_params(&cfg),
+            Technique::Full.trainable_params(&cfg)
+        );
+        assert!(lora.trainable_fraction(&cfg) > 1.0);
+
+        // The sanity gate the property test uses: at rank ≤ h/4 LoRA is
+        // strictly smaller than Full on the same model.
+        let sane = Technique::Lora { rank: 4 };
+        assert!(sane.trainable_params(&cfg) < Technique::Full.trainable_params(&cfg));
     }
 
     #[test]

@@ -12,6 +12,10 @@ use pac_tensor::{Result, Tensor, TensorError};
 use rand::Rng;
 
 /// A fine-tuner: one of the four techniques wrapping a backbone.
+///
+/// Each variant owns a whole backbone, so their sizes legitimately differ;
+/// a `Tuner` lives on the heap inside replica vectors anyway.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Tuner {
     /// Full fine-tuning.

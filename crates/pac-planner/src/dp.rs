@@ -17,6 +17,9 @@ use crate::profile::Profile;
 use pac_cluster::Cluster;
 use pac_parallel::{ParallelPlan, StageAssignment};
 
+/// Back-pointer lattice `back[y][n][s] = (q, m)` for plan reconstruction.
+type BackPtrs = Vec<Vec<Vec<Option<(usize, usize)>>>>;
+
 /// Memoization table and reconstruction data for one DP run.
 #[derive(Debug)]
 pub struct DpTable {
@@ -24,7 +27,7 @@ pub struct DpTable {
     /// infeasible.
     w: Vec<Vec<Vec<f64>>>,
     /// Back-pointers `(q, m)` for reconstruction.
-    back: Vec<Vec<Vec<Option<(usize, usize)>>>>,
+    back: BackPtrs,
     layers: usize,
     devices: usize,
 }
@@ -32,6 +35,9 @@ pub struct DpTable {
 /// Per-device stage execution time (Eq. 3) with the OOM rule.
 ///
 /// `samples_per_dev` is the micro-batch share each group member processes.
+/// The argument list mirrors Eq. 3's free variables one-to-one; bundling
+/// them into a struct would only rename the equation.
+#[allow(clippy::too_many_arguments)]
 fn stage_time(
     profile: &Profile,
     cluster: &Cluster,
@@ -54,8 +60,7 @@ fn stage_time(
     // for the in-flight micro-batches, plus embeddings on the endpoints.
     let mut bytes = profile.range_weight_bytes(start, end)
         + 3 * profile.range_trainable_bytes(start, end)
-        + (profile.range_act_bytes(start, end) as f64 * samples_per_dev).ceil() as usize
-            * inflight;
+        + (profile.range_act_bytes(start, end) as f64 * samples_per_dev).ceil() as usize * inflight;
     if is_first || is_last {
         bytes += profile.embed_bytes;
     }
@@ -95,8 +100,7 @@ pub fn partition_for_stages(
     let inf = f64::INFINITY;
     // w[y][n][s]: first y layers, first n devices, s stages.
     let mut w = vec![vec![vec![inf; n_stages + 1]; d_n + 1]; l_n + 1];
-    let mut back: Vec<Vec<Vec<Option<(usize, usize)>>>> =
-        vec![vec![vec![None; n_stages + 1]; d_n + 1]; l_n + 1];
+    let mut back: BackPtrs = vec![vec![vec![None; n_stages + 1]; d_n + 1]; l_n + 1];
     w[0][0][0] = 0.0;
 
     for s in 1..=n_stages {
@@ -162,12 +166,7 @@ impl DpTable {
             n -= m;
         }
         stages_rev.reverse();
-        Some((
-            ParallelPlan {
-                stages: stages_rev,
-            },
-            bottleneck,
-        ))
+        Some((ParallelPlan { stages: stages_rev }, bottleneck))
     }
 }
 

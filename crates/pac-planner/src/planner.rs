@@ -125,7 +125,14 @@ impl Planner {
                 else {
                     continue;
                 };
-                let sim = simulate_plan(&self.cluster, cost, &plan, self.mini_batch, micro, self.schedule);
+                let sim = simulate_plan(
+                    &self.cluster,
+                    cost,
+                    &plan,
+                    self.mini_batch,
+                    micro,
+                    self.schedule,
+                );
                 if sim.oom_stage(limit).is_some() {
                     continue;
                 }
@@ -152,13 +159,9 @@ impl Planner {
                 }
                 None => {
                     // Record the infeasibility if a partition existed at all.
-                    if let Some((plan, _)) = partition_for_stages(
-                        profile,
-                        &self.cluster,
-                        s,
-                        self.mini_batch as f64,
-                        s,
-                    ) {
+                    if let Some((plan, _)) =
+                        partition_for_stages(profile, &self.cluster, s, self.mini_batch as f64, s)
+                    {
                         candidates.push(CandidatePlan {
                             stages: s,
                             plan,
@@ -193,7 +196,9 @@ mod tests {
     #[test]
     fn plans_are_valid_and_feasible() {
         let cost = CostModel::new(ModelConfig::t5_base(), Technique::parallel_default(), 128);
-        let out = planner(4, 4).plan(&cost).expect("T5-Base must be plannable");
+        let out = planner(4, 4)
+            .plan(&cost)
+            .expect("T5-Base must be plannable");
         assert!(out.best.validate(24, 4).is_ok());
         assert!(out.best_makespan_s > 0.0);
         assert!(!out.candidates.is_empty());
@@ -211,8 +216,14 @@ mod tests {
     fn fig10_bart_large_on_8_nanos_prefers_shallow_wide_plans() {
         // Paper Fig 10: with 8 devices PAC divides BART-Large into 2 stages
         // of 4 devices each rather than Eco-FL's 8-stage straight pipeline.
-        let cost = CostModel::new(ModelConfig::bart_large(), Technique::parallel_default(), 128);
-        let out = planner(8, 8).plan(&cost).expect("BART-Large must be plannable on 8 Nanos");
+        let cost = CostModel::new(
+            ModelConfig::bart_large(),
+            Technique::parallel_default(),
+            128,
+        );
+        let out = planner(8, 8)
+            .plan(&cost)
+            .expect("BART-Large must be plannable on 8 Nanos");
         assert!(
             out.best.num_stages() < 8,
             "expected a hybrid plan, got {} stages ({})",
@@ -257,14 +268,8 @@ mod tests {
 
         let layers = cost.layer_costs().len();
         let naive = pac_parallel::ParallelPlan::pipeline_even(layers, 4);
-        let naive_sim = pac_parallel::simulate_plan(
-            &cluster,
-            &cost,
-            &naive,
-            8,
-            4,
-            Schedule::OneFOneB,
-        );
+        let naive_sim =
+            pac_parallel::simulate_plan(&cluster, &cost, &naive, 8, 4, Schedule::OneFOneB);
         assert!(
             outcome.best_makespan_s < naive_sim.makespan_s,
             "planned {} vs naive {}",
@@ -286,7 +291,9 @@ mod tests {
         assert!(after.best.validate(24, 6).is_ok());
         assert!(after.best_makespan_s >= before.best_makespan_s * 0.9);
         // Losing everything is unplannable.
-        assert!(planner.replan_without(&cost, &(0..8).collect::<Vec<_>>()).is_none());
+        assert!(planner
+            .replan_without(&cost, &(0..8).collect::<Vec<_>>())
+            .is_none());
     }
 
     #[test]

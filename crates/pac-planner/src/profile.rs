@@ -77,7 +77,9 @@ impl Profile {
             let t0 = Instant::now();
             let mut ctx = None;
             for _ in 0..reps {
-                let (y, c) = model.layers[li].forward(&x, None).expect("profiled forward");
+                let (y, c) = model.layers[li]
+                    .forward(&x, None)
+                    .expect("profiled forward");
                 ctx = Some((y, c));
             }
             let fwd_s = t0.elapsed().as_secs_f64() / reps as f64;
@@ -86,7 +88,9 @@ impl Profile {
             let dy = pac_tensor::Tensor::ones(y.dims());
             let t1 = Instant::now();
             for _ in 0..reps {
-                let _ = model.layers[li].backward(&c, &dy).expect("profiled backward");
+                let _ = model.layers[li]
+                    .backward(&c, &dy)
+                    .expect("profiled backward");
             }
             let bwd_s = t1.elapsed().as_secs_f64() / reps as f64;
 

@@ -1,0 +1,195 @@
+//! Lightweight global metrics for the PAC execution stack.
+//!
+//! Engines, the activation cache, and the trainer record counters, gauges,
+//! and timing spans here; `repro --telemetry` renders the snapshot after a
+//! run. Collection is **off by default**: every recording entry point
+//! checks one relaxed atomic load and returns immediately when disabled,
+//! so instrumented hot paths stay within noise of uninstrumented builds.
+//!
+//! Metric names are dot-separated paths, with the convention
+//! `<subsystem>.<object>.<measure>`, e.g. `cache.hits`,
+//! `pipeline.stage0.busy_ns`, `allreduce.bytes`. Spans append `.ns` and
+//! `.calls` to their base name.
+//!
+//! The registry is deliberately global (a process models one training
+//! node); tests that assert on metrics should [`reset`] first and not run
+//! concurrently with other metric-asserting tests — use serial tests or
+//! distinct metric names.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<BTreeMap<String, u64>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, u64>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Turns metric collection on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether metric collection is currently on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Adds `delta` to the named counter (creating it at zero).
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut map = registry().lock().unwrap();
+    *map.entry(name.to_string()).or_insert(0) += delta;
+}
+
+/// Increments the named counter by one.
+#[inline]
+pub fn counter_inc(name: &str) {
+    counter_add(name, 1);
+}
+
+/// Sets the named gauge to `value`, overwriting any previous value.
+#[inline]
+pub fn gauge_set(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    registry().lock().unwrap().insert(name.to_string(), value);
+}
+
+/// Raises the named gauge to `value` if larger (high-water mark).
+#[inline]
+pub fn gauge_max(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut map = registry().lock().unwrap();
+    let slot = map.entry(name.to_string()).or_insert(0);
+    *slot = (*slot).max(value);
+}
+
+/// Reads one metric; `None` when absent (or collection never enabled).
+pub fn get(name: &str) -> Option<u64> {
+    registry().lock().unwrap().get(name).copied()
+}
+
+/// All metrics, sorted by name.
+pub fn snapshot() -> Vec<(String, u64)> {
+    registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+/// All metrics whose name starts with `prefix`, sorted by name.
+pub fn snapshot_prefix(prefix: &str) -> Vec<(String, u64)> {
+    snapshot()
+        .into_iter()
+        .filter(|(k, _)| k.starts_with(prefix))
+        .collect()
+}
+
+/// Clears all metrics (does not change the enabled flag).
+pub fn reset() {
+    registry().lock().unwrap().clear();
+}
+
+/// RAII timing span: on drop, adds elapsed nanoseconds to `<name>.ns` and
+/// bumps `<name>.calls`. A no-op (no clock read) while collection is off.
+#[must_use = "the span measures until it is dropped"]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Starts a timing span for `name`.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = start.elapsed().as_nanos() as u64;
+            // Collection may have been toggled off mid-span; record anyway
+            // so paired .ns/.calls stay consistent.
+            let mut map = registry().lock().unwrap();
+            *map.entry(format!("{}.ns", self.name)).or_insert(0) += ns;
+            *map.entry(format!("{}.calls", self.name)).or_insert(0) += 1;
+        }
+    }
+}
+
+/// Formats a snapshot as aligned `name value` lines for terminal output.
+pub fn render(rows: &[(String, u64)]) -> String {
+    let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (k, v) in rows {
+        let line = if k.ends_with(".ns") {
+            format!("{k:<width$}  {:>14.3} ms\n", *v as f64 / 1e6)
+        } else if k.ends_with("bytes") {
+            format!("{k:<width$}  {:>14.2} KiB\n", *v as f64 / 1024.0)
+        } else {
+            format!("{k:<width$}  {v:>14}\n")
+        };
+        out.push_str(&line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so exercise everything in one test
+    // to avoid cross-test interference under the parallel test runner.
+    #[test]
+    fn registry_lifecycle() {
+        set_enabled(false);
+        reset();
+        counter_add("t.off", 5);
+        assert_eq!(get("t.off"), None, "disabled collection must not record");
+
+        set_enabled(true);
+        counter_add("t.a", 2);
+        counter_inc("t.a");
+        gauge_set("t.g", 7);
+        gauge_set("t.g", 3);
+        gauge_max("t.m", 10);
+        gauge_max("t.m", 4);
+        {
+            let _s = span("t.work");
+            std::hint::black_box(1 + 1);
+        }
+        assert_eq!(get("t.a"), Some(3));
+        assert_eq!(get("t.g"), Some(3));
+        assert_eq!(get("t.m"), Some(10));
+        assert_eq!(get("t.work.calls"), Some(1));
+        assert!(get("t.work.ns").is_some());
+
+        let pre = snapshot_prefix("t.");
+        assert!(pre.len() >= 5);
+        assert!(pre.windows(2).all(|w| w[0].0 <= w[1].0), "sorted by name");
+
+        let text = render(&pre);
+        assert!(text.contains("t.a"));
+        assert!(text.contains("ms"), "span ns rendered in ms: {text}");
+
+        set_enabled(false);
+        reset();
+        assert!(snapshot().is_empty());
+    }
+}

@@ -56,11 +56,21 @@ pub fn kaiming(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Tensor {
 pub fn structural_prune(backbone: &Tensor, in_dim: usize, out_dim: usize) -> Tensor {
     let (rows, cols) = backbone.as_2d();
     let mut data = Vec::with_capacity(in_dim * out_dim);
-    let scale = ((rows * cols) as f32 / (in_dim * out_dim) as f32).sqrt().max(1.0);
+    let scale = ((rows * cols) as f32 / (in_dim * out_dim) as f32)
+        .sqrt()
+        .max(1.0);
     for i in 0..in_dim {
-        let src_r = if in_dim <= 1 { 0 } else { i * (rows - 1) / (in_dim - 1).max(1) };
+        let src_r = if in_dim <= 1 {
+            0
+        } else {
+            i * (rows - 1) / (in_dim - 1).max(1)
+        };
         for j in 0..out_dim {
-            let src_c = if out_dim <= 1 { 0 } else { j * (cols - 1) / (out_dim - 1).max(1) };
+            let src_c = if out_dim <= 1 {
+                0
+            } else {
+                j * (cols - 1) / (out_dim - 1).max(1)
+            };
             data.push(backbone.data()[src_r.min(rows - 1) * cols + src_c.min(cols - 1)] * scale);
         }
     }

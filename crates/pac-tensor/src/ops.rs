@@ -209,7 +209,13 @@ mod tests {
     #[test]
     fn fast_kernels_match_reference() {
         let mut rng = seeded(3);
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (16, 32, 8), (33, 65, 31), (64, 64, 64)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (16, 32, 8),
+            (33, 65, 31),
+            (64, 64, 64),
+        ] {
             let a = init::randn(&mut rng, [m, k], 1.0);
             let b = init::randn(&mut rng, [k, n], 1.0);
             let fast = matmul(&a, &b).unwrap();

@@ -465,7 +465,11 @@ impl Tensor {
 
     /// Frobenius norm (L2 norm of all elements).
     pub fn norm(&self) -> f32 {
-        self.data.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|x| (*x as f64).powi(2))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Sum of all elements (f64 accumulation for stability).

@@ -35,7 +35,10 @@ fn main() {
             // PAC: planner-selected hybrid.
             let planner = Planner::paper_defaults(cluster.clone(), mini_batch);
             let (pac_desc, pac_time) = match planner.plan(&cost) {
-                Some(o) => (o.best.grouping_string(), format!("{:.2}", o.best_makespan_s)),
+                Some(o) => (
+                    o.best.grouping_string(),
+                    format!("{:.2}", o.best_makespan_s),
+                ),
                 None => ("—".into(), "OOM".into()),
             };
 

@@ -52,14 +52,22 @@ fn main() {
     let inf = MemoryModel::paper_defaults(t5l, Technique::Full).breakdown(Phase::Inference);
     println!(
         "{:<20} {:>12} {:>9.2}G {:>11} {:>10} {:>9.2}G",
-        "Inference", "", inf.weights as f64 / 1e9, "/", "/", inf.total() as f64 / 1e9
+        "Inference",
+        "",
+        inf.weights as f64 / 1e9,
+        "/",
+        "/",
+        inf.total() as f64 / 1e9
     );
 
     // ----------------------------------------------------------- Table 3
     println!("\n## Quality parity at micro scale (shared pretrained backbone)");
     let micro = ModelConfig::micro(2, 1, 32, 4);
     let tasks = [TaskKind::Sst2, TaskKind::StsB];
-    println!("(fine-tuning {} tasks × 4 techniques — takes a minute)", tasks.len());
+    println!(
+        "(fine-tuning {} tasks × 4 techniques — takes a minute)",
+        tasks.len()
+    );
     let cells = run_quality_experiment(&micro, &tasks, 96, 5, 17).expect("experiment runs");
 
     println!("\n{:<22} {:>8} {:>8}", "technique", "SST-2", "STS-B");

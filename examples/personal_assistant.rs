@@ -2,8 +2,9 @@
 //! Figure 1 loop as a library consumer would write it.
 //!
 //! The assistant observes interactions ("play my favorite song" → thumbs
-//! up), fine-tunes its personal LLM with the PAC recipe (Parallel Adapters
-//! + activation cache), exports the personalization as a megabyte-scale
+//! up), fine-tunes its personal LLM with the PAC recipe (Parallel
+//! Adapters with the activation cache), exports the personalization as a
+//! megabyte-scale
 //! adapter file, and restores it onto a fresh device holding only the
 //! shared backbone.
 //!

@@ -68,7 +68,11 @@ fn main() {
         .run_with_backbone(backbone, task, 64, 24)
         .expect("PAC session succeeds");
 
-    println!("planner chose:     {} stages {}", report.plan.num_stages(), report.plan.grouping_string());
+    println!(
+        "planner chose:     {} stages {}",
+        report.plan.num_stages(),
+        report.plan.grouping_string()
+    );
     println!(
         "trainable params:  {} of {} ({:.2}%)",
         report.trainable_params,

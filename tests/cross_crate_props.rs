@@ -22,7 +22,12 @@ fn arb_technique() -> impl Strategy<Value = Technique> {
 }
 
 fn arb_model() -> impl Strategy<Value = ModelConfig> {
-    (1usize..6, 0usize..4, prop_oneof![Just(16usize), Just(32), Just(64)], Just(2usize))
+    (
+        1usize..6,
+        0usize..4,
+        prop_oneof![Just(16usize), Just(32), Just(64)],
+        Just(2usize),
+    )
         .prop_map(|(e, d, h, heads)| ModelConfig::micro(e.max(1), d, h, heads))
 }
 

@@ -4,7 +4,7 @@
 use pac_core::prelude::*;
 use pac_core::trainer::{finetune, finetune_with_cache, TrainConfig};
 use pac_model::EncoderModel;
-use pac_nn::{cross_entropy, Module, Optimizer, Sgd};
+use pac_nn::{Module, Optimizer, Sgd};
 use pac_parallel::engine::HybridEngine;
 use pac_parallel::Schedule;
 use pac_tensor::rng::seeded;
@@ -33,8 +33,9 @@ fn hybrid_engine_trains_end_to_end() {
     let mut engine = HybridEngine::new(stages, 2, Schedule::OneFOneB);
     assert_eq!(engine.num_devices(), 4);
 
-    let mut opts: Vec<Box<dyn Optimizer>> =
-        (0..2).map(|_| Box::new(Sgd::new(0.05)) as Box<dyn Optimizer>).collect();
+    let mut opts: Vec<Box<dyn Optimizer>> = (0..2)
+        .map(|_| Box::new(Sgd::new(0.05)) as Box<dyn Optimizer>)
+        .collect();
     let mbs = micro_batches(501, 4, 4, 5);
     let mut losses = Vec::new();
     for _ in 0..8 {
@@ -110,7 +111,11 @@ fn distributed_pac_matches_single_process_quality() {
     });
     let pac_report = session.run_with_backbone(backbone, task, 48, 24).unwrap();
 
-    assert!(single_report.metric > 60.0, "single {}", single_report.metric);
+    assert!(
+        single_report.metric > 60.0,
+        "single {}",
+        single_report.metric
+    );
     assert!(pac_report.metric > 60.0, "pac {}", pac_report.metric);
     assert!(
         (single_report.metric - pac_report.metric).abs() < 30.0,
@@ -146,7 +151,10 @@ fn cache_transparency_through_full_training_stack() {
     let rb = finetune_with_cache(&mut b, &train, &eval, &tc, &mut cache).unwrap();
 
     for (la, lb) in ra.epoch_losses.iter().zip(&rb.epoch_losses) {
-        assert!((la - lb).abs() < 1e-4, "epoch losses diverged: {la} vs {lb}");
+        assert!(
+            (la - lb).abs() < 1e-4,
+            "epoch losses diverged: {la} vs {lb}"
+        );
     }
     assert_eq!(ra.metric, rb.metric);
     // Epoch 1 fills; epochs 2-4 hit.

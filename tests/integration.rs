@@ -130,7 +130,11 @@ fn table2_cell_matches_direct_simulation() {
 fn every_planned_configuration_simulates() {
     for n in 2..=8usize {
         let cluster = Cluster::nanos(n);
-        let cost = CostModel::new(ModelConfig::bart_large(), Technique::parallel_default(), 128);
+        let cost = CostModel::new(
+            ModelConfig::bart_large(),
+            Technique::parallel_default(),
+            128,
+        );
         if let Some(outcome) = Planner::paper_defaults(cluster.clone(), n).plan(&cost) {
             let layers = cost.layer_costs().len();
             assert!(outcome.best.validate(layers, n).is_ok(), "n={n}");

@@ -1,0 +1,290 @@
+//! Offline subset of `criterion`: a minimal wall-clock micro-benchmark
+//! harness exposing the API the workspace benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `Bencher::iter`, `criterion_group!`, `criterion_main!`).
+//!
+//! Instead of criterion's statistical analysis it runs a short warm-up,
+//! auto-scales the iteration count to a per-benchmark time budget, and
+//! prints mean / min time per iteration (plus element throughput when
+//! declared). Good enough to compare configurations by hand; not a
+//! substitute for upstream criterion's confidence intervals.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one parameterized benchmark case.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to the closure under measurement; `iter` times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `self.iters` times, recording total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Calibrates an iteration count targeting `budget`, then reports
+/// per-iteration timing for `f`.
+fn measure(
+    name: &str,
+    throughput: Option<Throughput>,
+    budget: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Warm-up / calibration: start at 1 iteration and double until the
+    // sample takes long enough to matter.
+    let mut iters: u64 = 1;
+    let mut per_iter;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = b
+            .elapsed
+            .checked_div(iters as u32)
+            .unwrap_or(Duration::ZERO);
+        if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let target = if per_iter.is_zero() {
+        iters
+    } else {
+        (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+    };
+
+    // Measurement: a few samples at the calibrated count; keep mean & best.
+    let samples = 3;
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut total_iters: u64 = 0;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: target,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b
+            .elapsed
+            .checked_div(target as u32)
+            .unwrap_or(Duration::ZERO);
+        best = best.min(per);
+        total += b.elapsed;
+        total_iters += target;
+    }
+    let mean = total
+        .checked_div(total_iters as u32)
+        .unwrap_or(Duration::ZERO);
+
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) if !mean.is_zero() => {
+            format!("  ({:.2} Melem/s)", n as f64 / mean.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if !mean.is_zero() => {
+            format!(
+                "  ({:.2} MiB/s)",
+                n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0)
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<44} mean {:>10}   min {:>10}   ({total_iters} iters){thrpt}",
+        fmt_duration(mean),
+        fmt_duration(best)
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        measure(name, None, self.budget, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}:");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput reported for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` with access to `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("  {}/{}", self.name, id);
+        measure(&label, self.throughput, self.criterion.budget, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmarks a no-input closure inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let label = format!("  {}/{}", self.name, name);
+        measure(&label, self.throughput, self.criterion.budget, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one group name, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_work() {
+        let mut b = Bencher {
+            iters: 1000,
+            elapsed: Duration::ZERO,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(3));
+        });
+        assert!(b.elapsed > Duration::ZERO || acc > 0);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("blocked", 64).to_string(), "blocked/64");
+        assert_eq!(BenchmarkId::from_parameter("LoRA").to_string(), "LoRA");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(2),
+        };
+        let mut group = c.benchmark_group("t");
+        group.throughput(Throughput::Elements(8));
+        group.bench_with_input(BenchmarkId::new("add", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("noop", |b| b.iter(|| ()));
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,106 @@
+//! Offline subset of `crossbeam` built on `std::sync::mpsc`.
+//!
+//! The workspace uses only bounded MPSC channels (one producer stage thread,
+//! one consumer stage thread in the pipeline engine). `std::sync::mpsc`
+//! provides exactly those semantics via `sync_channel`; this shim re-exports
+//! them under the crossbeam names so the engine code reads as in the
+//! original design. Crossbeam's select!/scope/epoch APIs are not used and
+//! not provided.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned when the receiving side has disconnected.
+    pub type SendError<T> = mpsc::SendError<T>;
+    /// Error returned when the sending side has disconnected and the
+    /// channel is drained.
+    pub type RecvError = mpsc::RecvError;
+
+    /// Sending half of a bounded channel. Clonable; `send` blocks while the
+    /// buffer is full.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the value is buffered or the receiver disconnects.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Iterator over received values until disconnection.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Creates a bounded channel with space for `cap` in-flight messages.
+    /// `cap = 0` is a rendezvous channel, matching crossbeam semantics.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_delivers_in_order_across_threads() {
+        let (tx, rx) = channel::bounded::<usize>(2);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<usize> = (0..100).map(|_| rx.recv().unwrap()).collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_errors_after_sender_drops() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn rendezvous_channel_handshakes() {
+        let (tx, rx) = channel::bounded::<&'static str>(0);
+        let t = std::thread::spawn(move || tx.send("hi").is_ok());
+        assert_eq!(rx.recv().unwrap(), "hi");
+        assert!(t.join().unwrap());
+    }
+}

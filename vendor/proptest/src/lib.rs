@@ -1,0 +1,485 @@
+//! Offline subset of `proptest`: deterministic property-based testing.
+//!
+//! Provides the macro surface the workspace tests use — `proptest!`,
+//! `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`, `prop_assume!` — plus
+//! `Strategy` with `prop_map`, `Just`, numeric range strategies, tuple
+//! strategies, and `prop::collection::vec`.
+//!
+//! Differences from upstream, chosen for an environment with no registry
+//! access:
+//! - Case generation is seeded from a hash of the test name, so every run
+//!   explores the same inputs (reproducible failures without a
+//!   persistence file; no `proptest-regressions` files are written).
+//! - No shrinking: a failure reports the exact generated input instead of
+//!   a minimized one.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    use super::fmt;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Deterministic RNG driving test-case generation.
+    pub type TestRng = StdRng;
+
+    /// Outcome of one generated test case.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case did not satisfy a `prop_assume!` precondition.
+        Reject,
+        /// A property assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// Runner configuration; only the case count is tunable.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of passing cases required.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` passing cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Drives one property: generates cases with a name-seeded RNG until
+    /// `config.cases` pass, panicking on the first failing input.
+    pub fn run<V: fmt::Debug>(
+        config: Config,
+        name: &str,
+        generate: impl Fn(&mut TestRng) -> V,
+        check: impl Fn(V) -> Result<(), TestCaseError>,
+    ) {
+        let mut rng = StdRng::seed_from_u64(fnv1a(name) ^ 0x9e37_79b9_7f4a_7c15);
+        let mut passed: u32 = 0;
+        let mut rejected: u64 = 0;
+        let reject_budget = (config.cases as u64).max(1) * 64;
+        while passed < config.cases {
+            let value = generate(&mut rng);
+            let repr = format!("{value:?}");
+            match check(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    if rejected > reject_budget {
+                        panic!(
+                            "[{name}] too many prop_assume! rejections \
+                             ({rejected} rejects for {passed} passes) — \
+                             the precondition filters out almost every input"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "[{name}] property failed after {passed} passing case(s)\n\
+                         input: {repr}\n{msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use super::{fmt, Range, RangeInclusive};
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// Generated value type; `Debug` so failing inputs can be reported.
+        type Value: fmt::Debug;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A boxed sampling closure, the erased form of one `prop_oneof!` arm.
+    pub type Sampler<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+    /// Uniform choice between heterogeneous strategies sharing one value
+    /// type; built by `prop_oneof!`.
+    pub struct Union<T> {
+        variants: Vec<Sampler<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Wraps pre-boxed sampling closures.
+        pub fn new(variants: Vec<Sampler<T>>) -> Self {
+            assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+            Union { variants }
+        }
+
+        /// Boxes one strategy as a sampling closure. A generic helper (not
+        /// an inline `as Box<dyn Fn..>` cast in the macro) so the value
+        /// type unifies across all `prop_oneof!` arms before integer
+        /// literal fallback kicks in.
+        pub fn variant(strategy: impl Strategy<Value = T> + 'static) -> Sampler<T> {
+            Box::new(move |rng| strategy.sample(rng))
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.variants.len());
+            (self.variants[idx])(rng)
+        }
+    }
+
+    macro_rules! numeric_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    numeric_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+        (A.0, B.1, C.2, D.3, E.4, F.5);
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use super::{Range, RangeInclusive};
+    use rand::Rng;
+
+    /// Inclusive bounds on generated collection sizes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy for `Vec<E::Value>` with length drawn from a [`SizeRange`].
+    pub struct VecStrategy<E> {
+        element: E,
+        size: SizeRange,
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Value = Vec<E::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length falls in `size`.
+    pub fn vec<E: Strategy>(element: E, size: impl Into<SizeRange>) -> VecStrategy<E> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    /// Namespace alias so `prop::collection::vec(..)` resolves, as in the
+    /// upstream prelude.
+    pub use crate as prop;
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(..)]` and any number of `#[test] fn name(pat in
+/// strategy, ..) { .. }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            (<$crate::test_runner::Config as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __strategies = ($($strat,)+);
+            $crate::test_runner::run(
+                $cfg,
+                ::core::stringify!($name),
+                |__rng| $crate::strategy::Strategy::sample(&__strategies, __rng),
+                |($($pat,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice among strategy expressions producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Union::variant($arm)),+
+        ])
+    };
+}
+
+/// Fails the current case with a message when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!(
+            $cond,
+            ::core::concat!("assertion failed: ", ::core::stringify!($cond))
+        )
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    ::core::stringify!($left),
+                    ::core::stringify!($right),
+                    __l,
+                    __r
+                )),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    ::std::format!($($fmt)+),
+                    __l,
+                    __r
+                )),
+            );
+        }
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs) when the
+/// precondition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay in bounds and rejection sampling works.
+        #[test]
+        fn ranges_and_assume(x in 3usize..10, y in 0.0f64..1.0, z in 1u64..=4) {
+            prop_assume!(x != 5);
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert!((1..=4).contains(&z));
+        }
+
+        #[test]
+        fn tuples_and_oneof((a, b) in (1usize..4, 1usize..4), pick in prop_oneof![Just(1u8), (5u8..7).prop_map(|v| v)]) {
+            prop_assert!(a * b <= 9);
+            prop_assert!(pick == 1 || (5..7).contains(&pick));
+        }
+
+        #[test]
+        fn collection_vec_respects_size(v in prop::collection::vec(0usize..100, 2..=5)) {
+            prop_assert!((2..=5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::SeedableRng;
+        let s = 0usize..1000;
+        let draw = |seed| {
+            let mut rng = TestRng::seed_from_u64(seed);
+            (0..16).map(|_| s.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failure_reports_input() {
+        crate::test_runner::run(
+            crate::test_runner::Config::with_cases(8),
+            "failure_reports_input",
+            |rng| crate::strategy::Strategy::sample(&(0usize..100), rng),
+            |x| {
+                crate::prop_assert!(x > 1000, "impossible bound for x = {x}");
+                Ok(())
+            },
+        );
+    }
+}

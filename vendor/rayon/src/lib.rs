@@ -1,0 +1,230 @@
+//! Offline subset of the `rayon` parallel-iterator API.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the combinator surface it uses — `par_iter` / `par_iter_mut` /
+//! `par_chunks_mut` with `zip`, `map`, `enumerate`, `for_each`, `collect` —
+//! executed on real OS threads via `std::thread::scope`.
+//!
+//! Work is split into one contiguous chunk per available core; order is
+//! preserved by writing results back into pre-sized slots. Unlike rayon
+//! there is no work-stealing pool, so per-call thread-spawn overhead
+//! (~tens of µs) is amortized only over sufficiently large inputs; callers
+//! in this workspace already gate parallel paths behind FLOP thresholds.
+
+use std::num::NonZeroUsize;
+
+/// Everything a caller needs in scope, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSliceMut};
+}
+
+fn threads_for(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n)
+        .max(1)
+}
+
+/// Applies `f` to every item on scoped threads, preserving input order in
+/// the returned vector.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let threads = threads_for(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut in_rest: &mut [Option<T>] = &mut slots;
+        let mut out_rest: &mut [Option<R>] = &mut out;
+        while !in_rest.is_empty() {
+            let take = chunk.min(in_rest.len());
+            let (ic, ir) = in_rest.split_at_mut(take);
+            let (oc, or) = out_rest.split_at_mut(take);
+            in_rest = ir;
+            out_rest = or;
+            let f = &f;
+            scope.spawn(move || {
+                for (slot, dst) in ic.iter_mut().zip(oc.iter_mut()) {
+                    *dst = Some(f(slot.take().expect("slot filled exactly once")));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every slot computed"))
+        .collect()
+}
+
+/// A materialized "parallel iterator": the item sequence is collected up
+/// front, terminal operations fan it out across threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs items positionally, truncating to the shorter side (as `zip`).
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Pairs every item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Lazy map; runs on the worker threads at the terminal operation.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item across threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        parallel_map(self.items, f);
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no items remain.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped parallel iterator awaiting its terminal operation.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Evaluates the map across threads and collects in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        parallel_map(self.items, self.f).into_iter().collect()
+    }
+
+    /// Evaluates the map for its side effects.
+    pub fn for_each<R>(self)
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+    {
+        let _ = parallel_map(self.items, self.f);
+    }
+}
+
+/// `.par_iter()` on anything viewable as a slice.
+pub trait IntoParallelRefIterator<'a> {
+    /// Shared-reference item type.
+    type Item: Send;
+
+    /// Parallel iterator over `&self`.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `.par_iter_mut()` on anything viewable as a mutable slice.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Mutable-reference item type.
+    type Item: Send;
+
+    /// Parallel iterator over `&mut self`.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// `.par_chunks_mut()` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of `size`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        assert!(size > 0, "par_chunks_mut: chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunked_for_each_touches_every_element_once() {
+        let mut v = vec![0u64; 1003];
+        v.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = (i * 64 + j) as u64;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<usize> = (0..500).collect();
+        let doubled: Vec<usize> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_mut_updates_in_parallel() {
+        let mut a = vec![0i64; 256];
+        let b: Vec<i64> = (0..256).collect();
+        let sums: Vec<i64> = a
+            .par_iter_mut()
+            .zip(b.par_iter())
+            .map(|(x, &y)| {
+                *x = y * y;
+                *x + y
+            })
+            .collect();
+        assert_eq!(a[10], 100);
+        assert_eq!(sums[10], 110);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline marker-trait subset of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and result
+//! types to keep them wire-ready, but no serialization format crate
+//! (serde_json, bincode, …) is a dependency — nothing ever calls a
+//! serializer. This vendored stand-in therefore provides the two traits as
+//! markers plus derive macros emitting empty impls, which is exactly the
+//! surface the build needs while the environment has no registry access.
+//!
+//! If a future PR adds a real wire format, replace this shim with the
+//! genuine crates (or grow the traits into the visitor pattern).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that declare themselves serializable.
+pub trait Serialize {}
+
+/// Marker for types that declare themselves deserializable.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,69 @@
+//! Derive macros for the vendored `serde` marker traits.
+//!
+//! Emits empty `impl serde::Serialize` / `impl<'de> serde::Deserialize<'de>`
+//! blocks. Written against `proc_macro` alone (no syn/quote — the build
+//! environment has no registry access), so it supports the shapes the
+//! workspace actually derives on: non-generic structs and enums. Generic
+//! types trigger a compile error pointing here rather than silently
+//! miscompiling.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a `struct`/`enum`/`union` item, rejecting
+/// generic types (unused in this workspace).
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Skip outer attributes: `#` followed by a `[...]` group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // Skip optional `(crate)` / `(super)` visibility group.
+                    if let Some(TokenTree::Group(_)) = iter.peek() {
+                        let _ = iter.next();
+                    }
+                } else if s == "struct" || s == "enum" || s == "union" {
+                    let name = match iter.next() {
+                        Some(TokenTree::Ident(n)) => n.to_string(),
+                        other => return Err(format!("expected type name, found {other:?}")),
+                    };
+                    if let Some(TokenTree::Punct(p)) = iter.peek() {
+                        if p.as_char() == '<' {
+                            return Err(format!(
+                                "vendored serde_derive does not support generic type `{name}` \
+                                 (see vendor/serde_derive)"
+                            ));
+                        }
+                    }
+                    return Ok(name);
+                }
+                // Anything else (doc idents etc.) — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    Err("no struct/enum/union found in derive input".to_string())
+}
+
+fn emit(input: TokenStream, template: &str) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => template.replace("__NAME__", &name).parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Derives the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, "impl ::serde::Serialize for __NAME__ {}")
+}
+
+/// Derives the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, "impl<'de> ::serde::Deserialize<'de> for __NAME__ {}")
+}
