@@ -13,6 +13,13 @@
 //! utilization, activation-cache hit rate, and AllReduce communication
 //! volume. `--telemetry` alone runs a micro workload that exercises the
 //! real pipeline engine and a full PAC session.
+//!
+//! Pass `--faults[=SPEC]` to run a micro PAC session under deterministic
+//! fault injection and print the recovery timeline. `SPEC` uses the
+//! `FaultPlan` schema (`kind@key=value,…;…`), e.g.
+//! `--faults='fail-stop@step=9,device=2;allreduce@step=3,failures=2'`;
+//! without a spec a demonstration plan (fail-stop + transient AllReduce +
+//! straggler) is used.
 
 use pac_bench::experiments as exp;
 
@@ -25,6 +32,28 @@ fn main() {
     };
     if telemetry {
         pac_telemetry::set_enabled(true);
+    }
+    let faults: Option<String> = {
+        let mut spec = None;
+        args.retain(|a| {
+            if a == "--faults" {
+                spec = Some(String::new());
+                false
+            } else if let Some(s) = a.strip_prefix("--faults=") {
+                spec = Some(s.to_string());
+                false
+            } else {
+                true
+            }
+        });
+        spec
+    };
+    if let Some(spec) = faults {
+        faults_demo(&spec);
+        if telemetry {
+            telemetry_report();
+        }
+        return;
     }
     let which = match args.first().map(String::as_str) {
         Some(w) => w,
@@ -59,13 +88,78 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: repro [--telemetry] [table1|fig3|table2|table3|table3-quick|fig6|fig8|fig9|fig10|fig11|telemetry-demo|all]"
+                "usage: repro [--telemetry] [--faults[=SPEC]] [table1|fig3|table2|table3|table3-quick|fig6|fig8|fig9|fig10|fig11|telemetry-demo|all]"
             );
             std::process::exit(2);
         }
     }
     if telemetry {
         telemetry_report();
+    }
+}
+
+/// Runs a micro PAC session under a deterministic [`pac_parallel::FaultPlan`]
+/// and prints the recovery timeline plus the recovery summary.
+fn faults_demo(spec: &str) {
+    use pac_core::{PacConfig, PacSession};
+    use pac_data::TaskKind;
+    use pac_model::ModelConfig;
+    use pac_parallel::faults::render_events;
+    use pac_parallel::FaultPlan;
+    use pac_tensor::rng::seeded;
+
+    let plan = if spec.is_empty() {
+        // Demonstration plan: one permanent loss, one transient AllReduce
+        // hiccup, one slow lane.
+        FaultPlan::parse(
+            "allreduce@step=3,failures=2;straggler@step=5,lane=0,delay-ms=20;\
+             fail-stop@step=9,device=2",
+        )
+        .expect("built-in demo spec parses")
+    } else {
+        match FaultPlan::parse(spec) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("bad --faults spec: {e}");
+                eprintln!("schema: kind@key=value,...;...  kinds: lane-panic(step,lane,stage) fail-stop(step,device) straggler(step,lane,delay-ms) allreduce(step,failures[,lane])");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    header("Fault injection — micro PAC session under a deterministic FaultPlan");
+    println!("plan: {plan}\n");
+
+    let session = PacSession::new(PacConfig {
+        devices: 3,
+        epochs: 3,
+        batch_size: 9,
+        checkpoint_every: 4,
+        ..Default::default()
+    });
+    let cfg = ModelConfig::micro(2, 1, 16, 2);
+    let backbone = pac_model::EncDecModel::new(&cfg, TaskKind::Sst2.n_out(), &mut seeded(42));
+    match session.run_with_faults(backbone, TaskKind::Sst2, 36, 12, &plan) {
+        Ok(report) => {
+            let r = &report.recovery;
+            println!("recovery timeline:");
+            println!("{}", render_events(&r.timeline));
+            println!(
+                "summary: {} fault(s) injected, {} retry(ies), {} replan(s), \
+                 {} checkpoint(s) ({} B), {} of 3 device(s) finished",
+                r.faults_injected,
+                r.retries,
+                r.replans,
+                r.checkpoints,
+                r.checkpoint_bytes,
+                r.final_devices
+            );
+            println!(
+                "metric {:.1} after epochs {:?}",
+                report.metric, report.epoch_losses
+            );
+        }
+        Err(e) => println!("session failed permanently: {e}"),
     }
 }
 
@@ -97,7 +191,8 @@ fn telemetry_demo() {
             (toks, targets)
         })
         .collect();
-    let out = run_pipeline_mini_batch(stages, micro_batches, Schedule::OneFOneB);
+    let out = run_pipeline_mini_batch(stages, micro_batches, Schedule::OneFOneB)
+        .expect("fault-free pipeline run");
     println!(
         "pipeline: loss {:.4}, wall {:.2} ms, peak act bytes {:?}",
         out.loss,

@@ -28,14 +28,14 @@ pub mod trainer;
 
 pub use personalize::{Personalizer, PersonalizerConfig};
 pub use quality::{run_quality_experiment, QualityCell};
-pub use session::{PacConfig, PacReport, PacSession};
+pub use session::{PacConfig, PacReport, PacSession, RecoveryReport};
 pub use systems::{estimate_cell, CellResult, System};
 pub use trainer::{evaluate, finetune, finetune_with_cache, TrainConfig, TrainReport};
 
 /// Common imports for PAC users.
 pub mod prelude {
     pub use crate::personalize::{Personalizer, PersonalizerConfig};
-    pub use crate::session::{PacConfig, PacReport, PacSession};
+    pub use crate::session::{PacConfig, PacReport, PacSession, RecoveryReport};
     pub use crate::systems::{estimate_cell, CellResult, System};
     pub use crate::trainer::{evaluate, finetune, finetune_with_cache, TrainConfig, TrainReport};
     pub use pac_cluster::{Cluster, DeviceSpec, LinkSpec};

@@ -6,9 +6,10 @@ use pac_cluster::{Cluster, CostModel};
 use pac_data::{Dataset, TaskKind};
 use pac_model::ModelConfig;
 use pac_nn::{Adam, Module, Optimizer};
-use pac_parallel::engine::{dp_step_cached, dp_step_tokens};
-use pac_parallel::ParallelPlan;
-use pac_peft::{ActivationCache, CacheStats, Technique, Tuner};
+use pac_parallel::engine::{dp_step_cached_supervised, dp_step_tokens_supervised};
+use pac_parallel::faults::{FaultClock, FaultPlan, TimelineEvent, TimelineKind};
+use pac_parallel::{EngineError, ParallelPlan};
+use pac_peft::{ActivationCache, CacheStats, Technique, TrainCheckpoint, Tuner};
 use pac_planner::Planner;
 use pac_tensor::rng::seeded;
 use pac_tensor::{Result, Tensor};
@@ -28,6 +29,10 @@ pub struct PacConfig {
     pub lr: f32,
     /// Master seed.
     pub seed: u64,
+    /// Snapshot a [`TrainCheckpoint`] every this many steps (0 disables
+    /// periodic snapshots; an initial snapshot is always taken so recovery
+    /// is possible from step 0).
+    pub checkpoint_every: usize,
 }
 
 impl Default for PacConfig {
@@ -39,14 +44,35 @@ impl Default for PacConfig {
             batch_size: 8,
             lr: 1e-2,
             seed: 42,
+            checkpoint_every: 4,
         }
     }
+}
+
+/// Fault-handling summary of a session run. All-zero for fault-free runs.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Faults from the plan that actually fired.
+    pub faults_injected: usize,
+    /// Transient AllReduce retries across the whole run.
+    pub retries: u32,
+    /// Times the planner produced a new plan over surviving devices.
+    pub replans: u32,
+    /// Training checkpoints snapshotted (including the initial one).
+    pub checkpoints: usize,
+    /// Total serialized size of all snapshots, in bytes.
+    pub checkpoint_bytes: usize,
+    /// Devices still alive at the end of the run.
+    pub final_devices: usize,
+    /// Ordered fault/recovery events (the recovery timeline).
+    pub timeline: Vec<TimelineEvent>,
 }
 
 /// Report of a PAC session.
 #[derive(Debug, Clone)]
 pub struct PacReport {
-    /// The plan the PAC planner chose for the (paper-scale) architecture.
+    /// The plan the PAC planner chose for the (paper-scale) architecture —
+    /// the *latest* plan if device failures forced a replan mid-run.
     pub plan: ParallelPlan,
     /// Simulated mini-batch makespan of that plan (seconds).
     pub planned_makespan_s: f64,
@@ -60,6 +86,19 @@ pub struct PacReport {
     pub trainable_params: usize,
     /// Total parameters of the micro model.
     pub total_params: usize,
+    /// Fault-injection and recovery summary.
+    pub recovery: RecoveryReport,
+}
+
+/// A consistent rollback point: serialized [`TrainCheckpoint`] plus the
+/// loop cursor needed to replay from it.
+struct Snapshot {
+    bytes: Vec<u8>,
+    epoch: usize,
+    next_batch: usize,
+    sum: f32,
+    count: usize,
+    losses: usize,
 }
 
 /// A PAC fine-tuning session (paper Figure 4).
@@ -113,6 +152,35 @@ impl PacSession {
         train_n: usize,
         eval_n: usize,
     ) -> Result<PacReport> {
+        self.run_with_faults(backbone, task, train_n, eval_n, &FaultPlan::none())
+            .map_err(|e| match e {
+                EngineError::Tensor(t) => t,
+                // With an empty fault plan the only failure source is
+                // tensor shape errors; anything else is a genuine bug.
+                other => panic!("fault-free session failed in the fault path: {other}"),
+            })
+    }
+
+    /// Like [`PacSession::run_with_backbone`] but executing under a
+    /// [`FaultPlan`]: lane panics, stragglers, and transient AllReduce
+    /// failures are supervised by the engines, while fail-stop device
+    /// losses trigger the session's recovery loop — replan over the
+    /// survivors, restore the last [`TrainCheckpoint`], and replay from its
+    /// cursor. The report's [`RecoveryReport`] records what happened.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Unplannable`] when failures leave no viable
+    /// device pool, [`EngineError::AllReduceFailed`] when a transient fault
+    /// outlives its retry budget with no identifiable lane, and tensor
+    /// errors from training itself.
+    pub fn run_with_faults(
+        &self,
+        backbone: pac_model::EncDecModel,
+        task: TaskKind,
+        train_n: usize,
+        eval_n: usize,
+        faults: &FaultPlan,
+    ) -> std::result::Result<PacReport, EngineError> {
         let cfg = &self.config;
         let model_cfg = backbone.config.clone();
         let model_cfg = &model_cfg;
@@ -141,70 +209,250 @@ impl PacSession {
         };
 
         // Step 3 happened inside the tuner (backbone frozen).
-        // Steps 4–5: replicated training across devices.
+        // Steps 4–5: replicated training across devices, supervised by the
+        // fault clock. `alive` maps lane position → original device index.
+        let mut plan = plan;
+        let mut makespan = makespan;
         let mut replicas = vec![tuner; n_dev];
         let mut opts: Vec<Adam> = (0..n_dev).map(|_| Adam::new(cfg.lr)).collect();
         let mut cache = ActivationCache::new();
+        let clock = FaultClock::new(faults.clone());
+        let mut alive: Vec<usize> = (0..n_dev).collect();
+        let mut failed: Vec<usize> = Vec::new();
+        let mut retries_total = 0u32;
+        let mut replans = 0u32;
+        let mut checkpoints = 0usize;
+        let mut checkpoint_bytes = 0usize;
 
         let data = Dataset::generate(task, train_n + eval_n, 13, cfg.seed.wrapping_add(1));
         let (train, eval) = data.split(train_n as f64 / (train_n + eval_n) as f64);
 
-        let mut epoch_losses = Vec::with_capacity(cfg.epochs);
-        for epoch in 0..cfg.epochs {
-            let mut sum = 0.0f32;
-            let mut count = 0usize;
-            for batch in train.batches(cfg.batch_size, epoch, cfg.seed.wrapping_add(2)) {
-                if batch.len() < n_dev {
+        let mut epoch_losses: Vec<f32> = Vec::with_capacity(cfg.epochs);
+        let mut epoch = 0usize;
+        let mut batch_start = 0usize;
+        let mut sum = 0.0f32;
+        let mut count = 0usize;
+        let mut snap = take_snapshot(&replicas[0], &clock, 0, 0, 0, 0, sum, count, 0);
+        checkpoints += 1;
+        checkpoint_bytes += snap.bytes.len();
+
+        'training: while epoch < cfg.epochs {
+            let batches = train.batches(cfg.batch_size, epoch, cfg.seed.wrapping_add(2));
+            let mut idx = batch_start;
+            while idx < batches.len() {
+                let batch = &batches[idx];
+                let n_live = alive.len();
+                if batch.len() < n_live {
+                    idx += 1;
                     continue; // drop ragged tail batches (cannot shard evenly)
                 }
-                for r in replicas.iter_mut() {
-                    r.zero_grads();
-                }
-                let share = batch.len() / n_dev;
-                let usable = share * n_dev;
+                clock.advance();
+                let step = clock.current_step();
 
-                let loss = if epoch == 0 || !cache_has_all(&cache, &batch.ids[..usable]) {
-                    // Phase 1: full forwards, filling the cache shard-wise.
-                    let _span = pac_telemetry::span("session.phase1");
-                    let shards: Vec<(Vec<Vec<usize>>, Vec<usize>)> = (0..n_dev)
-                        .map(|k| {
-                            (
-                                batch.tokens[k * share..(k + 1) * share].to_vec(),
-                                class_targets(&batch, k * share, (k + 1) * share, task),
-                            )
-                        })
-                        .collect();
-                    // Fill cache: forward each shard once on its replica.
-                    for (k, (tokens, _)) in shards.iter().enumerate() {
-                        let (_, ctx) = replicas[k].forward(tokens)?;
-                        if let Some(acts) = replicas[k].cacheable_acts(&ctx) {
-                            cache.insert_batch(&batch.ids[k * share..(k + 1) * share], acts);
-                        }
+                // `lost` = original index of a device that permanently left
+                // this step; triggers replan + checkpoint rollback below.
+                let mut lost: Option<usize> = None;
+                if let Some(dev) = clock.fail_stop(step) {
+                    if let Some(pos) = alive.iter().position(|&d| d == dev) {
+                        clock.note(
+                            step,
+                            TimelineKind::Injected,
+                            format!("device {dev} fail-stop"),
+                        );
+                        replicas.remove(pos);
+                        opts.remove(pos);
+                        lost = Some(dev);
                     }
-                    dp_step_tokens(&mut replicas, &shards)?
-                } else {
-                    // Phase 2: cache-only DP training.
-                    let _span = pac_telemetry::span("session.phase2");
-                    let shards: Vec<(Vec<Tensor>, Vec<f32>)> = (0..n_dev)
-                        .map(|k| {
-                            let ids = &batch.ids[k * share..(k + 1) * share];
-                            let acts = cache.get_batch(ids).expect("cache warm after epoch 1");
-                            let targets = float_targets(&batch, k * share, (k + 1) * share, task);
-                            (acts, targets)
+                }
+
+                if lost.is_none() {
+                    for r in replicas.iter_mut() {
+                        r.zero_grads();
+                    }
+                    let share = batch.len() / n_live;
+                    let usable = share * n_live;
+
+                    let result = if epoch == 0 || !cache_has_all(&cache, &batch.ids[..usable]) {
+                        // Phase 1: full forwards, filling the cache shard-wise.
+                        let _span = pac_telemetry::span("session.phase1");
+                        let shards: Vec<(Vec<Vec<usize>>, Vec<usize>)> = (0..n_live)
+                            .map(|k| {
+                                (
+                                    batch.tokens[k * share..(k + 1) * share].to_vec(),
+                                    class_targets(batch, k * share, (k + 1) * share, task),
+                                )
+                            })
+                            .collect();
+                        // Fill cache: forward each shard once on its replica.
+                        for (k, (tokens, _)) in shards.iter().enumerate() {
+                            let (_, ctx) = replicas[k].forward(tokens)?;
+                            if let Some(acts) = replicas[k].cacheable_acts(&ctx) {
+                                cache.insert_batch(&batch.ids[k * share..(k + 1) * share], acts);
+                            }
+                        }
+                        dp_step_tokens_supervised(&mut replicas, &shards, &clock)
+                    } else {
+                        // Phase 2: cache-only DP training.
+                        let _span = pac_telemetry::span("session.phase2");
+                        let shards: Vec<(Vec<Tensor>, Vec<f32>)> = (0..n_live)
+                            .map(|k| {
+                                let ids = &batch.ids[k * share..(k + 1) * share];
+                                let acts = cache.get_batch(ids).expect("cache warm after epoch 1");
+                                let targets =
+                                    float_targets(batch, k * share, (k + 1) * share, task);
+                                (acts, targets)
+                            })
+                            .collect();
+                        dp_step_cached_supervised(
+                            &mut replicas,
+                            &shards,
+                            task.is_regression(),
+                            &clock,
+                        )
+                    };
+
+                    match result {
+                        Ok(out) => {
+                            retries_total += out.retries;
+                            sum += out.loss;
+                            count += 1;
+                            if let Some(pos) = out.dropped_lane {
+                                // The engine already degraded this step to
+                                // the survivors (rescaled averaging), so
+                                // their state is consistent — drop the
+                                // unreachable lane permanently and replan,
+                                // no rollback needed.
+                                let dev = alive.remove(pos);
+                                failed.push(dev);
+                                replicas.remove(pos);
+                                opts.remove(pos);
+                                let outcome = planner.replan_without(&cost, &failed).ok_or(
+                                    EngineError::Unplannable {
+                                        survivors: alive.len(),
+                                    },
+                                )?;
+                                plan = outcome.best;
+                                makespan = outcome.best_makespan_s;
+                                replans += 1;
+                                clock.note(
+                                    step,
+                                    TimelineKind::Replan,
+                                    format!(
+                                        "device {dev} unreachable; {} survivors, makespan {makespan:.2}s",
+                                        alive.len()
+                                    ),
+                                );
+                            }
+                            for (r, o) in replicas.iter_mut().zip(opts.iter_mut()) {
+                                o.step(r);
+                            }
+                            if cfg.checkpoint_every > 0
+                                && (step + 1).is_multiple_of(cfg.checkpoint_every as u64)
+                            {
+                                snap = take_snapshot(
+                                    &replicas[0],
+                                    &clock,
+                                    epoch,
+                                    idx + 1,
+                                    step,
+                                    opts[0].t,
+                                    sum,
+                                    count,
+                                    epoch_losses.len(),
+                                );
+                                checkpoints += 1;
+                                checkpoint_bytes += snap.bytes.len();
+                            }
+                            idx += 1;
+                        }
+                        Err(e)
+                            if e.is_recoverable() && e.lane().is_some_and(|p| p < alive.len()) =>
+                        {
+                            // A lane died mid-step (panic or disconnect):
+                            // treat it as a permanent loss.
+                            let pos = e.lane().expect("guarded above");
+                            replicas.remove(pos);
+                            opts.remove(pos);
+                            lost = Some(alive[pos]);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+
+                if let Some(dev) = lost {
+                    let pos = alive
+                        .iter()
+                        .position(|&d| d == dev)
+                        .expect("lost device was alive");
+                    alive.remove(pos);
+                    failed.push(dev);
+                    let outcome =
+                        planner
+                            .replan_without(&cost, &failed)
+                            .ok_or(EngineError::Unplannable {
+                                survivors: alive.len(),
+                            })?;
+                    plan = outcome.best;
+                    makespan = outcome.best_makespan_s;
+                    replans += 1;
+                    clock.note(
+                        step,
+                        TimelineKind::Replan,
+                        format!("{} survivors, makespan {makespan:.2}s", alive.len()),
+                    );
+                    // Roll back to the last consistent snapshot and replay.
+                    // Replayed steps consume *fresh* clock steps, so a
+                    // fault pinned to an earlier step never fires twice.
+                    let ck = TrainCheckpoint::from_bytes(&snap.bytes)
+                        .expect("in-memory checkpoint round-trips");
+                    for r in replicas.iter_mut() {
+                        ck.restore(r).expect("checkpoint matches its own module");
+                    }
+                    opts = replicas
+                        .iter()
+                        .map(|_| {
+                            let mut a = Adam::new(cfg.lr);
+                            a.t = ck.adam_t;
+                            a
                         })
                         .collect();
-                    dp_step_cached(&mut replicas, &shards, task.is_regression())?
-                };
-                sum += loss;
-                count += 1;
-                for (r, o) in replicas.iter_mut().zip(opts.iter_mut()) {
-                    o.step(r);
+                    epoch = snap.epoch;
+                    batch_start = snap.next_batch;
+                    sum = snap.sum;
+                    count = snap.count;
+                    epoch_losses.truncate(snap.losses);
+                    clock.note(
+                        step,
+                        TimelineKind::Resume,
+                        format!(
+                            "replaying from step {} (epoch {}, batch {})",
+                            ck.step, snap.epoch, snap.next_batch
+                        ),
+                    );
+                    continue 'training;
                 }
             }
             epoch_losses.push(sum / count.max(1) as f32);
+            epoch += 1;
+            batch_start = 0;
+            sum = 0.0;
+            count = 0;
         }
 
         let metric = evaluate(&mut replicas[0], &eval)?;
+        let timeline = clock.timeline();
+        let recovery = RecoveryReport {
+            faults_injected: timeline
+                .iter()
+                .filter(|e| e.kind == TimelineKind::Injected)
+                .count(),
+            retries: retries_total,
+            replans,
+            checkpoints,
+            checkpoint_bytes,
+            final_devices: alive.len(),
+            timeline,
+        };
         Ok(PacReport {
             plan,
             planned_makespan_s: makespan,
@@ -213,7 +461,38 @@ impl PacSession {
             cache_stats: cache.stats(),
             trainable_params: trainable,
             total_params: total,
+            recovery,
         })
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn take_snapshot(
+    replica: &Tuner,
+    clock: &FaultClock,
+    epoch: usize,
+    next_batch: usize,
+    step: u64,
+    adam_t: u64,
+    sum: f32,
+    count: usize,
+    losses: usize,
+) -> Snapshot {
+    let ck = TrainCheckpoint::capture(replica, epoch as u64, step, adam_t);
+    let bytes = ck.to_bytes().expect("in-memory serialization");
+    pac_telemetry::counter_add("checkpoint.bytes", bytes.len() as u64);
+    clock.note(
+        step,
+        TimelineKind::Checkpoint,
+        format!("{} B at epoch {epoch}, batch {next_batch}", bytes.len()),
+    );
+    Snapshot {
+        bytes,
+        epoch,
+        next_batch,
+        sum,
+        count,
+        losses,
     }
 }
 
@@ -286,6 +565,7 @@ mod tests {
             batch_size: 8,
             lr: 1e-2,
             seed: 42,
+            checkpoint_every: 4,
         });
         let report = session
             .run_with_backbone(backbone, TaskKind::Sst2, 48, 16)

@@ -60,7 +60,9 @@ impl DeviceSpec {
     }
 
     /// A slowed copy of this device (thermal throttling, background load):
-    /// effective throughput divided by `factor`.
+    /// effective throughput divided by `factor`. Applying `slowed` again
+    /// composes: the annotations multiply into a single `(×1/…)` suffix
+    /// instead of nesting.
     ///
     /// # Panics
     /// Panics if `factor` is not positive and finite.
@@ -69,8 +71,18 @@ impl DeviceSpec {
             factor.is_finite() && factor > 0.0,
             "slowdown must be positive"
         );
+        // Fold an existing "(×1/X)" suffix into the new factor so repeated
+        // slowdowns render as one combined annotation.
+        let (base, total) = match self
+            .name
+            .rsplit_once(" (×1/")
+            .and_then(|(base, rest)| Some((base, rest.strip_suffix(')')?.parse::<f64>().ok()?)))
+        {
+            Some((base, prev)) => (base, prev * factor),
+            None => (self.name.as_str(), factor),
+        };
         DeviceSpec {
-            name: format!("{} (×1/{factor:.1})", self.name),
+            name: format!("{base} (×1/{total:.1})"),
             efficiency: self.efficiency / factor,
             ..self.clone()
         }
@@ -159,8 +171,20 @@ impl Cluster {
     }
 
     /// A copy of the cluster with the given devices removed (fail-stop
-    /// injection). Indices refer to the current device list.
+    /// injection). Indices refer to the current device list; duplicates
+    /// are deduplicated (a device can only fail once).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range — a silent no-op would let a
+    /// recovery path "survive" a failure it never actually removed.
     pub fn without_devices(&self, failed: &[usize]) -> Self {
+        for &i in failed {
+            assert!(
+                i < self.devices.len(),
+                "device index {i} out of range for cluster of {}",
+                self.devices.len()
+            );
+        }
         Cluster {
             devices: self
                 .devices
@@ -231,6 +255,32 @@ mod tests {
         assert_eq!(f.len(), 3);
         // Removing nothing is identity.
         assert_eq!(c.without_devices(&[]), c);
+    }
+
+    #[test]
+    fn duplicate_failures_count_once() {
+        let c = Cluster::nanos(3);
+        assert_eq!(c.without_devices(&[1, 1, 1]).len(), 2);
+        assert_eq!(c.without_devices(&[0, 2, 0]).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_failure_panics() {
+        let _ = Cluster::nanos(3).without_devices(&[3]);
+    }
+
+    #[test]
+    fn repeated_slowdowns_compose_into_one_annotation() {
+        let d = DeviceSpec::jetson_nano().slowed(2.0).slowed(3.0);
+        assert_eq!(d.name, "Jetson Nano (×1/6.0)");
+        assert!(
+            (d.effective_flops() - DeviceSpec::jetson_nano().effective_flops() / 6.0).abs() < 1e-3
+        );
+        // A parenthesized base name must not be mangled.
+        let mut odd = DeviceSpec::jetson_nano();
+        odd.name = "Nano (dev kit)".into();
+        assert_eq!(odd.slowed(2.0).name, "Nano (dev kit) (×1/2.0)");
     }
 
     #[test]

@@ -6,45 +6,228 @@
 //! AllReduce. With equal shard sizes this is bit-for-bit the mean-gradient
 //! of the concatenated batch, which the tests verify against single-device
 //! training.
+//!
+//! Execution is supervised: replica work runs under `catch_unwind`, so a
+//! crashing lane surfaces as [`EngineError::LanePanic`] instead of tearing
+//! the process down; a disturbed AllReduce is retried up to
+//! [`MAX_ALLREDUCE_RETRIES`] times and past the budget degrades to the
+//! surviving replicas with correctly rescaled averaging.
 
+use crate::engine::error::{EngineError, EngineResult};
+use crate::engine::hybrid::{SupervisedOutcome, MAX_ALLREDUCE_RETRIES};
+use crate::faults::{FaultClock, TimelineKind};
 use pac_nn::{cross_entropy, mse, Module};
 use pac_peft::Tuner;
-use pac_tensor::{Result, Tensor, TensorError};
+use pac_tensor::{Tensor, TensorError};
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// Per-replica injection context for one supervised step.
+struct LaneCtx {
+    lane: usize,
+    panic: bool,
+    delay: Option<Duration>,
+}
+
+fn lane_ctxs(n: usize, step: u64, clock: &FaultClock) -> Vec<LaneCtx> {
+    (0..n)
+        .map(|k| {
+            let panic = clock.lane_panic_stage(step, k).is_some();
+            if panic {
+                clock.note(step, TimelineKind::Injected, format!("lane {k} panics"));
+            }
+            let delay = clock.straggler_delay(step, k);
+            if let Some(d) = delay {
+                clock.note(
+                    step,
+                    TimelineKind::Injected,
+                    format!("lane {k} straggles {}ms", d.as_millis()),
+                );
+            }
+            LaneCtx {
+                lane: k,
+                panic,
+                delay,
+            }
+        })
+        .collect()
+}
+
+/// Runs one replica's shard compute under `catch_unwind`, applying the
+/// lane's injections first.
+fn supervised_lane<F>(ctx: &LaneCtx, step: u64, compute: F) -> EngineResult<f32>
+where
+    F: FnOnce() -> EngineResult<f32>,
+{
+    if let Some(d) = ctx.delay {
+        std::thread::sleep(d);
+    }
+    let lane = ctx.lane;
+    let inject = ctx.panic;
+    match catch_unwind(AssertUnwindSafe(|| {
+        if inject {
+            panic!("injected fault: lane {lane} panics (step {step})");
+        }
+        compute()
+    })) {
+        Ok(r) => r,
+        Err(payload) => Err(EngineError::LanePanic {
+            lane,
+            stage: None,
+            step,
+            message: EngineError::panic_message(payload.as_ref()),
+        }),
+    }
+}
+
+/// Folds per-lane results: losses on success, the most attributable error
+/// (a panic beats anything else) on failure.
+fn fold_lanes(results: Vec<EngineResult<f32>>) -> EngineResult<Vec<f32>> {
+    let mut losses = Vec::with_capacity(results.len());
+    let mut error: Option<EngineError> = None;
+    for r in results {
+        match r {
+            Ok(l) => losses.push(l),
+            Err(e) => {
+                let replace = match (&error, &e) {
+                    (None, _) => true,
+                    (Some(EngineError::LanePanic { .. }), _) => false,
+                    (_, EngineError::LanePanic { .. }) => true,
+                    _ => false,
+                };
+                if replace {
+                    error = Some(e);
+                }
+            }
+        }
+    }
+    match error {
+        Some(e) => Err(e),
+        None => Ok(losses),
+    }
+}
+
+/// AllReduce with bounded retry / degrade, shared by both supervised steps.
+/// Returns the outcome; on degrade the caller must remove the reported
+/// replica (its gradients were excluded and not written back).
+fn reduce_supervised(
+    replicas: &mut [Tuner],
+    lane_losses: &[f32],
+    step: u64,
+    clock: &FaultClock,
+) -> EngineResult<SupervisedOutcome> {
+    let (failures, unreachable) = clock.allreduce_fault(step);
+    if failures > 0 {
+        clock.note(
+            step,
+            TimelineKind::Injected,
+            format!(
+                "AllReduce disturbed for {failures} attempt(s){}",
+                match unreachable {
+                    Some(l) => format!(", lane {l} unreachable"),
+                    None => String::new(),
+                }
+            ),
+        );
+    }
+    let mut retries = 0u32;
+    while retries < failures && retries < MAX_ALLREDUCE_RETRIES {
+        retries += 1;
+        clock.note(
+            step,
+            TimelineKind::Retry,
+            format!("AllReduce attempt {retries} failed, backing off"),
+        );
+        std::thread::sleep(Duration::from_micros(100 << retries.min(6)));
+    }
+    let mut dropped_lane = None;
+    if failures > retries {
+        match unreachable {
+            Some(dead) if dead < replicas.len() && replicas.len() > 1 => {
+                dropped_lane = Some(dead);
+                clock.note(
+                    step,
+                    TimelineKind::Degraded,
+                    format!(
+                        "dropped unreachable lane {dead}, averaging over {} survivors",
+                        replicas.len() - 1
+                    ),
+                );
+            }
+            _ => {
+                return Err(EngineError::AllReduceFailed {
+                    step,
+                    attempts: retries + 1,
+                });
+            }
+        }
+    }
+    allreduce_mean_excluding(replicas, dropped_lane)?;
+    let (sum, count) = lane_losses
+        .iter()
+        .enumerate()
+        .filter(|(k, _)| Some(*k) != dropped_lane)
+        .fold((0.0f32, 0usize), |(s, c), (_, l)| (s + l, c + 1));
+    Ok(SupervisedOutcome {
+        loss: sum / count as f32,
+        step,
+        retries,
+        dropped_lane,
+    })
+}
 
 /// Averages trainable gradients across replicas in place (AllReduce-mean).
 ///
 /// Replicas must have identical parameter structure.
 ///
-/// # Panics
-/// Panics if replicas disagree on parameter count or shapes.
-pub fn allreduce_mean<M: Module>(replicas: &mut [M]) {
-    let n = replicas.len();
+/// # Errors
+/// Returns a tensor error if replicas disagree on parameter shapes.
+pub fn allreduce_mean<M: Module>(replicas: &mut [M]) -> EngineResult<()> {
+    allreduce_mean_excluding(replicas, None)
+}
+
+/// [`allreduce_mean`] over the replicas except `skip` (a degraded,
+/// unreachable lane): the mean rescales over the k participating replicas
+/// and is written back only to them.
+///
+/// # Errors
+/// Returns a tensor error if replicas disagree on parameter shapes.
+pub fn allreduce_mean_excluding<M: Module>(
+    replicas: &mut [M],
+    skip: Option<usize>,
+) -> EngineResult<()> {
+    let n = replicas.len() - usize::from(skip.is_some_and(|s| s < replicas.len()));
     if n <= 1 {
-        return;
+        return Ok(());
     }
     let _span = pac_telemetry::span("allreduce");
     // Gather.
     let mut sums: Vec<Tensor> = Vec::new();
+    let mut shape_err: Option<TensorError> = None;
     {
         let mut first = true;
-        for r in replicas.iter() {
+        for (k, r) in replicas.iter().enumerate() {
+            if Some(k) == skip {
+                continue;
+            }
             let mut idx = 0usize;
             r.visit_params_ref(&mut |p| {
-                if !p.trainable {
+                if !p.trainable || shape_err.is_some() {
                     return;
                 }
                 if first {
                     sums.push(p.grad.clone());
-                } else {
-                    sums[idx]
-                        .add_assign(&p.grad)
-                        .expect("replica gradient shapes must match");
+                } else if let Err(e) = sums[idx].add_assign(&p.grad) {
+                    shape_err = Some(e);
                 }
                 idx += 1;
             });
             first = false;
         }
+    }
+    if let Some(e) = shape_err {
+        return Err(EngineError::Tensor(e));
     }
     let inv = 1.0 / n as f32;
     for s in &mut sums {
@@ -56,7 +239,10 @@ pub fn allreduce_mean<M: Module>(replicas: &mut [M]) {
         pac_telemetry::counter_inc("allreduce.reductions");
     }
     // Scatter.
-    for r in replicas.iter_mut() {
+    for (k, r) in replicas.iter_mut().enumerate() {
+        if Some(k) == skip {
+            continue;
+        }
         let mut idx = 0usize;
         r.visit_params(&mut |p| {
             if !p.trainable {
@@ -66,6 +252,7 @@ pub fn allreduce_mean<M: Module>(replicas: &mut [M]) {
             idx += 1;
         });
     }
+    Ok(())
 }
 
 /// One data-parallel step over token shards: each replica computes its
@@ -80,31 +267,52 @@ pub fn allreduce_mean<M: Module>(replicas: &mut [M]) {
 pub fn dp_step_tokens(
     replicas: &mut [Tuner],
     shards: &[(Vec<Vec<usize>>, Vec<usize>)],
-) -> Result<f32> {
+) -> EngineResult<f32> {
+    let clock = FaultClock::quiet();
+    clock.advance();
+    dp_step_tokens_supervised(replicas, shards, &clock).map(|o| o.loss)
+}
+
+/// [`dp_step_tokens`] under a [`FaultClock`]: injects the clock's faults
+/// for the current step, catches lane panics, retries/degrades the
+/// AllReduce. On `dropped_lane = Some(k)` the caller must remove replica
+/// `k` (its gradients were excluded and not written back).
+///
+/// # Errors
+/// [`EngineError::LanePanic`] when a replica dies,
+/// [`EngineError::AllReduceFailed`] when the collective exhausts its retry
+/// budget with no lane to blame, [`EngineError::Tensor`] on count/shape
+/// mismatches.
+pub fn dp_step_tokens_supervised(
+    replicas: &mut [Tuner],
+    shards: &[(Vec<Vec<usize>>, Vec<usize>)],
+    clock: &FaultClock,
+) -> EngineResult<SupervisedOutcome> {
     if replicas.len() != shards.len() || replicas.is_empty() {
-        return Err(TensorError::ShapeMismatch {
+        return Err(EngineError::Tensor(TensorError::ShapeMismatch {
             op: "dp_step_tokens",
             lhs: vec![replicas.len()],
             rhs: vec![shards.len()],
-        });
+        }));
     }
+    let step = clock.current_step();
+    let ctxs = lane_ctxs(replicas.len(), step, clock);
     let _span = pac_telemetry::span("dp.step_tokens");
-    let losses: Vec<Result<f32>> = replicas
+    let results: Vec<EngineResult<f32>> = replicas
         .par_iter_mut()
         .zip(shards.par_iter())
-        .map(|(tuner, (tokens, targets))| {
-            let (logits, ctx) = tuner.forward(tokens)?;
-            let (loss, dl) = cross_entropy(&logits, targets)?;
-            tuner.backward(&ctx, &dl)?;
-            Ok(loss)
+        .zip(ctxs.par_iter())
+        .map(|((tuner, (tokens, targets)), ctx)| {
+            supervised_lane(ctx, step, || {
+                let (logits, fwd) = tuner.forward(tokens)?;
+                let (loss, dl) = cross_entropy(&logits, targets)?;
+                tuner.backward(&fwd, &dl)?;
+                Ok(loss)
+            })
         })
         .collect();
-    let mut total = 0.0f32;
-    for l in losses {
-        total += l?;
-    }
-    allreduce_mean(replicas);
-    Ok(total / replicas.len() as f32)
+    let losses = fold_lanes(results)?;
+    reduce_supervised(replicas, &losses, step, clock)
 }
 
 /// One cache-enabled data-parallel step (PAC epochs ≥ 2, paper §5.2): each
@@ -121,37 +329,54 @@ pub fn dp_step_cached(
     replicas: &mut [Tuner],
     shards: &[(Vec<Tensor>, Vec<f32>)],
     regression: bool,
-) -> Result<f32> {
+) -> EngineResult<f32> {
+    let clock = FaultClock::quiet();
+    clock.advance();
+    dp_step_cached_supervised(replicas, shards, regression, &clock).map(|o| o.loss)
+}
+
+/// [`dp_step_cached`] under a [`FaultClock`]; same supervision contract as
+/// [`dp_step_tokens_supervised`].
+///
+/// # Errors
+/// As [`dp_step_tokens_supervised`].
+pub fn dp_step_cached_supervised(
+    replicas: &mut [Tuner],
+    shards: &[(Vec<Tensor>, Vec<f32>)],
+    regression: bool,
+    clock: &FaultClock,
+) -> EngineResult<SupervisedOutcome> {
     if replicas.len() != shards.len() || replicas.is_empty() {
-        return Err(TensorError::ShapeMismatch {
+        return Err(EngineError::Tensor(TensorError::ShapeMismatch {
             op: "dp_step_cached",
             lhs: vec![replicas.len()],
             rhs: vec![shards.len()],
-        });
+        }));
     }
+    let step = clock.current_step();
+    let ctxs = lane_ctxs(replicas.len(), step, clock);
     let _span = pac_telemetry::span("dp.step_cached");
-    let losses: Vec<Result<f32>> = replicas
+    let results: Vec<EngineResult<f32>> = replicas
         .par_iter_mut()
         .zip(shards.par_iter())
-        .map(|(tuner, (acts, targets))| {
-            let (logits, ctx) = tuner.forward_cached(acts)?;
-            let (loss, dl) = if regression {
-                let target = Tensor::from_vec(targets.clone(), [targets.len(), 1])?;
-                mse(&logits, &target)?
-            } else {
-                let classes: Vec<usize> = targets.iter().map(|&t| t as usize).collect();
-                cross_entropy(&logits, &classes)?
-            };
-            tuner.backward(&ctx, &dl)?;
-            Ok(loss)
+        .zip(ctxs.par_iter())
+        .map(|((tuner, (acts, targets)), ctx)| {
+            supervised_lane(ctx, step, || {
+                let (logits, fwd) = tuner.forward_cached(acts)?;
+                let (loss, dl) = if regression {
+                    let target = Tensor::from_vec(targets.clone(), [targets.len(), 1])?;
+                    mse(&logits, &target)?
+                } else {
+                    let classes: Vec<usize> = targets.iter().map(|&t| t as usize).collect();
+                    cross_entropy(&logits, &classes)?
+                };
+                tuner.backward(&fwd, &dl)?;
+                Ok(loss)
+            })
         })
         .collect();
-    let mut total = 0.0f32;
-    for l in losses {
-        total += l?;
-    }
-    allreduce_mean(replicas);
-    Ok(total / replicas.len() as f32)
+    let losses = fold_lanes(results)?;
+    reduce_supervised(replicas, &losses, step, clock)
 }
 
 /// Redistribution step between PAC phase 1 and phase 2 (paper §5.2):
@@ -182,6 +407,7 @@ pub fn broadcast_params(replicas: &mut [Tuner]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{Fault, FaultPlan};
     use pac_model::ModelConfig;
     use pac_nn::{Adam, Optimizer};
     use pac_peft::Technique;
@@ -331,6 +557,111 @@ mod tests {
         replicas[1].visit_params_ref(&mut |p| {
             if p.trainable {
                 assert!(p.value.approx_eq(&p0[idx], 0.0));
+                idx += 1;
+            }
+        });
+    }
+
+    #[test]
+    fn injected_replica_panic_is_caught_and_attributed() {
+        let cfg = ModelConfig::micro(1, 1, 16, 2);
+        let base = Tuner::new(Technique::adapters_default(), &cfg, 2, &mut seeded(221));
+        let mut replicas = vec![base.clone(), base];
+        let shards = vec![batch(222, 2, 4), batch(223, 2, 4)];
+        let plan = FaultPlan::none().with(Fault::LanePanic {
+            step: 0,
+            lane: 1,
+            stage: 0,
+        });
+        let clock = FaultClock::new(plan);
+        clock.advance();
+        let err = dp_step_tokens_supervised(&mut replicas, &shards, &clock)
+            .expect_err("injected panic must surface");
+        match err {
+            EngineError::LanePanic { lane, message, .. } => {
+                assert_eq!(lane, 1);
+                assert!(message.contains("injected fault"), "{message}");
+            }
+            other => panic!("expected LanePanic, got {other}"),
+        }
+    }
+
+    #[test]
+    fn transient_allreduce_retry_is_bitwise_identical() {
+        let cfg = ModelConfig::micro(1, 1, 16, 2);
+        let base = Tuner::new(Technique::adapters_default(), &cfg, 2, &mut seeded(224));
+        let shards = vec![batch(225, 2, 4), batch(226, 2, 4)];
+
+        let mut clean = vec![base.clone(), base.clone()];
+        dp_step_tokens(&mut clean, &shards).unwrap();
+
+        let mut faulted = vec![base.clone(), base];
+        let plan = FaultPlan::none().with(Fault::AllReduceTransient {
+            step: 0,
+            failures: 2,
+            lane: None,
+        });
+        let clock = FaultClock::new(plan);
+        clock.advance();
+        let out = dp_step_tokens_supervised(&mut faulted, &shards, &clock).unwrap();
+        assert_eq!(out.retries, 2);
+        assert_eq!(out.dropped_lane, None);
+
+        for (c, f) in clean.iter().zip(&faulted) {
+            let mut cg: Vec<Tensor> = Vec::new();
+            c.visit_params_ref(&mut |p| cg.push(p.grad.clone()));
+            let mut idx = 0;
+            f.visit_params_ref(&mut |p| {
+                assert!(
+                    p.grad.approx_eq(&cg[idx], 0.0),
+                    "retry changed gradient bits at param {idx}"
+                );
+                idx += 1;
+            });
+        }
+    }
+
+    #[test]
+    fn exhausted_allreduce_degrades_to_survivors() {
+        let cfg = ModelConfig::micro(1, 1, 16, 2);
+        let base = Tuner::new(Technique::adapters_default(), &cfg, 2, &mut seeded(227));
+        let (tokens, targets) = batch(228, 4, 4);
+
+        // Monolithic reference over the surviving (first two) rows.
+        let mut mono = base.clone();
+        let (logits, ctx) = mono.forward(&tokens[..2]).unwrap();
+        let (_, dl) = cross_entropy(&logits, &targets[..2]).unwrap();
+        mono.backward(&ctx, &dl).unwrap();
+        let mut expected: Vec<Tensor> = Vec::new();
+        mono.visit_params_ref(&mut |p| {
+            if p.trainable {
+                expected.push(p.grad.clone());
+            }
+        });
+
+        let mut replicas = vec![base.clone(), base];
+        let shards = vec![
+            (tokens[..2].to_vec(), targets[..2].to_vec()),
+            (tokens[2..].to_vec(), targets[2..].to_vec()),
+        ];
+        let plan = FaultPlan::none().with(Fault::AllReduceTransient {
+            step: 0,
+            failures: MAX_ALLREDUCE_RETRIES + 2,
+            lane: Some(1),
+        });
+        let clock = FaultClock::new(plan);
+        clock.advance();
+        let out = dp_step_tokens_supervised(&mut replicas, &shards, &clock).unwrap();
+        assert_eq!(out.dropped_lane, Some(1));
+        assert_eq!(out.retries, MAX_ALLREDUCE_RETRIES);
+
+        let mut idx = 0usize;
+        replicas[0].visit_params_ref(&mut |p| {
+            if p.trainable {
+                assert!(
+                    p.grad.approx_eq(&expected[idx], 1e-5),
+                    "degraded grad {idx} diverged"
+                );
                 idx += 1;
             }
         });

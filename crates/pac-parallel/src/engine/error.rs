@@ -1,0 +1,160 @@
+//! Typed failures of the real training engines.
+//!
+//! Engines never let a worker-thread panic escape their public API: lane
+//! threads are joined, panics are converted into [`EngineError::LanePanic`]
+//! carrying the failing lane/stage, and channel teardown from a neighbor's
+//! death surfaces as [`EngineError::Disconnected`]. Callers (the session's
+//! recovery loop, tests, benches) decide whether to retry, degrade, replan,
+//! or abort.
+
+use pac_tensor::TensorError;
+use std::fmt;
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = std::result::Result<T, EngineError>;
+
+/// A failure inside a training engine, attributed to its origin.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A lane's worker thread panicked (caught at join, not propagated).
+    LanePanic {
+        /// Data-parallel lane that died.
+        lane: usize,
+        /// Pipeline stage inside the lane, when attributable.
+        stage: Option<usize>,
+        /// Global step of the mini-batch, when known.
+        step: u64,
+        /// Panic payload rendered as text.
+        message: String,
+    },
+    /// A stage lost its neighbor mid-batch (channel closed): the usual
+    /// downstream symptom of a [`EngineError::LanePanic`] elsewhere.
+    Disconnected {
+        /// Lane the disconnection was observed in.
+        lane: usize,
+        /// Stage that observed the closed channel.
+        stage: usize,
+        /// Micro-batch being exchanged.
+        micro: usize,
+        /// True if the forward link broke, false for the backward link.
+        forward: bool,
+    },
+    /// The gradient AllReduce failed every attempt of the bounded retry.
+    AllReduceFailed {
+        /// Global step whose collective failed.
+        step: u64,
+        /// Attempts made (1 initial + retries).
+        attempts: u32,
+    },
+    /// Recovery is impossible: no lanes/devices left to run on.
+    NoSurvivors,
+    /// The planner found no feasible plan for the surviving devices.
+    Unplannable {
+        /// Number of surviving devices.
+        survivors: usize,
+    },
+    /// A tensor-math error (shape mismatch, numerically invalid input).
+    Tensor(TensorError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::LanePanic {
+                lane,
+                stage,
+                step,
+                message,
+            } => match stage {
+                Some(s) => write!(
+                    f,
+                    "lane {lane} panicked at stage {s} (step {step}): {message}"
+                ),
+                None => write!(f, "lane {lane} panicked (step {step}): {message}"),
+            },
+            EngineError::Disconnected {
+                lane,
+                stage,
+                micro,
+                forward,
+            } => write!(
+                f,
+                "lane {lane} stage {stage} lost its {} neighbor at micro-batch {micro}",
+                if *forward { "forward" } else { "backward" }
+            ),
+            EngineError::AllReduceFailed { step, attempts } => {
+                write!(f, "AllReduce failed {attempts} attempt(s) at step {step}")
+            }
+            EngineError::NoSurvivors => write!(f, "no surviving lanes to run on"),
+            EngineError::Unplannable { survivors } => {
+                write!(f, "no feasible plan for {survivors} surviving device(s)")
+            }
+            EngineError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<TensorError> for EngineError {
+    fn from(e: TensorError) -> Self {
+        EngineError::Tensor(e)
+    }
+}
+
+impl EngineError {
+    /// The lane this error is attributed to, when known.
+    pub fn lane(&self) -> Option<usize> {
+        match self {
+            EngineError::LanePanic { lane, .. } | EngineError::Disconnected { lane, .. } => {
+                Some(*lane)
+            }
+            _ => None,
+        }
+    }
+
+    /// True for failures a supervisor may recover from by dropping a lane
+    /// or replanning (as opposed to programming/shape errors).
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            EngineError::LanePanic { .. }
+                | EngineError::Disconnected { .. }
+                | EngineError::AllReduceFailed { .. }
+        )
+    }
+
+    /// Renders a panic payload from [`std::thread::JoinHandle::join`].
+    pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "opaque panic payload".to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_lane_and_stage() {
+        let e = EngineError::LanePanic {
+            lane: 2,
+            stage: Some(1),
+            step: 7,
+            message: "injected".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("lane 2"), "{text}");
+        assert!(text.contains("stage 1"), "{text}");
+        assert!(text.contains("step 7"), "{text}");
+        assert_eq!(e.lane(), Some(2));
+        assert!(e.is_recoverable());
+        assert!(!EngineError::NoSurvivors.is_recoverable());
+        assert!(!EngineError::Unplannable { survivors: 1 }.is_recoverable());
+    }
+}

@@ -7,18 +7,46 @@
 //! slices, and at mini-batch end each stage's gradient is AllReduce-averaged
 //! across lanes.
 //!
+//! Execution is supervised: lane threads are joined as `Result`s, a panic
+//! becomes [`EngineError::LanePanic`] and removes only the dead lane, a
+//! disturbed AllReduce gets a bounded retry with backoff
+//! ([`MAX_ALLREDUCE_RETRIES`]) and, past the budget, degrades to the
+//! surviving lanes with `1/k` rescaled averaging.
+//!
 //! This engine supports uniform group widths (every stage replicated the
 //! same number of times). Non-uniform groups — which require activation
 //! resharding between stages — are covered by the timeline simulator.
 
-use crate::engine::pipeline::run_pipeline_mini_batch;
+use crate::engine::error::{EngineError, EngineResult};
+use crate::engine::pipeline::{run_pipeline_supervised, LaneFaults};
+use crate::faults::{FaultClock, TimelineKind};
 use crate::schedule::Schedule;
 use pac_model::StageModel;
 use pac_nn::{Module, Optimizer, Param};
-use pac_tensor::{Result, Tensor, TensorError};
+use pac_tensor::{Tensor, TensorError};
 
 /// One micro-batch: `(token rows, class targets)`.
 type MicroBatch = (Vec<Vec<usize>>, Vec<usize>);
+
+/// Bounded retry budget for a disturbed gradient AllReduce: the collective
+/// is attempted `1 + MAX_ALLREDUCE_RETRIES` times before the engine
+/// degrades (unreachable lane known) or gives up.
+pub const MAX_ALLREDUCE_RETRIES: u32 = 3;
+
+/// What a supervised mini-batch reported back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedOutcome {
+    /// Mean loss across the lanes that contributed to the update.
+    pub loss: f32,
+    /// Global step this mini-batch ran as (from the [`FaultClock`]).
+    pub step: u64,
+    /// AllReduce attempts that failed and were retried.
+    pub retries: u32,
+    /// Lane dropped by AllReduce degradation this step (index into the
+    /// lane order *before* the call), if any. The caller must drop the
+    /// matching optimizer.
+    pub dropped_lane: Option<usize>,
+}
 
 /// Hybrid-parallel training engine over real threads.
 #[derive(Debug)]
@@ -62,19 +90,48 @@ impl HybridEngine {
     ///
     /// # Errors
     /// Returns an error if a micro-batch cannot be split evenly across the
-    /// lanes (keeps gradient averaging exact).
+    /// lanes (keeps gradient averaging exact), or any supervised failure
+    /// from [`HybridEngine::run_supervised`].
     pub fn run_mini_batch(
         &mut self,
         micro_batches: &[(Vec<Vec<usize>>, Vec<usize>)],
-    ) -> Result<f32> {
+    ) -> EngineResult<f32> {
+        let clock = FaultClock::quiet();
+        clock.advance();
+        self.run_supervised(micro_batches, &clock).map(|o| o.loss)
+    }
+
+    /// Runs one supervised mini-batch against the clock's current step,
+    /// injecting whatever the clock's [`FaultPlan`](crate::faults::FaultPlan)
+    /// schedules there. The caller owns the loop and must call
+    /// [`FaultClock::advance`] once per mini-batch before this.
+    ///
+    /// On a lane failure the dead lane's replica is removed and the
+    /// survivors are kept, so the engine remains usable; the survivors'
+    /// gradients are partial, so callers must `zero_grads` before reusing
+    /// them. AllReduce disturbances are retried up to
+    /// [`MAX_ALLREDUCE_RETRIES`] times; past that, a known-unreachable lane
+    /// is dropped and averaging rescales over the `k` survivors.
+    ///
+    /// # Errors
+    /// [`EngineError::LanePanic`] / [`EngineError::Disconnected`] when a
+    /// lane dies, [`EngineError::AllReduceFailed`] when the collective
+    /// exhausts its budget with no lane to blame, [`EngineError::Tensor`]
+    /// on uneven splits or math failures.
+    pub fn run_supervised(
+        &mut self,
+        micro_batches: &[(Vec<Vec<usize>>, Vec<usize>)],
+        clock: &FaultClock,
+    ) -> EngineResult<SupervisedOutcome> {
+        let step = clock.current_step();
         let g = self.group_width();
         for (toks, _) in micro_batches {
             if toks.len() % g != 0 {
-                return Err(TensorError::ShapeMismatch {
+                return Err(EngineError::Tensor(TensorError::ShapeMismatch {
                     op: "hybrid micro-batch must split evenly across lanes",
                     lhs: vec![toks.len()],
                     rhs: vec![g],
-                });
+                }));
             }
         }
         // Per-lane slices of every micro-batch.
@@ -100,42 +157,161 @@ impl HybridEngine {
             pac_telemetry::counter_inc("hybrid.runs");
         }
 
+        // Injection points for this step, logged before the threads start
+        // so the timeline reads in causal order.
+        let lane_faults: Vec<LaneFaults> = (0..g)
+            .map(|k| {
+                let panic_stage = clock.lane_panic_stage(step, k);
+                if let Some(s) = panic_stage {
+                    clock.note(
+                        step,
+                        TimelineKind::Injected,
+                        format!("lane {k} panic at stage {s}"),
+                    );
+                }
+                let delay = clock.straggler_delay(step, k);
+                if let Some(d) = delay {
+                    clock.note(
+                        step,
+                        TimelineKind::Injected,
+                        format!("lane {k} straggles {}ms", d.as_millis()),
+                    );
+                }
+                LaneFaults {
+                    lane: k,
+                    step,
+                    panic_stage,
+                    delay,
+                }
+            })
+            .collect();
+
         let schedule = self.schedule;
         let lanes = std::mem::take(&mut self.lanes);
-        let outcomes: Vec<(Vec<StageModel>, f32)> = std::thread::scope(|scope| {
+        let joined: Vec<EngineResult<(Vec<StageModel>, f32)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = lanes
                 .into_iter()
                 .zip(lane_inputs)
-                .map(|(stage_chain, input)| {
+                .zip(&lane_faults)
+                .map(|((stage_chain, input), faults)| {
                     scope.spawn(move || {
-                        let out = run_pipeline_mini_batch(stage_chain, input, schedule);
-                        (out.stages, out.loss)
+                        run_pipeline_supervised(stage_chain, input, schedule, faults)
+                            .map(|out| (out.stages, out.loss))
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("lane thread panicked"))
+                .enumerate()
+                .map(|(k, h)| match h.join() {
+                    Ok(r) => r,
+                    Err(payload) => Err(EngineError::LanePanic {
+                        lane: k,
+                        stage: None,
+                        step,
+                        message: EngineError::panic_message(payload.as_ref()),
+                    }),
+                })
                 .collect()
         });
 
-        let mut loss = 0.0f32;
+        // Keep every surviving replica even when a lane died, so the
+        // engine stays usable for recovery; report the most attributable
+        // error (a panic over the disconnections it caused).
+        let mut error: Option<EngineError> = None;
+        let mut lane_losses: Vec<f32> = Vec::with_capacity(g);
         self.lanes = Vec::with_capacity(g);
-        for (stages, l) in outcomes {
-            self.lanes.push(stages);
-            loss += l;
+        for r in joined {
+            match r {
+                Ok((stages, l)) => {
+                    self.lanes.push(stages);
+                    lane_losses.push(l);
+                }
+                Err(e) => {
+                    let replace = match (&error, &e) {
+                        (None, _) => true,
+                        (Some(EngineError::LanePanic { .. }), _) => false,
+                        (_, EngineError::LanePanic { .. }) => true,
+                        (Some(EngineError::Disconnected { .. }), _) => true,
+                        _ => false,
+                    };
+                    if replace {
+                        error = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = error {
+            return Err(e);
         }
 
-        // AllReduce each stage's gradients across lanes.
+        // Gradient AllReduce, with bounded retry and degrade-to-survivors.
+        let (failures, unreachable) = clock.allreduce_fault(step);
+        if failures > 0 {
+            clock.note(
+                step,
+                TimelineKind::Injected,
+                format!(
+                    "AllReduce disturbed for {failures} attempt(s){}",
+                    match unreachable {
+                        Some(l) => format!(", lane {l} unreachable"),
+                        None => String::new(),
+                    }
+                ),
+            );
+        }
+        let mut retries = 0u32;
+        while retries < failures && retries < MAX_ALLREDUCE_RETRIES {
+            retries += 1;
+            clock.note(
+                step,
+                TimelineKind::Retry,
+                format!("AllReduce attempt {retries} failed, backing off"),
+            );
+            // Exponential backoff, capped small: real engines wait for the
+            // link; tests must not.
+            std::thread::sleep(std::time::Duration::from_micros(100 << retries.min(6)));
+        }
+        let mut dropped_lane = None;
+        if failures > retries {
+            // Budget exhausted: the collective is permanently broken.
+            match unreachable {
+                Some(dead) if dead < self.lanes.len() && self.lanes.len() > 1 => {
+                    self.lanes.remove(dead);
+                    lane_losses.remove(dead);
+                    dropped_lane = Some(dead);
+                    clock.note(
+                        step,
+                        TimelineKind::Degraded,
+                        format!(
+                            "dropped unreachable lane {dead}, averaging over {} survivors",
+                            self.lanes.len()
+                        ),
+                    );
+                }
+                _ => {
+                    return Err(EngineError::AllReduceFailed {
+                        step,
+                        attempts: retries + 1,
+                    });
+                }
+            }
+        }
         {
             let _span = pac_telemetry::span("hybrid.allreduce");
             for s in 0..self.num_stages() {
                 let mut group: Vec<&mut StageModel> =
                     self.lanes.iter_mut().map(|lane| &mut lane[s]).collect();
-                allreduce_group(&mut group);
+                allreduce_group(&mut group)?;
             }
         }
-        Ok(loss / g as f32)
+        let loss = lane_losses.iter().sum::<f32>() / lane_losses.len() as f32;
+        Ok(SupervisedOutcome {
+            loss,
+            step,
+            retries,
+            dropped_lane,
+        })
     }
 
     /// Zeroes gradients on every replica.
@@ -150,6 +326,9 @@ impl HybridEngine {
     /// Applies one optimizer step to every replica. After an AllReduce the
     /// replicas hold identical gradients, so identical steps keep them in
     /// sync (asserted in tests).
+    ///
+    /// # Panics
+    /// Panics unless there is exactly one optimizer per (surviving) lane.
     pub fn step(&mut self, opts: &mut [Box<dyn Optimizer>]) {
         assert_eq!(opts.len(), self.lanes.len(), "one optimizer per lane");
         for (lane, opt) in self.lanes.iter_mut().zip(opts.iter_mut()) {
@@ -170,27 +349,32 @@ impl HybridEngine {
 }
 
 /// AllReduce-mean across a group of stage replicas (trainable params only).
-fn allreduce_group(group: &mut [&mut StageModel]) {
+///
+/// # Errors
+/// Returns a tensor error if replicas disagree on parameter shapes.
+fn allreduce_group(group: &mut [&mut StageModel]) -> EngineResult<()> {
     let n = group.len();
     if n <= 1 {
-        return;
+        return Ok(());
     }
     let mut sums: Vec<Tensor> = Vec::new();
+    let mut shape_err: Option<TensorError> = None;
     for (gi, stage) in group.iter().enumerate() {
         let mut idx = 0usize;
         stage.visit_params_ref(&mut |p| {
-            if !p.trainable {
+            if !p.trainable || shape_err.is_some() {
                 return;
             }
             if gi == 0 {
                 sums.push(p.grad.clone());
-            } else {
-                sums[idx]
-                    .add_assign(&p.grad)
-                    .expect("replica shapes must match");
+            } else if let Err(e) = sums[idx].add_assign(&p.grad) {
+                shape_err = Some(e);
             }
             idx += 1;
         });
+    }
+    if let Some(e) = shape_err {
+        return Err(EngineError::Tensor(e));
     }
     let inv = 1.0 / n as f32;
     for s in &mut sums {
@@ -214,11 +398,13 @@ fn allreduce_group(group: &mut [&mut StageModel]) {
             idx += 1;
         });
     }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{Fault, FaultPlan};
     use pac_model::{EncoderModel, ModelConfig};
     use pac_nn::{cross_entropy, Sgd};
     use pac_tensor::rng::seeded;
@@ -353,5 +539,148 @@ mod tests {
             engine.step(&mut opts);
         }
         assert!(last < first, "first {first} last {last}");
+    }
+
+    #[test]
+    fn injected_lane_panic_keeps_the_survivors() {
+        let m = model(237, 2);
+        let stages = m.partition(&[1, 1]).unwrap();
+        let mut engine = HybridEngine::new(stages, 3, Schedule::OneFOneB);
+        let plan = FaultPlan::none().with(Fault::LanePanic {
+            step: 0,
+            lane: 1,
+            stage: 0,
+        });
+        let clock = FaultClock::new(plan);
+        clock.advance();
+        let mbs = micro_batches(238, 2, 3, 4);
+        let err = engine
+            .run_supervised(&mbs, &clock)
+            .expect_err("injected panic must surface");
+        assert_eq!(err.lane(), Some(1));
+        assert!(err.is_recoverable());
+        assert_eq!(engine.group_width(), 2, "dead lane removed, survivors kept");
+        // Survivors are structurally intact: a clean retry on the
+        // remaining width works (2 lanes divide the 4-row batches evenly).
+        engine.zero_grads();
+        clock.advance();
+        let mbs = micro_batches(239, 2, 4, 4);
+        engine.run_supervised(&mbs, &clock).unwrap();
+    }
+
+    #[test]
+    fn transient_allreduce_retry_is_bitwise_identical() {
+        let m = model(240, 2);
+        let mbs = micro_batches(241, 2, 4, 4);
+
+        let stages = m.clone().partition(&[1, 1]).unwrap();
+        let mut clean = HybridEngine::new(stages, 2, Schedule::OneFOneB);
+        clean.run_mini_batch(&mbs).unwrap();
+
+        let stages = m.partition(&[1, 1]).unwrap();
+        let mut faulted = HybridEngine::new(stages, 2, Schedule::OneFOneB);
+        let plan = FaultPlan::none().with(Fault::AllReduceTransient {
+            step: 0,
+            failures: 2,
+            lane: None,
+        });
+        let clock = FaultClock::new(plan);
+        clock.advance();
+        let out = faulted.run_supervised(&mbs, &clock).unwrap();
+        assert_eq!(out.retries, 2);
+        assert_eq!(out.dropped_lane, None);
+
+        // Retry must not change a single bit of the gradients.
+        for (cl, fl) in clean.lanes.iter().zip(&faulted.lanes) {
+            for (cs, fs) in cl.iter().zip(fl) {
+                let mut clean_grads: Vec<Tensor> = Vec::new();
+                cs.visit_params_ref(&mut |p| clean_grads.push(p.grad.clone()));
+                let mut idx = 0;
+                fs.visit_params_ref(&mut |p| {
+                    assert!(
+                        p.grad.approx_eq(&clean_grads[idx], 0.0),
+                        "retry changed gradient bits at param {idx}"
+                    );
+                    idx += 1;
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_allreduce_with_unreachable_lane_degrades_and_rescales() {
+        let m = model(242, 2);
+        let mbs = micro_batches(243, 2, 4, 4);
+        let g = 2usize;
+
+        // Monolithic reference over the SURVIVING rows only (lane 1 takes
+        // the second half of each micro-batch; lane 0's rows survive).
+        let mut mono = m.clone();
+        let surviving_tokens: Vec<Vec<usize>> = mbs
+            .iter()
+            .flat_map(|(t, _)| t[..t.len() / g].to_vec())
+            .collect();
+        let surviving_targets: Vec<usize> = mbs
+            .iter()
+            .flat_map(|(_, t)| t[..t.len() / g].to_vec())
+            .collect();
+        let (logits, ctx) = mono.forward(&surviving_tokens).unwrap();
+        let (_, dl) = cross_entropy(&logits, &surviving_targets).unwrap();
+        mono.backward(&ctx, &dl).unwrap();
+        let mut mono_grads: HashMap<String, Tensor> = HashMap::new();
+        mono.visit_params_ref(&mut |p| {
+            mono_grads.insert(p.name.clone(), p.grad.clone());
+        });
+
+        let stages = m.partition(&[1, 1]).unwrap();
+        let mut engine = HybridEngine::new(stages, g, Schedule::OneFOneB);
+        let plan = FaultPlan::none().with(Fault::AllReduceTransient {
+            step: 0,
+            failures: MAX_ALLREDUCE_RETRIES + 5,
+            lane: Some(1),
+        });
+        let clock = FaultClock::new(plan);
+        clock.advance();
+        let out = engine.run_supervised(&mbs, &clock).unwrap();
+        assert_eq!(out.retries, MAX_ALLREDUCE_RETRIES);
+        assert_eq!(out.dropped_lane, Some(1));
+        assert_eq!(engine.group_width(), 1);
+
+        for stage in &engine.lanes[0] {
+            stage.visit_params_ref(&mut |p| {
+                if !p.trainable {
+                    return;
+                }
+                let mg = &mono_grads[&p.name];
+                assert!(
+                    p.grad.approx_eq(mg, 1e-4),
+                    "degraded grad mismatch {}: |Δ|={}",
+                    p.name,
+                    p.grad.sub(mg).unwrap().norm()
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn exhausted_allreduce_without_suspect_lane_errors_out() {
+        let m = model(244, 2);
+        let stages = m.partition(&[1, 1]).unwrap();
+        let mut engine = HybridEngine::new(stages, 2, Schedule::OneFOneB);
+        let plan = FaultPlan::none().with(Fault::AllReduceTransient {
+            step: 0,
+            failures: MAX_ALLREDUCE_RETRIES + 1,
+            lane: None,
+        });
+        let clock = FaultClock::new(plan);
+        clock.advance();
+        let mbs = micro_batches(245, 2, 4, 4);
+        match engine.run_supervised(&mbs, &clock) {
+            Err(EngineError::AllReduceFailed { step, attempts }) => {
+                assert_eq!(step, 0);
+                assert_eq!(attempts, MAX_ALLREDUCE_RETRIES + 1);
+            }
+            other => panic!("expected AllReduceFailed, got {other:?}"),
+        }
     }
 }

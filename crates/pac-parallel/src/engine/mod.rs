@@ -5,11 +5,21 @@
 //! single-device training. They demonstrate that the parallel disciplines
 //! the timeline simulator models (1F1B pipelining, data-parallel gradient
 //! averaging, and their hybrid) are *correct*, not just fast on paper.
+//!
+//! All engines are *supervised*: worker panics are caught and attributed
+//! ([`error::EngineError`]), transient AllReduce failures get bounded
+//! retries, and permanent lane loss degrades to the survivors — see
+//! [`crate::faults`] for the deterministic injection machinery.
 
 pub mod data_parallel;
+pub mod error;
 pub mod hybrid;
 pub mod pipeline;
 
-pub use data_parallel::{allreduce_mean, dp_step_cached, dp_step_tokens};
-pub use hybrid::HybridEngine;
-pub use pipeline::{run_pipeline_mini_batch, PipelineOutcome};
+pub use data_parallel::{
+    allreduce_mean, allreduce_mean_excluding, dp_step_cached, dp_step_cached_supervised,
+    dp_step_tokens, dp_step_tokens_supervised,
+};
+pub use error::{EngineError, EngineResult};
+pub use hybrid::{HybridEngine, SupervisedOutcome, MAX_ALLREDUCE_RETRIES};
+pub use pipeline::{run_pipeline_mini_batch, run_pipeline_supervised, LaneFaults, PipelineOutcome};

@@ -5,14 +5,41 @@
 //! Every stage executes exactly the op sequence from
 //! [`crate::schedule::stage_op_sequence`], so the real engine and the
 //! timeline simulator implement the *same* discipline.
+//!
+//! Execution is supervised: stage threads return typed results, panics are
+//! caught at join and attributed to their stage, and a neighbor's death
+//! surfaces as [`EngineError::Disconnected`] instead of a cascading panic.
 
+use crate::engine::error::{EngineError, EngineResult};
 use crate::schedule::{stage_op_sequence, Op, Schedule, SimEvent};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use pac_model::{StageCtx, StageData, StageModel};
 use pac_nn::cross_entropy;
 use pac_tensor::Tensor;
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Fault-injection instructions for one lane of a pipeline run, produced by
+/// a [`FaultClock`](crate::faults::FaultClock) (or
+/// [`LaneFaults::none`] for a healthy run).
+#[derive(Debug, Clone, Default)]
+pub struct LaneFaults {
+    /// Lane index, used to attribute errors in multi-lane (hybrid) runs.
+    pub lane: usize,
+    /// Global step, echoed into errors for the recovery timeline.
+    pub step: u64,
+    /// Inject a panic when this stage starts the mini-batch.
+    pub panic_stage: Option<usize>,
+    /// Stall the lane for this long before computing (straggler).
+    pub delay: Option<Duration>,
+}
+
+impl LaneFaults {
+    /// No injection: supervise only.
+    pub fn none() -> Self {
+        LaneFaults::default()
+    }
+}
 
 /// Result of running one mini-batch through the real pipeline.
 #[derive(Debug)]
@@ -38,21 +65,48 @@ pub struct PipelineOutcome {
     pub wall_s: f64,
 }
 
+/// What one stage thread produces on success.
+type StageRun = (StageModel, f32, usize, Vec<SimEvent>, f64);
+
 /// Runs one mini-batch of `micro_batches` through the stage chain with the
 /// given schedule. `micro_batches[m]` is `(tokens, class_targets)`; the
 /// last stage computes softmax cross-entropy and scales gradients by
 /// `1 / M` so the accumulated gradient equals the full-batch mean gradient.
 ///
-/// # Panics
-/// Panics if a stage thread panics (gradient-math bugs should fail loudly
-/// in tests) or if `stages`/`micro_batches` are empty.
+/// # Errors
+/// Returns [`EngineError::LanePanic`] when a stage thread panics (caught at
+/// join, never propagated), [`EngineError::Disconnected`] when a stage
+/// loses its neighbor, and [`EngineError::Tensor`] on math/shape failures
+/// or empty inputs.
 pub fn run_pipeline_mini_batch(
     stages: Vec<StageModel>,
     micro_batches: Vec<(Vec<Vec<usize>>, Vec<usize>)>,
     schedule: Schedule,
-) -> PipelineOutcome {
-    assert!(!stages.is_empty(), "pipeline needs at least one stage");
-    assert!(!micro_batches.is_empty(), "pipeline needs micro-batches");
+) -> EngineResult<PipelineOutcome> {
+    run_pipeline_supervised(stages, micro_batches, schedule, &LaneFaults::none())
+}
+
+/// [`run_pipeline_mini_batch`] with fault injection: the supervised entry
+/// point used by the hybrid engine and the fault-injection test suite.
+///
+/// # Errors
+/// As [`run_pipeline_mini_batch`]; injected panics surface as
+/// [`EngineError::LanePanic`] with the lane/stage/step from `faults`.
+pub fn run_pipeline_supervised(
+    stages: Vec<StageModel>,
+    micro_batches: Vec<(Vec<Vec<usize>>, Vec<usize>)>,
+    schedule: Schedule,
+    faults: &LaneFaults,
+) -> EngineResult<PipelineOutcome> {
+    if stages.is_empty() || micro_batches.is_empty() {
+        return Err(EngineError::Tensor(
+            pac_tensor::TensorError::ShapeMismatch {
+                op: "pipeline needs at least one stage and one micro-batch",
+                lhs: vec![stages.len()],
+                rhs: vec![micro_batches.len()],
+            },
+        ));
+    }
     let s_n = stages.len();
     let m_n = micro_batches.len();
 
@@ -74,9 +128,9 @@ pub fn run_pipeline_mini_batch(
     bwd_rxs.push(None);
 
     let epoch = Instant::now();
-    let results: Vec<(StageModel, f32, usize, Vec<SimEvent>, f64)> = std::thread::scope(|scope| {
+    let joined: Vec<Result<EngineResult<StageRun>, EngineError>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(s_n);
-        for (s, mut stage) in stages.into_iter().enumerate() {
+        for (s, stage) in stages.into_iter().enumerate() {
             let fwd_tx = fwd_txs[s].take();
             let fwd_rx = fwd_rxs[s].take();
             let bwd_tx = bwd_txs[s].take();
@@ -87,115 +141,46 @@ pub fn run_pipeline_mini_batch(
             } else {
                 Vec::new()
             };
+            let faults = faults.clone();
             handles.push(scope.spawn(move || {
-                let ops = stage_op_sequence(schedule, s, s_n, m_n);
-                let mut ctxs: HashMap<usize, StageCtx> = HashMap::new();
-                let mut outputs: HashMap<usize, Tensor> = HashMap::new();
-                let mut loss_sum = 0.0f32;
-                let mut live_act = 0usize;
-                let mut peak_act = 0usize;
-                let mut events: Vec<SimEvent> = Vec::with_capacity(2 * m_n);
-                let mut busy = 0.0f64;
-                for op in ops {
-                    match op {
-                        Op::F(m) => {
-                            let input = if s == 0 {
-                                StageData::Tokens(mb_inputs[m].0.clone())
-                            } else {
-                                let (idx, data) = fwd_rx
-                                    .as_ref()
-                                    .expect("interior stage has a forward receiver")
-                                    .recv()
-                                    .expect("upstream stage closed unexpectedly");
-                                debug_assert_eq!(idx, m, "forward arrived out of order");
-                                data
-                            };
-                            let t0 = epoch.elapsed().as_secs_f64();
-                            let (out, ctx) = stage.forward(input).expect("stage forward failed");
-                            let t1 = epoch.elapsed().as_secs_f64();
-                            busy += t1 - t0;
-                            events.push(SimEvent {
-                                stage: s,
-                                micro: m,
-                                forward: true,
-                                start: t0,
-                                end: t1,
-                            });
-                            live_act += ctx.activation_bytes;
-                            peak_act = peak_act.max(live_act);
-                            ctxs.insert(m, ctx);
-                            match out {
-                                StageData::Logits(l) => {
-                                    outputs.insert(m, l);
-                                }
-                                other => {
-                                    fwd_tx
-                                        .as_ref()
-                                        .expect("non-final stage has a forward sender")
-                                        .send((m, other))
-                                        .expect("downstream stage closed unexpectedly");
-                                }
-                            }
-                        }
-                        Op::B(m) => {
-                            // Receive before the timestamp so channel waits
-                            // count as idle; the last stage's loss compute
-                            // is part of its backward time.
-                            let received = if s == s_n - 1 {
-                                None
-                            } else {
-                                let (idx, g) = bwd_rx
-                                    .as_ref()
-                                    .expect("non-final stage has a backward receiver")
-                                    .recv()
-                                    .expect("downstream stage closed unexpectedly");
-                                debug_assert_eq!(idx, m, "backward arrived out of order");
-                                Some(g)
-                            };
-                            let t0 = epoch.elapsed().as_secs_f64();
-                            let grad = match received {
-                                Some(g) => g,
-                                None => {
-                                    let logits =
-                                        outputs.remove(&m).expect("logits missing for backward");
-                                    let (loss, dl) = cross_entropy(&logits, &mb_inputs[m].1)
-                                        .expect("loss computation failed");
-                                    loss_sum += loss;
-                                    dl.scale(1.0 / m_n as f32)
-                                }
-                            };
-                            let ctx = ctxs.remove(&m).expect("ctx missing for backward");
-                            let upstream =
-                                stage.backward(&ctx, &grad).expect("stage backward failed");
-                            let t1 = epoch.elapsed().as_secs_f64();
-                            busy += t1 - t0;
-                            events.push(SimEvent {
-                                stage: s,
-                                micro: m,
-                                forward: false,
-                                start: t0,
-                                end: t1,
-                            });
-                            live_act -= ctx.activation_bytes;
-                            if let Some(g) = upstream {
-                                bwd_tx
-                                    .as_ref()
-                                    .expect("non-first stage has a backward sender")
-                                    .send((m, g))
-                                    .expect("upstream stage closed unexpectedly");
-                            }
-                        }
-                    }
-                }
-                (stage, loss_sum, peak_act, events, busy)
+                stage_worker(
+                    stage, s, s_n, m_n, schedule, mb_inputs, fwd_tx, fwd_rx, bwd_tx, bwd_rx,
+                    &epoch, &faults,
+                )
             }));
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("stage thread panicked"))
+            .enumerate()
+            .map(|(s, h)| {
+                h.join().map_err(|payload| EngineError::LanePanic {
+                    lane: faults.lane,
+                    stage: Some(s),
+                    step: faults.step,
+                    message: EngineError::panic_message(payload.as_ref()),
+                })
+            })
             .collect()
     });
     let wall_s = epoch.elapsed().as_secs_f64();
+
+    // Attribute the root cause: a panic beats a compute error beats the
+    // disconnections it caused downstream.
+    let mut disconnect: Option<EngineError> = None;
+    let mut results: Vec<StageRun> = Vec::with_capacity(s_n);
+    for r in joined {
+        match r {
+            Err(panic) => return Err(panic),
+            Ok(Err(e @ EngineError::Disconnected { .. })) => {
+                disconnect.get_or_insert(e);
+            }
+            Ok(Err(e)) => return Err(e),
+            Ok(Ok(run)) => results.push(run),
+        }
+    }
+    if let Some(e) = disconnect {
+        return Err(e);
+    }
 
     let mut stages_out = Vec::with_capacity(s_n);
     let mut loss = 0.0f32;
@@ -216,14 +201,151 @@ pub fn run_pipeline_mini_batch(
     }
     pac_telemetry::counter_inc("pipeline.runs");
     pac_telemetry::counter_add("pipeline.wall_ns", (wall_s * 1e9) as u64);
-    PipelineOutcome {
+    Ok(PipelineOutcome {
         stages: stages_out,
         loss: loss / m_n as f32,
         peak_act_bytes: peaks,
         events,
         stage_busy_s,
         wall_s,
+    })
+}
+
+/// One stage's thread body: executes the stage's op sequence, exchanging
+/// activations/gradients with its neighbors. Channel closures (a dead
+/// neighbor) surface as [`EngineError::Disconnected`]; math failures as
+/// [`EngineError::Tensor`]. Structural invariants of the op sequence (a
+/// context present for every backward, channels wired per position) remain
+/// `expect`s — a violation is a scheduler bug and is still caught at join.
+#[allow(clippy::too_many_arguments)]
+fn stage_worker(
+    mut stage: StageModel,
+    s: usize,
+    s_n: usize,
+    m_n: usize,
+    schedule: Schedule,
+    mb_inputs: Vec<(Vec<Vec<usize>>, Vec<usize>)>,
+    fwd_tx: Option<Sender<(usize, StageData)>>,
+    fwd_rx: Option<Receiver<(usize, StageData)>>,
+    bwd_tx: Option<Sender<(usize, Tensor)>>,
+    bwd_rx: Option<Receiver<(usize, Tensor)>>,
+    epoch: &Instant,
+    faults: &LaneFaults,
+) -> EngineResult<StageRun> {
+    if let (0, Some(delay)) = (s, faults.delay) {
+        // Straggler injection: stalling the first stage stalls the lane.
+        std::thread::sleep(delay);
     }
+    if faults.panic_stage == Some(s) {
+        panic!(
+            "injected fault: lane {} panics at stage {s} (step {})",
+            faults.lane, faults.step
+        );
+    }
+    let lane = faults.lane;
+    let disconnected = |micro: usize, forward: bool| EngineError::Disconnected {
+        lane,
+        stage: s,
+        micro,
+        forward,
+    };
+    let ops = stage_op_sequence(schedule, s, s_n, m_n);
+    let mut ctxs: HashMap<usize, StageCtx> = HashMap::new();
+    let mut outputs: HashMap<usize, Tensor> = HashMap::new();
+    let mut loss_sum = 0.0f32;
+    let mut live_act = 0usize;
+    let mut peak_act = 0usize;
+    let mut events: Vec<SimEvent> = Vec::with_capacity(2 * m_n);
+    let mut busy = 0.0f64;
+    for op in ops {
+        match op {
+            Op::F(m) => {
+                let input = if s == 0 {
+                    StageData::Tokens(mb_inputs[m].0.clone())
+                } else {
+                    let (idx, data) = fwd_rx
+                        .as_ref()
+                        .expect("interior stage has a forward receiver")
+                        .recv()
+                        .map_err(|_| disconnected(m, true))?;
+                    debug_assert_eq!(idx, m, "forward arrived out of order");
+                    data
+                };
+                let t0 = epoch.elapsed().as_secs_f64();
+                let (out, ctx) = stage.forward(input)?;
+                let t1 = epoch.elapsed().as_secs_f64();
+                busy += t1 - t0;
+                events.push(SimEvent {
+                    stage: s,
+                    micro: m,
+                    forward: true,
+                    start: t0,
+                    end: t1,
+                });
+                live_act += ctx.activation_bytes;
+                peak_act = peak_act.max(live_act);
+                ctxs.insert(m, ctx);
+                match out {
+                    StageData::Logits(l) => {
+                        outputs.insert(m, l);
+                    }
+                    other => {
+                        fwd_tx
+                            .as_ref()
+                            .expect("non-final stage has a forward sender")
+                            .send((m, other))
+                            .map_err(|_| disconnected(m, true))?;
+                    }
+                }
+            }
+            Op::B(m) => {
+                // Receive before the timestamp so channel waits
+                // count as idle; the last stage's loss compute
+                // is part of its backward time.
+                let received = if s == s_n - 1 {
+                    None
+                } else {
+                    let (idx, g) = bwd_rx
+                        .as_ref()
+                        .expect("non-final stage has a backward receiver")
+                        .recv()
+                        .map_err(|_| disconnected(m, false))?;
+                    debug_assert_eq!(idx, m, "backward arrived out of order");
+                    Some(g)
+                };
+                let t0 = epoch.elapsed().as_secs_f64();
+                let grad = match received {
+                    Some(g) => g,
+                    None => {
+                        let logits = outputs.remove(&m).expect("logits missing for backward");
+                        let (loss, dl) = cross_entropy(&logits, &mb_inputs[m].1)?;
+                        loss_sum += loss;
+                        dl.scale(1.0 / m_n as f32)
+                    }
+                };
+                let ctx = ctxs.remove(&m).expect("ctx missing for backward");
+                let upstream = stage.backward(&ctx, &grad)?;
+                let t1 = epoch.elapsed().as_secs_f64();
+                busy += t1 - t0;
+                events.push(SimEvent {
+                    stage: s,
+                    micro: m,
+                    forward: false,
+                    start: t0,
+                    end: t1,
+                });
+                live_act -= ctx.activation_bytes;
+                if let Some(g) = upstream {
+                    bwd_tx
+                        .as_ref()
+                        .expect("non-first stage has a backward sender")
+                        .send((m, g))
+                        .map_err(|_| disconnected(m, false))?;
+                }
+            }
+        }
+    }
+    Ok((stage, loss_sum, peak_act, events, busy))
 }
 
 #[cfg(test)]
@@ -290,7 +412,7 @@ mod tests {
 
         for schedule in [Schedule::OneFOneB, Schedule::GPipe] {
             let stages = m.clone().partition(&[2, 2]).unwrap();
-            let out = run_pipeline_mini_batch(stages, mbs.clone(), schedule);
+            let out = run_pipeline_mini_batch(stages, mbs.clone(), schedule).unwrap();
             assert!(
                 (out.loss - mono_loss).abs() < 1e-5,
                 "{schedule:?}: loss {} vs {mono_loss}",
@@ -316,14 +438,15 @@ mod tests {
         let (mono_loss, mono) = monolithic_grads(&m, &mbs);
         let mono_map: HashMap<String, Tensor> = mono.into_iter().collect();
         let stages = m.clone().partition(&[2, 2]).unwrap();
-        let out = run_pipeline_mini_batch(stages, mbs.clone(), Schedule::GPipeWave { wave: 2 });
+        let out =
+            run_pipeline_mini_batch(stages, mbs.clone(), Schedule::GPipeWave { wave: 2 }).unwrap();
         assert!((out.loss - mono_loss).abs() < 1e-5);
         for (name, g) in pipeline_grads(&out) {
             assert!(g.approx_eq(&mono_map[&name], 1e-4), "{name}");
         }
         // And it must hold fewer activations than unbounded GPipe.
         let stages2 = m.partition(&[2, 2]).unwrap();
-        let unbounded = run_pipeline_mini_batch(stages2, mbs, Schedule::GPipe);
+        let unbounded = run_pipeline_mini_batch(stages2, mbs, Schedule::GPipe).unwrap();
         assert!(
             out.peak_act_bytes[0] < unbounded.peak_act_bytes[0],
             "wave {} vs gpipe {}",
@@ -339,7 +462,7 @@ mod tests {
         let (_, mono) = monolithic_grads(&m, &mbs);
         let mono_map: HashMap<String, Tensor> = mono.into_iter().collect();
         let stages = m.partition(&[1, 1, 1, 1]).unwrap();
-        let out = run_pipeline_mini_batch(stages, mbs, Schedule::OneFOneB);
+        let out = run_pipeline_mini_batch(stages, mbs, Schedule::OneFOneB).unwrap();
         for (name, g) in pipeline_grads(&out) {
             assert!(g.approx_eq(&mono_map[&name], 1e-4), "{name}");
         }
@@ -350,9 +473,9 @@ mod tests {
         let m = model(204, 4);
         let mbs = micro_batches(205, 8, 2, 5);
         let s1 = m.clone().partition(&[1, 1, 1, 1]).unwrap();
-        let o1 = run_pipeline_mini_batch(s1, mbs.clone(), Schedule::OneFOneB);
+        let o1 = run_pipeline_mini_batch(s1, mbs.clone(), Schedule::OneFOneB).unwrap();
         let s2 = m.partition(&[1, 1, 1, 1]).unwrap();
-        let o2 = run_pipeline_mini_batch(s2, mbs, Schedule::GPipe);
+        let o2 = run_pipeline_mini_batch(s2, mbs, Schedule::GPipe).unwrap();
         // The first stage shows the largest gap: 1F1B keeps ≤ S in flight,
         // GPipe keeps all M = 8.
         assert!(
@@ -370,10 +493,70 @@ mod tests {
         let (mono_loss, mono) = monolithic_grads(&m, &mbs);
         let mono_map: HashMap<String, Tensor> = mono.into_iter().collect();
         let stages = m.partition(&[2]).unwrap();
-        let out = run_pipeline_mini_batch(stages, mbs, Schedule::OneFOneB);
+        let out = run_pipeline_mini_batch(stages, mbs, Schedule::OneFOneB).unwrap();
         assert!((out.loss - mono_loss).abs() < 1e-5);
         for (name, g) in pipeline_grads(&out) {
             assert!(g.approx_eq(&mono_map[&name], 1e-4), "{name}");
         }
+    }
+
+    #[test]
+    fn injected_stage_panic_is_caught_and_attributed() {
+        let m = model(210, 4);
+        let mbs = micro_batches(211, 3, 2, 4);
+        let stages = m.partition(&[1, 1, 1, 1]).unwrap();
+        let faults = LaneFaults {
+            lane: 3,
+            step: 9,
+            panic_stage: Some(2),
+            delay: None,
+        };
+        let err = run_pipeline_supervised(stages, mbs, Schedule::OneFOneB, &faults)
+            .expect_err("injected panic must fail the run");
+        match err {
+            EngineError::LanePanic {
+                lane,
+                stage,
+                step,
+                message,
+            } => {
+                assert_eq!(lane, 3);
+                assert_eq!(stage, Some(2));
+                assert_eq!(step, 9);
+                assert!(message.contains("injected fault"), "{message}");
+            }
+            other => panic!("expected LanePanic, got {other}"),
+        }
+    }
+
+    #[test]
+    fn straggler_delay_slows_but_does_not_corrupt() {
+        let m = model(212, 2);
+        let mbs = micro_batches(213, 2, 2, 4);
+        let (_, mono) = monolithic_grads(&m, &mbs);
+        let mono_map: HashMap<String, Tensor> = mono.into_iter().collect();
+        let stages = m.partition(&[1, 1]).unwrap();
+        let faults = LaneFaults {
+            delay: Some(Duration::from_millis(30)),
+            ..LaneFaults::none()
+        };
+        let out = run_pipeline_supervised(stages, mbs, Schedule::OneFOneB, &faults).unwrap();
+        assert!(
+            out.wall_s >= 0.03,
+            "stall must show up in wall time: {}",
+            out.wall_s
+        );
+        for (name, g) in pipeline_grads(&out) {
+            assert!(g.approx_eq(&mono_map[&name], 1e-4), "{name}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_typed_errors_not_panics() {
+        let m = model(214, 2);
+        let stages = m.partition(&[1, 1]).unwrap();
+        assert!(run_pipeline_mini_batch(stages, Vec::new(), Schedule::OneFOneB).is_err());
+        let mbs = micro_batches(215, 1, 2, 4);
+        assert!(run_pipeline_mini_batch(Vec::new(), mbs, Schedule::OneFOneB).is_err());
     }
 }

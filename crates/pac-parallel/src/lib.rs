@@ -13,14 +13,22 @@
 //!   Both are tested for *bitwise gradient equivalence* against
 //!   single-device training, which is what entitles the simulated timelines
 //!   to stand in for real runs.
+//! * [`faults`] — **deterministic fault injection**: a seedable
+//!   [`FaultPlan`] pins failures (lane panics, fail-stops, stragglers,
+//!   AllReduce disturbances) to precise steps so the engines' supervision,
+//!   retry, degrade, and checkpoint-recovery paths are reproducible in
+//!   tests.
 
 #![deny(missing_docs)]
 
 pub mod engine;
+pub mod faults;
 pub mod plan;
 pub mod schedule;
 pub mod simulate;
 
+pub use engine::{EngineError, EngineResult};
+pub use faults::{Fault, FaultClock, FaultPlan, TimelineEvent, TimelineKind};
 pub use plan::{ParallelPlan, StageAssignment};
 pub use schedule::{Schedule, SimResult, SimStage};
 pub use simulate::{

@@ -43,7 +43,7 @@ fn run_real(schedule: Schedule) -> PipelineOutcome {
             (toks, targets)
         })
         .collect();
-    run_pipeline_mini_batch(stages, micro_batches, schedule)
+    run_pipeline_mini_batch(stages, micro_batches, schedule).expect("fault-free pipeline run")
 }
 
 /// The measured per-stage op stream, in start-time order.

@@ -36,7 +36,9 @@ pub mod tuner;
 
 pub use adapters::AdapterTuner;
 pub use cache::{ActivationCache, CacheStats};
-pub use checkpoint::{from_bytes, load_trainable, save_trainable, to_bytes, CheckpointError};
+pub use checkpoint::{
+    from_bytes, load_trainable, save_trainable, to_bytes, CheckpointError, TrainCheckpoint,
+};
 pub use full::FullTuner;
 pub use lora::LoraTuner;
 pub use memory::{MemoryBreakdown, MemoryModel};

@@ -31,8 +31,13 @@ pub struct PlanOutcome {
     pub best_micro_batches: usize,
     /// Its simulated makespan (seconds per mini-batch).
     pub best_makespan_s: f64,
-    /// Every evaluated candidate, in stage-count order.
+    /// Every evaluated candidate for the winning device subset, in
+    /// stage-count order.
     pub candidates: Vec<CandidatePlan>,
+    /// Cluster indices of the devices the plan actually uses (ascending).
+    /// Devices left idle — because an awkward pool size planned slower
+    /// than a subset — don't appear.
+    pub device_indices: Vec<usize>,
 }
 
 /// The PAC planner: sweeps stage counts, solves the partition DP for each,
@@ -89,21 +94,79 @@ impl Planner {
     }
 
     /// Replans after fail-stop of the given devices — the recovery path
-    /// when a pool member drops off the LAN mid-training. Returns `None`
-    /// when the surviving devices cannot host the model.
+    /// when a pool member drops off the LAN mid-training. Duplicate indices
+    /// count once (a device fails only once); out-of-range indices are
+    /// rejected. Returns `None` when the surviving devices cannot host the
+    /// model (or none survive).
     pub fn replan_without(&self, cost: &CostModel, failed: &[usize]) -> Option<PlanOutcome> {
-        if failed.len() >= self.cluster.len() {
+        let mut unique: Vec<usize> = failed.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        if unique.last().is_some_and(|&i| i >= self.cluster.len()) {
+            return None;
+        }
+        if unique.len() >= self.cluster.len() {
             return None;
         }
         let survivor = Planner {
-            cluster: self.cluster.without_devices(failed),
+            cluster: self.cluster.without_devices(&unique),
             ..self.clone()
         };
         survivor.plan(cost)
     }
 
     /// Plans from an explicit profile (e.g. a measured one).
+    ///
+    /// The sweep covers device *subsets* as well as stage counts: an
+    /// awkward pool size can plan slower than a smaller one (e.g. five
+    /// devices force ragged groups where four split cleanly), so the
+    /// planner tries leaving the slowest devices idle, fastest-first
+    /// prefixes only. This also makes planning monotone under device loss
+    /// on homogeneous pools — removing a device only shrinks the searched
+    /// subset lattice, so the best makespan can never improve.
     pub fn plan_from_profile(&self, cost: &CostModel, profile: &Profile) -> Option<PlanOutcome> {
+        let d = self.cluster.len();
+        if d == 0 {
+            return None;
+        }
+        let mut order: Vec<usize> = (0..d).collect();
+        order.sort_by(|&a, &b| {
+            self.cluster.devices[b]
+                .effective_flops()
+                .total_cmp(&self.cluster.devices[a].effective_flops())
+        });
+        let mut best: Option<PlanOutcome> = None;
+        for k in 1..=d {
+            let mut used: Vec<usize> = order[..k].to_vec();
+            used.sort_unstable();
+            let sub = Cluster {
+                devices: used
+                    .iter()
+                    .map(|&i| self.cluster.devices[i].clone())
+                    .collect(),
+                link: self.cluster.link,
+            };
+            let survivor = Planner {
+                cluster: sub,
+                ..self.clone()
+            };
+            if let Some(mut out) = survivor.plan_all_devices(cost, profile) {
+                out.device_indices = used;
+                if best
+                    .as_ref()
+                    .map(|b| out.best_makespan_s < b.best_makespan_s)
+                    .unwrap_or(true)
+                {
+                    best = Some(out);
+                }
+            }
+        }
+        best
+    }
+
+    /// The single-subset sweep: stage counts × micro-batch counts over
+    /// *all* of `self.cluster`'s devices.
+    fn plan_all_devices(&self, cost: &CostModel, profile: &Profile) -> Option<PlanOutcome> {
         let d = self.cluster.len();
         let mut candidates = Vec::new();
         let mut best: Option<(ParallelPlan, usize, f64)> = None;
@@ -179,6 +242,7 @@ impl Planner {
             best_micro_batches: micro,
             best_makespan_s: makespan,
             candidates,
+            device_indices: (0..d).collect(),
         })
     }
 }

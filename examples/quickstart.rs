@@ -62,6 +62,7 @@ fn main() {
         batch_size: 8,
         lr: 1e-2,
         seed: 42,
+        checkpoint_every: 4,
     });
     println!("running PAC across 4 simulated edge devices...\n");
     let report = session

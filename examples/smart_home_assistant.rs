@@ -117,6 +117,7 @@ fn main() {
         batch_size: 8,
         lr: 1e-2,
         seed: 7,
+        checkpoint_every: 4,
     });
     let report = session
         .run_with_backbone(backbone, task, 80, 24)

@@ -108,6 +108,7 @@ fn distributed_pac_matches_single_process_quality() {
         batch_size: 8,
         lr: 1e-2,
         seed: 512,
+        checkpoint_every: 4,
     });
     let pac_report = session.run_with_backbone(backbone, task, 48, 24).unwrap();
 
@@ -181,6 +182,7 @@ fn pac_session_never_mutates_backbone() {
         batch_size: 4,
         lr: 5e-2, // aggressive LR would expose any leak quickly
         seed: 531,
+        checkpoint_every: 4,
     });
     let _ = session
         .run_with_backbone(backbone.clone(), TaskKind::Sst2, 16, 8)

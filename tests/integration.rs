@@ -178,6 +178,7 @@ fn session_reports_are_internally_consistent() {
         reduction: 4,
         lr: 1e-2,
         seed: 3,
+        checkpoint_every: 4,
     });
     let report = session.run(&cfg, TaskKind::Sst2, 16, 8).unwrap();
     assert!(report.trainable_params < report.total_params);
