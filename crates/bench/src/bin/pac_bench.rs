@@ -1,0 +1,192 @@
+//! pac-bench: the PR 3 perf-trajectory harness.
+//!
+//! Benchmarks the training hot path at three levels and records the results
+//! to a JSON file (default `BENCH_PR3.json`) so the repo carries its own
+//! measured perf history:
+//!
+//! 1. **Worker pool** — the small parallel matmul (64×64×64, just past the
+//!    parallel threshold) under the persistent pool vs the pre-pool
+//!    spawn-per-call baseline ([`rayon::pool::ExecMode::Spawn`]).
+//! 2. **Zero-allocation kernels** — `matmul_into` with a reused output
+//!    buffer vs the allocating path with the scratch pool disabled.
+//! 3. **End-to-end epoch** — a 4-mini-batch training epoch of the micro
+//!    encoder, pooled+scratch vs spawn+no-scratch.
+//!
+//! Usage: `pac-bench [--quick] [--out PATH]`.
+
+use criterion::{black_box, Criterion, Throughput};
+use pac_model::{EncoderModel, ModelConfig};
+use pac_nn::{cross_entropy, Module, Optimizer, Sgd};
+use pac_tensor::{init, ops, rng::seeded, scratch, Tensor};
+use rand::Rng as _;
+use rayon::pool::{self, ExecMode};
+use std::time::Duration;
+
+fn mini_batches(seed: u64, m: usize, b: usize, s: usize) -> Vec<(Vec<Vec<usize>>, Vec<usize>)> {
+    let mut rng = seeded(seed);
+    (0..m)
+        .map(|_| {
+            let toks: Vec<Vec<usize>> = (0..b)
+                .map(|_| (0..s).map(|_| rng.gen_range(0..64)).collect())
+                .collect();
+            let targets: Vec<usize> = (0..b).map(|_| rng.gen_range(0..2)).collect();
+            (toks, targets)
+        })
+        .collect()
+}
+
+/// One full training epoch: forward, loss, backward, SGD step per mini-batch.
+fn epoch(
+    model: &mut EncoderModel,
+    batches: &[(Vec<Vec<usize>>, Vec<usize>)],
+    opt: &mut Sgd,
+) -> f32 {
+    let mut loss_sum = 0.0;
+    for (toks, targets) in batches {
+        let (logits, ctx) = model.forward(toks).expect("bench forward");
+        let (loss, dl) = cross_entropy(&logits, targets).expect("bench loss");
+        loss_sum += loss;
+        model.zero_grads();
+        model.backward(&ctx, &dl).expect("bench backward");
+        opt.step(model);
+    }
+    loss_sum
+}
+
+fn main() {
+    // The pool-vs-spawn comparison measures dispatch cost (parked workers
+    // woken by condvar vs fresh OS threads per call) and needs width > 1 to
+    // engage at all. On single-core CI boxes `available_parallelism` is 1 and
+    // both paths degenerate to the same sequential loop, so force a width-4
+    // pool unless the caller pinned one. Must happen before the first tensor
+    // op: the pool reads the env var once, lazily.
+    if std::env::var("PAC_POOL_THREADS").is_err()
+        && std::thread::available_parallelism().map_or(1, |n| n.get()) == 1
+    {
+        std::env::set_var("PAC_POOL_THREADS", "4");
+    }
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+    let budget = Duration::from_millis(if quick { 40 } else { 250 });
+    let mut c = Criterion::default().measurement_time(budget);
+
+    println!(
+        "pac-bench: pool width {}, mode {}, budget {:?}/bench\n",
+        pool::pool_width(),
+        if quick { "quick" } else { "full" },
+        budget
+    );
+
+    // ---- 1. Persistent pool vs spawn-per-call, small parallel matmul ----
+    let mut rng = seeded(7);
+    let a = init::randn(&mut rng, [64, 64], 1.0);
+    let b = init::randn(&mut rng, [64, 64], 1.0);
+    pool::set_exec_mode(ExecMode::Pooled);
+    black_box(ops::matmul(&a, &b).expect("warm-up")); // spin the workers up
+    {
+        let mut g = c.benchmark_group("matmul_64x64x64");
+        g.throughput(Throughput::Elements(2 * 64 * 64 * 64)); // FLOPs
+        g.bench_function("pooled", |bch| {
+            bch.iter(|| ops::matmul(black_box(&a), black_box(&b)).expect("matmul"))
+        });
+        pool::set_exec_mode(ExecMode::Spawn);
+        g.bench_function("spawn_baseline", |bch| {
+            bch.iter(|| ops::matmul(black_box(&a), black_box(&b)).expect("matmul"))
+        });
+        pool::set_exec_mode(ExecMode::Pooled);
+        g.finish();
+    }
+
+    // ---- 2. Zero-allocation kernels: reused out vs fresh allocation ----
+    {
+        let mut g = c.benchmark_group("kernel_alloc_64");
+        g.throughput(Throughput::Elements(2 * 64 * 64 * 64));
+        let mut out = Tensor::zeros([0]);
+        g.bench_function("into_reused_out", |bch| {
+            bch.iter(|| ops::matmul_into(black_box(&a), black_box(&b), &mut out).expect("matmul"))
+        });
+        scratch::set_enabled(false);
+        g.bench_function("alloc_fresh_out", |bch| {
+            bch.iter(|| ops::matmul(black_box(&a), black_box(&b)).expect("matmul"))
+        });
+        scratch::set_enabled(true);
+        g.finish();
+    }
+
+    // ---- 3. End-to-end training epoch ----
+    {
+        let cfg = ModelConfig::micro(2, 0, 32, 2);
+        let batches = mini_batches(11, 4, 8, 12);
+        let rows = 4 * 8;
+        let mut g = c.benchmark_group("epoch_micro_enc");
+        g.throughput(Throughput::Elements(rows)); // sample rows per epoch
+        g.bench_function("pooled_scratch", |bch| {
+            let mut model = EncoderModel::new(&cfg, 2, &mut seeded(12));
+            let mut opt = Sgd::new(0.05);
+            bch.iter(|| black_box(epoch(&mut model, &batches, &mut opt)))
+        });
+        pool::set_exec_mode(ExecMode::Spawn);
+        scratch::set_enabled(false);
+        g.bench_function("spawn_noscratch", |bch| {
+            let mut model = EncoderModel::new(&cfg, 2, &mut seeded(12));
+            let mut opt = Sgd::new(0.05);
+            bch.iter(|| black_box(epoch(&mut model, &batches, &mut opt)))
+        });
+        pool::set_exec_mode(ExecMode::Pooled);
+        scratch::set_enabled(true);
+        g.finish();
+    }
+
+    // ---- Summary + JSON trajectory ----
+    let results = c.take_results();
+    let p50 = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.p50_ns as f64)
+            .expect("bench ran")
+    };
+    let pool_speedup = p50("matmul_64x64x64/spawn_baseline") / p50("matmul_64x64x64/pooled");
+    let alloc_speedup =
+        p50("kernel_alloc_64/alloc_fresh_out") / p50("kernel_alloc_64/into_reused_out");
+    let epoch_speedup =
+        p50("epoch_micro_enc/spawn_noscratch") / p50("epoch_micro_enc/pooled_scratch");
+    let pstats = pool::stats();
+    let sstats = scratch::stats();
+    println!("\npool speedup (spawn/pooled, 64x64x64 matmul): {pool_speedup:.2}x");
+    println!("alloc speedup (fresh/reused out):             {alloc_speedup:.2}x");
+    println!("epoch speedup (spawn+alloc / pooled+scratch): {epoch_speedup:.2}x");
+    println!(
+        "pool: {} calls, {} tasks, busy {:.1} ms | scratch: {} reuses, {} allocs",
+        pstats.parallel_calls,
+        pstats.tasks,
+        pstats.busy_ns as f64 / 1e6,
+        sstats.reuses,
+        sstats.allocs
+    );
+
+    let mut json = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"name\": \"{}\", \"iters\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"throughput\": {}}}{}\n",
+            r.name,
+            r.iters,
+            r.p50_ns,
+            r.p95_ns,
+            r.throughput
+                .map(|t| format!("{t:.1}"))
+                .unwrap_or_else(|| "null".to_string()),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write(&out_path, &json).expect("write bench trajectory");
+    println!("\nwrote {out_path}");
+}

@@ -256,6 +256,34 @@ fn telemetry_report() {
         );
     }
 
+    // Worker-pool and scratch-allocator effectiveness. These counters live
+    // in the runtime (not the metric registry), so bridge them into the
+    // registry first — the raw snapshot below then includes them too.
+    let pool = rayon::pool::stats();
+    pac_telemetry::gauge_set("pool.parallel_calls", pool.parallel_calls);
+    pac_telemetry::gauge_set("pool.tasks", pool.tasks);
+    pac_telemetry::gauge_set("pool.busy_ns", pool.busy_ns);
+    let scratch = pac_tensor::scratch::stats();
+    pac_telemetry::gauge_set("scratch.reuses", scratch.reuses);
+    pac_telemetry::gauge_set("scratch.allocs", scratch.allocs);
+    if pool.parallel_calls > 0 {
+        println!(
+            "pool: width {}, {} parallel call(s), {} task(s), busy {:.2} ms",
+            rayon::pool::pool_width(),
+            pool.parallel_calls,
+            pool.tasks,
+            pool.busy_ns as f64 / 1e6
+        );
+    }
+    if scratch.reuses + scratch.allocs > 0 {
+        println!(
+            "scratch: reuse rate {:>5.1}%  ({} reuse(s) / {} alloc(s))",
+            100.0 * scratch.reuses as f64 / (scratch.reuses + scratch.allocs) as f64,
+            scratch.reuses,
+            scratch.allocs
+        );
+    }
+
     // Communication volume.
     let ar_bytes = get("allreduce.bytes");
     if ar_bytes > 0 {

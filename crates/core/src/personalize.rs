@@ -291,8 +291,8 @@ mod tests {
         p.train(3, 4).unwrap();
         let stats = p.cache_stats();
         assert_eq!(stats.entries, 8);
-        // 2 batches/epoch × 2 cached epochs.
-        assert_eq!(stats.hits, 4);
+        // 8 samples/epoch × 2 cached epochs (hits are counted per sample).
+        assert_eq!(stats.hits, 16);
         p.clear_cache();
         assert_eq!(p.cache_stats().entries, 0);
     }

@@ -261,10 +261,10 @@ mod tests {
         .unwrap();
         let stats = report.cache_stats.unwrap();
         assert_eq!(stats.entries, train.len());
-        // Epochs 2 and 3 hit the cache on every batch.
+        // Epochs 2 and 3 hit the cache on every sample (hits are counted
+        // per sample, not per batch).
         assert!(stats.hits > 0, "no cache hits recorded");
-        let batches_per_epoch = train.batches(8, 0, 7).len();
-        assert_eq!(stats.hits, 2 * batches_per_epoch);
+        assert_eq!(stats.hits, 2 * train.len());
     }
 
     #[test]

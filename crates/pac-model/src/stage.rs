@@ -87,6 +87,26 @@ pub struct StageCtx {
     pub layer_outputs: Vec<Tensor>,
 }
 
+impl StageCtx {
+    /// Recycles the activation tensors retained by this context into the
+    /// scratch pool. Call after the backward pass that consumed the context;
+    /// buffers still shared with live tensors are dropped, not recycled, so
+    /// this is always safe.
+    pub fn recycle(self) {
+        let StageCtx {
+            units,
+            layer_outputs,
+            ..
+        } = self;
+        // Release the per-unit contexts first: they hold clones of the layer
+        // outputs, and a buffer is only recyclable once it is unshared.
+        drop(units);
+        for t in layer_outputs {
+            pac_tensor::scratch::put(t);
+        }
+    }
+}
+
 /// A pipeline stage: an ordered list of units with explicit fwd/bwd.
 #[derive(Debug, Clone)]
 pub struct StageModel {

@@ -2,7 +2,7 @@
 
 use crate::linear::{Linear, LinearCtx};
 use crate::param::{Module, Param};
-use pac_tensor::{ops, reduce, Result, Tensor, TensorError};
+use pac_tensor::{ops, reduce, scratch, Result, Tensor, TensorError};
 use rand::Rng;
 
 /// Context saved by [`MultiHeadAttention::forward`] for the backward pass.
@@ -75,12 +75,15 @@ impl MultiHeadAttention {
     /// `[b*s, heads*dh]` tensor.
     fn head_block(t: &Tensor, b: usize, h: usize, s: usize, dh: usize) -> Tensor {
         let (_, cols) = t.as_2d();
-        let mut out = Vec::with_capacity(s * dh);
+        let mut out = scratch::take_for(s * dh);
+        out.reset_to([s, dh]);
+        let dst = out.data_mut();
         for ti in 0..s {
             let r = b * s + ti;
-            out.extend_from_slice(&t.data()[r * cols + h * dh..r * cols + (h + 1) * dh]);
+            dst[ti * dh..(ti + 1) * dh]
+                .copy_from_slice(&t.data()[r * cols + h * dh..r * cols + (h + 1) * dh]);
         }
-        Tensor::from_vec(out, [s, dh]).expect("head block shape is consistent")
+        out
     }
 
     /// Accumulates an `[s, dh]` head block back into a `[b*s, heads*dh]`
@@ -125,12 +128,14 @@ impl MultiHeadAttention {
 
         let mut o_concat = Tensor::zeros([batch * s_q, d]);
         let mut attn_saved = Vec::with_capacity(batch * self.heads);
+        let mut scores = scratch::take_for(s_q * s_kv);
+        let mut ob = scratch::take_for(s_q * dh);
         for b in 0..batch {
             for h in 0..self.heads {
                 let qb = Self::head_block(&q, b, h, s_q, dh);
                 let kb_ = Self::head_block(&k, b, h, s_kv, dh);
                 let vb = Self::head_block(&v, b, h, s_kv, dh);
-                let mut scores = ops::matmul_nt(&qb, &kb_)?;
+                ops::matmul_nt_into(&qb, &kb_, &mut scores)?;
                 scores.scale_in_place(scale);
                 if causal {
                     for i in 0..s_q {
@@ -142,11 +147,16 @@ impl MultiHeadAttention {
                     }
                 }
                 let attn = reduce::softmax_rows(&scores);
-                let ob = ops::matmul(&attn, &vb)?;
+                ops::matmul_into(&attn, &vb, &mut ob)?;
                 Self::add_head_block(&mut o_concat, &ob, b, h, s_q, dh);
                 attn_saved.push(attn);
+                scratch::put(qb);
+                scratch::put(kb_);
+                scratch::put(vb);
             }
         }
+        scratch::put(scores);
+        scratch::put(ob);
 
         let (y, o_ctx) = self.wo.forward(&o_concat)?;
         let y = y.reshape([batch, s_q, d])?;
@@ -183,10 +193,14 @@ impl MultiHeadAttention {
         // Through the output projection.
         let d_oconcat = self.wo.backward(&ctx.o_ctx, dy)?;
 
-        let mut dq = Tensor::zeros([batch * s_q, d]);
-        let mut dk = Tensor::zeros([batch * s_kv, d]);
-        let mut dv = Tensor::zeros([batch * s_kv, d]);
+        let mut dq = scratch::take([batch * s_q, d]);
+        let mut dk = scratch::take([batch * s_kv, d]);
+        let mut dv = scratch::take([batch * s_kv, d]);
 
+        let mut d_attn = scratch::take_for(s_q * s_kv);
+        let mut dv_bh = scratch::take_for(s_kv * dh);
+        let mut dq_bh = scratch::take_for(s_q * dh);
+        let mut dk_bh = scratch::take_for(s_kv * dh);
         for b in 0..batch {
             for h in 0..self.heads {
                 let attn = &ctx.attn[b * self.heads + h];
@@ -196,8 +210,8 @@ impl MultiHeadAttention {
                 let kb = Self::head_block(&ctx.k, b, h, s_kv, dh);
 
                 // o = attn · v
-                let d_attn = ops::matmul_nt(&do_bh, &vb)?;
-                let dv_bh = ops::matmul_tn(attn, &do_bh)?;
+                ops::matmul_nt_into(&do_bh, &vb, &mut d_attn)?;
+                ops::matmul_tn_into(attn, &do_bh, &mut dv_bh)?;
 
                 // attn = softmax(scores); masked entries have attn == 0 so
                 // their gradient is exactly zero through the softmax Jacobian.
@@ -205,19 +219,35 @@ impl MultiHeadAttention {
                 ds.scale_in_place(scale);
 
                 // scores = q · kᵀ (· scale, already folded into ds)
-                let dq_bh = ops::matmul(&ds, &kb)?;
-                let dk_bh = ops::matmul_tn(&ds, &qb)?;
+                ops::matmul_into(&ds, &kb, &mut dq_bh)?;
+                ops::matmul_tn_into(&ds, &qb, &mut dk_bh)?;
 
                 Self::add_head_block(&mut dq, &dq_bh, b, h, s_q, dh);
                 Self::add_head_block(&mut dk, &dk_bh, b, h, s_kv, dh);
                 Self::add_head_block(&mut dv, &dv_bh, b, h, s_kv, dh);
+
+                scratch::put(do_bh);
+                scratch::put(vb);
+                scratch::put(qb);
+                scratch::put(kb);
+                scratch::put(ds);
             }
         }
+        scratch::put(d_attn);
+        scratch::put(dv_bh);
+        scratch::put(dq_bh);
+        scratch::put(dk_bh);
+        scratch::put(d_oconcat);
 
         let dx = self.wq.backward(&ctx.q_ctx, &dq)?;
         let dkv_k = self.wk.backward(&ctx.k_ctx, &dk)?;
         let dkv_v = self.wv.backward(&ctx.v_ctx, &dv)?;
+        scratch::put(dq);
+        scratch::put(dk);
+        scratch::put(dv);
         let dkv = dkv_k.add(&dkv_v)?;
+        scratch::put(dkv_k);
+        scratch::put(dkv_v);
 
         Ok((dx.reshape([batch, s_q, d])?, dkv.reshape([batch, s_kv, d])?))
     }

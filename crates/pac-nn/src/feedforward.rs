@@ -61,7 +61,10 @@ impl FeedForward {
     pub fn backward(&mut self, ctx: &FeedForwardCtx, dy: &Tensor) -> Result<Tensor> {
         let d_hidden = self.down.backward(&ctx.down_ctx, dy)?;
         let d_pre = self.act.backward(&ctx.hidden_pre, &d_hidden);
-        self.up.backward(&ctx.up_ctx, &d_pre)
+        pac_tensor::scratch::put(d_hidden);
+        let dx = self.up.backward(&ctx.up_ctx, &d_pre)?;
+        pac_tensor::scratch::put(d_pre);
+        Ok(dx)
     }
 }
 

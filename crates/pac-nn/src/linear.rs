@@ -1,7 +1,7 @@
 //! Fully-connected (dense) layer.
 
 use crate::param::{Module, Param};
-use pac_tensor::{init, ops, reduce, Result, Tensor};
+use pac_tensor::{init, ops, reduce, scratch, Result, Tensor};
 use rand::Rng;
 
 /// Per-micro-batch context saved by [`Linear::forward`] for the backward
@@ -65,9 +65,10 @@ impl Linear {
     /// # Errors
     /// Propagates shape mismatches from the underlying matmul.
     pub fn forward(&self, x: &Tensor) -> Result<(Tensor, LinearCtx)> {
-        let mut y = ops::matmul(x, &self.w.value)?;
-        if let Some(b) = &self.b {
-            y = y.add_row_broadcast(&b.value)?;
+        let mut y = scratch::take_for(x.as_2d().0 * self.out_dim);
+        match &self.b {
+            Some(b) => ops::addmm_into(x, &self.w.value, &b.value, &mut y)?,
+            None => ops::matmul_into(x, &self.w.value, &mut y)?,
         }
         Ok((y, LinearCtx { x: x.clone() }))
     }
@@ -82,8 +83,11 @@ impl Linear {
     /// Propagates shape mismatches from the underlying matmuls.
     pub fn backward(&mut self, ctx: &LinearCtx, dy: &Tensor) -> Result<Tensor> {
         if self.w.trainable {
-            let dw = ops::matmul_tn(&ctx.x, dy)?;
-            self.w.accumulate_grad(&dw.reshape(self.w.value.dims())?);
+            let mut dw = scratch::take_for(self.in_dim * self.out_dim);
+            ops::matmul_tn_into(&ctx.x, dy, &mut dw)?;
+            let dw = dw.reshape(self.w.value.dims())?;
+            self.w.accumulate_grad(&dw);
+            scratch::put(dw);
         }
         if let Some(b) = &mut self.b {
             if b.trainable {
@@ -91,7 +95,9 @@ impl Linear {
                 b.accumulate_grad(&db);
             }
         }
-        ops::matmul_nt(dy, &self.w.value)
+        let mut dx = scratch::take_for(dy.as_2d().0 * self.in_dim);
+        ops::matmul_nt_into(dy, &self.w.value, &mut dx)?;
+        Ok(dx)
     }
 }
 

@@ -45,8 +45,15 @@ impl Param {
     }
 
     /// Zeroes the accumulated gradient.
+    ///
+    /// Skips the write entirely when the gradient is already all-zero
+    /// (common for frozen backbones), avoiding a copy-on-write clone of
+    /// storage that may be shared across data-parallel lanes.
     pub fn zero_grad(&mut self) {
-        self.grad.data_mut().fill(0.0);
+        if self.grad.data().iter().all(|v| v.to_bits() == 0) {
+            return;
+        }
+        self.grad.fill_zero();
     }
 
     /// Accumulates `g` into the gradient buffer (no-op allocation-wise).

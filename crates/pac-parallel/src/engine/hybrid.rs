@@ -60,6 +60,12 @@ pub struct HybridEngine {
 impl HybridEngine {
     /// Replicates a stage chain across `group_width` lanes.
     ///
+    /// Replication is cheap: tensors are copy-on-write, so every lane's
+    /// frozen backbone *shares* the original parameter storage. A lane only
+    /// materializes its own copy of the buffers it actually writes
+    /// (accumulated gradients, optimized parameters) — see
+    /// [`HybridEngine::resident_param_bytes`].
+    ///
     /// # Panics
     /// Panics if `group_width` is zero or `stages` is empty.
     pub fn new(stages: Vec<StageModel>, group_width: usize, schedule: Schedule) -> Self {
@@ -67,6 +73,27 @@ impl HybridEngine {
         assert!(!stages.is_empty(), "need at least one stage");
         let lanes = (0..group_width).map(|_| stages.clone()).collect();
         HybridEngine { lanes, schedule }
+    }
+
+    /// Bytes of parameter + gradient storage resident across all lanes,
+    /// counting each distinct buffer once (lane replicas that still share a
+    /// copy-on-write buffer are not double-charged).
+    pub fn resident_param_bytes(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0usize;
+        for lane in &self.lanes {
+            for s in lane {
+                s.visit_params_ref(&mut |p: &Param| {
+                    if seen.insert(p.value.storage_ptr()) {
+                        total += p.value.size_bytes();
+                    }
+                    if seen.insert(p.grad.storage_ptr()) {
+                        total += p.grad.size_bytes();
+                    }
+                });
+            }
+        }
+        total
     }
 
     /// Number of pipeline stages.
@@ -508,6 +535,62 @@ mod tests {
                 );
             });
         }
+    }
+
+    /// Forces every lane's parameter storage to a private copy (the
+    /// pre-copy-on-write behavior), for memory/equivalence comparison.
+    fn deep_copied(engine: &HybridEngine) -> HybridEngine {
+        let mut lanes = engine.lanes.clone();
+        for lane in &mut lanes {
+            for s in lane {
+                s.visit_params(&mut |p| {
+                    p.value = Tensor::from_vec(p.value.data().to_vec(), p.value.dims()).unwrap();
+                    p.grad = Tensor::from_vec(p.grad.data().to_vec(), p.grad.dims()).unwrap();
+                });
+            }
+        }
+        HybridEngine {
+            lanes,
+            schedule: engine.schedule,
+        }
+    }
+
+    #[test]
+    fn lane_replication_shares_backbone_storage_and_matches_deep_copy() {
+        let m = model(246, 2);
+        let g = 3usize;
+        let single =
+            HybridEngine::new(m.clone().partition(&[1, 1]).unwrap(), 1, Schedule::OneFOneB)
+                .resident_param_bytes();
+
+        let mut shared = HybridEngine::new(m.partition(&[1, 1]).unwrap(), g, Schedule::OneFOneB);
+        // Replication is copy-on-write: three lanes resident at the cost of one.
+        assert_eq!(shared.resident_param_bytes(), single);
+        let mut deep = deep_copied(&shared);
+        assert_eq!(deep.resident_param_bytes(), g * single);
+
+        // Sharing must not change the math: same losses, bitwise-same grads.
+        let mbs = micro_batches(247, 2, 3, 4);
+        let shared_loss = shared.run_mini_batch(&mbs).unwrap();
+        let deep_loss = deep.run_mini_batch(&mbs).unwrap();
+        assert_eq!(shared_loss.to_bits(), deep_loss.to_bits());
+        for (sl, dl) in shared.lanes.iter().zip(&deep.lanes) {
+            for (ss, ds) in sl.iter().zip(dl) {
+                let mut deep_grads: Vec<Tensor> = Vec::new();
+                ds.visit_params_ref(&mut |p| deep_grads.push(p.grad.clone()));
+                let mut idx = 0;
+                ss.visit_params_ref(&mut |p| {
+                    assert!(
+                        p.grad.approx_eq(&deep_grads[idx], 0.0),
+                        "sharing changed gradient bits at param {idx}"
+                    );
+                    idx += 1;
+                });
+            }
+        }
+        // Even after a backward pass the shared engine stays lighter: the
+        // untouched parameter values still share one buffer per param.
+        assert!(shared.resident_param_bytes() < deep.resident_param_bytes());
     }
 
     #[test]

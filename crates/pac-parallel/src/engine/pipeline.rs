@@ -335,6 +335,8 @@ fn stage_worker(
                     end: t1,
                 });
                 live_act -= ctx.activation_bytes;
+                ctx.recycle();
+                pac_tensor::scratch::put(grad);
                 if let Some(g) = upstream {
                     bwd_tx
                         .as_ref()

@@ -1,0 +1,70 @@
+//! Engine-level thread-count invariance: a full hybrid mini-batch (pipeline
+//! stages × data-parallel lanes, AllReduce included) must produce
+//! bitwise-identical losses and gradients at every worker-pool width, even
+//! with several differently-capped training runs sharing the pool.
+
+use pac_model::{EncoderModel, ModelConfig};
+use pac_nn::Module;
+use pac_parallel::engine::HybridEngine;
+use pac_parallel::Schedule;
+use pac_tensor::rng::seeded;
+use rand::Rng as _;
+
+fn model(seed: u64) -> EncoderModel {
+    let cfg = ModelConfig::micro(2, 0, 16, 2);
+    EncoderModel::new(&cfg, 2, &mut seeded(seed))
+}
+
+fn micro_batches(seed: u64, m: usize, b: usize, s: usize) -> Vec<(Vec<Vec<usize>>, Vec<usize>)> {
+    let mut rng = seeded(seed);
+    (0..m)
+        .map(|_| {
+            let toks: Vec<Vec<usize>> = (0..b)
+                .map(|_| (0..s).map(|_| rng.gen_range(0..64)).collect())
+                .collect();
+            let targets: Vec<usize> = (0..b).map(|_| rng.gen_range(0..2)).collect();
+            (toks, targets)
+        })
+        .collect()
+}
+
+/// Runs one hybrid mini-batch and returns (loss bits, every grad's bits).
+fn run_once(width_cap: usize) -> (u32, Vec<Vec<u32>>) {
+    rayon::pool::set_max_concurrency(width_cap);
+    let m = model(900);
+    let mbs = micro_batches(901, 2, 4, 4);
+    let stages = m.partition(&[1, 1]).unwrap();
+    let mut engine = HybridEngine::new(stages, 2, Schedule::OneFOneB);
+    let loss = engine.run_mini_batch(&mbs).unwrap();
+    let mut grads = Vec::new();
+    for lane in &engine.lanes {
+        for s in lane {
+            s.visit_params_ref(&mut |p| {
+                grads.push(p.grad.data().iter().map(|v| v.to_bits()).collect())
+            });
+        }
+    }
+    (loss.to_bits(), grads)
+}
+
+#[test]
+fn hybrid_training_is_bitwise_identical_across_pool_widths() {
+    let reference = run_once(1);
+    // Concurrent runs at widths 1/2/8: stage threads and lane threads from
+    // every run contend for the same persistent pool.
+    std::thread::scope(|scope| {
+        for &w in &[1usize, 2, 8] {
+            let reference = &reference;
+            scope.spawn(move || {
+                for round in 0..3 {
+                    let got = run_once(w);
+                    assert_eq!(got.0, reference.0, "loss diverged: width {w} round {round}");
+                    assert_eq!(
+                        got.1, reference.1,
+                        "grads diverged: width {w} round {round}"
+                    );
+                }
+            });
+        }
+    });
+}

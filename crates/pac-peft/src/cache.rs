@@ -91,18 +91,28 @@ impl ActivationCache {
     /// Assembles a batched activation list for `sample_ids`: for each layer,
     /// stacks the per-sample tensors along the batch dimension.
     ///
-    /// Returns `None` (counting one miss) if any sample is absent.
+    /// Counts one hit or miss *per sample* (a batch of 8 with 3 absent
+    /// samples records 5 hits and 3 misses), so the hit rate reflects how
+    /// much backbone compute the cache actually saved. Returns `None` if
+    /// any sample is absent.
     pub fn get_batch(&mut self, sample_ids: &[u64]) -> Option<Vec<Tensor>> {
         if sample_ids.is_empty() {
             return None;
         }
-        if !sample_ids.iter().all(|id| self.entries.contains_key(id)) {
-            self.misses += 1;
-            pac_telemetry::counter_inc("cache.misses");
+        let present = sample_ids
+            .iter()
+            .filter(|id| self.entries.contains_key(id))
+            .count();
+        let absent = sample_ids.len() - present;
+        self.hits += present;
+        self.misses += absent;
+        if pac_telemetry::enabled() {
+            pac_telemetry::counter_add("cache.hits", present as u64);
+            pac_telemetry::counter_add("cache.misses", absent as u64);
+        }
+        if absent > 0 {
             return None;
         }
-        self.hits += 1;
-        pac_telemetry::counter_inc("cache.hits");
         let layers = self.entries[&sample_ids[0]].len();
         let mut out = Vec::with_capacity(layers);
         for l in 0..layers {
@@ -256,6 +266,29 @@ mod tests {
         c.insert(1, acts(6, 2, 4, 8));
         assert!(c.get_batch(&[1, 2]).is_none());
         assert!(c.get_batch(&[]).is_none());
+    }
+
+    #[test]
+    fn get_batch_counts_per_sample_hits_and_misses() {
+        let mut c = ActivationCache::new();
+        c.insert(1, acts(7, 2, 4, 8));
+        c.insert(2, acts(8, 2, 4, 8));
+
+        // 2 of 4 present: the partial batch is a miss overall, but the
+        // stats must record exactly which samples the cache could serve.
+        assert!(c.get_batch(&[1, 2, 3, 4]).is_none());
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+
+        // Fully present batch: one hit per sample, no misses.
+        assert!(c.get_batch(&[1, 2]).is_some());
+        assert_eq!(c.stats().hits, 4);
+        assert_eq!(c.stats().misses, 2);
+
+        // Empty batch touches no counters.
+        assert!(c.get_batch(&[]).is_none());
+        assert_eq!(c.stats().hits, 4);
+        assert_eq!(c.stats().misses, 2);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use pac_model::{EncDecCtx, EncDecModel};
 use pac_nn::{Linear, Module, Param};
-use pac_tensor::{init, ops, Result, Tensor};
+use pac_tensor::{init, ops, scratch, Result, Tensor};
 use rand::Rng;
 
 /// Which attention block a LoRA pair targets.
@@ -131,11 +131,21 @@ impl LoraTuner {
     /// # Errors
     /// Propagates matmul shape errors (cannot occur for well-formed pairs).
     pub fn merge(&mut self) -> Result<()> {
+        let mut delta = scratch::take_for(0);
         for pair in &self.pairs {
-            let delta = ops::matmul(&pair.a.value, &pair.b.value)?.scale(pair.scale);
-            let w_eff = pair.w0.add(&delta)?;
-            target_mut(&mut self.model, pair.site, pair.proj).w.value = w_eff;
+            ops::matmul_into(&pair.a.value, &pair.b.value, &mut delta)?;
+            let mut w_eff = scratch::take_for(pair.w0.numel());
+            w_eff.reset_to(pair.w0.dims());
+            w_eff.data_mut().copy_from_slice(pair.w0.data());
+            let s = pair.scale;
+            for (o, d) in w_eff.data_mut().iter_mut().zip(delta.data()) {
+                *o += d * s;
+            }
+            let lin = target_mut(&mut self.model, pair.site, pair.proj);
+            let old = std::mem::replace(&mut lin.w.value, w_eff);
+            scratch::put(old);
         }
+        scratch::put(delta);
         Ok(())
     }
 
@@ -168,10 +178,17 @@ impl LoraTuner {
             };
             let pair = &mut self.pairs[pi];
             // dA = dW·Bᵀ·s ; dB = Aᵀ·dW·s
-            let da = ops::matmul_nt(&dw, &pair.b.value)?.scale(scale);
-            let db = ops::matmul_tn(&pair.a.value, &dw)?.scale(scale);
+            let mut da = scratch::take_for(pair.a.value.numel());
+            ops::matmul_nt_into(&dw, &pair.b.value, &mut da)?;
+            da.scale_in_place(scale);
             pair.a.accumulate_grad(&da);
+            scratch::put(da);
+            let mut db = scratch::take_for(pair.b.value.numel());
+            ops::matmul_tn_into(&pair.a.value, &dw, &mut db)?;
+            db.scale_in_place(scale);
             pair.b.accumulate_grad(&db);
+            scratch::put(db);
+            scratch::put(dw);
         }
         Ok(())
     }

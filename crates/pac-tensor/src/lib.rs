@@ -28,6 +28,7 @@ pub mod init;
 pub mod ops;
 pub mod reduce;
 pub mod rng;
+pub mod scratch;
 pub mod shape;
 pub mod tensor;
 

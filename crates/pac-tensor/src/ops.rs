@@ -1,17 +1,28 @@
 //! Matrix multiplication kernels.
 //!
-//! Three variants cover every product needed by the explicit backward passes
-//! in `pac-nn`:
+//! Three product variants cover every product needed by the explicit
+//! backward passes in `pac-nn`:
 //!
 //! * [`matmul`]      — `C = A · B`       (forward pass)
 //! * [`matmul_nt`]   — `C = A · Bᵀ`      (input gradients: `dX = dY · Wᵀ`)
 //! * [`matmul_tn`]   — `C = Aᵀ · B`      (weight gradients: `dW = Xᵀ · dY`)
 //!
+//! Each has a zero-allocation `_into` twin ([`matmul_into`],
+//! [`matmul_nt_into`], [`matmul_tn_into`]) writing into a caller-provided
+//! output tensor (typically recycled through [`crate::scratch`]), plus a
+//! fused bias-add forward kernel [`addmm_into`] (`C = A · B + bias`, one
+//! pass instead of matmul-then-broadcast). The allocating APIs are thin
+//! wrappers over the `_into` forms, so both families compute **bitwise
+//! identical** results.
+//!
 //! All kernels view their operands through the 2-D interpretation of
 //! [`Tensor::as_2d`] (leading dimensions folded into rows), are blocked for
 //! cache locality, and parallelize over output-row panels with Rayon. Within
 //! a panel the innermost loop is over contiguous columns so the compiler can
-//! auto-vectorize.
+//! auto-vectorize. Determinism contract: parallelism only partitions output
+//! rows into fixed [`PANEL`]-row chunks — each output element is produced by
+//! exactly one chunk with a thread-count-independent accumulation order, so
+//! results are bitwise identical at any pool width.
 
 use crate::error::{Result, TensorError};
 use crate::tensor::Tensor;
@@ -23,7 +34,7 @@ const PANEL: usize = 32;
 const KBLOCK: usize = 64;
 
 /// Minimum FLOP count (2·m·n·k) below which kernels stay single-threaded —
-/// spawning Rayon tasks for tiny matmuls costs more than it saves.
+/// even pooled parallelism costs a notify/wait handshake per call.
 const PAR_THRESHOLD_FLOPS: usize = 1 << 18;
 
 fn check_inner(op: &'static str, a: &Tensor, b: &Tensor, ak: usize, bk: usize) -> Result<()> {
@@ -37,17 +48,73 @@ fn check_inner(op: &'static str, a: &Tensor, b: &Tensor, ak: usize, bk: usize) -
     Ok(())
 }
 
-/// `C[m,n] = A[m,k] · B[k,n]`.
+/// Runs `kernel` over `out` sequentially below the FLOP threshold, else in
+/// parallel over fixed PANEL-row chunks (same chunking at every width).
+fn dispatch(out: &mut [f32], n: usize, flops: usize, kernel: impl Fn(usize, &mut [f32]) + Sync) {
+    if flops < PAR_THRESHOLD_FLOPS {
+        kernel(0, out);
+    } else {
+        out.par_chunks_mut(PANEL * n)
+            .enumerate()
+            .for_each(|(p, chunk)| kernel(p * PANEL, chunk));
+    }
+}
+
+/// `C[m,n] = A[m,k] · B[k,n]`, written into `out` (reshaped and zeroed;
+/// no allocation when `out`'s buffer is unshared and large enough).
 ///
 /// # Errors
 /// Returns [`TensorError::ShapeMismatch`] if the inner dimensions differ.
-pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
+    mm_bias_into("matmul", a, b, None, out)
+}
+
+/// Fused `C[m,n] = A[m,k] · B[k,n] + bias[n]` (bias broadcast over rows),
+/// written into `out`. Bitwise identical to [`matmul`] followed by
+/// [`Tensor::add_row_broadcast`]: the bias is added to each element only
+/// after its full k-accumulation.
+///
+/// # Errors
+/// Returns [`TensorError::ShapeMismatch`] if the inner dimensions differ
+/// or `bias.numel()` is not the column count.
+pub fn addmm_into(a: &Tensor, b: &Tensor, bias: &Tensor, out: &mut Tensor) -> Result<()> {
+    mm_bias_into("addmm", a, b, Some(bias), out)
+}
+
+/// Fused `C[m,n] = A[m,k] · B[k,n] + bias[n]`.
+///
+/// # Errors
+/// Returns [`TensorError::ShapeMismatch`] if the inner dimensions differ
+/// or `bias.numel()` is not the column count.
+pub fn addmm(a: &Tensor, b: &Tensor, bias: &Tensor) -> Result<Tensor> {
+    let mut out = Tensor::zeros([0]);
+    addmm_into(a, b, bias, &mut out)?;
+    Ok(out)
+}
+
+fn mm_bias_into(
+    op: &'static str,
+    a: &Tensor,
+    b: &Tensor,
+    bias: Option<&Tensor>,
+    out: &mut Tensor,
+) -> Result<()> {
     let (m, k) = a.as_2d();
     let (bk, n) = b.as_2d();
-    check_inner("matmul", a, b, k, bk)?;
-    let mut out = vec![0.0f32; m * n];
+    check_inner(op, a, b, k, bk)?;
+    if let Some(bias) = bias {
+        if bias.numel() != n {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: vec![m, n],
+                rhs: bias.dims().to_vec(),
+            });
+        }
+    }
+    out.reset_to([m, n]);
     let ad = a.data();
     let bd = b.data();
+    let biasd = bias.map(Tensor::data);
 
     let kernel = |r0: usize, chunk: &mut [f32]| {
         let rows = chunk.len() / n;
@@ -68,27 +135,41 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
                 }
             }
         }
+        if let Some(bias) = biasd {
+            // After full k-accumulation, exactly like a separate
+            // row-broadcast pass (keeps fused == unfused bitwise).
+            for ri in 0..rows {
+                let crow = &mut chunk[ri * n..(ri + 1) * n];
+                for (c, bv) in crow.iter_mut().zip(bias.iter()) {
+                    *c += bv;
+                }
+            }
+        }
     };
 
-    if 2 * m * n * k < PAR_THRESHOLD_FLOPS {
-        kernel(0, &mut out);
-    } else {
-        out.par_chunks_mut(PANEL * n)
-            .enumerate()
-            .for_each(|(p, chunk)| kernel(p * PANEL, chunk));
-    }
-    Tensor::from_vec(out, [m, n])
+    dispatch(out.data_mut(), n, 2 * m * n * k, kernel);
+    Ok(())
 }
 
-/// `C[m,n] = A[m,k] · B[n,k]ᵀ`.
+/// `C[m,n] = A[m,k] · B[k,n]`.
 ///
 /// # Errors
 /// Returns [`TensorError::ShapeMismatch`] if the inner dimensions differ.
-pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let mut out = Tensor::zeros([0]);
+    matmul_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// `C[m,n] = A[m,k] · B[n,k]ᵀ`, written into `out` (reshaped and zeroed).
+///
+/// # Errors
+/// Returns [`TensorError::ShapeMismatch`] if the inner dimensions differ.
+pub fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
     let (m, k) = a.as_2d();
     let (n, bk) = b.as_2d();
     check_inner("matmul_nt", a, b, k, bk)?;
-    let mut out = vec![0.0f32; m * n];
+    out.reset_to([m, n]);
     let ad = a.data();
     let bd = b.data();
 
@@ -110,26 +191,30 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         }
     };
 
-    if 2 * m * n * k < PAR_THRESHOLD_FLOPS {
-        kernel(0, &mut out);
-    } else {
-        out.par_chunks_mut(PANEL * n)
-            .enumerate()
-            .for_each(|(p, chunk)| kernel(p * PANEL, chunk));
-    }
-    Tensor::from_vec(out, [m, n])
+    dispatch(out.data_mut(), n, 2 * m * n * k, kernel);
+    Ok(())
 }
 
-/// `C[m,n] = A[k,m]ᵀ · B[k,n]`.
+/// `C[m,n] = A[m,k] · B[n,k]ᵀ`.
+///
+/// # Errors
+/// Returns [`TensorError::ShapeMismatch`] if the inner dimensions differ.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let mut out = Tensor::zeros([0]);
+    matmul_nt_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// `C[m,n] = A[k,m]ᵀ · B[k,n]`, written into `out` (reshaped and zeroed).
 ///
 /// # Errors
 /// Returns [`TensorError::ShapeMismatch`] if the leading (shared) dimensions
 /// differ.
-pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
     let (k, m) = a.as_2d();
     let (bk, n) = b.as_2d();
     check_inner("matmul_tn", a, b, k, bk)?;
-    let mut out = vec![0.0f32; m * n];
+    out.reset_to([m, n]);
     let ad = a.data();
     let bd = b.data();
 
@@ -151,14 +236,19 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         }
     };
 
-    if 2 * m * n * k < PAR_THRESHOLD_FLOPS {
-        kernel(0, &mut out);
-    } else {
-        out.par_chunks_mut(PANEL * n)
-            .enumerate()
-            .for_each(|(p, chunk)| kernel(p * PANEL, chunk));
-    }
-    Tensor::from_vec(out, [m, n])
+    dispatch(out.data_mut(), n, 2 * m * n * k, kernel);
+    Ok(())
+}
+
+/// `C[m,n] = A[k,m]ᵀ · B[k,n]`.
+///
+/// # Errors
+/// Returns [`TensorError::ShapeMismatch`] if the leading (shared) dimensions
+/// differ.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let mut out = Tensor::zeros([0]);
+    matmul_tn_into(a, b, &mut out)?;
+    Ok(out)
 }
 
 /// Reference (naive triple-loop) matmul used to validate the fast kernels.
@@ -204,6 +294,13 @@ mod tests {
         assert!(matmul(&a, &b).is_err());
         assert!(matmul_nt(&a, &Tensor::zeros([2, 4])).is_err());
         assert!(matmul_tn(&Tensor::zeros([3, 2]), &Tensor::zeros([4, 2])).is_err());
+        assert!(addmm_into(
+            &a,
+            &Tensor::zeros([3, 2]),
+            &Tensor::zeros([3]),
+            &mut Tensor::zeros([0])
+        )
+        .is_err());
     }
 
     #[test]
@@ -230,6 +327,46 @@ mod tests {
             let tn = matmul_tn(&at, &b).unwrap();
             assert!(tn.approx_eq(&slow, 1e-3), "matmul_tn mismatch {m}x{k}x{n}");
         }
+    }
+
+    #[test]
+    fn into_variants_are_bitwise_equal_even_with_dirty_out() {
+        let mut rng = seeded(17);
+        for &(m, k, n) in &[(2, 3, 4), (31, 17, 9), (64, 64, 64), (70, 40, 33)] {
+            let a = init::randn(&mut rng, [m, k], 1.0);
+            let b = init::randn(&mut rng, [k, n], 1.0);
+            // Dirty, wrongly-shaped output tensors must not influence results.
+            let mut out = init::randn(&mut rng, [3, 3], 5.0);
+            matmul_into(&a, &b, &mut out).unwrap();
+            let alloc = matmul(&a, &b).unwrap();
+            assert_eq!(bits(&out), bits(&alloc), "matmul_into {m}x{k}x{n}");
+
+            let bt = b.transpose_2d();
+            matmul_nt_into(&a, &bt, &mut out).unwrap();
+            assert_eq!(bits(&out), bits(&matmul_nt(&a, &bt).unwrap()));
+
+            let at = a.transpose_2d();
+            matmul_tn_into(&at, &b, &mut out).unwrap();
+            assert_eq!(bits(&out), bits(&matmul_tn(&at, &b).unwrap()));
+        }
+    }
+
+    #[test]
+    fn addmm_fuses_bias_bitwise() {
+        let mut rng = seeded(23);
+        for &(m, k, n) in &[(2, 3, 4), (40, 33, 29), (64, 64, 64)] {
+            let a = init::randn(&mut rng, [m, k], 1.0);
+            let b = init::randn(&mut rng, [k, n], 1.0);
+            let bias = init::randn(&mut rng, [n], 1.0);
+            let mut fused = Tensor::zeros([0]);
+            addmm_into(&a, &b, &bias, &mut fused).unwrap();
+            let unfused = matmul(&a, &b).unwrap().add_row_broadcast(&bias).unwrap();
+            assert_eq!(bits(&fused), bits(&unfused), "addmm {m}x{k}x{n}");
+        }
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.data().iter().map(|v| v.to_bits()).collect()
     }
 
     #[test]

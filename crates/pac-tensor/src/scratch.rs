@@ -1,0 +1,221 @@
+//! Recycled-buffer pool for training-loop temporaries.
+//!
+//! Every matmul in the hot path used to allocate a fresh `m*n` output
+//! vector — multiplied by layers × micro-batches × epochs. The scratch
+//! pool keeps dropped buffers and hands them back zeroed: [`take`] a
+//! tensor of any shape, use it (typically as the `out` argument of an
+//! `_into` kernel), and [`put`] it back when its contents are dead.
+//!
+//! `put` is always safe: a tensor whose storage is still shared with a
+//! live clone (copy-on-write) is simply dropped, never recycled, so no
+//! caller can observe a buffer being reused out from under it. The pool
+//! is global and lock-protected — engine lanes run on short-lived or
+//! pooled threads, and a process-wide pool lets buffers flow across
+//! micro-batches and mini-batches regardless of which thread frees them.
+//!
+//! Observability: [`stats`] exposes `reuses` (a `take` served from the
+//! pool) vs `allocs` (a `take` that had to allocate), surfaced by
+//! `repro --telemetry` as `scratch.reuses` / `scratch.allocs`.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Buffers kept beyond this count are dropped on `put` (bounds resident
+/// scratch memory; the training loop cycles through far fewer shapes).
+const MAX_POOLED: usize = 64;
+
+static REUSES: AtomicU64 = AtomicU64::new(0);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+fn pool() -> &'static Mutex<Vec<Arc<Vec<f32>>>> {
+    static POOL: OnceLock<Mutex<Vec<Arc<Vec<f32>>>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Counters describing scratch-pool effectiveness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// `take` calls served by recycling a pooled buffer.
+    pub reuses: u64,
+    /// `take` calls that allocated a fresh buffer.
+    pub allocs: u64,
+}
+
+/// Returns the reuse/alloc counters.
+pub fn stats() -> ScratchStats {
+    ScratchStats {
+        reuses: REUSES.load(Ordering::Relaxed),
+        allocs: ALLOCS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the counters (benchmarks isolate phases with this).
+pub fn reset_stats() {
+    REUSES.store(0, Ordering::Relaxed);
+    ALLOCS.store(0, Ordering::Relaxed);
+}
+
+/// Turns recycling off (`take` always allocates, `put` always drops).
+/// Benchmarks use this to measure the allocating baseline.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+    if !on {
+        pool().lock().expect("scratch pool lock").clear();
+    }
+}
+
+/// Returns a zeroed tensor of `shape`, recycling a pooled buffer when one
+/// with sufficient capacity exists.
+pub fn take(shape: impl Into<Shape>) -> Tensor {
+    let shape = shape.into();
+    let n = shape.numel();
+    if ENABLED.load(Ordering::Relaxed) {
+        let candidate = {
+            let mut pooled = pool().lock().expect("scratch pool lock");
+            // Best fit: smallest capacity that holds `n`, to keep big
+            // buffers available for big requests.
+            let best = pooled
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.capacity() >= n)
+                .min_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i);
+            best.map(|i| pooled.swap_remove(i))
+        };
+        if let Some(mut storage) = candidate {
+            let buf = Arc::get_mut(&mut storage).expect("pooled buffers are unshared");
+            buf.clear();
+            buf.resize(n, 0.0);
+            REUSES.fetch_add(1, Ordering::Relaxed);
+            return Tensor::from_storage(storage, shape);
+        }
+    }
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    Tensor::from_storage(Arc::new(vec![0.0; n]), shape)
+}
+
+/// Returns an empty (shape `[0]`) tensor whose buffer has capacity for at
+/// least `n` elements — the ideal `out` argument for `_into` kernels,
+/// which reshape and zero-fill it themselves (avoids the double zero-fill
+/// [`take`] would incur).
+pub fn take_for(n: usize) -> Tensor {
+    if ENABLED.load(Ordering::Relaxed) {
+        let candidate = {
+            let mut pooled = pool().lock().expect("scratch pool lock");
+            let best = pooled
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.capacity() >= n)
+                .min_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i);
+            best.map(|i| pooled.swap_remove(i))
+        };
+        if let Some(mut storage) = candidate {
+            Arc::get_mut(&mut storage)
+                .expect("pooled buffers are unshared")
+                .clear();
+            REUSES.fetch_add(1, Ordering::Relaxed);
+            return Tensor::from_storage(storage, Shape::new([0]));
+        }
+    }
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    Tensor::from_storage(Arc::new(Vec::with_capacity(n)), Shape::new([0]))
+}
+
+/// Recycles `t`'s buffer if nothing else holds it; otherwise just drops
+/// the tensor. Always safe to call on any tensor whose *contents* are no
+/// longer needed.
+pub fn put(t: Tensor) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let storage = t.take_storage();
+    if Arc::strong_count(&storage) != 1 || storage.capacity() == 0 {
+        return;
+    }
+    let mut pooled = pool().lock().expect("scratch pool lock");
+    if pooled.len() < MAX_POOLED {
+        pooled.push(storage);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pool is process-global; serialize these tests so one test's
+    /// take/put traffic can't steal another's recycled buffer mid-assert.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn take_put_take_reuses_the_buffer() {
+        let _g = lock();
+        set_enabled(false); // drain buffers left by other tests
+        set_enabled(true);
+        let a = take([8, 8]);
+        let ptr = a.storage_ptr();
+        put(a);
+        let b = take([4, 4]); // smaller fits in the same buffer
+        assert_eq!(b.storage_ptr(), ptr, "buffer recycled");
+        assert_eq!(b.dims(), &[4, 4]);
+        assert!(b.data().iter().all(|&v| v == 0.0), "recycled buffer zeroed");
+        put(b);
+    }
+
+    #[test]
+    fn shared_storage_is_never_recycled() {
+        let _g = lock();
+        set_enabled(true);
+        let a = take([16]);
+        let ptr = a.storage_ptr();
+        let keep = a.clone();
+        put(a); // shared with `keep` — must drop, not recycle
+        let b = take([16]);
+        assert_ne!(b.storage_ptr(), ptr);
+        assert_eq!(keep.numel(), 16);
+        put(b);
+    }
+
+    #[test]
+    fn dirty_contents_are_zeroed_on_reuse() {
+        let _g = lock();
+        set_enabled(true);
+        let mut a = take([4]);
+        a.data_mut().fill(7.5);
+        put(a);
+        let b = take([4]);
+        assert_eq!(b.data(), &[0.0; 4]);
+        put(b);
+    }
+
+    #[test]
+    fn disabled_pool_always_allocates() {
+        let _g = lock();
+        set_enabled(false);
+        let a = take([8]);
+        let ptr = a.storage_ptr();
+        put(a);
+        let b = take([8]);
+        assert_ne!(b.storage_ptr(), ptr);
+        set_enabled(true);
+    }
+
+    #[test]
+    fn stats_track_reuse_vs_alloc() {
+        let _g = lock();
+        set_enabled(true);
+        let before = stats();
+        let a = take([32]);
+        put(a);
+        let b = take([32]);
+        put(b);
+        let after = stats();
+        assert!(after.allocs > before.allocs || after.reuses > before.reuses);
+    }
+}

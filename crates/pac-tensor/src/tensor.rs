@@ -2,6 +2,7 @@
 
 use crate::error::{Result, TensorError};
 use crate::shape::Shape;
+use std::sync::Arc;
 
 /// A dense, row-major (C-order), owned `f32` tensor.
 ///
@@ -10,10 +11,24 @@ use crate::shape::Shape;
 /// deliberately simple — owned storage, no views with lifetimes — because the
 /// pipeline-parallel engines move activations between threads, and owned
 /// buffers make that transfer trivially safe.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Storage is copy-on-write: `clone()` bumps a refcount, and the first
+/// mutation through [`Tensor::data_mut`] (or any in-place op) copies the
+/// buffer only if it is shared. Value semantics are fully preserved — two
+/// clones never observe each other's writes — but cloning a frozen
+/// backbone per data-parallel lane, or stashing activations in a context,
+/// costs O(1) instead of O(n) memory.
+#[derive(Debug, Clone)]
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape
+            && (Arc::ptr_eq(&self.data, &other.data) || self.data == other.data)
+    }
 }
 
 impl Tensor {
@@ -25,7 +40,7 @@ impl Tensor {
         let n = shape.numel();
         Tensor {
             shape,
-            data: vec![0.0; n],
+            data: Arc::new(vec![0.0; n]),
         }
     }
 
@@ -40,7 +55,7 @@ impl Tensor {
         let n = shape.numel();
         Tensor {
             shape,
-            data: vec![value; n],
+            data: Arc::new(vec![value; n]),
         }
     }
 
@@ -57,15 +72,33 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Tensor { shape, data })
+        Ok(Tensor {
+            shape,
+            data: Arc::new(data),
+        })
     }
 
     /// Creates a rank-0-like scalar tensor of shape `[1]`.
     pub fn scalar(value: f32) -> Self {
         Tensor {
             shape: Shape::new([1]),
-            data: vec![value],
+            data: Arc::new(vec![value]),
         }
+    }
+
+    /// Builds a tensor around recycled storage (scratch-pool plumbing).
+    /// Callers must have sized `storage` to `shape.numel()` already.
+    pub(crate) fn from_storage(storage: Arc<Vec<f32>>, shape: Shape) -> Self {
+        debug_assert_eq!(storage.len(), shape.numel());
+        Tensor {
+            shape,
+            data: storage,
+        }
+    }
+
+    /// Consumes the tensor, handing back its storage `Arc` for recycling.
+    pub(crate) fn take_storage(self) -> Arc<Vec<f32>> {
+        self.data
     }
 
     // ------------------------------------------------------------ accessors
@@ -95,14 +128,52 @@ impl Tensor {
         &self.data
     }
 
-    /// Mutable view of the underlying storage.
+    /// Mutable view of the underlying storage; copies it first if shared
+    /// (copy-on-write).
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
-    /// Consumes the tensor, returning its storage.
+    /// Consumes the tensor, returning its storage (copied only if shared).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Opaque identity of the underlying storage buffer. Two tensors with
+    /// equal `storage_ptr` share one allocation (until either writes).
+    pub fn storage_ptr(&self) -> *const f32 {
+        self.data.as_ptr()
+    }
+
+    /// True when `self` and `other` share one storage allocation.
+    pub fn shares_storage(&self, other: &Tensor) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Overwrites every element with `0.0`. When the storage is shared
+    /// this swaps in a fresh zeroed buffer instead of copying the old
+    /// contents just to overwrite them.
+    pub fn fill_zero(&mut self) {
+        match Arc::get_mut(&mut self.data) {
+            Some(v) => v.fill(0.0),
+            None => self.data = Arc::new(vec![0.0; self.shape.numel()]),
+        }
+    }
+
+    /// Reshapes to `shape` and zero-fills, reusing the existing buffer
+    /// when it is unshared (the zero-allocation `_into` kernels call this
+    /// on their output argument).
+    pub fn reset_to(&mut self, shape: impl Into<Shape>) {
+        let shape = shape.into();
+        let n = shape.numel();
+        match Arc::get_mut(&mut self.data) {
+            Some(v) => {
+                v.clear();
+                v.resize(n, 0.0);
+            }
+            None => self.data = Arc::new(vec![0.0; n]),
+        }
+        self.shape = shape;
     }
 
     /// Element at a multi-dimensional index.
@@ -119,7 +190,7 @@ impl Tensor {
     /// Propagates index validation errors from [`Shape::offset`].
     pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
         let off = self.shape.offset(index)?;
-        self.data[off] = value;
+        Arc::make_mut(&mut self.data)[off] = value;
         Ok(())
     }
 
@@ -173,7 +244,7 @@ impl Tensor {
                 bound: rows,
             });
         }
-        Ok(&mut self.data[r * cols..(r + 1) * cols])
+        Ok(&mut Arc::make_mut(&mut self.data)[r * cols..(r + 1) * cols])
     }
 
     // ---------------------------------------------------------- elementwise
@@ -214,7 +285,10 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+        for (a, b) in Arc::make_mut(&mut self.data)
+            .iter_mut()
+            .zip(other.data.iter())
+        {
             *a += b;
         }
         Ok(())
@@ -232,7 +306,10 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+        for (a, b) in Arc::make_mut(&mut self.data)
+            .iter_mut()
+            .zip(other.data.iter())
+        {
             *a += alpha * b;
         }
         Ok(())
@@ -245,7 +322,7 @@ impl Tensor {
 
     /// In-place scalar multiply.
     pub fn scale_in_place(&mut self, c: f32) {
-        for x in &mut self.data {
+        for x in Arc::make_mut(&mut self.data) {
             *x *= c;
         }
     }
@@ -259,13 +336,13 @@ impl Tensor {
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
         }
     }
 
     /// Applies `f` to every element in place.
     pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
+        for x in Arc::make_mut(&mut self.data) {
             *x = f(*x);
         }
     }
@@ -289,12 +366,13 @@ impl Tensor {
         }
         Ok(Tensor {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: Arc::new(
+                self.data
+                    .iter()
+                    .zip(other.data.iter())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            ),
         })
     }
 
@@ -313,8 +391,9 @@ impl Tensor {
             });
         }
         let mut out = self.clone();
+        let out_data = Arc::make_mut(&mut out.data);
         for r in 0..rows {
-            let row = &mut out.data[r * cols..(r + 1) * cols];
+            let row = &mut out_data[r * cols..(r + 1) * cols];
             for (x, b) in row.iter_mut().zip(bias.data.iter()) {
                 *x += b;
             }
@@ -335,7 +414,7 @@ impl Tensor {
         }
         Tensor {
             shape: Shape::new([cols, rows]),
-            data: out,
+            data: Arc::new(out),
         }
     }
 
@@ -375,7 +454,7 @@ impl Tensor {
         }
         Ok(Tensor {
             shape: Shape::new([rows, total_cols]),
-            data: out,
+            data: Arc::new(out),
         })
     }
 
@@ -402,7 +481,7 @@ impl Tensor {
             }
             out.push(Tensor {
                 shape: Shape::new([rows, w]),
-                data,
+                data: Arc::new(data),
             });
         }
         Ok(out)
@@ -424,7 +503,7 @@ impl Tensor {
         let data = self.data[range.start * cols..range.end * cols].to_vec();
         Ok(Tensor {
             shape: Shape::new([range.end - range.start, cols]),
-            data,
+            data: Arc::new(data),
         })
     }
 
@@ -457,7 +536,7 @@ impl Tensor {
         }
         Ok(Tensor {
             shape: Shape::new([rows, cols]),
-            data,
+            data: Arc::new(data),
         })
     }
 
@@ -630,6 +709,53 @@ mod tests {
     #[test]
     fn size_bytes() {
         assert_eq!(Tensor::zeros([4, 4]).size_bytes(), 64);
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let a = t(&[1.0, 2.0, 3.0], &[3]);
+        let mut b = a.clone();
+        assert!(a.shares_storage(&b), "clone shares storage until written");
+        assert_eq!(a, b);
+        b.data_mut()[0] = 9.0;
+        assert!(!a.shares_storage(&b), "first write unshares");
+        assert_eq!(a.data(), &[1.0, 2.0, 3.0], "original unaffected");
+        assert_eq!(b.data(), &[9.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn fill_zero_does_not_copy_shared_contents() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let mut b = a.clone();
+        b.fill_zero();
+        assert_eq!(a.data(), &[1.0, 2.0]);
+        assert_eq!(b.data(), &[0.0, 0.0]);
+        // Unshared path reuses the buffer in place.
+        let ptr = b.storage_ptr();
+        b.fill_zero();
+        assert_eq!(b.storage_ptr(), ptr);
+    }
+
+    #[test]
+    fn reset_to_reshapes_and_zeroes() {
+        let mut a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        a.reset_to([3, 1]);
+        assert_eq!(a.dims(), &[3, 1]);
+        assert_eq!(a.data(), &[0.0; 3]);
+        // A shared tensor gets fresh storage rather than copying.
+        let b = a.clone();
+        let mut c = b.clone();
+        c.reset_to([2, 2]);
+        assert_eq!(b.dims(), &[3, 1]);
+        assert_eq!(c.data(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn equality_is_by_value_not_identity() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[1.0, 2.0], &[2]);
+        assert!(!a.shares_storage(&b));
+        assert_eq!(a, b);
     }
 
     #[test]

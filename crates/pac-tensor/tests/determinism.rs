@@ -1,0 +1,77 @@
+//! Thread-count invariance of the parallel kernels.
+//!
+//! The worker pool's contract: parallelism only partitions *which* output
+//! rows a thread computes, never the per-row accumulation order, so every
+//! kernel result is bitwise identical whatever the effective width — even
+//! when many caller threads with different width caps hammer the shared
+//! pool at once. The fault-tolerance suite (transient AllReduce retries
+//! being bitwise no-ops) depends on this.
+
+use pac_tensor::{init, ops, rng::seeded, Tensor};
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// All four kernels over shapes big enough to cross the parallel
+/// threshold, plus one small (sequential) shape.
+fn kernel_suite(seed: u64) -> Vec<Tensor> {
+    let mut rng = seeded(seed);
+    let a = init::randn(&mut rng, [96, 64], 1.0);
+    let b = init::randn(&mut rng, [64, 80], 1.0);
+    let bias = init::randn(&mut rng, [80], 1.0);
+    let bt = init::randn(&mut rng, [80, 64], 1.0);
+    let at = init::randn(&mut rng, [64, 96], 1.0);
+    let sa = init::randn(&mut rng, [4, 6], 1.0);
+    let sb = init::randn(&mut rng, [6, 3], 1.0);
+    vec![
+        ops::matmul(&a, &b).unwrap(),
+        ops::addmm(&a, &b, &bias).unwrap(),
+        ops::matmul_nt(&a, &bt).unwrap(),
+        ops::matmul_tn(&at, &b).unwrap(),
+        ops::matmul(&sa, &sb).unwrap(),
+    ]
+}
+
+#[test]
+fn kernels_are_bitwise_identical_across_widths_and_concurrent_callers() {
+    // Reference computed with an effective width of 1 (pure sequential).
+    rayon::pool::set_max_concurrency(1);
+    let reference: Vec<Vec<u32>> = kernel_suite(4242).iter().map(bits).collect();
+    rayon::pool::set_max_concurrency(usize::MAX);
+
+    // Two caller threads per width, all banging on the shared pool
+    // simultaneously, each repeating the suite to raise interleaving odds.
+    let widths = [1usize, 2, 8, 1, 2, 8];
+    std::thread::scope(|scope| {
+        for (i, &w) in widths.iter().enumerate() {
+            let reference = &reference;
+            scope.spawn(move || {
+                rayon::pool::set_max_concurrency(w);
+                for round in 0..10 {
+                    let got: Vec<Vec<u32>> = kernel_suite(4242).iter().map(bits).collect();
+                    assert_eq!(
+                        &got, reference,
+                        "caller {i} (width {w}) diverged on round {round}"
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn into_kernels_match_allocating_kernels_bitwise_under_width_stress() {
+    let mut rng = seeded(777);
+    let a = init::randn(&mut rng, [64, 48], 1.0);
+    let b = init::randn(&mut rng, [48, 64], 1.0);
+    let bias = init::randn(&mut rng, [64], 1.0);
+    for w in [1usize, 3, 8] {
+        rayon::pool::set_max_concurrency(w);
+        let alloc = ops::addmm(&a, &b, &bias).unwrap();
+        let mut out = init::randn(&mut rng, [2, 2], 5.0); // dirty out
+        ops::addmm_into(&a, &b, &bias, &mut out).unwrap();
+        assert_eq!(bits(&alloc), bits(&out), "width {w}");
+    }
+    rayon::pool::set_max_concurrency(usize::MAX);
+}

@@ -85,6 +85,26 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
+/// One benchmark's measured result (what upstream criterion would estimate
+/// statistically; here: order statistics over the per-sample means).
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark label.
+    pub name: String,
+    /// Total iterations across all measurement samples.
+    pub iters: u64,
+    /// Median per-iteration time across samples, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile per-iteration time across samples, nanoseconds.
+    pub p95_ns: u64,
+    /// Mean per-iteration time, nanoseconds.
+    pub mean_ns: u64,
+    /// Fastest sample's per-iteration time, nanoseconds.
+    pub min_ns: u64,
+    /// Declared units (elements or bytes) per second, from the p50 time.
+    pub throughput: Option<f64>,
+}
+
 /// Calibrates an iteration count targeting `budget`, then reports
 /// per-iteration timing for `f`.
 fn measure(
@@ -92,7 +112,7 @@ fn measure(
     throughput: Option<Throughput>,
     budget: Duration,
     f: &mut dyn FnMut(&mut Bencher),
-) {
+) -> BenchResult {
     // Warm-up / calibration: start at 1 iteration and double until the
     // sample takes long enough to matter.
     let mut iters: u64 = 1;
@@ -118,65 +138,95 @@ fn measure(
         (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64
     };
 
-    // Measurement: a few samples at the calibrated count; keep mean & best.
-    let samples = 3;
-    let mut best = Duration::MAX;
+    // Measurement: many small samples at the calibrated count, so the
+    // percentiles below have an actual distribution behind them.
+    let samples = 20usize;
+    let sample_iters = (target / samples as u64).max(1);
+    let mut per_iter_ns: Vec<u64> = Vec::with_capacity(samples);
     let mut total = Duration::ZERO;
     let mut total_iters: u64 = 0;
     for _ in 0..samples {
         let mut b = Bencher {
-            iters: target,
+            iters: sample_iters,
             elapsed: Duration::ZERO,
         };
         f(&mut b);
-        let per = b
-            .elapsed
-            .checked_div(target as u32)
-            .unwrap_or(Duration::ZERO);
-        best = best.min(per);
+        per_iter_ns.push((b.elapsed.as_nanos() as u64) / sample_iters);
         total += b.elapsed;
-        total_iters += target;
+        total_iters += sample_iters;
     }
+    per_iter_ns.sort_unstable();
+    let p50_ns = per_iter_ns[samples / 2];
+    let p95_ns = per_iter_ns[(samples * 95 / 100).min(samples - 1)];
+    let min_ns = per_iter_ns[0];
     let mean = total
         .checked_div(total_iters as u32)
         .unwrap_or(Duration::ZERO);
 
-    let thrpt = match throughput {
-        Some(Throughput::Elements(n)) if !mean.is_zero() => {
-            format!("  ({:.2} Melem/s)", n as f64 / mean.as_secs_f64() / 1e6)
-        }
-        Some(Throughput::Bytes(n)) if !mean.is_zero() => {
-            format!(
-                "  ({:.2} MiB/s)",
-                n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0)
-            )
+    let units = match throughput {
+        Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => Some(n),
+        None => None,
+    };
+    let thrpt_per_s = units
+        .filter(|_| p50_ns > 0)
+        .map(|n| n as f64 * 1e9 / p50_ns as f64);
+    let thrpt = match (throughput, thrpt_per_s) {
+        (Some(Throughput::Elements(_)), Some(t)) => format!("  ({:.2} Melem/s)", t / 1e6),
+        (Some(Throughput::Bytes(_)), Some(t)) => {
+            format!("  ({:.2} MiB/s)", t / (1024.0 * 1024.0))
         }
         _ => String::new(),
     };
     println!(
-        "{name:<44} mean {:>10}   min {:>10}   ({total_iters} iters){thrpt}",
-        fmt_duration(mean),
-        fmt_duration(best)
+        "{name:<44} p50 {:>10}   p95 {:>10}   min {:>10}   ({total_iters} iters){thrpt}",
+        fmt_duration(Duration::from_nanos(p50_ns)),
+        fmt_duration(Duration::from_nanos(p95_ns)),
+        fmt_duration(Duration::from_nanos(min_ns)),
     );
+    BenchResult {
+        name: name.trim_start().to_string(),
+        iters: total_iters,
+        p50_ns,
+        p95_ns,
+        mean_ns: mean.as_nanos() as u64,
+        min_ns,
+        throughput: thrpt_per_s,
+    }
 }
 
 /// Top-level benchmark driver.
 pub struct Criterion {
     budget: Duration,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         Criterion {
             budget: Duration::from_millis(300),
+            results: Vec::new(),
         }
     }
 }
 
 impl Criterion {
+    /// Sets the per-benchmark measurement budget (criterion's name for it).
+    pub fn measurement_time(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Drains the results accumulated so far, in execution order. Lets
+    /// binary harnesses (pac-bench) serialize measurements instead of
+    /// scraping stdout.
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+
     /// Runs a single named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        measure(name, None, self.budget, &mut f);
+        let r = measure(name, None, self.budget, &mut f);
+        self.results.push(r);
         self
     }
 
@@ -212,16 +262,18 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("  {}/{}", self.name, id);
-        measure(&label, self.throughput, self.criterion.budget, &mut |b| {
+        let r = measure(&label, self.throughput, self.criterion.budget, &mut |b| {
             f(b, input)
         });
+        self.criterion.results.push(r);
         self
     }
 
     /// Benchmarks a no-input closure inside the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let label = format!("  {}/{}", self.name, name);
-        measure(&label, self.throughput, self.criterion.budget, &mut f);
+        let r = measure(&label, self.throughput, self.criterion.budget, &mut f);
+        self.criterion.results.push(r);
         self
     }
 
@@ -275,9 +327,7 @@ mod tests {
 
     #[test]
     fn group_runs_benchmarks() {
-        let mut c = Criterion {
-            budget: Duration::from_millis(2),
-        };
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(2));
         let mut group = c.benchmark_group("t");
         group.throughput(Throughput::Elements(8));
         group.bench_with_input(BenchmarkId::new("add", 8), &8u64, |b, &n| {
@@ -286,5 +336,26 @@ mod tests {
         group.bench_function("noop", |b| b.iter(|| ()));
         group.finish();
         c.bench_function("top", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn results_capture_ordered_percentiles() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(2));
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        let results = c.take_results();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(r.name, "spin");
+        assert!(r.iters > 0);
+        assert!(r.min_ns <= r.p50_ns && r.p50_ns <= r.p95_ns, "{r:?}");
+        assert!(c.take_results().is_empty(), "take_results drains");
     }
 }

@@ -2,58 +2,68 @@
 //!
 //! The build environment has no registry access, so the workspace vendors
 //! the combinator surface it uses — `par_iter` / `par_iter_mut` /
-//! `par_chunks_mut` with `zip`, `map`, `enumerate`, `for_each`, `collect` —
-//! executed on real OS threads via `std::thread::scope`.
+//! `par_chunks_mut` with `zip`, `map`, `enumerate`, `for_each`, `collect`,
+//! plus `join` — executed on a persistent worker [`pool`] (see that
+//! module for sizing via `PAC_POOL_THREADS`, chunk claiming, panic
+//! propagation, and the determinism contract).
 //!
-//! Work is split into one contiguous chunk per available core; order is
-//! preserved by writing results back into pre-sized slots. Unlike rayon
-//! there is no work-stealing pool, so per-call thread-spawn overhead
-//! (~tens of µs) is amortized only over sufficiently large inputs; callers
-//! in this workspace already gate parallel paths behind FLOP thresholds.
+//! Order is preserved by writing each item's result into its own
+//! pre-sized slot; which thread computes which item is racy by design and
+//! never observable in the output.
 
-use std::num::NonZeroUsize;
+pub mod pool;
+
+pub use pool::join;
 
 /// Everything a caller needs in scope, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSliceMut};
 }
 
-fn threads_for(n: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(n)
-        .max(1)
+/// Raw pointer wrapper for handing disjoint slot writes to pool chunks.
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: every chunk index touches only its own slot, and `pool::run`
+// returns only after all chunks finish.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper, not the raw pointer field.
+    fn get(self) -> *mut T {
+        self.0
+    }
 }
 
-/// Applies `f` to every item on scoped threads, preserving input order in
-/// the returned vector.
+/// Applies `f` to every item on the worker pool, preserving input order
+/// in the returned vector.
 fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
     let n = items.len();
-    let threads = threads_for(n);
-    if threads <= 1 {
-        return items.into_iter().map(f).collect();
+    if n == 0 {
+        return Vec::new();
     }
     let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
     let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut in_rest: &mut [Option<T>] = &mut slots;
-        let mut out_rest: &mut [Option<R>] = &mut out;
-        while !in_rest.is_empty() {
-            let take = chunk.min(in_rest.len());
-            let (ic, ir) = in_rest.split_at_mut(take);
-            let (oc, or) = out_rest.split_at_mut(take);
-            in_rest = ir;
-            out_rest = or;
-            let f = &f;
-            scope.spawn(move || {
-                for (slot, dst) in ic.iter_mut().zip(oc.iter_mut()) {
-                    *dst = Some(f(slot.take().expect("slot filled exactly once")));
-                }
-            });
+    let in_ptr = SendPtr(slots.as_mut_ptr());
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let task = move |i: usize| {
+        // SAFETY: chunk i reads and writes only slot i (see SendPtr).
+        unsafe {
+            let item = (*in_ptr.get().add(i))
+                .take()
+                .expect("slot filled exactly once");
+            *out_ptr.get().add(i) = Some(f(item));
         }
-    });
+    };
+    pool::run(&task, n);
     out.into_iter()
         .map(|r| r.expect("every slot computed"))
         .collect()

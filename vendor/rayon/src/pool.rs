@@ -1,0 +1,486 @@
+//! Persistent, lazily-initialized worker pool.
+//!
+//! The first parallel call starts `PAC_POOL_THREADS - 1` worker threads
+//! (default: `available_parallelism`) that park on a condvar between
+//! calls, so steady-state parallel kernels pay a notify/park handshake
+//! (~single-digit µs) instead of per-call OS thread spawns (~tens of µs).
+//!
+//! Execution model: a parallel call becomes a [`Job`] of `n_chunks`
+//! independent chunk indices claimed through a shared atomic cursor. The
+//! submitting thread pushes the job, wakes workers, then *helps* — it
+//! claims chunks like any worker — which makes the pool deadlock-free
+//! even with zero workers and keeps small jobs fast (the submitter often
+//! finishes every chunk before a worker wakes). Chunk *assignment* to
+//! threads is racy by design; determinism is the caller's contract: each
+//! chunk must write a disjoint output region and must not depend on any
+//! other chunk, so results are identical at every thread count.
+//!
+//! Panics inside a chunk are caught, the first payload is stored, and it
+//! is re-raised **intact** on the submitting thread once the job drains —
+//! `EngineError::LanePanic` attribution upstream depends on receiving the
+//! original payload, not a stringified copy.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Lifetime-erased pointer to a per-chunk task closure.
+///
+/// Safety contract: [`run`] does not return (normally or by unwinding)
+/// until every chunk of its job has finished executing, so the pointee
+/// outlives all dereferences even though the lifetime is erased here.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls are fine) and `run` keeps
+// it alive for the duration of all uses; see `TaskPtr` docs.
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+struct JobState {
+    done: bool,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+/// One parallel call: `n_chunks` chunk indices claimed via `cursor`.
+struct Job {
+    task: TaskPtr,
+    n_chunks: usize,
+    /// Next unclaimed chunk index.
+    cursor: AtomicUsize,
+    /// Chunks claimed but not yet finished plus chunks unclaimed.
+    pending: AtomicUsize,
+    /// How many more worker threads may still join this job (the
+    /// submitter is not counted). Lets callers cap per-call concurrency.
+    helper_slots: AtomicIsize,
+    state: Mutex<JobState>,
+    done_cv: Condvar,
+}
+
+impl Job {
+    fn new(task: TaskPtr, n_chunks: usize, helpers: usize) -> Self {
+        Job {
+            task,
+            n_chunks,
+            cursor: AtomicUsize::new(0),
+            pending: AtomicUsize::new(n_chunks),
+            helper_slots: AtomicIsize::new(helpers as isize),
+            state: Mutex::new(JobState {
+                done: false,
+                panic: None,
+            }),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    /// Claims and runs chunks until the cursor is exhausted. Returns the
+    /// number of chunks this thread executed.
+    fn help(&self) -> u64 {
+        let mut ran = 0u64;
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n_chunks {
+                return ran;
+            }
+            ran += 1;
+            // SAFETY: `run` keeps the closure alive until the job drains.
+            let task = unsafe { &*self.task.0 };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+                let mut st = self.state.lock().expect("pool job state lock");
+                if st.panic.is_none() {
+                    st.panic = Some(payload);
+                }
+            }
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut st = self.state.lock().expect("pool job state lock");
+                st.done = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.cursor.load(Ordering::Relaxed) >= self.n_chunks
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    work_cv: Condvar,
+}
+
+struct Pool {
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+static PARALLEL_CALLS: AtomicU64 = AtomicU64::new(0);
+static TASKS: AtomicU64 = AtomicU64::new(0);
+static BUSY_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the pool's activity counters since process start (or the
+/// last [`reset_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Parallel calls submitted (`run`, and everything built on it:
+    /// `parallel_map`, `join`, `par_iter` terminals).
+    pub parallel_calls: u64,
+    /// Chunk tasks executed across all threads.
+    pub tasks: u64,
+    /// Wall-clock nanoseconds threads spent executing chunks, summed over
+    /// threads (nested parallel calls count their inner time twice).
+    pub busy_ns: u64,
+}
+
+/// Returns the activity counters.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        parallel_calls: PARALLEL_CALLS.load(Ordering::Relaxed),
+        tasks: TASKS.load(Ordering::Relaxed),
+        busy_ns: BUSY_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the activity counters (benchmarks isolate phases with this).
+pub fn reset_stats() {
+    PARALLEL_CALLS.store(0, Ordering::Relaxed);
+    TASKS.store(0, Ordering::Relaxed);
+    BUSY_NS.store(0, Ordering::Relaxed);
+}
+
+/// Total parallelism width (submitter + persistent workers): the value of
+/// `PAC_POOL_THREADS` if set, else `available_parallelism`. `1` (or `0`)
+/// means fully sequential — no worker threads are ever started.
+pub fn pool_width() -> usize {
+    pool().workers + 1
+}
+
+fn configured_width() -> usize {
+    if let Ok(v) = std::env::var("PAC_POOL_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let width = configured_width();
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+        });
+        for i in 0..width.saturating_sub(1) {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("pac-pool-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn pool worker");
+        }
+        Pool {
+            shared,
+            workers: width.saturating_sub(1),
+        }
+    })
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("pool queue lock");
+            loop {
+                while q.front().is_some_and(|j| j.exhausted()) {
+                    q.pop_front();
+                }
+                // First queued job that still has unclaimed chunks and a
+                // free helper slot (jobs capped below their slot count are
+                // skipped, not blocked on).
+                let found = q.iter().find_map(|j| {
+                    if j.exhausted() {
+                        return None;
+                    }
+                    if j.helper_slots.fetch_sub(1, Ordering::AcqRel) > 0 {
+                        return Some(Arc::clone(j));
+                    }
+                    j.helper_slots.fetch_add(1, Ordering::AcqRel);
+                    None
+                });
+                match found {
+                    Some(j) => break j,
+                    None => q = shared.work_cv.wait(q).expect("pool queue wait"),
+                }
+            }
+        };
+        let t0 = Instant::now();
+        let ran = job.help();
+        TASKS.fetch_add(ran, Ordering::Relaxed);
+        BUSY_NS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    /// Per-submitting-thread cap on a call's parallelism width.
+    static MAX_CONCURRENCY: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Caps the parallelism width (submitter + helpers) of parallel calls made
+/// from the **current thread**; `usize::MAX` (the default) means "whole
+/// pool". The determinism stress tests run identical work at different
+/// caps concurrently — results must be bitwise identical regardless.
+pub fn set_max_concurrency(width: usize) {
+    MAX_CONCURRENCY.with(|c| c.set(width.max(1)));
+}
+
+/// Current thread's parallelism cap (see [`set_max_concurrency`]).
+pub fn max_concurrency() -> usize {
+    MAX_CONCURRENCY.with(Cell::get)
+}
+
+/// If true, parallel calls spawn scoped OS threads per call (the
+/// pre-pool behavior) instead of using the persistent pool.
+static SPAWN_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Execution strategy for parallel calls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Persistent worker pool (default).
+    Pooled,
+    /// Scoped `std::thread` spawn per call — the pre-pool baseline, kept
+    /// so benchmarks can measure what the pool saves.
+    Spawn,
+}
+
+/// Selects the process-wide execution strategy (benchmarks only).
+pub fn set_exec_mode(mode: ExecMode) {
+    SPAWN_MODE.store(mode == ExecMode::Spawn, Ordering::Relaxed);
+}
+
+/// Runs `task(0..n_chunks)` across the pool. Every chunk index is executed
+/// exactly once; the call returns only after all chunks finish. If any
+/// chunk panics, the first payload is re-raised on this thread intact.
+pub(crate) fn run(task: &(dyn Fn(usize) + Sync), n_chunks: usize) {
+    if n_chunks == 0 {
+        return;
+    }
+    PARALLEL_CALLS.fetch_add(1, Ordering::Relaxed);
+    let p = pool();
+    let width = (p.workers + 1).min(max_concurrency()).min(n_chunks);
+    if SPAWN_MODE.load(Ordering::Relaxed) {
+        // The pre-pool code spawned `min(cores, items)` scoped threads per
+        // call — one per core, NOT one per chunk, since items (rows) always
+        // far outnumbered cores. Reproduce that width here so the baseline
+        // pays the per-call thread cost the pool was built to eliminate.
+        let spawn_width = (p.workers + 1).min(max_concurrency());
+        if spawn_width > 1 {
+            return run_spawn(task, n_chunks, spawn_width);
+        }
+    }
+    let t0 = Instant::now();
+    if width <= 1 {
+        // Sequential: no catch_unwind, panics propagate naturally.
+        for i in 0..n_chunks {
+            task(i);
+        }
+        TASKS.fetch_add(n_chunks as u64, Ordering::Relaxed);
+        BUSY_NS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        return;
+    }
+    // SAFETY: lifetime erasure only — `run` does not return until the job
+    // drains, so the closure outlives every dereference (see TaskPtr).
+    let task_erased: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+    let job = Arc::new(Job::new(TaskPtr(task_erased), n_chunks, width - 1));
+    {
+        let mut q = p.shared.queue.lock().expect("pool queue lock");
+        q.push_back(Arc::clone(&job));
+    }
+    p.shared.work_cv.notify_all();
+    let ran = job.help();
+    TASKS.fetch_add(ran, Ordering::Relaxed);
+    BUSY_NS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    // Wait for chunks claimed by workers; must not unwind before the job
+    // drains or the task closure could dangle (see TaskPtr safety).
+    let mut st = job.state.lock().expect("pool job state lock");
+    while !st.done {
+        st = job.done_cv.wait(st).expect("pool job done wait");
+    }
+    if let Some(payload) = st.panic.take() {
+        drop(st);
+        resume_unwind(payload);
+    }
+}
+
+/// Pre-pool baseline: `width` scoped OS threads spawned per call (the
+/// submitter only joins, as the old `parallel_map` did), claiming chunks
+/// through the same cursor discipline (identical chunk → output mapping,
+/// so results match the pooled path bitwise).
+fn run_spawn(task: &(dyn Fn(usize) + Sync), n_chunks: usize, width: usize) {
+    let cursor = AtomicUsize::new(0);
+    let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+    let claim_all = |_helper: usize| {
+        let mut ran = 0u64;
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n_chunks {
+                return ran;
+            }
+            ran += 1;
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+                let mut slot = panic_slot.lock().expect("spawn panic slot");
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        }
+    };
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..width)
+            .map(|h| scope.spawn(move || claim_all(h)))
+            .collect();
+        let mut ran = 0;
+        for h in handles {
+            ran += h.join().unwrap_or(0);
+        }
+        TASKS.fetch_add(ran, Ordering::Relaxed);
+    });
+    BUSY_NS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    if let Some(payload) = panic_slot.into_inner().expect("spawn panic slot") {
+        resume_unwind(payload);
+    }
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+/// A panic in either closure is re-raised intact (if both panic, `a`'s or
+/// `b`'s payload — whichever was recorded first — wins).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let a = Mutex::new(Some(a));
+    let b = Mutex::new(Some(b));
+    let ra: Mutex<Option<RA>> = Mutex::new(None);
+    let rb: Mutex<Option<RB>> = Mutex::new(None);
+    let task = |i: usize| {
+        if i == 0 {
+            let f = a
+                .lock()
+                .expect("join slot a")
+                .take()
+                .expect("chunk 0 runs once");
+            *ra.lock().expect("join result a") = Some(f());
+        } else {
+            let f = b
+                .lock()
+                .expect("join slot b")
+                .take()
+                .expect("chunk 1 runs once");
+            *rb.lock().expect("join result b") = Some(f());
+        }
+    };
+    run(&task, 2);
+    let ra = ra
+        .into_inner()
+        .expect("join result a")
+        .expect("chunk 0 completed");
+    let rb = rb
+        .into_inner()
+        .expect("join result b")
+        .expect("chunk 1 completed");
+    (ra, rb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn run_executes_every_chunk_exactly_once() {
+        let counts: Vec<AtomicU32> = (0..257).map(|_| AtomicU32::new(0)).collect();
+        let task = |i: usize| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        };
+        run(&task, counts.len());
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn panic_payload_is_propagated_intact() {
+        #[derive(Debug, PartialEq)]
+        struct Marker(u64);
+        let task = |i: usize| {
+            if i == 3 {
+                std::panic::panic_any(Marker(0xBEEF));
+            }
+        };
+        let err = catch_unwind(AssertUnwindSafe(|| run(&task, 8))).expect_err("chunk 3 panics");
+        let marker = err.downcast::<Marker>().expect("payload preserved intact");
+        assert_eq!(*marker, Marker(0xBEEF));
+    }
+
+    #[test]
+    fn join_returns_both_and_propagates_panic() {
+        let (x, y) = join(|| 6 * 7, || "ok".to_string());
+        assert_eq!((x, y.as_str()), (42, "ok"));
+
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            join(|| (), || panic!("join b boom"));
+        }))
+        .expect_err("b panics");
+        let msg = err.downcast::<&'static str>().expect("str payload");
+        assert_eq!(*msg, "join b boom");
+    }
+
+    #[test]
+    fn concurrency_cap_still_computes_everything() {
+        set_max_concurrency(2);
+        let counts: Vec<AtomicU32> = (0..64).map(|_| AtomicU32::new(0)).collect();
+        let task = |i: usize| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        };
+        run(&task, counts.len());
+        set_max_concurrency(usize::MAX);
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn stats_count_calls_and_tasks() {
+        let before = stats();
+        run(&|_| {}, 5);
+        let after = stats();
+        assert!(after.parallel_calls > before.parallel_calls);
+        assert!(after.tasks >= before.tasks + 5);
+    }
+
+    #[test]
+    fn spawn_mode_matches_pooled_results() {
+        let run_once = || {
+            let mut out = vec![0u64; 300];
+            let ptr = out.as_mut_ptr() as usize;
+            let task = move |i: usize| {
+                // SAFETY: each chunk writes a distinct index.
+                unsafe { *(ptr as *mut u64).add(i) = (i * i) as u64 };
+            };
+            run(&task, 300);
+            out
+        };
+        let pooled = run_once();
+        set_exec_mode(ExecMode::Spawn);
+        let spawned = run_once();
+        set_exec_mode(ExecMode::Pooled);
+        assert_eq!(pooled, spawned);
+    }
+}
