@@ -11,8 +11,11 @@
 //!    buffer vs the allocating path with the scratch pool disabled.
 //! 3. **End-to-end epoch** — a 4-mini-batch training epoch of the micro
 //!    encoder, pooled+scratch vs spawn+no-scratch.
+//! 4. **Loopback link calibration** — RTT and bulk throughput of the real
+//!    framed TCP channel, folded into a [`pac_cluster::LinkSpec::measured`]
+//!    and fed to the planner next to the paper's assumed 128 Mbps LAN.
 //!
-//! Usage: `pac-bench [--quick] [--out PATH]`.
+//! Usage: `pac-bench [--quick] [--out PATH]` (default `BENCH_PR4.json`).
 
 use criterion::{black_box, Criterion, Throughput};
 use pac_model::{EncoderModel, ModelConfig};
@@ -73,7 +76,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
     let budget = Duration::from_millis(if quick { 40 } else { 250 });
     let mut c = Criterion::default().measurement_time(budget);
 
@@ -144,6 +147,43 @@ fn main() {
         g.finish();
     }
 
+    // ---- 4. Loopback link calibration → planner input ----
+    // Measure the fabric the distributed runtime actually uses (framed TCP
+    // on loopback, checksums included), then show what the planner does
+    // with it: the same cluster planned under the paper's assumed LAN and
+    // under the measured link.
+    let (pings, bulk, rounds) = if quick {
+        (32, 64 * 1024, 4)
+    } else {
+        (128, 256 * 1024, 8)
+    };
+    let cal = pac_net::calibrate_loopback(pings, bulk, rounds).expect("loopback calibration");
+    let measured = cal.to_link_spec();
+    let assumed = pac_cluster::LinkSpec::lan_128mbps();
+    println!(
+        "\nloopback link: rtt {:.1} us, bandwidth {:.2} Gbit/s ({} B bulk frame)",
+        cal.rtt_s * 1e6,
+        cal.bandwidth_bps / 1e9,
+        cal.bulk_frame_bytes
+    );
+    let plan_makespan = |link: pac_cluster::LinkSpec| -> f64 {
+        let planner = pac_planner::Planner::paper_defaults(
+            pac_cluster::Cluster::nanos(4).with_link(link),
+            16,
+        );
+        let cost = pac_cluster::CostModel::new(
+            ModelConfig::t5_base(),
+            pac_peft::Technique::parallel_default(),
+            128,
+        );
+        planner.plan(&cost).expect("4-device plan").best_makespan_s
+    };
+    let (mk_assumed, mk_measured) = (plan_makespan(assumed), plan_makespan(measured));
+    println!(
+        "planner makespan, 4 nanos, T5-Base mini-batch 16: {mk_assumed:.3} s assumed 128 Mbps LAN \
+         -> {mk_measured:.3} s measured loopback"
+    );
+
     // ---- Summary + JSON trajectory ----
     let results = c.take_results();
     let p50 = |name: &str| {
@@ -172,10 +212,10 @@ fn main() {
         sstats.allocs
     );
 
-    let mut json = String::from("[\n");
+    let mut json = String::from("{\n  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
-            "  {{\"name\": \"{}\", \"iters\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"throughput\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"iters\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"throughput\": {}}}{}\n",
             r.name,
             r.iters,
             r.p50_ns,
@@ -186,7 +226,15 @@ fn main() {
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    json.push_str("]\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"link\": {{\"rtt_s\": {:.9}, \"bandwidth_bps\": {:.1}, \"bulk_frame_bytes\": {}}},\n",
+        cal.rtt_s, cal.bandwidth_bps, cal.bulk_frame_bytes
+    ));
+    json.push_str(&format!(
+        "  \"planner\": {{\"makespan_assumed_lan_s\": {mk_assumed:.6}, \"makespan_measured_loopback_s\": {mk_measured:.6}}}\n"
+    ));
+    json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write bench trajectory");
     println!("\nwrote {out_path}");
 }

@@ -20,10 +20,28 @@
 //! `--faults='fail-stop@step=9,device=2;allreduce@step=3,failures=2'`;
 //! without a spec a demonstration plan (fail-stop + transient AllReduce +
 //! straggler) is used.
+//!
+//! Pass `--distributed=N` (N = 2 or 4) to fork N worker **processes** on
+//! loopback TCP and train a micro model over real sockets: 2 → a 2-stage
+//! pipeline, 4 → 2 stages × 2 data-parallel lanes with a ring AllReduce.
+//! The run is checked bitwise against the in-process engine on the same
+//! seed, and composes with `--faults` (fail-stop kills a worker process
+//! mid-run; the coordinator replans and resumes from a checkpoint) and
+//! with `--telemetry` (real `net.*` counters next to the modeled comms
+//! volume). Workers re-exec this binary with the hidden `--net-worker
+//! ADDR SLOT` arguments.
 
 use pac_bench::experiments as exp;
 
 fn main() {
+    // Hidden re-exec entry point: `repro --net-worker ADDR SLOT` runs a
+    // distributed training worker and never returns to the CLI below.
+    {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        if raw.first().map(String::as_str) == Some("--net-worker") {
+            net_worker_main(&raw[1..]);
+        }
+    }
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let telemetry = {
         let before = args.len();
@@ -48,6 +66,32 @@ fn main() {
         });
         spec
     };
+    let distributed: Option<usize> = {
+        let mut n = None;
+        args.retain(|a| {
+            if let Some(s) = a.strip_prefix("--distributed=") {
+                n = Some(s.parse().unwrap_or(0));
+                false
+            } else if a == "--distributed" {
+                n = Some(4);
+                false
+            } else {
+                true
+            }
+        });
+        n
+    };
+    if let Some(n) = distributed {
+        if n != 2 && n != 4 {
+            eprintln!("--distributed=N supports N=2 (2 stages) or N=4 (2 stages x 2 lanes)");
+            std::process::exit(2);
+        }
+        distributed_demo(n, faults.as_deref());
+        if telemetry {
+            telemetry_report();
+        }
+        return;
+    }
     if let Some(spec) = faults {
         faults_demo(&spec);
         if telemetry {
@@ -88,13 +132,182 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: repro [--telemetry] [--faults[=SPEC]] [table1|fig3|table2|table3|table3-quick|fig6|fig8|fig9|fig10|fig11|telemetry-demo|all]"
+                "usage: repro [--telemetry] [--faults[=SPEC]] [--distributed=N] [table1|fig3|table2|table3|table3-quick|fig6|fig8|fig9|fig10|fig11|telemetry-demo|all]"
             );
             std::process::exit(2);
         }
     }
     if telemetry {
         telemetry_report();
+    }
+}
+
+/// Worker half of `--distributed`: connect back to the coordinator at
+/// `ADDR` as worker `SLOT` and train until told to shut down. Exits the
+/// process; never returns.
+fn net_worker_main(rest: &[String]) -> ! {
+    let usage = || -> ! {
+        eprintln!("usage: repro --net-worker ADDR SLOT");
+        std::process::exit(2);
+    };
+    let (Some(addr), Some(slot)) = (rest.first(), rest.get(1)) else {
+        usage();
+    };
+    let Ok(addr) = addr.parse::<std::net::SocketAddr>() else {
+        usage();
+    };
+    let Ok(slot) = slot.parse::<u32>() else {
+        usage();
+    };
+    match pac_net::run_worker(addr, slot, pac_net::RunMode::Process) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("net-worker {slot}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Coordinator half of `--distributed=N`: fork N worker processes on
+/// loopback, train a micro model over real sockets, and check the result
+/// bitwise against the in-process hybrid engine on the same seed.
+fn distributed_demo(n: usize, faults_spec: Option<&str>) {
+    use pac_model::{EncoderModel, ModelConfig};
+    use pac_net::{DistConfig, DistTrainer, Spawner};
+    use pac_nn::optim::Sgd;
+    use pac_nn::Optimizer;
+    use pac_parallel::engine::{HybridEngine, MicroBatch};
+    use pac_parallel::faults::render_events;
+    use pac_parallel::schedule::SimResult;
+    use pac_parallel::{FaultPlan, Schedule};
+    use pac_tensor::rng::seeded;
+    use rand::Rng as _;
+
+    let (stages, lanes) = (2usize, n / 2);
+    header(&format!(
+        "Distributed loopback — {n} worker processes ({stages} stages x {lanes} lane(s)) over real TCP"
+    ));
+
+    let plan = match faults_spec {
+        None => FaultPlan::none(),
+        Some("") => {
+            // Demo fault: kill one worker process mid-run.
+            FaultPlan::parse("fail-stop@step=4,device=1").expect("built-in spec parses")
+        }
+        Some(spec) => match FaultPlan::parse(spec) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("bad --faults spec: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let mut cfg = DistConfig::loopback(stages, lanes);
+    cfg.telemetry = pac_telemetry::enabled();
+    let steps = 6usize;
+    let mut rng = seeded(cfg.seed ^ 0xda7a_5eed);
+    let batches: Vec<Vec<MicroBatch>> = (0..steps)
+        .map(|_| {
+            (0..2)
+                .map(|_| {
+                    let rows: Vec<Vec<usize>> = (0..4)
+                        .map(|_| (0..6).map(|_| rng.gen_range(0..64)).collect())
+                        .collect();
+                    let labels: Vec<usize> = (0..4).map(|_| rng.gen_range(0..2)).collect();
+                    (rows, labels)
+                })
+                .collect()
+        })
+        .collect();
+
+    let exe = std::env::current_exe().expect("own executable path");
+    let spawner = Spawner::Process {
+        exe,
+        args: vec!["--net-worker".into()],
+    };
+    println!(
+        "spawning {n} x `repro --net-worker <coordinator> <slot>` on 127.0.0.1, plan: {plan}\n"
+    );
+    let report = match DistTrainer::new(cfg.clone()).run(&spawner, &batches, &plan) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("distributed run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("per-step loss (lane-averaged):");
+    for (t, l) in report.losses.iter().enumerate() {
+        println!("  step {t}: {l:.6}");
+    }
+
+    // Measured Gantt of the canonical lane's last step, same renderer the
+    // simulator uses — digits are forwards, letters backwards.
+    let sim = SimResult::from_events(report.last_events.clone(), report.stages);
+    println!(
+        "\nmeasured last-step timeline ({} stage(s), makespan {:.2} ms):",
+        report.stages,
+        sim.makespan_s * 1e3
+    );
+    println!("{}", sim.ascii_gantt(72));
+
+    if !report.recovery.timeline.is_empty() {
+        println!("recovery timeline:");
+        println!("{}", render_events(&report.recovery.timeline));
+        println!(
+            "summary: {} fault(s), {} replan(s), {} checkpoint(s) ({} B), {} lane(s) finished",
+            report.recovery.faults_injected,
+            report.recovery.replans,
+            report.recovery.checkpoints,
+            report.recovery.checkpoint_bytes,
+            report.final_lanes
+        );
+    }
+
+    // Bitwise cross-check vs the in-process engine: only meaningful on a
+    // fault-free run (a killed lane changes the update sequence).
+    if plan.is_empty() {
+        let model_cfg = ModelConfig::micro(cfg.enc_layers, 0, cfg.hidden, cfg.heads);
+        let model = EncoderModel::new(&model_cfg, cfg.n_out, &mut seeded(cfg.seed));
+        let ref_stages = model.partition(&cfg.partition).expect("partition");
+        let mut engine = HybridEngine::new(ref_stages, cfg.lanes, Schedule::OneFOneB);
+        let mut opts: Vec<Box<dyn Optimizer>> = (0..cfg.lanes)
+            .map(|_| Box::new(Sgd::new(cfg.lr)) as Box<dyn Optimizer>)
+            .collect();
+        let mut ref_losses = Vec::new();
+        for batch in &batches {
+            engine.zero_grads();
+            ref_losses.push(engine.run_mini_batch(batch).expect("in-process step"));
+            engine.step(&mut opts);
+        }
+        let loss_ok = report
+            .losses
+            .iter()
+            .zip(ref_losses.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        let ref_params = engine.canonical_params();
+        let params_ok = report.final_params.len() == ref_params.len()
+            && report
+                .final_params
+                .iter()
+                .zip(ref_params.iter())
+                .all(|((an, at), (bn, bt))| {
+                    an == bn
+                        && at
+                            .data()
+                            .iter()
+                            .zip(bt.data().iter())
+                            .all(|(x, y)| x.to_bits() == y.to_bits())
+                });
+        println!(
+            "\nbitwise check vs in-process engine: losses {}, final params {}",
+            if loss_ok { "IDENTICAL" } else { "DIVERGED" },
+            if params_ok { "IDENTICAL" } else { "DIVERGED" },
+        );
+        if !loss_ok || !params_ok {
+            std::process::exit(1);
+        }
     }
 }
 
@@ -284,7 +497,9 @@ fn telemetry_report() {
         );
     }
 
-    // Communication volume.
+    // Communication volume: modeled collective payload, and — when a
+    // `--distributed` run put real sockets under it — measured wire
+    // traffic next to it.
     let ar_bytes = get("allreduce.bytes");
     if ar_bytes > 0 {
         println!(
@@ -292,6 +507,16 @@ fn telemetry_report() {
             ar_bytes as f64 / 1024.0,
             get("allreduce.reductions"),
             get("allreduce.ns") as f64 / 1e6
+        );
+    }
+    let (sent, recv) = (get("net.bytes_sent"), get("net.bytes_recv"));
+    if sent + recv > 0 {
+        println!(
+            "net: sent {:.1} KiB / recv {:.1} KiB over {} frame(s), allreduce wall {:.2} ms",
+            sent as f64 / 1024.0,
+            recv as f64 / 1024.0,
+            get("net.msgs"),
+            get("net.allreduce.ns") as f64 / 1e6
         );
     }
 

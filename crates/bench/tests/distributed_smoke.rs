@@ -1,0 +1,91 @@
+//! Multi-process distributed smoke test: `repro --distributed` forks real
+//! worker processes (re-exec'ing the `repro` binary with `--net-worker`)
+//! on loopback TCP. This is the only test that exercises OS process
+//! management — the protocol itself is covered in-crate by `pac-net`.
+//!
+//! The whole test runs under a hard wall-clock deadline: a deadlocked
+//! rendezvous or a worker that never exits kills the child and fails
+//! loudly instead of hanging CI.
+
+use std::io::Read;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const DEADLINE: Duration = Duration::from_secs(120);
+
+/// Waits for `child` with a hard timeout; kills it on expiry.
+fn wait_with_deadline(mut child: Child, what: &str) -> (bool, String) {
+    let start = Instant::now();
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                let mut out = String::new();
+                if let Some(mut stdout) = child.stdout.take() {
+                    let _ = stdout.read_to_string(&mut out);
+                }
+                let mut err = String::new();
+                if let Some(mut stderr) = child.stderr.take() {
+                    let _ = stderr.read_to_string(&mut err);
+                }
+                return (status.success(), format!("{out}{err}"));
+            }
+            None if start.elapsed() < DEADLINE => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            None => {
+                let _ = child.kill();
+                let _ = child.wait();
+                panic!("{what} exceeded the {DEADLINE:?} deadline — killed");
+            }
+        }
+    }
+}
+
+fn repro(args: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn repro")
+}
+
+#[test]
+fn four_process_loopback_run_is_bitwise_identical() {
+    // 2 stages × 2 lanes: pipeline sockets, ring AllReduce, and the
+    // in-binary bitwise cross-check against the in-process engine (the
+    // child exits non-zero on divergence).
+    let (ok, output) = wait_with_deadline(
+        repro(&["--distributed=4", "--telemetry"]),
+        "repro --distributed=4",
+    );
+    assert!(ok, "distributed run failed:\n{output}");
+    assert!(
+        output.contains(
+            "bitwise check vs in-process engine: losses IDENTICAL, final params IDENTICAL"
+        ),
+        "missing bitwise-identical confirmation:\n{output}"
+    );
+    // Real wire traffic must show up in the telemetry report.
+    assert!(
+        output.contains("net: sent"),
+        "no net.* counters in the telemetry report:\n{output}"
+    );
+}
+
+#[test]
+fn killed_worker_process_recovers_via_replan() {
+    // The built-in --faults demo plan kills one worker process (exit 86)
+    // mid-run; the coordinator must replan and resume from a checkpoint.
+    let (ok, output) = wait_with_deadline(
+        repro(&["--distributed=4", "--faults"]),
+        "repro --distributed=4 --faults",
+    );
+    assert!(ok, "faulty distributed run did not recover:\n{output}");
+    for needle in ["inject", "replan", "resume", "1 replan(s)"] {
+        assert!(
+            output.contains(needle),
+            "recovery output missing {needle:?}:\n{output}"
+        );
+    }
+}

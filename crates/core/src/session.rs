@@ -68,6 +68,36 @@ pub struct RecoveryReport {
     pub timeline: Vec<TimelineEvent>,
 }
 
+impl RecoveryReport {
+    /// Builds a report from a [`FaultClock`]'s recorded timeline plus the
+    /// supervisor's own tallies. `faults_injected` is derived from the
+    /// timeline (every [`TimelineKind::Injected`] entry), so in-process and
+    /// distributed recovery loops count faults the same way — this is the
+    /// single constructor shared by [`PacSession`] and `pac-net`'s
+    /// distributed trainer.
+    pub fn from_timeline(
+        timeline: Vec<TimelineEvent>,
+        retries: u32,
+        replans: u32,
+        checkpoints: usize,
+        checkpoint_bytes: usize,
+        final_devices: usize,
+    ) -> Self {
+        RecoveryReport {
+            faults_injected: timeline
+                .iter()
+                .filter(|e| e.kind == TimelineKind::Injected)
+                .count(),
+            retries,
+            replans,
+            checkpoints,
+            checkpoint_bytes,
+            final_devices,
+            timeline,
+        }
+    }
+}
+
 /// Report of a PAC session.
 #[derive(Debug, Clone)]
 pub struct PacReport {
@@ -440,19 +470,14 @@ impl PacSession {
         }
 
         let metric = evaluate(&mut replicas[0], &eval)?;
-        let timeline = clock.timeline();
-        let recovery = RecoveryReport {
-            faults_injected: timeline
-                .iter()
-                .filter(|e| e.kind == TimelineKind::Injected)
-                .count(),
-            retries: retries_total,
+        let recovery = RecoveryReport::from_timeline(
+            clock.timeline(),
+            retries_total,
             replans,
             checkpoints,
             checkpoint_bytes,
-            final_devices: alive.len(),
-            timeline,
-        };
+            alive.len(),
+        );
         Ok(PacReport {
             plan,
             planned_makespan_s: makespan,

@@ -130,6 +130,15 @@ impl Cluster {
         }
     }
 
+    /// The same pool on a different fabric — e.g. a
+    /// [`LinkSpec::measured`](crate::LinkSpec::measured) calibration from
+    /// the loopback micro-bench, consumed by the planner in place of the
+    /// assumed LAN.
+    pub fn with_link(mut self, link: LinkSpec) -> Self {
+        self.link = link;
+        self
+    }
+
     /// Number of devices.
     pub fn len(&self) -> usize {
         self.devices.len()

@@ -36,6 +36,19 @@ impl LinkSpec {
         }
     }
 
+    /// A link calibrated from live measurements (e.g. the loopback
+    /// micro-bench in `pac-bench`), so the planner can cost communication
+    /// with the fabric the job will actually run on instead of the paper's
+    /// assumed 128 Mbps LAN. Values are clamped to a sane floor: a
+    /// measurement glitch must not produce a zero-bandwidth link that makes
+    /// every plan look infinitely slow.
+    pub fn measured(bandwidth_bps: f64, latency_s: f64) -> Self {
+        LinkSpec {
+            bandwidth_bps: bandwidth_bps.max(1e3),
+            latency_s: latency_s.max(0.0),
+        }
+    }
+
     /// Seconds to move `bytes` across the link.
     pub fn transfer_time(&self, bytes: usize) -> f64 {
         self.latency_s + (bytes as f64 * 8.0) / self.bandwidth_bps
@@ -61,6 +74,17 @@ mod tests {
         let t = l.transfer_time(16);
         assert!(t < 2e-3);
         assert!(t >= l.latency_s);
+    }
+
+    #[test]
+    fn measured_links_clamp_degenerate_calibrations() {
+        let l = LinkSpec::measured(2.5e9, 40e-6);
+        assert_eq!(l.bandwidth_bps, 2.5e9);
+        assert_eq!(l.latency_s, 40e-6);
+        let bad = LinkSpec::measured(0.0, -1.0);
+        assert!(bad.bandwidth_bps > 0.0);
+        assert!(bad.latency_s >= 0.0);
+        assert!(bad.transfer_time(1000).is_finite());
     }
 
     #[test]

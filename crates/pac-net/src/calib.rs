@@ -1,0 +1,128 @@
+//! Loopback link calibration.
+//!
+//! Measures what the *real* framed channel delivers — round-trip latency of
+//! small control frames and bulk throughput of tensor frames, checksums and
+//! framing included — and folds it into a [`LinkSpec`] the planner can use
+//! in place of the paper's assumed 128 Mbps LAN. `pac-bench` runs this and
+//! records the numbers in `BENCH_PR4.json`.
+
+use crate::chan::FramedConn;
+use crate::wire::{encode_frame, Msg, NetError};
+use pac_cluster::LinkSpec;
+use pac_tensor::Tensor;
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+/// Raw measurements from a calibration run.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkCalibration {
+    /// Median round-trip time of a small control frame, seconds.
+    pub rtt_s: f64,
+    /// Estimated one-way bandwidth, bits per second.
+    pub bandwidth_bps: f64,
+    /// Wire bytes of the bulk frame used for the bandwidth probe.
+    pub bulk_frame_bytes: usize,
+}
+
+impl LinkCalibration {
+    /// The planner-facing link model: one-way latency is half the measured
+    /// RTT; degenerate measurements are clamped by [`LinkSpec::measured`].
+    pub fn to_link_spec(&self) -> LinkSpec {
+        LinkSpec::measured(self.bandwidth_bps, self.rtt_s / 2.0)
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Measures the loopback fabric through a real [`FramedConn`] pair: `pings`
+/// heartbeat round-trips for latency, `rounds` echo-acknowledged transfers
+/// of a `bulk_elems`-element tensor for throughput.
+pub fn calibrate_loopback(
+    pings: usize,
+    bulk_elems: usize,
+    rounds: usize,
+) -> Result<LinkCalibration, NetError> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let echo = std::thread::spawn(move || -> Result<(), NetError> {
+        let (s, _) = listener.accept()?;
+        let mut conn = FramedConn::from_stream(s, Duration::from_secs(10))?;
+        loop {
+            match conn.recv()? {
+                Msg::Heartbeat { nonce } => conn.send(&Msg::HeartbeatAck { nonce })?,
+                // Acknowledge bulk frames with a tiny frame so the sender
+                // can time full receipt without shipping the payload back.
+                Msg::GradBlock { .. } => conn.send(&Msg::HeartbeatAck { nonce: 0 })?,
+                Msg::Shutdown => return Ok(()),
+                _ => return Err(NetError::Malformed("unexpected calibration message")),
+            }
+        }
+    });
+
+    let run = || -> Result<LinkCalibration, NetError> {
+        let mut conn = FramedConn::connect(addr, Duration::from_secs(10))?;
+        // Warm the path (connection setup, allocator, first-touch).
+        for nonce in 0..8u64 {
+            conn.send(&Msg::Heartbeat { nonce })?;
+            conn.recv()?;
+        }
+        let mut rtts = Vec::with_capacity(pings.max(1));
+        for nonce in 0..pings.max(1) as u64 {
+            let t0 = Instant::now();
+            conn.send(&Msg::Heartbeat { nonce })?;
+            conn.recv()?;
+            rtts.push(t0.elapsed().as_secs_f64());
+        }
+        let rtt_s = median(rtts);
+
+        let bulk = Msg::GradBlock {
+            origin_lane: 0,
+            tensors: vec![Tensor::zeros(vec![bulk_elems.max(1)])],
+        };
+        let bulk_frame_bytes = encode_frame(&bulk).len();
+        let mut transfers = Vec::with_capacity(rounds.max(1));
+        for _ in 0..rounds.max(1) {
+            let t0 = Instant::now();
+            conn.send(&bulk)?;
+            conn.recv()?;
+            transfers.push(t0.elapsed().as_secs_f64());
+        }
+        let t_bulk = median(transfers);
+        // One round trip carries the bulk frame one way plus a tiny ack;
+        // subtract the control-frame RTT to isolate serialization time.
+        let serialize_s = (t_bulk - rtt_s).max(1e-9);
+        let bandwidth_bps = (bulk_frame_bytes as f64 * 8.0) / serialize_s;
+        conn.send(&Msg::Shutdown)?;
+        Ok(LinkCalibration {
+            rtt_s,
+            bandwidth_bps,
+            bulk_frame_bytes,
+        })
+    };
+    let result = run();
+    let _ = echo.join();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_calibration_yields_sane_link() {
+        let cal = calibrate_loopback(16, 64 * 1024, 4).expect("calibration");
+        assert!(cal.rtt_s > 0.0 && cal.rtt_s < 1.0, "rtt {}", cal.rtt_s);
+        assert!(
+            cal.bandwidth_bps > 1e6,
+            "loopback below 1 Mbit/s is not credible: {}",
+            cal.bandwidth_bps
+        );
+        let link = cal.to_link_spec();
+        assert!(link.transfer_time(1_000_000).is_finite());
+        // Loopback should beat the paper's assumed 128 Mbps LAN.
+        assert!(link.bandwidth_bps > pac_cluster::LinkSpec::lan_128mbps().bandwidth_bps / 4.0);
+    }
+}

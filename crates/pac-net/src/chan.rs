@@ -1,0 +1,136 @@
+//! Framed, metered TCP channels.
+//!
+//! [`FramedConn`] wraps a blocking `std::net::TcpStream` with the wire
+//! format from [`crate::wire`] plus:
+//!
+//! * **read deadlines** — every receive honors the socket read timeout, so
+//!   a dead or stalled peer surfaces as [`NetError::Timeout`] instead of
+//!   hanging the worker forever;
+//! * **telemetry** — `net.bytes_sent` / `net.bytes_recv` / `net.msgs`
+//!   counters are recorded per frame (no-ops while collection is off), so
+//!   `repro --telemetry` can put *measured* traffic next to the planner's
+//!   *modeled* communication volume.
+
+use crate::wire::{encode_frame, read_frame, Msg, NetError};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A blocking, framed, metered TCP connection.
+#[derive(Debug)]
+pub struct FramedConn {
+    stream: TcpStream,
+}
+
+impl FramedConn {
+    /// Dials `addr` (with a connect deadline) and applies `timeout` as the
+    /// read deadline. `TCP_NODELAY` is set: frames are small and latency
+    /// bound, and Nagle's algorithm would serialize the 1F1B handoffs.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> Result<Self, NetError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        Self::from_stream(stream, timeout)
+    }
+
+    /// Wraps an accepted stream with the same socket options as
+    /// [`FramedConn::connect`].
+    pub fn from_stream(stream: TcpStream, timeout: Duration) -> Result<Self, NetError> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        Ok(FramedConn { stream })
+    }
+
+    /// Replaces the read deadline (`None` blocks forever — only sensible
+    /// for tests).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), NetError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// The peer's socket address, if the connection is still healthy.
+    pub fn peer_addr(&self) -> Option<SocketAddr> {
+        self.stream.peer_addr().ok()
+    }
+
+    /// Sends one message as a single frame. Counts `net.bytes_sent` and
+    /// `net.msgs`.
+    pub fn send(&mut self, msg: &Msg) -> Result<(), NetError> {
+        let frame = encode_frame(msg);
+        self.stream.write_all(&frame)?;
+        self.stream.flush()?;
+        pac_telemetry::counter_add("net.bytes_sent", frame.len() as u64);
+        pac_telemetry::counter_inc("net.msgs");
+        Ok(())
+    }
+
+    /// Receives one message, honoring the read deadline. Counts
+    /// `net.bytes_recv`.
+    pub fn recv(&mut self) -> Result<Msg, NetError> {
+        let (msg, n) = read_frame(&mut self.stream)?;
+        pac_telemetry::counter_add("net.bytes_recv", n as u64);
+        Ok(msg)
+    }
+
+    /// Receives one message and requires it to be of the shape `want`
+    /// describes; anything else is a protocol violation.
+    pub fn recv_expecting(
+        &mut self,
+        want: &'static str,
+        check: impl FnOnce(&Msg) -> bool,
+    ) -> Result<Msg, NetError> {
+        let msg = self.recv()?;
+        if check(&msg) {
+            Ok(msg)
+        } else {
+            let _ = want;
+            Err(NetError::Malformed("unexpected message for protocol state"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn loopback_send_recv_and_timeout() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            let mut conn = FramedConn::from_stream(s, Duration::from_secs(5)).unwrap();
+            let msg = conn.recv().unwrap();
+            conn.send(&msg).unwrap(); // echo
+                                      // Hold the connection open, silently, so the client's second
+                                      // recv hits its read deadline rather than EOF.
+            std::thread::sleep(Duration::from_millis(400));
+        });
+
+        let mut conn = FramedConn::connect(addr, Duration::from_secs(5)).unwrap();
+        conn.send(&Msg::Heartbeat { nonce: 9 }).unwrap();
+        assert_eq!(conn.recv().unwrap(), Msg::Heartbeat { nonce: 9 });
+
+        conn.set_timeout(Some(Duration::from_millis(50))).unwrap();
+        match conn.recv() {
+            Err(NetError::Timeout) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn peer_close_is_typed_eof() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            drop(s); // immediate close
+        });
+        let mut conn = FramedConn::connect(addr, Duration::from_secs(5)).unwrap();
+        t.join().unwrap();
+        match conn.recv() {
+            Err(NetError::Eof) => {}
+            other => panic!("expected EOF, got {other:?}"),
+        }
+    }
+}

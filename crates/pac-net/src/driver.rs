@@ -1,0 +1,610 @@
+//! The distributed coordinator: lockstep stepping, checkpoints, and
+//! restart-based fault recovery over real sockets.
+//!
+//! [`DistTrainer`] drives a `stages × lanes` world through the same
+//! training semantics as the in-process `HybridEngine` — one `Step`
+//! broadcast per mini-batch, every rank replying `Done` — and produces
+//! **bitwise-identical** losses and parameters on the same seed and
+//! batches (with SGD; see [`crate::worker`] for why Adam is excluded).
+//!
+//! Fault handling follows the PR 2 recovery loop, lifted across process
+//! boundaries: a peer disconnect (EOF or read timeout) surfaces as a typed
+//! [`EngineError::RankDown`] attributed to a world rank; the coordinator
+//! confirms feasibility with the planner (`replan_without`), tears the
+//! round down, respawns the world minus the dead lane, restores the last
+//! parameter snapshot, and replays from the checkpoint cursor. The
+//! [`RecoveryReport`] timeline (`inject → replan → resume`) is built by the
+//! same [`FaultClock`] machinery the in-process session uses.
+
+use crate::rendezvous::{Rendezvous, Topology, WorkerConn};
+use crate::spawn::{SpawnedWorld, Spawner};
+use crate::wire::{encode_frame, Assignment, Msg, NetError};
+use pac_cluster::{Cluster, CostModel, LinkSpec};
+use pac_core::RecoveryReport;
+use pac_model::ModelConfig;
+use pac_parallel::engine::{split_micro_batches, MicroBatch};
+use pac_parallel::schedule::SimEvent;
+use pac_parallel::{EngineError, FaultClock, FaultPlan, Schedule, TimelineKind};
+use pac_peft::Technique;
+use pac_planner::Planner;
+use pac_tensor::Tensor;
+use std::fmt;
+use std::time::Duration;
+
+/// Errors out of the distributed driver: engine-level failures (fatal,
+/// post-recovery) or transport failures during world setup that are not
+/// attributable to a training rank.
+#[derive(Debug)]
+pub enum DistError {
+    /// Setup / control-plane transport failure.
+    Net(NetError),
+    /// Training failure after recovery was exhausted or impossible.
+    Engine(EngineError),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Net(e) => write!(f, "distributed setup failed: {e}"),
+            DistError::Engine(e) => write!(f, "distributed training failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<NetError> for DistError {
+    fn from(e: NetError) -> Self {
+        DistError::Net(e)
+    }
+}
+
+impl From<EngineError> for DistError {
+    fn from(e: EngineError) -> Self {
+        DistError::Engine(e)
+    }
+}
+
+/// Configuration of a distributed training job.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Encoder layers of the (micro-scale) model.
+    pub enc_layers: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Classification head width.
+    pub n_out: usize,
+    /// Layers per pipeline stage; `partition.len()` is the stage count.
+    pub partition: Vec<usize>,
+    /// Data-parallel lanes.
+    pub lanes: usize,
+    /// Micro-batch schedule.
+    pub schedule: Schedule,
+    /// Shared model-init seed.
+    pub seed: u64,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Take a parameter snapshot every this many steps (0 disables
+    /// periodic snapshots; the initial one is always taken).
+    pub checkpoint_every: usize,
+    /// Read deadline for every socket.
+    pub net_timeout: Duration,
+    /// How long to wait for the whole world to rendezvous.
+    pub setup_timeout: Duration,
+    /// Link model handed to the planner for replan feasibility (use
+    /// [`LinkSpec::measured`] from the loopback calibration bench to plan
+    /// against the fabric the job actually runs on).
+    pub link: LinkSpec,
+    /// Record and aggregate `net.*` telemetry.
+    pub telemetry: bool,
+}
+
+impl DistConfig {
+    /// A micro-scale loopback world: `stages` stages of 2 layers each,
+    /// `lanes` lanes, the test-scale model dimensions used across the
+    /// engine test suites.
+    pub fn loopback(stages: usize, lanes: usize) -> Self {
+        DistConfig {
+            enc_layers: 2 * stages,
+            hidden: 16,
+            heads: 2,
+            n_out: 2,
+            partition: vec![2; stages],
+            lanes,
+            schedule: Schedule::OneFOneB,
+            seed: 7,
+            lr: 0.05,
+            checkpoint_every: 2,
+            net_timeout: Duration::from_secs(10),
+            setup_timeout: Duration::from_secs(20),
+            link: LinkSpec::lan_128mbps(),
+            telemetry: false,
+        }
+    }
+
+    /// Stage count.
+    pub fn stages(&self) -> usize {
+        self.partition.len()
+    }
+
+    /// The model architecture, as the planner's cost model sees it.
+    pub fn model_config(&self) -> ModelConfig {
+        ModelConfig::micro(self.enc_layers, 0, self.hidden, self.heads)
+    }
+}
+
+/// Outcome of a distributed run.
+#[derive(Debug)]
+pub struct DistReport {
+    /// Per-mini-batch mean loss (lane-averaged), in step order.
+    pub losses: Vec<f32>,
+    /// Final parameters of the canonical (lane position 0) replica, in
+    /// stage order — directly comparable to `HybridEngine::canonical_params`.
+    pub final_params: Vec<(String, Tensor)>,
+    /// Fault/recovery accounting, same shape as the in-process session's.
+    pub recovery: RecoveryReport,
+    /// Measured op timeline of the canonical lane's last step (for Gantt
+    /// rendering).
+    pub last_events: Vec<SimEvent>,
+    /// Pipeline stages (constant across recovery).
+    pub stages: usize,
+    /// Lanes still alive at the end.
+    pub final_lanes: usize,
+}
+
+struct Round {
+    conns: Vec<WorkerConn>,
+    world: SpawnedWorld,
+    topo: Topology,
+}
+
+/// Named parameter tensors for each pipeline stage, canonical-lane order.
+type StageParams = Vec<Vec<(String, Tensor)>>;
+
+struct Snapshot {
+    /// Trainable parameters per stage (from the canonical lane).
+    stages: StageParams,
+    /// Data cursor to resume from.
+    next_t: usize,
+    /// Loss history length at snapshot time.
+    losses_len: usize,
+}
+
+struct StepOk {
+    lane_losses: Vec<f32>,
+    lane0_events: Vec<SimEvent>,
+}
+
+/// Drives a distributed training world.
+#[derive(Debug, Clone)]
+pub struct DistTrainer {
+    /// Job configuration.
+    pub cfg: DistConfig,
+}
+
+impl DistTrainer {
+    /// Creates a trainer for `cfg`.
+    pub fn new(cfg: DistConfig) -> Self {
+        DistTrainer { cfg }
+    }
+
+    fn start_round(
+        &self,
+        spawner: &Spawner,
+        lanes: usize,
+        m_n: usize,
+        snapshot: Option<&Snapshot>,
+    ) -> Result<Round, DistError> {
+        let cfg = &self.cfg;
+        let topo = Topology {
+            stages: cfg.stages(),
+            lanes,
+        };
+        let rdv = Rendezvous::bind()?;
+        let world = spawner
+            .launch(rdv.addr(), topo.world())
+            .map_err(|e| DistError::Net(NetError::Io(e)))?;
+        let mut conns = match rdv.accept_world(topo.world(), cfg.setup_timeout, cfg.net_timeout) {
+            Ok(c) => c,
+            Err(e) => {
+                world.shutdown();
+                return Err(e.into());
+            }
+        };
+        let ports: Vec<u16> = conns.iter().map(|w| w.data_port).collect();
+        let setup = |conns: &mut Vec<WorkerConn>| -> Result<(), NetError> {
+            for (rank, wc) in conns.iter_mut().enumerate() {
+                wc.ctrl.send(&Msg::Assign(Box::new(Assignment {
+                    rank: rank as u32,
+                    lane: topo.lane_of(rank) as u32,
+                    stage: topo.stage_of(rank) as u32,
+                    lanes: topo.lanes as u32,
+                    stages: topo.stages as u32,
+                    seed: cfg.seed,
+                    lr: cfg.lr,
+                    enc_layers: cfg.enc_layers as u32,
+                    hidden: cfg.hidden as u32,
+                    heads: cfg.heads as u32,
+                    n_out: cfg.n_out as u32,
+                    partition: cfg.partition.iter().map(|&p| p as u32).collect(),
+                    schedule: cfg.schedule,
+                    micro_batches: m_n as u32,
+                    net_timeout_ms: cfg.net_timeout.as_millis() as u32,
+                    telemetry: cfg.telemetry,
+                })))?;
+            }
+            for wc in conns.iter_mut() {
+                wc.ctrl.send(&Msg::Peers {
+                    ports: ports.clone(),
+                })?;
+            }
+            for wc in conns.iter_mut() {
+                match wc.ctrl.recv()? {
+                    Msg::Ready => {}
+                    _ => return Err(NetError::Malformed("expected Ready after mesh wiring")),
+                }
+            }
+            if let Some(snap) = snapshot {
+                for (rank, wc) in conns.iter_mut().enumerate() {
+                    wc.ctrl.send(&Msg::Restore {
+                        entries: snap.stages[topo.stage_of(rank)].clone(),
+                    })?;
+                }
+            }
+            Ok(())
+        };
+        match setup(&mut conns) {
+            Ok(()) => Ok(Round { conns, world, topo }),
+            Err(e) => {
+                drop(conns);
+                world.shutdown();
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Fetches parameters of the canonical replica (lane position 0),
+    /// stage by stage. Returns the per-stage entries and the serialized
+    /// snapshot size in bytes.
+    fn fetch_params(
+        round: &mut Round,
+        trainable_only: bool,
+    ) -> Result<(StageParams, usize), NetError> {
+        let mut stages = Vec::with_capacity(round.topo.stages);
+        let mut bytes = 0usize;
+        for s in 0..round.topo.stages {
+            let rank = round.topo.rank_of(s, 0);
+            round.conns[rank]
+                .ctrl
+                .send(&Msg::ParamReq { trainable_only })?;
+            match round.conns[rank].ctrl.recv()? {
+                Msg::ParamSnap { entries } => {
+                    bytes += encode_frame(&Msg::ParamSnap {
+                        entries: entries.clone(),
+                    })
+                    .len();
+                    stages.push(entries);
+                }
+                _ => return Err(NetError::Malformed("expected ParamSnap")),
+            }
+        }
+        Ok((stages, bytes))
+    }
+
+    /// One lockstep step: broadcast `Step`, collect one `Done` per rank.
+    /// Any EOF, timeout, or `Fault` maps to [`EngineError::RankDown`] with
+    /// the dead rank attributed (current-round numbering).
+    fn run_one_step(
+        round: &mut Round,
+        step: u64,
+        die_rank: Option<usize>,
+        lane_mbs: &[Vec<MicroBatch>],
+        m_n: usize,
+    ) -> Result<StepOk, EngineError> {
+        let topo = round.topo;
+        let down = |rank: usize, detail: String| EngineError::RankDown {
+            rank,
+            lane: topo.lane_of(rank),
+            stage: Some(topo.stage_of(rank)),
+            step,
+            detail,
+        };
+        for rank in 0..topo.world() {
+            let s = topo.stage_of(rank);
+            let needs_data = s == 0 || s == topo.stages - 1;
+            let msg = Msg::Step {
+                step,
+                die: die_rank == Some(rank),
+                micro_batches: if needs_data {
+                    lane_mbs[topo.lane_of(rank)].clone()
+                } else {
+                    Vec::new()
+                },
+            };
+            if let Err(e) = round.conns[rank].ctrl.send(&msg) {
+                return Err(down(rank, format!("step dispatch: {e}")));
+            }
+        }
+
+        // Collect exactly one verdict per rank; classify failures.
+        let mut dones: Vec<Option<(f32, Vec<SimEvent>)>> =
+            (0..topo.world()).map(|_| None).collect();
+        let mut first_blame: Option<(usize, String)> = None;
+        let mut first_silent: Option<(usize, String)> = None;
+        for (rank, done) in dones.iter_mut().enumerate() {
+            match round.conns[rank].ctrl.recv() {
+                Ok(Msg::Done {
+                    loss_sum, events, ..
+                }) => *done = Some((loss_sum, events)),
+                Ok(Msg::Fault { blamed, detail, .. }) => {
+                    if first_blame.is_none() {
+                        first_blame = Some((blamed as usize, detail));
+                    }
+                }
+                Ok(other) => {
+                    if first_silent.is_none() {
+                        first_silent = Some((rank, format!("protocol violation: {other:?}")));
+                    }
+                }
+                Err(e) => {
+                    // A rank that vanished without blaming anyone is the
+                    // prime suspect — peers that *observed* a failure say so
+                    // via Fault before exiting.
+                    if first_silent.is_none() {
+                        first_silent = Some((rank, format!("no step verdict: {e}")));
+                    }
+                }
+            }
+        }
+
+        if dones.iter().all(Option::is_some) {
+            let mut lane_losses = Vec::with_capacity(topo.lanes);
+            for k in 0..topo.lanes {
+                let rank = topo.rank_of(topo.stages - 1, k);
+                let loss_sum = dones[rank].as_ref().expect("all ranks done").0;
+                lane_losses.push(loss_sum / m_n as f32);
+            }
+            let mut lane0_events = Vec::new();
+            for s in 0..topo.stages {
+                let rank = topo.rank_of(s, 0);
+                lane0_events.extend(dones[rank].take().expect("all ranks done").1);
+            }
+            return Ok(StepOk {
+                lane_losses,
+                lane0_events,
+            });
+        }
+
+        // Attribution priority: the rank we deliberately killed, then the
+        // rank a surviving peer blamed, then the first rank that went
+        // silent on the control plane.
+        let (dead, detail) = if let Some(r) = die_rank {
+            (r, "injected fail-stop".to_string())
+        } else if let Some((r, d)) = first_blame {
+            (r, d)
+        } else if let Some((r, d)) = first_silent {
+            (r, d)
+        } else {
+            // Unreachable: some done slot is empty, so a recv failed or a
+            // Fault/violation was recorded.
+            (0, "step incomplete".to_string())
+        };
+        Err(down(dead, detail))
+    }
+
+    /// Sends `Shutdown` to every rank (best-effort), merges worker
+    /// telemetry, and reaps the world.
+    fn shutdown_round(round: Round) {
+        let Round {
+            mut conns, world, ..
+        } = round;
+        for wc in conns.iter_mut() {
+            let _ = wc.ctrl.send(&Msg::Shutdown);
+        }
+        for wc in conns.iter_mut() {
+            if let Ok(Msg::Stats { counters }) = wc.ctrl.recv() {
+                pac_telemetry::merge_counters(counters);
+            }
+        }
+        drop(conns);
+        world.shutdown();
+    }
+
+    /// Runs `batches.len()` lockstep steps over `spawner`-launched workers,
+    /// surviving fail-stop faults from `faults` via replan + checkpoint
+    /// resume. Each `batches[t]` is one mini-batch of micro-batches, split
+    /// row-wise across lanes exactly like the in-process `HybridEngine`.
+    pub fn run(
+        &self,
+        spawner: &Spawner,
+        batches: &[Vec<MicroBatch>],
+        faults: &FaultPlan,
+    ) -> Result<DistReport, DistError> {
+        let cfg = &self.cfg;
+        let stages = cfg.stages();
+        let lanes0 = cfg.lanes;
+        let world0 = stages * lanes0;
+        assert!(!batches.is_empty(), "need at least one mini-batch");
+        let m_n = batches[0].len();
+        assert!(
+            batches.iter().all(|b| b.len() == m_n),
+            "micro-batch count must be constant across steps"
+        );
+        let mini_batch_rows: usize = batches[0].iter().map(|mb| mb.0.len()).sum();
+
+        let clock = FaultClock::new(faults.clone());
+        let mut alive_lanes: Vec<usize> = (0..lanes0).collect();
+        let mut failed_devices: Vec<usize> = Vec::new();
+        let mut losses: Vec<f32> = Vec::new();
+        let mut last_events: Vec<SimEvent> = Vec::new();
+        let mut replans = 0u32;
+        let mut checkpoints = 0usize;
+        let mut checkpoint_bytes = 0usize;
+
+        let mut round = self.start_round(spawner, alive_lanes.len(), m_n, None)?;
+        let teardown_on_err = |round: Round, e: DistError| -> DistError {
+            Self::shutdown_round(round);
+            e
+        };
+
+        // Initial snapshot: recovery must always have something to restore.
+        let (snap_stages, bytes) = match Self::fetch_params(&mut round, true) {
+            Ok(v) => v,
+            Err(e) => return Err(teardown_on_err(round, e.into())),
+        };
+        checkpoints += 1;
+        checkpoint_bytes += bytes;
+        clock.note(
+            0,
+            TimelineKind::Checkpoint,
+            format!("initial snapshot ({bytes} B)"),
+        );
+        let mut snapshot = Snapshot {
+            stages: snap_stages,
+            next_t: 0,
+            losses_len: 0,
+        };
+
+        let mut t = 0usize;
+        while t < batches.len() {
+            clock.advance();
+            let step = clock.current_step();
+
+            // Map a planned fail-stop of an original device to the rank
+            // currently standing in for it (lanes renumber as they die).
+            let die_rank = clock.fail_stop(step).and_then(|dev| {
+                if dev >= world0 {
+                    return None;
+                }
+                let (orig_stage, orig_lane) = (dev / lanes0, dev % lanes0);
+                let pos = alive_lanes.iter().position(|&l| l == orig_lane)?;
+                let rank = round.topo.rank_of(orig_stage, pos);
+                clock.note(
+                    step,
+                    TimelineKind::Injected,
+                    format!("device {dev} fail-stop (rank {rank}, stage {orig_stage}, lane {orig_lane})"),
+                );
+                Some(rank)
+            });
+
+            let lane_mbs = match split_micro_batches(&batches[t], alive_lanes.len()) {
+                Ok(v) => v,
+                Err(e) => return Err(teardown_on_err(round, e.into())),
+            };
+            match Self::run_one_step(&mut round, step, die_rank, &lane_mbs, m_n) {
+                Ok(ok) => {
+                    // Same float expression as the in-process engine's
+                    // lane-mean, for bitwise loss equality.
+                    let loss = ok.lane_losses.iter().sum::<f32>() / ok.lane_losses.len() as f32;
+                    losses.push(loss);
+                    last_events = ok.lane0_events;
+                    t += 1;
+                    if cfg.checkpoint_every > 0
+                        && t.is_multiple_of(cfg.checkpoint_every)
+                        && t < batches.len()
+                    {
+                        let (snap_stages, bytes) = match Self::fetch_params(&mut round, true) {
+                            Ok(v) => v,
+                            Err(e) => return Err(teardown_on_err(round, e.into())),
+                        };
+                        checkpoints += 1;
+                        checkpoint_bytes += bytes;
+                        clock.note(
+                            step,
+                            TimelineKind::Checkpoint,
+                            format!("snapshot at step cursor {t} ({bytes} B)"),
+                        );
+                        snapshot = Snapshot {
+                            stages: snap_stages,
+                            next_t: t,
+                            losses_len: losses.len(),
+                        };
+                    }
+                }
+                Err(EngineError::RankDown { rank, detail, .. }) => {
+                    let orig_lane = alive_lanes[round.topo.lane_of(rank)];
+                    let orig_stage = round.topo.stage_of(rank);
+                    let orig_dev = orig_stage * lanes0 + orig_lane;
+                    Self::shutdown_round(round);
+
+                    if alive_lanes.len() == 1 {
+                        // The dead lane was the only one: no pipeline left.
+                        return Err(EngineError::NoSurvivors.into());
+                    }
+                    failed_devices.push(orig_dev);
+                    // Losing one rank strands its lane-mates too: the lane's
+                    // pipeline is broken, so its other stages leave the pool.
+                    for s in 0..stages {
+                        let dev = s * lanes0 + orig_lane;
+                        if dev != orig_dev {
+                            failed_devices.push(dev);
+                        }
+                    }
+                    let planner = Planner::paper_defaults(
+                        Cluster::nanos(world0).with_link(cfg.link),
+                        mini_batch_rows.max(1),
+                    );
+                    let cost =
+                        CostModel::new(cfg.model_config(), Technique::parallel_default(), 16);
+                    match planner.replan_without(&cost, &failed_devices) {
+                        Some(out) => {
+                            replans += 1;
+                            clock.note(
+                                step,
+                                TimelineKind::Replan,
+                                format!(
+                                    "rank {rank} down ({detail}); replanned over {} devices, makespan {:.4} s",
+                                    out.device_indices.len(),
+                                    out.best_makespan_s
+                                ),
+                            );
+                        }
+                        None => {
+                            return Err(EngineError::Unplannable {
+                                survivors: world0 - failed_devices.len(),
+                            }
+                            .into())
+                        }
+                    }
+                    alive_lanes.retain(|&l| l != orig_lane);
+                    round = self.start_round(spawner, alive_lanes.len(), m_n, Some(&snapshot))?;
+                    t = snapshot.next_t;
+                    losses.truncate(snapshot.losses_len);
+                    clock.note(
+                        step,
+                        TimelineKind::Resume,
+                        format!(
+                            "restored snapshot, replaying from step cursor {t} over {} lane(s)",
+                            alive_lanes.len()
+                        ),
+                    );
+                }
+                Err(e) => return Err(teardown_on_err(round, e.into())),
+            }
+        }
+
+        let final_params = match Self::fetch_params(&mut round, false) {
+            Ok((stages, _)) => stages.into_iter().flatten().collect(),
+            Err(e) => return Err(teardown_on_err(round, e.into())),
+        };
+        Self::shutdown_round(round);
+
+        Ok(DistReport {
+            losses,
+            final_params,
+            recovery: RecoveryReport::from_timeline(
+                clock.timeline(),
+                0,
+                replans,
+                checkpoints,
+                checkpoint_bytes,
+                alive_lanes.len() * stages,
+            ),
+            last_events,
+            stages,
+            final_lanes: alive_lanes.len(),
+        })
+    }
+}

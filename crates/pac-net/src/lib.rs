@@ -1,0 +1,50 @@
+//! # pac-net — real sockets under the PAC engines
+//!
+//! Distributed execution for the PAC reproduction: the in-process engines
+//! of `pac-parallel` (1F1B pipeline stages, DP-lane gradient AllReduce)
+//! running across OS processes over TCP, with **bitwise-identical**
+//! results on the same seed.
+//!
+//! Layers, bottom up:
+//!
+//! * [`wire`] — length-prefixed binary frames: magic, version, checksum,
+//!   and bit-exact f32 tensor encoding. Corrupt input rejects with typed
+//!   errors; it never panics or misparses.
+//! * [`chan`] — [`chan::FramedConn`]: blocking framed TCP with read
+//!   deadlines and `net.*` telemetry counters.
+//! * [`rendezvous`] — coordinator rendezvous, rank assignment in arrival
+//!   order (workers rebuild the model from the shared seed, so no weights
+//!   ship at startup), and worker-side mesh wiring (pipeline + ring edges).
+//! * [`collective`] — ring allgather + locally-ordered lane reduction:
+//!   the float-op order of the in-process `allreduce_group` on every rank,
+//!   which is what keeps distributed gradients bit-identical.
+//! * [`worker`] — one rank: `run_stage` (the same code the in-process
+//!   engine runs, over [`worker::TcpStageLinks`]), the collective, a local
+//!   SGD step, lockstep `Done` replies.
+//! * [`driver`] — the coordinator: lockstep stepping, checkpoint
+//!   snapshots, typed [`pac_parallel::EngineError::RankDown`] detection,
+//!   and restart-based recovery (planner `replan_without` → respawn →
+//!   restore → replay), reported through the shared `RecoveryReport`.
+//! * [`spawn`] — thread workers (tests) or forked processes
+//!   (`repro --distributed=N`).
+//! * [`calib`] — loopback link calibration feeding
+//!   [`pac_cluster::LinkSpec::measured`] to the planner.
+
+#![deny(missing_docs)]
+
+pub mod calib;
+pub mod chan;
+pub mod collective;
+pub mod driver;
+pub mod rendezvous;
+pub mod spawn;
+pub mod wire;
+pub mod worker;
+
+pub use calib::{calibrate_loopback, LinkCalibration};
+pub use chan::FramedConn;
+pub use driver::{DistConfig, DistError, DistReport, DistTrainer};
+pub use rendezvous::{Rendezvous, Topology};
+pub use spawn::{SpawnedWorld, Spawner};
+pub use wire::{Assignment, Msg, NetError};
+pub use worker::{run_worker, RunMode, KILLED_EXIT};

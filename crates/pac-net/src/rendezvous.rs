@@ -1,0 +1,277 @@
+//! Coordinator rendezvous and worker mesh wiring.
+//!
+//! Startup protocol (all on loopback in this reproduction, but nothing
+//! below assumes it):
+//!
+//! 1. The coordinator binds a rendezvous listener and spawns `W` workers,
+//!    handing each the rendezvous address.
+//! 2. Each worker binds its *own* ephemeral data-plane listener, dials the
+//!    coordinator, and sends `Hello { listen_port }`.
+//! 3. The coordinator accepts `W` control connections and assigns ranks in
+//!    **arrival order** — workers are interchangeable because every rank
+//!    rebuilds identical initial parameters from the shared seed, so no
+//!    weights ship at startup. It sends each worker its `Assign`, then the
+//!    full `Peers` port table.
+//! 4. Workers dial their data-plane edges (pipeline successor, ring
+//!    successor), identifying each socket with a `LinkHdr` first frame,
+//!    and accept the symmetric edges (pipeline predecessor, ring
+//!    predecessor). Then they report `Ready`.
+//!
+//! Rank layout: `rank = stage * lanes + lane`. Pipeline edges connect
+//! `(s, k) → (s+1, k)` (one full-duplex socket: activations downstream,
+//! boundary gradients upstream). Ring edges connect `(s, k) → (s, (k+1) %
+//! lanes)`; with two lanes this yields two sockets per pair, one per
+//! direction, which keeps the hop protocol uniform for every lane count.
+
+use crate::chan::FramedConn;
+use crate::wire::{Assignment, LinkKind, Msg, NetError};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// World shape and rank arithmetic, shared by coordinator and workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Pipeline stages.
+    pub stages: usize,
+    /// Data-parallel lanes.
+    pub lanes: usize,
+}
+
+impl Topology {
+    /// Total number of ranks.
+    pub fn world(&self) -> usize {
+        self.stages * self.lanes
+    }
+    /// Rank of `(stage, lane)`.
+    pub fn rank_of(&self, stage: usize, lane: usize) -> usize {
+        stage * self.lanes + lane
+    }
+    /// Stage a rank belongs to.
+    pub fn stage_of(&self, rank: usize) -> usize {
+        rank / self.lanes
+    }
+    /// Lane a rank belongs to.
+    pub fn lane_of(&self, rank: usize) -> usize {
+        rank % self.lanes
+    }
+}
+
+/// Accepts with a deadline on a non-blocking listener.
+fn accept_deadline(
+    listener: &TcpListener,
+    deadline: Instant,
+) -> Result<(TcpStream, SocketAddr), NetError> {
+    listener.set_nonblocking(true)?;
+    loop {
+        match listener.accept() {
+            Ok((s, a)) => {
+                s.set_nonblocking(false)?;
+                return Ok((s, a));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(NetError::Timeout);
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// A worker's control connection as seen by the coordinator.
+#[derive(Debug)]
+pub struct WorkerConn {
+    /// Control channel to the worker.
+    pub ctrl: FramedConn,
+    /// Port of the worker's data-plane listener.
+    pub data_port: u16,
+}
+
+/// The coordinator's rendezvous point.
+#[derive(Debug)]
+pub struct Rendezvous {
+    listener: TcpListener,
+}
+
+impl Rendezvous {
+    /// Binds an ephemeral loopback rendezvous listener.
+    pub fn bind() -> Result<Self, NetError> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
+        Ok(Rendezvous { listener })
+    }
+
+    /// Address workers should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has addr")
+    }
+
+    /// Accepts exactly `world` workers (each must open with `Hello`) within
+    /// `deadline_in`, returning them in arrival order — index in the
+    /// returned vector becomes the worker's rank.
+    pub fn accept_world(
+        &self,
+        world: usize,
+        deadline_in: Duration,
+        conn_timeout: Duration,
+    ) -> Result<Vec<WorkerConn>, NetError> {
+        let deadline = Instant::now() + deadline_in;
+        let mut workers = Vec::with_capacity(world);
+        while workers.len() < world {
+            let (stream, _) = accept_deadline(&self.listener, deadline)?;
+            let mut ctrl = FramedConn::from_stream(stream, conn_timeout)?;
+            match ctrl.recv()? {
+                Msg::Hello { listen_port, .. } => workers.push(WorkerConn {
+                    ctrl,
+                    data_port: listen_port,
+                }),
+                _ => return Err(NetError::Malformed("expected Hello on control channel")),
+            }
+        }
+        Ok(workers)
+    }
+}
+
+/// A worker's fully-wired data plane.
+#[derive(Debug, Default)]
+pub struct Mesh {
+    /// From the pipeline predecessor `(s-1, k)`; `None` on the first stage.
+    pub prev: Option<FramedConn>,
+    /// To the pipeline successor `(s+1, k)`; `None` on the last stage.
+    pub next: Option<FramedConn>,
+    /// From the ring predecessor `(s, (k-1) % lanes)`; `None` when `lanes == 1`.
+    pub ring_in: Option<FramedConn>,
+    /// To the ring successor `(s, (k+1) % lanes)`; `None` when `lanes == 1`.
+    pub ring_out: Option<FramedConn>,
+}
+
+/// Wires one worker's data-plane edges given its assignment and the peer
+/// port table. Dials outgoing edges first (TCP's listen backlog makes the
+/// cross-worker dial order irrelevant), then accepts and classifies the
+/// incoming ones by their `LinkHdr`.
+pub fn build_mesh(
+    listener: &TcpListener,
+    asg: &Assignment,
+    ports: &[u16],
+    timeout: Duration,
+) -> Result<Mesh, NetError> {
+    let topo = Topology {
+        stages: asg.stages as usize,
+        lanes: asg.lanes as usize,
+    };
+    let (stage, lane) = (asg.stage as usize, asg.lane as usize);
+    if ports.len() != topo.world() {
+        return Err(NetError::Malformed("peer table size != world size"));
+    }
+    let dial = |rank: usize, kind: LinkKind| -> Result<FramedConn, NetError> {
+        let addr = SocketAddr::from((Ipv4Addr::LOCALHOST, ports[rank]));
+        let mut conn = FramedConn::connect(addr, timeout)?;
+        conn.send(&Msg::LinkHdr {
+            from_rank: asg.rank,
+            kind,
+        })?;
+        Ok(conn)
+    };
+
+    let mut mesh = Mesh::default();
+    if stage + 1 < topo.stages {
+        mesh.next = Some(dial(topo.rank_of(stage + 1, lane), LinkKind::Fwd)?);
+    }
+    if topo.lanes > 1 {
+        mesh.ring_out = Some(dial(
+            topo.rank_of(stage, (lane + 1) % topo.lanes),
+            LinkKind::Ring,
+        )?);
+    }
+
+    let expect_prev = stage > 0;
+    let expect_ring = topo.lanes > 1;
+    let expected = expect_prev as usize + expect_ring as usize;
+    let deadline = Instant::now() + timeout;
+    for _ in 0..expected {
+        let (stream, _) = accept_deadline(listener, deadline)?;
+        let mut conn = FramedConn::from_stream(stream, timeout)?;
+        match conn.recv()? {
+            Msg::LinkHdr { from_rank, kind } => match kind {
+                LinkKind::Fwd => {
+                    if !expect_prev || from_rank as usize != topo.rank_of(stage - 1, lane) {
+                        return Err(NetError::Malformed("pipeline edge from wrong rank"));
+                    }
+                    if mesh.prev.replace(conn).is_some() {
+                        return Err(NetError::Malformed("duplicate pipeline predecessor"));
+                    }
+                }
+                LinkKind::Ring => {
+                    let left = topo.rank_of(stage, (lane + topo.lanes - 1) % topo.lanes);
+                    if !expect_ring || from_rank as usize != left {
+                        return Err(NetError::Malformed("ring edge from wrong rank"));
+                    }
+                    if mesh.ring_in.replace(conn).is_some() {
+                        return Err(NetError::Malformed("duplicate ring predecessor"));
+                    }
+                }
+            },
+            _ => return Err(NetError::Malformed("expected LinkHdr on data channel")),
+        }
+    }
+    Ok(mesh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_arithmetic() {
+        let t = Topology {
+            stages: 2,
+            lanes: 3,
+        };
+        assert_eq!(t.world(), 6);
+        assert_eq!(t.rank_of(1, 2), 5);
+        assert_eq!(t.stage_of(5), 1);
+        assert_eq!(t.lane_of(5), 2);
+        for r in 0..t.world() {
+            assert_eq!(t.rank_of(t.stage_of(r), t.lane_of(r)), r);
+        }
+    }
+
+    #[test]
+    fn rendezvous_collects_hellos_in_arrival_order() {
+        let rdv = Rendezvous::bind().unwrap();
+        let addr = rdv.addr();
+        let handles: Vec<_> = (0..3)
+            .map(|slot| {
+                std::thread::spawn(move || {
+                    let mut c = FramedConn::connect(addr, Duration::from_secs(5)).unwrap();
+                    c.send(&Msg::Hello {
+                        slot,
+                        listen_port: 1000 + slot as u16,
+                    })
+                    .unwrap();
+                    // Keep the control conn alive until the coordinator saw it.
+                    std::thread::sleep(Duration::from_millis(100));
+                })
+            })
+            .collect();
+        let workers = rdv
+            .accept_world(3, Duration::from_secs(5), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(workers.len(), 3);
+        let mut ports: Vec<u16> = workers.iter().map(|w| w.data_port).collect();
+        ports.sort_unstable();
+        assert_eq!(ports, vec![1000, 1001, 1002]);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn rendezvous_times_out_when_workers_never_arrive() {
+        let rdv = Rendezvous::bind().unwrap();
+        let err = rdv
+            .accept_world(1, Duration::from_millis(60), Duration::from_secs(1))
+            .unwrap_err();
+        assert!(matches!(err, NetError::Timeout));
+    }
+}

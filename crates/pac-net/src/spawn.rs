@@ -1,0 +1,86 @@
+//! Worker spawners: in-process threads (tests) or forked processes
+//! (`repro --distributed`).
+
+use crate::worker::{run_worker, RunMode};
+use std::net::SocketAddr;
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+/// How to bring a world of workers into existence.
+#[derive(Debug, Clone)]
+pub enum Spawner {
+    /// `std::thread` workers inside this process, talking to the
+    /// coordinator over real loopback TCP. Used by in-crate tests: same
+    /// sockets, same protocol, no process management.
+    Threads,
+    /// Fork `exe args... <coordinator-addr> <slot>` per worker — in
+    /// practice `repro --net-worker ADDR SLOT`, self-executed.
+    Process {
+        /// Worker executable.
+        exe: std::path::PathBuf,
+        /// Arguments placed before the coordinator address.
+        args: Vec<String>,
+    },
+}
+
+/// Handles to a spawned world, for teardown.
+#[derive(Debug, Default)]
+pub struct SpawnedWorld {
+    threads: Vec<std::thread::JoinHandle<()>>,
+    procs: Vec<Child>,
+}
+
+impl Spawner {
+    /// Launches `world` workers pointed at the coordinator.
+    pub fn launch(&self, coord: SocketAddr, world: usize) -> std::io::Result<SpawnedWorld> {
+        let mut out = SpawnedWorld::default();
+        for slot in 0..world as u32 {
+            match self {
+                Spawner::Threads => {
+                    out.threads.push(std::thread::spawn(move || {
+                        // Worker-side errors surface to the coordinator as
+                        // EOFs / Fault messages; nothing to do here.
+                        let _ = run_worker(coord, slot, RunMode::Thread);
+                    }));
+                }
+                Spawner::Process { exe, args } => {
+                    let child = Command::new(exe)
+                        .args(args)
+                        .arg(coord.to_string())
+                        .arg(slot.to_string())
+                        .spawn()?;
+                    out.procs.push(child);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl SpawnedWorld {
+    /// Reaps the world: joins threads, waits briefly for processes to exit
+    /// on their own (they do, once their control connection drops), then
+    /// kills stragglers. Must be called after the coordinator has dropped
+    /// or shut down every control connection.
+    pub fn shutdown(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        for child in self.procs.iter_mut() {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}

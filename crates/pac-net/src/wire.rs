@@ -1,0 +1,1106 @@
+//! Length-prefixed binary wire format for PAC control and tensor traffic.
+//!
+//! Every message travels as one *frame*:
+//!
+//! ```text
+//! [0..4)   magic  b"PACN"
+//! [4]      format version (currently 1)
+//! [5]      message type tag
+//! [6..10)  payload length, u32 little-endian
+//! [10..)   payload (type-specific)
+//! [..+4)   FNV-1a checksum of the payload, u32 little-endian
+//! ```
+//!
+//! Floats are encoded as their IEEE-754 bit patterns (`f32::to_bits`), so
+//! tensors survive the wire **bitwise** — including NaN payloads, signed
+//! zeros, and subnormals. That is what lets the distributed engines claim
+//! bit-identical results against the in-process engines: the transport
+//! never rounds, normalizes, or re-parses a float.
+//!
+//! Decoding is paranoid: bad magic, unknown version or tag, oversized
+//! lengths, short payloads, and checksum mismatches are all typed
+//! [`NetError`]s, never panics. A corrupted or truncated frame can reject,
+//! but cannot crash a worker or misparse into a different message.
+
+use pac_model::StageData;
+use pac_parallel::engine::MicroBatch;
+use pac_parallel::schedule::SimEvent;
+use pac_parallel::Schedule;
+use pac_tensor::Tensor;
+use std::fmt;
+use std::io::Read;
+
+/// Frame preamble: identifies a PAC net frame.
+pub const MAGIC: [u8; 4] = *b"PACN";
+/// Wire format version this build speaks.
+pub const VERSION: u8 = 1;
+/// Upper bound on a single frame's payload (defense against a corrupted
+/// length field allocating gigabytes).
+pub const MAX_PAYLOAD: usize = 256 * 1024 * 1024;
+/// Upper bound on tensor rank accepted off the wire.
+pub const MAX_RANK: usize = 8;
+/// Upper bound on tensor element count accepted off the wire.
+pub const MAX_NUMEL: usize = 1 << 26;
+/// Upper bound on string lengths accepted off the wire.
+pub const MAX_STR: usize = 4096;
+
+/// Typed transport errors. Socket-level failures keep their `io::Error`
+/// flavor; protocol-level failures say exactly which invariant broke.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying socket error (connect, write, mid-frame read failure).
+    Io(std::io::Error),
+    /// A read deadline expired (peer alive but silent, or stalled).
+    Timeout,
+    /// The peer closed the connection cleanly (EOF at a frame boundary or
+    /// mid-frame).
+    Eof,
+    /// The first four bytes were not [`MAGIC`] — not a PAC peer, or the
+    /// stream lost framing.
+    BadMagic([u8; 4]),
+    /// The peer speaks a different wire format version.
+    BadVersion(u8),
+    /// Unknown message type tag.
+    BadType(u8),
+    /// The payload checksum did not match (corruption in transit).
+    BadChecksum {
+        /// Checksum computed over the received payload.
+        expected: u32,
+        /// Checksum carried by the frame.
+        got: u32,
+    },
+    /// A length field exceeded its sanity bound.
+    Oversize(u64),
+    /// The payload was structurally invalid (short read, bad enum tag,
+    /// inconsistent dimensions).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Timeout => write!(f, "read timed out"),
+            NetError::Eof => write!(f, "peer closed the connection"),
+            NetError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            NetError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            NetError::BadType(t) => write!(f, "unknown message type {t}"),
+            NetError::BadChecksum { expected, got } => {
+                write!(f, "payload checksum mismatch: computed {expected:#010x}, frame carried {got:#010x}")
+            }
+            NetError::Oversize(n) => write!(f, "length field {n} exceeds sanity bound"),
+            NetError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => NetError::Timeout,
+            ErrorKind::UnexpectedEof => NetError::Eof,
+            _ => NetError::Io(e),
+        }
+    }
+}
+
+const FNV_BASIS: u32 = 0x811c_9dc5;
+
+fn fnv1a(mut h: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// FNV-1a over the given bytes. The frame checksum covers the header's
+/// version, tag, and length fields *plus* the payload, so a bit-flip
+/// anywhere after the magic is caught — a flipped type tag cannot make a
+/// frame silently decode as a different (but structurally valid) message.
+/// Not cryptographic: it guards against truncation and corruption, not
+/// adversaries (the transport is a trusted LAN / loopback, per the paper's
+/// deployment model).
+pub fn checksum(bytes: &[u8]) -> u32 {
+    fnv1a(FNV_BASIS, bytes)
+}
+
+/// Which role a freshly-accepted data connection plays, declared by the
+/// dialer in its first frame ([`Msg::LinkHdr`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkKind {
+    /// Pipeline edge: dialer is stage `s`, acceptor is stage `s+1` of the
+    /// same lane. Carries `Act` downstream and `Grad` upstream.
+    Fwd,
+    /// AllReduce ring edge: dialer is lane `k`, acceptor is lane
+    /// `(k+1) % lanes` of the same stage. Carries `GradBlock`.
+    Ring,
+}
+
+/// Everything a worker needs to deterministically rebuild its slice of the
+/// world: identity, topology, seeded model architecture, and run settings.
+///
+/// Workers are interchangeable until they receive this — the coordinator
+/// assigns ranks in arrival order, and every worker reconstructs the *same*
+/// initial parameters from `seed`, so no weights ever ship at startup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// This worker's rank (`stage * lanes + lane`).
+    pub rank: u32,
+    /// Data-parallel lane index.
+    pub lane: u32,
+    /// Pipeline stage index.
+    pub stage: u32,
+    /// Number of data-parallel lanes.
+    pub lanes: u32,
+    /// Number of pipeline stages.
+    pub stages: u32,
+    /// Model/parameter init seed (shared by every rank and the reference
+    /// in-process engine).
+    pub seed: u64,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Encoder layers in the full model.
+    pub enc_layers: u32,
+    /// Hidden width.
+    pub hidden: u32,
+    /// Attention heads.
+    pub heads: u32,
+    /// Classification head width.
+    pub n_out: u32,
+    /// Layers per pipeline stage (sums to `enc_layers`).
+    pub partition: Vec<u32>,
+    /// Micro-batch schedule to run.
+    pub schedule: Schedule,
+    /// Micro-batches per lane per step.
+    pub micro_batches: u32,
+    /// Read deadline for data-plane sockets, in milliseconds.
+    pub net_timeout_ms: u32,
+    /// Whether the worker should record `net.*` telemetry.
+    pub telemetry: bool,
+}
+
+/// The complete message set of the PAC network protocol.
+///
+/// Equality compares encoded frames, i.e. **bitwise** float semantics
+/// (NaN == NaN when the bit patterns match, `0.0 != -0.0`) — the
+/// round-trip property the wire format actually guarantees.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Worker → coordinator, first frame on the control connection:
+    /// announces the ephemeral port the worker's data-plane listener bound.
+    Hello {
+        /// Spawn slot, for diagnostics only (ranks are assigned by the
+        /// coordinator, in arrival order).
+        slot: u32,
+        /// Data-plane listener port on the worker's host.
+        listen_port: u16,
+    },
+    /// Coordinator → worker: rank and world assignment.
+    Assign(Box<Assignment>),
+    /// Coordinator → worker: data-plane ports of every rank, indexed by
+    /// rank (all on loopback in this reproduction).
+    Peers {
+        /// `ports[r]` is rank `r`'s data listener port.
+        ports: Vec<u16>,
+    },
+    /// Dialer → acceptor, first frame on every data connection: who is
+    /// calling and which topology edge this socket is.
+    LinkHdr {
+        /// Dialer's rank.
+        from_rank: u32,
+        /// Edge role.
+        kind: LinkKind,
+    },
+    /// Worker → coordinator: model built, mesh wired, ready for steps.
+    Ready,
+    /// Coordinator → worker: overwrite named parameters (checkpoint
+    /// restore after a replan).
+    Restore {
+        /// `(param name, value)` pairs for this worker's stage.
+        entries: Vec<(String, Tensor)>,
+    },
+    /// Coordinator → worker: run one lockstep training step.
+    Step {
+        /// Global step number.
+        step: u64,
+        /// Fault injection: the worker must drop dead *now* instead of
+        /// running the step (models a fail-stop at this step).
+        die: bool,
+        /// This lane's micro-batches — non-empty only for ranks that need
+        /// inputs or labels (first and last pipeline stages).
+        micro_batches: Vec<MicroBatch>,
+    },
+    /// Stage `s` → stage `s+1`: forward activation for one micro-batch.
+    Act {
+        /// Micro-batch id.
+        micro: u32,
+        /// Activation payload.
+        data: StageData,
+    },
+    /// Stage `s+1` → stage `s`: backward gradient for one micro-batch.
+    Grad {
+        /// Micro-batch id.
+        micro: u32,
+        /// Gradient w.r.t. the boundary activation.
+        grad: Tensor,
+    },
+    /// Ring AllReduce hop: one lane's full gradient block, forwarded
+    /// around the ring during the allgather phase.
+    GradBlock {
+        /// Lane whose local gradients these are.
+        origin_lane: u32,
+        /// Trainable-parameter gradients in `visit_params_ref` order.
+        tensors: Vec<Tensor>,
+    },
+    /// Worker → coordinator: step finished on this rank.
+    Done {
+        /// Reporting rank.
+        rank: u32,
+        /// Sum of micro-batch losses (meaningful on last-stage ranks only).
+        loss_sum: f32,
+        /// This stage's op timeline for the step (Gantt rendering).
+        events: Vec<SimEvent>,
+    },
+    /// Coordinator → worker: send back current parameters.
+    ParamReq {
+        /// Restrict the snapshot to trainable parameters (checkpoints);
+        /// `false` fetches everything (final canonical params).
+        trainable_only: bool,
+    },
+    /// Worker → coordinator: parameter snapshot, in `visit_params_ref`
+    /// order.
+    ParamSnap {
+        /// `(param name, value)` pairs.
+        entries: Vec<(String, Tensor)>,
+    },
+    /// Worker → coordinator: a peer became unreachable mid-step; the
+    /// worker is about to exit because its mesh is broken.
+    Fault {
+        /// Rank reporting the failure.
+        observer: u32,
+        /// Rank the observer blames (the silent end of the dead socket).
+        blamed: u32,
+        /// Human-readable description of what the observer saw.
+        detail: String,
+    },
+    /// Liveness probe (either direction).
+    Heartbeat {
+        /// Echo token.
+        nonce: u64,
+    },
+    /// Liveness probe reply, echoing the nonce.
+    HeartbeatAck {
+        /// Token from the probe being answered.
+        nonce: u64,
+    },
+    /// Worker → coordinator, in response to `Shutdown`: final local
+    /// telemetry counters for the coordinator to merge.
+    Stats {
+        /// Counter name/value pairs.
+        counters: Vec<(String, u64)>,
+    },
+    /// Coordinator → worker: stop cleanly (reply with `Stats`, then exit).
+    Shutdown,
+}
+
+impl PartialEq for Msg {
+    fn eq(&self, other: &Self) -> bool {
+        encode_frame(self) == encode_frame(other)
+    }
+}
+
+impl Eq for Msg {}
+
+impl Msg {
+    fn tag(&self) -> u8 {
+        match self {
+            Msg::Hello { .. } => 1,
+            Msg::Assign(_) => 2,
+            Msg::Peers { .. } => 3,
+            Msg::LinkHdr { .. } => 4,
+            Msg::Ready => 5,
+            Msg::Restore { .. } => 6,
+            Msg::Step { .. } => 7,
+            Msg::Act { .. } => 8,
+            Msg::Grad { .. } => 9,
+            Msg::GradBlock { .. } => 10,
+            Msg::Done { .. } => 11,
+            Msg::ParamReq { .. } => 12,
+            Msg::ParamSnap { .. } => 13,
+            Msg::Fault { .. } => 14,
+            Msg::Heartbeat { .. } => 15,
+            Msg::HeartbeatAck { .. } => 16,
+            Msg::Stats { .. } => 17,
+            Msg::Shutdown => 18,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoder / decoder
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.u32(v.to_bits());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn tensor(&mut self, t: &Tensor) {
+        let dims = t.dims();
+        self.u8(dims.len() as u8);
+        for &d in dims {
+            self.u32(d as u32);
+        }
+        for &x in t.data() {
+            self.f32(x);
+        }
+    }
+    fn stage_data(&mut self, d: &StageData) {
+        match d {
+            StageData::Tokens(rows) => {
+                self.u8(0);
+                self.u32(rows.len() as u32);
+                for row in rows {
+                    self.u32(row.len() as u32);
+                    for &id in row {
+                        self.u32(id as u32);
+                    }
+                }
+            }
+            StageData::Hidden(t) => {
+                self.u8(1);
+                self.tensor(t);
+            }
+            StageData::Logits(t) => {
+                self.u8(2);
+                self.tensor(t);
+            }
+        }
+    }
+    fn schedule(&mut self, s: &Schedule) {
+        match s {
+            Schedule::OneFOneB => {
+                self.u8(0);
+                self.u32(0);
+            }
+            Schedule::GPipe => {
+                self.u8(1);
+                self.u32(0);
+            }
+            Schedule::GPipeWave { wave } => {
+                self.u8(2);
+                self.u32(*wave as u32);
+            }
+        }
+    }
+    fn event(&mut self, e: &SimEvent) {
+        self.u32(e.stage as u32);
+        self.u32(e.micro as u32);
+        self.u8(e.forward as u8);
+        self.f64(e.start);
+        self.f64(e.end);
+    }
+}
+
+struct Dec<'a> {
+    b: &'a [u8],
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+        if self.b.len() < n {
+            return Err(NetError::Malformed("short payload"));
+        }
+        let (head, tail) = self.b.split_at(n);
+        self.b = tail;
+        Ok(head)
+    }
+    fn u8(&mut self) -> Result<u8, NetError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, NetError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, NetError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, NetError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> Result<f32, NetError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+    fn f64(&mut self) -> Result<f64, NetError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn bool(&mut self) -> Result<bool, NetError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(NetError::Malformed("bool out of range")),
+        }
+    }
+    /// A collection length, sanity-checked against the bytes actually
+    /// remaining (each element needs at least `min_elem_bytes`).
+    fn len(&mut self, min_elem_bytes: usize) -> Result<usize, NetError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.b.len() {
+            return Err(NetError::Malformed("collection length exceeds payload"));
+        }
+        Ok(n)
+    }
+    fn str(&mut self) -> Result<String, NetError> {
+        let n = self.u32()? as usize;
+        if n > MAX_STR {
+            return Err(NetError::Oversize(n as u64));
+        }
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| NetError::Malformed("string not utf-8"))
+    }
+    fn tensor(&mut self) -> Result<Tensor, NetError> {
+        let rank = self.u8()? as usize;
+        if rank == 0 || rank > MAX_RANK {
+            return Err(NetError::Malformed("tensor rank out of range"));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        let mut numel: usize = 1;
+        for _ in 0..rank {
+            let d = self.u32()? as usize;
+            numel = numel.saturating_mul(d);
+            dims.push(d);
+        }
+        if numel > MAX_NUMEL || numel * 4 > self.b.len() {
+            return Err(NetError::Malformed("tensor element count exceeds payload"));
+        }
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(self.f32()?);
+        }
+        Tensor::from_vec(data, dims).map_err(|_| NetError::Malformed("tensor shape inconsistent"))
+    }
+    fn stage_data(&mut self) -> Result<StageData, NetError> {
+        match self.u8()? {
+            0 => {
+                let rows = self.len(4)?;
+                let mut out = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    let cols = self.len(4)?;
+                    let mut row = Vec::with_capacity(cols);
+                    for _ in 0..cols {
+                        row.push(self.u32()? as usize);
+                    }
+                    out.push(row);
+                }
+                Ok(StageData::Tokens(out))
+            }
+            1 => Ok(StageData::Hidden(self.tensor()?)),
+            2 => Ok(StageData::Logits(self.tensor()?)),
+            _ => Err(NetError::Malformed("stage data tag out of range")),
+        }
+    }
+    fn schedule(&mut self) -> Result<Schedule, NetError> {
+        let tag = self.u8()?;
+        let wave = self.u32()? as usize;
+        match tag {
+            0 => Ok(Schedule::OneFOneB),
+            1 => Ok(Schedule::GPipe),
+            2 => Ok(Schedule::GPipeWave { wave }),
+            _ => Err(NetError::Malformed("schedule tag out of range")),
+        }
+    }
+    fn event(&mut self) -> Result<SimEvent, NetError> {
+        Ok(SimEvent {
+            stage: self.u32()? as usize,
+            micro: self.u32()? as usize,
+            forward: self.bool()?,
+            start: self.f64()?,
+            end: self.f64()?,
+        })
+    }
+    fn entries(&mut self) -> Result<Vec<(String, Tensor)>, NetError> {
+        let n = self.len(9)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = self.str()?;
+            let t = self.tensor()?;
+            out.push((name, t));
+        }
+        Ok(out)
+    }
+    fn finish(self) -> Result<(), NetError> {
+        if self.b.is_empty() {
+            Ok(())
+        } else {
+            Err(NetError::Malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+fn encode_payload(msg: &Msg) -> Vec<u8> {
+    let mut e = Enc::default();
+    match msg {
+        Msg::Hello { slot, listen_port } => {
+            e.u32(*slot);
+            e.u16(*listen_port);
+        }
+        Msg::Assign(a) => {
+            e.u32(a.rank);
+            e.u32(a.lane);
+            e.u32(a.stage);
+            e.u32(a.lanes);
+            e.u32(a.stages);
+            e.u64(a.seed);
+            e.f32(a.lr);
+            e.u32(a.enc_layers);
+            e.u32(a.hidden);
+            e.u32(a.heads);
+            e.u32(a.n_out);
+            e.u32(a.partition.len() as u32);
+            for &p in &a.partition {
+                e.u32(p);
+            }
+            e.schedule(&a.schedule);
+            e.u32(a.micro_batches);
+            e.u32(a.net_timeout_ms);
+            e.u8(a.telemetry as u8);
+        }
+        Msg::Peers { ports } => {
+            e.u32(ports.len() as u32);
+            for &p in ports {
+                e.u16(p);
+            }
+        }
+        Msg::LinkHdr { from_rank, kind } => {
+            e.u32(*from_rank);
+            e.u8(match kind {
+                LinkKind::Fwd => 0,
+                LinkKind::Ring => 1,
+            });
+        }
+        Msg::Ready | Msg::Shutdown => {}
+        Msg::Restore { entries } | Msg::ParamSnap { entries } => {
+            e.u32(entries.len() as u32);
+            for (name, t) in entries {
+                e.str(name);
+                e.tensor(t);
+            }
+        }
+        Msg::Step {
+            step,
+            die,
+            micro_batches,
+        } => {
+            e.u64(*step);
+            e.u8(*die as u8);
+            e.u32(micro_batches.len() as u32);
+            for (rows, labels) in micro_batches {
+                e.u32(rows.len() as u32);
+                for row in rows {
+                    e.u32(row.len() as u32);
+                    for &id in row {
+                        e.u32(id as u32);
+                    }
+                }
+                e.u32(labels.len() as u32);
+                for &l in labels {
+                    e.u32(l as u32);
+                }
+            }
+        }
+        Msg::Act { micro, data } => {
+            e.u32(*micro);
+            e.stage_data(data);
+        }
+        Msg::Grad { micro, grad } => {
+            e.u32(*micro);
+            e.tensor(grad);
+        }
+        Msg::GradBlock {
+            origin_lane,
+            tensors,
+        } => {
+            e.u32(*origin_lane);
+            e.u32(tensors.len() as u32);
+            for t in tensors {
+                e.tensor(t);
+            }
+        }
+        Msg::Done {
+            rank,
+            loss_sum,
+            events,
+        } => {
+            e.u32(*rank);
+            e.f32(*loss_sum);
+            e.u32(events.len() as u32);
+            for ev in events {
+                e.event(ev);
+            }
+        }
+        Msg::ParamReq { trainable_only } => {
+            e.u8(*trainable_only as u8);
+        }
+        Msg::Fault {
+            observer,
+            blamed,
+            detail,
+        } => {
+            e.u32(*observer);
+            e.u32(*blamed);
+            e.str(detail);
+        }
+        Msg::Heartbeat { nonce } | Msg::HeartbeatAck { nonce } => {
+            e.u64(*nonce);
+        }
+        Msg::Stats { counters } => {
+            e.u32(counters.len() as u32);
+            for (name, v) in counters {
+                e.str(name);
+                e.u64(*v);
+            }
+        }
+    }
+    e.buf
+}
+
+fn decode_payload(tag: u8, payload: &[u8]) -> Result<Msg, NetError> {
+    let mut d = Dec { b: payload };
+    let msg = match tag {
+        1 => Msg::Hello {
+            slot: d.u32()?,
+            listen_port: d.u16()?,
+        },
+        2 => {
+            let rank = d.u32()?;
+            let lane = d.u32()?;
+            let stage = d.u32()?;
+            let lanes = d.u32()?;
+            let stages = d.u32()?;
+            let seed = d.u64()?;
+            let lr = d.f32()?;
+            let enc_layers = d.u32()?;
+            let hidden = d.u32()?;
+            let heads = d.u32()?;
+            let n_out = d.u32()?;
+            let np = d.len(4)?;
+            let mut partition = Vec::with_capacity(np);
+            for _ in 0..np {
+                partition.push(d.u32()?);
+            }
+            let schedule = d.schedule()?;
+            Msg::Assign(Box::new(Assignment {
+                rank,
+                lane,
+                stage,
+                lanes,
+                stages,
+                seed,
+                lr,
+                enc_layers,
+                hidden,
+                heads,
+                n_out,
+                partition,
+                schedule,
+                micro_batches: d.u32()?,
+                net_timeout_ms: d.u32()?,
+                telemetry: d.bool()?,
+            }))
+        }
+        3 => {
+            let n = d.len(2)?;
+            let mut ports = Vec::with_capacity(n);
+            for _ in 0..n {
+                ports.push(d.u16()?);
+            }
+            Msg::Peers { ports }
+        }
+        4 => Msg::LinkHdr {
+            from_rank: d.u32()?,
+            kind: match d.u8()? {
+                0 => LinkKind::Fwd,
+                1 => LinkKind::Ring,
+                _ => return Err(NetError::Malformed("link kind out of range")),
+            },
+        },
+        5 => Msg::Ready,
+        6 => Msg::Restore {
+            entries: d.entries()?,
+        },
+        7 => {
+            let step = d.u64()?;
+            let die = d.bool()?;
+            let n = d.len(8)?;
+            let mut micro_batches = Vec::with_capacity(n);
+            for _ in 0..n {
+                let nrows = d.len(4)?;
+                let mut rows = Vec::with_capacity(nrows);
+                for _ in 0..nrows {
+                    let cols = d.len(4)?;
+                    let mut row = Vec::with_capacity(cols);
+                    for _ in 0..cols {
+                        row.push(d.u32()? as usize);
+                    }
+                    rows.push(row);
+                }
+                let nl = d.len(4)?;
+                let mut labels = Vec::with_capacity(nl);
+                for _ in 0..nl {
+                    labels.push(d.u32()? as usize);
+                }
+                micro_batches.push((rows, labels));
+            }
+            Msg::Step {
+                step,
+                die,
+                micro_batches,
+            }
+        }
+        8 => Msg::Act {
+            micro: d.u32()?,
+            data: d.stage_data()?,
+        },
+        9 => Msg::Grad {
+            micro: d.u32()?,
+            grad: d.tensor()?,
+        },
+        10 => {
+            let origin_lane = d.u32()?;
+            let n = d.len(5)?;
+            let mut tensors = Vec::with_capacity(n);
+            for _ in 0..n {
+                tensors.push(d.tensor()?);
+            }
+            Msg::GradBlock {
+                origin_lane,
+                tensors,
+            }
+        }
+        11 => {
+            let rank = d.u32()?;
+            let loss_sum = d.f32()?;
+            let n = d.len(25)?;
+            let mut events = Vec::with_capacity(n);
+            for _ in 0..n {
+                events.push(d.event()?);
+            }
+            Msg::Done {
+                rank,
+                loss_sum,
+                events,
+            }
+        }
+        12 => Msg::ParamReq {
+            trainable_only: d.bool()?,
+        },
+        13 => Msg::ParamSnap {
+            entries: d.entries()?,
+        },
+        14 => Msg::Fault {
+            observer: d.u32()?,
+            blamed: d.u32()?,
+            detail: d.str()?,
+        },
+        15 => Msg::Heartbeat { nonce: d.u64()? },
+        16 => Msg::HeartbeatAck { nonce: d.u64()? },
+        17 => {
+            let n = d.len(12)?;
+            let mut counters = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = d.str()?;
+                let v = d.u64()?;
+                counters.push((name, v));
+            }
+            Msg::Stats { counters }
+        }
+        18 => Msg::Shutdown,
+        other => return Err(NetError::BadType(other)),
+    };
+    d.finish()?;
+    Ok(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Serializes `msg` into one complete frame (header + payload + checksum).
+pub fn encode_frame(msg: &Msg) -> Vec<u8> {
+    let payload = encode_payload(msg);
+    debug_assert!(payload.len() <= MAX_PAYLOAD);
+    let mut frame = Vec::with_capacity(14 + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.push(VERSION);
+    frame.push(msg.tag());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    // Checksum covers everything after the magic: version, tag, length,
+    // payload.
+    let sum = checksum(&frame[4..]);
+    frame.extend_from_slice(&sum.to_le_bytes());
+    frame
+}
+
+/// Reads exactly one frame from `r`, validating magic, version, length,
+/// and checksum. Returns the decoded message and the total bytes consumed.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(Msg, usize), NetError> {
+    let mut header = [0u8; 10];
+    read_exact_mapped(r, &mut header)?;
+    if header[0..4] != MAGIC {
+        return Err(NetError::BadMagic(header[0..4].try_into().unwrap()));
+    }
+    if header[4] != VERSION {
+        return Err(NetError::BadVersion(header[4]));
+    }
+    let tag = header[5];
+    let len = u32::from_le_bytes(header[6..10].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(NetError::Oversize(len as u64));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_mapped(r, &mut payload)?;
+    let mut sum_bytes = [0u8; 4];
+    read_exact_mapped(r, &mut sum_bytes)?;
+    let got = u32::from_le_bytes(sum_bytes);
+    let expected = fnv1a(fnv1a(FNV_BASIS, &header[4..]), &payload);
+    if expected != got {
+        return Err(NetError::BadChecksum { expected, got });
+    }
+    let msg = decode_payload(tag, &payload)?;
+    Ok((msg, 14 + len))
+}
+
+/// `read_exact` that distinguishes clean EOF from other socket errors, and
+/// treats `WouldBlock`/`TimedOut` (read deadline expiry) as [`NetError::Timeout`].
+fn read_exact_mapped<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), NetError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(NetError::Eof),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Decodes one frame from an in-memory buffer (convenience for tests).
+pub fn decode_frame(bytes: &[u8]) -> Result<(Msg, usize), NetError> {
+    let mut cursor = bytes;
+    read_frame(&mut cursor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: &Msg) -> Msg {
+        let frame = encode_frame(msg);
+        let (back, n) = decode_frame(&frame).expect("decode");
+        assert_eq!(n, frame.len(), "frame length accounting");
+        back
+    }
+
+    #[test]
+    fn control_messages_roundtrip() {
+        let msgs = vec![
+            Msg::Hello {
+                slot: 3,
+                listen_port: 45123,
+            },
+            Msg::Peers {
+                ports: vec![1024, 65535, 80],
+            },
+            Msg::LinkHdr {
+                from_rank: 7,
+                kind: LinkKind::Ring,
+            },
+            Msg::Ready,
+            Msg::Shutdown,
+            Msg::ParamReq {
+                trainable_only: true,
+            },
+            Msg::Heartbeat { nonce: u64::MAX },
+            Msg::HeartbeatAck { nonce: 0 },
+            Msg::Fault {
+                observer: 1,
+                blamed: 3,
+                detail: "ring peer closed the connection".into(),
+            },
+            Msg::Stats {
+                counters: vec![("net.bytes_sent".into(), 12345), ("net.msgs".into(), 9)],
+            },
+        ];
+        for m in &msgs {
+            assert_eq!(&roundtrip(m), m);
+        }
+    }
+
+    #[test]
+    fn assignment_roundtrips() {
+        let a = Assignment {
+            rank: 3,
+            lane: 1,
+            stage: 1,
+            lanes: 2,
+            stages: 2,
+            seed: 0xdead_beef_cafe,
+            lr: 0.05,
+            enc_layers: 4,
+            hidden: 16,
+            heads: 2,
+            n_out: 2,
+            partition: vec![2, 2],
+            schedule: Schedule::GPipeWave { wave: 3 },
+            micro_batches: 4,
+            net_timeout_ms: 5000,
+            telemetry: true,
+        };
+        assert_eq!(
+            roundtrip(&Msg::Assign(Box::new(a.clone()))),
+            Msg::Assign(Box::new(a))
+        );
+    }
+
+    #[test]
+    fn tensor_payloads_roundtrip_bitwise() {
+        let weird = vec![
+            f32::NAN,
+            f32::from_bits(0x7fc0_1234), // NaN with payload bits
+            -0.0,
+            0.0,
+            f32::MIN_POSITIVE / 4.0, // subnormal
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            1.5e-42,
+        ];
+        let t = Tensor::from_vec(weird.clone(), vec![2, 4]).unwrap();
+        let msg = Msg::Grad {
+            micro: 2,
+            grad: t.clone(),
+        };
+        match roundtrip(&msg) {
+            Msg::Grad { micro, grad } => {
+                assert_eq!(micro, 2);
+                assert_eq!(grad.dims(), t.dims());
+                for (a, b) in grad.data().iter().zip(weird.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "bitwise f32 transport");
+                }
+            }
+            other => panic!("wrong message decoded: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stage_data_and_steps_roundtrip() {
+        let act = Msg::Act {
+            micro: 0,
+            data: StageData::Tokens(vec![vec![1, 2, 3], vec![4]]),
+        };
+        assert_eq!(roundtrip(&act), act);
+        let hidden = Msg::Act {
+            micro: 1,
+            data: StageData::Hidden(Tensor::from_vec(vec![0.25; 12], vec![2, 2, 3]).unwrap()),
+        };
+        assert_eq!(roundtrip(&hidden), hidden);
+        let step = Msg::Step {
+            step: 42,
+            die: false,
+            micro_batches: vec![(vec![vec![1, 2], vec![3, 4]], vec![0, 1])],
+        };
+        assert_eq!(roundtrip(&step), step);
+    }
+
+    #[test]
+    fn done_with_events_roundtrips() {
+        let msg = Msg::Done {
+            rank: 2,
+            loss_sum: 1.25,
+            events: vec![SimEvent {
+                stage: 1,
+                micro: 0,
+                forward: true,
+                start: 0.001,
+                end: 0.002,
+            }],
+        };
+        assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected_not_misparsed() {
+        let frame = encode_frame(&Msg::Heartbeat { nonce: 77 });
+
+        let mut bad_magic = frame.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            decode_frame(&bad_magic),
+            Err(NetError::BadMagic(_))
+        ));
+
+        let mut bad_version = frame.clone();
+        bad_version[4] = 9;
+        assert!(matches!(
+            decode_frame(&bad_version),
+            Err(NetError::BadVersion(9))
+        ));
+
+        let mut bad_payload = frame.clone();
+        bad_payload[10] ^= 0x40;
+        assert!(matches!(
+            decode_frame(&bad_payload),
+            Err(NetError::BadChecksum { .. })
+        ));
+
+        // A flipped type tag must not decode as a *different* valid
+        // message: the checksum covers the header.
+        let mut bad_tag = frame.clone();
+        bad_tag[5] = 16; // Heartbeat -> HeartbeatAck, same payload shape
+        assert!(matches!(
+            decode_frame(&bad_tag),
+            Err(NetError::BadChecksum { .. })
+        ));
+
+        for cut in [0, 3, 9, frame.len() - 1] {
+            assert!(
+                matches!(decode_frame(&frame[..cut]), Err(NetError::Eof)),
+                "short read at {cut} must reject as EOF"
+            );
+        }
+    }
+
+    #[test]
+    fn oversize_length_fields_are_rejected_before_allocation() {
+        let mut frame = encode_frame(&Msg::Ready);
+        frame[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_frame(&frame), Err(NetError::Oversize(_))));
+    }
+}

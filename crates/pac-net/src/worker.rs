@@ -1,0 +1,390 @@
+//! The distributed worker: one rank = one pipeline stage of one DP lane.
+//!
+//! A worker is stateless until assigned: it reports its data port, receives
+//! an [`Assignment`], deterministically rebuilds the full model from the
+//! shared seed, keeps only its own stage, wires its mesh edges, and then
+//! executes lockstep `Step` commands until told to shut down. Because the
+//! model is rebuilt from the seed, startup ships **no parameters** — only
+//! a checkpoint restore after a replan does.
+//!
+//! Every step runs the *same* `run_stage` code as the in-process engines
+//! (via the [`StageLinks`] abstraction), followed by the bitwise-matched
+//! ring AllReduce and a local SGD step, so a distributed run is
+//! bit-identical to `HybridEngine` on the same seed and batches. SGD is
+//! the supported distributed optimizer: it is stateless per update, so
+//! per-rank stepping matches the in-process engine's per-lane stepping
+//! exactly. (Adam's step counter `t` advances once per `step()` *call*,
+//! which an independent per-rank optimizer cannot reproduce.)
+
+use crate::chan::FramedConn;
+use crate::collective::{ring_allreduce_mean, RingCtx};
+use crate::rendezvous::{build_mesh, Mesh, Topology};
+use crate::wire::{Assignment, Msg, NetError};
+use pac_model::{EncoderModel, ModelConfig, StageData, StageModel};
+use pac_nn::optim::{Optimizer, Sgd};
+use pac_nn::Module;
+use pac_parallel::engine::{run_stage, LaneFaults, MicroBatch, StageLinks};
+use pac_parallel::schedule::SimEvent;
+use pac_parallel::{EngineError, EngineResult};
+use pac_tensor::rng::seeded;
+use pac_tensor::Tensor;
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+/// How the worker was launched, which decides how a fault injection
+/// "kills" it and whether it owns the process-global telemetry registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// Worker thread inside the coordinator's process (in-crate tests).
+    /// Dying means returning (dropping all sockets); telemetry is shared
+    /// with the coordinator, so `Stats` ships nothing.
+    Thread,
+    /// Separate OS process (`repro --net-worker`). Dying means
+    /// `process::exit`; telemetry is process-local and shipped to the
+    /// coordinator in `Stats` at shutdown.
+    Process,
+}
+
+/// Exit code a worker uses when a fault injection kills it.
+pub const KILLED_EXIT: i32 = 86;
+
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Pipeline-neighbor links over real sockets. Socket failures are
+/// attributed to the rank on the other end of the failing edge as typed
+/// [`EngineError::RankDown`] — no unwraps on socket reads.
+pub struct TcpStageLinks<'a> {
+    prev: Option<&'a mut FramedConn>,
+    next: Option<&'a mut FramedConn>,
+    prev_rank: usize,
+    next_rank: usize,
+    lane: usize,
+    stage: usize,
+    step: u64,
+}
+
+impl TcpStageLinks<'_> {
+    fn down(&self, blamed: usize, detail: String) -> EngineError {
+        EngineError::RankDown {
+            rank: blamed,
+            lane: self.lane,
+            stage: Some(self.stage),
+            step: self.step,
+            detail,
+        }
+    }
+}
+
+impl StageLinks for TcpStageLinks<'_> {
+    fn send_fwd(&mut self, micro: usize, data: StageData) -> EngineResult<()> {
+        let (next_rank, lane, stage, step) = (self.next_rank, self.lane, self.stage, self.step);
+        let conn = self.next.as_mut().expect("send_fwd without next link");
+        conn.send(&Msg::Act {
+            micro: micro as u32,
+            data,
+        })
+        .map_err(|e| EngineError::RankDown {
+            rank: next_rank,
+            lane,
+            stage: Some(stage),
+            step,
+            detail: format!("pipeline send to successor: {e}"),
+        })
+    }
+
+    fn recv_fwd(&mut self, micro: usize) -> EngineResult<StageData> {
+        let prev_rank = self.prev_rank;
+        let msg = {
+            let conn = self.prev.as_mut().expect("recv_fwd without prev link");
+            conn.recv()
+        }
+        .map_err(|e| self.down(prev_rank, format!("pipeline recv from predecessor: {e}")))?;
+        match msg {
+            Msg::Act { micro: m, data } if m as usize == micro => Ok(data),
+            other => Err(self.down(
+                prev_rank,
+                format!("pipeline protocol violation at micro {micro}: {other:?}"),
+            )),
+        }
+    }
+
+    fn send_bwd(&mut self, micro: usize, grad: Tensor) -> EngineResult<()> {
+        let (prev_rank, lane, stage, step) = (self.prev_rank, self.lane, self.stage, self.step);
+        let conn = self.prev.as_mut().expect("send_bwd without prev link");
+        conn.send(&Msg::Grad {
+            micro: micro as u32,
+            grad,
+        })
+        .map_err(|e| EngineError::RankDown {
+            rank: prev_rank,
+            lane,
+            stage: Some(stage),
+            step,
+            detail: format!("gradient send to predecessor: {e}"),
+        })
+    }
+
+    fn recv_bwd(&mut self, micro: usize) -> EngineResult<Tensor> {
+        let next_rank = self.next_rank;
+        let msg = {
+            let conn = self.next.as_mut().expect("recv_bwd without next link");
+            conn.recv()
+        }
+        .map_err(|e| self.down(next_rank, format!("gradient recv from successor: {e}")))?;
+        match msg {
+            Msg::Grad { micro: m, grad } if m as usize == micro => Ok(grad),
+            other => Err(self.down(
+                next_rank,
+                format!("gradient protocol violation at micro {micro}: {other:?}"),
+            )),
+        }
+    }
+}
+
+struct WorkerState {
+    asg: Assignment,
+    topo: Topology,
+    stage: Option<StageModel>,
+    mesh: Mesh,
+    opt: Sgd,
+}
+
+/// Collects `(name, value)` parameter pairs of this stage in
+/// `visit_params_ref` order.
+pub fn param_entries(stage: &StageModel, trainable_only: bool) -> Vec<(String, Tensor)> {
+    let mut out = Vec::new();
+    stage.visit_params_ref(&mut |p| {
+        if !trainable_only || p.trainable {
+            out.push((p.name.clone(), p.value.clone()));
+        }
+    });
+    out
+}
+
+/// Overwrites parameters by name (checkpoint restore). Unknown names are
+/// ignored: a snapshot holds trainable params only, frozen ones are
+/// already bit-identical from the seed.
+pub fn apply_restore(stage: &mut StageModel, entries: Vec<(String, Tensor)>) {
+    let map: HashMap<String, Tensor> = entries.into_iter().collect();
+    stage.visit_params(&mut |p| {
+        if let Some(t) = map.get(&p.name) {
+            p.value = t.clone();
+        }
+    });
+}
+
+/// Builds this rank's stage replica deterministically from the assignment:
+/// full model from the seed, partitioned, keep stage `asg.stage`.
+fn build_stage(asg: &Assignment) -> Result<StageModel, NetError> {
+    let cfg = ModelConfig::micro(
+        asg.enc_layers as usize,
+        0,
+        asg.hidden as usize,
+        asg.heads as usize,
+    );
+    let mut rng = seeded(asg.seed);
+    let model = EncoderModel::new(&cfg, asg.n_out as usize, &mut rng);
+    let partition: Vec<usize> = asg.partition.iter().map(|&p| p as usize).collect();
+    let stages = model
+        .partition(&partition)
+        .map_err(|_| NetError::Malformed("partition does not match model layers"))?;
+    stages
+        .into_iter()
+        .nth(asg.stage as usize)
+        .ok_or(NetError::Malformed("stage index out of range"))
+}
+
+fn run_step(
+    state: &mut WorkerState,
+    step: u64,
+    mbs: &[MicroBatch],
+) -> EngineResult<(f32, Vec<SimEvent>)> {
+    let asg = &state.asg;
+    let (s, k) = (asg.stage as usize, asg.lane as usize);
+    let (s_n, lanes) = (state.topo.stages, state.topo.lanes);
+    let mut stage = state.stage.take().expect("stage present between steps");
+    stage.zero_grads();
+
+    let epoch = Instant::now();
+    let faults = LaneFaults {
+        lane: k,
+        step,
+        panic_stage: None,
+        delay: None,
+    };
+    let mut links = TcpStageLinks {
+        prev: state.mesh.prev.as_mut(),
+        next: state.mesh.next.as_mut(),
+        prev_rank: if s > 0 {
+            state.topo.rank_of(s - 1, k)
+        } else {
+            0
+        },
+        next_rank: if s + 1 < s_n {
+            state.topo.rank_of(s + 1, k)
+        } else {
+            0
+        },
+        lane: k,
+        stage: s,
+        step,
+    };
+    let run = run_stage(
+        stage,
+        s,
+        s_n,
+        asg.micro_batches as usize,
+        asg.schedule,
+        mbs,
+        &mut links,
+        &epoch,
+        &faults,
+    )?;
+    stage = run.stage;
+
+    if lanes > 1 {
+        let ctx = RingCtx {
+            lane: k,
+            lanes,
+            stage: s,
+            step,
+            left_rank: state.topo.rank_of(s, (k + lanes - 1) % lanes),
+            right_rank: state.topo.rank_of(s, (k + 1) % lanes),
+        };
+        let (ring_in, ring_out) = (
+            state.mesh.ring_in.as_mut().expect("ring_in wired"),
+            state.mesh.ring_out.as_mut().expect("ring_out wired"),
+        );
+        match ring_allreduce_mean(&mut stage, ring_in, ring_out, &ctx) {
+            Ok(()) => {}
+            Err(e) => {
+                // Stage replica is still usable for a post-mortem, but the
+                // mesh is broken; put it back and propagate.
+                state.stage = Some(stage);
+                return Err(e);
+            }
+        }
+    }
+
+    state.opt.step(&mut stage);
+    let out = (run.loss_sum, run.events);
+    state.stage = Some(stage);
+    Ok(out)
+}
+
+/// Runs one worker against the coordinator at `coord` until shutdown,
+/// fault injection, or loss of the coordinator. Never panics on socket
+/// input; all transport failures are typed.
+pub fn run_worker(coord: SocketAddr, slot: u32, mode: RunMode) -> Result<(), NetError> {
+    let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
+    let listen_port = listener.local_addr()?.port();
+
+    let mut ctrl = FramedConn::connect(coord, CONNECT_TIMEOUT)?;
+    ctrl.send(&Msg::Hello { slot, listen_port })?;
+
+    let asg = match ctrl.recv()? {
+        Msg::Assign(a) => *a,
+        _ => return Err(NetError::Malformed("expected Assign after Hello")),
+    };
+    if mode == RunMode::Process {
+        pac_telemetry::set_enabled(asg.telemetry);
+    }
+    let net_timeout = Duration::from_millis(asg.net_timeout_ms as u64);
+    ctrl.set_timeout(Some(net_timeout))?;
+
+    let stage = build_stage(&asg)?;
+    let ports = match ctrl.recv()? {
+        Msg::Peers { ports } => ports,
+        _ => return Err(NetError::Malformed("expected Peers after Assign")),
+    };
+    let mesh = build_mesh(&listener, &asg, &ports, net_timeout)?;
+    drop(listener);
+    ctrl.send(&Msg::Ready)?;
+
+    let mut state = WorkerState {
+        topo: Topology {
+            stages: asg.stages as usize,
+            lanes: asg.lanes as usize,
+        },
+        opt: Sgd::new(asg.lr),
+        stage: Some(stage),
+        mesh,
+        asg,
+    };
+    let rank = state.asg.rank;
+
+    loop {
+        let msg = match ctrl.recv() {
+            Ok(m) => m,
+            // Coordinator went away (teardown after a peer fault, or a
+            // crashed driver): exit quietly, nothing to report to.
+            Err(NetError::Eof) | Err(NetError::Timeout) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match msg {
+            Msg::Step {
+                step,
+                die,
+                micro_batches,
+            } => {
+                if die {
+                    // Injected fail-stop: drop dead without a goodbye. In
+                    // process mode that is a hard exit; in thread mode,
+                    // returning drops every socket, which peers observe as
+                    // EOF — the same signal a real crash produces.
+                    match mode {
+                        RunMode::Process => std::process::exit(KILLED_EXIT),
+                        RunMode::Thread => return Ok(()),
+                    }
+                }
+                match run_step(&mut state, step, &micro_batches) {
+                    Ok((loss_sum, events)) => ctrl.send(&Msg::Done {
+                        rank,
+                        loss_sum,
+                        events,
+                    })?,
+                    Err(e) => {
+                        // A peer died mid-step; tell the coordinator who we
+                        // blame (best effort — it may already be tearing the
+                        // round down) and exit: our mesh is unusable.
+                        let blamed = match &e {
+                            EngineError::RankDown { rank: r, .. } => *r as u32,
+                            _ => rank,
+                        };
+                        let _ = ctrl.send(&Msg::Fault {
+                            observer: rank,
+                            blamed,
+                            detail: e.to_string(),
+                        });
+                        return Ok(());
+                    }
+                }
+            }
+            Msg::ParamReq { trainable_only } => {
+                let entries =
+                    param_entries(state.stage.as_ref().expect("stage present"), trainable_only);
+                ctrl.send(&Msg::ParamSnap { entries })?;
+            }
+            Msg::Restore { entries } => {
+                apply_restore(state.stage.as_mut().expect("stage present"), entries);
+            }
+            Msg::Heartbeat { nonce } => ctrl.send(&Msg::HeartbeatAck { nonce })?,
+            Msg::Shutdown => {
+                // Ship local telemetry so the coordinator can aggregate
+                // real traffic. Thread-mode workers share the registry with
+                // the coordinator already — shipping it would double count.
+                let counters = if mode == RunMode::Process {
+                    let mut rows = pac_telemetry::snapshot_prefix("net.");
+                    rows.extend(pac_telemetry::snapshot_prefix("allreduce."));
+                    rows
+                } else {
+                    Vec::new()
+                };
+                let _ = ctrl.send(&Msg::Stats { counters });
+                return Ok(());
+            }
+            _ => return Err(NetError::Malformed("unexpected control message")),
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The PR's acceptance gate: a 2-stage × 2-lane distributed loopback run
+//! must be **bitwise identical** to the in-process `HybridEngine` on the
+//! same seed — every per-step loss and every final parameter, compared as
+//! raw f32 bits — and killing a worker mid-run must recover via replan +
+//! checkpoint resume within the established fault-recovery tolerance.
+//!
+//! Workers run as threads over real loopback TCP sockets: the full wire
+//! protocol, rendezvous, and ring collective are exercised; only process
+//! management is elided (covered by the `repro --distributed` smoke test
+//! in `pac-bench`).
+
+use pac_model::{EncoderModel, ModelConfig};
+use pac_net::{DistConfig, DistTrainer, Spawner};
+use pac_nn::optim::Sgd;
+use pac_nn::Optimizer;
+use pac_parallel::engine::{HybridEngine, MicroBatch};
+use pac_parallel::{Fault, FaultPlan, Schedule, TimelineKind};
+use pac_tensor::rng::seeded;
+use rand::Rng;
+
+const SEED: u64 = 7;
+const STEPS: usize = 6;
+const MICROS: usize = 2;
+const ROWS_PER_MICRO: usize = 4; // divisible by 2 lanes and by 1 survivor
+const SEQ: usize = 6;
+
+/// Deterministic synthetic mini-batches, shared by both runs.
+fn make_batches() -> Vec<Vec<MicroBatch>> {
+    let mut rng = seeded(SEED ^ 0xda7a_5eed);
+    (0..STEPS)
+        .map(|_| {
+            (0..MICROS)
+                .map(|_| {
+                    let rows: Vec<Vec<usize>> = (0..ROWS_PER_MICRO)
+                        .map(|_| (0..SEQ).map(|_| rng.gen_range(0..64usize)).collect())
+                        .collect();
+                    let labels: Vec<usize> = (0..ROWS_PER_MICRO)
+                        .map(|_| rng.gen_range(0..2usize))
+                        .collect();
+                    (rows, labels)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Reference: the in-process hybrid engine, stepped exactly like the
+/// distributed workers step themselves (zero grads, mini-batch, SGD).
+fn inprocess_run(
+    cfg: &DistConfig,
+    batches: &[Vec<MicroBatch>],
+) -> (Vec<f32>, Vec<(String, pac_tensor::Tensor)>) {
+    let model_cfg = ModelConfig::micro(cfg.enc_layers, 0, cfg.hidden, cfg.heads);
+    let model = EncoderModel::new(&model_cfg, cfg.n_out, &mut seeded(cfg.seed));
+    let stages = model.partition(&cfg.partition).expect("partition");
+    let mut engine = HybridEngine::new(stages, cfg.lanes, Schedule::OneFOneB);
+    let mut opts: Vec<Box<dyn Optimizer>> = (0..cfg.lanes)
+        .map(|_| Box::new(Sgd::new(cfg.lr)) as Box<dyn Optimizer>)
+        .collect();
+    let mut losses = Vec::new();
+    for batch in batches {
+        engine.zero_grads();
+        losses.push(engine.run_mini_batch(batch).expect("in-process step"));
+        engine.step(&mut opts);
+    }
+    (losses, engine.canonical_params())
+}
+
+#[test]
+fn distributed_2x2_is_bitwise_identical_to_inprocess() {
+    let cfg = DistConfig::loopback(2, 2);
+    let batches = make_batches();
+
+    let (ref_losses, ref_params) = inprocess_run(&cfg, &batches);
+    let report = DistTrainer::new(cfg)
+        .run(&Spawner::Threads, &batches, &FaultPlan::none())
+        .expect("distributed run");
+
+    assert_eq!(report.losses.len(), ref_losses.len());
+    for (t, (d, r)) in report.losses.iter().zip(ref_losses.iter()).enumerate() {
+        assert_eq!(
+            d.to_bits(),
+            r.to_bits(),
+            "loss at step {t} diverged: dist {d} vs in-process {r}"
+        );
+    }
+
+    assert_eq!(report.final_params.len(), ref_params.len());
+    for ((dn, dt), (rn, rt)) in report.final_params.iter().zip(ref_params.iter()) {
+        assert_eq!(dn, rn, "parameter order must match canonical order");
+        assert_eq!(dt.dims(), rt.dims(), "{dn}: shape");
+        for (i, (a, b)) in dt.data().iter().zip(rt.data().iter()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{dn}[{i}] diverged: dist {a} vs in-process {b}"
+            );
+        }
+    }
+    assert_eq!(report.recovery.replans, 0);
+    assert_eq!(report.final_lanes, 2);
+}
+
+#[test]
+fn distributed_2x1_pipeline_only_matches_inprocess() {
+    // No ring collective at all (lanes == 1): isolates the pipeline
+    // transport. Matches the in-process engine's n<=1 AllReduce no-op.
+    let cfg = DistConfig::loopback(2, 1);
+    let batches = make_batches();
+
+    let (ref_losses, ref_params) = inprocess_run(&cfg, &batches);
+    let report = DistTrainer::new(cfg)
+        .run(&Spawner::Threads, &batches, &FaultPlan::none())
+        .expect("distributed run");
+
+    for (d, r) in report.losses.iter().zip(ref_losses.iter()) {
+        assert_eq!(d.to_bits(), r.to_bits());
+    }
+    for ((dn, dt), (_, rt)) in report.final_params.iter().zip(ref_params.iter()) {
+        for (a, b) in dt.data().iter().zip(rt.data().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{dn}");
+        }
+    }
+}
+
+#[test]
+fn killed_worker_triggers_replan_and_checkpoint_resume() {
+    let cfg = DistConfig::loopback(2, 2);
+    let batches = make_batches();
+
+    // Clean reference for the recovery tolerance (the PR 2 criterion).
+    let clean = DistTrainer::new(cfg.clone())
+        .run(&Spawner::Threads, &batches, &FaultPlan::none())
+        .expect("clean run");
+
+    // Kill device 1 (stage 0, lane 1) before step 4 — mid-run, after the
+    // step-2 checkpoint.
+    let faults = FaultPlan::none().with(Fault::FailStop { step: 4, device: 1 });
+    let faulty = DistTrainer::new(cfg)
+        .run(&Spawner::Threads, &batches, &faults)
+        .expect("faulty run must recover");
+
+    assert_eq!(faulty.recovery.faults_injected, 1);
+    assert_eq!(faulty.recovery.replans, 1, "one replan for one fail-stop");
+    assert!(
+        faulty.recovery.checkpoints >= 2,
+        "initial + periodic snapshots: {}",
+        faulty.recovery.checkpoints
+    );
+    assert_eq!(faulty.final_lanes, 1, "dead lane left the pool");
+    assert_eq!(
+        faulty.losses.len(),
+        batches.len(),
+        "every mini-batch trained despite the failure"
+    );
+
+    // Timeline ordering: inject, then replan, then resume.
+    let pos = |kind: TimelineKind| {
+        faulty
+            .recovery
+            .timeline
+            .iter()
+            .position(|e| e.kind == kind)
+            .unwrap_or_else(|| panic!("no {kind:?} event in timeline"))
+    };
+    assert!(pos(TimelineKind::Injected) < pos(TimelineKind::Replan));
+    assert!(pos(TimelineKind::Replan) < pos(TimelineKind::Resume));
+
+    // Recovery quality: the PR 2 fault-recovery tolerance — the recovered
+    // run's final loss lands near the clean run's (both runs see the same
+    // data; the survivor lane sees more rows per update after the drop).
+    let clean_final = *clean.losses.last().unwrap();
+    let faulty_final = *faulty.losses.last().unwrap();
+    assert!(
+        clean_final.is_finite() && faulty_final.is_finite(),
+        "losses finite: clean {clean_final}, faulty {faulty_final}"
+    );
+    assert!(
+        (clean_final - faulty_final).abs() < 0.5,
+        "recovered training drifted: clean {clean_final} vs faulty {faulty_final}"
+    );
+
+    // Before the kill, the runs are bitwise-identical (same world shape).
+    for t in 0..2 {
+        assert_eq!(
+            clean.losses[t].to_bits(),
+            faulty.losses[t].to_bits(),
+            "pre-fault step {t} must match the clean run"
+        );
+    }
+}

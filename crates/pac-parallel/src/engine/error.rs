@@ -39,6 +39,22 @@ pub enum EngineError {
         /// True if the forward link broke, false for the backward link.
         forward: bool,
     },
+    /// A remote peer became unreachable over a real transport (socket EOF,
+    /// connection reset, or a read timeout): the distributed analogue of
+    /// [`EngineError::Disconnected`], attributed to the world rank that
+    /// stopped answering.
+    RankDown {
+        /// World rank of the peer that went away.
+        rank: usize,
+        /// Data-parallel lane that rank belonged to.
+        lane: usize,
+        /// Pipeline stage of that rank, when attributable.
+        stage: Option<usize>,
+        /// Global step during which contact was lost.
+        step: u64,
+        /// Human-readable transport diagnosis (EOF vs timeout vs reset).
+        detail: String,
+    },
     /// The gradient AllReduce failed every attempt of the bounded retry.
     AllReduceFailed {
         /// Global step whose collective failed.
@@ -82,6 +98,22 @@ impl fmt::Display for EngineError {
                 "lane {lane} stage {stage} lost its {} neighbor at micro-batch {micro}",
                 if *forward { "forward" } else { "backward" }
             ),
+            EngineError::RankDown {
+                rank,
+                lane,
+                stage,
+                step,
+                detail,
+            } => match stage {
+                Some(s) => write!(
+                    f,
+                    "rank {rank} (lane {lane}, stage {s}) unreachable at step {step}: {detail}"
+                ),
+                None => write!(
+                    f,
+                    "rank {rank} (lane {lane}) unreachable at step {step}: {detail}"
+                ),
+            },
             EngineError::AllReduceFailed { step, attempts } => {
                 write!(f, "AllReduce failed {attempts} attempt(s) at step {step}")
             }
@@ -106,9 +138,9 @@ impl EngineError {
     /// The lane this error is attributed to, when known.
     pub fn lane(&self) -> Option<usize> {
         match self {
-            EngineError::LanePanic { lane, .. } | EngineError::Disconnected { lane, .. } => {
-                Some(*lane)
-            }
+            EngineError::LanePanic { lane, .. }
+            | EngineError::Disconnected { lane, .. }
+            | EngineError::RankDown { lane, .. } => Some(*lane),
             _ => None,
         }
     }
@@ -120,6 +152,7 @@ impl EngineError {
             self,
             EngineError::LanePanic { .. }
                 | EngineError::Disconnected { .. }
+                | EngineError::RankDown { .. }
                 | EngineError::AllReduceFailed { .. }
         )
     }
@@ -156,5 +189,22 @@ mod tests {
         assert!(e.is_recoverable());
         assert!(!EngineError::NoSurvivors.is_recoverable());
         assert!(!EngineError::Unplannable { survivors: 1 }.is_recoverable());
+    }
+
+    #[test]
+    fn rank_down_is_recoverable_and_lane_attributed() {
+        let e = EngineError::RankDown {
+            rank: 3,
+            lane: 1,
+            stage: Some(0),
+            step: 4,
+            detail: "read timed out after 500ms".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("rank 3"), "{text}");
+        assert!(text.contains("lane 1"), "{text}");
+        assert!(text.contains("timed out"), "{text}");
+        assert_eq!(e.lane(), Some(1));
+        assert!(e.is_recoverable());
     }
 }

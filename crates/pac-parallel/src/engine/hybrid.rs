@@ -26,7 +26,44 @@ use pac_nn::{Module, Optimizer, Param};
 use pac_tensor::{Tensor, TensorError};
 
 /// One micro-batch: `(token rows, class targets)`.
-type MicroBatch = (Vec<Vec<usize>>, Vec<usize>);
+pub type MicroBatch = (Vec<Vec<usize>>, Vec<usize>);
+
+/// Splits every micro-batch row-wise into `g` equal lane shares — lane `k`
+/// takes rows `[k·share, (k+1)·share)`. Public so the distributed driver
+/// (`pac-net`) shards the mini-batch *identically* to [`HybridEngine`],
+/// which is a precondition for bitwise-equal results.
+///
+/// # Errors
+/// [`EngineError::Tensor`] when any micro-batch's row count is not a
+/// multiple of `g` (uneven shares would break exact gradient averaging).
+pub fn split_micro_batches(
+    micro_batches: &[MicroBatch],
+    g: usize,
+) -> EngineResult<Vec<Vec<MicroBatch>>> {
+    for (toks, _) in micro_batches {
+        if toks.len() % g != 0 {
+            return Err(EngineError::Tensor(TensorError::ShapeMismatch {
+                op: "hybrid micro-batch must split evenly across lanes",
+                lhs: vec![toks.len()],
+                rhs: vec![g],
+            }));
+        }
+    }
+    Ok((0..g)
+        .map(|k| {
+            micro_batches
+                .iter()
+                .map(|(toks, targets)| {
+                    let share = toks.len() / g;
+                    (
+                        toks[k * share..(k + 1) * share].to_vec(),
+                        targets[k * share..(k + 1) * share].to_vec(),
+                    )
+                })
+                .collect()
+        })
+        .collect())
+}
 
 /// Bounded retry budget for a disturbed gradient AllReduce: the collective
 /// is attempted `1 + MAX_ALLREDUCE_RETRIES` times before the engine
@@ -152,30 +189,8 @@ impl HybridEngine {
     ) -> EngineResult<SupervisedOutcome> {
         let step = clock.current_step();
         let g = self.group_width();
-        for (toks, _) in micro_batches {
-            if toks.len() % g != 0 {
-                return Err(EngineError::Tensor(TensorError::ShapeMismatch {
-                    op: "hybrid micro-batch must split evenly across lanes",
-                    lhs: vec![toks.len()],
-                    rhs: vec![g],
-                }));
-            }
-        }
         // Per-lane slices of every micro-batch.
-        let lane_inputs: Vec<Vec<MicroBatch>> = (0..g)
-            .map(|k| {
-                micro_batches
-                    .iter()
-                    .map(|(toks, targets)| {
-                        let share = toks.len() / g;
-                        (
-                            toks[k * share..(k + 1) * share].to_vec(),
-                            targets[k * share..(k + 1) * share].to_vec(),
-                        )
-                    })
-                    .collect()
-            })
-            .collect();
+        let lane_inputs = split_micro_batches(micro_batches, g)?;
         if pac_telemetry::enabled() {
             for (k, input) in lane_inputs.iter().enumerate() {
                 let rows: usize = input.iter().map(|(t, _)| t.len()).sum();

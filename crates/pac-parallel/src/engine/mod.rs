@@ -21,5 +21,10 @@ pub use data_parallel::{
     dp_step_tokens, dp_step_tokens_supervised,
 };
 pub use error::{EngineError, EngineResult};
-pub use hybrid::{HybridEngine, SupervisedOutcome, MAX_ALLREDUCE_RETRIES};
-pub use pipeline::{run_pipeline_mini_batch, run_pipeline_supervised, LaneFaults, PipelineOutcome};
+pub use hybrid::{
+    split_micro_batches, HybridEngine, MicroBatch, SupervisedOutcome, MAX_ALLREDUCE_RETRIES,
+};
+pub use pipeline::{
+    run_pipeline_mini_batch, run_pipeline_supervised, run_stage, ChannelLinks, LaneFaults,
+    PipelineOutcome, StageLinks, StageRun,
+};

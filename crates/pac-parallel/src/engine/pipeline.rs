@@ -65,8 +65,141 @@ pub struct PipelineOutcome {
     pub wall_s: f64,
 }
 
-/// What one stage thread produces on success.
-type StageRun = (StageModel, f32, usize, Vec<SimEvent>, f64);
+/// What one stage execution produces on success — returned by [`run_stage`]
+/// whether the stage ran on an in-process thread or a remote worker.
+#[derive(Debug)]
+pub struct StageRun {
+    /// The stage, with gradients accumulated (stage execution takes
+    /// ownership so remote workers can keep their replica between steps).
+    pub stage: StageModel,
+    /// Sum of per-micro-batch losses (nonzero only on the last stage).
+    pub loss_sum: f32,
+    /// Peak retained activation bytes observed.
+    pub peak_act_bytes: usize,
+    /// Measured timeline of every executed op (seconds since `epoch`).
+    pub events: Vec<SimEvent>,
+    /// Total compute time (seconds).
+    pub busy_s: f64,
+}
+
+/// Transport-generic neighbor links for one pipeline stage.
+///
+/// [`run_stage`] drives a stage purely through this trait, so the same 1F1B
+/// op loop executes over in-process crossbeam channels ([`ChannelLinks`])
+/// and over real TCP sockets (`pac-net`) — which is what entitles the
+/// distributed engines to claim bitwise equivalence with the in-process
+/// ones: the float math is the very same code path, only the bytes' route
+/// differs.
+///
+/// Ordering contract: both neighbors execute complementary deterministic op
+/// sequences, so payloads for micro-batch `m` arrive in op order. An
+/// implementation may assert the `micro` tag matches.
+pub trait StageLinks {
+    /// Ships an activation to the next stage.
+    ///
+    /// # Errors
+    /// A typed transport error when the downstream neighbor is gone.
+    fn send_fwd(&mut self, micro: usize, data: StageData) -> EngineResult<()>;
+    /// Receives an activation from the previous stage.
+    ///
+    /// # Errors
+    /// A typed transport error when the upstream neighbor is gone.
+    fn recv_fwd(&mut self, micro: usize) -> EngineResult<StageData>;
+    /// Ships a gradient to the previous stage.
+    ///
+    /// # Errors
+    /// A typed transport error when the upstream neighbor is gone.
+    fn send_bwd(&mut self, micro: usize, grad: Tensor) -> EngineResult<()>;
+    /// Receives a gradient from the next stage.
+    ///
+    /// # Errors
+    /// A typed transport error when the downstream neighbor is gone.
+    fn recv_bwd(&mut self, micro: usize) -> EngineResult<Tensor>;
+}
+
+/// In-process [`StageLinks`] over bounded crossbeam channels — the original
+/// engine transport. A closed channel (dead neighbor) surfaces as
+/// [`EngineError::Disconnected`]. Channels are optional per position: stage
+/// 0 has no upstream, the last stage no downstream; using a missing link is
+/// a scheduler bug and panics (caught and attributed at join).
+pub struct ChannelLinks {
+    lane: usize,
+    stage: usize,
+    fwd_tx: Option<Sender<(usize, StageData)>>,
+    fwd_rx: Option<Receiver<(usize, StageData)>>,
+    bwd_tx: Option<Sender<(usize, Tensor)>>,
+    bwd_rx: Option<Receiver<(usize, Tensor)>>,
+}
+
+impl ChannelLinks {
+    /// Wires a stage's channel endpoints (`None` where the chain ends).
+    pub fn new(
+        lane: usize,
+        stage: usize,
+        fwd_tx: Option<Sender<(usize, StageData)>>,
+        fwd_rx: Option<Receiver<(usize, StageData)>>,
+        bwd_tx: Option<Sender<(usize, Tensor)>>,
+        bwd_rx: Option<Receiver<(usize, Tensor)>>,
+    ) -> Self {
+        ChannelLinks {
+            lane,
+            stage,
+            fwd_tx,
+            fwd_rx,
+            bwd_tx,
+            bwd_rx,
+        }
+    }
+
+    fn disconnected(&self, micro: usize, forward: bool) -> EngineError {
+        EngineError::Disconnected {
+            lane: self.lane,
+            stage: self.stage,
+            micro,
+            forward,
+        }
+    }
+}
+
+impl StageLinks for ChannelLinks {
+    fn send_fwd(&mut self, micro: usize, data: StageData) -> EngineResult<()> {
+        self.fwd_tx
+            .as_ref()
+            .expect("non-final stage has a forward sender")
+            .send((micro, data))
+            .map_err(|_| self.disconnected(micro, true))
+    }
+
+    fn recv_fwd(&mut self, micro: usize) -> EngineResult<StageData> {
+        let (idx, data) = self
+            .fwd_rx
+            .as_ref()
+            .expect("interior stage has a forward receiver")
+            .recv()
+            .map_err(|_| self.disconnected(micro, true))?;
+        debug_assert_eq!(idx, micro, "forward arrived out of order");
+        Ok(data)
+    }
+
+    fn send_bwd(&mut self, micro: usize, grad: Tensor) -> EngineResult<()> {
+        self.bwd_tx
+            .as_ref()
+            .expect("non-first stage has a backward sender")
+            .send((micro, grad))
+            .map_err(|_| self.disconnected(micro, false))
+    }
+
+    fn recv_bwd(&mut self, micro: usize) -> EngineResult<Tensor> {
+        let (idx, g) = self
+            .bwd_rx
+            .as_ref()
+            .expect("non-final stage has a backward receiver")
+            .recv()
+            .map_err(|_| self.disconnected(micro, false))?;
+        debug_assert_eq!(idx, micro, "backward arrived out of order");
+        Ok(g)
+    }
+}
 
 /// Runs one mini-batch of `micro_batches` through the stage chain with the
 /// given schedule. `micro_batches[m]` is `(tokens, class_targets)`; the
@@ -143,9 +276,9 @@ pub fn run_pipeline_supervised(
             };
             let faults = faults.clone();
             handles.push(scope.spawn(move || {
-                stage_worker(
-                    stage, s, s_n, m_n, schedule, mb_inputs, fwd_tx, fwd_rx, bwd_tx, bwd_rx,
-                    &epoch, &faults,
+                let mut links = ChannelLinks::new(faults.lane, s, fwd_tx, fwd_rx, bwd_tx, bwd_rx);
+                run_stage(
+                    stage, s, s_n, m_n, schedule, &mb_inputs, &mut links, &epoch, &faults,
                 )
             }));
         }
@@ -187,17 +320,23 @@ pub fn run_pipeline_supervised(
     let mut peaks = Vec::with_capacity(s_n);
     let mut events = Vec::with_capacity(2 * s_n * m_n);
     let mut stage_busy_s = Vec::with_capacity(s_n);
-    for (s, (stage, l, peak, evs, busy)) in results.into_iter().enumerate() {
-        stages_out.push(stage);
-        loss += l;
-        peaks.push(peak);
+    for (s, run) in results.into_iter().enumerate() {
+        stages_out.push(run.stage);
+        loss += run.loss_sum;
+        peaks.push(run.peak_act_bytes);
         if pac_telemetry::enabled() {
-            pac_telemetry::counter_add(&format!("pipeline.stage{s}.busy_ns"), (busy * 1e9) as u64);
-            pac_telemetry::counter_add(&format!("pipeline.stage{s}.ops"), evs.len() as u64);
-            pac_telemetry::gauge_max(&format!("pipeline.stage{s}.peak_act_bytes"), peak as u64);
+            pac_telemetry::counter_add(
+                &format!("pipeline.stage{s}.busy_ns"),
+                (run.busy_s * 1e9) as u64,
+            );
+            pac_telemetry::counter_add(&format!("pipeline.stage{s}.ops"), run.events.len() as u64);
+            pac_telemetry::gauge_max(
+                &format!("pipeline.stage{s}.peak_act_bytes"),
+                run.peak_act_bytes as u64,
+            );
         }
-        events.extend(evs);
-        stage_busy_s.push(busy);
+        events.extend(run.events);
+        stage_busy_s.push(run.busy_s);
     }
     pac_telemetry::counter_inc("pipeline.runs");
     pac_telemetry::counter_add("pipeline.wall_ns", (wall_s * 1e9) as u64);
@@ -211,24 +350,31 @@ pub fn run_pipeline_supervised(
     })
 }
 
-/// One stage's thread body: executes the stage's op sequence, exchanging
-/// activations/gradients with its neighbors. Channel closures (a dead
-/// neighbor) surface as [`EngineError::Disconnected`]; math failures as
-/// [`EngineError::Tensor`]. Structural invariants of the op sequence (a
-/// context present for every backward, channels wired per position) remain
-/// `expect`s — a violation is a scheduler bug and is still caught at join.
+/// Executes one stage's full op sequence for a mini-batch, exchanging
+/// activations/gradients with its neighbors through `links`. This is the
+/// single implementation of the per-stage 1F1B discipline: the in-process
+/// engine runs it on scoped threads over [`ChannelLinks`], and `pac-net`'s
+/// distributed workers run the *same function* over TCP-backed links.
+///
+/// Transport failures surface as whatever typed error the links produce
+/// ([`EngineError::Disconnected`] in-process, `EngineError::RankDown` over
+/// sockets); math failures as [`EngineError::Tensor`]. Structural
+/// invariants of the op sequence (a context present for every backward,
+/// links wired per position) remain `expect`s — a violation is a scheduler
+/// bug.
+///
+/// # Errors
+/// Typed transport errors from `links`, [`EngineError::Tensor`] from the
+/// stage math.
 #[allow(clippy::too_many_arguments)]
-fn stage_worker(
+pub fn run_stage<L: StageLinks>(
     mut stage: StageModel,
     s: usize,
     s_n: usize,
     m_n: usize,
     schedule: Schedule,
-    mb_inputs: Vec<(Vec<Vec<usize>>, Vec<usize>)>,
-    fwd_tx: Option<Sender<(usize, StageData)>>,
-    fwd_rx: Option<Receiver<(usize, StageData)>>,
-    bwd_tx: Option<Sender<(usize, Tensor)>>,
-    bwd_rx: Option<Receiver<(usize, Tensor)>>,
+    mb_inputs: &[(Vec<Vec<usize>>, Vec<usize>)],
+    links: &mut L,
     epoch: &Instant,
     faults: &LaneFaults,
 ) -> EngineResult<StageRun> {
@@ -242,13 +388,6 @@ fn stage_worker(
             faults.lane, faults.step
         );
     }
-    let lane = faults.lane;
-    let disconnected = |micro: usize, forward: bool| EngineError::Disconnected {
-        lane,
-        stage: s,
-        micro,
-        forward,
-    };
     let ops = stage_op_sequence(schedule, s, s_n, m_n);
     let mut ctxs: HashMap<usize, StageCtx> = HashMap::new();
     let mut outputs: HashMap<usize, Tensor> = HashMap::new();
@@ -263,13 +402,7 @@ fn stage_worker(
                 let input = if s == 0 {
                     StageData::Tokens(mb_inputs[m].0.clone())
                 } else {
-                    let (idx, data) = fwd_rx
-                        .as_ref()
-                        .expect("interior stage has a forward receiver")
-                        .recv()
-                        .map_err(|_| disconnected(m, true))?;
-                    debug_assert_eq!(idx, m, "forward arrived out of order");
-                    data
+                    links.recv_fwd(m)?
                 };
                 let t0 = epoch.elapsed().as_secs_f64();
                 let (out, ctx) = stage.forward(input)?;
@@ -289,13 +422,7 @@ fn stage_worker(
                     StageData::Logits(l) => {
                         outputs.insert(m, l);
                     }
-                    other => {
-                        fwd_tx
-                            .as_ref()
-                            .expect("non-final stage has a forward sender")
-                            .send((m, other))
-                            .map_err(|_| disconnected(m, true))?;
-                    }
+                    other => links.send_fwd(m, other)?,
                 }
             }
             Op::B(m) => {
@@ -305,13 +432,7 @@ fn stage_worker(
                 let received = if s == s_n - 1 {
                     None
                 } else {
-                    let (idx, g) = bwd_rx
-                        .as_ref()
-                        .expect("non-final stage has a backward receiver")
-                        .recv()
-                        .map_err(|_| disconnected(m, false))?;
-                    debug_assert_eq!(idx, m, "backward arrived out of order");
-                    Some(g)
+                    Some(links.recv_bwd(m)?)
                 };
                 let t0 = epoch.elapsed().as_secs_f64();
                 let grad = match received {
@@ -338,16 +459,18 @@ fn stage_worker(
                 ctx.recycle();
                 pac_tensor::scratch::put(grad);
                 if let Some(g) = upstream {
-                    bwd_tx
-                        .as_ref()
-                        .expect("non-first stage has a backward sender")
-                        .send((m, g))
-                        .map_err(|_| disconnected(m, false))?;
+                    links.send_bwd(m, g)?;
                 }
             }
         }
     }
-    Ok((stage, loss_sum, peak_act, events, busy))
+    Ok(StageRun {
+        stage,
+        loss_sum,
+        peak_act_bytes: peak_act,
+        events,
+        busy_s: busy,
+    })
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 //! (losing a device never speeds up the plan), and index-robust
 //! (duplicates dedupe, out-of-range rejects).
 
-use pac_cluster::{Cluster, CostModel};
+use pac_cluster::{Cluster, CostModel, LinkSpec};
 use pac_model::ModelConfig;
 use pac_peft::Technique;
 use pac_planner::Planner;
@@ -54,6 +54,32 @@ proptest! {
             "lost a device yet sped up: {} -> {}",
             before.best_makespan_s,
             after.best_makespan_s
+        );
+    }
+
+    /// Planning against a *measured* link (from the loopback calibration
+    /// bench) composes with the search: on identical hardware, a strictly
+    /// faster fabric never worsens the best makespan — every candidate's
+    /// comm time shrinks, so the min over candidates does too.
+    #[test]
+    fn faster_measured_link_never_worsens_makespan(
+        n in 3usize..6,
+        bw_mbps in 32.0f64..256.0,
+        lat_ms in 0.1f64..5.0,
+    ) {
+        let slow = LinkSpec::measured(bw_mbps * 1e6, lat_ms * 1e-3);
+        let fast = LinkSpec::measured(bw_mbps * 4.0 * 1e6, lat_ms * 0.25 * 1e-3);
+        let plan = |link: LinkSpec| {
+            Planner::paper_defaults(Cluster::nanos(n).with_link(link), 4)
+                .plan(&cost())
+                .expect("plannable on nanos")
+        };
+        let (s, f) = (plan(slow), plan(fast));
+        prop_assert!(
+            f.best_makespan_s <= s.best_makespan_s * (1.0 + 1e-9),
+            "4x bandwidth + 1/4 latency slowed the plan: {} -> {}",
+            s.best_makespan_s,
+            f.best_makespan_s
         );
     }
 

@@ -103,6 +103,24 @@ pub fn reset() {
     registry().lock().unwrap().clear();
 }
 
+/// Folds a remote process's counter snapshot into this registry by
+/// addition, so a distributed coordinator can aggregate its workers'
+/// `net.*` traffic into one report (workers ship
+/// [`snapshot_prefix`]`("net.")` at shutdown). Counter semantics only —
+/// merging a gauge this way sums it, so ship counters, not gauges.
+pub fn merge_counters<I>(rows: I)
+where
+    I: IntoIterator<Item = (String, u64)>,
+{
+    if !enabled() {
+        return;
+    }
+    let mut map = registry().lock().unwrap();
+    for (k, v) in rows {
+        *map.entry(k).or_insert(0) += v;
+    }
+}
+
 /// RAII timing span: on drop, adds elapsed nanoseconds to `<name>.ns` and
 /// bumps `<name>.calls`. A no-op (no clock read) while collection is off.
 #[must_use = "the span measures until it is dropped"]
@@ -179,6 +197,10 @@ mod tests {
         assert_eq!(get("t.m"), Some(10));
         assert_eq!(get("t.work.calls"), Some(1));
         assert!(get("t.work.ns").is_some());
+
+        merge_counters(vec![("t.a".to_string(), 4), ("t.new".to_string(), 1)]);
+        assert_eq!(get("t.a"), Some(7), "merge adds into existing counters");
+        assert_eq!(get("t.new"), Some(1), "merge creates missing counters");
 
         let pre = snapshot_prefix("t.");
         assert!(pre.len() >= 5);
