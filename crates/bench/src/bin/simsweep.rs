@@ -1,0 +1,480 @@
+//! # simsweep — seeded adversarial schedule sweeps over the simulated net
+//!
+//! FoundationDB-style deterministic simulation testing for the distributed
+//! runtime: every seed builds a fresh in-memory world ([`pac_net::SimNet`])
+//! and runs the full coordinator/worker/driver stack — the *same* code
+//! paths production runs over TCP — under a seeded adversary, checking
+//! invariants that must hold in every schedule:
+//!
+//! * **A (clean equivalence)** — on a clean (delay/fragment only) world the
+//!   loss trajectory and final adapter parameters are *bitwise identical*
+//!   to the in-process `HybridEngine`, across a rotation of world shapes.
+//! * **B (fail-stop recovery)** — crashing a worker mid-run still yields a
+//!   full-length loss trajectory, exactly one replan, and a final loss
+//!   close to the clean run's.
+//! * **C (chaos determinism)** — under drop/duplicate/corrupt/reorder the
+//!   run either succeeds or fails with a *typed* error (never a panic,
+//!   never a hang past the virtual-time horizon), and running the same
+//!   seed twice produces a byte-identical event trace.
+//!
+//! A failing seed is reported with its event trace dumped to
+//! `simsweep-trace-seed-<K>.txt` and is reproducible from `--seed=K`
+//! alone — no schedule, no timing, no environment needed.
+//!
+//! `--planted` runs the harness self-test: a worker buggified to apply its
+//! local gradient *before* the AllReduce must be caught (divergence from
+//! the in-process reference) within the seed budget.
+
+#![deny(missing_docs)]
+
+use pac_model::{EncoderModel, ModelConfig};
+use pac_net::{Buggify, DistConfig, DistTrainer, SimConfig, SimNet, SimSpawner};
+use pac_nn::optim::Sgd;
+use pac_nn::Optimizer;
+use pac_parallel::engine::{HybridEngine, MicroBatch};
+use pac_parallel::{FaultPlan, Schedule};
+use pac_tensor::rng::seeded;
+use rand::Rng;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const SEED: u64 = 7;
+const STEPS: usize = 6;
+const MICROS: usize = 2;
+const ROWS_PER_MICRO: usize = 4;
+const SEQ: usize = 6;
+
+/// World shapes phase A rotates through, `(stages, lanes)`.
+const SHAPES: [(usize, usize); 3] = [(2, 2), (2, 1), (3, 2)];
+
+fn make_batches() -> Vec<Vec<MicroBatch>> {
+    let mut rng = seeded(SEED ^ 0xda7a_5eed);
+    (0..STEPS)
+        .map(|_| {
+            (0..MICROS)
+                .map(|_| {
+                    let rows: Vec<Vec<usize>> = (0..ROWS_PER_MICRO)
+                        .map(|_| (0..SEQ).map(|_| rng.gen_range(0..64usize)).collect())
+                        .collect();
+                    let labels: Vec<usize> = (0..ROWS_PER_MICRO)
+                        .map(|_| rng.gen_range(0..2usize))
+                        .collect();
+                    (rows, labels)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// In-process reference: losses + canonical params for a shape.
+fn inprocess_run(cfg: &DistConfig, batches: &[Vec<MicroBatch>]) -> Reference {
+    let model_cfg = ModelConfig::micro(cfg.enc_layers, 0, cfg.hidden, cfg.heads);
+    let model = EncoderModel::new(&model_cfg, cfg.n_out, &mut seeded(cfg.seed));
+    let stages = model.partition(&cfg.partition).expect("partition");
+    let mut engine = HybridEngine::new(stages, cfg.lanes, Schedule::OneFOneB);
+    let mut opts: Vec<Box<dyn Optimizer>> = (0..cfg.lanes)
+        .map(|_| Box::new(Sgd::new(cfg.lr)) as Box<dyn Optimizer>)
+        .collect();
+    let mut losses = Vec::new();
+    for batch in batches {
+        engine.zero_grads();
+        losses.push(engine.run_mini_batch(batch).expect("in-process step"));
+        engine.step(&mut opts);
+    }
+    Reference {
+        losses,
+        params: engine.canonical_params(),
+    }
+}
+
+struct Reference {
+    losses: Vec<f32>,
+    params: Vec<(String, pac_tensor::Tensor)>,
+}
+
+/// One full distributed job inside one simulated world.
+fn sim_run(
+    sim_cfg: SimConfig,
+    dist_cfg: DistConfig,
+    batches: &[Vec<MicroBatch>],
+    buggify: Buggify,
+) -> (Result<pac_net::DistReport, pac_net::DistError>, SimNet) {
+    let net = SimNet::new(sim_cfg);
+    let _coord = net.register(0);
+    let spawner = SimSpawner::with_buggify(net.clone(), buggify);
+    let report = DistTrainer::new(dist_cfg).run(&spawner, batches, &FaultPlan::none());
+    (report, net)
+}
+
+/// World-level invariants every run must satisfy regardless of outcome.
+fn check_world(net: &SimNet, what: &str) -> Result<(), String> {
+    let panics = net.panics();
+    if !panics.is_empty() {
+        return Err(format!("{what}: worker panicked: {panics:?}"));
+    }
+    Ok(())
+}
+
+fn bitwise_check(
+    report: &pac_net::DistReport,
+    reference: &Reference,
+    what: &str,
+) -> Result<(), String> {
+    if report.losses.len() != reference.losses.len() {
+        return Err(format!(
+            "{what}: loss trajectory truncated: {} vs {}",
+            report.losses.len(),
+            reference.losses.len()
+        ));
+    }
+    for (t, (d, r)) in report
+        .losses
+        .iter()
+        .zip(reference.losses.iter())
+        .enumerate()
+    {
+        if d.to_bits() != r.to_bits() {
+            return Err(format!(
+                "{what}: loss diverged at step {t}: sim {d} vs ref {r}"
+            ));
+        }
+    }
+    if report.final_params.len() != reference.params.len() {
+        return Err(format!("{what}: param set mismatch"));
+    }
+    for ((dn, dt), (rn, rt)) in report.final_params.iter().zip(reference.params.iter()) {
+        if dn != rn {
+            return Err(format!("{what}: param order mismatch: {dn} vs {rn}"));
+        }
+        for (a, b) in dt.data().iter().zip(rt.data().iter()) {
+            if a.to_bits() != b.to_bits() {
+                return Err(format!("{what}: param {dn} bits diverged"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Phase A: clean world, rotated shape, bitwise equivalence.
+fn phase_a(
+    seed: u64,
+    batches: &[Vec<MicroBatch>],
+    refs: &HashMap<(usize, usize), Reference>,
+) -> Result<(), (String, SimNet)> {
+    let shape = SHAPES[(seed % SHAPES.len() as u64) as usize];
+    let cfg = DistConfig::loopback(shape.0, shape.1);
+    let (report, net) = sim_run(SimConfig::clean(seed), cfg, batches, Buggify::default());
+    let what = format!("A[{}x{}]", shape.0, shape.1);
+    if let Err(e) = check_world(&net, &what) {
+        return Err((e, net));
+    }
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => return Err((format!("{what}: clean run failed: {e}"), net)),
+    };
+    if let Err(e) = bitwise_check(&report, &refs[&shape], &what) {
+        return Err((e, net));
+    }
+    Ok(())
+}
+
+/// Phase B: crash a worker halfway through its seed's own clean timeline;
+/// the run must recover with a full loss history and exactly one replan.
+fn phase_b(seed: u64, batches: &[Vec<MicroBatch>]) -> Result<(), (String, SimNet)> {
+    let cfg = DistConfig::loopback(2, 2);
+    let (clean, net) = sim_run(
+        SimConfig::clean(seed),
+        cfg.clone(),
+        batches,
+        Buggify::default(),
+    );
+    let t_end = net.now_ns();
+    let clean = match clean {
+        Ok(r) => r,
+        Err(e) => return Err((format!("B: calibration run failed: {e}"), net)),
+    };
+
+    let mut sim_cfg = SimConfig::clean(seed);
+    sim_cfg.crashes.push((t_end / 2, 2)); // stage 0, lane 1
+    let (faulty, net) = sim_run(sim_cfg, cfg, batches, Buggify::default());
+    if let Err(e) = check_world(&net, "B") {
+        return Err((e, net));
+    }
+    let faulty = match faulty {
+        Ok(r) => r,
+        Err(e) => return Err((format!("B: crashed run did not recover: {e}"), net)),
+    };
+    if faulty.losses.len() != batches.len() {
+        return Err((
+            format!(
+                "B: truncated loss history after recovery: {}",
+                faulty.losses.len()
+            ),
+            net,
+        ));
+    }
+    if faulty.recovery.replans != 1 || faulty.final_lanes != 1 {
+        return Err((
+            format!(
+                "B: expected 1 replan / 1 lane, got {} / {}",
+                faulty.recovery.replans, faulty.final_lanes
+            ),
+            net,
+        ));
+    }
+    let (a, b) = (
+        *clean.losses.last().unwrap(),
+        *faulty.losses.last().unwrap(),
+    );
+    if !a.is_finite() || !b.is_finite() || (a - b).abs() >= 0.5 {
+        return Err((format!("B: recovered training drifted: {a} vs {b}"), net));
+    }
+    Ok(())
+}
+
+/// Phase C: chaos world, run twice; typed outcome, no panics, and a
+/// byte-identical trace — the determinism the whole harness rests on.
+fn phase_c(seed: u64, batches: &[Vec<MicroBatch>]) -> Result<(), (String, SimNet)> {
+    let cfg = DistConfig::loopback(2, 2);
+    let run = || {
+        sim_run(
+            SimConfig::chaos(seed),
+            cfg.clone(),
+            batches,
+            Buggify::default(),
+        )
+    };
+    let (out_a, net_a) = run();
+    if let Err(e) = check_world(&net_a, "C") {
+        return Err((e, net_a));
+    }
+    // Either outcome is legal under chaos; what is illegal is a panic
+    // (checked above) or a hang (the virtual horizon turns those into
+    // typed Deadlock errors, surfaced through `out_a` as Err).
+    let summary_a = match &out_a {
+        Ok(r) => format!("ok losses={}", r.losses.len()),
+        Err(e) => format!("err {e}"),
+    };
+    let (out_b, net_b) = run();
+    let summary_b = match &out_b {
+        Ok(r) => format!("ok losses={}", r.losses.len()),
+        Err(e) => format!("err {e}"),
+    };
+    if summary_a != summary_b {
+        return Err((
+            format!("C: same seed, different outcome: '{summary_a}' vs '{summary_b}'"),
+            net_b,
+        ));
+    }
+    let (ta, tb) = (net_a.trace_lines(), net_b.trace_lines());
+    if ta != tb {
+        let first = ta
+            .iter()
+            .zip(tb.iter())
+            .position(|(x, y)| x != y)
+            .unwrap_or_else(|| ta.len().min(tb.len()));
+        return Err((
+            format!(
+                "C: trace not a pure function of the seed (lines {} vs {}, first divergence at {first}: '{}' vs '{}')",
+                ta.len(),
+                tb.len(),
+                ta.get(first).map(String::as_str).unwrap_or("<end>"),
+                tb.get(first).map(String::as_str).unwrap_or("<end>"),
+            ),
+            net_b,
+        ));
+    }
+    if net_a.now_ns() != net_b.now_ns() {
+        return Err((
+            format!(
+                "C: end times differ: {} vs {}",
+                net_a.now_ns(),
+                net_b.now_ns()
+            ),
+            net_b,
+        ));
+    }
+    Ok(())
+}
+
+/// The planted-bug self-test: grad applied before the AllReduce completes
+/// must be *caught* (divergence from the reference) — if the harness can't
+/// see an ordering bug we planted, it can't see one we didn't.
+fn planted_probe(seed: u64, batches: &[Vec<MicroBatch>], reference: &Reference) -> bool {
+    let cfg = DistConfig::loopback(2, 2);
+    let (report, _net) = sim_run(
+        SimConfig::clean(seed),
+        cfg,
+        batches,
+        Buggify {
+            apply_grad_before_allreduce: true,
+        },
+    );
+    match report {
+        // A typed failure also counts as "caught": the bug was surfaced.
+        Err(_) => true,
+        Ok(r) => r
+            .losses
+            .iter()
+            .zip(reference.losses.iter())
+            .any(|(d, r)| d.to_bits() != r.to_bits()),
+    }
+}
+
+fn dump_trace(out_dir: &Path, seed: u64, net: &SimNet, why: &str) -> PathBuf {
+    let path = out_dir.join(format!("simsweep-trace-seed-{seed}.txt"));
+    let mut body = format!(
+        "simsweep failing seed {seed}\nreason: {why}\nvirtual end: {} ns\ndeadlock: {:?}\npanics: {:?}\n--- event trace ---\n",
+        net.now_ns(),
+        net.deadlocked(),
+        net.panics(),
+    );
+    for line in net.trace_lines() {
+        body.push_str(&line);
+        body.push('\n');
+    }
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("simsweep: could not write trace {}: {e}", path.display());
+    }
+    path
+}
+
+struct Args {
+    seeds: u64,
+    seed: Option<u64>,
+    quick: bool,
+    planted: bool,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 200,
+        seed: None,
+        quick: false,
+        planted: false,
+        out_dir: PathBuf::from("."),
+    };
+    for a in std::env::args().skip(1) {
+        if let Some(v) = a.strip_prefix("--seeds=") {
+            args.seeds = v.parse().map_err(|e| format!("--seeds: {e}"))?;
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            args.seed = Some(v.parse().map_err(|e| format!("--seed: {e}"))?);
+        } else if let Some(v) = a.strip_prefix("--out-dir=") {
+            args.out_dir = PathBuf::from(v);
+        } else if a == "--quick" {
+            args.quick = true;
+        } else if a == "--planted" {
+            args.planted = true;
+        } else if a == "--help" || a == "-h" {
+            return Err(
+                "usage: simsweep [--seeds=N] [--seed=K] [--quick] [--planted] [--out-dir=DIR]\n\
+                 \n\
+                 --seeds=N    sweep seeds 0..N (default 200)\n\
+                 --seed=K     reproduce one seed, always dumping its trace\n\
+                 --quick      phase B (crash recovery) on every 10th seed only\n\
+                 --planted    self-test: the planted AllReduce ordering bug must be caught\n\
+                 --out-dir    where failing-seed traces are written (default .)"
+                    .to_string(),
+            );
+        } else {
+            return Err(format!("unknown argument: {a} (try --help)"));
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let t0 = Instant::now();
+    let batches = make_batches();
+
+    if args.planted {
+        let reference = inprocess_run(&DistConfig::loopback(2, 2), &batches);
+        for seed in 0..args.seeds {
+            if planted_probe(seed, &batches, &reference) {
+                println!(
+                    "planted: AllReduce ordering bug caught at seed {seed} ({} probe(s), {:.1}s)",
+                    seed + 1,
+                    t0.elapsed().as_secs_f64()
+                );
+                return ExitCode::SUCCESS;
+            }
+        }
+        eprintln!(
+            "planted: ordering bug NOT caught in {} seeds — the harness is blind",
+            args.seeds
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut refs = HashMap::new();
+    for shape in SHAPES {
+        refs.insert(
+            shape,
+            inprocess_run(&DistConfig::loopback(shape.0, shape.1), &batches),
+        );
+    }
+
+    let seeds: Vec<u64> = match args.seed {
+        Some(k) => vec![k],
+        None => (0..args.seeds).collect(),
+    };
+    let single = args.seed.is_some();
+    let mut failures = 0u64;
+    for &seed in &seeds {
+        let run_phase = |name: &str, r: Result<(), (String, SimNet)>| match r {
+            Ok(()) => {
+                if single {
+                    println!("seed {seed} phase {name}: ok");
+                }
+                true
+            }
+            Err((why, net)) => {
+                let path = dump_trace(&args.out_dir, seed, &net, &why);
+                eprintln!("seed {seed} phase {name}: FAIL: {why}");
+                eprintln!("  trace: {}", path.display());
+                eprintln!("  repro: simsweep --seed={seed}");
+                false
+            }
+        };
+        let mut ok = run_phase("A", phase_a(seed, &batches, &refs));
+        if !args.quick || seed % 10 == 0 || single {
+            ok &= run_phase("B", phase_b(seed, &batches));
+        }
+        ok &= run_phase("C", phase_c(seed, &batches));
+        if !ok {
+            failures += 1;
+        }
+        if !single && seed % 25 == 24 {
+            let done = seed + 1;
+            println!(
+                "… {done}/{} seeds, {failures} failing, {:.1}s",
+                seeds.len(),
+                t0.elapsed().as_secs_f64()
+            );
+            std::io::stdout().flush().ok();
+        }
+    }
+
+    let secs = t0.elapsed().as_secs_f64();
+    if failures == 0 {
+        println!("simsweep: {} seed(s) clean in {secs:.1}s", seeds.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "simsweep: {failures}/{} seed(s) FAILED in {secs:.1}s",
+            seeds.len()
+        );
+        ExitCode::FAILURE
+    }
+}

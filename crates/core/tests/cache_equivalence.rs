@@ -1,0 +1,101 @@
+//! Cache-phase bitwise equivalence (paper §4.2).
+//!
+//! The activation cache must be a *pure* optimization: training epochs ≥ 2
+//! from cached backbone activations has to produce bitwise-identical
+//! results — every epoch loss bit and every final parameter bit — to
+//! recomputing the frozen backbone forward each epoch. And that identity
+//! must hold at every parallelism width, because the tensor kernels commit
+//! to width-independent reduction order.
+
+use pac_core::{finetune, finetune_with_cache, TrainConfig};
+use pac_data::{Dataset, TaskKind};
+use pac_model::ModelConfig;
+use pac_nn::Module;
+use pac_peft::{ActivationCache, Technique, Tuner};
+use pac_tensor::rng::seeded;
+use pac_tensor::Tensor;
+
+const WIDTHS: [usize; 3] = [1, 2, 8];
+
+struct Outcome {
+    losses: Vec<f32>,
+    params: Vec<Tensor>,
+}
+
+fn params_of(tuner: &Tuner) -> Vec<Tensor> {
+    let mut out = Vec::new();
+    tuner.visit_params_ref(&mut |p| out.push(p.value.clone()));
+    out
+}
+
+fn run(width: usize, cached: bool) -> Outcome {
+    rayon::pool::set_max_concurrency(width);
+    let cfg = ModelConfig::micro(2, 1, 16, 2);
+    let mut tuner = Tuner::new(Technique::parallel_default(), &cfg, 2, &mut seeded(411));
+    let (train, eval) = Dataset::generate(TaskKind::Sst2, 32, 17, 5).split(0.8);
+    let tcfg = TrainConfig {
+        epochs: 3,
+        ..Default::default()
+    };
+    let report = if cached {
+        let mut cache = ActivationCache::new();
+        finetune_with_cache(&mut tuner, &train, &eval, &tcfg, &mut cache).expect("cached run")
+    } else {
+        finetune(&mut tuner, &train, &eval, &tcfg).expect("plain run")
+    };
+    rayon::pool::set_max_concurrency(usize::MAX);
+    Outcome {
+        losses: report.epoch_losses,
+        params: params_of(&tuner),
+    }
+}
+
+fn assert_bitwise(a: &Outcome, b: &Outcome, what: &str) {
+    assert_eq!(a.losses.len(), b.losses.len(), "{what}: epoch count");
+    for (e, (x, y)) in a.losses.iter().zip(b.losses.iter()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: epoch {e} loss bits differ: {x} vs {y}"
+        );
+    }
+    assert_eq!(a.params.len(), b.params.len(), "{what}: param count");
+    for (i, (x, y)) in a.params.iter().zip(b.params.iter()).enumerate() {
+        for (p, q) in x.data().iter().zip(y.data().iter()) {
+            assert_eq!(p.to_bits(), q.to_bits(), "{what}: param {i} bits differ");
+        }
+    }
+}
+
+/// Epochs ≥ 2 served from the activation cache are bitwise identical —
+/// loss bits and final adapter parameters — to recomputing the frozen
+/// backbone every epoch, at every pool width.
+#[test]
+fn cached_epochs_are_bitwise_identical_to_backbone_recompute() {
+    let reference = run(1, false);
+    assert_eq!(
+        reference.losses.len(),
+        3,
+        "needs epochs >= 2 to mean anything"
+    );
+    for width in WIDTHS {
+        let cached = run(width, true);
+        assert_bitwise(
+            &reference,
+            &cached,
+            &format!("cached(width={width}) vs recompute(width=1)"),
+        );
+    }
+}
+
+/// The backbone-recompute path itself is width-invariant — otherwise the
+/// cached-vs-recomputed identity above could mask a nondeterministic
+/// kernel by comparing two equally-wrong runs.
+#[test]
+fn recompute_path_is_pool_width_invariant() {
+    let reference = run(1, false);
+    for width in &WIDTHS[1..] {
+        let other = run(*width, false);
+        assert_bitwise(&reference, &other, &format!("recompute width {width} vs 1"));
+    }
+}

@@ -11,15 +11,23 @@
 //!   `repro --telemetry` can put *measured* traffic next to the planner's
 //!   *modeled* communication volume.
 
-use crate::wire::{encode_frame, read_frame, Msg, NetError};
+use crate::transport::Conn;
+use crate::wire::{encode_frame, FrameReader, Msg, NetError};
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 /// A blocking, framed, metered TCP connection.
+///
+/// Owns a persistent [`FrameReader`], so a read deadline that fires
+/// *mid-frame* (header received, payload stalled) surfaces as
+/// [`NetError::Timeout`] and leaves the partial frame buffered — a retried
+/// [`FramedConn::recv`] resumes the same frame instead of desyncing into
+/// `BadMagic`/`BadChecksum`.
 #[derive(Debug)]
 pub struct FramedConn {
     stream: TcpStream,
+    reader: FrameReader,
 }
 
 impl FramedConn {
@@ -36,7 +44,10 @@ impl FramedConn {
     pub fn from_stream(stream: TcpStream, timeout: Duration) -> Result<Self, NetError> {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(timeout))?;
-        Ok(FramedConn { stream })
+        Ok(FramedConn {
+            stream,
+            reader: FrameReader::new(),
+        })
     }
 
     /// Replaces the read deadline (`None` blocks forever — only sensible
@@ -63,9 +74,12 @@ impl FramedConn {
     }
 
     /// Receives one message, honoring the read deadline. Counts
-    /// `net.bytes_recv`.
+    /// `net.bytes_recv`. On [`NetError::Timeout`] the partial frame stays
+    /// buffered and a retried `recv` resumes it.
     pub fn recv(&mut self) -> Result<Msg, NetError> {
-        let (msg, n) = read_frame(&mut self.stream)?;
+        let (msg, n) = self
+            .reader
+            .read_from(&mut crate::wire::IoSource(&mut self.stream))?;
         pac_telemetry::counter_add("net.bytes_recv", n as u64);
         Ok(msg)
     }
@@ -84,6 +98,20 @@ impl FramedConn {
             let _ = want;
             Err(NetError::Malformed("unexpected message for protocol state"))
         }
+    }
+}
+
+impl Conn for FramedConn {
+    fn send(&mut self, msg: &Msg) -> Result<(), NetError> {
+        FramedConn::send(self, msg)
+    }
+
+    fn recv(&mut self) -> Result<Msg, NetError> {
+        FramedConn::recv(self)
+    }
+
+    fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), NetError> {
+        FramedConn::set_timeout(self, timeout)
     }
 }
 

@@ -20,7 +20,7 @@
 //! ring-AllReduce volume; `net.bytes_sent` reports what actually moved, and
 //! `repro --telemetry` shows both side by side.
 
-use crate::chan::FramedConn;
+use crate::transport::Conn;
 use crate::wire::{Msg, NetError};
 use pac_model::StageModel;
 use pac_nn::Module;
@@ -86,10 +86,13 @@ pub fn write_back_grads(stage: &mut StageModel, sums: &[Tensor]) {
 /// the in-process `allreduce_group` on the same inputs.
 ///
 /// With `lanes == 1` this is a no-op, matching the in-process early return.
-pub fn ring_allreduce_mean(
+///
+/// Generic over [`Conn`]: the identical hop sequence runs over TCP and
+/// over the simulated transport.
+pub fn ring_allreduce_mean<C: Conn>(
     stage: &mut StageModel,
-    ring_in: &mut FramedConn,
-    ring_out: &mut FramedConn,
+    ring_in: &mut C,
+    ring_out: &mut C,
     ctx: &RingCtx,
 ) -> EngineResult<()> {
     if ctx.lanes <= 1 {

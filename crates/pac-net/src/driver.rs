@@ -17,7 +17,8 @@
 //! same [`FaultClock`] machinery the in-process session uses.
 
 use crate::rendezvous::{Rendezvous, Topology, WorkerConn};
-use crate::spawn::{SpawnedWorld, Spawner};
+use crate::spawn::{Spawn, SpawnedWorld};
+use crate::transport::{Conn, Transport};
 use crate::wire::{encode_frame, Assignment, Msg, NetError};
 use pac_cluster::{Cluster, CostModel, LinkSpec};
 use pac_core::RecoveryReport;
@@ -154,8 +155,8 @@ pub struct DistReport {
     pub final_lanes: usize,
 }
 
-struct Round {
-    conns: Vec<WorkerConn>,
+struct Round<C: Conn> {
+    conns: Vec<WorkerConn<C>>,
     world: SpawnedWorld,
     topo: Topology,
 }
@@ -190,21 +191,21 @@ impl DistTrainer {
         DistTrainer { cfg }
     }
 
-    fn start_round(
+    fn start_round<S: Spawn>(
         &self,
-        spawner: &Spawner,
+        spawner: &S,
         lanes: usize,
         m_n: usize,
         snapshot: Option<&Snapshot>,
-    ) -> Result<Round, DistError> {
+    ) -> Result<Round<<S::T as Transport>::Conn>, DistError> {
         let cfg = &self.cfg;
         let topo = Topology {
             stages: cfg.stages(),
             lanes,
         };
-        let rdv = Rendezvous::bind()?;
+        let rdv = Rendezvous::bind_on(&spawner.transport())?;
         let world = spawner
-            .launch(rdv.addr(), topo.world())
+            .launch(rdv.port(), topo.world())
             .map_err(|e| DistError::Net(NetError::Io(e)))?;
         let mut conns = match rdv.accept_world(topo.world(), cfg.setup_timeout, cfg.net_timeout) {
             Ok(c) => c,
@@ -214,47 +215,48 @@ impl DistTrainer {
             }
         };
         let ports: Vec<u16> = conns.iter().map(|w| w.data_port).collect();
-        let setup = |conns: &mut Vec<WorkerConn>| -> Result<(), NetError> {
-            for (rank, wc) in conns.iter_mut().enumerate() {
-                wc.ctrl.send(&Msg::Assign(Box::new(Assignment {
-                    rank: rank as u32,
-                    lane: topo.lane_of(rank) as u32,
-                    stage: topo.stage_of(rank) as u32,
-                    lanes: topo.lanes as u32,
-                    stages: topo.stages as u32,
-                    seed: cfg.seed,
-                    lr: cfg.lr,
-                    enc_layers: cfg.enc_layers as u32,
-                    hidden: cfg.hidden as u32,
-                    heads: cfg.heads as u32,
-                    n_out: cfg.n_out as u32,
-                    partition: cfg.partition.iter().map(|&p| p as u32).collect(),
-                    schedule: cfg.schedule,
-                    micro_batches: m_n as u32,
-                    net_timeout_ms: cfg.net_timeout.as_millis() as u32,
-                    telemetry: cfg.telemetry,
-                })))?;
-            }
-            for wc in conns.iter_mut() {
-                wc.ctrl.send(&Msg::Peers {
-                    ports: ports.clone(),
-                })?;
-            }
-            for wc in conns.iter_mut() {
-                match wc.ctrl.recv()? {
-                    Msg::Ready => {}
-                    _ => return Err(NetError::Malformed("expected Ready after mesh wiring")),
-                }
-            }
-            if let Some(snap) = snapshot {
+        let setup =
+            |conns: &mut Vec<WorkerConn<<S::T as Transport>::Conn>>| -> Result<(), NetError> {
                 for (rank, wc) in conns.iter_mut().enumerate() {
-                    wc.ctrl.send(&Msg::Restore {
-                        entries: snap.stages[topo.stage_of(rank)].clone(),
+                    wc.ctrl.send(&Msg::Assign(Box::new(Assignment {
+                        rank: rank as u32,
+                        lane: topo.lane_of(rank) as u32,
+                        stage: topo.stage_of(rank) as u32,
+                        lanes: topo.lanes as u32,
+                        stages: topo.stages as u32,
+                        seed: cfg.seed,
+                        lr: cfg.lr,
+                        enc_layers: cfg.enc_layers as u32,
+                        hidden: cfg.hidden as u32,
+                        heads: cfg.heads as u32,
+                        n_out: cfg.n_out as u32,
+                        partition: cfg.partition.iter().map(|&p| p as u32).collect(),
+                        schedule: cfg.schedule,
+                        micro_batches: m_n as u32,
+                        net_timeout_ms: cfg.net_timeout.as_millis() as u32,
+                        telemetry: cfg.telemetry,
+                    })))?;
+                }
+                for wc in conns.iter_mut() {
+                    wc.ctrl.send(&Msg::Peers {
+                        ports: ports.clone(),
                     })?;
                 }
-            }
-            Ok(())
-        };
+                for wc in conns.iter_mut() {
+                    match wc.ctrl.recv()? {
+                        Msg::Ready => {}
+                        _ => return Err(NetError::Malformed("expected Ready after mesh wiring")),
+                    }
+                }
+                if let Some(snap) = snapshot {
+                    for (rank, wc) in conns.iter_mut().enumerate() {
+                        wc.ctrl.send(&Msg::Restore {
+                            entries: snap.stages[topo.stage_of(rank)].clone(),
+                        })?;
+                    }
+                }
+                Ok(())
+            };
         match setup(&mut conns) {
             Ok(()) => Ok(Round { conns, world, topo }),
             Err(e) => {
@@ -268,8 +270,8 @@ impl DistTrainer {
     /// Fetches parameters of the canonical replica (lane position 0),
     /// stage by stage. Returns the per-stage entries and the serialized
     /// snapshot size in bytes.
-    fn fetch_params(
-        round: &mut Round,
+    fn fetch_params<C: Conn>(
+        round: &mut Round<C>,
         trainable_only: bool,
     ) -> Result<(StageParams, usize), NetError> {
         let mut stages = Vec::with_capacity(round.topo.stages);
@@ -296,8 +298,8 @@ impl DistTrainer {
     /// One lockstep step: broadcast `Step`, collect one `Done` per rank.
     /// Any EOF, timeout, or `Fault` maps to [`EngineError::RankDown`] with
     /// the dead rank attributed (current-round numbering).
-    fn run_one_step(
-        round: &mut Round,
+    fn run_one_step<C: Conn>(
+        round: &mut Round<C>,
         step: u64,
         die_rank: Option<usize>,
         lane_mbs: &[Vec<MicroBatch>],
@@ -396,7 +398,7 @@ impl DistTrainer {
 
     /// Sends `Shutdown` to every rank (best-effort), merges worker
     /// telemetry, and reaps the world.
-    fn shutdown_round(round: Round) {
+    fn shutdown_round<C: Conn>(round: Round<C>) {
         let Round {
             mut conns, world, ..
         } = round;
@@ -416,9 +418,9 @@ impl DistTrainer {
     /// surviving fail-stop faults from `faults` via replan + checkpoint
     /// resume. Each `batches[t]` is one mini-batch of micro-batches, split
     /// row-wise across lanes exactly like the in-process `HybridEngine`.
-    pub fn run(
+    pub fn run<S: Spawn>(
         &self,
-        spawner: &Spawner,
+        spawner: &S,
         batches: &[Vec<MicroBatch>],
         faults: &FaultPlan,
     ) -> Result<DistReport, DistError> {
@@ -444,10 +446,11 @@ impl DistTrainer {
         let mut checkpoint_bytes = 0usize;
 
         let mut round = self.start_round(spawner, alive_lanes.len(), m_n, None)?;
-        let teardown_on_err = |round: Round, e: DistError| -> DistError {
-            Self::shutdown_round(round);
-            e
-        };
+        let teardown_on_err =
+            |round: Round<<S::T as Transport>::Conn>, e: DistError| -> DistError {
+                Self::shutdown_round(round);
+                e
+            };
 
         // Initial snapshot: recovery must always have something to restore.
         let (snap_stages, bytes) = match Self::fetch_params(&mut round, true) {

@@ -1,17 +1,29 @@
-//! # pac-net — real sockets under the PAC engines
+//! # pac-net — the distributed runtime under the PAC engines
 //!
 //! Distributed execution for the PAC reproduction: the in-process engines
 //! of `pac-parallel` (1F1B pipeline stages, DP-lane gradient AllReduce)
 //! running across OS processes over TCP, with **bitwise-identical**
 //! results on the same seed.
 //!
+//! Every protocol layer is generic over the [`transport`] traits, so the
+//! same coordinator/worker/driver code runs over two transports:
+//!
+//! * [`transport::Tcp`] — real sockets (production, `repro --distributed`);
+//! * [`simnet`] — a deterministic in-memory network with a seeded virtual
+//!   clock and a per-link adversary (delay, reorder, drop, duplicate,
+//!   corrupt, partition, crash), for FoundationDB-style simulation testing
+//!   (`simsweep` in `pac-bench`).
+//!
 //! Layers, bottom up:
 //!
 //! * [`wire`] — length-prefixed binary frames: magic, version, checksum,
 //!   and bit-exact f32 tensor encoding. Corrupt input rejects with typed
-//!   errors; it never panics or misparses.
+//!   errors; it never panics or misparses. [`wire::FrameReader`] holds
+//!   partial-frame state across read deadlines.
+//! * [`transport`] — the [`transport::Transport`] / [`transport::Listener`]
+//!   / [`transport::Conn`] trait triple that abstracts the byte transport.
 //! * [`chan`] — [`chan::FramedConn`]: blocking framed TCP with read
-//!   deadlines and `net.*` telemetry counters.
+//!   deadlines and `net.*` telemetry counters; the production `Conn`.
 //! * [`rendezvous`] — coordinator rendezvous, rank assignment in arrival
 //!   order (workers rebuild the model from the shared seed, so no weights
 //!   ship at startup), and worker-side mesh wiring (pipeline + ring edges).
@@ -19,14 +31,16 @@
 //!   the float-op order of the in-process `allreduce_group` on every rank,
 //!   which is what keeps distributed gradients bit-identical.
 //! * [`worker`] — one rank: `run_stage` (the same code the in-process
-//!   engine runs, over [`worker::TcpStageLinks`]), the collective, a local
+//!   engine runs, over [`worker::NetStageLinks`]), the collective, a local
 //!   SGD step, lockstep `Done` replies.
 //! * [`driver`] — the coordinator: lockstep stepping, checkpoint
 //!   snapshots, typed [`pac_parallel::EngineError::RankDown`] detection,
 //!   and restart-based recovery (planner `replan_without` → respawn →
 //!   restore → replay), reported through the shared `RecoveryReport`.
-//! * [`spawn`] — thread workers (tests) or forked processes
-//!   (`repro --distributed=N`).
+//! * [`spawn`] — the [`spawn::Spawn`] trait: thread workers (tests),
+//!   forked processes (`repro --distributed=N`), or simulated workers
+//!   ([`simnet::SimSpawner`]).
+//! * [`simnet`] — the simulated transport itself.
 //! * [`calib`] — loopback link calibration feeding
 //!   [`pac_cluster::LinkSpec::measured`] to the planner.
 
@@ -37,7 +51,9 @@ pub mod chan;
 pub mod collective;
 pub mod driver;
 pub mod rendezvous;
+pub mod simnet;
 pub mod spawn;
+pub mod transport;
 pub mod wire;
 pub mod worker;
 
@@ -45,6 +61,8 @@ pub use calib::{calibrate_loopback, LinkCalibration};
 pub use chan::FramedConn;
 pub use driver::{DistConfig, DistError, DistReport, DistTrainer};
 pub use rendezvous::{Rendezvous, Topology};
-pub use spawn::{SpawnedWorld, Spawner};
-pub use wire::{Assignment, Msg, NetError};
-pub use worker::{run_worker, RunMode, KILLED_EXIT};
+pub use simnet::{SimConfig, SimConn, SimNet, SimSpawner};
+pub use spawn::{Spawn, SpawnedWorld, Spawner};
+pub use transport::{Conn, Listener, Tcp, Transport};
+pub use wire::{Assignment, ByteSource, FrameReader, IoSource, Msg, NetError};
+pub use worker::{run_worker, run_worker_on, Buggify, RunMode, KILLED_EXIT};

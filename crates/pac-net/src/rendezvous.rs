@@ -1,11 +1,11 @@
 //! Coordinator rendezvous and worker mesh wiring.
 //!
-//! Startup protocol (all on loopback in this reproduction, but nothing
+//! Startup protocol (all on one host in this reproduction, but nothing
 //! below assumes it):
 //!
 //! 1. The coordinator binds a rendezvous listener and spawns `W` workers,
-//!    handing each the rendezvous address.
-//! 2. Each worker binds its *own* ephemeral data-plane listener, dials the
+//!    handing each the rendezvous port.
+//! 2. Each worker binds its *own* data-plane listener, dials the
 //!    coordinator, and sends `Hello { listen_port }`.
 //! 3. The coordinator accepts `W` control connections and assigns ranks in
 //!    **arrival order** — workers are interchangeable because every rank
@@ -18,15 +18,18 @@
 //!    predecessor). Then they report `Ready`.
 //!
 //! Rank layout: `rank = stage * lanes + lane`. Pipeline edges connect
-//! `(s, k) → (s+1, k)` (one full-duplex socket: activations downstream,
-//! boundary gradients upstream). Ring edges connect `(s, k) → (s, (k+1) %
-//! lanes)`; with two lanes this yields two sockets per pair, one per
-//! direction, which keeps the hop protocol uniform for every lane count.
+//! `(s, k) → (s+1, k)` (one full-duplex connection: activations
+//! downstream, boundary gradients upstream). Ring edges connect `(s, k) →
+//! (s, (k+1) % lanes)`; with two lanes this yields two connections per
+//! pair, one per direction, which keeps the hop protocol uniform for every
+//! lane count.
+//!
+//! Everything here is generic over [`Transport`]: the same rendezvous and
+//! mesh wiring runs over TCP and over the deterministic simulation.
 
-use crate::chan::FramedConn;
+use crate::transport::{Conn, Listener, Transport};
 use crate::wire::{Assignment, LinkKind, Msg, NetError};
-use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// World shape and rank arithmetic, shared by coordinator and workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,70 +59,47 @@ impl Topology {
     }
 }
 
-/// Accepts with a deadline on a non-blocking listener.
-fn accept_deadline(
-    listener: &TcpListener,
-    deadline: Instant,
-) -> Result<(TcpStream, SocketAddr), NetError> {
-    listener.set_nonblocking(true)?;
-    loop {
-        match listener.accept() {
-            Ok((s, a)) => {
-                s.set_nonblocking(false)?;
-                return Ok((s, a));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                if Instant::now() >= deadline {
-                    return Err(NetError::Timeout);
-                }
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(e) => return Err(e.into()),
-        }
-    }
-}
-
 /// A worker's control connection as seen by the coordinator.
 #[derive(Debug)]
-pub struct WorkerConn {
+pub struct WorkerConn<C: Conn> {
     /// Control channel to the worker.
-    pub ctrl: FramedConn,
+    pub ctrl: C,
     /// Port of the worker's data-plane listener.
     pub data_port: u16,
 }
 
 /// The coordinator's rendezvous point.
 #[derive(Debug)]
-pub struct Rendezvous {
-    listener: TcpListener,
+pub struct Rendezvous<T: Transport> {
+    listener: T::Listener,
 }
 
-impl Rendezvous {
-    /// Binds an ephemeral loopback rendezvous listener.
-    pub fn bind() -> Result<Self, NetError> {
-        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
-        Ok(Rendezvous { listener })
+impl<T: Transport> Rendezvous<T> {
+    /// Binds a rendezvous listener on `transport`.
+    pub fn bind_on(transport: &T) -> Result<Self, NetError> {
+        Ok(Rendezvous {
+            listener: transport.bind()?,
+        })
     }
 
-    /// Address workers should dial.
-    pub fn addr(&self) -> SocketAddr {
-        self.listener.local_addr().expect("bound listener has addr")
+    /// Port workers should dial.
+    pub fn port(&self) -> u16 {
+        self.listener.port()
     }
 
-    /// Accepts exactly `world` workers (each must open with `Hello`) within
-    /// `deadline_in`, returning them in arrival order — index in the
-    /// returned vector becomes the worker's rank.
+    /// Accepts exactly `world` workers (each must open with `Hello`),
+    /// waiting up to `accept_timeout` for each arrival, returning them in
+    /// arrival order — index in the returned vector becomes the worker's
+    /// rank.
     pub fn accept_world(
         &self,
         world: usize,
-        deadline_in: Duration,
+        accept_timeout: Duration,
         conn_timeout: Duration,
-    ) -> Result<Vec<WorkerConn>, NetError> {
-        let deadline = Instant::now() + deadline_in;
+    ) -> Result<Vec<WorkerConn<T::Conn>>, NetError> {
         let mut workers = Vec::with_capacity(world);
         while workers.len() < world {
-            let (stream, _) = accept_deadline(&self.listener, deadline)?;
-            let mut ctrl = FramedConn::from_stream(stream, conn_timeout)?;
+            let mut ctrl = self.listener.accept(accept_timeout, conn_timeout)?;
             match ctrl.recv()? {
                 Msg::Hello { listen_port, .. } => workers.push(WorkerConn {
                     ctrl,
@@ -133,28 +113,40 @@ impl Rendezvous {
 }
 
 /// A worker's fully-wired data plane.
-#[derive(Debug, Default)]
-pub struct Mesh {
+#[derive(Debug)]
+pub struct Mesh<C: Conn> {
     /// From the pipeline predecessor `(s-1, k)`; `None` on the first stage.
-    pub prev: Option<FramedConn>,
+    pub prev: Option<C>,
     /// To the pipeline successor `(s+1, k)`; `None` on the last stage.
-    pub next: Option<FramedConn>,
+    pub next: Option<C>,
     /// From the ring predecessor `(s, (k-1) % lanes)`; `None` when `lanes == 1`.
-    pub ring_in: Option<FramedConn>,
+    pub ring_in: Option<C>,
     /// To the ring successor `(s, (k+1) % lanes)`; `None` when `lanes == 1`.
-    pub ring_out: Option<FramedConn>,
+    pub ring_out: Option<C>,
+}
+
+impl<C: Conn> Default for Mesh<C> {
+    fn default() -> Self {
+        Mesh {
+            prev: None,
+            next: None,
+            ring_in: None,
+            ring_out: None,
+        }
+    }
 }
 
 /// Wires one worker's data-plane edges given its assignment and the peer
-/// port table. Dials outgoing edges first (TCP's listen backlog makes the
-/// cross-worker dial order irrelevant), then accepts and classifies the
-/// incoming ones by their `LinkHdr`.
-pub fn build_mesh(
-    listener: &TcpListener,
+/// port table. Dials outgoing edges first (the listen backlog makes the
+/// cross-worker dial order irrelevant, in TCP and in simnet alike), then
+/// accepts and classifies the incoming ones by their `LinkHdr`.
+pub fn build_mesh<T: Transport>(
+    transport: &T,
+    listener: &T::Listener,
     asg: &Assignment,
     ports: &[u16],
     timeout: Duration,
-) -> Result<Mesh, NetError> {
+) -> Result<Mesh<T::Conn>, NetError> {
     let topo = Topology {
         stages: asg.stages as usize,
         lanes: asg.lanes as usize,
@@ -163,9 +155,8 @@ pub fn build_mesh(
     if ports.len() != topo.world() {
         return Err(NetError::Malformed("peer table size != world size"));
     }
-    let dial = |rank: usize, kind: LinkKind| -> Result<FramedConn, NetError> {
-        let addr = SocketAddr::from((Ipv4Addr::LOCALHOST, ports[rank]));
-        let mut conn = FramedConn::connect(addr, timeout)?;
+    let dial = |rank: usize, kind: LinkKind| -> Result<T::Conn, NetError> {
+        let mut conn = transport.connect(ports[rank], timeout)?;
         conn.send(&Msg::LinkHdr {
             from_rank: asg.rank,
             kind,
@@ -187,10 +178,8 @@ pub fn build_mesh(
     let expect_prev = stage > 0;
     let expect_ring = topo.lanes > 1;
     let expected = expect_prev as usize + expect_ring as usize;
-    let deadline = Instant::now() + timeout;
     for _ in 0..expected {
-        let (stream, _) = accept_deadline(listener, deadline)?;
-        let mut conn = FramedConn::from_stream(stream, timeout)?;
+        let mut conn = listener.accept(timeout, timeout)?;
         match conn.recv()? {
             Msg::LinkHdr { from_rank, kind } => match kind {
                 LinkKind::Fwd => {
@@ -220,6 +209,7 @@ pub fn build_mesh(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::Tcp;
 
     #[test]
     fn rank_arithmetic() {
@@ -238,12 +228,12 @@ mod tests {
 
     #[test]
     fn rendezvous_collects_hellos_in_arrival_order() {
-        let rdv = Rendezvous::bind().unwrap();
-        let addr = rdv.addr();
+        let rdv = Rendezvous::bind_on(&Tcp::LOOPBACK).unwrap();
+        let port = rdv.port();
         let handles: Vec<_> = (0..3)
             .map(|slot| {
                 std::thread::spawn(move || {
-                    let mut c = FramedConn::connect(addr, Duration::from_secs(5)).unwrap();
+                    let mut c = Tcp::LOOPBACK.connect(port, Duration::from_secs(5)).unwrap();
                     c.send(&Msg::Hello {
                         slot,
                         listen_port: 1000 + slot as u16,
@@ -268,7 +258,7 @@ mod tests {
 
     #[test]
     fn rendezvous_times_out_when_workers_never_arrive() {
-        let rdv = Rendezvous::bind().unwrap();
+        let rdv = Rendezvous::bind_on(&Tcp::LOOPBACK).unwrap();
         let err = rdv
             .accept_world(1, Duration::from_millis(60), Duration::from_secs(1))
             .unwrap_err();

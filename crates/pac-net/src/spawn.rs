@@ -1,12 +1,29 @@
-//! Worker spawners: in-process threads (tests) or forked processes
-//! (`repro --distributed`).
+//! Worker spawners: in-process threads (tests), forked processes
+//! (`repro --distributed`), or simulated-transport threads
+//! ([`crate::simnet::SimSpawner`]).
 
-use crate::worker::{run_worker, RunMode};
-use std::net::SocketAddr;
+use crate::transport::{Tcp, Transport};
+use crate::worker::{run_worker_on, Buggify, RunMode};
 use std::process::{Child, Command};
 use std::time::{Duration, Instant};
 
-/// How to bring a world of workers into existence.
+/// How the coordinator brings a world of workers into existence. The
+/// driver is generic over this, so the *same* recovery loop respawns TCP
+/// thread workers, forked processes, and simulated workers.
+pub trait Spawn {
+    /// Transport the spawned workers (and the coordinator) communicate over.
+    type T: Transport;
+
+    /// The transport instance the coordinator should bind its rendezvous
+    /// listener on. Workers must be able to reach ports bound here.
+    fn transport(&self) -> Self::T;
+
+    /// Launches `world` workers pointed at the coordinator's rendezvous
+    /// port.
+    fn launch(&self, coord_port: u16, world: usize) -> std::io::Result<SpawnedWorld>;
+}
+
+/// The production spawners (both over TCP).
 #[derive(Debug, Clone)]
 pub enum Spawner {
     /// `std::thread` workers inside this process, talking to the
@@ -23,16 +40,14 @@ pub enum Spawner {
     },
 }
 
-/// Handles to a spawned world, for teardown.
-#[derive(Debug, Default)]
-pub struct SpawnedWorld {
-    threads: Vec<std::thread::JoinHandle<()>>,
-    procs: Vec<Child>,
-}
+impl Spawn for Spawner {
+    type T = Tcp;
 
-impl Spawner {
-    /// Launches `world` workers pointed at the coordinator.
-    pub fn launch(&self, coord: SocketAddr, world: usize) -> std::io::Result<SpawnedWorld> {
+    fn transport(&self) -> Tcp {
+        Tcp::LOOPBACK
+    }
+
+    fn launch(&self, coord_port: u16, world: usize) -> std::io::Result<SpawnedWorld> {
         let mut out = SpawnedWorld::default();
         for slot in 0..world as u32 {
             match self {
@@ -40,13 +55,19 @@ impl Spawner {
                     out.threads.push(std::thread::spawn(move || {
                         // Worker-side errors surface to the coordinator as
                         // EOFs / Fault messages; nothing to do here.
-                        let _ = run_worker(coord, slot, RunMode::Thread);
+                        let _ = run_worker_on(
+                            &Tcp::LOOPBACK,
+                            coord_port,
+                            slot,
+                            RunMode::Thread,
+                            &Buggify::default(),
+                        );
                     }));
                 }
                 Spawner::Process { exe, args } => {
                     let child = Command::new(exe)
                         .args(args)
-                        .arg(coord.to_string())
+                        .arg(format!("127.0.0.1:{coord_port}"))
                         .arg(slot.to_string())
                         .spawn()?;
                     out.procs.push(child);
@@ -57,14 +78,32 @@ impl Spawner {
     }
 }
 
+/// Handles to a spawned world, for teardown.
+#[derive(Debug, Default)]
+pub struct SpawnedWorld {
+    pub(crate) threads: Vec<std::thread::JoinHandle<()>>,
+    pub(crate) procs: Vec<Child>,
+    /// When the world runs on the simulated transport, joins must be
+    /// wrapped in `block_external` so the virtual clock keeps advancing
+    /// while the coordinator thread waits on real `JoinHandle`s.
+    pub(crate) sim: Option<crate::simnet::SimNet>,
+}
+
 impl SpawnedWorld {
     /// Reaps the world: joins threads, waits briefly for processes to exit
     /// on their own (they do, once their control connection drops), then
     /// kills stragglers. Must be called after the coordinator has dropped
     /// or shut down every control connection.
     pub fn shutdown(mut self) {
-        for t in self.threads.drain(..) {
-            let _ = t.join();
+        let threads = std::mem::take(&mut self.threads);
+        let join_all = move || {
+            for t in threads {
+                let _ = t.join();
+            }
+        };
+        match self.sim.take() {
+            Some(net) => net.block_external(join_all),
+            None => join_all(),
         }
         let deadline = Instant::now() + Duration::from_secs(5);
         for child in self.procs.iter_mut() {

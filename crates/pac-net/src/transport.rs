@@ -1,0 +1,180 @@
+//! The byte-transport abstraction that lets the *same* coordinator,
+//! worker, rendezvous, and collective code run over real TCP sockets or
+//! the deterministic in-memory simulation ([`crate::simnet`]).
+//!
+//! Three traits:
+//!
+//! * [`Conn`] — a framed, bidirectional, blocking connection with a read
+//!   deadline. [`crate::chan::FramedConn`] (TCP) and
+//!   [`crate::simnet::SimConn`] implement it.
+//! * [`Listener`] — accepts incoming connections on a port, with a
+//!   deadline.
+//! * [`Transport`] — binds listeners and dials ports. The address space is
+//!   deliberately just a `u16` port: the reproduction runs single-host
+//!   (loopback or simulated), and a port is the only part of an address
+//!   that differs between peers. Real multi-host deployment would widen
+//!   this to full socket addresses without touching the protocol code.
+//!
+//! None of the protocol logic (`rendezvous`, `worker`, `collective`,
+//! `driver`) names a socket type — everything is generic over these
+//! traits, so there are no `#[cfg]` forks between production and
+//! simulation paths: the bytes that cross a simulated link are produced
+//! and consumed by the exact code that runs over TCP.
+
+use crate::chan::FramedConn;
+use crate::wire::{Msg, NetError};
+use std::fmt::Debug;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A framed, blocking, bidirectional connection.
+pub trait Conn: Send + Debug {
+    /// Sends one message as a single frame.
+    fn send(&mut self, msg: &Msg) -> Result<(), NetError>;
+
+    /// Receives one message, honoring the read deadline. A deadline expiry
+    /// mid-frame keeps the partial frame buffered, so a retried `recv`
+    /// resumes the same frame (see [`crate::wire::FrameReader`]).
+    fn recv(&mut self) -> Result<Msg, NetError>;
+
+    /// Replaces the read deadline (`None` blocks forever — only sensible
+    /// for tests).
+    fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), NetError>;
+
+    /// Receives one message and requires it to satisfy `check`; any other
+    /// *valid* message is a typed protocol violation, never a panic and
+    /// never misreported as EOF.
+    fn recv_expecting(
+        &mut self,
+        want: &'static str,
+        check: impl FnOnce(&Msg) -> bool,
+    ) -> Result<Msg, NetError>
+    where
+        Self: Sized,
+    {
+        let msg = self.recv()?;
+        if check(&msg) {
+            Ok(msg)
+        } else {
+            let _ = want;
+            Err(NetError::Malformed("unexpected message for protocol state"))
+        }
+    }
+}
+
+/// Accepts incoming connections on one bound port.
+pub trait Listener: Send + Debug {
+    /// Connection type produced by [`Listener::accept`].
+    type Conn: Conn;
+
+    /// The port peers should dial.
+    fn port(&self) -> u16;
+
+    /// Accepts one connection, waiting at most `wait`. The accepted
+    /// connection's read deadline is initialized to `conn_timeout`.
+    fn accept(&self, wait: Duration, conn_timeout: Duration) -> Result<Self::Conn, NetError>;
+}
+
+/// A way to create listeners and dial peers. Cloned freely: every worker
+/// and the coordinator hold one.
+pub trait Transport: Clone + Send + Sync + Debug + 'static {
+    /// Connection type of this transport.
+    type Conn: Conn + 'static;
+    /// Listener type of this transport.
+    type Listener: Listener<Conn = Self::Conn>;
+
+    /// Binds a fresh listener on a transport-chosen port.
+    fn bind(&self) -> Result<Self::Listener, NetError>;
+
+    /// Dials `port` with a connect deadline; the returned connection's
+    /// read deadline is initialized to the same `timeout`.
+    fn connect(&self, port: u16, timeout: Duration) -> Result<Self::Conn, NetError>;
+}
+
+// ---------------------------------------------------------------------------
+// TCP: the production transport
+// ---------------------------------------------------------------------------
+
+/// Real TCP sockets on one host (loopback in this reproduction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tcp {
+    /// Host every port lives on.
+    pub host: IpAddr,
+}
+
+impl Tcp {
+    /// TCP on 127.0.0.1 — the transport every existing test and the
+    /// `repro --distributed` smoke run use.
+    pub const LOOPBACK: Tcp = Tcp {
+        host: IpAddr::V4(Ipv4Addr::LOCALHOST),
+    };
+
+    /// The transport that reaches `addr`'s host (used by `run_worker` to
+    /// derive its transport from the coordinator address it was handed).
+    pub fn to(addr: SocketAddr) -> Tcp {
+        Tcp { host: addr.ip() }
+    }
+}
+
+impl Default for Tcp {
+    fn default() -> Self {
+        Tcp::LOOPBACK
+    }
+}
+
+/// A bound TCP listener.
+#[derive(Debug)]
+pub struct TcpPortListener {
+    inner: TcpListener,
+    port: u16,
+}
+
+impl TcpPortListener {
+    /// Accepts with a hard wall-clock deadline on a non-blocking listener.
+    fn accept_deadline(&self, deadline: Instant) -> Result<(TcpStream, SocketAddr), NetError> {
+        self.inner.set_nonblocking(true)?;
+        loop {
+            match self.inner.accept() {
+                Ok((s, a)) => {
+                    s.set_nonblocking(false)?;
+                    return Ok((s, a));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::Timeout);
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+impl Listener for TcpPortListener {
+    type Conn = FramedConn;
+
+    fn port(&self) -> u16 {
+        self.port
+    }
+
+    fn accept(&self, wait: Duration, conn_timeout: Duration) -> Result<FramedConn, NetError> {
+        let (stream, _) = self.accept_deadline(Instant::now() + wait)?;
+        FramedConn::from_stream(stream, conn_timeout)
+    }
+}
+
+impl Transport for Tcp {
+    type Conn = FramedConn;
+    type Listener = TcpPortListener;
+
+    fn bind(&self) -> Result<TcpPortListener, NetError> {
+        let inner = TcpListener::bind((self.host, 0))?;
+        let port = inner.local_addr()?.port();
+        Ok(TcpPortListener { inner, port })
+    }
+
+    fn connect(&self, port: u16, timeout: Duration) -> Result<FramedConn, NetError> {
+        FramedConn::connect(SocketAddr::from((self.host, port)), timeout)
+    }
+}

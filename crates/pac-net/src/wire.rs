@@ -74,6 +74,12 @@ pub enum NetError {
     /// The payload was structurally invalid (short read, bad enum tag,
     /// inconsistent dimensions).
     Malformed(&'static str),
+    /// The deterministic network simulation reached quiescence with no
+    /// future events, or ran past its virtual-time horizon — every actor is
+    /// blocked and nothing can ever wake them. Only produced by the
+    /// [`crate::simnet`] transport; real sockets surface stalls as
+    /// [`NetError::Timeout`] instead.
+    Deadlock(&'static str),
 }
 
 impl fmt::Display for NetError {
@@ -90,6 +96,7 @@ impl fmt::Display for NetError {
             }
             NetError::Oversize(n) => write!(f, "length field {n} exceeds sanity bound"),
             NetError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            NetError::Deadlock(why) => write!(f, "simulated world deadlocked: {why}"),
         }
     }
 }
@@ -868,48 +875,142 @@ pub fn encode_frame(msg: &Msg) -> Vec<u8> {
     frame
 }
 
-/// Reads exactly one frame from `r`, validating magic, version, length,
-/// and checksum. Returns the decoded message and the total bytes consumed.
-pub fn read_frame<R: Read>(r: &mut R) -> Result<(Msg, usize), NetError> {
-    let mut header = [0u8; 10];
-    read_exact_mapped(r, &mut header)?;
-    if header[0..4] != MAGIC {
-        return Err(NetError::BadMagic(header[0..4].try_into().unwrap()));
-    }
-    if header[4] != VERSION {
-        return Err(NetError::BadVersion(header[4]));
-    }
-    let tag = header[5];
-    let len = u32::from_le_bytes(header[6..10].try_into().unwrap()) as usize;
-    if len > MAX_PAYLOAD {
-        return Err(NetError::Oversize(len as u64));
-    }
-    let mut payload = vec![0u8; len];
-    read_exact_mapped(r, &mut payload)?;
-    let mut sum_bytes = [0u8; 4];
-    read_exact_mapped(r, &mut sum_bytes)?;
-    let got = u32::from_le_bytes(sum_bytes);
-    let expected = fnv1a(fnv1a(FNV_BASIS, &header[4..]), &payload);
-    if expected != got {
-        return Err(NetError::BadChecksum { expected, got });
-    }
-    let msg = decode_payload(tag, &payload)?;
-    Ok((msg, 14 + len))
+/// Frame header size: magic + version + tag + payload length.
+pub const HEADER_LEN: usize = 10;
+/// Bytes a frame occupies beyond its payload: header + trailing checksum.
+const OVERHEAD: usize = HEADER_LEN + 4;
+
+/// Anything [`FrameReader`] can pull bytes from. `Ok(n)` delivers `n > 0`
+/// bytes; end-of-stream and deadline expiry are *errors* ([`NetError::Eof`]
+/// and [`NetError::Timeout`]), so a reader never has to guess what a zero
+/// read meant. Wrap any `std::io::Read` in [`IoSource`]; the simulated
+/// transport's endpoints implement it directly.
+pub trait ByteSource {
+    /// Reads up to `buf.len()` bytes, returning how many were written.
+    fn read_bytes(&mut self, buf: &mut [u8]) -> Result<usize, NetError>;
 }
 
-/// `read_exact` that distinguishes clean EOF from other socket errors, and
-/// treats `WouldBlock`/`TimedOut` (read deadline expiry) as [`NetError::Timeout`].
-fn read_exact_mapped<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), NetError> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
-            Ok(0) => return Err(NetError::Eof),
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e.into()),
+/// Adapts a `std::io::Read` (socket, slice) into a [`ByteSource`]:
+/// `Ok(0)` becomes [`NetError::Eof`], `WouldBlock`/`TimedOut` become
+/// [`NetError::Timeout`], `Interrupted` retries.
+pub struct IoSource<'a, R: Read + ?Sized>(pub &'a mut R);
+
+impl<R: Read + ?Sized> ByteSource for IoSource<'_, R> {
+    fn read_bytes(&mut self, buf: &mut [u8]) -> Result<usize, NetError> {
+        loop {
+            match self.0.read(buf) {
+                Ok(0) => return Err(NetError::Eof),
+                Ok(n) => return Ok(n),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
         }
     }
-    Ok(())
+}
+
+/// Incremental frame decoder that survives read deadlines mid-frame.
+///
+/// A one-shot `read_frame` holds its progress in locals, so a timeout that
+/// lands between the header and the payload would lose the bytes already
+/// consumed: the retried receive starts parsing mid-frame and misreports
+/// the stall as `BadMagic` or `BadChecksum`. A `FrameReader` is owned by
+/// the connection and keeps partial-frame bytes across calls — a receive
+/// that fails with [`NetError::Timeout`] (or a transient `Io`) can simply
+/// be retried and resumes exactly where the stream stalled, still
+/// surfacing the *original* typed error at the call that hit it.
+///
+/// Unrecoverable protocol errors (bad magic/version, oversize, checksum or
+/// payload failures) discard the buffered frame: stream framing is already
+/// lost, so there is nothing coherent to resume into.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Total frame size (`OVERHEAD + payload len`) once the header has
+    /// been received and validated.
+    need: Option<usize>,
+}
+
+impl FrameReader {
+    /// A reader with no buffered bytes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when a previous read stalled partway through a frame.
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    fn reset(&mut self) {
+        self.buf.clear();
+        self.need = None;
+    }
+
+    /// Pulls bytes from `src` until one whole frame is buffered, then
+    /// validates and decodes it. Returns the message and total frame size.
+    /// On [`NetError::Timeout`] / [`NetError::Io`] the partial frame stays
+    /// buffered for the next call.
+    pub fn read_from<S: ByteSource + ?Sized>(
+        &mut self,
+        src: &mut S,
+    ) -> Result<(Msg, usize), NetError> {
+        loop {
+            let goal = self.need.unwrap_or(HEADER_LEN);
+            while self.buf.len() < goal {
+                let have = self.buf.len();
+                self.buf.resize(goal, 0);
+                match src.read_bytes(&mut self.buf[have..]) {
+                    Ok(n) => self.buf.truncate(have + n),
+                    Err(e) => {
+                        self.buf.truncate(have);
+                        return Err(e);
+                    }
+                }
+            }
+            if self.need.is_none() {
+                // Header complete: validate it and learn the frame size.
+                if self.buf[0..4] != MAGIC {
+                    let m = self.buf[0..4].try_into().unwrap();
+                    self.reset();
+                    return Err(NetError::BadMagic(m));
+                }
+                if self.buf[4] != VERSION {
+                    let v = self.buf[4];
+                    self.reset();
+                    return Err(NetError::BadVersion(v));
+                }
+                let len = u32::from_le_bytes(self.buf[6..10].try_into().unwrap()) as usize;
+                if len > MAX_PAYLOAD {
+                    self.reset();
+                    return Err(NetError::Oversize(len as u64));
+                }
+                self.need = Some(OVERHEAD + len);
+                continue;
+            }
+            // Whole frame buffered: verify checksum, decode, clear state.
+            let total = goal;
+            let tag = self.buf[5];
+            let got = u32::from_le_bytes(self.buf[total - 4..total].try_into().unwrap());
+            let expected = checksum(&self.buf[4..total - 4]);
+            if expected != got {
+                self.reset();
+                return Err(NetError::BadChecksum { expected, got });
+            }
+            let decoded = decode_payload(tag, &self.buf[HEADER_LEN..total - 4]);
+            self.reset();
+            return Ok((decoded?, total));
+        }
+    }
+}
+
+/// Reads exactly one frame from `r`, validating magic, version, length,
+/// and checksum. Returns the decoded message and the total bytes consumed.
+///
+/// One-shot: partial progress is lost on error. Long-lived connections
+/// should own a [`FrameReader`] instead so a mid-frame read deadline can
+/// be retried without desynchronizing the stream.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(Msg, usize), NetError> {
+    FrameReader::new().read_from(&mut IoSource(r))
 }
 
 /// Decodes one frame from an in-memory buffer (convenience for tests).
@@ -1102,5 +1203,94 @@ mod tests {
         let mut frame = encode_frame(&Msg::Ready);
         frame[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(decode_frame(&frame), Err(NetError::Oversize(_))));
+    }
+
+    /// Byte source that yields scripted chunks, interleaved with timeouts
+    /// — models a socket whose read deadline fires mid-frame.
+    struct Stutter {
+        script: std::collections::VecDeque<Result<Vec<u8>, NetError>>,
+    }
+
+    impl ByteSource for Stutter {
+        fn read_bytes(&mut self, buf: &mut [u8]) -> Result<usize, NetError> {
+            match self.script.pop_front() {
+                Some(Ok(bytes)) => {
+                    let n = bytes.len().min(buf.len());
+                    buf[..n].copy_from_slice(&bytes[..n]);
+                    if n < bytes.len() {
+                        self.script.push_front(Ok(bytes[n..].to_vec()));
+                    }
+                    Ok(n)
+                }
+                Some(Err(e)) => Err(e),
+                None => Err(NetError::Eof),
+            }
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_after_mid_frame_timeout() {
+        // The regression the FrameReader exists for: header arrives, the
+        // payload stalls past the read deadline, and the *retried* receive
+        // must resume and decode the same frame — not desync into
+        // BadMagic/BadChecksum.
+        let msg = Msg::Fault {
+            observer: 2,
+            blamed: 3,
+            detail: "ring peer stalled".into(),
+        };
+        let frame = encode_frame(&msg);
+        let mut src = Stutter {
+            script: [
+                Ok(frame[..10].to_vec()), // exactly the header
+                Err(NetError::Timeout),   // payload read hits the deadline
+                Ok(frame[10..12].to_vec()),
+                Err(NetError::Timeout), // and again, mid-payload
+                Ok(frame[12..].to_vec()),
+            ]
+            .into_iter()
+            .collect(),
+        };
+        let mut reader = FrameReader::new();
+        assert!(matches!(reader.read_from(&mut src), Err(NetError::Timeout)));
+        assert!(reader.mid_frame(), "partial frame must stay buffered");
+        assert!(matches!(reader.read_from(&mut src), Err(NetError::Timeout)));
+        let (got, n) = reader.read_from(&mut src).expect("third try completes");
+        assert_eq!(got, msg);
+        assert_eq!(n, frame.len());
+        assert!(!reader.mid_frame(), "state cleared after a whole frame");
+    }
+
+    #[test]
+    fn frame_reader_decodes_back_to_back_frames_across_one_call_each() {
+        let a = Msg::Heartbeat { nonce: 1 };
+        let b = Msg::HeartbeatAck { nonce: 1 };
+        let mut joined = encode_frame(&a);
+        joined.extend_from_slice(&encode_frame(&b));
+        let mut cursor: &[u8] = &joined;
+        let mut src = IoSource(&mut cursor);
+        let mut reader = FrameReader::new();
+        assert_eq!(reader.read_from(&mut src).unwrap().0, a);
+        assert_eq!(reader.read_from(&mut src).unwrap().0, b);
+        assert!(matches!(reader.read_from(&mut src), Err(NetError::Eof)));
+    }
+
+    #[test]
+    fn frame_reader_drops_buffered_bytes_on_protocol_errors() {
+        let mut bad = encode_frame(&Msg::Ready);
+        bad[4] = 7; // wrong version
+        let good = encode_frame(&Msg::Shutdown);
+        let mut reader = FrameReader::new();
+        let mut cursor: &[u8] = &bad;
+        assert!(matches!(
+            reader.read_from(&mut IoSource(&mut cursor)),
+            Err(NetError::BadVersion(7))
+        ));
+        assert!(!reader.mid_frame(), "framing is lost; nothing to resume");
+        let mut cursor: &[u8] = &good;
+        assert_eq!(
+            reader.read_from(&mut IoSource(&mut cursor)).unwrap().0,
+            Msg::Shutdown
+        );
     }
 }

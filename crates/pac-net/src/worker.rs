@@ -16,9 +16,9 @@
 //! exactly. (Adam's step counter `t` advances once per `step()` *call*,
 //! which an independent per-rank optimizer cannot reproduce.)
 
-use crate::chan::FramedConn;
 use crate::collective::{ring_allreduce_mean, RingCtx};
 use crate::rendezvous::{build_mesh, Mesh, Topology};
+use crate::transport::{Conn, Listener, Tcp, Transport};
 use crate::wire::{Assignment, Msg, NetError};
 use pac_model::{EncoderModel, ModelConfig, StageData, StageModel};
 use pac_nn::optim::{Optimizer, Sgd};
@@ -29,7 +29,7 @@ use pac_parallel::{EngineError, EngineResult};
 use pac_tensor::rng::seeded;
 use pac_tensor::Tensor;
 use std::collections::HashMap;
-use std::net::{Ipv4Addr, SocketAddr, TcpListener};
+use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 /// How the worker was launched, which decides how a fault injection
@@ -51,12 +51,27 @@ pub const KILLED_EXIT: i32 = 86;
 
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// Pipeline-neighbor links over real sockets. Socket failures are
-/// attributed to the rank on the other end of the failing edge as typed
-/// [`EngineError::RankDown`] — no unwraps on socket reads.
-pub struct TcpStageLinks<'a> {
-    prev: Option<&'a mut FramedConn>,
-    next: Option<&'a mut FramedConn>,
+/// Deliberately-plantable ordering bugs, FoundationDB "buggify" style.
+///
+/// The deterministic sweep (`simsweep --planted`) flips one of these on to
+/// prove it has teeth: a worker with a planted bug must be *caught* by the
+/// sweep's bitwise-equivalence invariant within the seed budget. All flags
+/// default to off; production paths never set them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Buggify {
+    /// Apply the local SGD step *before* the ring AllReduce completes —
+    /// the classic torn-collective race. With ≥ 2 lanes the lanes then
+    /// train on un-averaged gradients and diverge from the in-process
+    /// engine.
+    pub apply_grad_before_allreduce: bool,
+}
+
+/// Pipeline-neighbor links over any [`Conn`] (TCP or simulated).
+/// Transport failures are attributed to the rank on the other end of the
+/// failing edge as typed [`EngineError::RankDown`] — no unwraps on reads.
+pub struct NetStageLinks<'a, C: Conn> {
+    prev: Option<&'a mut C>,
+    next: Option<&'a mut C>,
     prev_rank: usize,
     next_rank: usize,
     lane: usize,
@@ -64,7 +79,7 @@ pub struct TcpStageLinks<'a> {
     step: u64,
 }
 
-impl TcpStageLinks<'_> {
+impl<C: Conn> NetStageLinks<'_, C> {
     fn down(&self, blamed: usize, detail: String) -> EngineError {
         EngineError::RankDown {
             rank: blamed,
@@ -76,7 +91,7 @@ impl TcpStageLinks<'_> {
     }
 }
 
-impl StageLinks for TcpStageLinks<'_> {
+impl<C: Conn> StageLinks for NetStageLinks<'_, C> {
     fn send_fwd(&mut self, micro: usize, data: StageData) -> EngineResult<()> {
         let (next_rank, lane, stage, step) = (self.next_rank, self.lane, self.stage, self.step);
         let conn = self.next.as_mut().expect("send_fwd without next link");
@@ -142,12 +157,13 @@ impl StageLinks for TcpStageLinks<'_> {
     }
 }
 
-struct WorkerState {
+struct WorkerState<C: Conn> {
     asg: Assignment,
     topo: Topology,
     stage: Option<StageModel>,
-    mesh: Mesh,
+    mesh: Mesh<C>,
     opt: Sgd,
+    buggify: Buggify,
 }
 
 /// Collects `(name, value)` parameter pairs of this stage in
@@ -195,8 +211,8 @@ fn build_stage(asg: &Assignment) -> Result<StageModel, NetError> {
         .ok_or(NetError::Malformed("stage index out of range"))
 }
 
-fn run_step(
-    state: &mut WorkerState,
+fn run_step<C: Conn>(
+    state: &mut WorkerState<C>,
     step: u64,
     mbs: &[MicroBatch],
 ) -> EngineResult<(f32, Vec<SimEvent>)> {
@@ -213,7 +229,7 @@ fn run_step(
         panic_stage: None,
         delay: None,
     };
-    let mut links = TcpStageLinks {
+    let mut links = NetStageLinks {
         prev: state.mesh.prev.as_mut(),
         next: state.mesh.next.as_mut(),
         prev_rank: if s > 0 {
@@ -243,6 +259,14 @@ fn run_step(
     )?;
     stage = run.stage;
 
+    // Planted ordering bug (see [`Buggify`]): step on the *local* gradients
+    // before the collective has averaged them. Correct code always steps
+    // after the AllReduce below.
+    let torn_step = state.buggify.apply_grad_before_allreduce && lanes > 1;
+    if torn_step {
+        state.opt.step(&mut stage);
+    }
+
     if lanes > 1 {
         let ctx = RingCtx {
             lane: k,
@@ -267,20 +291,46 @@ fn run_step(
         }
     }
 
-    state.opt.step(&mut stage);
+    if !torn_step {
+        state.opt.step(&mut stage);
+    }
     let out = (run.loss_sum, run.events);
     state.stage = Some(stage);
     Ok(out)
 }
 
-/// Runs one worker against the coordinator at `coord` until shutdown,
-/// fault injection, or loss of the coordinator. Never panics on socket
-/// input; all transport failures are typed.
+/// Runs one worker over TCP against the coordinator at `coord` until
+/// shutdown, fault injection, or loss of the coordinator. Thin wrapper
+/// around [`run_worker_on`] with the production transport and no planted
+/// bugs.
 pub fn run_worker(coord: SocketAddr, slot: u32, mode: RunMode) -> Result<(), NetError> {
-    let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
-    let listen_port = listener.local_addr()?.port();
+    run_worker_on(
+        &Tcp::to(coord),
+        coord.port(),
+        slot,
+        mode,
+        &Buggify::default(),
+    )
+}
 
-    let mut ctrl = FramedConn::connect(coord, CONNECT_TIMEOUT)?;
+/// Runs one worker over any [`Transport`] against the coordinator's
+/// rendezvous `coord_port` until shutdown, fault injection, or loss of the
+/// coordinator. Never panics on transport input; all failures are typed.
+///
+/// This is the *only* worker loop in the crate: TCP workers and simulated
+/// workers execute this exact function (acceptance criterion: no `#[cfg]`
+/// forks of protocol logic).
+pub fn run_worker_on<T: Transport>(
+    transport: &T,
+    coord_port: u16,
+    slot: u32,
+    mode: RunMode,
+    buggify: &Buggify,
+) -> Result<(), NetError> {
+    let listener = transport.bind()?;
+    let listen_port = listener.port();
+
+    let mut ctrl = transport.connect(coord_port, CONNECT_TIMEOUT)?;
     ctrl.send(&Msg::Hello { slot, listen_port })?;
 
     let asg = match ctrl.recv()? {
@@ -298,7 +348,7 @@ pub fn run_worker(coord: SocketAddr, slot: u32, mode: RunMode) -> Result<(), Net
         Msg::Peers { ports } => ports,
         _ => return Err(NetError::Malformed("expected Peers after Assign")),
     };
-    let mesh = build_mesh(&listener, &asg, &ports, net_timeout)?;
+    let mesh = build_mesh(transport, &listener, &asg, &ports, net_timeout)?;
     drop(listener);
     ctrl.send(&Msg::Ready)?;
 
@@ -311,6 +361,7 @@ pub fn run_worker(coord: SocketAddr, slot: u32, mode: RunMode) -> Result<(), Net
         stage: Some(stage),
         mesh,
         asg,
+        buggify: *buggify,
     };
     let rank = state.asg.rank;
 

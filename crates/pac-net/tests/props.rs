@@ -2,9 +2,10 @@
 //! (including NaN payloads, signed zeros, and subnormals) and rejection of
 //! corrupted or truncated frames.
 
-use pac_net::wire::{decode_frame, encode_frame, Msg, NetError};
+use pac_net::wire::{decode_frame, encode_frame, FrameReader, IoSource, Msg, NetError};
 use pac_tensor::Tensor;
 use proptest::prelude::*;
+use std::io::Cursor;
 
 /// Bit patterns that commonly break float transports: quiet/signaling
 /// NaNs with payloads, both zeros, subnormals, infinities, and extremes.
@@ -116,6 +117,40 @@ proptest! {
             Err(NetError::Eof) => {}
             other => prop_assert!(false, "cut at {} gave {:?}", cut, other),
         }
+    }
+
+    /// A network that duplicates frames (the simnet adversary's `dup`
+    /// knob, or real-world retransmit bugs) must never desync the stream:
+    /// every copy decodes as the same message, in order, and the reader
+    /// ends cleanly at EOF. Duplication is a *protocol*-level anomaly for
+    /// the layers above, not a framing error.
+    #[test]
+    fn duplicated_frames_decode_in_order_without_desync(
+        nonces in prop::collection::vec(0u64..1000, 1..6),
+        dup_mask in 0usize..64,
+    ) {
+        let mut stream = Vec::new();
+        let mut expect = Vec::new();
+        for (i, &nonce) in nonces.iter().enumerate() {
+            let frame = encode_frame(&Msg::Heartbeat { nonce });
+            let copies = if dup_mask & (1 << i) != 0 { 2 } else { 1 };
+            for _ in 0..copies {
+                stream.extend_from_slice(&frame);
+                expect.push(nonce);
+            }
+        }
+        let mut cursor = Cursor::new(stream);
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        loop {
+            match reader.read_from(&mut IoSource(&mut cursor)) {
+                Ok((Msg::Heartbeat { nonce }, _)) => got.push(nonce),
+                Ok((other, _)) => prop_assert!(false, "wrong message: {:?}", other),
+                Err(NetError::Eof) => break,
+                Err(e) => prop_assert!(false, "duplicated stream errored: {:?}", e),
+            }
+        }
+        prop_assert_eq!(got, expect, "each copy decodes identically, in order");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -26,6 +26,36 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 fn registry() -> &'static Mutex<BTreeMap<String, u64>> {
     static REGISTRY: OnceLock<Mutex<BTreeMap<String, u64>>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// A monotonic nanosecond clock that spans read from. The default is the
+/// process wall clock; a simulated runtime installs its virtual clock so
+/// recorded timings are in virtual time.
+pub type Clock = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+fn clock_slot() -> &'static RwLock<Option<Clock>> {
+    static CLOCK: OnceLock<RwLock<Option<Clock>>> = OnceLock::new();
+    CLOCK.get_or_init(|| RwLock::new(None))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Installs (or with `None`, removes) a custom span clock. Spans capture
+/// which clock was active when they started and read the same clock on
+/// drop, so toggling mid-span cannot produce negative durations.
+pub fn set_clock(clock: Option<Clock>) {
+    *clock_slot().write().unwrap() = clock;
+}
+
+fn now_ns() -> (u64, bool) {
+    if let Some(c) = clock_slot().read().unwrap().as_ref() {
+        (c(), true)
+    } else {
+        (epoch().elapsed().as_nanos() as u64, false)
+    }
 }
 
 /// Turns metric collection on or off process-wide.
@@ -126,7 +156,8 @@ where
 #[must_use = "the span measures until it is dropped"]
 pub struct Span {
     name: &'static str,
-    start: Option<Instant>,
+    /// `(start ns, started on the custom clock)`; `None` while disabled.
+    start: Option<(u64, bool)>,
 }
 
 /// Starts a timing span for `name`.
@@ -134,14 +165,21 @@ pub struct Span {
 pub fn span(name: &'static str) -> Span {
     Span {
         name,
-        start: enabled().then(Instant::now),
+        start: enabled().then(now_ns),
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some(start) = self.start {
-            let ns = start.elapsed().as_nanos() as u64;
+        if let Some((start, was_virtual)) = self.start {
+            let (now, is_virtual) = now_ns();
+            // If the clock was swapped mid-span the difference is
+            // meaningless; record zero rather than a bogus duration.
+            let ns = if was_virtual == is_virtual {
+                now.saturating_sub(start)
+            } else {
+                0
+            };
             // Collection may have been toggled off mid-span; record anyway
             // so paired .ns/.calls stay consistent.
             let mut map = registry().lock().unwrap();
@@ -197,6 +235,18 @@ mod tests {
         assert_eq!(get("t.m"), Some(10));
         assert_eq!(get("t.work.calls"), Some(1));
         assert!(get("t.work.ns").is_some());
+
+        // Pluggable clock: a span on a virtual clock records virtual ns.
+        let ticks = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let source = ticks.clone();
+        set_clock(Some(Arc::new(move || {
+            source.fetch_add(500, Ordering::SeqCst)
+        })));
+        {
+            let _s = span("t.virtual");
+        }
+        set_clock(None);
+        assert_eq!(get("t.virtual.ns"), Some(500), "virtual clock drives spans");
 
         merge_counters(vec![("t.a".to_string(), 4), ("t.new".to_string(), 1)]);
         assert_eq!(get("t.a"), Some(7), "merge adds into existing counters");
