@@ -520,6 +520,14 @@ fn telemetry_report() {
         );
     }
 
+    // Elastic membership: how many ranks left the pool mid-run, and how
+    // many of those were flagged by the heartbeat sweep's staleness
+    // deadline rather than a step timeout.
+    let (leaves, stale) = (get("membership.leaves"), get("membership.stale_probes"));
+    if leaves + stale > 0 {
+        println!("membership: {leaves} leave(s), {stale} stale liveness probe(s)");
+    }
+
     let rows = pac_telemetry::snapshot();
     if rows.is_empty() {
         println!("(no metrics recorded — the selected experiment is analytic-only)");

@@ -16,23 +16,31 @@
 //!   run either succeeds or fails with a *typed* error (never a panic,
 //!   never a hang past the virtual-time horizon), and running the same
 //!   seed twice produces a byte-identical event trace.
+//! * **D (elastic churn)** — a lane leaves (fail-stop or a partition that
+//!   silences it until the heartbeat sweep flags it stale) and a fresh
+//!   device joins mid-run: the run must recover a full-length loss
+//!   trajectory with exactly one replan per membership change, end close
+//!   to the fault-free loss, and stay byte-identical across two runs of
+//!   the same seed. `--churn` runs this phase alone.
 //!
 //! A failing seed is reported with its event trace dumped to
-//! `simsweep-trace-seed-<K>.txt` and is reproducible from `--seed=K`
-//! alone — no schedule, no timing, no environment needed.
+//! `simsweep-trace-seed-<K>-<phase>.txt` (one file per phase, never
+//! overwritten by a later phase of the same seed) and is reproducible
+//! from `--seed=K` alone — no schedule, no timing, no environment needed.
 //!
-//! `--planted` runs the harness self-test: a worker buggified to apply its
-//! local gradient *before* the AllReduce must be caught (divergence from
-//! the in-process reference) within the seed budget.
+//! `--planted` runs the harness self-tests: a worker buggified to apply
+//! its local gradient *before* the AllReduce, and a joiner buggified to
+//! skip its catch-up `Restore`, must both be caught (divergence from the
+//! reference run) within the seed budget.
 
 #![deny(missing_docs)]
 
 use pac_model::{EncoderModel, ModelConfig};
-use pac_net::{Buggify, DistConfig, DistTrainer, SimConfig, SimNet, SimSpawner};
+use pac_net::{Buggify, DistConfig, DistTrainer, Partition, SimConfig, SimNet, SimSpawner};
 use pac_nn::optim::Sgd;
 use pac_nn::Optimizer;
 use pac_parallel::engine::{HybridEngine, MicroBatch};
-use pac_parallel::{FaultPlan, Schedule};
+use pac_parallel::{Fault, FaultPlan, Schedule};
 use pac_tensor::rng::seeded;
 use rand::Rng;
 use std::collections::HashMap;
@@ -100,12 +108,13 @@ fn sim_run(
     sim_cfg: SimConfig,
     dist_cfg: DistConfig,
     batches: &[Vec<MicroBatch>],
+    faults: &FaultPlan,
     buggify: Buggify,
 ) -> (Result<pac_net::DistReport, pac_net::DistError>, SimNet) {
     let net = SimNet::new(sim_cfg);
     let _coord = net.register(0);
     let spawner = SimSpawner::with_buggify(net.clone(), buggify);
-    let report = DistTrainer::new(dist_cfg).run(&spawner, batches, &FaultPlan::none());
+    let report = DistTrainer::new(dist_cfg).run(&spawner, batches, faults);
     (report, net)
 }
 
@@ -166,7 +175,13 @@ fn phase_a(
 ) -> Result<(), (String, SimNet)> {
     let shape = SHAPES[(seed % SHAPES.len() as u64) as usize];
     let cfg = DistConfig::loopback(shape.0, shape.1);
-    let (report, net) = sim_run(SimConfig::clean(seed), cfg, batches, Buggify::default());
+    let (report, net) = sim_run(
+        SimConfig::clean(seed),
+        cfg,
+        batches,
+        &FaultPlan::none(),
+        Buggify::default(),
+    );
     let what = format!("A[{}x{}]", shape.0, shape.1);
     if let Err(e) = check_world(&net, &what) {
         return Err((e, net));
@@ -189,6 +204,7 @@ fn phase_b(seed: u64, batches: &[Vec<MicroBatch>]) -> Result<(), (String, SimNet
         SimConfig::clean(seed),
         cfg.clone(),
         batches,
+        &FaultPlan::none(),
         Buggify::default(),
     );
     let t_end = net.now_ns();
@@ -199,7 +215,13 @@ fn phase_b(seed: u64, batches: &[Vec<MicroBatch>]) -> Result<(), (String, SimNet
 
     let mut sim_cfg = SimConfig::clean(seed);
     sim_cfg.crashes.push((t_end / 2, 2)); // stage 0, lane 1
-    let (faulty, net) = sim_run(sim_cfg, cfg, batches, Buggify::default());
+    let (faulty, net) = sim_run(
+        sim_cfg,
+        cfg,
+        batches,
+        &FaultPlan::none(),
+        Buggify::default(),
+    );
     if let Err(e) = check_world(&net, "B") {
         return Err((e, net));
     }
@@ -244,6 +266,7 @@ fn phase_c(seed: u64, batches: &[Vec<MicroBatch>]) -> Result<(), (String, SimNet
             SimConfig::chaos(seed),
             cfg.clone(),
             batches,
+            &FaultPlan::none(),
             Buggify::default(),
         )
     };
@@ -300,6 +323,184 @@ fn phase_c(seed: u64, batches: &[Vec<MicroBatch>]) -> Result<(), (String, SimNet
     Ok(())
 }
 
+/// The elastic fault plan phase D injects for a seed: a lane leaves (by
+/// fail-stop) and a fresh device joins two steps later.
+fn churn_plan(seed: u64) -> FaultPlan {
+    let leave = 1 + (seed % 2);
+    FaultPlan {
+        faults: vec![
+            Fault::FailStop {
+                step: leave,
+                device: 1, // stage 0, lane 1
+            },
+            Fault::Join { step: leave + 2 },
+        ],
+    }
+}
+
+/// Phase D: elastic churn — leave + join mid-run, twice, byte-identical.
+///
+/// Two variants by seed: most seeds fail-stop lane 1 and join a fresh
+/// device two steps later; every third seed instead joins early and then
+/// *partitions* one of the grown world's ranks from the coordinator, so
+/// the leave is detected by silence — whichever control- or data-plane
+/// deadline the seed's schedule hits first. Either way: full-length
+/// replan per membership change, a final loss close to the fault-free
+/// reference, and a trace that is a pure function of the seed.
+fn phase_d(
+    seed: u64,
+    batches: &[Vec<MicroBatch>],
+    reference: &Reference,
+) -> Result<(), (String, SimNet)> {
+    let mut cfg = DistConfig::loopback(2, 2);
+    cfg.rebalance = true;
+    let partition_variant = seed.is_multiple_of(3);
+
+    let (plan, sim_cfg) = if partition_variant {
+        let plan = FaultPlan {
+            faults: vec![Fault::Join { step: 1 }],
+        };
+        // Calibrate total virtual runtime on a partition-free run of the
+        // *same elastic schedule*, then silence one post-join rank from
+        // three quarters in — late enough that the post-join world's
+        // setup handshake is long finished, so only trained-steps traffic
+        // can be cut. Actor ids are deterministic: the post-join restart
+        // is the third launch (generation 2), so its first worker is
+        // actor 2*64+1 = 129.
+        let (calib, net) = sim_run(
+            SimConfig::clean(seed),
+            cfg.clone(),
+            batches,
+            &plan,
+            Buggify::default(),
+        );
+        let t_end = net.now_ns();
+        if let Err(e) = calib {
+            return Err((format!("D: calibration run failed: {e}"), net));
+        }
+        let mut sim_cfg = SimConfig::clean(seed);
+        sim_cfg.partitions.push(Partition {
+            a: 0,
+            b: 2 * pac_net::simnet::WORKERS_PER_GEN + 1,
+            from_ns: t_end / 4 * 3,
+            to_ns: u64::MAX,
+        });
+        (plan, sim_cfg)
+    } else {
+        (churn_plan(seed), SimConfig::clean(seed))
+    };
+
+    let run = || {
+        sim_run(
+            sim_cfg.clone(),
+            cfg.clone(),
+            batches,
+            &plan,
+            Buggify::default(),
+        )
+    };
+    let (out_a, net_a) = run();
+    if let Err(e) = check_world(&net_a, "D") {
+        return Err((e, net_a));
+    }
+    let report = match &out_a {
+        Ok(r) => r,
+        Err(e) => return Err((format!("D: churn run did not recover: {e}"), net_a)),
+    };
+    if report.losses.len() != batches.len() {
+        return Err((
+            format!(
+                "D: truncated loss history after churn: {}",
+                report.losses.len()
+            ),
+            net_a,
+        ));
+    }
+    // One membership change = one replan: a join and a leave each funnel
+    // through the planner exactly once.
+    if report.recovery.replans != 2 || report.final_lanes != 2 {
+        return Err((
+            format!(
+                "D: expected 2 replans / 2 final lanes, got {} / {}",
+                report.recovery.replans, report.final_lanes
+            ),
+            net_a,
+        ));
+    }
+    let events = &report.recovery.timeline;
+    let joined = events
+        .iter()
+        .any(|e| e.kind == pac_parallel::TimelineKind::Join && e.detail.contains("admitted"));
+    let resumed = events
+        .iter()
+        .any(|e| e.kind == pac_parallel::TimelineKind::Resume);
+    if !joined || !resumed {
+        return Err((
+            format!("D: timeline missing join/resume (join={joined}, resume={resumed})"),
+            net_a,
+        ));
+    }
+    if partition_variant {
+        // No fail-stop is injected in this variant, so the one leave in
+        // the timeline is necessarily the partitioned rank being evicted
+        // for silence. *Which* deadline trips first is seed-dependent —
+        // a stale liveness probe, a missing step verdict, a failed
+        // dispatch or snapshot fetch against the closed socket, or a
+        // data-plane peer blaming the silent rank — but every leave
+        // replan renders as "rank R down (...)".
+        let silent_leave = events
+            .iter()
+            .any(|e| e.kind == pac_parallel::TimelineKind::Replan && e.detail.contains("down ("));
+        if !silent_leave {
+            return Err((
+                "D: partitioned rank was not evicted for silence".to_string(),
+                net_a,
+            ));
+        }
+    }
+    let (a, b) = (
+        *report.losses.last().unwrap(),
+        *reference.losses.last().unwrap(),
+    );
+    if !a.is_finite() || !b.is_finite() || (a - b).abs() >= 0.5 {
+        return Err((
+            format!("D: churned training drifted: {a} vs ref {b}"),
+            net_a,
+        ));
+    }
+
+    // Determinism: the elastic schedule must be a pure function of the seed.
+    let summary_a = format!(
+        "ok losses={} replans={} lanes={}",
+        report.losses.len(),
+        report.recovery.replans,
+        report.final_lanes
+    );
+    let (out_b, net_b) = run();
+    let summary_b = match &out_b {
+        Ok(r) => format!(
+            "ok losses={} replans={} lanes={}",
+            r.losses.len(),
+            r.recovery.replans,
+            r.final_lanes
+        ),
+        Err(e) => format!("err {e}"),
+    };
+    if summary_a != summary_b {
+        return Err((
+            format!("D: same seed, different outcome: '{summary_a}' vs '{summary_b}'"),
+            net_b,
+        ));
+    }
+    if net_a.trace_lines() != net_b.trace_lines() || net_a.now_ns() != net_b.now_ns() {
+        return Err((
+            "D: elastic trace is not a pure function of the seed".to_string(),
+            net_b,
+        ));
+    }
+    Ok(())
+}
+
 /// The planted-bug self-test: grad applied before the AllReduce completes
 /// must be *caught* (divergence from the reference) — if the harness can't
 /// see an ordering bug we planted, it can't see one we didn't.
@@ -309,8 +510,10 @@ fn planted_probe(seed: u64, batches: &[Vec<MicroBatch>], reference: &Reference) 
         SimConfig::clean(seed),
         cfg,
         batches,
+        &FaultPlan::none(),
         Buggify {
             apply_grad_before_allreduce: true,
+            ..Buggify::default()
         },
     );
     match report {
@@ -324,10 +527,56 @@ fn planted_probe(seed: u64, batches: &[Vec<MicroBatch>], reference: &Reference) 
     }
 }
 
-fn dump_trace(out_dir: &Path, seed: u64, net: &SimNet, why: &str) -> PathBuf {
-    let path = out_dir.join(format!("simsweep-trace-seed-{seed}.txt"));
+/// The membership planted-bug self-test: a world whose workers skip the
+/// catch-up `Restore` after an elastic join must diverge bitwise from the
+/// correct elastic run of the same seed and plan (or fail typed).
+fn planted_churn_probe(seed: u64, batches: &[Vec<MicroBatch>]) -> bool {
+    let cfg = DistConfig::loopback(2, 2);
+    let plan = FaultPlan {
+        faults: vec![Fault::Join { step: 2 }],
+    };
+    let (correct, _net) = sim_run(
+        SimConfig::clean(seed),
+        cfg.clone(),
+        batches,
+        &plan,
+        Buggify::default(),
+    );
+    let (buggy, _net) = sim_run(
+        SimConfig::clean(seed),
+        cfg,
+        batches,
+        &plan,
+        Buggify {
+            skip_catch_up_restore: true,
+            ..Buggify::default()
+        },
+    );
+    match (correct, buggy) {
+        (Ok(c), Ok(b)) => {
+            c.losses.len() != b.losses.len()
+                || c.losses
+                    .iter()
+                    .zip(b.losses.iter())
+                    .any(|(x, y)| x.to_bits() != y.to_bits())
+        }
+        // The correct run must survive a clean-world join; if it does not,
+        // the probe is inconclusive, not a catch.
+        (Err(_), _) => false,
+        (Ok(_), Err(_)) => true,
+    }
+}
+
+fn dump_trace(out_dir: &Path, seed: u64, phase: &str, net: &SimNet, why: &str) -> PathBuf {
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!(
+            "simsweep: could not create trace dir {}: {e}",
+            out_dir.display()
+        );
+    }
+    let path = out_dir.join(format!("simsweep-trace-seed-{seed}-{phase}.txt"));
     let mut body = format!(
-        "simsweep failing seed {seed}\nreason: {why}\nvirtual end: {} ns\ndeadlock: {:?}\npanics: {:?}\n--- event trace ---\n",
+        "simsweep failing seed {seed} (phase {phase})\nreason: {why}\nvirtual end: {} ns\ndeadlock: {:?}\npanics: {:?}\n--- event trace ---\n",
         net.now_ns(),
         net.deadlocked(),
         net.panics(),
@@ -347,6 +596,7 @@ struct Args {
     seed: Option<u64>,
     quick: bool,
     planted: bool,
+    churn: bool,
     out_dir: PathBuf,
 }
 
@@ -356,6 +606,7 @@ fn parse_args() -> Result<Args, String> {
         seed: None,
         quick: false,
         planted: false,
+        churn: false,
         out_dir: PathBuf::from("."),
     };
     for a in std::env::args().skip(1) {
@@ -369,14 +620,18 @@ fn parse_args() -> Result<Args, String> {
             args.quick = true;
         } else if a == "--planted" {
             args.planted = true;
+        } else if a == "--churn" {
+            args.churn = true;
         } else if a == "--help" || a == "-h" {
             return Err(
-                "usage: simsweep [--seeds=N] [--seed=K] [--quick] [--planted] [--out-dir=DIR]\n\
+                "usage: simsweep [--seeds=N] [--seed=K] [--quick] [--planted] [--churn] [--out-dir=DIR]\n\
                  \n\
                  --seeds=N    sweep seeds 0..N (default 200)\n\
                  --seed=K     reproduce one seed, always dumping its trace\n\
-                 --quick      phase B (crash recovery) on every 10th seed only\n\
-                 --planted    self-test: the planted AllReduce ordering bug must be caught\n\
+                 --quick      phase B on every 10th seed, phase D on every 5th\n\
+                 --planted    self-test: planted AllReduce-ordering and skipped\n\
+                 \u{20}             catch-up bugs must both be caught\n\
+                 --churn      phase D (elastic churn) only\n\
                  --out-dir    where failing-seed traces are written (default .)"
                     .to_string(),
             );
@@ -400,20 +655,35 @@ fn main() -> ExitCode {
 
     if args.planted {
         let reference = inprocess_run(&DistConfig::loopback(2, 2), &batches);
+        let mut allreduce_at: Option<u64> = None;
+        let mut churn_at: Option<u64> = None;
         for seed in 0..args.seeds {
-            if planted_probe(seed, &batches, &reference) {
+            if allreduce_at.is_none() && planted_probe(seed, &batches, &reference) {
+                allreduce_at = Some(seed);
+            }
+            if churn_at.is_none() && planted_churn_probe(seed, &batches) {
+                churn_at = Some(seed);
+            }
+            if let (Some(a), Some(c)) = (allreduce_at, churn_at) {
                 println!(
-                    "planted: AllReduce ordering bug caught at seed {seed} ({} probe(s), {:.1}s)",
-                    seed + 1,
+                    "planted: AllReduce ordering bug caught at seed {a}, skipped catch-up bug caught at seed {c} ({:.1}s)",
                     t0.elapsed().as_secs_f64()
                 );
                 return ExitCode::SUCCESS;
             }
         }
-        eprintln!(
-            "planted: ordering bug NOT caught in {} seeds — the harness is blind",
-            args.seeds
-        );
+        if allreduce_at.is_none() {
+            eprintln!(
+                "planted: AllReduce ordering bug NOT caught in {} seeds — the harness is blind",
+                args.seeds
+            );
+        }
+        if churn_at.is_none() {
+            eprintln!(
+                "planted: skipped catch-up bug NOT caught in {} seeds — the harness is blind",
+                args.seeds
+            );
+        }
         return ExitCode::FAILURE;
     }
 
@@ -431,8 +701,11 @@ fn main() -> ExitCode {
     };
     let single = args.seed.is_some();
     let mut failures = 0u64;
+    // One trace file per (seed, phase): a later phase of the same seed must
+    // never overwrite an earlier phase's evidence.
+    let mut traces_written: std::collections::HashSet<PathBuf> = std::collections::HashSet::new();
     for &seed in &seeds {
-        let run_phase = |name: &str, r: Result<(), (String, SimNet)>| match r {
+        let mut run_phase = |name: &str, r: Result<(), (String, SimNet)>| match r {
             Ok(()) => {
                 if single {
                     println!("seed {seed} phase {name}: ok");
@@ -440,18 +713,29 @@ fn main() -> ExitCode {
                 true
             }
             Err((why, net)) => {
-                let path = dump_trace(&args.out_dir, seed, &net, &why);
+                let path = dump_trace(&args.out_dir, seed, name, &net, &why);
+                assert!(
+                    traces_written.insert(path.clone()),
+                    "trace file {} written twice — a phase overwrote another's evidence",
+                    path.display()
+                );
                 eprintln!("seed {seed} phase {name}: FAIL: {why}");
                 eprintln!("  trace: {}", path.display());
                 eprintln!("  repro: simsweep --seed={seed}");
                 false
             }
         };
-        let mut ok = run_phase("A", phase_a(seed, &batches, &refs));
-        if !args.quick || seed % 10 == 0 || single {
-            ok &= run_phase("B", phase_b(seed, &batches));
+        let mut ok = true;
+        if !args.churn {
+            ok &= run_phase("A", phase_a(seed, &batches, &refs));
+            if !args.quick || seed % 10 == 0 || single {
+                ok &= run_phase("B", phase_b(seed, &batches));
+            }
+            ok &= run_phase("C", phase_c(seed, &batches));
         }
-        ok &= run_phase("C", phase_c(seed, &batches));
+        if args.churn || !args.quick || seed % 5 == 0 || single {
+            ok &= run_phase("D", phase_d(seed, &batches, &refs[&(2, 2)]));
+        }
         if !ok {
             failures += 1;
         }

@@ -5,6 +5,13 @@
 //! framing included — and folds it into a [`LinkSpec`] the planner can use
 //! in place of the paper's assumed 128 Mbps LAN. `pac-bench` runs this and
 //! records the numbers in `BENCH_PR4.json`.
+//!
+//! Ack attribution: heartbeat acks echo the probe's nonce, and bulk
+//! transfers are acknowledged with the reserved [`BULK_ACK_NONCE`] — never
+//! a nonce the RTT loop could have issued. The measurement loops *drop*
+//! acks whose nonce they did not issue, so a straggling bulk ack (or any
+//! other stray) cannot masquerade as a fast heartbeat round-trip and skew
+//! the median RTT fed to [`LinkSpec::measured`].
 
 use crate::chan::FramedConn;
 use crate::wire::{encode_frame, Msg, NetError};
@@ -12,6 +19,11 @@ use pac_cluster::LinkSpec;
 use pac_tensor::Tensor;
 use std::net::TcpListener;
 use std::time::{Duration, Instant};
+
+/// Reserved nonce acknowledging a bulk (`GradBlock`) transfer. Heartbeat
+/// probes never issue it, so a bulk ack is always distinguishable from a
+/// latency-probe ack — nonce 0 is a perfectly ordinary heartbeat nonce.
+pub const BULK_ACK_NONCE: u64 = u64::MAX;
 
 /// Raw measurements from a calibration run.
 #[derive(Debug, Clone, Copy)]
@@ -22,6 +34,9 @@ pub struct LinkCalibration {
     pub bandwidth_bps: f64,
     /// Wire bytes of the bulk frame used for the bandwidth probe.
     pub bulk_frame_bytes: usize,
+    /// Acks dropped because their nonce was never issued by the loop that
+    /// received them (misattribution candidates under the old protocol).
+    pub stray_acks: usize,
 }
 
 impl LinkCalibration {
@@ -35,6 +50,81 @@ impl LinkCalibration {
 fn median(mut xs: Vec<f64>) -> f64 {
     xs.sort_by(|a, b| a.total_cmp(b));
     xs[xs.len() / 2]
+}
+
+/// Most stray acks tolerated while awaiting one expected ack.
+const MAX_STRAYS_PER_ACK: usize = 16;
+
+/// Receives until the ack for `expect` arrives, dropping acks whose nonce
+/// the caller never issued (`issued` decides). An ack that *was* issued
+/// but is not the one awaited means the sequential protocol broke — that
+/// is an error, not a drop. Returns how many strays were discarded.
+fn await_ack(
+    conn: &mut FramedConn,
+    expect: u64,
+    issued: impl Fn(u64) -> bool,
+) -> Result<usize, NetError> {
+    for strays in 0..=MAX_STRAYS_PER_ACK {
+        match conn.recv()? {
+            Msg::HeartbeatAck { nonce } if nonce == expect => return Ok(strays),
+            Msg::HeartbeatAck { nonce } if !issued(nonce) => continue,
+            Msg::HeartbeatAck { .. } => {
+                return Err(NetError::Malformed("ack for a different outstanding probe"))
+            }
+            _ => return Err(NetError::Malformed("unexpected calibration message")),
+        }
+    }
+    Err(NetError::Malformed("calibration drowned in stray acks"))
+}
+
+/// The measurement loops, factored out of [`calibrate_loopback`] so tests
+/// can drive them against an adversarial echo peer.
+fn measure_link(
+    conn: &mut FramedConn,
+    pings: usize,
+    bulk_elems: usize,
+    rounds: usize,
+) -> Result<LinkCalibration, NetError> {
+    let mut stray_acks = 0usize;
+    // Warm the path (connection setup, allocator, first-touch).
+    for nonce in 0..8u64 {
+        conn.send(&Msg::Heartbeat { nonce })?;
+        stray_acks += await_ack(conn, nonce, |n| n < 8)?;
+    }
+    let pings = pings.max(1) as u64;
+    let mut rtts = Vec::with_capacity(pings as usize);
+    for nonce in 0..pings {
+        let t0 = Instant::now();
+        conn.send(&Msg::Heartbeat { nonce })?;
+        stray_acks += await_ack(conn, nonce, |n| n <= nonce)?;
+        rtts.push(t0.elapsed().as_secs_f64());
+    }
+    let rtt_s = median(rtts);
+
+    let bulk = Msg::GradBlock {
+        origin_lane: 0,
+        tensors: vec![Tensor::zeros(vec![bulk_elems.max(1)])],
+    };
+    let bulk_frame_bytes = encode_frame(&bulk).len();
+    let mut transfers = Vec::with_capacity(rounds.max(1));
+    for _ in 0..rounds.max(1) {
+        let t0 = Instant::now();
+        conn.send(&bulk)?;
+        stray_acks += await_ack(conn, BULK_ACK_NONCE, |n| n < pings || n == BULK_ACK_NONCE)?;
+        transfers.push(t0.elapsed().as_secs_f64());
+    }
+    let t_bulk = median(transfers);
+    // One round trip carries the bulk frame one way plus a tiny ack;
+    // subtract the control-frame RTT to isolate serialization time.
+    let serialize_s = (t_bulk - rtt_s).max(1e-9);
+    let bandwidth_bps = (bulk_frame_bytes as f64 * 8.0) / serialize_s;
+    conn.send(&Msg::Shutdown)?;
+    Ok(LinkCalibration {
+        rtt_s,
+        bandwidth_bps,
+        bulk_frame_bytes,
+        stray_acks,
+    })
 }
 
 /// Measures the loopback fabric through a real [`FramedConn`] pair: `pings`
@@ -54,8 +144,12 @@ pub fn calibrate_loopback(
             match conn.recv()? {
                 Msg::Heartbeat { nonce } => conn.send(&Msg::HeartbeatAck { nonce })?,
                 // Acknowledge bulk frames with a tiny frame so the sender
-                // can time full receipt without shipping the payload back.
-                Msg::GradBlock { .. } => conn.send(&Msg::HeartbeatAck { nonce: 0 })?,
+                // can time full receipt without shipping the payload back —
+                // under the reserved nonce, so it can never be mistaken for
+                // a heartbeat ack.
+                Msg::GradBlock { .. } => conn.send(&Msg::HeartbeatAck {
+                    nonce: BULK_ACK_NONCE,
+                })?,
                 Msg::Shutdown => return Ok(()),
                 _ => return Err(NetError::Malformed("unexpected calibration message")),
             }
@@ -64,43 +158,7 @@ pub fn calibrate_loopback(
 
     let run = || -> Result<LinkCalibration, NetError> {
         let mut conn = FramedConn::connect(addr, Duration::from_secs(10))?;
-        // Warm the path (connection setup, allocator, first-touch).
-        for nonce in 0..8u64 {
-            conn.send(&Msg::Heartbeat { nonce })?;
-            conn.recv()?;
-        }
-        let mut rtts = Vec::with_capacity(pings.max(1));
-        for nonce in 0..pings.max(1) as u64 {
-            let t0 = Instant::now();
-            conn.send(&Msg::Heartbeat { nonce })?;
-            conn.recv()?;
-            rtts.push(t0.elapsed().as_secs_f64());
-        }
-        let rtt_s = median(rtts);
-
-        let bulk = Msg::GradBlock {
-            origin_lane: 0,
-            tensors: vec![Tensor::zeros(vec![bulk_elems.max(1)])],
-        };
-        let bulk_frame_bytes = encode_frame(&bulk).len();
-        let mut transfers = Vec::with_capacity(rounds.max(1));
-        for _ in 0..rounds.max(1) {
-            let t0 = Instant::now();
-            conn.send(&bulk)?;
-            conn.recv()?;
-            transfers.push(t0.elapsed().as_secs_f64());
-        }
-        let t_bulk = median(transfers);
-        // One round trip carries the bulk frame one way plus a tiny ack;
-        // subtract the control-frame RTT to isolate serialization time.
-        let serialize_s = (t_bulk - rtt_s).max(1e-9);
-        let bandwidth_bps = (bulk_frame_bytes as f64 * 8.0) / serialize_s;
-        conn.send(&Msg::Shutdown)?;
-        Ok(LinkCalibration {
-            rtt_s,
-            bandwidth_bps,
-            bulk_frame_bytes,
-        })
+        measure_link(&mut conn, pings, bulk_elems, rounds)
     };
     let result = run();
     let _ = echo.join();
@@ -120,9 +178,51 @@ mod tests {
             "loopback below 1 Mbit/s is not credible: {}",
             cal.bandwidth_bps
         );
+        assert_eq!(cal.stray_acks, 0, "well-behaved echo produced strays");
         let link = cal.to_link_spec();
         assert!(link.transfer_time(1_000_000).is_finite());
         // Loopback should beat the paper's assumed 128 Mbps LAN.
         assert!(link.bandwidth_bps > pac_cluster::LinkSpec::lan_128mbps().bandwidth_bps / 4.0);
+    }
+
+    /// Regression for the ack-ambiguity bug: an echo peer that interleaves
+    /// bulk-style acks (the reserved nonce — under the old protocol this
+    /// was `nonce: 0`, colliding with a real heartbeat nonce) in front of
+    /// every heartbeat ack. The RTT loop must drop every stray instead of
+    /// timing a heartbeat against the wrong ack.
+    #[test]
+    fn rtt_loop_drops_interleaved_bulk_acks() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let echo = std::thread::spawn(move || -> Result<(), NetError> {
+            let (s, _) = listener.accept()?;
+            let mut conn = FramedConn::from_stream(s, Duration::from_secs(10))?;
+            loop {
+                match conn.recv()? {
+                    Msg::Heartbeat { nonce } => {
+                        // A straggling bulk ack arrives *before* the real
+                        // heartbeat ack, every time.
+                        conn.send(&Msg::HeartbeatAck {
+                            nonce: BULK_ACK_NONCE,
+                        })?;
+                        conn.send(&Msg::HeartbeatAck { nonce })?;
+                    }
+                    Msg::GradBlock { .. } => conn.send(&Msg::HeartbeatAck {
+                        nonce: BULK_ACK_NONCE,
+                    })?,
+                    Msg::Shutdown => return Ok(()),
+                    _ => return Err(NetError::Malformed("unexpected calibration message")),
+                }
+            }
+        });
+        let mut conn = FramedConn::connect(addr, Duration::from_secs(10)).unwrap();
+        let cal = measure_link(&mut conn, 16, 1024, 2).expect("strays must not break the run");
+        let _ = echo.join();
+        assert!(
+            cal.stray_acks >= 8 + 16,
+            "every heartbeat saw a stray first: {} strays",
+            cal.stray_acks
+        );
+        assert!(cal.rtt_s > 0.0 && cal.rtt_s < 1.0, "rtt {}", cal.rtt_s);
     }
 }

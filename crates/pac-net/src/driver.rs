@@ -1,5 +1,5 @@
 //! The distributed coordinator: lockstep stepping, checkpoints, and
-//! restart-based fault recovery over real sockets.
+//! restart-based recovery from an *elastic* membership over real sockets.
 //!
 //! [`DistTrainer`] drives a `stages × lanes` world through the same
 //! training semantics as the in-process `HybridEngine` — one `Step`
@@ -7,23 +7,41 @@
 //! **bitwise-identical** losses and parameters on the same seed and
 //! batches (with SGD; see [`crate::worker`] for why Adam is excluded).
 //!
-//! Fault handling follows the PR 2 recovery loop, lifted across process
-//! boundaries: a peer disconnect (EOF or read timeout) surfaces as a typed
-//! [`EngineError::RankDown`] attributed to a world rank; the coordinator
-//! confirms feasibility with the planner (`replan_without`), tears the
-//! round down, respawns the world minus the dead lane, restores the last
-//! parameter snapshot, and replays from the checkpoint cursor. The
-//! [`RecoveryReport`] timeline (`inject → replan → resume`) is built by the
-//! same [`FaultClock`] machinery the in-process session uses.
+//! Membership is elastic in both directions, and every change funnels
+//! through the same restart machinery:
+//!
+//! * **Leave.** A peer disconnect, read timeout, or missed liveness
+//!   deadline (heartbeat sweeps via
+//!   [`probe_liveness`](crate::rendezvous::probe_liveness), surfacing
+//!   [`NetError::Stale`]) becomes a typed [`EngineError::RankDown`]; the
+//!   coordinator confirms feasibility with the planner (`replan_without`),
+//!   tears the round down, respawns the world minus the dead lane,
+//!   restores the last parameter snapshot, and replays from the
+//!   checkpoint cursor.
+//! * **Join.** A planned [`Fault::Join`](pac_parallel::Fault) admits a new
+//!   device chain through the planner's dual, `replan_with` (admission
+//!   never worsens the plan's makespan). The joiner dials the coordinator's
+//!   *persistent* rendezvous listener, a fresh catch-up snapshot is taken
+//!   at the current cursor, and the grown world resumes from it — the
+//!   joiner catches up purely via `Restore`, shipping no optimizer state.
+//! * **Straggle.** Heartbeat RTTs and per-rank `Done` busy-times feed an
+//!   EWMA per-lane cost; when lanes diverge past a ratio threshold the
+//!   driver rebalances micro-batch row shares across lanes
+//!   (`split_micro_batches_weighted`) instead of restarting.
+//!
+//! The [`RecoveryReport`] timeline (`inject → replan → resume`, plus
+//! `join` / `rebalance`) is built by the same [`FaultClock`] machinery the
+//! in-process session uses. Worker teardown is owned by a drop guard on
+//! the per-round state, so no error path can leak live workers.
 
-use crate::rendezvous::{Rendezvous, Topology, WorkerConn};
+use crate::rendezvous::{probe_liveness, Rendezvous, Topology, WorkerConn};
 use crate::spawn::{Spawn, SpawnedWorld};
 use crate::transport::{Conn, Transport};
 use crate::wire::{encode_frame, Assignment, Msg, NetError};
-use pac_cluster::{Cluster, CostModel, LinkSpec};
+use pac_cluster::{Cluster, CostModel, DeviceSpec, LinkSpec};
 use pac_core::RecoveryReport;
 use pac_model::ModelConfig;
-use pac_parallel::engine::{split_micro_batches, MicroBatch};
+use pac_parallel::engine::{split_micro_batches_weighted, weighted_shares, MicroBatch};
 use pac_parallel::schedule::SimEvent;
 use pac_parallel::{EngineError, FaultClock, FaultPlan, Schedule, TimelineKind};
 use pac_peft::Technique;
@@ -66,6 +84,15 @@ impl From<EngineError> for DistError {
     }
 }
 
+/// When the slowest lane's EWMA cost exceeds the fastest lane's by this
+/// ratio, the driver rebalances micro-batch row shares.
+const REBALANCE_RATIO: f64 = 1.75;
+
+/// Heartbeat nonces are namespaced per sweep: `step * NONCE_STRIDE + rank`.
+/// Worlds never approach this many ranks, and the product never reaches
+/// the reserved bulk-ack nonce (`u64::MAX`).
+const NONCE_STRIDE: u64 = 4096;
+
 /// Configuration of a distributed training job.
 #[derive(Debug, Clone)]
 pub struct DistConfig {
@@ -94,6 +121,15 @@ pub struct DistConfig {
     pub net_timeout: Duration,
     /// How long to wait for the whole world to rendezvous.
     pub setup_timeout: Duration,
+    /// Probe liveness with a heartbeat sweep before every this-many-th
+    /// step (0 disables sweeps). A rank that misses the sweep deadline is
+    /// treated as departed *before* a broken pipeline step has to time out.
+    pub heartbeat_every: usize,
+    /// Per-rank deadline for answering a liveness sweep.
+    pub liveness_timeout: Duration,
+    /// Rebalance micro-batch row shares toward fast lanes when measured
+    /// per-lane step cost (busy time + control RTT) diverges.
+    pub rebalance: bool,
     /// Link model handed to the planner for replan feasibility (use
     /// [`LinkSpec::measured`] from the loopback calibration bench to plan
     /// against the fabric the job actually runs on).
@@ -120,6 +156,9 @@ impl DistConfig {
             checkpoint_every: 2,
             net_timeout: Duration::from_secs(10),
             setup_timeout: Duration::from_secs(20),
+            heartbeat_every: 1,
+            liveness_timeout: Duration::from_secs(10),
+            rebalance: false,
             link: LinkSpec::lan_128mbps(),
             telemetry: false,
         }
@@ -151,14 +190,44 @@ pub struct DistReport {
     pub last_events: Vec<SimEvent>,
     /// Pipeline stages (constant across recovery).
     pub stages: usize,
-    /// Lanes still alive at the end.
+    /// Lanes alive at the end (may exceed the starting count after joins).
     pub final_lanes: usize,
 }
 
+/// One spawned world plus its control connections. Teardown is owned
+/// here: [`Round::teardown`] is idempotent and also runs on drop, so
+/// every coordinator error path — setup included — reaps its workers
+/// instead of leaking them.
 struct Round<C: Conn> {
     conns: Vec<WorkerConn<C>>,
-    world: SpawnedWorld,
+    world: Option<SpawnedWorld>,
     topo: Topology,
+}
+
+impl<C: Conn> Round<C> {
+    /// Sends `Shutdown` to every rank (best-effort), merges worker
+    /// telemetry, and reaps the world. Safe to call more than once.
+    fn teardown(&mut self) {
+        let Some(world) = self.world.take() else {
+            return;
+        };
+        for wc in self.conns.iter_mut() {
+            let _ = wc.ctrl.send(&Msg::Shutdown);
+        }
+        for wc in self.conns.iter_mut() {
+            if let Ok(Msg::Stats { counters }) = wc.ctrl.recv() {
+                pac_telemetry::merge_counters(counters);
+            }
+        }
+        self.conns.clear();
+        world.shutdown();
+    }
+}
+
+impl<C: Conn> Drop for Round<C> {
+    fn drop(&mut self) {
+        self.teardown();
+    }
 }
 
 /// Named parameter tensors for each pipeline stage, canonical-lane order.
@@ -176,6 +245,8 @@ struct Snapshot {
 struct StepOk {
     lane_losses: Vec<f32>,
     lane0_events: Vec<SimEvent>,
+    /// Per-rank busy time (stall + compute + collective) reported in `Done`.
+    busy_ns: Vec<u64>,
 }
 
 /// Drives a distributed training world.
@@ -191,97 +262,105 @@ impl DistTrainer {
         DistTrainer { cfg }
     }
 
+    /// Launches and wires a `stages × lanes` round on the coordinator's
+    /// persistent rendezvous listener. `pre` carries already-accepted
+    /// control connections (elastic joiners) that become the highest
+    /// ranks; `carry_world` folds their spawn handles into the new round
+    /// so one teardown reaps everything.
+    #[allow(clippy::too_many_arguments)]
     fn start_round<S: Spawn>(
         &self,
         spawner: &S,
+        rdv: &Rendezvous<S::T>,
         lanes: usize,
         m_n: usize,
         snapshot: Option<&Snapshot>,
+        pre: Vec<WorkerConn<<S::T as Transport>::Conn>>,
+        carry_world: Option<SpawnedWorld>,
     ) -> Result<Round<<S::T as Transport>::Conn>, DistError> {
         let cfg = &self.cfg;
         let topo = Topology {
             stages: cfg.stages(),
             lanes,
         };
-        let rdv = Rendezvous::bind_on(&spawner.transport())?;
-        let world = spawner
-            .launch(rdv.port(), topo.world())
+        let fresh = topo.world() - pre.len();
+        let mut world = spawner
+            .launch(rdv.port(), fresh)
             .map_err(|e| DistError::Net(NetError::Io(e)))?;
-        let mut conns = match rdv.accept_world(topo.world(), cfg.setup_timeout, cfg.net_timeout) {
-            Ok(c) => c,
-            Err(e) => {
-                world.shutdown();
-                return Err(e.into());
-            }
+        if let Some(cw) = carry_world {
+            world.merge(cw);
+        }
+        // From here on the guard owns teardown: any `?` below reaps the
+        // spawned workers (and any carried joiner) before returning.
+        let mut round = Round {
+            conns: pre,
+            world: Some(world),
+            topo,
         };
-        let ports: Vec<u16> = conns.iter().map(|w| w.data_port).collect();
-        let setup =
-            |conns: &mut Vec<WorkerConn<<S::T as Transport>::Conn>>| -> Result<(), NetError> {
-                for (rank, wc) in conns.iter_mut().enumerate() {
-                    wc.ctrl.send(&Msg::Assign(Box::new(Assignment {
-                        rank: rank as u32,
-                        lane: topo.lane_of(rank) as u32,
-                        stage: topo.stage_of(rank) as u32,
-                        lanes: topo.lanes as u32,
-                        stages: topo.stages as u32,
-                        seed: cfg.seed,
-                        lr: cfg.lr,
-                        enc_layers: cfg.enc_layers as u32,
-                        hidden: cfg.hidden as u32,
-                        heads: cfg.heads as u32,
-                        n_out: cfg.n_out as u32,
-                        partition: cfg.partition.iter().map(|&p| p as u32).collect(),
-                        schedule: cfg.schedule,
-                        micro_batches: m_n as u32,
-                        net_timeout_ms: cfg.net_timeout.as_millis() as u32,
-                        telemetry: cfg.telemetry,
-                    })))?;
-                }
-                for wc in conns.iter_mut() {
-                    wc.ctrl.send(&Msg::Peers {
-                        ports: ports.clone(),
-                    })?;
-                }
-                for wc in conns.iter_mut() {
-                    match wc.ctrl.recv()? {
-                        Msg::Ready => {}
-                        _ => return Err(NetError::Malformed("expected Ready after mesh wiring")),
-                    }
-                }
-                if let Some(snap) = snapshot {
-                    for (rank, wc) in conns.iter_mut().enumerate() {
-                        wc.ctrl.send(&Msg::Restore {
-                            entries: snap.stages[topo.stage_of(rank)].clone(),
-                        })?;
-                    }
-                }
-                Ok(())
-            };
-        match setup(&mut conns) {
-            Ok(()) => Ok(Round { conns, world, topo }),
-            Err(e) => {
-                drop(conns);
-                world.shutdown();
-                Err(e.into())
+        let mut accepted = rdv.accept_world(fresh, cfg.setup_timeout, cfg.net_timeout)?;
+        accepted.append(&mut round.conns);
+        round.conns = accepted;
+
+        let ports: Vec<u16> = round.conns.iter().map(|w| w.data_port).collect();
+        for (rank, wc) in round.conns.iter_mut().enumerate() {
+            wc.ctrl.send(&Msg::Assign(Box::new(Assignment {
+                rank: rank as u32,
+                lane: topo.lane_of(rank) as u32,
+                stage: topo.stage_of(rank) as u32,
+                lanes: topo.lanes as u32,
+                stages: topo.stages as u32,
+                seed: cfg.seed,
+                lr: cfg.lr,
+                enc_layers: cfg.enc_layers as u32,
+                hidden: cfg.hidden as u32,
+                heads: cfg.heads as u32,
+                n_out: cfg.n_out as u32,
+                partition: cfg.partition.iter().map(|&p| p as u32).collect(),
+                schedule: cfg.schedule,
+                micro_batches: m_n as u32,
+                net_timeout_ms: cfg.net_timeout.as_millis() as u32,
+                telemetry: cfg.telemetry,
+            })))?;
+        }
+        for wc in round.conns.iter_mut() {
+            wc.ctrl.send(&Msg::Peers {
+                ports: ports.clone(),
+            })?;
+        }
+        for wc in round.conns.iter_mut() {
+            match wc.ctrl.recv()? {
+                Msg::Ready => {}
+                _ => return Err(NetError::Malformed("expected Ready after mesh wiring").into()),
             }
         }
+        if let Some(snap) = snapshot {
+            for rank in 0..round.conns.len() {
+                round.conns[rank].ctrl.send(&Msg::Restore {
+                    entries: snap.stages[topo.stage_of(rank)].clone(),
+                })?;
+            }
+        }
+        Ok(round)
     }
 
     /// Fetches parameters of the canonical replica (lane position 0),
     /// stage by stage. Returns the per-stage entries and the serialized
-    /// snapshot size in bytes.
+    /// snapshot size in bytes; errors are attributed to the rank being
+    /// fetched so mid-run callers can fold a dead canonical rank into the
+    /// leave path instead of aborting the job.
     fn fetch_params<C: Conn>(
         round: &mut Round<C>,
         trainable_only: bool,
-    ) -> Result<(StageParams, usize), NetError> {
+    ) -> Result<(StageParams, usize), (usize, NetError)> {
         let mut stages = Vec::with_capacity(round.topo.stages);
         let mut bytes = 0usize;
         for s in 0..round.topo.stages {
             let rank = round.topo.rank_of(s, 0);
             round.conns[rank]
                 .ctrl
-                .send(&Msg::ParamReq { trainable_only })?;
-            match round.conns[rank].ctrl.recv()? {
+                .send(&Msg::ParamReq { trainable_only })
+                .map_err(|e| (rank, e))?;
+            match round.conns[rank].ctrl.recv().map_err(|e| (rank, e))? {
                 Msg::ParamSnap { entries } => {
                     bytes += encode_frame(&Msg::ParamSnap {
                         entries: entries.clone(),
@@ -289,7 +368,7 @@ impl DistTrainer {
                     .len();
                     stages.push(entries);
                 }
-                _ => return Err(NetError::Malformed("expected ParamSnap")),
+                _ => return Err((rank, NetError::Malformed("expected ParamSnap"))),
             }
         }
         Ok((stages, bytes))
@@ -297,11 +376,13 @@ impl DistTrainer {
 
     /// One lockstep step: broadcast `Step`, collect one `Done` per rank.
     /// Any EOF, timeout, or `Fault` maps to [`EngineError::RankDown`] with
-    /// the dead rank attributed (current-round numbering).
+    /// the dead rank attributed (current-round numbering). `stalls` is a
+    /// per-lane-position injected straggler delay in milliseconds.
     fn run_one_step<C: Conn>(
         round: &mut Round<C>,
         step: u64,
         die_rank: Option<usize>,
+        stalls: &[u32],
         lane_mbs: &[Vec<MicroBatch>],
         m_n: usize,
     ) -> Result<StepOk, EngineError> {
@@ -319,6 +400,7 @@ impl DistTrainer {
             let msg = Msg::Step {
                 step,
                 die: die_rank == Some(rank),
+                stall_ms: stalls[topo.lane_of(rank)],
                 micro_batches: if needs_data {
                     lane_mbs[topo.lane_of(rank)].clone()
                 } else {
@@ -331,15 +413,18 @@ impl DistTrainer {
         }
 
         // Collect exactly one verdict per rank; classify failures.
-        let mut dones: Vec<Option<(f32, Vec<SimEvent>)>> =
+        let mut dones: Vec<Option<(f32, u64, Vec<SimEvent>)>> =
             (0..topo.world()).map(|_| None).collect();
         let mut first_blame: Option<(usize, String)> = None;
         let mut first_silent: Option<(usize, String)> = None;
         for (rank, done) in dones.iter_mut().enumerate() {
             match round.conns[rank].ctrl.recv() {
                 Ok(Msg::Done {
-                    loss_sum, events, ..
-                }) => *done = Some((loss_sum, events)),
+                    loss_sum,
+                    busy_ns,
+                    events,
+                    ..
+                }) => *done = Some((loss_sum, busy_ns, events)),
                 Ok(Msg::Fault { blamed, detail, .. }) => {
                     if first_blame.is_none() {
                         first_blame = Some((blamed as usize, detail));
@@ -362,6 +447,10 @@ impl DistTrainer {
         }
 
         if dones.iter().all(Option::is_some) {
+            let busy_ns: Vec<u64> = dones
+                .iter()
+                .map(|d| d.as_ref().expect("all ranks done").1)
+                .collect();
             let mut lane_losses = Vec::with_capacity(topo.lanes);
             for k in 0..topo.lanes {
                 let rank = topo.rank_of(topo.stages - 1, k);
@@ -371,11 +460,12 @@ impl DistTrainer {
             let mut lane0_events = Vec::new();
             for s in 0..topo.stages {
                 let rank = topo.rank_of(s, 0);
-                lane0_events.extend(dones[rank].take().expect("all ranks done").1);
+                lane0_events.extend(dones[rank].take().expect("all ranks done").2);
             }
             return Ok(StepOk {
                 lane_losses,
                 lane0_events,
+                busy_ns,
             });
         }
 
@@ -396,28 +486,12 @@ impl DistTrainer {
         Err(down(dead, detail))
     }
 
-    /// Sends `Shutdown` to every rank (best-effort), merges worker
-    /// telemetry, and reaps the world.
-    fn shutdown_round<C: Conn>(round: Round<C>) {
-        let Round {
-            mut conns, world, ..
-        } = round;
-        for wc in conns.iter_mut() {
-            let _ = wc.ctrl.send(&Msg::Shutdown);
-        }
-        for wc in conns.iter_mut() {
-            if let Ok(Msg::Stats { counters }) = wc.ctrl.recv() {
-                pac_telemetry::merge_counters(counters);
-            }
-        }
-        drop(conns);
-        world.shutdown();
-    }
-
     /// Runs `batches.len()` lockstep steps over `spawner`-launched workers,
-    /// surviving fail-stop faults from `faults` via replan + checkpoint
-    /// resume. Each `batches[t]` is one mini-batch of micro-batches, split
-    /// row-wise across lanes exactly like the in-process `HybridEngine`.
+    /// surviving fail-stop faults, liveness-deadline misses, and elastic
+    /// joins from `faults` via replan + checkpoint resume. Each
+    /// `batches[t]` is one mini-batch of micro-batches, split row-wise
+    /// across lanes exactly like the in-process `HybridEngine` (weighted
+    /// toward fast lanes when `rebalance` is on).
     pub fn run<S: Spawn>(
         &self,
         spawner: &S,
@@ -435,28 +509,46 @@ impl DistTrainer {
             "micro-batch count must be constant across steps"
         );
         let mini_batch_rows: usize = batches[0].iter().map(|mb| mb.0.len()).sum();
+        // Every lane needs at least one row of every micro-batch, so the
+        // smallest micro bounds how far the world can grow.
+        let min_micro_rows = batches
+            .iter()
+            .flat_map(|b| b.iter().map(|mb| mb.0.len()))
+            .min()
+            .unwrap_or(0);
+        let cost = CostModel::new(cfg.model_config(), Technique::parallel_default(), 16);
+
+        let transport = spawner.transport();
+        // One listener for the whole job: joiners (and respawned rounds)
+        // always dial the same rendezvous port.
+        let rdv = Rendezvous::bind_on(&transport)?;
 
         let clock = FaultClock::new(faults.clone());
         let mut alive_lanes: Vec<usize> = (0..lanes0).collect();
-        let mut failed_devices: Vec<usize> = Vec::new();
+        // Lane ids for joiners once every original id is in use again.
+        let mut next_fresh_lane = lanes0;
+        let mut lane_weights: Vec<f64> = vec![1.0; lanes0];
+        let mut lane_cost_ewma: Vec<f64> = vec![0.0; lanes0];
+        // Per-rank control RTTs from the latest liveness sweep.
+        let mut last_rtts: Vec<u64> = Vec::new();
         let mut losses: Vec<f32> = Vec::new();
         let mut last_events: Vec<SimEvent> = Vec::new();
         let mut replans = 0u32;
         let mut checkpoints = 0usize;
         let mut checkpoint_bytes = 0usize;
 
-        let mut round = self.start_round(spawner, alive_lanes.len(), m_n, None)?;
-        let teardown_on_err =
-            |round: Round<<S::T as Transport>::Conn>, e: DistError| -> DistError {
-                Self::shutdown_round(round);
-                e
-            };
+        let mut round = self.start_round(
+            spawner,
+            &rdv,
+            alive_lanes.len(),
+            m_n,
+            None,
+            Vec::new(),
+            None,
+        )?;
 
         // Initial snapshot: recovery must always have something to restore.
-        let (snap_stages, bytes) = match Self::fetch_params(&mut round, true) {
-            Ok(v) => v,
-            Err(e) => return Err(teardown_on_err(round, e.into())),
-        };
+        let (snap_stages, bytes) = Self::fetch_params(&mut round, true).map_err(|(_, e)| e)?;
         checkpoints += 1;
         checkpoint_bytes += bytes;
         clock.note(
@@ -475,6 +567,120 @@ impl DistTrainer {
             clock.advance();
             let step = clock.current_step();
 
+            // ---- Elastic join: admit a new device chain as one more lane.
+            if clock.join(step) {
+                if alive_lanes.len() + 1 > min_micro_rows {
+                    clock.note(
+                        step,
+                        TimelineKind::Join,
+                        format!(
+                            "join rejected: {} lanes cannot split micro-batches of {} row(s)",
+                            alive_lanes.len() + 1,
+                            min_micro_rows
+                        ),
+                    );
+                } else {
+                    let lanes_now = alive_lanes.len();
+                    let planner = Planner::paper_defaults(
+                        Cluster::nanos(stages * lanes_now).with_link(cfg.link),
+                        mini_batch_rows.max(1),
+                    );
+                    let joined = vec![DeviceSpec::jetson_nano(); stages];
+                    match planner.replan_with(&cost, &joined) {
+                        None => clock.note(
+                            step,
+                            TimelineKind::Join,
+                            "join rejected: current pool is unplannable",
+                        ),
+                        Some(out) => {
+                            replans += 1;
+                            clock.note(
+                                step,
+                                TimelineKind::Join,
+                                format!("admitted +{stages} device(s) as one lane via replan_with"),
+                            );
+                            clock.note(
+                                step,
+                                TimelineKind::Replan,
+                                format!(
+                                    "replanned over {} devices, makespan {:.4} s",
+                                    out.device_indices.len(),
+                                    out.best_makespan_s
+                                ),
+                            );
+                            // Fresh catch-up snapshot at the current cursor:
+                            // the joiner restores it like everyone else, so
+                            // no step needs replaying.
+                            let (snap_stages, bytes) =
+                                Self::fetch_params(&mut round, true).map_err(|(_, e)| e)?;
+                            checkpoints += 1;
+                            checkpoint_bytes += bytes;
+                            clock.note(
+                                step,
+                                TimelineKind::Checkpoint,
+                                format!("catch-up snapshot at step cursor {t} ({bytes} B)"),
+                            );
+                            snapshot = Snapshot {
+                                stages: snap_stages,
+                                next_t: t,
+                                losses_len: losses.len(),
+                            };
+                            // Tear the old round down *before* accepting the
+                            // joiner: a pending joiner must not sit on its
+                            // connect deadline while the coordinator blocks
+                            // reaping old worker threads.
+                            round.teardown();
+                            // The joiner's late Hello arrives at the same
+                            // rendezvous listener the job has used all along.
+                            let extra = spawner
+                                .launch(rdv.port(), 1)
+                                .map_err(|e| DistError::Net(NetError::Io(e)))?;
+                            let joiner =
+                                match rdv.accept_world(1, cfg.setup_timeout, cfg.net_timeout) {
+                                    Ok(mut v) => v.pop().expect("accept_world returned one conn"),
+                                    Err(e) => {
+                                        extra.shutdown();
+                                        return Err(e.into());
+                                    }
+                                };
+                            // Revive the smallest departed original lane id,
+                            // else mint a fresh one.
+                            let lane_id = (0..lanes0)
+                                .find(|l| !alive_lanes.contains(l))
+                                .unwrap_or_else(|| {
+                                    let id = next_fresh_lane;
+                                    next_fresh_lane += 1;
+                                    id
+                                });
+                            alive_lanes.push(lane_id);
+                            alive_lanes.sort_unstable();
+                            lane_weights = vec![1.0; alive_lanes.len()];
+                            lane_cost_ewma = vec![0.0; alive_lanes.len()];
+                            last_rtts.clear();
+                            round = self.start_round(
+                                spawner,
+                                &rdv,
+                                alive_lanes.len(),
+                                m_n,
+                                Some(&snapshot),
+                                vec![joiner],
+                                Some(extra),
+                            )?;
+                            t = snapshot.next_t;
+                            losses.truncate(snapshot.losses_len);
+                            clock.note(
+                                step,
+                                TimelineKind::Resume,
+                                format!(
+                                    "joiner caught up from snapshot, resuming at step cursor {t} over {} lane(s)",
+                                    alive_lanes.len()
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+
             // Map a planned fail-stop of an original device to the rank
             // currently standing in for it (lanes renumber as they die).
             let die_rank = clock.fail_stop(step).and_then(|dev| {
@@ -492,11 +698,63 @@ impl DistTrainer {
                 Some(rank)
             });
 
-            let lane_mbs = match split_micro_batches(&batches[t], alive_lanes.len()) {
-                Ok(v) => v,
-                Err(e) => return Err(teardown_on_err(round, e.into())),
+            // Injected straggler delays, per lane position.
+            let stalls: Vec<u32> = alive_lanes
+                .iter()
+                .map(|&l| match clock.straggler_delay(step, l) {
+                    Some(d) => {
+                        let ms = d.as_millis() as u32;
+                        clock.note(
+                            step,
+                            TimelineKind::Injected,
+                            format!("lane {l} straggles {ms} ms"),
+                        );
+                        ms
+                    }
+                    None => 0,
+                })
+                .collect();
+
+            // Liveness sweep: a silent rank becomes RankDown *now* instead
+            // of wedging the pipeline until the step deadline.
+            let probe =
+                if cfg.heartbeat_every > 0 && step.is_multiple_of(cfg.heartbeat_every as u64) {
+                    match probe_liveness(
+                        &transport,
+                        &mut round.conns,
+                        step.wrapping_mul(NONCE_STRIDE),
+                        cfg.liveness_timeout,
+                        cfg.net_timeout,
+                    ) {
+                        Ok(rtts) => {
+                            last_rtts = rtts;
+                            Ok(())
+                        }
+                        Err((rank, e)) => {
+                            if matches!(e, NetError::Stale) {
+                                pac_telemetry::counter_inc("membership.stale_probes");
+                            }
+                            Err(EngineError::RankDown {
+                                rank,
+                                lane: round.topo.lane_of(rank),
+                                stage: Some(round.topo.stage_of(rank)),
+                                step,
+                                detail: format!("liveness probe: {e}"),
+                            })
+                        }
+                    }
+                } else {
+                    Ok(())
+                };
+
+            let step_result = match probe {
+                Err(e) => Err(e),
+                Ok(()) => {
+                    let lane_mbs = split_micro_batches_weighted(&batches[t], &lane_weights)?;
+                    Self::run_one_step(&mut round, step, die_rank, &stalls, &lane_mbs, m_n)
+                }
             };
-            match Self::run_one_step(&mut round, step, die_rank, &lane_mbs, m_n) {
+            let outcome: Result<(), EngineError> = match step_result {
                 Ok(ok) => {
                     // Same float expression as the in-process engine's
                     // lane-mean, for bitwise loss equality.
@@ -504,54 +762,107 @@ impl DistTrainer {
                     losses.push(loss);
                     last_events = ok.lane0_events;
                     t += 1;
+
+                    // Straggler mitigation: fold this step's measured cost
+                    // into the EWMA and shift row shares if lanes diverge.
+                    if cfg.rebalance && alive_lanes.len() > 1 && t < batches.len() {
+                        for (pos, ewma) in lane_cost_ewma.iter_mut().enumerate() {
+                            let mut c = 0u64;
+                            for s in 0..stages {
+                                let r = round.topo.rank_of(s, pos);
+                                let rtt = last_rtts.get(r).copied().unwrap_or(0);
+                                c = c.max(ok.busy_ns[r].saturating_add(rtt));
+                            }
+                            let c = (c as f64).max(1.0);
+                            *ewma = if *ewma == 0.0 {
+                                c
+                            } else {
+                                0.5 * *ewma + 0.5 * c
+                            };
+                        }
+                        let fastest = lane_cost_ewma.iter().cloned().fold(f64::MAX, f64::min);
+                        let slowest = lane_cost_ewma.iter().cloned().fold(0.0, f64::max);
+                        if fastest > 0.0 && slowest / fastest > REBALANCE_RATIO {
+                            let proposed: Vec<f64> =
+                                lane_cost_ewma.iter().map(|&c| 1.0 / c).collect();
+                            let rows = batches[t][0].0.len();
+                            if let (Ok(old), Ok(new)) = (
+                                weighted_shares(rows, &lane_weights),
+                                weighted_shares(rows, &proposed),
+                            ) {
+                                if old != new {
+                                    clock.note(
+                                        step,
+                                        TimelineKind::Rebalance,
+                                        format!(
+                                            "straggler mitigation: first-micro row shares {old:?} -> {new:?}"
+                                        ),
+                                    );
+                                    lane_weights = proposed;
+                                }
+                            }
+                        }
+                    }
+
                     if cfg.checkpoint_every > 0
                         && t.is_multiple_of(cfg.checkpoint_every)
                         && t < batches.len()
                     {
-                        let (snap_stages, bytes) = match Self::fetch_params(&mut round, true) {
-                            Ok(v) => v,
-                            Err(e) => return Err(teardown_on_err(round, e.into())),
-                        };
-                        checkpoints += 1;
-                        checkpoint_bytes += bytes;
-                        clock.note(
-                            step,
-                            TimelineKind::Checkpoint,
-                            format!("snapshot at step cursor {t} ({bytes} B)"),
-                        );
-                        snapshot = Snapshot {
-                            stages: snap_stages,
-                            next_t: t,
-                            losses_len: losses.len(),
-                        };
+                        // A canonical rank dying under the snapshot fetch is
+                        // a membership event like any other: attribute it and
+                        // fall through to the leave path below rather than
+                        // aborting the whole job.
+                        match Self::fetch_params(&mut round, true) {
+                            Ok((snap_stages, bytes)) => {
+                                checkpoints += 1;
+                                checkpoint_bytes += bytes;
+                                clock.note(
+                                    step,
+                                    TimelineKind::Checkpoint,
+                                    format!("snapshot at step cursor {t} ({bytes} B)"),
+                                );
+                                snapshot = Snapshot {
+                                    stages: snap_stages,
+                                    next_t: t,
+                                    losses_len: losses.len(),
+                                };
+                                Ok(())
+                            }
+                            Err((rank, e)) => Err(EngineError::RankDown {
+                                rank,
+                                lane: round.topo.lane_of(rank),
+                                stage: Some(round.topo.stage_of(rank)),
+                                step,
+                                detail: format!("snapshot fetch: {e}"),
+                            }),
+                        }
+                    } else {
+                        Ok(())
                     }
                 }
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(()) => {}
                 Err(EngineError::RankDown { rank, detail, .. }) => {
-                    let orig_lane = alive_lanes[round.topo.lane_of(rank)];
-                    let orig_stage = round.topo.stage_of(rank);
-                    let orig_dev = orig_stage * lanes0 + orig_lane;
-                    Self::shutdown_round(round);
+                    let lanes_now = alive_lanes.len();
+                    let pos = round.topo.lane_of(rank);
+                    let orig_lane = alive_lanes[pos];
+                    round.teardown();
 
-                    if alive_lanes.len() == 1 {
+                    if lanes_now == 1 {
                         // The dead lane was the only one: no pipeline left.
                         return Err(EngineError::NoSurvivors.into());
                     }
-                    failed_devices.push(orig_dev);
-                    // Losing one rank strands its lane-mates too: the lane's
-                    // pipeline is broken, so its other stages leave the pool.
-                    for s in 0..stages {
-                        let dev = s * lanes0 + orig_lane;
-                        if dev != orig_dev {
-                            failed_devices.push(dev);
-                        }
-                    }
+                    pac_telemetry::counter_inc("membership.leaves");
+                    // Confirm feasibility over the pool we actually have:
+                    // the current world minus the departing lane's chain.
                     let planner = Planner::paper_defaults(
-                        Cluster::nanos(world0).with_link(cfg.link),
+                        Cluster::nanos(stages * lanes_now).with_link(cfg.link),
                         mini_batch_rows.max(1),
                     );
-                    let cost =
-                        CostModel::new(cfg.model_config(), Technique::parallel_default(), 16);
-                    match planner.replan_without(&cost, &failed_devices) {
+                    let dying: Vec<usize> = (0..stages).map(|s| s * lanes_now + pos).collect();
+                    match planner.replan_without(&cost, &dying) {
                         Some(out) => {
                             replans += 1;
                             clock.note(
@@ -566,13 +877,24 @@ impl DistTrainer {
                         }
                         None => {
                             return Err(EngineError::Unplannable {
-                                survivors: world0 - failed_devices.len(),
+                                survivors: stages * (lanes_now - 1),
                             }
                             .into())
                         }
                     }
                     alive_lanes.retain(|&l| l != orig_lane);
-                    round = self.start_round(spawner, alive_lanes.len(), m_n, Some(&snapshot))?;
+                    lane_weights = vec![1.0; alive_lanes.len()];
+                    lane_cost_ewma = vec![0.0; alive_lanes.len()];
+                    last_rtts.clear();
+                    round = self.start_round(
+                        spawner,
+                        &rdv,
+                        alive_lanes.len(),
+                        m_n,
+                        Some(&snapshot),
+                        Vec::new(),
+                        None,
+                    )?;
                     t = snapshot.next_t;
                     losses.truncate(snapshot.losses_len);
                     clock.note(
@@ -584,15 +906,17 @@ impl DistTrainer {
                         ),
                     );
                 }
-                Err(e) => return Err(teardown_on_err(round, e.into())),
+                Err(e) => return Err(e.into()),
             }
         }
 
-        let final_params = match Self::fetch_params(&mut round, false) {
-            Ok((stages, _)) => stages.into_iter().flatten().collect(),
-            Err(e) => return Err(teardown_on_err(round, e.into())),
-        };
-        Self::shutdown_round(round);
+        let final_params: Vec<(String, Tensor)> = Self::fetch_params(&mut round, false)
+            .map_err(|(_, e)| e)?
+            .0
+            .into_iter()
+            .flatten()
+            .collect();
+        round.teardown();
 
         Ok(DistReport {
             losses,
@@ -609,5 +933,102 @@ impl DistTrainer {
             stages,
             final_lanes: alive_lanes.len(),
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simnet::{SimConfig, SimNet, WORKERS_PER_GEN};
+    use crate::spawn::SpawnedWorld;
+    use crate::worker::{run_worker_on, Buggify, RunMode};
+    use pac_parallel::engine::MicroBatch;
+    use pac_parallel::FaultPlan;
+    use std::sync::atomic::{AtomicIsize, AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    /// Decrements the live-worker count when its thread exits, however it
+    /// exits.
+    struct LiveGuard(Arc<AtomicIsize>);
+    impl Drop for LiveGuard {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// A sabotaged spawner: launches one worker fewer than asked, so the
+    /// rendezvous can never complete, while counting live worker threads —
+    /// the regression probe for coordinator error paths leaking workers.
+    struct ShortSpawner {
+        net: SimNet,
+        live: Arc<AtomicIsize>,
+        gen: AtomicU32,
+    }
+
+    impl Spawn for ShortSpawner {
+        type T = SimNet;
+
+        fn transport(&self) -> SimNet {
+            self.net.clone()
+        }
+
+        fn launch(&self, coord_port: u16, world: usize) -> std::io::Result<SpawnedWorld> {
+            let generation = self.gen.fetch_add(1, Ordering::SeqCst);
+            let mut out = SpawnedWorld::default();
+            let actors: Vec<u32> = (0..world.saturating_sub(1) as u32)
+                .map(|slot| generation * WORKERS_PER_GEN + slot + 1)
+                .collect();
+            for &actor in &actors {
+                self.net.preregister(actor);
+            }
+            for (slot, &actor) in actors.iter().enumerate() {
+                let net = self.net.clone();
+                self.live.fetch_add(1, Ordering::SeqCst);
+                let live = LiveGuard(self.live.clone());
+                out.threads.push(std::thread::spawn(move || {
+                    let _live = live;
+                    let _guard = net.adopt(actor);
+                    let _ = run_worker_on(
+                        &net,
+                        coord_port,
+                        slot as u32,
+                        RunMode::Thread,
+                        &Buggify::default(),
+                    );
+                }));
+            }
+            out.sim = Some(self.net.clone());
+            Ok(out)
+        }
+    }
+
+    /// When rendezvous fails (here: a worker seat that never fills), the
+    /// round guard must reap every spawned worker before `run` returns —
+    /// the coordinator error path may not leak live threads.
+    #[test]
+    fn no_workers_leak_when_rendezvous_fails() {
+        let net = SimNet::new(SimConfig::clean(51));
+        let _coord = net.register(0);
+        let live = Arc::new(AtomicIsize::new(0));
+        let spawner = ShortSpawner {
+            net: net.clone(),
+            live: live.clone(),
+            gen: AtomicU32::new(0),
+        };
+
+        let cfg = DistConfig::loopback(2, 2);
+        let batches: Vec<Vec<MicroBatch>> =
+            vec![vec![(vec![vec![1, 2, 3]; 4], vec![0usize; 4]); 2]];
+        let out = DistTrainer::new(cfg).run(&spawner, &batches, &FaultPlan::none());
+        assert!(
+            matches!(out, Err(DistError::Net(_))),
+            "a world that cannot rendezvous must fail setup, got {out:?}"
+        );
+        assert_eq!(
+            live.load(Ordering::SeqCst),
+            0,
+            "coordinator error path leaked live workers"
+        );
+        assert!(net.panics().is_empty(), "worker panics: {:?}", net.panics());
     }
 }

@@ -24,9 +24,13 @@
 //!   / [`transport::Conn`] trait triple that abstracts the byte transport.
 //! * [`chan`] — [`chan::FramedConn`]: blocking framed TCP with read
 //!   deadlines and `net.*` telemetry counters; the production `Conn`.
-//! * [`rendezvous`] — coordinator rendezvous, rank assignment in arrival
-//!   order (workers rebuild the model from the shared seed, so no weights
-//!   ship at startup), and worker-side mesh wiring (pipeline + ring edges).
+//! * [`rendezvous`] — coordinator rendezvous on a job-lifetime listener
+//!   (elastic joiners dial the same port mid-run), rank assignment in
+//!   arrival order (workers rebuild the model from the shared seed, so no
+//!   weights ship at startup), worker-side mesh wiring (pipeline + ring
+//!   edges), and heartbeat liveness sweeps
+//!   ([`rendezvous::probe_liveness`]) that surface a silent rank as typed
+//!   [`wire::NetError::Stale`] before a pipeline step has to time out.
 //! * [`collective`] — ring allgather + locally-ordered lane reduction:
 //!   the float-op order of the in-process `allreduce_group` on every rank,
 //!   which is what keeps distributed gradients bit-identical.
@@ -35,8 +39,12 @@
 //!   SGD step, lockstep `Done` replies.
 //! * [`driver`] — the coordinator: lockstep stepping, checkpoint
 //!   snapshots, typed [`pac_parallel::EngineError::RankDown`] detection,
-//!   and restart-based recovery (planner `replan_without` → respawn →
-//!   restore → replay), reported through the shared `RecoveryReport`.
+//!   and restart-based recovery over an **elastic membership** — leaves
+//!   via planner `replan_without` → respawn → restore → replay, mid-run
+//!   joins via the dual `replan_with` → catch-up snapshot → resume, and
+//!   straggler mitigation by rebalancing micro-batch row shares from
+//!   measured heartbeat RTT + busy time — all reported through the shared
+//!   `RecoveryReport`.
 //! * [`spawn`] — the [`spawn::Spawn`] trait: thread workers (tests),
 //!   forked processes (`repro --distributed=N`), or simulated workers
 //!   ([`simnet::SimSpawner`]).
@@ -57,11 +65,11 @@ pub mod transport;
 pub mod wire;
 pub mod worker;
 
-pub use calib::{calibrate_loopback, LinkCalibration};
+pub use calib::{calibrate_loopback, LinkCalibration, BULK_ACK_NONCE};
 pub use chan::FramedConn;
 pub use driver::{DistConfig, DistError, DistReport, DistTrainer};
-pub use rendezvous::{Rendezvous, Topology};
-pub use simnet::{SimConfig, SimConn, SimNet, SimSpawner};
+pub use rendezvous::{probe_liveness, Rendezvous, Topology, WorkerConn};
+pub use simnet::{Partition, SimConfig, SimConn, SimNet, SimSpawner};
 pub use spawn::{Spawn, SpawnedWorld, Spawner};
 pub use transport::{Conn, Listener, Tcp, Transport};
 pub use wire::{Assignment, ByteSource, FrameReader, IoSource, Msg, NetError};

@@ -1176,6 +1176,13 @@ impl Transport for SimNet {
         ));
         Ok(SimConn::new(self.clone(), dial_idx))
     }
+
+    /// The *virtual* clock: liveness RTTs, busy times, and the rebalance
+    /// decisions derived from them become a pure function of the seed,
+    /// keeping elastic chaos runs byte-identical across repeats.
+    fn now_ns(&self) -> u64 {
+        SimNet::now_ns(self)
+    }
 }
 
 /// Spawns simulated workers as threads registered with the world's

@@ -90,6 +90,22 @@ pub struct SpawnedWorld {
 }
 
 impl SpawnedWorld {
+    /// True when no worker handles remain to reap.
+    pub fn is_empty(&self) -> bool {
+        self.threads.is_empty() && self.procs.is_empty()
+    }
+
+    /// Folds another spawned world into this one so a single `shutdown`
+    /// reaps both — the elastic join path launches a lone joiner before
+    /// the replacement world it will belong to, then merges the handles.
+    pub fn merge(&mut self, mut other: SpawnedWorld) {
+        self.threads.append(&mut other.threads);
+        self.procs.append(&mut other.procs);
+        if self.sim.is_none() {
+            self.sim = other.sim.take();
+        }
+    }
+
     /// Reaps the world: joins threads, waits briefly for processes to exit
     /// on their own (they do, once their control connection drops), then
     /// kills stragglers. Must be called after the coordinator has dropped

@@ -89,6 +89,18 @@ pub trait Transport: Clone + Send + Sync + Debug + 'static {
     /// Dials `port` with a connect deadline; the returned connection's
     /// read deadline is initialized to the same `timeout`.
     fn connect(&self, port: u16, timeout: Duration) -> Result<Self::Conn, NetError>;
+
+    /// Monotonic transport-clock nanoseconds. Everything time-*measuring*
+    /// in the protocol (heartbeat RTT, per-step busy time, the straggler
+    /// rebalancer) reads this clock instead of [`Instant`] directly: over
+    /// TCP it is wall time since process start, while [`crate::simnet`]
+    /// overrides it with the *virtual* clock so measurements — and every
+    /// decision derived from them — are a pure function of the seed.
+    fn now_ns(&self) -> u64 {
+        use std::sync::OnceLock;
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
 }
 
 // ---------------------------------------------------------------------------

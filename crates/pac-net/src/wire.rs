@@ -80,6 +80,12 @@ pub enum NetError {
     /// [`crate::simnet`] transport; real sockets surface stalls as
     /// [`NetError::Timeout`] instead.
     Deadlock(&'static str),
+    /// A peer missed its liveness deadline: a heartbeat probe went
+    /// unanswered within the coordinator's per-rank window. Unlike
+    /// [`NetError::Timeout`] (one read ran out of patience) this is a
+    /// *membership* verdict — the rank is presumed gone and the world
+    /// must be replanned without waiting for EOF.
+    Stale,
 }
 
 impl fmt::Display for NetError {
@@ -97,6 +103,7 @@ impl fmt::Display for NetError {
             NetError::Oversize(n) => write!(f, "length field {n} exceeds sanity bound"),
             NetError::Malformed(what) => write!(f, "malformed payload: {what}"),
             NetError::Deadlock(why) => write!(f, "simulated world deadlocked: {why}"),
+            NetError::Stale => write!(f, "peer missed its liveness deadline"),
         }
     }
 }
@@ -237,6 +244,11 @@ pub enum Msg {
         /// Fault injection: the worker must drop dead *now* instead of
         /// running the step (models a fail-stop at this step).
         die: bool,
+        /// Fault injection: wall-clock milliseconds the worker must stall
+        /// before computing (models a straggler device; the stall is
+        /// charged to the rank's reported busy time so the coordinator's
+        /// rebalancer can see it).
+        stall_ms: u32,
         /// This lane's micro-batches — non-empty only for ranks that need
         /// inputs or labels (first and last pipeline stages).
         micro_batches: Vec<MicroBatch>,
@@ -269,6 +281,10 @@ pub enum Msg {
         rank: u32,
         /// Sum of micro-batch losses (meaningful on last-stage ranks only).
         loss_sum: f32,
+        /// Transport-clock nanoseconds this rank spent computing the step
+        /// (virtual under simnet, wall over TCP) — the coordinator's
+        /// straggler signal.
+        busy_ns: u64,
         /// This stage's op timeline for the step (Gantt rendering).
         events: Vec<SimEvent>,
     },
@@ -622,10 +638,12 @@ fn encode_payload(msg: &Msg) -> Vec<u8> {
         Msg::Step {
             step,
             die,
+            stall_ms,
             micro_batches,
         } => {
             e.u64(*step);
             e.u8(*die as u8);
+            e.u32(*stall_ms);
             e.u32(micro_batches.len() as u32);
             for (rows, labels) in micro_batches {
                 e.u32(rows.len() as u32);
@@ -662,10 +680,12 @@ fn encode_payload(msg: &Msg) -> Vec<u8> {
         Msg::Done {
             rank,
             loss_sum,
+            busy_ns,
             events,
         } => {
             e.u32(*rank);
             e.f32(*loss_sum);
+            e.u64(*busy_ns);
             e.u32(events.len() as u32);
             for ev in events {
                 e.event(ev);
@@ -764,6 +784,7 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Msg, NetError> {
         7 => {
             let step = d.u64()?;
             let die = d.bool()?;
+            let stall_ms = d.u32()?;
             let n = d.len(8)?;
             let mut micro_batches = Vec::with_capacity(n);
             for _ in 0..n {
@@ -787,6 +808,7 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Msg, NetError> {
             Msg::Step {
                 step,
                 die,
+                stall_ms,
                 micro_batches,
             }
         }
@@ -813,6 +835,7 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Msg, NetError> {
         11 => {
             let rank = d.u32()?;
             let loss_sum = d.f32()?;
+            let busy_ns = d.u64()?;
             let n = d.len(25)?;
             let mut events = Vec::with_capacity(n);
             for _ in 0..n {
@@ -821,6 +844,7 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Msg, NetError> {
             Msg::Done {
                 rank,
                 loss_sum,
+                busy_ns,
                 events,
             }
         }
@@ -1135,6 +1159,7 @@ mod tests {
         let step = Msg::Step {
             step: 42,
             die: false,
+            stall_ms: 150,
             micro_batches: vec![(vec![vec![1, 2], vec![3, 4]], vec![0, 1])],
         };
         assert_eq!(roundtrip(&step), step);
@@ -1145,6 +1170,7 @@ mod tests {
         let msg = Msg::Done {
             rank: 2,
             loss_sum: 1.25,
+            busy_ns: 1_234_567,
             events: vec![SimEvent {
                 stage: 1,
                 micro: 0,

@@ -64,6 +64,16 @@ pub struct Buggify {
     /// train on un-averaged gradients and diverge from the in-process
     /// engine.
     pub apply_grad_before_allreduce: bool,
+    /// Ignore `Restore` messages — a joining worker that "forgets" to
+    /// catch up from the membership-change snapshot keeps its seed-fresh
+    /// parameters and silently trains a diverged replica. The elastic
+    /// sweep's bitwise check must catch this.
+    pub skip_catch_up_restore: bool,
+    /// Swallow `Heartbeat` probes without acking — a rank whose control
+    /// plane has gone silent while its data plane still computes. The
+    /// driver must evict it with typed [`NetError::Stale`] from the
+    /// liveness sweep instead of hanging on a step verdict.
+    pub mute_heartbeats: bool,
 }
 
 /// Pipeline-neighbor links over any [`Conn`] (TCP or simulated).
@@ -211,11 +221,17 @@ fn build_stage(asg: &Assignment) -> Result<StageModel, NetError> {
         .ok_or(NetError::Malformed("stage index out of range"))
 }
 
+/// Returns `(loss_sum, events, pre_collective_ns)`: the third field is the
+/// `now_ns` reading taken after local compute but *before* the gradient
+/// AllReduce. Busy time must stop there — the collective synchronizes the
+/// lanes, so measuring through it would charge every lane for the slowest
+/// one and blind the coordinator's straggler rebalancer.
 fn run_step<C: Conn>(
     state: &mut WorkerState<C>,
     step: u64,
     mbs: &[MicroBatch],
-) -> EngineResult<(f32, Vec<SimEvent>)> {
+    now_ns: impl Fn() -> u64,
+) -> EngineResult<(f32, Vec<SimEvent>, u64)> {
     let asg = &state.asg;
     let (s, k) = (asg.stage as usize, asg.lane as usize);
     let (s_n, lanes) = (state.topo.stages, state.topo.lanes);
@@ -267,6 +283,7 @@ fn run_step<C: Conn>(
         state.opt.step(&mut stage);
     }
 
+    let pre_collective_ns = now_ns();
     if lanes > 1 {
         let ctx = RingCtx {
             lane: k,
@@ -294,7 +311,7 @@ fn run_step<C: Conn>(
     if !torn_step {
         state.opt.step(&mut stage);
     }
-    let out = (run.loss_sum, run.events);
+    let out = (run.loss_sum, run.events, pre_collective_ns);
     state.stage = Some(stage);
     Ok(out)
 }
@@ -377,6 +394,7 @@ pub fn run_worker_on<T: Transport>(
             Msg::Step {
                 step,
                 die,
+                stall_ms,
                 micro_batches,
             } => {
                 if die {
@@ -389,10 +407,19 @@ pub fn run_worker_on<T: Transport>(
                         RunMode::Thread => return Ok(()),
                     }
                 }
-                match run_step(&mut state, step, &micro_batches) {
-                    Ok((loss_sum, events)) => ctrl.send(&Msg::Done {
+                let t0 = transport.now_ns();
+                if stall_ms > 0 {
+                    // Injected straggler: the device is busy elsewhere for a
+                    // while before it starts computing. The stall counts
+                    // toward busy time so the coordinator's rebalancer sees
+                    // this lane as slow.
+                    std::thread::sleep(Duration::from_millis(stall_ms as u64));
+                }
+                match run_step(&mut state, step, &micro_batches, || transport.now_ns()) {
+                    Ok((loss_sum, events, pre_collective_ns)) => ctrl.send(&Msg::Done {
                         rank,
                         loss_sum,
+                        busy_ns: pre_collective_ns.saturating_sub(t0),
                         events,
                     })?,
                     Err(e) => {
@@ -418,9 +445,21 @@ pub fn run_worker_on<T: Transport>(
                 ctrl.send(&Msg::ParamSnap { entries })?;
             }
             Msg::Restore { entries } => {
-                apply_restore(state.stage.as_mut().expect("stage present"), entries);
+                // Planted membership bug (see [`Buggify`]): a worker that
+                // skips catch-up keeps whatever parameters it rebuilt from
+                // the seed and diverges from the checkpoint cursor.
+                if !state.buggify.skip_catch_up_restore {
+                    apply_restore(state.stage.as_mut().expect("stage present"), entries);
+                }
             }
-            Msg::Heartbeat { nonce } => ctrl.send(&Msg::HeartbeatAck { nonce })?,
+            Msg::Heartbeat { nonce } => {
+                // Planted liveness bug (see [`Buggify`]): a mute rank never
+                // acks, so the sweep's per-rank deadline is the only thing
+                // standing between the driver and an unbounded hang.
+                if !state.buggify.mute_heartbeats {
+                    ctrl.send(&Msg::HeartbeatAck { nonce })?;
+                }
+            }
             Msg::Shutdown => {
                 // Ship local telemetry so the coordinator can aggregate
                 // real traffic. Thread-mode workers share the registry with

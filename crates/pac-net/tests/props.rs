@@ -163,7 +163,7 @@ proptest! {
         let msgs = vec![
             Msg::Hello { slot: rank, listen_port: port },
             Msg::Heartbeat { nonce },
-            Msg::Done { rank, loss_sum: f32::from_bits(loss_bits), events: vec![] },
+            Msg::Done { rank, loss_sum: f32::from_bits(loss_bits), busy_ns: nonce, events: vec![] },
             Msg::Fault { observer: rank, blamed: rank + 1, detail: format!("rank {rank} vanished") },
         ];
         for msg in msgs {

@@ -225,6 +225,7 @@ fn sim_planted_allreduce_ordering_bug_is_caught() {
         &FaultPlan::none(),
         Buggify {
             apply_grad_before_allreduce: true,
+            ..Buggify::default()
         },
     );
     let report = report.expect("buggified run still completes");

@@ -65,6 +65,80 @@ pub fn split_micro_batches(
         .collect())
 }
 
+/// Row counts per lane for one micro-batch of `rows` rows under relative
+/// `weights` (higher weight ⇒ more rows — the inverse of measured lane
+/// cost). Largest-remainder apportionment with a one-row floor per lane:
+/// shares sum exactly to `rows`, equal weights reproduce the even split of
+/// [`split_micro_batches`] when `rows` divides evenly, and a lane is never
+/// starved to zero (a lane with no rows would desynchronize the 1F1B
+/// schedule). Deterministic: ties go to the lower lane index.
+///
+/// # Errors
+/// [`EngineError::Tensor`] when `rows < weights.len()` (cannot give every
+/// lane a row) or `weights` is empty / contains a non-positive weight.
+pub fn weighted_shares(rows: usize, weights: &[f64]) -> EngineResult<Vec<usize>> {
+    let g = weights.len();
+    if g == 0 || rows < g || weights.iter().any(|w| !w.is_finite() || *w <= 0.0) {
+        return Err(EngineError::Tensor(TensorError::ShapeMismatch {
+            op: "weighted micro-batch shares need >= 1 row per lane and positive weights",
+            lhs: vec![rows],
+            rhs: vec![g],
+        }));
+    }
+    let total: f64 = weights.iter().sum();
+    // Floor of the proportional share, with the one-row floor applied.
+    let spendable = rows - g; // rows left after every lane's guaranteed one
+    let mut shares: Vec<usize> = Vec::with_capacity(g);
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(g);
+    let mut assigned = 0usize;
+    for (k, w) in weights.iter().enumerate() {
+        let ideal = spendable as f64 * (w / total);
+        let base = ideal.floor() as usize;
+        shares.push(1 + base);
+        assigned += base;
+        remainders.push((k, ideal - base as f64));
+    }
+    // Hand the leftover rows to the largest fractional remainders; ties
+    // break toward the lower lane index so the split is deterministic.
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    for &(k, _) in remainders.iter().take(spendable - assigned) {
+        shares[k] += 1;
+    }
+    debug_assert_eq!(shares.iter().sum::<usize>(), rows);
+    Ok(shares)
+}
+
+/// The weighted generalization of [`split_micro_batches`]: every
+/// micro-batch is cut into *contiguous* row ranges sized by
+/// [`weighted_shares`], lane `k` taking the `k`-th range. With equal
+/// weights and evenly divisible rows this is bit-identical to
+/// [`split_micro_batches`] (same contiguous slices in the same order), so
+/// a driver can use the weighted path unconditionally and only diverge
+/// from the in-process engines once measured lane costs actually differ.
+///
+/// # Errors
+/// [`EngineError::Tensor`] when any micro-batch has fewer rows than lanes
+/// or the weights are degenerate (see [`weighted_shares`]).
+pub fn split_micro_batches_weighted(
+    micro_batches: &[MicroBatch],
+    weights: &[f64],
+) -> EngineResult<Vec<Vec<MicroBatch>>> {
+    let g = weights.len();
+    let mut lanes: Vec<Vec<MicroBatch>> = vec![Vec::with_capacity(micro_batches.len()); g];
+    for (toks, targets) in micro_batches {
+        let shares = weighted_shares(toks.len(), weights)?;
+        let mut start = 0usize;
+        for (k, &share) in shares.iter().enumerate() {
+            lanes[k].push((
+                toks[start..start + share].to_vec(),
+                targets[start..start + share].to_vec(),
+            ));
+            start += share;
+        }
+    }
+    Ok(lanes)
+}
+
 /// Bounded retry budget for a disturbed gradient AllReduce: the collective
 /// is attempted `1 + MAX_ALLREDUCE_RETRIES` times before the engine
 /// degrades (unreachable lane known) or gives up.
@@ -474,6 +548,50 @@ mod tests {
                 (toks, targets)
             })
             .collect()
+    }
+
+    #[test]
+    fn weighted_shares_apportion_exactly() {
+        // Equal weights, divisible rows: the even split.
+        assert_eq!(weighted_shares(4, &[1.0, 1.0]).unwrap(), vec![2, 2]);
+        // Equal weights, ragged rows: leftover goes to the lowest lane.
+        assert_eq!(weighted_shares(4, &[1.0, 1.0, 1.0]).unwrap(), vec![2, 1, 1]);
+        // A lane twice as fast takes (roughly) twice the rows.
+        assert_eq!(weighted_shares(6, &[2.0, 1.0]).unwrap(), vec![4, 2]);
+        // The one-row floor: even a very slow lane keeps one row.
+        let shares = weighted_shares(8, &[100.0, 1.0]).unwrap();
+        assert_eq!(shares.iter().sum::<usize>(), 8);
+        assert!(shares[1] >= 1 && shares[0] > shares[1]);
+        // Degenerate inputs are typed errors, not panics.
+        assert!(weighted_shares(1, &[1.0, 1.0]).is_err());
+        assert!(weighted_shares(4, &[]).is_err());
+        assert!(weighted_shares(4, &[1.0, 0.0]).is_err());
+        assert!(weighted_shares(4, &[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn weighted_split_with_equal_weights_matches_even_split() {
+        let mbs = micro_batches(77, 3, 4, 5);
+        let even = split_micro_batches(&mbs, 2).unwrap();
+        let weighted = split_micro_batches_weighted(&mbs, &[1.0, 1.0]).unwrap();
+        assert_eq!(
+            even, weighted,
+            "equal weights must reproduce the even split"
+        );
+    }
+
+    #[test]
+    fn weighted_split_is_contiguous_and_loses_no_rows() {
+        let mbs = micro_batches(78, 2, 5, 3);
+        let lanes = split_micro_batches_weighted(&mbs, &[3.0, 1.0]).unwrap();
+        for (m, (toks, targets)) in mbs.iter().enumerate() {
+            let rejoined_toks: Vec<Vec<usize>> =
+                lanes.iter().flat_map(|lane| lane[m].0.clone()).collect();
+            let rejoined_targets: Vec<usize> =
+                lanes.iter().flat_map(|lane| lane[m].1.clone()).collect();
+            assert_eq!(&rejoined_toks, toks, "lane ranges must tile the rows");
+            assert_eq!(&rejoined_targets, targets);
+        }
     }
 
     #[test]

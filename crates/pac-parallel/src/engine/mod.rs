@@ -22,7 +22,8 @@ pub use data_parallel::{
 };
 pub use error::{EngineError, EngineResult};
 pub use hybrid::{
-    split_micro_batches, HybridEngine, MicroBatch, SupervisedOutcome, MAX_ALLREDUCE_RETRIES,
+    split_micro_batches, split_micro_batches_weighted, weighted_shares, HybridEngine, MicroBatch,
+    SupervisedOutcome, MAX_ALLREDUCE_RETRIES,
 };
 pub use pipeline::{
     run_pipeline_mini_batch, run_pipeline_supervised, run_stage, ChannelLinks, LaneFaults,

@@ -23,6 +23,7 @@
 //! straggler@step=2,lane=1,delay-ms=40
 //! allreduce@step=4,failures=2
 //! allreduce@step=4,failures=9,lane=1      # unreachable peer: degrade
+//! join@step=6                             # a device offers to join
 //! ```
 
 use serde::{Deserialize, Serialize};
@@ -79,6 +80,14 @@ pub enum Fault {
         /// Unreachable lane to drop if the retry budget is exhausted.
         lane: Option<usize>,
     },
+    /// A new device offers to join the pool before this step (powered on,
+    /// came back in LAN range). Elastic runtimes admit it through the
+    /// planner (`replan_with`) and grow the world; engines without a join
+    /// path ignore the event.
+    Join {
+        /// Global step before which the device offers to join.
+        step: u64,
+    },
 }
 
 impl Fault {
@@ -88,7 +97,8 @@ impl Fault {
             Fault::LanePanic { step, .. }
             | Fault::FailStop { step, .. }
             | Fault::Straggler { step, .. }
-            | Fault::AllReduceTransient { step, .. } => *step,
+            | Fault::AllReduceTransient { step, .. }
+            | Fault::Join { step } => *step,
         }
     }
 }
@@ -118,6 +128,7 @@ impl fmt::Display for Fault {
                 }
                 Ok(())
             }
+            Fault::Join { step } => write!(f, "join@step={step}"),
         }
     }
 }
@@ -237,6 +248,7 @@ impl FaultPlan {
                     failures: failures.ok_or_else(|| format!("'{clause}': missing failures="))?,
                     lane,
                 },
+                "join" => Fault::Join { step },
                 other => return Err(format!("unknown fault kind '{other}'")),
             };
             faults.push(fault);
@@ -278,6 +290,11 @@ pub enum TimelineKind {
     Replan,
     /// Training resumed from a checkpoint.
     Resume,
+    /// A joining device was admitted into (or rejected from) the pool.
+    Join,
+    /// Micro-batch shares were rebalanced across lanes (straggler
+    /// mitigation).
+    Rebalance,
 }
 
 impl fmt::Display for TimelineKind {
@@ -289,6 +306,8 @@ impl fmt::Display for TimelineKind {
             TimelineKind::Checkpoint => "checkpoint",
             TimelineKind::Replan => "replan",
             TimelineKind::Resume => "resume",
+            TimelineKind::Join => "join",
+            TimelineKind::Rebalance => "rebalance",
         };
         f.write_str(s)
     }
@@ -373,6 +392,16 @@ impl FaultClock {
         })
     }
 
+    /// True when a device offers to join the pool before `step`. Fires
+    /// once per step regardless of how many join faults name it; the
+    /// caller admits at most one device per membership event.
+    pub fn join(&self, step: u64) -> bool {
+        self.plan
+            .faults
+            .iter()
+            .any(|f| matches!(f, Fault::Join { step: s } if *s == step))
+    }
+
     /// AllReduce disturbance at `step`: `(failing_attempts, unreachable
     /// lane)`. `(0, None)` when the collective is healthy.
     pub fn allreduce_fault(&self, step: u64) -> (u32, Option<usize>) {
@@ -401,6 +430,8 @@ impl FaultClock {
             TimelineKind::Checkpoint => "checkpoint.snapshots",
             TimelineKind::Replan => "recovery.replans",
             TimelineKind::Resume => "recovery.resumes",
+            TimelineKind::Join => "membership.joins",
+            TimelineKind::Rebalance => "membership.rebalances",
         };
         pac_telemetry::counter_inc(counter);
         self.log.lock().unwrap().push(TimelineEvent {
@@ -445,9 +476,9 @@ mod tests {
     fn parse_round_trips_every_kind() {
         let spec = "lane-panic@step=3,lane=0,stage=1;fail-stop@step=5,device=2;\
                     straggler@step=2,lane=1,delay-ms=40;allreduce@step=4,failures=2;\
-                    allreduce@step=6,failures=9,lane=1";
+                    allreduce@step=6,failures=9,lane=1;join@step=7";
         let plan = FaultPlan::parse(spec).unwrap();
-        assert_eq!(plan.faults.len(), 5);
+        assert_eq!(plan.faults.len(), 6);
         let rendered = plan.to_string();
         assert_eq!(FaultPlan::parse(&rendered).unwrap(), plan);
     }
@@ -497,7 +528,8 @@ mod tests {
                 step: 4,
                 failures: 2,
                 lane: Some(1),
-            });
+            })
+            .with(Fault::Join { step: 5 });
         let clock = FaultClock::new(plan);
         assert_eq!(clock.advance(), 0);
         assert_eq!(clock.advance(), 1);
@@ -509,6 +541,8 @@ mod tests {
         assert_eq!(clock.straggler_delay(3, 2), Some(Duration::from_millis(15)));
         assert_eq!(clock.allreduce_fault(4), (2, Some(1)));
         assert_eq!(clock.allreduce_fault(5), (0, None));
+        assert!(clock.join(5));
+        assert!(!clock.join(4));
     }
 
     #[test]

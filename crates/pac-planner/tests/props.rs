@@ -3,7 +3,7 @@
 //! (losing a device never speeds up the plan), and index-robust
 //! (duplicates dedupe, out-of-range rejects).
 
-use pac_cluster::{Cluster, CostModel, LinkSpec};
+use pac_cluster::{Cluster, CostModel, DeviceSpec, LinkSpec};
 use pac_model::ModelConfig;
 use pac_peft::Technique;
 use pac_planner::Planner;
@@ -96,6 +96,47 @@ proptest! {
             }
             (None, None) => {}
             _ => prop_assert!(false, "dedup changed feasibility"),
+        }
+    }
+
+    /// Admitting joined devices never worsens the best makespan vs. the
+    /// pre-join plan: the pre-join pool is always a candidate of
+    /// `replan_with`'s sweep, so device gain is monotone by construction.
+    #[test]
+    fn replan_with_never_worsens_makespan(n in 2usize..5, extra in 1usize..4) {
+        let p = planner(n);
+        let before = p.plan(&cost()).expect("T5-Base plannable on nanos");
+        let joined = vec![DeviceSpec::jetson_nano(); extra];
+        let after = p
+            .replan_with(&cost(), &joined)
+            .expect("grown pool plannable");
+        prop_assert!(
+            after.best_makespan_s <= before.best_makespan_s * (1.0 + 1e-9),
+            "gained {} device(s) yet slowed down: {} -> {}",
+            extra,
+            before.best_makespan_s,
+            after.best_makespan_s
+        );
+        // Indices in the admitted plan address the appended pool, so the
+        // original devices keep their indices.
+        prop_assert!(after.device_indices.iter().all(|&i| i < n + extra));
+    }
+
+    /// Join admission is deterministic — elastic recovery is replayable.
+    #[test]
+    fn replan_with_is_deterministic(n in 2usize..5, extra in 1usize..4) {
+        let p = planner(n);
+        let joined = vec![DeviceSpec::jetson_nano(); extra];
+        let a = p.replan_with(&cost(), &joined);
+        let b = p.replan_with(&cost(), &joined);
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.best_makespan_s.to_bits(), b.best_makespan_s.to_bits());
+                prop_assert_eq!(a.best_micro_batches, b.best_micro_batches);
+                prop_assert_eq!(a.device_indices, b.device_indices);
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "join admission flapped"),
         }
     }
 

@@ -8,8 +8,10 @@
 //!
 //! Metric names are dot-separated paths, with the convention
 //! `<subsystem>.<object>.<measure>`, e.g. `cache.hits`,
-//! `pipeline.stage0.busy_ns`, `allreduce.bytes`. Spans append `.ns` and
-//! `.calls` to their base name.
+//! `pipeline.stage0.busy_ns`, `allreduce.bytes`, `membership.leaves` /
+//! `membership.stale_probes` (elastic-membership churn and
+//! liveness-sweep evictions). Spans append `.ns` and `.calls` to their
+//! base name.
 //!
 //! The registry is deliberately global (a process models one training
 //! node); tests that assert on metrics should [`reset`] first and not run
