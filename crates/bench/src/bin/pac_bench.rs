@@ -14,12 +14,18 @@
 //! 4. **Loopback link calibration** — RTT and bulk throughput of the real
 //!    framed TCP channel, folded into a [`pac_cluster::LinkSpec::measured`]
 //!    and fed to the planner next to the paper's assumed 128 Mbps LAN.
+//! 5. **Cold restore** — reopening a durable [`pac_store::DiskStore`] log
+//!    of committed PACCKPT2 snapshots after a simulated `kill -9`: log scan
+//!    alone, and the full open → decode → restore-into-module path a
+//!    restarted trainer pays before its first step.
 //!
-//! Usage: `pac-bench [--quick] [--out PATH]` (default `BENCH_PR4.json`).
+//! Usage: `pac-bench [--quick] [--out PATH]` (default `BENCH_PR7.json`).
 
 use criterion::{black_box, Criterion, Throughput};
 use pac_model::{EncoderModel, ModelConfig};
 use pac_nn::{cross_entropy, Module, Optimizer, Sgd};
+use pac_peft::{Technique, TrainCheckpoint, Tuner};
+use pac_store::{DiskStore, Store};
 use pac_tensor::{init, ops, rng::seeded, scratch, Tensor};
 use rand::Rng as _;
 use rayon::pool::{self, ExecMode};
@@ -76,7 +82,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
     let budget = Duration::from_millis(if quick { 40 } else { 250 });
     let mut c = Criterion::default().measurement_time(budget);
 
@@ -184,6 +190,56 @@ fn main() {
          -> {mk_measured:.3} s measured loopback"
     );
 
+    // ---- 5. Cold restore: durable log open + decode + restore ----
+    // A restarted trainer pays exactly this before its first step: scan the
+    // segment log (CRC every record, truncate any torn tail), pull the
+    // latest committed snapshot, decode the PACCKPT2 framing, and load the
+    // tensors into a live module. Each commit comes from a differently
+    // seeded tuner so no chunk dedups away — the worst-case log, every
+    // blob unique, all of it scanned on open.
+    let (restore_log_bytes, restore_commits) = {
+        let cfg = ModelConfig::micro(2, 0, 32, 2);
+        let n_commits = if quick { 4u64 } else { 8 };
+        let dir =
+            std::env::temp_dir().join(format!("pac-bench-coldrestore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut store, _) = DiskStore::open(&dir).expect("bench store");
+        for i in 0..n_commits {
+            let tuner = Tuner::new(Technique::parallel_default(), &cfg, 2, &mut seeded(100 + i));
+            let ck = TrainCheckpoint::capture(&tuner, 0, i, i);
+            store
+                .commit(&ck.to_bytes().expect("encode snapshot"), &i.to_le_bytes())
+                .expect("commit snapshot");
+        }
+        let log_bytes = store.bytes_written();
+        drop(store);
+
+        let mut g = c.benchmark_group("cold_restore");
+        g.bench_function("open_log", |bch| {
+            bch.iter(|| {
+                let (s, report) = DiskStore::open(black_box(&dir)).expect("reopen");
+                black_box(report.commits);
+                s
+            })
+        });
+        let mut target = Tuner::new(Technique::parallel_default(), &cfg, 2, &mut seeded(7));
+        g.bench_function("open_decode_restore", |bch| {
+            bch.iter(|| {
+                let (s, _) = DiskStore::open(black_box(&dir)).expect("reopen");
+                let committed = s
+                    .latest()
+                    .expect("readable log")
+                    .expect("committed snapshot");
+                let ck = TrainCheckpoint::from_bytes(&committed.payload).expect("decode");
+                ck.restore(&mut target).expect("restore into module");
+                black_box(committed.seq)
+            })
+        });
+        g.finish();
+        let _ = std::fs::remove_dir_all(&dir);
+        (log_bytes, n_commits)
+    };
+
     // ---- Summary + JSON trajectory ----
     let results = c.take_results();
     let p50 = |name: &str| {
@@ -191,6 +247,13 @@ fn main() {
             .iter()
             .find(|r| r.name == name)
             .map(|r| r.p50_ns as f64)
+            .expect("bench ran")
+    };
+    let p95 = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.p95_ns as f64)
             .expect("bench ran")
     };
     let pool_speedup = p50("matmul_64x64x64/spawn_baseline") / p50("matmul_64x64x64/pooled");
@@ -203,6 +266,13 @@ fn main() {
     println!("\npool speedup (spawn/pooled, 64x64x64 matmul): {pool_speedup:.2}x");
     println!("alloc speedup (fresh/reused out):             {alloc_speedup:.2}x");
     println!("epoch speedup (spawn+alloc / pooled+scratch): {epoch_speedup:.2}x");
+    println!(
+        "cold restore ({restore_commits} commits, {restore_log_bytes} B log): open p50 {:.1} us, \
+         open+decode+restore p50 {:.1} us / p95 {:.1} us",
+        p50("cold_restore/open_log") / 1e3,
+        p50("cold_restore/open_decode_restore") / 1e3,
+        p95("cold_restore/open_decode_restore") / 1e3
+    );
     println!(
         "pool: {} calls, {} tasks, busy {:.1} ms | scratch: {} reuses, {} allocs",
         pstats.parallel_calls,
@@ -232,7 +302,16 @@ fn main() {
         cal.rtt_s, cal.bandwidth_bps, cal.bulk_frame_bytes
     ));
     json.push_str(&format!(
-        "  \"planner\": {{\"makespan_assumed_lan_s\": {mk_assumed:.6}, \"makespan_measured_loopback_s\": {mk_measured:.6}}}\n"
+        "  \"planner\": {{\"makespan_assumed_lan_s\": {mk_assumed:.6}, \"makespan_measured_loopback_s\": {mk_measured:.6}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"cold_restore\": {{\"commits\": {restore_commits}, \"log_bytes\": {restore_log_bytes}, \
+         \"open_p50_ns\": {:.0}, \"open_p95_ns\": {:.0}, \
+         \"restore_p50_ns\": {:.0}, \"restore_p95_ns\": {:.0}}}\n",
+        p50("cold_restore/open_log"),
+        p95("cold_restore/open_log"),
+        p50("cold_restore/open_decode_restore"),
+        p95("cold_restore/open_decode_restore")
     ));
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write bench trajectory");

@@ -30,6 +30,12 @@
 //! with `--telemetry` (real `net.*` counters next to the modeled comms
 //! volume). Workers re-exec this binary with the hidden `--net-worker
 //! ADDR SLOT` arguments.
+//!
+//! Pass `--durable` to run the kill-mid-checkpoint drill: the micro
+//! distributed job trains over a real on-disk `pac-store` log, a planted
+//! crash fault kills the checkpoint writer mid-append, and a cold restart
+//! over the same log must recover the last committed snapshot and finish
+//! bitwise identical to the in-process engine.
 
 use pac_bench::experiments as exp;
 
@@ -81,12 +87,24 @@ fn main() {
         });
         n
     };
+    let durable = {
+        let before = args.len();
+        args.retain(|a| a != "--durable");
+        args.len() != before
+    };
     if let Some(n) = distributed {
         if n != 2 && n != 4 {
             eprintln!("--distributed=N supports N=2 (2 stages) or N=4 (2 stages x 2 lanes)");
             std::process::exit(2);
         }
         distributed_demo(n, faults.as_deref());
+        if telemetry {
+            telemetry_report();
+        }
+        return;
+    }
+    if durable {
+        durable_demo();
         if telemetry {
             telemetry_report();
         }
@@ -132,7 +150,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "usage: repro [--telemetry] [--faults[=SPEC]] [--distributed=N] [table1|fig3|table2|table3|table3-quick|fig6|fig8|fig9|fig10|fig11|telemetry-demo|all]"
+                "usage: repro [--telemetry] [--faults[=SPEC]] [--distributed=N] [--durable] [table1|fig3|table2|table3|table3-quick|fig6|fig8|fig9|fig10|fig11|telemetry-demo|all]"
             );
             std::process::exit(2);
         }
@@ -308,6 +326,146 @@ fn distributed_demo(n: usize, faults_spec: Option<&str>) {
         if !loss_ok || !params_ok {
             std::process::exit(1);
         }
+    }
+}
+
+/// `--durable`: the kill-mid-checkpoint drill. Trains the micro
+/// distributed job over a real on-disk [`pac_store::DiskStore`] log with a
+/// planted `crash@step,at-byte` fault that kills the checkpoint writer
+/// mid-append; prints the typed store error the coordinator dies with,
+/// the torn-tail recovery report from reopening the log, and the resumed
+/// run's recovery timeline — then checks the cold-restarted trajectory
+/// bitwise against the in-process engine.
+fn durable_demo() {
+    use pac_model::{EncoderModel, ModelConfig};
+    use pac_net::{DistConfig, DistError, DistTrainer, SimConfig, SimNet, SimSpawner};
+    use pac_nn::optim::Sgd;
+    use pac_nn::Optimizer;
+    use pac_parallel::engine::{HybridEngine, MicroBatch};
+    use pac_parallel::faults::render_events;
+    use pac_parallel::{Fault, FaultPlan, Schedule};
+    use pac_store::{DiskStore, Store, StoreError};
+    use pac_tensor::rng::seeded;
+    use rand::Rng as _;
+
+    header("Durable checkpoints — kill the writer mid-append, cold-restart from the log");
+
+    let cfg = DistConfig::loopback(2, 2);
+    let steps = 6usize;
+    let mut rng = seeded(cfg.seed ^ 0xda7a_5eed);
+    let batches: Vec<Vec<MicroBatch>> = (0..steps)
+        .map(|_| {
+            (0..2)
+                .map(|_| {
+                    let rows: Vec<Vec<usize>> = (0..4)
+                        .map(|_| (0..6).map(|_| rng.gen_range(0..64)).collect())
+                        .collect();
+                    let labels: Vec<usize> = (0..4).map(|_| rng.gen_range(0..2)).collect();
+                    (rows, labels)
+                })
+                .collect()
+        })
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("pac-repro-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // The 0-based step clock with `checkpoint_every = 2` commits at steps
+    // 1, 3, 5; tear the step-3 commit 17 bytes in — inside the first blob
+    // record's frame.
+    let plan = FaultPlan {
+        faults: vec![Fault::Crash {
+            step: 3,
+            at_byte: 17,
+        }],
+    };
+    println!(
+        "log: {}\nplan: {plan}\n\n-- run 1: the checkpoint writer is killed mid-append --",
+        dir.display()
+    );
+
+    let durable_run = |sim_seed: u64, faults: &FaultPlan, store: &mut dyn Store| {
+        let net = SimNet::new(SimConfig::clean(sim_seed));
+        let _coord = net.register(0);
+        let spawner = SimSpawner::new(net.clone());
+        DistTrainer::new(cfg.clone()).run_with_store(&spawner, &batches, faults, store)
+    };
+
+    {
+        let (mut store, _) = DiskStore::open(&dir).expect("fresh store");
+        match durable_run(71, &plan, &mut store) {
+            Err(DistError::Store(e @ StoreError::Injected { .. })) => {
+                println!("coordinator died with the typed store error:\n  {e}");
+            }
+            other => {
+                eprintln!("expected the injected writer crash, got {other:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!("\n-- run 2: cold restart over the same log --");
+    let (mut store, report) = DiskStore::open(&dir).expect("recovery open");
+    println!(
+        "recovery: {} segment(s), {} committed snapshot(s), {} B kept, {} torn-tail B truncated",
+        report.segments, report.commits, report.bytes_kept, report.truncated_bytes
+    );
+    let resumed = match durable_run(72, &FaultPlan::none(), &mut store) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cold restart failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("\nrecovery timeline:");
+    println!("{}", render_events(&resumed.recovery.timeline));
+
+    // Bitwise cross-check vs the in-process engine on the same seed: the
+    // restored prefix comes from commit metadata, the replayed suffix from
+    // the deterministic SGD worker path.
+    let model_cfg = ModelConfig::micro(cfg.enc_layers, 0, cfg.hidden, cfg.heads);
+    let model = EncoderModel::new(&model_cfg, cfg.n_out, &mut seeded(cfg.seed));
+    let ref_stages = model.partition(&cfg.partition).expect("partition");
+    let mut engine = HybridEngine::new(ref_stages, cfg.lanes, Schedule::OneFOneB);
+    let mut opts: Vec<Box<dyn Optimizer>> = (0..cfg.lanes)
+        .map(|_| Box::new(Sgd::new(cfg.lr)) as Box<dyn Optimizer>)
+        .collect();
+    let mut ref_losses = Vec::new();
+    for batch in &batches {
+        engine.zero_grads();
+        ref_losses.push(engine.run_mini_batch(batch).expect("in-process step"));
+        engine.step(&mut opts);
+    }
+    let loss_ok = resumed.losses.len() == ref_losses.len()
+        && resumed
+            .losses
+            .iter()
+            .zip(ref_losses.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    let ref_params = engine.canonical_params();
+    let params_ok = resumed.final_params.len() == ref_params.len()
+        && resumed
+            .final_params
+            .iter()
+            .zip(ref_params.iter())
+            .all(|((an, at), (bn, bt))| {
+                an == bn
+                    && at
+                        .data()
+                        .iter()
+                        .zip(bt.data().iter())
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
+            });
+    println!(
+        "bitwise check vs in-process engine: losses {}, final params {}",
+        if loss_ok { "IDENTICAL" } else { "DIVERGED" },
+        if params_ok { "IDENTICAL" } else { "DIVERGED" },
+    );
+    drop(store);
+    if loss_ok && params_ok {
+        let _ = std::fs::remove_dir_all(&dir);
+    } else {
+        eprintln!("log kept at {}", dir.display());
+        std::process::exit(1);
     }
 }
 

@@ -22,6 +22,13 @@
 //!   trajectory with exactly one replan per membership change, end close
 //!   to the fault-free loss, and stay byte-identical across two runs of
 //!   the same seed. `--churn` runs this phase alone.
+//! * **E (durable crash-recovery)** — the checkpoint writer is killed a
+//!   seeded number of bytes into a commit append (aimed *inside* the
+//!   record using byte extents from a calibration run), the coordinator
+//!   dies with the typed store error, and a cold restart over the same
+//!   on-disk log must recover the last committed snapshot and finish with
+//!   losses and parameters *bitwise identical* to the clean reference.
+//!   `--durable` runs this phase alone.
 //!
 //! A failing seed is reported with its event trace dumped to
 //! `simsweep-trace-seed-<K>-<phase>.txt` (one file per phase, never
@@ -36,11 +43,14 @@
 #![deny(missing_docs)]
 
 use pac_model::{EncoderModel, ModelConfig};
-use pac_net::{Buggify, DistConfig, DistTrainer, Partition, SimConfig, SimNet, SimSpawner};
+use pac_net::{
+    Buggify, DistConfig, DistError, DistTrainer, Partition, SimConfig, SimNet, SimSpawner,
+};
 use pac_nn::optim::Sgd;
 use pac_nn::Optimizer;
 use pac_parallel::engine::{HybridEngine, MicroBatch};
 use pac_parallel::{Fault, FaultPlan, Schedule};
+use pac_store::{DiskStore, Store, StoreError};
 use pac_tensor::rng::seeded;
 use rand::Rng;
 use std::collections::HashMap;
@@ -501,6 +511,128 @@ fn phase_d(
     Ok(())
 }
 
+/// Phase E: durable crash-recovery. A calibration run over a real
+/// [`DiskStore`] records how many bytes each checkpoint commit appends;
+/// the seed then aims a `crash@step,at-byte` fault *inside* one of the
+/// periodic commits (steps 1 or 3 on the 0-based clock — `checkpoint_every
+/// = 2` commits at step cursors 2 and 4). The crashed coordinator must die
+/// with the typed [`StoreError::Injected`], reopening the log must recover
+/// at least the initial commit, and a cold restart must finish with losses
+/// and parameters bitwise identical to the in-process reference. The log
+/// directory lives under `out_dir` and is removed on success, kept as
+/// evidence on failure.
+fn phase_e(
+    seed: u64,
+    batches: &[Vec<MicroBatch>],
+    reference: &Reference,
+    out_dir: &Path,
+) -> Result<(), (String, SimNet)> {
+    let cfg = DistConfig::loopback(2, 2);
+    let dir = out_dir.join(format!("simsweep-durable-seed-{seed}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Store failures before any world exists are reported against an empty
+    // net: the evidence is the on-disk log, not a schedule.
+    let empty_net = || SimNet::new(SimConfig::clean(seed));
+
+    let durable_run = |sim_seed: u64, faults: &FaultPlan, store: &mut dyn Store| {
+        let net = SimNet::new(SimConfig::clean(sim_seed));
+        let _coord = net.register(0);
+        let spawner = SimSpawner::new(net.clone());
+        let out = DistTrainer::new(cfg.clone()).run_with_store(&spawner, batches, faults, store);
+        (out, net)
+    };
+
+    // Calibrate: run the same job clean over a throwaway log and read back
+    // the byte extent of every commit append.
+    let commit_sizes: Vec<u64> = {
+        let (mut store, _) = match DiskStore::open(dir.join("calib")) {
+            Ok(v) => v,
+            Err(e) => {
+                return Err((
+                    format!("E: calibration store open failed: {e}"),
+                    empty_net(),
+                ))
+            }
+        };
+        let (out, net) = durable_run(seed.wrapping_mul(3) + 1, &FaultPlan::none(), &mut store);
+        if let Err(e) = check_world(&net, "E") {
+            return Err((e, net));
+        }
+        if let Err(e) = out {
+            return Err((format!("E: calibration run failed: {e}"), net));
+        }
+        store.commit_sizes().to_vec()
+    };
+    // Initial commit + the periodic commits at step cursors 2 and 4.
+    if commit_sizes.len() < 3 {
+        return Err((
+            format!("E: expected >= 3 commits, got {}", commit_sizes.len()),
+            empty_net(),
+        ));
+    }
+    let crash_step = 1 + 2 * (seed % 2); // tears commit index 1 or 2
+    let torn_size = commit_sizes[(1 + seed % 2) as usize];
+    // At least 1 byte in (0 would leave nothing torn), strictly inside the
+    // append (>= size would never fire and the run would finish).
+    let at_byte = 1 + (seed / 2) % torn_size.saturating_sub(1).max(1);
+    let faults = FaultPlan {
+        faults: vec![Fault::Crash {
+            step: crash_step,
+            at_byte,
+        }],
+    };
+
+    // The writer dies mid-append with the typed injected-crash error.
+    {
+        let (mut store, _) = match DiskStore::open(dir.join("log")) {
+            Ok(v) => v,
+            Err(e) => return Err((format!("E: store open failed: {e}"), empty_net())),
+        };
+        let (out, net) = durable_run(seed.wrapping_mul(3) + 2, &faults, &mut store);
+        if let Err(e) = check_world(&net, "E") {
+            return Err((e, net));
+        }
+        match out {
+            Err(DistError::Store(StoreError::Injected { at_byte: b })) if b == at_byte => {}
+            other => {
+                return Err((
+                    format!(
+                        "E: expected injected crash at byte {at_byte} of step {crash_step}, got {other:?}"
+                    ),
+                    net,
+                ))
+            }
+        }
+    }
+
+    // Cold restart over the same log: recovery keeps every committed
+    // snapshot, and the resumed trajectory is bitwise.
+    let (mut store, report) = match DiskStore::open(dir.join("log")) {
+        Ok(v) => v,
+        Err(e) => return Err((format!("E: recovery open failed: {e}"), empty_net())),
+    };
+    if report.commits < 1 {
+        return Err((
+            format!("E: recovery lost the initial commit: {report:?}"),
+            empty_net(),
+        ));
+    }
+    let (out, net) = durable_run(seed.wrapping_mul(3) + 3, &FaultPlan::none(), &mut store);
+    if let Err(e) = check_world(&net, "E") {
+        return Err((e, net));
+    }
+    let resumed = match out {
+        Ok(r) => r,
+        Err(e) => return Err((format!("E: cold restart did not recover: {e}"), net)),
+    };
+    if let Err(e) = bitwise_check(&resumed, reference, "E") {
+        return Err((format!("{e} (log kept at {})", dir.display()), net));
+    }
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
 /// The planted-bug self-test: grad applied before the AllReduce completes
 /// must be *caught* (divergence from the reference) — if the harness can't
 /// see an ordering bug we planted, it can't see one we didn't.
@@ -597,6 +729,7 @@ struct Args {
     quick: bool,
     planted: bool,
     churn: bool,
+    durable: bool,
     out_dir: PathBuf,
 }
 
@@ -607,6 +740,7 @@ fn parse_args() -> Result<Args, String> {
         quick: false,
         planted: false,
         churn: false,
+        durable: false,
         out_dir: PathBuf::from("."),
     };
     for a in std::env::args().skip(1) {
@@ -622,17 +756,21 @@ fn parse_args() -> Result<Args, String> {
             args.planted = true;
         } else if a == "--churn" {
             args.churn = true;
+        } else if a == "--durable" {
+            args.durable = true;
         } else if a == "--help" || a == "-h" {
             return Err(
-                "usage: simsweep [--seeds=N] [--seed=K] [--quick] [--planted] [--churn] [--out-dir=DIR]\n\
+                "usage: simsweep [--seeds=N] [--seed=K] [--quick] [--planted] [--churn] [--durable] [--out-dir=DIR]\n\
                  \n\
                  --seeds=N    sweep seeds 0..N (default 200)\n\
                  --seed=K     reproduce one seed, always dumping its trace\n\
-                 --quick      phase B on every 10th seed, phase D on every 5th\n\
+                 --quick      phase B on every 10th seed, phases D/E on every 5th/10th\n\
                  --planted    self-test: planted AllReduce-ordering and skipped\n\
                  \u{20}             catch-up bugs must both be caught\n\
                  --churn      phase D (elastic churn) only\n\
-                 --out-dir    where failing-seed traces are written (default .)"
+                 --durable    phase E (durable crash-recovery) only\n\
+                 --out-dir    where failing-seed traces and durable logs are\n\
+                 \u{20}             written (default .)"
                     .to_string(),
             );
         } else {
@@ -726,15 +864,18 @@ fn main() -> ExitCode {
             }
         };
         let mut ok = true;
-        if !args.churn {
+        if !args.churn && !args.durable {
             ok &= run_phase("A", phase_a(seed, &batches, &refs));
             if !args.quick || seed % 10 == 0 || single {
                 ok &= run_phase("B", phase_b(seed, &batches));
             }
             ok &= run_phase("C", phase_c(seed, &batches));
         }
-        if args.churn || !args.quick || seed % 5 == 0 || single {
+        if !args.durable && (args.churn || !args.quick || seed % 5 == 0 || single) {
             ok &= run_phase("D", phase_d(seed, &batches, &refs[&(2, 2)]));
+        }
+        if args.durable || (!args.churn && (!args.quick || seed % 10 == 5 || single)) {
+            ok &= run_phase("E", phase_e(seed, &batches, &refs[&(2, 2)], &args.out_dir));
         }
         if !ok {
             failures += 1;

@@ -11,6 +11,7 @@ use pac_parallel::faults::{FaultClock, FaultPlan, TimelineEvent, TimelineKind};
 use pac_parallel::{EngineError, ParallelPlan};
 use pac_peft::{ActivationCache, CacheStats, Technique, TrainCheckpoint, Tuner};
 use pac_planner::Planner;
+use pac_store::{MemStore, Store};
 use pac_tensor::rng::seeded;
 use pac_tensor::{Result, Tensor};
 
@@ -211,6 +212,39 @@ impl PacSession {
         eval_n: usize,
         faults: &FaultPlan,
     ) -> std::result::Result<PacReport, EngineError> {
+        // A fresh in-memory store keeps the non-durable path byte-for-byte
+        // identical to the pre-store behavior: commits are cheap copies and
+        // nothing survives the call.
+        let mut store = MemStore::new();
+        self.run_with_store(backbone, task, train_n, eval_n, faults, &mut store)
+    }
+
+    /// Like [`PacSession::run_with_faults`] but persisting every
+    /// [`TrainCheckpoint`] snapshot through a [`Store`] alongside the loop
+    /// cursor needed to replay from it. Two consequences:
+    ///
+    /// - **Cold restart**: when `store` already ends in a committed
+    ///   snapshot (a previous process died), the run restores it and
+    ///   resumes from its cursor instead of starting over. The timeline
+    ///   records a `Resume` event.
+    /// - **Crash faults**: a `crash@step=N,at-byte=B` entry in `faults`
+    ///   arms the store to tear the checkpoint append at byte `B` of
+    ///   step `N`'s commit. The dead writer surfaces as
+    ///   [`EngineError::Halted`] — recovery is reopening the store and
+    ///   calling this again, not an in-process replan.
+    ///
+    /// # Errors
+    /// Everything [`PacSession::run_with_faults`] returns, plus
+    /// [`EngineError::Halted`] when the durable writer dies.
+    pub fn run_with_store(
+        &self,
+        backbone: pac_model::EncDecModel,
+        task: TaskKind,
+        train_n: usize,
+        eval_n: usize,
+        faults: &FaultPlan,
+        store: &mut dyn Store,
+    ) -> std::result::Result<PacReport, EngineError> {
         let cfg = &self.config;
         let model_cfg = backbone.config.clone();
         let model_cfg = &model_cfg;
@@ -262,9 +296,67 @@ impl PacSession {
         let mut batch_start = 0usize;
         let mut sum = 0.0f32;
         let mut count = 0usize;
-        let mut snap = take_snapshot(&replicas[0], &clock, 0, 0, 0, 0, sum, count, 0);
-        checkpoints += 1;
-        checkpoint_bytes += snap.bytes.len();
+
+        // Cold restart: a durable log ending in a committed snapshot means
+        // a previous process died mid-run — restore its state and cursor
+        // instead of starting over.
+        let prior = store.latest().map_err(|e| EngineError::Halted {
+            step: 0,
+            detail: format!("durable log unreadable: {e}"),
+        })?;
+        let mut snap = if let Some(committed) = prior {
+            let (r_epoch, r_batch, r_sum, r_count, r_losses) = decode_cursor(&committed.meta)
+                .ok_or_else(|| EngineError::Halted {
+                    step: 0,
+                    detail: "committed snapshot carries an undecodable cursor".into(),
+                })?;
+            let ck = TrainCheckpoint::from_bytes(&committed.payload).map_err(|e| {
+                EngineError::Halted {
+                    step: 0,
+                    detail: format!("committed snapshot rejected: {e}"),
+                }
+            })?;
+            for r in replicas.iter_mut() {
+                ck.restore(r).map_err(|e| EngineError::Halted {
+                    step: 0,
+                    detail: format!("committed snapshot does not fit the module: {e}"),
+                })?;
+            }
+            for o in opts.iter_mut() {
+                o.t = ck.adam_t;
+            }
+            epoch = r_epoch;
+            batch_start = r_batch;
+            sum = r_sum;
+            count = r_count;
+            epoch_losses = r_losses;
+            clock.note(
+                0,
+                TimelineKind::Resume,
+                format!(
+                    "cold restart from committed snapshot seq {} (epoch {r_epoch}, batch {r_batch})",
+                    committed.seq
+                ),
+            );
+            // The restored snapshot is this run's rollback baseline; count
+            // it like the initial snapshot it replaces.
+            checkpoints += 1;
+            checkpoint_bytes += committed.payload.len();
+            Snapshot {
+                bytes: committed.payload,
+                epoch: r_epoch,
+                next_batch: r_batch,
+                sum: r_sum,
+                count: r_count,
+                losses: epoch_losses.len(),
+            }
+        } else {
+            let s = take_snapshot(&replicas[0], &clock, 0, 0, 0, 0, sum, count, 0);
+            persist(store, &clock, &s, 0, &epoch_losses)?;
+            checkpoints += 1;
+            checkpoint_bytes += s.bytes.len();
+            s
+        };
 
         'training: while epoch < cfg.epochs {
             let batches = train.batches(cfg.batch_size, epoch, cfg.seed.wrapping_add(2));
@@ -390,6 +482,7 @@ impl PacSession {
                                     count,
                                     epoch_losses.len(),
                                 );
+                                persist(store, &clock, &snap, step, &epoch_losses)?;
                                 checkpoints += 1;
                                 checkpoint_bytes += snap.bytes.len();
                             }
@@ -521,6 +614,90 @@ fn take_snapshot(
     }
 }
 
+/// Commits `snap` durably: the serialized checkpoint is the payload, the
+/// loop cursor (plus the finished per-epoch losses) is the commit
+/// metadata. When the fault plan pins a `crash@step=N,at-byte=B` to this
+/// step, the store is armed first so the append tears mid-write — the
+/// dead writer surfaces as [`EngineError::Halted`], since everything past
+/// the last *committed* snapshot is unrecoverable in-process.
+fn persist(
+    store: &mut dyn Store,
+    clock: &FaultClock,
+    snap: &Snapshot,
+    step: u64,
+    epoch_losses: &[f32],
+) -> std::result::Result<(), EngineError> {
+    if let Some(at_byte) = clock.crash_point(step) {
+        clock.note(
+            step,
+            TimelineKind::Injected,
+            format!("checkpoint writer crash armed at byte {at_byte}"),
+        );
+        store.arm_crash(at_byte);
+    }
+    let meta = encode_cursor(
+        snap.epoch,
+        snap.next_batch,
+        snap.sum,
+        snap.count,
+        epoch_losses,
+    );
+    store
+        .commit(&snap.bytes, &meta)
+        .map_err(|e| EngineError::Halted {
+            step,
+            detail: e.to_string(),
+        })?;
+    Ok(())
+}
+
+/// Encodes the replay cursor committed alongside each durable snapshot:
+/// `epoch u64 · next_batch u64 · sum f32 · count u64 · n u64 · n × f32`
+/// (all little-endian, floats as raw bits so the resume is bitwise).
+fn encode_cursor(
+    epoch: usize,
+    next_batch: usize,
+    sum: f32,
+    count: usize,
+    losses: &[f32],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(36 + losses.len() * 4);
+    out.extend_from_slice(&(epoch as u64).to_le_bytes());
+    out.extend_from_slice(&(next_batch as u64).to_le_bytes());
+    out.extend_from_slice(&sum.to_bits().to_le_bytes());
+    out.extend_from_slice(&(count as u64).to_le_bytes());
+    out.extend_from_slice(&(losses.len() as u64).to_le_bytes());
+    for l in losses {
+        out.extend_from_slice(&l.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`encode_cursor`]; `None` on any truncation or length lie.
+fn decode_cursor(bytes: &[u8]) -> Option<(usize, usize, f32, usize, Vec<f32>)> {
+    fn u64_at(b: &[u8], o: usize) -> Option<u64> {
+        Some(u64::from_le_bytes(b.get(o..o + 8)?.try_into().ok()?))
+    }
+    fn f32_at(b: &[u8], o: usize) -> Option<f32> {
+        Some(f32::from_bits(u32::from_le_bytes(
+            b.get(o..o + 4)?.try_into().ok()?,
+        )))
+    }
+    let epoch = u64_at(bytes, 0)? as usize;
+    let next_batch = u64_at(bytes, 8)? as usize;
+    let sum = f32_at(bytes, 16)?;
+    let count = u64_at(bytes, 20)? as usize;
+    let n = u64_at(bytes, 28)? as usize;
+    if bytes.len() != 36 + n.checked_mul(4)? {
+        return None;
+    }
+    let mut losses = Vec::with_capacity(n);
+    for i in 0..n {
+        losses.push(f32_at(bytes, 36 + i * 4)?);
+    }
+    Some((epoch, next_batch, sum, count, losses))
+}
+
 fn cache_has_all(cache: &ActivationCache, ids: &[u64]) -> bool {
     ids.iter().all(|&id| cache.contains(id))
 }
@@ -619,6 +796,73 @@ mod tests {
         });
         let report = session.run(&cfg, TaskKind::Qnli, 24, 8).unwrap();
         assert!(report.plan.validate(cfg.total_layers(), 4).is_ok());
+    }
+
+    #[test]
+    fn cursor_codec_round_trips_and_rejects_damage() {
+        let losses = vec![0.75f32, 0.5, 0.25];
+        let bytes = encode_cursor(3, 7, 1.5, 11, &losses);
+        let (e, b, s, c, l) = decode_cursor(&bytes).expect("clean decode");
+        assert_eq!((e, b, c), (3, 7, 11));
+        assert_eq!(s.to_bits(), 1.5f32.to_bits());
+        assert_eq!(l, losses);
+        for cut in 0..bytes.len() {
+            assert!(decode_cursor(&bytes[..cut]).is_none(), "cut {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn crash_mid_checkpoint_halts_and_cold_restart_resumes() {
+        use pac_parallel::faults::Fault;
+        use pac_store::DiskStore;
+
+        let dir = std::env::temp_dir().join(format!("pac-session-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ModelConfig::micro(1, 1, 16, 2);
+        let session = PacSession::new(PacConfig {
+            devices: 2,
+            epochs: 2,
+            batch_size: 4,
+            checkpoint_every: 2,
+            ..Default::default()
+        });
+        let mk = || pac_model::EncDecModel::new(&cfg, TaskKind::Mrpc.n_out(), &mut seeded(42));
+
+        // The writer dies at byte 0 of step 3's checkpoint append: the run
+        // halts, but everything up to the step-1 commit is durable.
+        let faults = FaultPlan::none().with(Fault::Crash {
+            step: 3,
+            at_byte: 0,
+        });
+        {
+            let (mut store, _) = DiskStore::open(&dir).expect("fresh store");
+            let err = session
+                .run_with_store(mk(), TaskKind::Mrpc, 16, 8, &faults, &mut store)
+                .expect_err("writer died mid-checkpoint");
+            match err {
+                EngineError::Halted { step, .. } => assert_eq!(step, 3),
+                other => panic!("expected Halted, got {other}"),
+            }
+        }
+
+        // Cold restart: reopen the same log, recover the committed prefix,
+        // and the resumed run completes all epochs.
+        let (mut store, report) = DiskStore::open(&dir).expect("recovery open");
+        assert!(report.commits >= 1, "at least the initial commit survived");
+        let resumed = session
+            .run_with_store(mk(), TaskKind::Mrpc, 16, 8, &FaultPlan::none(), &mut store)
+            .expect("resumed run completes");
+        assert_eq!(resumed.epoch_losses.len(), 2);
+        assert!(
+            resumed
+                .recovery
+                .timeline
+                .iter()
+                .any(|e| e.kind == TimelineKind::Resume),
+            "timeline records the cold restart: {:?}",
+            resumed.recovery.timeline
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

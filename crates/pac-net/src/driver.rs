@@ -37,7 +37,7 @@
 use crate::rendezvous::{probe_liveness, Rendezvous, Topology, WorkerConn};
 use crate::spawn::{Spawn, SpawnedWorld};
 use crate::transport::{Conn, Transport};
-use crate::wire::{encode_frame, Assignment, Msg, NetError};
+use crate::wire::{decode_frame, encode_frame, Assignment, Msg, NetError};
 use pac_cluster::{Cluster, CostModel, DeviceSpec, LinkSpec};
 use pac_core::RecoveryReport;
 use pac_model::ModelConfig;
@@ -46,6 +46,7 @@ use pac_parallel::schedule::SimEvent;
 use pac_parallel::{EngineError, FaultClock, FaultPlan, Schedule, TimelineKind};
 use pac_peft::Technique;
 use pac_planner::Planner;
+use pac_store::{MemStore, Store, StoreError};
 use pac_tensor::Tensor;
 use std::fmt;
 use std::time::Duration;
@@ -59,6 +60,10 @@ pub enum DistError {
     Net(NetError),
     /// Training failure after recovery was exhausted or impossible.
     Engine(EngineError),
+    /// The durable checkpoint store failed (dead writer, unreadable log,
+    /// or an injected crash-point). Training state past the last committed
+    /// snapshot is gone; recovery is a cold restart over the same log.
+    Store(StoreError),
 }
 
 impl fmt::Display for DistError {
@@ -66,6 +71,7 @@ impl fmt::Display for DistError {
         match self {
             DistError::Net(e) => write!(f, "distributed setup failed: {e}"),
             DistError::Engine(e) => write!(f, "distributed training failed: {e}"),
+            DistError::Store(e) => write!(f, "durable checkpoint store failed: {e}"),
         }
     }
 }
@@ -84,6 +90,12 @@ impl From<EngineError> for DistError {
     }
 }
 
+impl From<StoreError> for DistError {
+    fn from(e: StoreError) -> Self {
+        DistError::Store(e)
+    }
+}
+
 /// When the slowest lane's EWMA cost exceeds the fastest lane's by this
 /// ratio, the driver rebalances micro-batch row shares.
 const REBALANCE_RATIO: f64 = 1.75;
@@ -92,6 +104,11 @@ const REBALANCE_RATIO: f64 = 1.75;
 /// Worlds never approach this many ranks, and the product never reaches
 /// the reserved bulk-ack nonce (`u64::MAX`).
 const NONCE_STRIDE: u64 = 4096;
+
+/// How long the per-step re-admission poll waits for a pending re-dial
+/// when `admit_reconnects` is on. Kept tiny: an absent re-dialer is the
+/// common case and must not stall the lockstep cadence.
+const REDIAL_POLL: Duration = Duration::from_millis(5);
 
 /// Configuration of a distributed training job.
 #[derive(Debug, Clone)]
@@ -136,6 +153,13 @@ pub struct DistConfig {
     pub link: LinkSpec,
     /// Record and aggregate `net.*` telemetry.
     pub telemetry: bool,
+    /// Re-admit evicted workers that re-dial the rendezvous (partition
+    /// heal): an evicted rank's control connection is dropped *without* a
+    /// `Shutdown`, the worker re-dials once with a fresh `Hello`, and the
+    /// driver folds it back in through the planner's admission path. Off
+    /// by default — re-admission timing depends on when the healed worker's
+    /// dial lands, so deterministic sweeps keep it disabled.
+    pub admit_reconnects: bool,
 }
 
 impl DistConfig {
@@ -161,6 +185,7 @@ impl DistConfig {
             rebalance: false,
             link: LinkSpec::lan_128mbps(),
             telemetry: false,
+            admit_reconnects: false,
         }
     }
 
@@ -222,6 +247,31 @@ impl<C: Conn> Round<C> {
         self.conns.clear();
         world.shutdown();
     }
+
+    /// Like [`Round::teardown`] but *without* joining the worker threads:
+    /// sends `Shutdown` to the remaining ranks, merges their telemetry,
+    /// clears the connections, and hands the spawn handles back so the next
+    /// round can carry them (`start_round`'s `carry_world`). The
+    /// re-admission path must use this — an evicted-but-alive worker may be
+    /// blocked re-dialing the rendezvous, and joining its thread here would
+    /// deadlock the coordinator on a worker that is waiting for the
+    /// coordinator. The handles are joined by whichever later round finally
+    /// tears down, after every old worker has exited.
+    fn release(&mut self) -> Option<SpawnedWorld> {
+        let world = self.world.take();
+        if world.is_some() {
+            for wc in self.conns.iter_mut() {
+                let _ = wc.ctrl.send(&Msg::Shutdown);
+            }
+            for wc in self.conns.iter_mut() {
+                if let Ok(Msg::Stats { counters }) = wc.ctrl.recv() {
+                    pac_telemetry::merge_counters(counters);
+                }
+            }
+            self.conns.clear();
+        }
+        world
+    }
 }
 
 impl<C: Conn> Drop for Round<C> {
@@ -240,6 +290,104 @@ struct Snapshot {
     next_t: usize,
     /// Loss history length at snapshot time.
     losses_len: usize,
+}
+
+/// Serializes a snapshot's per-stage entries for durable storage by
+/// reusing the wire codec: `u32 stage count · one ParamSnap frame per
+/// stage`. Every frame carries the wire format's own CRC, so decoding
+/// after recovery re-checks integrity end to end (on top of the store's
+/// record CRCs).
+fn encode_snapshot(stages: &StageParams) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(stages.len() as u32).to_le_bytes());
+    for entries in stages {
+        out.extend_from_slice(&encode_frame(&Msg::ParamSnap {
+            entries: entries.clone(),
+        }));
+    }
+    out
+}
+
+/// Inverse of [`encode_snapshot`].
+fn decode_snapshot(bytes: &[u8]) -> Result<StageParams, NetError> {
+    let n = u32::from_le_bytes(
+        bytes
+            .get(..4)
+            .ok_or(NetError::Malformed("snapshot stage-count header"))?
+            .try_into()
+            .expect("4 bytes"),
+    ) as usize;
+    let mut rest = &bytes[4..];
+    let mut stages = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let (msg, used) = decode_frame(rest)?;
+        match msg {
+            Msg::ParamSnap { entries } => stages.push(entries),
+            _ => return Err(NetError::Malformed("expected a ParamSnap frame")),
+        }
+        rest = &rest[used..];
+    }
+    if !rest.is_empty() {
+        return Err(NetError::Malformed("trailing bytes after snapshot stages"));
+    }
+    Ok(stages)
+}
+
+/// Encodes the replay cursor committed alongside each durable snapshot:
+/// `next_t u64 · n u64 · n × f32` (little-endian, floats as raw bits so
+/// a cold restart reproduces the loss history bitwise).
+fn encode_cursor(next_t: usize, losses: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + losses.len() * 4);
+    out.extend_from_slice(&(next_t as u64).to_le_bytes());
+    out.extend_from_slice(&(losses.len() as u64).to_le_bytes());
+    for l in losses {
+        out.extend_from_slice(&l.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`encode_cursor`]; `None` on any truncation or length lie.
+fn decode_cursor(bytes: &[u8]) -> Option<(usize, Vec<f32>)> {
+    let next_t = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?) as usize;
+    let n = u64::from_le_bytes(bytes.get(8..16)?.try_into().ok()?) as usize;
+    if bytes.len() != 16 + n.checked_mul(4)? {
+        return None;
+    }
+    let mut losses = Vec::with_capacity(n);
+    for i in 0..n {
+        let o = 16 + i * 4;
+        losses.push(f32::from_bits(u32::from_le_bytes(
+            bytes.get(o..o + 4)?.try_into().ok()?,
+        )));
+    }
+    Some((next_t, losses))
+}
+
+/// Commits `snap` durably: the wire-encoded stage parameters are the
+/// payload, the replay cursor the metadata. When the fault plan pins a
+/// `crash@step=N,at-byte=B` to this step, the store is armed first so the
+/// append tears mid-write — the dead writer surfaces as
+/// [`DistError::Store`], since everything past the last *committed*
+/// snapshot is unrecoverable in-process.
+fn persist_snapshot(
+    store: &mut dyn Store,
+    clock: &FaultClock,
+    snap: &Snapshot,
+    losses: &[f32],
+    step: u64,
+) -> Result<(), DistError> {
+    if let Some(at_byte) = clock.crash_point(step) {
+        clock.note(
+            step,
+            TimelineKind::Injected,
+            format!("checkpoint writer crash armed at byte {at_byte}"),
+        );
+        store.arm_crash(at_byte);
+    }
+    let payload = encode_snapshot(&snap.stages);
+    let meta = encode_cursor(snap.next_t, &losses[..snap.losses_len]);
+    store.commit(&payload, &meta)?;
+    Ok(())
 }
 
 struct StepOk {
@@ -320,6 +468,7 @@ impl DistTrainer {
                 micro_batches: m_n as u32,
                 net_timeout_ms: cfg.net_timeout.as_millis() as u32,
                 telemetry: cfg.telemetry,
+                reconnect: cfg.admit_reconnects,
             })))?;
         }
         for wc in round.conns.iter_mut() {
@@ -498,6 +647,36 @@ impl DistTrainer {
         batches: &[Vec<MicroBatch>],
         faults: &FaultPlan,
     ) -> Result<DistReport, DistError> {
+        // A fresh in-memory store keeps the non-durable path byte-for-byte
+        // identical to the pre-store behavior: commits are cheap copies
+        // and nothing survives the call.
+        let mut store = MemStore::new();
+        self.run_with_store(spawner, batches, faults, &mut store)
+    }
+
+    /// Like [`DistTrainer::run`] but persisting every parameter snapshot
+    /// through a [`Store`] alongside the replay cursor. Two consequences:
+    ///
+    /// - **Cold restart**: when `store` already ends in a committed
+    ///   snapshot (a previous coordinator died), the round starts restored
+    ///   from it and replays from its cursor — the completed loss history
+    ///   is recovered bitwise from the commit metadata, and with the
+    ///   deterministic SGD worker path the *remaining* trajectory is
+    ///   bitwise-identical to an uninterrupted run.
+    /// - **Crash faults**: a `crash@step=N,at-byte=B` entry in `faults`
+    ///   arms the store to tear the checkpoint append at byte `B` of step
+    ///   `N`'s commit, surfacing [`DistError::Store`].
+    ///
+    /// # Errors
+    /// Everything [`DistTrainer::run`] returns, plus [`DistError::Store`]
+    /// when the durable writer dies or the recovered log is unusable.
+    pub fn run_with_store<S: Spawn>(
+        &self,
+        spawner: &S,
+        batches: &[Vec<MicroBatch>],
+        faults: &FaultPlan,
+        store: &mut dyn Store,
+    ) -> Result<DistReport, DistError> {
         let cfg = &self.cfg;
         let stages = cfg.stages();
         let lanes0 = cfg.lanes;
@@ -537,35 +716,88 @@ impl DistTrainer {
         let mut checkpoints = 0usize;
         let mut checkpoint_bytes = 0usize;
 
+        // Cold restart: a durable log ending in a committed snapshot means
+        // a previous coordinator died mid-job — decode it (wire CRCs
+        // re-checked frame by frame) and start the first round restored.
+        let resumed: Option<(Snapshot, Vec<f32>, u64)> = match store.latest()? {
+            Some(committed) => {
+                let snap_stages = decode_snapshot(&committed.payload)?;
+                if snap_stages.len() != stages {
+                    return Err(NetError::Malformed(
+                        "committed snapshot has the wrong stage count",
+                    )
+                    .into());
+                }
+                let (next_t, r_losses) = decode_cursor(&committed.meta).ok_or(
+                    NetError::Malformed("committed snapshot carries an undecodable cursor"),
+                )?;
+                let losses_len = r_losses.len();
+                Some((
+                    Snapshot {
+                        stages: snap_stages,
+                        next_t,
+                        losses_len,
+                    },
+                    r_losses,
+                    committed.seq,
+                ))
+            }
+            None => None,
+        };
+
         let mut round = self.start_round(
             spawner,
             &rdv,
             alive_lanes.len(),
             m_n,
-            None,
+            resumed.as_ref().map(|(s, _, _)| s),
             Vec::new(),
             None,
         )?;
 
-        // Initial snapshot: recovery must always have something to restore.
-        let (snap_stages, bytes) = Self::fetch_params(&mut round, true).map_err(|(_, e)| e)?;
-        checkpoints += 1;
-        checkpoint_bytes += bytes;
-        clock.note(
-            0,
-            TimelineKind::Checkpoint,
-            format!("initial snapshot ({bytes} B)"),
-        );
-        let mut snapshot = Snapshot {
-            stages: snap_stages,
-            next_t: 0,
-            losses_len: 0,
+        let mut snapshot = match resumed {
+            Some((snap, r_losses, seq)) => {
+                losses = r_losses;
+                clock.note(
+                    0,
+                    TimelineKind::Resume,
+                    format!(
+                        "cold restart from committed snapshot seq {seq}, resuming at step cursor {}",
+                        snap.next_t
+                    ),
+                );
+                snap
+            }
+            None => {
+                // Initial snapshot: recovery must always have something to
+                // restore.
+                let (snap_stages, bytes) =
+                    Self::fetch_params(&mut round, true).map_err(|(_, e)| e)?;
+                checkpoints += 1;
+                checkpoint_bytes += bytes;
+                clock.note(
+                    0,
+                    TimelineKind::Checkpoint,
+                    format!("initial snapshot ({bytes} B)"),
+                );
+                let snap = Snapshot {
+                    stages: snap_stages,
+                    next_t: 0,
+                    losses_len: 0,
+                };
+                persist_snapshot(store, &clock, &snap, &losses, 0)?;
+                snap
+            }
         };
 
-        let mut t = 0usize;
+        let mut t = snapshot.next_t;
         while t < batches.len() {
             clock.advance();
             let step = clock.current_step();
+            // Set when this step takes a periodic snapshot; the durable
+            // commit happens after the membership outcome is settled, in a
+            // context where a dead writer can abort the job directly.
+            let mut persist_due = false;
 
             // ---- Elastic join: admit a new device chain as one more lane.
             if clock.join(step) {
@@ -625,6 +857,7 @@ impl DistTrainer {
                                 next_t: t,
                                 losses_len: losses.len(),
                             };
+                            persist_snapshot(store, &clock, &snapshot, &losses, step)?;
                             // Tear the old round down *before* accepting the
                             // joiner: a pending joiner must not sit on its
                             // connect deadline while the coordinator blocks
@@ -673,6 +906,112 @@ impl DistTrainer {
                                 TimelineKind::Resume,
                                 format!(
                                     "joiner caught up from snapshot, resuming at step cursor {t} over {} lane(s)",
+                                    alive_lanes.len()
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+
+            // ---- Partition heal: an evicted worker that observed its bare
+            // EOF re-dials the rendezvous with a fresh Hello; admit it back
+            // through the same planner gate and catch-up machinery a
+            // planned join uses.
+            if cfg.admit_reconnects {
+                if let Some(mut wc) = rdv.try_accept(REDIAL_POLL, cfg.net_timeout)? {
+                    let lanes_now = alive_lanes.len();
+                    let planner = Planner::paper_defaults(
+                        Cluster::nanos(stages * lanes_now).with_link(cfg.link),
+                        mini_batch_rows.max(1),
+                    );
+                    let rejoined = vec![DeviceSpec::jetson_nano(); stages];
+                    let verdict = if lanes_now + 1 > min_micro_rows {
+                        clock.note(
+                            step,
+                            TimelineKind::Join,
+                            format!(
+                                "re-admission rejected: {} lanes cannot split micro-batches of {} row(s)",
+                                lanes_now + 1,
+                                min_micro_rows
+                            ),
+                        );
+                        None
+                    } else {
+                        planner.replan_with(&cost, &rejoined)
+                    };
+                    match verdict {
+                        None => {
+                            // Declined: a Shutdown before any Assign tells
+                            // the healed worker to exit for good, keeping
+                            // its thread joinable by the final teardown.
+                            let _ = wc.ctrl.send(&Msg::Shutdown);
+                        }
+                        Some(out) => {
+                            replans += 1;
+                            clock.note(
+                                step,
+                                TimelineKind::Join,
+                                format!(
+                                    "re-admitted a healed worker chain (+{stages} device(s)) via replan_with"
+                                ),
+                            );
+                            clock.note(
+                                step,
+                                TimelineKind::Replan,
+                                format!(
+                                    "replanned over {} devices, makespan {:.4} s",
+                                    out.device_indices.len(),
+                                    out.best_makespan_s
+                                ),
+                            );
+                            let (snap_stages, bytes) =
+                                Self::fetch_params(&mut round, true).map_err(|(_, e)| e)?;
+                            checkpoints += 1;
+                            checkpoint_bytes += bytes;
+                            clock.note(
+                                step,
+                                TimelineKind::Checkpoint,
+                                format!("catch-up snapshot at step cursor {t} ({bytes} B)"),
+                            );
+                            snapshot = Snapshot {
+                                stages: snap_stages,
+                                next_t: t,
+                                losses_len: losses.len(),
+                            };
+                            persist_snapshot(store, &clock, &snapshot, &losses, step)?;
+                            // Soft-release the old round: any other
+                            // evicted-but-alive worker is still out there,
+                            // so its spawn handles ride along un-joined.
+                            let carried = round.release();
+                            let lane_id = (0..lanes0)
+                                .find(|l| !alive_lanes.contains(l))
+                                .unwrap_or_else(|| {
+                                    let id = next_fresh_lane;
+                                    next_fresh_lane += 1;
+                                    id
+                                });
+                            alive_lanes.push(lane_id);
+                            alive_lanes.sort_unstable();
+                            lane_weights = vec![1.0; alive_lanes.len()];
+                            lane_cost_ewma = vec![0.0; alive_lanes.len()];
+                            last_rtts.clear();
+                            round = self.start_round(
+                                spawner,
+                                &rdv,
+                                alive_lanes.len(),
+                                m_n,
+                                Some(&snapshot),
+                                vec![wc],
+                                carried,
+                            )?;
+                            t = snapshot.next_t;
+                            losses.truncate(snapshot.losses_len);
+                            clock.note(
+                                step,
+                                TimelineKind::Resume,
+                                format!(
+                                    "re-admitted worker caught up from snapshot, resuming at step cursor {t} over {} lane(s)",
                                     alive_lanes.len()
                                 ),
                             );
@@ -826,6 +1165,7 @@ impl DistTrainer {
                                     next_t: t,
                                     losses_len: losses.len(),
                                 };
+                                persist_due = true;
                                 Ok(())
                             }
                             Err((rank, e)) => Err(EngineError::RankDown {
@@ -848,7 +1188,22 @@ impl DistTrainer {
                     let lanes_now = alive_lanes.len();
                     let pos = round.topo.lane_of(rank);
                     let orig_lane = alive_lanes[pos];
-                    round.teardown();
+                    // With re-admission on, the evicted rank's connection is
+                    // dropped *without* a Shutdown: a worker that is alive
+                    // behind a healed partition observes the bare EOF and
+                    // re-dials, while a genuinely dead one observes nothing.
+                    // Its thread may outlive this round, so the spawn
+                    // handles are released (carried forward un-joined)
+                    // instead of torn down.
+                    let carried = if cfg.admit_reconnects {
+                        if rank < round.conns.len() {
+                            drop(round.conns.remove(rank));
+                        }
+                        round.release()
+                    } else {
+                        round.teardown();
+                        None
+                    };
 
                     if lanes_now == 1 {
                         // The dead lane was the only one: no pipeline left.
@@ -893,7 +1248,7 @@ impl DistTrainer {
                         m_n,
                         Some(&snapshot),
                         Vec::new(),
-                        None,
+                        carried,
                     )?;
                     t = snapshot.next_t;
                     losses.truncate(snapshot.losses_len);
@@ -908,6 +1263,9 @@ impl DistTrainer {
                 }
                 Err(e) => return Err(e.into()),
             }
+            if persist_due {
+                persist_snapshot(store, &clock, &snapshot, &losses, step)?;
+            }
         }
 
         let final_params: Vec<(String, Tensor)> = Self::fetch_params(&mut round, false)
@@ -916,6 +1274,15 @@ impl DistTrainer {
             .into_iter()
             .flatten()
             .collect();
+        // Drain any re-dial still pending at job end: the final teardown
+        // joins every carried thread, and a healed worker parked on the
+        // listener would otherwise wait on a coordinator that is waiting
+        // on it.
+        if cfg.admit_reconnects {
+            while let Some(mut wc) = rdv.try_accept(REDIAL_POLL, cfg.net_timeout)? {
+                let _ = wc.ctrl.send(&Msg::Shutdown);
+            }
+        }
         round.teardown();
 
         Ok(DistReport {

@@ -1193,6 +1193,9 @@ impl Transport for SimNet {
 pub struct SimSpawner {
     net: SimNet,
     buggify: Buggify,
+    /// When set, `buggify` is planted only on this `(generation, slot)`;
+    /// every other worker runs clean.
+    target: Option<(u32, u32)>,
     gen: Arc<AtomicU32>,
 }
 
@@ -1202,6 +1205,7 @@ impl SimSpawner {
         SimSpawner {
             net,
             buggify: Buggify::default(),
+            target: None,
             gen: Arc::new(AtomicU32::new(0)),
         }
     }
@@ -1213,6 +1217,22 @@ impl SimSpawner {
         SimSpawner {
             net,
             buggify,
+            target: None,
+            gen: Arc::new(AtomicU32::new(0)),
+        }
+    }
+
+    /// Spawner that plants `buggify` on exactly one worker — launch
+    /// `generation` (0 is the job's first world; recovery respawns count
+    /// up) and `slot` within it — while every other worker runs clean.
+    /// The partition-heal test needs this: a single transient flake must
+    /// not recur on respawned or re-admitted workers, or the eviction it
+    /// provokes would cycle forever.
+    pub fn with_buggify_at(net: SimNet, buggify: Buggify, generation: u32, slot: u32) -> Self {
+        SimSpawner {
+            net,
+            buggify,
+            target: Some((generation, slot)),
             gen: Arc::new(AtomicU32::new(0)),
         }
     }
@@ -1244,7 +1264,11 @@ impl Spawn for SimSpawner {
         }
         for (slot, &actor) in actors.iter().enumerate() {
             let net = self.net.clone();
-            let buggify = self.buggify;
+            let buggify = match self.target {
+                None => self.buggify,
+                Some((g, s)) if g == generation && s == slot as u32 => self.buggify,
+                Some(_) => Buggify::default(),
+            };
             out.threads.push(std::thread::spawn(move || {
                 let _guard = net.adopt(actor);
                 let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

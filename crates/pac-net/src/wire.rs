@@ -195,6 +195,10 @@ pub struct Assignment {
     pub net_timeout_ms: u32,
     /// Whether the worker should record `net.*` telemetry.
     pub telemetry: bool,
+    /// Whether the coordinator re-admits evicted workers: a worker whose
+    /// control connection drops *without* a `Shutdown` should re-dial the
+    /// rendezvous once with a fresh `Hello` (partition heal).
+    pub reconnect: bool,
 }
 
 /// The complete message set of the PAC network protocol.
@@ -613,6 +617,7 @@ fn encode_payload(msg: &Msg) -> Vec<u8> {
             e.u32(a.micro_batches);
             e.u32(a.net_timeout_ms);
             e.u8(a.telemetry as u8);
+            e.u8(a.reconnect as u8);
         }
         Msg::Peers { ports } => {
             e.u32(ports.len() as u32);
@@ -759,6 +764,7 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Msg, NetError> {
                 micro_batches: d.u32()?,
                 net_timeout_ms: d.u32()?,
                 telemetry: d.bool()?,
+                reconnect: d.bool()?,
             }))
         }
         3 => {
@@ -1108,6 +1114,7 @@ mod tests {
             micro_batches: 4,
             net_timeout_ms: 5000,
             telemetry: true,
+            reconnect: true,
         };
         assert_eq!(
             roundtrip(&Msg::Assign(Box::new(a.clone()))),

@@ -1,0 +1,172 @@
+//! Durable-checkpoint acceptance: the coordinator is killed mid-append of
+//! a checkpoint commit (a seeded byte offset inside the record), and a
+//! cold restart over the same on-disk log must recover the last
+//! *committed* snapshot and finish with a loss history **bitwise
+//! identical** to an uninterrupted run — the restored prefix comes back
+//! from commit metadata, the replayed suffix from the deterministic SGD
+//! worker path.
+
+use pac_net::{DistConfig, DistError, DistTrainer, SimConfig, SimNet, SimSpawner};
+use pac_parallel::engine::MicroBatch;
+use pac_parallel::{Fault, FaultPlan};
+use pac_store::{DiskStore, Store, StoreError};
+use pac_tensor::rng::seeded;
+use rand::Rng;
+use std::fs;
+use std::path::PathBuf;
+
+const SEED: u64 = 7;
+const STEPS: usize = 6;
+const MICROS: usize = 2;
+const ROWS_PER_MICRO: usize = 4;
+const SEQ: usize = 6;
+
+fn make_batches() -> Vec<Vec<MicroBatch>> {
+    let mut rng = seeded(SEED ^ 0xda7a_5eed);
+    (0..STEPS)
+        .map(|_| {
+            (0..MICROS)
+                .map(|_| {
+                    let rows: Vec<Vec<usize>> = (0..ROWS_PER_MICRO)
+                        .map(|_| (0..SEQ).map(|_| rng.gen_range(0..64usize)).collect())
+                        .collect();
+                    let labels: Vec<usize> = (0..ROWS_PER_MICRO)
+                        .map(|_| rng.gen_range(0..2usize))
+                        .collect();
+                    (rows, labels)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pac-net-durable-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_run(
+    sim_seed: u64,
+    cfg: DistConfig,
+    batches: &[Vec<MicroBatch>],
+    faults: &FaultPlan,
+    store: &mut dyn Store,
+) -> (Result<pac_net::DistReport, DistError>, SimNet) {
+    let net = SimNet::new(SimConfig::clean(sim_seed));
+    let _coord = net.register(0);
+    let spawner = SimSpawner::new(net.clone());
+    let report = DistTrainer::new(cfg).run_with_store(&spawner, batches, faults, store);
+    (report, net)
+}
+
+/// Kill the checkpoint writer 17 bytes into a commit append (both at the
+/// first periodic checkpoint and a later one), cold-restart over the same
+/// log, and demand the full loss trajectory bitwise-matches the
+/// uninterrupted reference.
+#[test]
+fn crash_mid_checkpoint_cold_restart_is_bitwise() {
+    let cfg = DistConfig::loopback(2, 2);
+    let batches = make_batches();
+
+    // Uninterrupted reference over the default in-memory store.
+    let (reference, net) = {
+        let net = SimNet::new(SimConfig::clean(61));
+        let _coord = net.register(0);
+        let spawner = SimSpawner::new(net.clone());
+        let report = DistTrainer::new(cfg.clone()).run(&spawner, &batches, &FaultPlan::none());
+        (report.expect("reference run"), net)
+    };
+    assert!(net.panics().is_empty(), "worker panics: {:?}", net.panics());
+    assert_eq!(reference.losses.len(), batches.len());
+
+    // The 0-based step clock with `checkpoint_every = 2` commits at steps
+    // 1, 3, 5 (step cursors 2, 4): tear the first periodic commit and a
+    // later one.
+    for crash_step in [1u64, 3] {
+        let dir = tmp_dir(&format!("bitwise-{crash_step}"));
+        let faults = FaultPlan::none().with(Fault::Crash {
+            step: crash_step,
+            at_byte: 17,
+        });
+
+        // The writer dies mid-append: the job halts with the typed
+        // injected-crash error and the torn tail stays on disk.
+        {
+            let (mut store, _) = DiskStore::open(&dir).expect("fresh store");
+            let (out, net) = durable_run(62, cfg.clone(), &batches, &faults, &mut store);
+            match out {
+                Err(DistError::Store(StoreError::Injected { at_byte })) => {
+                    assert_eq!(at_byte, 17)
+                }
+                other => panic!("[step {crash_step}] expected injected crash, got {other:?}"),
+            }
+            assert!(net.panics().is_empty(), "worker panics: {:?}", net.panics());
+        }
+
+        // Cold restart: recovery truncates the torn tail, the run resumes
+        // from the last committed cursor, and the trajectory is bitwise.
+        let (mut store, report) = DiskStore::open(&dir).expect("recovery open");
+        assert!(
+            report.truncated_bytes > 0,
+            "[step {crash_step}] the torn append leaves a tail to truncate"
+        );
+        assert!(report.commits >= 1, "the initial commit is durable");
+        let (resumed, net) = durable_run(63, cfg.clone(), &batches, &FaultPlan::none(), &mut store);
+        let resumed = resumed.expect("resumed run completes");
+        assert!(net.panics().is_empty(), "worker panics: {:?}", net.panics());
+
+        assert_eq!(resumed.losses.len(), reference.losses.len());
+        for (t, (r, c)) in reference
+            .losses
+            .iter()
+            .zip(resumed.losses.iter())
+            .enumerate()
+        {
+            assert_eq!(
+                r.to_bits(),
+                c.to_bits(),
+                "[step {crash_step}] loss at cursor {t} diverged: {r} vs {c}"
+            );
+        }
+        for ((name_r, t_r), (name_c, t_c)) in reference
+            .final_params
+            .iter()
+            .zip(resumed.final_params.iter())
+        {
+            assert_eq!(name_r, name_c);
+            let (dr, dc) = (t_r.data(), t_c.data());
+            assert_eq!(dr.len(), dc.len());
+            for (a, b) in dr.iter().zip(dc.iter()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "[step {crash_step}] {name_r} diverged after cold restart"
+                );
+            }
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A crash armed at a step with no checkpoint never fires — the run
+/// completes and the armed budget dies with the fault plan, mirroring
+/// fail-stop faults aimed at already-departed devices.
+#[test]
+fn crash_on_non_checkpoint_step_is_inert() {
+    let cfg = DistConfig::loopback(2, 1);
+    let batches = make_batches();
+    let dir = tmp_dir("inert");
+    // checkpoint_every = 2 commits at odd steps only (cursors 2, 4).
+    let faults = FaultPlan::none().with(Fault::Crash {
+        step: 2,
+        at_byte: 0,
+    });
+    let (mut store, _) = DiskStore::open(&dir).expect("fresh store");
+    let (out, net) = durable_run(64, cfg, &batches, &faults, &mut store);
+    let report = out.expect("crash without a commit to tear is inert");
+    assert!(net.panics().is_empty(), "worker panics: {:?}", net.panics());
+    assert_eq!(report.losses.len(), batches.len());
+    drop(store);
+    fs::remove_dir_all(&dir).ok();
+}

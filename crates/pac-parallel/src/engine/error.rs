@@ -71,6 +71,17 @@ pub enum EngineError {
     },
     /// A tensor-math error (shape mismatch, numerically invalid input).
     Tensor(TensorError),
+    /// The run was halted from outside the engine mid-step — the durable
+    /// checkpoint writer died (crash-point injection or a real storage
+    /// failure), so training state past the last committed snapshot is
+    /// gone. Recovery is a *cold restart* replaying the store, not an
+    /// in-process replan.
+    Halted {
+        /// Global step during which the run was halted.
+        step: u64,
+        /// What killed it (e.g. the store's crash diagnosis).
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -122,6 +133,9 @@ impl fmt::Display for EngineError {
                 write!(f, "no feasible plan for {survivors} surviving device(s)")
             }
             EngineError::Tensor(e) => write!(f, "tensor error: {e}"),
+            EngineError::Halted { step, detail } => {
+                write!(f, "run halted at step {step}: {detail}")
+            }
         }
     }
 }

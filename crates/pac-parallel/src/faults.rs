@@ -24,6 +24,7 @@
 //! allreduce@step=4,failures=2
 //! allreduce@step=4,failures=9,lane=1      # unreachable peer: degrade
 //! join@step=6                             # a device offers to join
+//! crash@step=3,at-byte=17                 # kill the checkpoint writer
 //! ```
 
 use serde::{Deserialize, Serialize};
@@ -88,6 +89,18 @@ pub enum Fault {
         /// Global step before which the device offers to join.
         step: u64,
     },
+    /// The coordinator is killed `at_byte` bytes into the durable
+    /// checkpoint append at this step — the crash adversary for the
+    /// write → fsync → commit-record protocol. Runs persisting through a
+    /// crash-capable store die mid-append (possibly inside the commit
+    /// record itself); a cold restart must recover the last committed
+    /// snapshot. Runs without a durable store ignore the event.
+    Crash {
+        /// Global step whose checkpoint append is torn.
+        step: u64,
+        /// Byte offset into the append at which the writer dies.
+        at_byte: u64,
+    },
 }
 
 impl Fault {
@@ -98,7 +111,8 @@ impl Fault {
             | Fault::FailStop { step, .. }
             | Fault::Straggler { step, .. }
             | Fault::AllReduceTransient { step, .. }
-            | Fault::Join { step } => *step,
+            | Fault::Join { step }
+            | Fault::Crash { step, .. } => *step,
         }
     }
 }
@@ -129,6 +143,9 @@ impl fmt::Display for Fault {
                 Ok(())
             }
             Fault::Join { step } => write!(f, "join@step={step}"),
+            Fault::Crash { step, at_byte } => {
+                write!(f, "crash@step={step},at-byte={at_byte}")
+            }
         }
     }
 }
@@ -211,6 +228,7 @@ impl FaultPlan {
             let mut device: Option<usize> = None;
             let mut delay_ms: Option<u64> = None;
             let mut failures: Option<u32> = None;
+            let mut at_byte: Option<u64> = None;
             for kv in args.split(',') {
                 let (k, v) = kv
                     .split_once('=')
@@ -224,6 +242,7 @@ impl FaultPlan {
                     "device" => device = Some(v.parse().map_err(|_| parse_err("bad integer"))?),
                     "delay-ms" => delay_ms = Some(v.parse().map_err(|_| parse_err("bad integer"))?),
                     "failures" => failures = Some(v.parse().map_err(|_| parse_err("bad integer"))?),
+                    "at-byte" => at_byte = Some(v.parse().map_err(|_| parse_err("bad integer"))?),
                     other => return Err(format!("unknown key '{other}' in '{clause}'")),
                 }
             }
@@ -249,6 +268,10 @@ impl FaultPlan {
                     lane,
                 },
                 "join" => Fault::Join { step },
+                "crash" => Fault::Crash {
+                    step,
+                    at_byte: at_byte.ok_or_else(|| format!("'{clause}': missing at-byte="))?,
+                },
                 other => return Err(format!("unknown fault kind '{other}'")),
             };
             faults.push(fault);
@@ -402,6 +425,16 @@ impl FaultClock {
             .any(|f| matches!(f, Fault::Join { step: s } if *s == step))
     }
 
+    /// Byte offset at which the durable checkpoint writer is killed during
+    /// `step`'s append, if a crash is planned there. Fires once: the run
+    /// dies with it.
+    pub fn crash_point(&self, step: u64) -> Option<u64> {
+        self.plan.faults.iter().find_map(|f| match f {
+            Fault::Crash { step: s, at_byte } if *s == step => Some(*at_byte),
+            _ => None,
+        })
+    }
+
     /// AllReduce disturbance at `step`: `(failing_attempts, unreachable
     /// lane)`. `(0, None)` when the collective is healthy.
     pub fn allreduce_fault(&self, step: u64) -> (u32, Option<usize>) {
@@ -476,9 +509,10 @@ mod tests {
     fn parse_round_trips_every_kind() {
         let spec = "lane-panic@step=3,lane=0,stage=1;fail-stop@step=5,device=2;\
                     straggler@step=2,lane=1,delay-ms=40;allreduce@step=4,failures=2;\
-                    allreduce@step=6,failures=9,lane=1;join@step=7";
+                    allreduce@step=6,failures=9,lane=1;join@step=7;\
+                    crash@step=8,at-byte=17";
         let plan = FaultPlan::parse(spec).unwrap();
-        assert_eq!(plan.faults.len(), 6);
+        assert_eq!(plan.faults.len(), 7);
         let rendered = plan.to_string();
         assert_eq!(FaultPlan::parse(&rendered).unwrap(), plan);
     }
@@ -492,6 +526,7 @@ mod tests {
             "warp-core-breach@step=1,lane=0",  // unknown kind
             "allreduce@step=x,failures=1",     // bad integer
             "straggler@step=1,lane=0,wait=10", // unknown key
+            "crash@step=1",                    // missing at-byte
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "accepted: {bad}");
         }
@@ -529,7 +564,11 @@ mod tests {
                 failures: 2,
                 lane: Some(1),
             })
-            .with(Fault::Join { step: 5 });
+            .with(Fault::Join { step: 5 })
+            .with(Fault::Crash {
+                step: 6,
+                at_byte: 17,
+            });
         let clock = FaultClock::new(plan);
         assert_eq!(clock.advance(), 0);
         assert_eq!(clock.advance(), 1);
@@ -543,6 +582,8 @@ mod tests {
         assert_eq!(clock.allreduce_fault(5), (0, None));
         assert!(clock.join(5));
         assert!(!clock.join(4));
+        assert_eq!(clock.crash_point(6), Some(17));
+        assert_eq!(clock.crash_point(5), None);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! format:
 //!
 //! ```text
-//! magic "PACCKPT1" · u32 entry count · entries…
+//! magic "PACCKPT1" · u32 entry count · entries… · u32 FNV-1a checksum
 //! entry: u32 name len · name bytes · u32 rank · u64 dims… · f32 data…
 //! ```
 //!
@@ -18,13 +18,18 @@
 //!
 //! ```text
 //! magic "PACCKPT2" · u64 epoch · u64 step · u64 adam_t · u32 entry count · entries…
+//!                  · u32 FNV-1a checksum
 //! entry: u32 name len · name bytes · u32 rank · u64 dims… ·
 //!        u8 moment flags (bit0 = m, bit1 = v) · f32 value… · [f32 m…] · [f32 v…]
 //! ```
 //!
-//! All integers are little-endian. Loading matches parameters by name and
-//! verifies shapes, so a checkpoint from a different architecture fails
-//! loudly instead of silently corrupting weights.
+//! All integers are little-endian. Both formats end in a 32-bit FNV-1a
+//! checksum over every preceding byte (the same framing idiom as
+//! `pac-net`'s wire protocol): a single flipped byte anywhere in the
+//! stream is rejected as [`CheckpointError::Format`] before any state is
+//! applied. Loading matches parameters by name and verifies shapes, so a
+//! checkpoint from a different architecture fails loudly instead of
+//! silently corrupting weights.
 
 use pac_nn::Module;
 use pac_tensor::Tensor;
@@ -32,6 +37,109 @@ use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"PACCKPT1";
 const TRAIN_MAGIC: &[u8; 8] = b"PACCKPT2";
+
+const FNV_BASIS: u32 = 0x811c_9dc5;
+const FNV_PRIME: u32 = 0x0100_0193;
+
+fn fnv1a(mut h: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Writer shim that folds every written byte into a running FNV-1a hash;
+/// [`HashWriter::finish`] appends the 4-byte checksum trailer.
+struct HashWriter<'a, W: Write> {
+    inner: &'a mut W,
+    hash: u32,
+}
+
+impl<'a, W: Write> HashWriter<'a, W> {
+    fn new(inner: &'a mut W) -> Self {
+        HashWriter {
+            inner,
+            hash: FNV_BASIS,
+        }
+    }
+
+    fn finish(self) -> Result<(), CheckpointError> {
+        self.inner.write_all(&self.hash.to_le_bytes())?;
+        Ok(())
+    }
+}
+
+impl<W: Write> Write for HashWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write_all(buf)?;
+        self.hash = fnv1a(self.hash, buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Reader shim mirroring [`HashWriter`]; [`HashReader::verify_trailer`]
+/// reads the 4-byte checksum and rejects any stream whose bytes do not
+/// hash to it.
+struct HashReader<'a, R: Read> {
+    inner: &'a mut R,
+    hash: u32,
+}
+
+impl<'a, R: Read> HashReader<'a, R> {
+    fn new(inner: &'a mut R) -> Self {
+        HashReader {
+            inner,
+            hash: FNV_BASIS,
+        }
+    }
+
+    fn verify_trailer(self) -> Result<(), CheckpointError> {
+        let expected = self.hash;
+        let mut b = [0u8; 4];
+        self.inner.read_exact(&mut b)?;
+        let got = u32::from_le_bytes(b);
+        if got != expected {
+            return Err(CheckpointError::Format(format!(
+                "checksum mismatch: stream hashes to {expected:#010x}, trailer says {got:#010x}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl<R: Read> Read for HashReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hash = fnv1a(self.hash, &buf[..n]);
+        Ok(n)
+    }
+}
+
+/// Number of elements `dims` describes, rejecting products that overflow
+/// `usize` or exceed the plausibility bound — a flipped byte in a dim must
+/// never panic the decoder or drive a giant allocation.
+fn checked_numel(dims: &[usize]) -> Result<usize, CheckpointError> {
+    let numel = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or_else(|| CheckpointError::Format("tensor dimension product overflows".into()))?;
+    if numel > 1 << 30 {
+        return Err(CheckpointError::Format(format!(
+            "implausible tensor size {numel}"
+        )));
+    }
+    Ok(numel)
+}
+
+/// Preallocation cap for length-prefixed vectors: corrupt lengths within
+/// the plausibility bound must not transiently allocate gigabytes before
+/// the stream runs dry.
+const PREALLOC_CAP: usize = 1 << 16;
 
 /// Errors produced by checkpoint (de)serialization.
 #[derive(Debug)]
@@ -74,20 +182,21 @@ pub fn save_trainable<M: Module>(module: &M, w: &mut impl Write) -> Result<(), C
             entries.push((p.name.clone(), p.value.clone()));
         }
     });
-    w.write_all(MAGIC)?;
-    w.write_all(&(entries.len() as u32).to_le_bytes())?;
+    let mut hw = HashWriter::new(w);
+    hw.write_all(MAGIC)?;
+    hw.write_all(&(entries.len() as u32).to_le_bytes())?;
     for (name, value) in &entries {
-        w.write_all(&(name.len() as u32).to_le_bytes())?;
-        w.write_all(name.as_bytes())?;
-        w.write_all(&(value.rank() as u32).to_le_bytes())?;
+        hw.write_all(&(name.len() as u32).to_le_bytes())?;
+        hw.write_all(name.as_bytes())?;
+        hw.write_all(&(value.rank() as u32).to_le_bytes())?;
         for &d in value.dims() {
-            w.write_all(&(d as u64).to_le_bytes())?;
+            hw.write_all(&(d as u64).to_le_bytes())?;
         }
         for &v in value.data() {
-            w.write_all(&v.to_le_bytes())?;
+            hw.write_all(&v.to_le_bytes())?;
         }
     }
-    Ok(())
+    hw.finish()
 }
 
 /// Deserializes a checkpoint previously written by [`save_trainable`] into
@@ -97,48 +206,46 @@ pub fn save_trainable<M: Module>(module: &M, w: &mut impl Write) -> Result<(), C
 /// Fails on malformed streams, unknown parameter names, shape mismatches,
 /// or trainable parameters missing from the checkpoint.
 pub fn load_trainable<M: Module>(module: &mut M, r: &mut impl Read) -> Result<(), CheckpointError> {
+    let mut hr = HashReader::new(r);
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
+    hr.read_exact(&mut magic)?;
     if &magic != MAGIC {
         return Err(CheckpointError::Format("bad magic".into()));
     }
-    let count = read_u32(r)? as usize;
+    let count = read_u32(&mut hr)? as usize;
     let mut loaded: std::collections::HashMap<String, Tensor> = std::collections::HashMap::new();
     for _ in 0..count {
-        let name_len = read_u32(r)? as usize;
+        let name_len = read_u32(&mut hr)? as usize;
         if name_len > 4096 {
             return Err(CheckpointError::Format(format!(
                 "implausible name length {name_len}"
             )));
         }
         let mut name_bytes = vec![0u8; name_len];
-        r.read_exact(&mut name_bytes)?;
+        hr.read_exact(&mut name_bytes)?;
         let name = String::from_utf8(name_bytes)
             .map_err(|_| CheckpointError::Format("non-UTF-8 parameter name".into()))?;
-        let rank = read_u32(r)? as usize;
+        let rank = read_u32(&mut hr)? as usize;
         if rank > 8 {
             return Err(CheckpointError::Format(format!("implausible rank {rank}")));
         }
         let mut dims = Vec::with_capacity(rank);
         for _ in 0..rank {
-            dims.push(read_u64(r)? as usize);
+            dims.push(read_u64(&mut hr)? as usize);
         }
-        let numel: usize = dims.iter().product();
-        if numel > 1 << 30 {
-            return Err(CheckpointError::Format(format!(
-                "implausible tensor size {numel}"
-            )));
-        }
-        let mut data = Vec::with_capacity(numel);
+        let numel = checked_numel(&dims)?;
+        let mut data = Vec::with_capacity(numel.min(PREALLOC_CAP));
         let mut buf = [0u8; 4];
         for _ in 0..numel {
-            r.read_exact(&mut buf)?;
+            hr.read_exact(&mut buf)?;
             data.push(f32::from_le_bytes(buf));
         }
         let t = Tensor::from_vec(data, dims)
             .map_err(|e| CheckpointError::Format(format!("tensor rebuild failed: {e}")))?;
         loaded.insert(name, t);
     }
+    // Reject any damaged stream *before* touching the module.
+    hr.verify_trailer()?;
 
     // Apply, verifying full coverage both ways.
     let mut error: Option<CheckpointError> = None;
@@ -256,7 +363,8 @@ impl TrainCheckpoint {
     /// Serialized size in bytes (what `checkpoint.bytes` telemetry
     /// reports) without materializing the buffer.
     pub fn size_bytes(&self) -> usize {
-        let mut n = 8 + 8 + 8 + 8 + 4;
+        // Magic + cursor + count header, plus the 4-byte checksum trailer.
+        let mut n = 8 + 8 + 8 + 8 + 4 + 4;
         for e in &self.entries {
             n += 4 + e.name.len() + 4 + 8 * e.value.rank() + 1;
             let numel = e.value.data().len();
@@ -323,30 +431,31 @@ impl TrainCheckpoint {
     /// # Errors
     /// Returns I/O errors from the writer.
     pub fn write(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
-        w.write_all(TRAIN_MAGIC)?;
-        w.write_all(&self.epoch.to_le_bytes())?;
-        w.write_all(&self.step.to_le_bytes())?;
-        w.write_all(&self.adam_t.to_le_bytes())?;
-        w.write_all(&(self.entries.len() as u32).to_le_bytes())?;
+        let mut hw = HashWriter::new(w);
+        hw.write_all(TRAIN_MAGIC)?;
+        hw.write_all(&self.epoch.to_le_bytes())?;
+        hw.write_all(&self.step.to_le_bytes())?;
+        hw.write_all(&self.adam_t.to_le_bytes())?;
+        hw.write_all(&(self.entries.len() as u32).to_le_bytes())?;
         for e in &self.entries {
-            w.write_all(&(e.name.len() as u32).to_le_bytes())?;
-            w.write_all(e.name.as_bytes())?;
-            w.write_all(&(e.value.rank() as u32).to_le_bytes())?;
+            hw.write_all(&(e.name.len() as u32).to_le_bytes())?;
+            hw.write_all(e.name.as_bytes())?;
+            hw.write_all(&(e.value.rank() as u32).to_le_bytes())?;
             for &d in e.value.dims() {
-                w.write_all(&(d as u64).to_le_bytes())?;
+                hw.write_all(&(d as u64).to_le_bytes())?;
             }
             let flags = u8::from(e.opt_m.is_some()) | (u8::from(e.opt_v.is_some()) << 1);
-            w.write_all(&[flags])?;
+            hw.write_all(&[flags])?;
             for &v in e.value.data() {
-                w.write_all(&v.to_le_bytes())?;
+                hw.write_all(&v.to_le_bytes())?;
             }
             for t in [&e.opt_m, &e.opt_v].into_iter().flatten() {
                 for &v in t.data() {
-                    w.write_all(&v.to_le_bytes())?;
+                    hw.write_all(&v.to_le_bytes())?;
                 }
             }
         }
-        Ok(())
+        hw.finish()
     }
 
     /// Serializes to an in-memory buffer.
@@ -365,45 +474,41 @@ impl TrainCheckpoint {
     /// # Errors
     /// Fails on bad magic, truncation, or implausible dimensions.
     pub fn read(r: &mut impl Read) -> Result<Self, CheckpointError> {
+        let mut hr = HashReader::new(r);
         let mut magic = [0u8; 8];
-        r.read_exact(&mut magic)?;
+        hr.read_exact(&mut magic)?;
         if &magic != TRAIN_MAGIC {
             return Err(CheckpointError::Format("bad magic".into()));
         }
-        let epoch = read_u64(r)?;
-        let step = read_u64(r)?;
-        let adam_t = read_u64(r)?;
-        let count = read_u32(r)? as usize;
+        let epoch = read_u64(&mut hr)?;
+        let step = read_u64(&mut hr)?;
+        let adam_t = read_u64(&mut hr)?;
+        let count = read_u32(&mut hr)? as usize;
         let mut entries = Vec::with_capacity(count.min(4096));
         for _ in 0..count {
-            let name_len = read_u32(r)? as usize;
+            let name_len = read_u32(&mut hr)? as usize;
             if name_len > 4096 {
                 return Err(CheckpointError::Format(format!(
                     "implausible name length {name_len}"
                 )));
             }
             let mut name_bytes = vec![0u8; name_len];
-            r.read_exact(&mut name_bytes)?;
+            hr.read_exact(&mut name_bytes)?;
             let name = String::from_utf8(name_bytes)
                 .map_err(|_| CheckpointError::Format("non-UTF-8 parameter name".into()))?;
-            let rank = read_u32(r)? as usize;
+            let rank = read_u32(&mut hr)? as usize;
             if rank > 8 {
                 return Err(CheckpointError::Format(format!("implausible rank {rank}")));
             }
             let mut dims = Vec::with_capacity(rank);
             for _ in 0..rank {
-                dims.push(read_u64(r)? as usize);
+                dims.push(read_u64(&mut hr)? as usize);
             }
-            let numel: usize = dims.iter().product();
-            if numel > 1 << 30 {
-                return Err(CheckpointError::Format(format!(
-                    "implausible tensor size {numel}"
-                )));
-            }
+            let numel = checked_numel(&dims)?;
             let mut flags = [0u8; 1];
-            r.read_exact(&mut flags)?;
+            hr.read_exact(&mut flags)?;
             let read_tensor = |r: &mut dyn Read| -> Result<Tensor, CheckpointError> {
-                let mut data = Vec::with_capacity(numel);
+                let mut data = Vec::with_capacity(numel.min(PREALLOC_CAP));
                 let mut buf = [0u8; 4];
                 for _ in 0..numel {
                     r.read_exact(&mut buf)?;
@@ -412,14 +517,14 @@ impl TrainCheckpoint {
                 Tensor::from_vec(data, dims.clone())
                     .map_err(|e| CheckpointError::Format(format!("tensor rebuild failed: {e}")))
             };
-            let value = read_tensor(r)?;
+            let value = read_tensor(&mut hr)?;
             let opt_m = if flags[0] & 1 != 0 {
-                Some(read_tensor(r)?)
+                Some(read_tensor(&mut hr)?)
             } else {
                 None
             };
             let opt_v = if flags[0] & 2 != 0 {
-                Some(read_tensor(r)?)
+                Some(read_tensor(&mut hr)?)
             } else {
                 None
             };
@@ -430,6 +535,9 @@ impl TrainCheckpoint {
                 opt_v,
             });
         }
+        // A snapshot that hashes wrong is corrupt, no matter how plausibly
+        // it parsed.
+        hr.verify_trailer()?;
         Ok(TrainCheckpoint {
             epoch,
             step,

@@ -1,0 +1,132 @@
+//! Adversarial robustness of the `PACCKPT1`/`PACCKPT2` codecs, mirroring
+//! pac-net's wire-format properties (`any_truncation_is_rejected_as_eof`,
+//! `any_single_byte_flip_is_rejected`): every truncation and every single
+//! flipped byte of a valid checkpoint must be rejected with a typed
+//! [`CheckpointError`] — never a panic, never silently-corrupted weights.
+
+use pac_model::ModelConfig;
+use pac_nn::Module;
+use pac_peft::checkpoint::{from_bytes, to_bytes, CheckpointError, TrainCheckpoint};
+use pac_peft::{Technique, Tuner};
+use pac_tensor::rng::seeded;
+use proptest::prelude::*;
+
+fn tuner() -> Tuner {
+    Tuner::new(
+        Technique::parallel_default(),
+        &ModelConfig::micro(1, 1, 16, 2),
+        2,
+        &mut seeded(900),
+    )
+}
+
+/// A `PACCKPT2` snapshot with populated Adam moments so both the value and
+/// moment planes are in the byte stream.
+fn train_snapshot_bytes() -> Vec<u8> {
+    let mut t = tuner();
+    t.visit_params(&mut |p| {
+        if p.trainable {
+            p.opt_m = Some(p.value.clone());
+            p.opt_v = Some(p.value.clone());
+        }
+    });
+    TrainCheckpoint::capture(&t, 2, 5, 5)
+        .to_bytes()
+        .expect("serialize")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ckpt2_any_truncation_is_rejected(cut_seed in 0usize..10_000) {
+        let bytes = train_snapshot_bytes();
+        let cut = cut_seed % bytes.len();
+        prop_assert!(
+            TrainCheckpoint::from_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut}/{} decoded", bytes.len()
+        );
+    }
+
+    #[test]
+    fn ckpt2_any_single_byte_flip_is_rejected(
+        pos_seed in 0usize..10_000,
+        mask in 1u8..=255,
+    ) {
+        let bytes = train_snapshot_bytes();
+        let pos = pos_seed % bytes.len();
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= mask;
+        match TrainCheckpoint::from_bytes(&corrupt) {
+            Err(_) => {}
+            Ok(_) => prop_assert!(false, "flip at {pos} (mask {mask:#04x}) decoded"),
+        }
+    }
+
+    #[test]
+    fn ckpt1_any_truncation_is_rejected(cut_seed in 0usize..10_000) {
+        let donor = tuner();
+        let bytes = to_bytes(&donor).expect("serialize");
+        let cut = cut_seed % bytes.len();
+        let mut recipient = tuner();
+        prop_assert!(
+            from_bytes(&mut recipient, &bytes[..cut]).is_err(),
+            "truncation at {cut}/{} decoded", bytes.len()
+        );
+    }
+
+    #[test]
+    fn ckpt1_any_single_byte_flip_is_rejected(
+        pos_seed in 0usize..10_000,
+        mask in 1u8..=255,
+    ) {
+        let donor = tuner();
+        let bytes = to_bytes(&donor).expect("serialize");
+        let pos = pos_seed % bytes.len();
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= mask;
+        let mut recipient = tuner();
+        prop_assert!(
+            from_bytes(&mut recipient, &corrupt).is_err(),
+            "flip at {pos} (mask {mask:#04x}) decoded"
+        );
+    }
+}
+
+/// A decoder fed corrupt bytes must reject them *before* mutating the
+/// module: the recipient still computes bit-identically to a pristine
+/// tuner after every rejected load.
+#[test]
+fn rejected_loads_leave_the_module_untouched() {
+    let donor = tuner();
+    let bytes = to_bytes(&donor).expect("serialize");
+    let mut recipient = tuner();
+    let pristine = to_bytes(&recipient).expect("serialize pristine");
+    for pos in (0..bytes.len()).step_by(7) {
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0xA5;
+        if from_bytes(&mut recipient, &corrupt).is_err() {
+            let after = to_bytes(&recipient).expect("serialize after");
+            assert_eq!(pristine, after, "rejected load at {pos} mutated the module");
+        }
+    }
+}
+
+/// Sanity anchor for the properties above: a clean buffer still decodes,
+/// and the error type for damage is the typed `CheckpointError`, not a
+/// panic payload.
+#[test]
+fn clean_stream_decodes_and_damage_is_typed() {
+    let bytes = train_snapshot_bytes();
+    let snap = TrainCheckpoint::from_bytes(&bytes).expect("clean decode");
+    assert_eq!((snap.epoch, snap.step, snap.adam_t), (2, 5, 5));
+    let mut corrupt = bytes.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0x01;
+    match TrainCheckpoint::from_bytes(&corrupt) {
+        Err(CheckpointError::Format(msg)) => {
+            assert!(msg.contains("checksum"), "unexpected diagnosis: {msg}")
+        }
+        other => panic!("flipped trailer must be a Format error, got {other:?}"),
+    }
+}
