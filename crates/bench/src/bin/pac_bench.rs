@@ -18,15 +18,30 @@
 //!    of committed PACCKPT2 snapshots after a simulated `kill -9`: log scan
 //!    alone, and the full open → decode → restore-into-module path a
 //!    restarted trainer pays before its first step.
+//! 6. **Kernel modes** — tiled-SIMD vs scalar matmul at 64³/128³/256³
+//!    (the PR 8 tentpole; tiled needs the `simd` feature, otherwise the
+//!    runtime switch falls back to scalar and both columns match).
+//! 7. **int8 frozen half** — Parallel-Adapters epoch with the quantized
+//!    backbone forward vs f32, plus the byte accounting the quantization
+//!    exists for: activation-cache resident bytes and Act-edge wire
+//!    frame bytes, f32 vs int8.
+//! 8. **Distributed int8 wire** — a real 2×2 loopback run with `wire_q8`
+//!    on vs off; the final-loss delta lands in the JSON next to the byte
+//!    cuts it justifies.
 //!
-//! Usage: `pac-bench [--quick] [--out PATH]` (default `BENCH_PR7.json`).
+//! Usage: `pac-bench [--quick] [--kernel scalar|tiled] [--out PATH]`
+//! (default `BENCH_PR8.json`). `--kernel` sets the process-wide
+//! [`pac_tensor::ops::KernelMode`] for every bench *outside* section 6,
+//! which always measures both modes.
 
 use criterion::{black_box, Criterion, Throughput};
+use pac_model::StageData;
 use pac_model::{EncoderModel, ModelConfig};
+use pac_net::wire::{encode_frame, Msg};
 use pac_nn::{cross_entropy, Module, Optimizer, Sgd};
-use pac_peft::{Technique, TrainCheckpoint, Tuner};
+use pac_peft::{ActivationCache, Technique, TrainCheckpoint, Tuner};
 use pac_store::{DiskStore, Store};
-use pac_tensor::{init, ops, rng::seeded, scratch, Tensor};
+use pac_tensor::{init, ops, rng::seeded, scratch, QTensor, Tensor};
 use rand::Rng as _;
 use rayon::pool::{self, ExecMode};
 use std::time::Duration;
@@ -62,6 +77,22 @@ fn epoch(
     loss_sum
 }
 
+/// One Parallel-Adapters training epoch through the [`Tuner`] dispatch:
+/// frozen-backbone forward (f32 or int8, depending on whether
+/// `quantize_backbone` ran), side-network backward, SGD step.
+fn tuner_epoch(tuner: &mut Tuner, batches: &[(Vec<Vec<usize>>, Vec<usize>)], opt: &mut Sgd) -> f32 {
+    let mut loss_sum = 0.0;
+    for (toks, targets) in batches {
+        let (logits, ctx) = tuner.forward(toks).expect("bench tuner forward");
+        let (loss, dl) = cross_entropy(&logits, targets).expect("bench tuner loss");
+        loss_sum += loss;
+        tuner.zero_grads();
+        tuner.backward(&ctx, &dl).expect("bench tuner backward");
+        opt.step(tuner);
+    }
+    loss_sum
+}
+
 fn main() {
     // The pool-vs-spawn comparison measures dispatch cost (parked workers
     // woken by condvar vs fresh OS threads per call) and needs width > 1 to
@@ -82,14 +113,36 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
+    let requested_kernel = match args
+        .iter()
+        .position(|a| a == "--kernel")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("tiled") => ops::KernelMode::Tiled,
+        Some("scalar") | None => ops::KernelMode::Scalar,
+        Some(other) => {
+            eprintln!("pac-bench: unknown --kernel {other:?} (expected scalar|tiled)");
+            std::process::exit(2);
+        }
+    };
+    // `set_kernel_mode` reports the mode actually engaged: asking for
+    // tiled in a build without the `simd` feature falls back to scalar.
+    let kernel = ops::set_kernel_mode(requested_kernel);
     let budget = Duration::from_millis(if quick { 40 } else { 250 });
     let mut c = Criterion::default().measurement_time(budget);
 
     println!(
-        "pac-bench: pool width {}, mode {}, budget {:?}/bench\n",
+        "pac-bench: pool width {}, mode {}, kernel {:?}{}, budget {:?}/bench\n",
         pool::pool_width(),
         if quick { "quick" } else { "full" },
+        kernel,
+        if kernel != requested_kernel {
+            " (tiled unavailable: build without --features simd)"
+        } else {
+            ""
+        },
         budget
     );
 
@@ -240,6 +293,139 @@ fn main() {
         (log_bytes, n_commits)
     };
 
+    // ---- 6. Kernel modes: tiled-SIMD vs scalar matmul ----
+    // Both modes measured in one run regardless of --kernel, so the JSON
+    // carries the tiled/scalar ratio the PR 8 acceptance gate reads. In a
+    // build without the `simd` feature the Tiled request falls back to
+    // scalar and the two columns measure the same kernel.
+    let mm_sizes: &[usize] = if quick { &[64, 128] } else { &[64, 128, 256] };
+    for &n in mm_sizes {
+        let a = init::randn(&mut rng, [n, n], 1.0);
+        let b = init::randn(&mut rng, [n, n], 1.0);
+        let flops = (2 * n * n * n) as u64;
+        let mut g = c.benchmark_group(format!("mm_{n}"));
+        g.throughput(Throughput::Elements(flops));
+        ops::set_kernel_mode(ops::KernelMode::Scalar);
+        g.bench_function("scalar", |bch| {
+            bch.iter(|| ops::matmul(black_box(&a), black_box(&b)).expect("matmul"))
+        });
+        ops::set_kernel_mode(ops::KernelMode::Tiled);
+        g.bench_function("tiled", |bch| {
+            bch.iter(|| ops::matmul(black_box(&a), black_box(&b)).expect("matmul"))
+        });
+        g.finish();
+    }
+    ops::set_kernel_mode(requested_kernel);
+
+    // ---- 7. int8 frozen half: quantized forward + byte accounting ----
+    // Epoch timing: the Parallel-Adapters tuner with its frozen backbone
+    // forward in f32 vs per-row absmax int8 (`quantize_backbone`). The
+    // trainable side network is identical in both; only the frozen
+    // matmuls change representation.
+    {
+        let cfg = ModelConfig::micro(2, 0, 32, 2);
+        let batches = mini_batches(13, 4, 8, 12);
+        let mut g = c.benchmark_group("pa_epoch_micro");
+        g.throughput(Throughput::Elements(4 * 8));
+        g.bench_function("f32_backbone", |bch| {
+            let mut tuner = Tuner::new(Technique::parallel_default(), &cfg, 2, &mut seeded(14));
+            let mut opt = Sgd::new(0.05);
+            bch.iter(|| black_box(tuner_epoch(&mut tuner, &batches, &mut opt)))
+        });
+        g.bench_function("int8_backbone", |bch| {
+            let mut tuner = Tuner::new(Technique::parallel_default(), &cfg, 2, &mut seeded(14));
+            if let Tuner::Parallel(pt) = &mut tuner {
+                assert!(pt.quantize_backbone() > 0, "no frozen linear engaged");
+            }
+            let mut opt = Sgd::new(0.05);
+            bch.iter(|| black_box(tuner_epoch(&mut tuner, &batches, &mut opt)))
+        });
+        g.finish();
+    }
+
+    // Byte accounting at a realistic hidden size (BERT-Base geometry:
+    // h=768, 12 cached layers, seq 32): what the int8 cache and the ActQ8
+    // wire frame actually save. Pure arithmetic over realized layouts —
+    // no timing, so it runs identically under --quick.
+    let (cache_f32_bytes, cache_q8_bytes, wire_f32_bytes, wire_q8_bytes) = {
+        let (h, s, layers) = (768usize, 32usize, 12usize);
+        let acts: Vec<Tensor> = (0..layers)
+            .map(|_| init::randn(&mut rng, [s, h], 1.0))
+            .collect();
+        let mut f32_cache = ActivationCache::new();
+        f32_cache.insert(1, acts.clone());
+        let mut q8_cache = ActivationCache::new_int8();
+        q8_cache.insert(1, acts.clone());
+
+        let boundary = acts[0].clone();
+        let f32_frame = encode_frame(&Msg::Act {
+            micro: 0,
+            data: StageData::Hidden(boundary.clone()),
+        });
+        let q8_frame = encode_frame(&Msg::ActQ8 {
+            micro: 0,
+            logits: false,
+            q: QTensor::quantize(&boundary),
+        });
+        (
+            f32_cache.stats().bytes,
+            q8_cache.stats().bytes,
+            f32_frame.len(),
+            q8_frame.len(),
+        )
+    };
+    let cache_cut = cache_f32_bytes as f64 / cache_q8_bytes.max(1) as f64;
+    let wire_cut = wire_f32_bytes as f64 / wire_q8_bytes.max(1) as f64;
+    println!(
+        "\nint8 frozen half, h=768 seq=32 x12 layers: cache {cache_f32_bytes} -> {cache_q8_bytes} B \
+         ({cache_cut:.2}x), Act edge {wire_f32_bytes} -> {wire_q8_bytes} B ({wire_cut:.2}x)"
+    );
+
+    // ---- 8. Distributed int8 wire vs f32 reference ----
+    // The end-to-end check the byte accounting above must not invalidate:
+    // a real 2-stage × 2-lane loopback run with `wire_q8` on lands within
+    // 0.5 final loss of the identical f32-wire run on the same seed and
+    // batches. Same harness as the `dist_equivalence` test suite, recorded
+    // here so BENCH_PR8.json carries the measured delta.
+    let (dist_f32_loss, dist_q8_loss) = {
+        use pac_parallel::engine::MicroBatch;
+        let mut rng = seeded(7 ^ 0xda7a_5eed);
+        let steps = if quick { 3 } else { 6 };
+        let batches: Vec<Vec<MicroBatch>> = (0..steps)
+            .map(|_| {
+                (0..2)
+                    .map(|_| {
+                        let rows: Vec<Vec<usize>> = (0..4)
+                            .map(|_| (0..6).map(|_| rng.gen_range(0..64usize)).collect())
+                            .collect();
+                        let labels: Vec<usize> = (0..4).map(|_| rng.gen_range(0..2usize)).collect();
+                        (rows, labels)
+                    })
+                    .collect()
+            })
+            .collect();
+        let run = |wire_q8: bool| -> f32 {
+            let mut cfg = pac_net::DistConfig::loopback(2, 2);
+            cfg.wire_q8 = wire_q8;
+            *pac_net::DistTrainer::new(cfg)
+                .run(
+                    &pac_net::Spawner::Threads,
+                    &batches,
+                    &pac_parallel::FaultPlan::none(),
+                )
+                .expect("loopback dist run")
+                .losses
+                .last()
+                .expect("at least one step")
+        };
+        (run(false), run(true))
+    };
+    println!(
+        "distributed 2x2 loopback final loss: f32 wire {dist_f32_loss:.6}, int8 wire \
+         {dist_q8_loss:.6} (|delta| {:.6})",
+        (dist_f32_loss - dist_q8_loss).abs()
+    );
+
     // ---- Summary + JSON trajectory ----
     let results = c.take_results();
     let p50 = |name: &str| {
@@ -261,11 +447,20 @@ fn main() {
         p50("kernel_alloc_64/alloc_fresh_out") / p50("kernel_alloc_64/into_reused_out");
     let epoch_speedup =
         p50("epoch_micro_enc/spawn_noscratch") / p50("epoch_micro_enc/pooled_scratch");
+    let tiled_speedup = |n: usize| p50(&format!("mm_{n}/scalar")) / p50(&format!("mm_{n}/tiled"));
+    let pa_epoch_speedup = p50("pa_epoch_micro/f32_backbone") / p50("pa_epoch_micro/int8_backbone");
     let pstats = pool::stats();
     let sstats = scratch::stats();
     println!("\npool speedup (spawn/pooled, 64x64x64 matmul): {pool_speedup:.2}x");
     println!("alloc speedup (fresh/reused out):             {alloc_speedup:.2}x");
     println!("epoch speedup (spawn+alloc / pooled+scratch): {epoch_speedup:.2}x");
+    for &n in mm_sizes {
+        println!(
+            "tiled kernel speedup (scalar/tiled, {n}^3):    {:.2}x",
+            tiled_speedup(n)
+        );
+    }
+    println!("int8 backbone epoch speedup (f32/int8):       {pa_epoch_speedup:.2}x");
     println!(
         "cold restore ({restore_commits} commits, {restore_log_bytes} B log): open p50 {:.1} us, \
          open+decode+restore p50 {:.1} us / p95 {:.1} us",
@@ -307,11 +502,32 @@ fn main() {
     json.push_str(&format!(
         "  \"cold_restore\": {{\"commits\": {restore_commits}, \"log_bytes\": {restore_log_bytes}, \
          \"open_p50_ns\": {:.0}, \"open_p95_ns\": {:.0}, \
-         \"restore_p50_ns\": {:.0}, \"restore_p95_ns\": {:.0}}}\n",
+         \"restore_p50_ns\": {:.0}, \"restore_p95_ns\": {:.0}}},\n",
         p50("cold_restore/open_log"),
         p95("cold_restore/open_log"),
         p50("cold_restore/open_decode_restore"),
         p95("cold_restore/open_decode_restore")
+    ));
+    let kernel_speedups: Vec<String> = mm_sizes
+        .iter()
+        .map(|&n| format!("\"tiled_speedup_{n}\": {:.3}", tiled_speedup(n)))
+        .collect();
+    json.push_str(&format!(
+        "  \"kernels\": {{\"simd_compiled\": {}, \"mode\": \"{}\", {}}},\n",
+        cfg!(feature = "simd"),
+        match kernel {
+            ops::KernelMode::Scalar => "scalar",
+            ops::KernelMode::Tiled => "tiled",
+        },
+        kernel_speedups.join(", ")
+    ));
+    json.push_str(&format!(
+        "  \"int8\": {{\"cache_f32_bytes\": {cache_f32_bytes}, \"cache_q8_bytes\": {cache_q8_bytes}, \
+         \"cache_cut\": {cache_cut:.3}, \"act_wire_f32_bytes\": {wire_f32_bytes}, \
+         \"act_wire_q8_bytes\": {wire_q8_bytes}, \"act_wire_cut\": {wire_cut:.3}, \
+         \"pa_epoch_speedup\": {pa_epoch_speedup:.3}, \
+         \"dist_final_loss_f32_wire\": {dist_f32_loss:.6}, \
+         \"dist_final_loss_q8_wire\": {dist_q8_loss:.6}}}\n"
     ));
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write bench trajectory");

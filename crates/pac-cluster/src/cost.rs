@@ -62,6 +62,13 @@ pub struct CostModel {
     pub seq: usize,
     /// Decoder sequence length.
     pub dec_seq: usize,
+    /// Account frozen-side activation storage and Act-edge transfers as
+    /// per-row absmax int8 (1 byte per element + one f32 scale per token
+    /// row) instead of f32. Mirrors the runtime's int8 activation cache
+    /// and `wire_q8` Act frames; trainable-side bytes (side context,
+    /// gradients, optimizer state) stay f32 — quantization never touches
+    /// a gradient path.
+    pub int8_frozen: bool,
 }
 
 impl CostModel {
@@ -72,7 +79,16 @@ impl CostModel {
             technique,
             seq,
             dec_seq: 8,
+            int8_frozen: false,
         }
+    }
+
+    /// The same cost model with frozen-side int8 accounting switched on
+    /// (Eq. 4–6 memory ceilings and link-transfer terms see the ~4×
+    /// smaller cached-activation and Act-edge bytes).
+    pub fn with_int8_frozen(mut self) -> Self {
+        self.int8_frozen = true;
+        self
     }
 
     /// Side-network hidden width for Parallel Adapters (0 otherwise).
@@ -197,10 +213,17 @@ impl CostModel {
                 (tokens * per_token + scores) * 4
             }
             // Parallel Adapters retain only b_i (side-network input) plus
-            // the small side context.
+            // the small side context. b_i is frozen-side data — exactly
+            // what the int8 activation cache stores — so the int8 knob
+            // shrinks it to 1 byte per element plus a per-token scale;
+            // the side context is trainable-path and stays f32.
             Technique::ParallelAdapters { .. } => {
                 let r = self.side_r();
-                (tokens * (c.hidden + 3 * r)) * 4
+                if self.int8_frozen {
+                    tokens * (c.hidden + 4) + tokens * 3 * r * 4
+                } else {
+                    (tokens * (c.hidden + 3 * r)) * 4
+                }
             }
             Technique::PromptTuning { virtual_tokens } => {
                 let extra = match role {
@@ -249,19 +272,38 @@ impl CostModel {
                 Technique::Full => 0,
                 _ => self.technique_layer_trainable_bytes(role),
             };
+            // Under Parallel Adapters the backbone is frozen *and* never
+            // backpropagated through (dx = 0), so with int8 accounting its
+            // resident weights are the quantized copy alone: 1 byte per
+            // parameter plus one f32 scale per hidden-width row. Other
+            // techniques need f32 weights for dX/dW and keep them.
+            let resident_weight_bytes = if self.int8_frozen
+                && matches!(self.technique, Technique::ParallelAdapters { .. })
+            {
+                base_params + 4 * base_params.div_ceil(c.hidden.max(1)) + tech_bytes
+            } else {
+                base_params * 4 + tech_bytes
+            };
             let boundary_tokens = match role {
                 LayerRole::Encoder => self.seq,
                 LayerRole::Decoder => self.dec_seq,
+            };
+            // Forward Act edges carry `ActQ8` frames under int8 wire mode:
+            // 1 byte per element + one f32 scale per token row.
+            let boundary_bytes = if self.int8_frozen {
+                boundary_tokens * (c.hidden + 4)
+            } else {
+                boundary_tokens * c.hidden * 4
             };
             out.push(LayerCost {
                 role,
                 fwd_flops: fwd,
                 dx_flops: dx,
                 dw_flops: dw,
-                weight_bytes: base_params * 4 + tech_bytes,
+                weight_bytes: resident_weight_bytes,
                 trainable_bytes: self.technique_layer_trainable_bytes(role),
                 retained_act_bytes: self.layer_retained_act_bytes(role),
-                boundary_bytes: boundary_tokens * c.hidden * 4,
+                boundary_bytes,
             });
         }
         out
@@ -387,6 +429,41 @@ mod tests {
         assert!(
             pa_act * 3 < full_act,
             "PA {pa_act} should be ≪ full {full_act}"
+        );
+    }
+
+    #[test]
+    fn int8_accounting_shrinks_frozen_bytes_only() {
+        let f32cm = CostModel::new(model(), Technique::parallel_default(), 128);
+        let q8cm = CostModel::new(model(), Technique::parallel_default(), 128).with_int8_frozen();
+        let f = &f32cm.layer_costs()[0];
+        let q = &q8cm.layer_costs()[0];
+        // Boundary (Act edge) bytes drop ~4×: h=1024 → 1028/4096 per token.
+        assert_eq!(f.boundary_bytes, 128 * 1024 * 4);
+        assert_eq!(q.boundary_bytes, 128 * (1024 + 4));
+        assert!(f.boundary_bytes as f64 / q.boundary_bytes as f64 > 3.5);
+        // Retained bytes shrink, but less than 4×: only b_i (h floats per
+        // token) quantizes, while the f32 side context (3r = 384 floats
+        // per token at reduction 8) stays. The b_i slice alone cuts 3.98×.
+        let ratio = f.retained_act_bytes as f64 / q.retained_act_bytes as f64;
+        assert!((1.8..4.0).contains(&ratio), "retained ratio {ratio}");
+        let bi_ratio = (1024.0 * 4.0) / (1024.0 + 4.0);
+        assert!(bi_ratio > 3.9);
+        // FLOPs and trainable/weight bytes are untouched — int8 is a
+        // storage/transport knob, not a compute model change.
+        assert_eq!(f.fwd_flops, q.fwd_flops);
+        assert_eq!(f.trainable_bytes, q.trainable_bytes);
+        // Frozen backbone weights shrink ~4× under PA (no backbone
+        // backward, so the int8 copy alone serves forward).
+        let w_ratio = f.weight_bytes as f64 / q.weight_bytes as f64;
+        assert!((3.0..4.0).contains(&w_ratio), "weight ratio {w_ratio}");
+        // Backbone-backprop techniques keep f32 retained activations:
+        // those sit on a gradient path and are out of quantization scope.
+        let lora_f = CostModel::new(model(), Technique::lora_default(), 128);
+        let lora_q = CostModel::new(model(), Technique::lora_default(), 128).with_int8_frozen();
+        assert_eq!(
+            lora_f.layer_costs()[0].retained_act_bytes,
+            lora_q.layer_costs()[0].retained_act_bytes
         );
     }
 

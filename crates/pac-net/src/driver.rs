@@ -160,6 +160,14 @@ pub struct DistConfig {
     /// by default — re-admission timing depends on when the healed worker's
     /// dial lands, so deterministic sweeps keep it disabled.
     pub admit_reconnects: bool,
+    /// Ship pipeline Act frames as per-row absmax int8 (`Msg::ActQ8`,
+    /// ~4× fewer boundary bytes) instead of bitwise f32 `Msg::Act`. Off
+    /// by default: the f32 wire is what keeps distributed training
+    /// bit-identical to the in-process reference; int8 trades a
+    /// half-quantization-step perturbation of each boundary activation
+    /// for the bandwidth cut (frozen-side data only — gradients always
+    /// travel f32).
+    pub wire_q8: bool,
 }
 
 impl DistConfig {
@@ -186,6 +194,7 @@ impl DistConfig {
             link: LinkSpec::lan_128mbps(),
             telemetry: false,
             admit_reconnects: false,
+            wire_q8: false,
         }
     }
 
@@ -469,6 +478,7 @@ impl DistTrainer {
                 net_timeout_ms: cfg.net_timeout.as_millis() as u32,
                 telemetry: cfg.telemetry,
                 reconnect: cfg.admit_reconnects,
+                wire_q8: cfg.wire_q8,
             })))?;
         }
         for wc in round.conns.iter_mut() {

@@ -26,14 +26,20 @@ use pac_model::StageData;
 use pac_parallel::engine::MicroBatch;
 use pac_parallel::schedule::SimEvent;
 use pac_parallel::Schedule;
-use pac_tensor::Tensor;
+use pac_tensor::{QTensor, Tensor};
 use std::fmt;
 use std::io::Read;
 
 /// Frame preamble: identifies a PAC net frame.
 pub const MAGIC: [u8; 4] = *b"PACN";
-/// Wire format version this build speaks.
-pub const VERSION: u8 = 1;
+/// Newest wire format version this build speaks. Frames are stamped with
+/// the *oldest* version that can express their message
+/// ([`Msg::wire_version`]), so a v1 peer interoperates until it is
+/// actually sent a v2-only frame (e.g. [`Msg::ActQ8`]) — which it then
+/// rejects as a typed [`NetError::BadVersion`], never a decode panic.
+pub const VERSION: u8 = 2;
+/// Oldest wire format version this build still accepts.
+pub const MIN_VERSION: u8 = 1;
 /// Upper bound on a single frame's payload (defense against a corrupted
 /// length field allocating gigabytes).
 pub const MAX_PAYLOAD: usize = 256 * 1024 * 1024;
@@ -199,6 +205,11 @@ pub struct Assignment {
     /// control connection drops *without* a `Shutdown` should re-dial the
     /// rendezvous once with a fresh `Hello` (partition heal).
     pub reconnect: bool,
+    /// Whether pipeline Act edges ship activations as [`Msg::ActQ8`]
+    /// (per-row absmax int8, ~4× fewer bytes) instead of f32 [`Msg::Act`].
+    /// Off by default: f32 frames keep the distributed engines bitwise
+    /// identical to the in-process reference.
+    pub wire_q8: bool,
 }
 
 /// The complete message set of the PAC network protocol.
@@ -263,6 +274,23 @@ pub enum Msg {
         micro: u32,
         /// Activation payload.
         data: StageData,
+    },
+    /// Stage `s` → stage `s+1`: forward activation for one micro-batch,
+    /// quantized to per-row absmax int8 (v2 frame). Sent instead of
+    /// [`Msg::Act`] when the assignment enables `wire_q8`; the receiver
+    /// dequantizes before compute. Cuts Act-edge bytes ~4× at the cost of
+    /// a half-quantization-step perturbation of the boundary activation —
+    /// sound for the frozen backbone half, whose values sit on no gradient
+    /// path. Token payloads (first pipeline edge) always travel as legacy
+    /// [`Msg::Act`]: token ids cannot be quantized.
+    ActQ8 {
+        /// Micro-batch id.
+        micro: u32,
+        /// True when the payload is stage-final logits rather than a
+        /// hidden-state boundary activation.
+        logits: bool,
+        /// Quantized activation payload.
+        q: QTensor,
     },
     /// Stage `s+1` → stage `s`: backward gradient for one micro-batch.
     Grad {
@@ -363,6 +391,18 @@ impl Msg {
             Msg::HeartbeatAck { .. } => 16,
             Msg::Stats { .. } => 17,
             Msg::Shutdown => 18,
+            Msg::ActQ8 { .. } => 19,
+        }
+    }
+
+    /// The oldest wire format version able to express this message — what
+    /// [`encode_frame`] stamps into the version byte. Keeping legacy
+    /// messages at v1 means a quantization-unaware peer keeps working
+    /// until an actual v2 frame reaches it.
+    pub fn wire_version(&self) -> u8 {
+        match self {
+            Msg::ActQ8 { .. } => 2,
+            _ => 1,
         }
     }
 }
@@ -408,6 +448,19 @@ impl Enc {
         for &x in t.data() {
             self.f32(x);
         }
+    }
+    fn qtensor(&mut self, q: &QTensor) {
+        let dims = q.dims();
+        self.u8(dims.len() as u8);
+        for &d in dims {
+            self.u32(d as u32);
+        }
+        self.u32(q.rows() as u32);
+        for &s in q.scales() {
+            self.f32(s);
+        }
+        // i8 payload travels as raw two's-complement bytes.
+        self.buf.extend(q.data().iter().map(|&v| v as u8));
     }
     fn stage_data(&mut self, d: &StageData) {
         match d {
@@ -532,6 +585,30 @@ impl<'a> Dec<'a> {
         }
         Tensor::from_vec(data, dims).map_err(|_| NetError::Malformed("tensor shape inconsistent"))
     }
+    fn qtensor(&mut self) -> Result<QTensor, NetError> {
+        let rank = self.u8()? as usize;
+        if rank == 0 || rank > MAX_RANK {
+            return Err(NetError::Malformed("qtensor rank out of range"));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        let mut numel: usize = 1;
+        for _ in 0..rank {
+            let d = self.u32()? as usize;
+            numel = numel.saturating_mul(d);
+            dims.push(d);
+        }
+        let rows = self.u32()? as usize;
+        if numel > MAX_NUMEL || rows.saturating_mul(4).saturating_add(numel) > self.b.len() {
+            return Err(NetError::Malformed("qtensor size exceeds payload"));
+        }
+        let mut scales = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            scales.push(self.f32()?);
+        }
+        let data: Vec<i8> = self.take(numel)?.iter().map(|&b| b as i8).collect();
+        QTensor::from_parts(dims, scales, data)
+            .map_err(|_| NetError::Malformed("qtensor parts inconsistent"))
+    }
     fn stage_data(&mut self) -> Result<StageData, NetError> {
         match self.u8()? {
             0 => {
@@ -618,6 +695,7 @@ fn encode_payload(msg: &Msg) -> Vec<u8> {
             e.u32(a.net_timeout_ms);
             e.u8(a.telemetry as u8);
             e.u8(a.reconnect as u8);
+            e.u8(a.wire_q8 as u8);
         }
         Msg::Peers { ports } => {
             e.u32(ports.len() as u32);
@@ -667,6 +745,11 @@ fn encode_payload(msg: &Msg) -> Vec<u8> {
         Msg::Act { micro, data } => {
             e.u32(*micro);
             e.stage_data(data);
+        }
+        Msg::ActQ8 { micro, logits, q } => {
+            e.u32(*micro);
+            e.u8(*logits as u8);
+            e.qtensor(q);
         }
         Msg::Grad { micro, grad } => {
             e.u32(*micro);
@@ -765,6 +848,7 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Msg, NetError> {
                 net_timeout_ms: d.u32()?,
                 telemetry: d.bool()?,
                 reconnect: d.bool()?,
+                wire_q8: d.bool()?,
             }))
         }
         3 => {
@@ -878,6 +962,11 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Msg, NetError> {
             Msg::Stats { counters }
         }
         18 => Msg::Shutdown,
+        19 => Msg::ActQ8 {
+            micro: d.u32()?,
+            logits: d.bool()?,
+            q: d.qtensor()?,
+        },
         other => return Err(NetError::BadType(other)),
     };
     d.finish()?;
@@ -894,7 +983,7 @@ pub fn encode_frame(msg: &Msg) -> Vec<u8> {
     debug_assert!(payload.len() <= MAX_PAYLOAD);
     let mut frame = Vec::with_capacity(14 + payload.len());
     frame.extend_from_slice(&MAGIC);
-    frame.push(VERSION);
+    frame.push(msg.wire_version());
     frame.push(msg.tag());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(&payload);
@@ -1004,7 +1093,7 @@ impl FrameReader {
                     self.reset();
                     return Err(NetError::BadMagic(m));
                 }
-                if self.buf[4] != VERSION {
+                if !(MIN_VERSION..=VERSION).contains(&self.buf[4]) {
                     let v = self.buf[4];
                     self.reset();
                     return Err(NetError::BadVersion(v));
@@ -1019,6 +1108,7 @@ impl FrameReader {
             }
             // Whole frame buffered: verify checksum, decode, clear state.
             let total = goal;
+            let version = self.buf[4];
             let tag = self.buf[5];
             let got = u32::from_le_bytes(self.buf[total - 4..total].try_into().unwrap());
             let expected = checksum(&self.buf[4..total - 4]);
@@ -1028,7 +1118,14 @@ impl FrameReader {
             }
             let decoded = decode_payload(tag, &self.buf[HEADER_LEN..total - 4]);
             self.reset();
-            return Ok((decoded?, total));
+            let msg = decoded?;
+            // A frame may not claim an older version than its message
+            // needs: a v1-stamped ActQ8 is a forgery or corruption, not a
+            // frame a v1 peer could ever have produced.
+            if msg.wire_version() > version {
+                return Err(NetError::BadVersion(version));
+            }
+            return Ok((msg, total));
         }
     }
 }
@@ -1115,6 +1212,7 @@ mod tests {
             net_timeout_ms: 5000,
             telemetry: true,
             reconnect: true,
+            wire_q8: true,
         };
         assert_eq!(
             roundtrip(&Msg::Assign(Box::new(a.clone()))),
@@ -1187,6 +1285,49 @@ mod tests {
             }],
         };
         assert_eq!(roundtrip(&msg), msg);
+    }
+
+    #[test]
+    fn act_q8_roundtrips_and_stamps_v2() {
+        let t = Tensor::from_vec(vec![0.5, -1.25, 3.0, 0.0, 2.5, -0.75], vec![1, 2, 3]).unwrap();
+        let msg = Msg::ActQ8 {
+            micro: 4,
+            logits: false,
+            q: QTensor::quantize(&t),
+        };
+        let frame = encode_frame(&msg);
+        assert_eq!(frame[4], 2, "ActQ8 must travel as a v2 frame");
+        assert_eq!(roundtrip(&msg), msg);
+        match roundtrip(&msg) {
+            Msg::ActQ8 { micro, logits, q } => {
+                assert_eq!(micro, 4);
+                assert!(!logits);
+                assert_eq!(q.dims(), t.dims());
+                assert!(q.dequantize().approx_eq(&t, 0.02));
+            }
+            other => panic!("wrong message decoded: {other:?}"),
+        }
+        // Legacy traffic keeps stamping v1, so quantization-unaware peers
+        // stay compatible until an ActQ8 actually reaches them.
+        assert_eq!(encode_frame(&Msg::Ready)[4], 1);
+        assert_eq!(encode_frame(&Msg::Heartbeat { nonce: 1 })[4], 1);
+    }
+
+    #[test]
+    fn act_q8_in_a_v1_frame_is_rejected_as_bad_version() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], vec![1, 2]).unwrap();
+        let mut frame = encode_frame(&Msg::ActQ8 {
+            micro: 0,
+            logits: true,
+            q: QTensor::quantize(&t),
+        });
+        // Forge a v1 stamp (and re-seal the checksum so only the version
+        // inconsistency can trip the decoder).
+        frame[4] = 1;
+        let len = frame.len();
+        let sum = checksum(&frame[4..len - 4]);
+        frame[len - 4..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(decode_frame(&frame), Err(NetError::BadVersion(1))));
     }
 
     #[test]

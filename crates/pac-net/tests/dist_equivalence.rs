@@ -124,6 +124,44 @@ fn distributed_2x1_pipeline_only_matches_inprocess() {
 }
 
 #[test]
+fn quantized_wire_tracks_f32_within_half_loss() {
+    // The int8 Act wire (`wire_q8`) is lossy by design, so it cannot be
+    // bitwise — but the half-quantization-step perturbation of each
+    // boundary activation must not derail training: the final loss lands
+    // within 0.5 of the f32 wire reference on the same seed and batches,
+    // and the run still recovers its parameters cleanly.
+    let cfg = DistConfig::loopback(2, 2);
+    let batches = make_batches();
+
+    let (ref_losses, _) = inprocess_run(&cfg, &batches);
+    let mut qcfg = cfg;
+    qcfg.wire_q8 = true;
+    let report = DistTrainer::new(qcfg)
+        .run(&Spawner::Threads, &batches, &FaultPlan::none())
+        .expect("quantized-wire run");
+
+    assert_eq!(report.losses.len(), ref_losses.len());
+    for (t, (d, r)) in report.losses.iter().zip(ref_losses.iter()).enumerate() {
+        assert!(
+            d.is_finite(),
+            "quantized-wire loss at step {t} not finite: {d}"
+        );
+        assert!(
+            (d - r).abs() < 0.5,
+            "quantized wire drifted at step {t}: {d} vs f32 {r}"
+        );
+    }
+    let d_final = *report.losses.last().unwrap();
+    let r_final = *ref_losses.last().unwrap();
+    assert!(
+        (d_final - r_final).abs() < 0.5,
+        "final loss drifted: int8 wire {d_final} vs f32 {r_final}"
+    );
+    assert_eq!(report.recovery.replans, 0);
+    assert_eq!(report.final_lanes, 2);
+}
+
+#[test]
 fn killed_worker_triggers_replan_and_checkpoint_resume() {
     let cfg = DistConfig::loopback(2, 2);
     let batches = make_batches();

@@ -3,7 +3,7 @@
 //! corrupted or truncated frames.
 
 use pac_net::wire::{decode_frame, encode_frame, FrameReader, IoSource, Msg, NetError};
-use pac_tensor::Tensor;
+use pac_tensor::{QTensor, Tensor};
 use proptest::prelude::*;
 use std::io::Cursor;
 
@@ -151,6 +151,79 @@ proptest! {
             }
         }
         prop_assert_eq!(got, expect, "each copy decodes identically, in order");
+    }
+
+    /// The v2 quantized Act frame gets the same corruption guarantees as
+    /// every legacy frame: any single byte flip — including the version
+    /// byte, the i8 payload, and the per-row scales — rejects with a
+    /// typed error, never a panic or a silently different activation.
+    #[test]
+    fn any_single_byte_flip_in_act_q8_is_rejected(
+        bits in prop::collection::vec(0u32..=u32::MAX, 2..24),
+        rows in 1usize..3,
+        pos_seed in 0usize..10_000,
+        mask in 1u8..=255,
+        logits_bit in 0u8..2,
+    ) {
+        let rows = rows.min(bits.len());
+        let logits = logits_bit == 1;
+        let frame = encode_frame(&Msg::ActQ8 {
+            micro: 3,
+            logits,
+            q: QTensor::quantize(&tensor_from_bits(&bits, rows)),
+        });
+        let pos = pos_seed % frame.len();
+        let mut corrupt = frame.clone();
+        corrupt[pos] ^= mask;
+        prop_assert!(
+            decode_frame(&corrupt).is_err(),
+            "flip at {} of {} accepted", pos, frame.len()
+        );
+    }
+
+    #[test]
+    fn any_act_q8_truncation_is_rejected_as_eof(
+        bits in prop::collection::vec(0u32..=u32::MAX, 2..24),
+        cut_seed in 0usize..10_000,
+    ) {
+        let frame = encode_frame(&Msg::ActQ8 {
+            micro: 0,
+            logits: false,
+            q: QTensor::quantize(&tensor_from_bits(&bits, 1)),
+        });
+        let cut = cut_seed % frame.len();
+        match decode_frame(&frame[..cut]) {
+            Err(NetError::Eof) => {}
+            other => prop_assert!(false, "cut at {} gave {:?}", cut, other),
+        }
+    }
+
+    /// Quantized frames round-trip exactly at the QTensor level (the i8
+    /// payload and f32 scale bits are transported verbatim; lossiness
+    /// happens at quantize time, never on the wire).
+    #[test]
+    fn act_q8_roundtrips_exactly(
+        bits in prop::collection::vec(0u32..=u32::MAX, 2..48),
+        rows in 1usize..4,
+        micro in 0u32..64,
+    ) {
+        let rows = rows.min(bits.len());
+        let q = QTensor::quantize(&tensor_from_bits(&bits, rows));
+        let msg = Msg::ActQ8 { micro, logits: true, q: q.clone() };
+        let (decoded, consumed) = decode_frame(&encode_frame(&msg)).expect("decode");
+        prop_assert_eq!(consumed, encode_frame(&msg).len());
+        match decoded {
+            Msg::ActQ8 { micro: m, logits, q: back } => {
+                prop_assert_eq!(m, micro);
+                prop_assert!(logits);
+                prop_assert_eq!(back.data(), q.data());
+                let sb: Vec<u32> = back.scales().iter().map(|s| s.to_bits()).collect();
+                let se: Vec<u32> = q.scales().iter().map(|s| s.to_bits()).collect();
+                prop_assert_eq!(sb, se, "scale bits survive the wire exactly");
+                prop_assert_eq!(back.dims(), q.dims());
+            }
+            other => prop_assert!(false, "decoded wrong message: {:?}", other),
+        }
     }
 
     #[test]

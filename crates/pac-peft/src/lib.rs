@@ -35,7 +35,7 @@ pub mod technique;
 pub mod tuner;
 
 pub use adapters::AdapterTuner;
-pub use cache::{ActivationCache, CacheStats};
+pub use cache::{ActivationCache, CachePrecision, CacheStats};
 pub use checkpoint::{
     from_bytes, load_trainable, save_trainable, to_bytes, CheckpointError, TrainCheckpoint,
 };

@@ -30,6 +30,18 @@ fn fingerprint(out: &PlanOutcome) -> String {
     )
 }
 
+fn plan_cost(
+    devices: Vec<DeviceSpec>,
+    link: LinkSpec,
+    cost: &CostModel,
+    mini: usize,
+) -> PlanOutcome {
+    let cluster = Cluster { devices, link };
+    Planner::paper_defaults(cluster, mini)
+        .plan(cost)
+        .expect("feasible plan")
+}
+
 fn plan_with(
     devices: Vec<DeviceSpec>,
     link: LinkSpec,
@@ -37,11 +49,7 @@ fn plan_with(
     technique: Technique,
     mini: usize,
 ) -> PlanOutcome {
-    let cluster = Cluster { devices, link };
-    let cost = CostModel::new(model, technique, 64);
-    Planner::paper_defaults(cluster, mini)
-        .plan(&cost)
-        .expect("feasible plan")
+    plan_cost(devices, link, &CostModel::new(model, technique, 64), mini)
 }
 
 fn plan(devices: Vec<DeviceSpec>, link: LinkSpec, model: ModelConfig, mini: usize) -> PlanOutcome {
@@ -146,5 +154,87 @@ fn golden_memory_pressure_forces_deeper_pipeline() {
         "without the memory ceiling the planner picks {} stages, not fewer than {}",
         unconstrained.best.stages.len(),
         out.best.stages.len()
+    );
+}
+
+/// The same three golden clusters re-planned with frozen-side int8
+/// accounting (`CostModel::with_int8_frozen`): quantized cache/wire/weight
+/// bytes change what Eq. 4–6 consider feasible. The headline delta is the
+/// memory-pressure cluster — a BART-Large f32 replica exceeds one Nano's
+/// ceiling and forces a 2-stage pipeline, while the ~4×-smaller int8
+/// replica fits, so pure data parallelism (the latency-optimal shape)
+/// becomes plannable on identical hardware.
+#[test]
+fn golden_int8_replan_fits_where_f32_exceeded_the_ceiling() {
+    let lean = Technique::ParallelAdapters { reduction: 64 };
+    let nanos = || {
+        vec![
+            DeviceSpec::jetson_nano(),
+            DeviceSpec::jetson_nano(),
+            DeviceSpec::jetson_nano(),
+        ]
+    };
+
+    // f32 reference (same as golden_memory_pressure_forces_deeper_pipeline):
+    // no 1-stage candidate survives the memory check.
+    let f32_out = plan_with(
+        nanos(),
+        LinkSpec::gigabit(),
+        ModelConfig::bart_large(),
+        lean,
+        8,
+    );
+    assert!(f32_out.candidates.iter().all(|c| c.stages >= 2));
+
+    // int8 accounting: the quantized replica fits a single Nano, pure DP
+    // appears and wins.
+    let q8_cost = CostModel::new(ModelConfig::bart_large(), lean, 64).with_int8_frozen();
+    let q8_out = plan_cost(nanos(), LinkSpec::gigabit(), &q8_cost, 8);
+    assert!(
+        q8_out.candidates.iter().any(|c| c.stages == 1),
+        "int8 accounting must make the 1-stage plan memory-feasible"
+    );
+    assert_eq!(
+        fingerprint(&q8_out),
+        "stages=1 micro=2 plan=[0..24)x[0, 1, 2] devices=[0, 1, 2]"
+    );
+    assert!(q8_out.best.stages.len() < f32_out.best.stages.len());
+
+    // The other two golden clusters were never memory-bound, so int8
+    // accounting must not change their selected shapes — only (possibly)
+    // their simulated makespans via the smaller Act edges.
+    let q8_t5 = CostModel::new(ModelConfig::t5_base(), Technique::parallel_default(), 64)
+        .with_int8_frozen();
+    let a = plan_cost(
+        vec![
+            DeviceSpec::jetson_nano(),
+            DeviceSpec::jetson_nano(),
+            DeviceSpec::jetson_tx2(),
+        ],
+        LinkSpec::lan_128mbps(),
+        &q8_t5,
+        8,
+    );
+    assert_eq!(
+        a.best.stages.len(),
+        2,
+        "shape preserved: {}",
+        fingerprint(&a)
+    );
+    let b = plan_cost(
+        vec![
+            DeviceSpec::jetson_tx2(),
+            DeviceSpec::jetson_nano(),
+            DeviceSpec::raspberry_pi4(),
+        ],
+        LinkSpec::gigabit(),
+        &q8_t5,
+        8,
+    );
+    assert_eq!(
+        b.best.stages.len(),
+        2,
+        "shape preserved: {}",
+        fingerprint(&b)
     );
 }

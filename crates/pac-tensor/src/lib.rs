@@ -26,13 +26,18 @@
 pub mod error;
 pub mod init;
 pub mod ops;
+pub mod quant;
 pub mod reduce;
 pub mod rng;
 pub mod scratch;
 pub mod shape;
+#[cfg(feature = "simd")]
+pub mod simd;
 pub mod tensor;
 
 pub use error::{Result, TensorError};
+pub use ops::{kernel_mode, set_kernel_mode, KernelMode};
+pub use quant::QTensor;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

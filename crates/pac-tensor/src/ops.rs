@@ -27,15 +27,70 @@
 use crate::error::{Result, TensorError};
 use crate::tensor::Tensor;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Row-panel size for parallel work distribution.
-const PANEL: usize = 32;
+pub(crate) const PANEL: usize = 32;
 /// K-dimension blocking factor.
 const KBLOCK: usize = 64;
 
 /// Minimum FLOP count (2·m·n·k) below which kernels stay single-threaded —
 /// even pooled parallelism costs a notify/wait handshake per call.
 const PAR_THRESHOLD_FLOPS: usize = 1 << 18;
+
+/// Which matmul implementation family the `_into` kernels dispatch to.
+///
+/// The process-wide default is [`KernelMode::Scalar`]: the fixed-k-order
+/// kernels whose results are bitwise identical at every pool width — the
+/// determinism contract every distributed-equivalence and simsweep test in
+/// the workspace relies on. [`KernelMode::Tiled`] selects the register-tiled
+/// [`crate::simd`] kernels (only compiled under the `simd` cargo feature):
+/// faster, tolerance-validated against [`matmul_ref`], but *not* bitwise
+/// identical to the scalar path because the k-accumulation is re-associated
+/// into vector lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Fixed-accumulation-order kernels; bitwise deterministic (default).
+    Scalar,
+    /// Register-tiled SIMD kernels (`simd` feature); tolerance-equivalent.
+    Tiled,
+}
+
+/// Process-wide kernel mode. 0 = Scalar, 1 = Tiled. Relaxed ordering is
+/// enough: the switch is a coarse run-level toggle, not a synchronization
+/// point, and every kernel reads it exactly once per call.
+static KERNEL_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the process-wide [`KernelMode`] and returns the mode actually in
+/// effect: requesting [`KernelMode::Tiled`] without the `simd` feature
+/// compiled in falls back to [`KernelMode::Scalar`] (there is no tiled code
+/// to run), so callers can detect the downgrade instead of silently
+/// benchmarking the wrong kernel.
+pub fn set_kernel_mode(mode: KernelMode) -> KernelMode {
+    let effective = match mode {
+        KernelMode::Scalar => KernelMode::Scalar,
+        #[cfg(feature = "simd")]
+        KernelMode::Tiled => KernelMode::Tiled,
+        #[cfg(not(feature = "simd"))]
+        KernelMode::Tiled => KernelMode::Scalar,
+    };
+    KERNEL_MODE.store(
+        match effective {
+            KernelMode::Scalar => 0,
+            KernelMode::Tiled => 1,
+        },
+        Ordering::Relaxed,
+    );
+    effective
+}
+
+/// The [`KernelMode`] currently in effect.
+pub fn kernel_mode() -> KernelMode {
+    match KERNEL_MODE.load(Ordering::Relaxed) {
+        0 => KernelMode::Scalar,
+        _ => KernelMode::Tiled,
+    }
+}
 
 fn check_inner(op: &'static str, a: &Tensor, b: &Tensor, ak: usize, bk: usize) -> Result<()> {
     if ak != bk {
@@ -50,7 +105,12 @@ fn check_inner(op: &'static str, a: &Tensor, b: &Tensor, ak: usize, bk: usize) -
 
 /// Runs `kernel` over `out` sequentially below the FLOP threshold, else in
 /// parallel over fixed PANEL-row chunks (same chunking at every width).
-fn dispatch(out: &mut [f32], n: usize, flops: usize, kernel: impl Fn(usize, &mut [f32]) + Sync) {
+pub(crate) fn dispatch(
+    out: &mut [f32],
+    n: usize,
+    flops: usize,
+    kernel: impl Fn(usize, &mut [f32]) + Sync,
+) {
     if flops < PAR_THRESHOLD_FLOPS {
         kernel(0, out);
     } else {
@@ -116,6 +176,12 @@ fn mm_bias_into(
     let bd = b.data();
     let biasd = bias.map(Tensor::data);
 
+    #[cfg(feature = "simd")]
+    if kernel_mode() == KernelMode::Tiled {
+        crate::simd::mm_bias_tiled(ad, bd, biasd, m, k, n, out.data_mut());
+        return Ok(());
+    }
+
     let kernel = |r0: usize, chunk: &mut [f32]| {
         let rows = chunk.len() / n;
         for kb in (0..k).step_by(KBLOCK) {
@@ -173,6 +239,12 @@ pub fn matmul_nt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
     let ad = a.data();
     let bd = b.data();
 
+    #[cfg(feature = "simd")]
+    if kernel_mode() == KernelMode::Tiled {
+        crate::simd::nt_tiled(ad, bd, m, k, n, out.data_mut());
+        return Ok(());
+    }
+
     let kernel = |r0: usize, chunk: &mut [f32]| {
         let rows = chunk.len() / n;
         for ri in 0..rows {
@@ -217,6 +289,12 @@ pub fn matmul_tn_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<()> {
     out.reset_to([m, n]);
     let ad = a.data();
     let bd = b.data();
+
+    #[cfg(feature = "simd")]
+    if kernel_mode() == KernelMode::Tiled {
+        crate::simd::tn_tiled(ad, bd, m, k, n, out.data_mut());
+        return Ok(());
+    }
 
     let kernel = |r0: usize, chunk: &mut [f32]| {
         let rows = chunk.len() / n;

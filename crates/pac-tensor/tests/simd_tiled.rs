@@ -1,0 +1,224 @@
+//! Tolerance-equivalence and mode-switch tests for the `simd` feature's
+//! register-tiled kernels.
+//!
+//! Tolerance contract: the tiled kernels re-associate the k-accumulation
+//! into vector lanes, so each output element may drift from the
+//! f64-accumulated reference by at most **2 ULP per accumulation step** —
+//! `2 · k · ε · Σ_k |a·b|` (the absolute-value sum bounds every partial
+//! sum's magnitude). Shapes deliberately include k not divisible by the
+//! lane width (8) and n not divisible by the column tile (16) to exercise
+//! every edge path.
+//!
+//! The whole file runs in one test binary (its own process), so switching
+//! the process-wide `KernelMode` here cannot leak into other suites; the
+//! few tests that need a specific mode serialize on a mutex.
+
+#![cfg(feature = "simd")]
+
+use pac_tensor::{init, ops, rng, set_kernel_mode, KernelMode, Tensor};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests around the process-wide kernel-mode switch.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+fn tensor_of(seed: u64, rows: usize, cols: usize) -> Tensor {
+    let mut r = rng::seeded(seed);
+    init::randn(&mut r, [rows, cols], 1.0)
+}
+
+/// |got - ref| per element must stay within 2 ULP per accumulation step:
+/// `2 · k · ε · Σ|a_ik · b_kj|`, the abs-sum computed in f64.
+fn assert_within_2ulp_per_step(
+    got: &Tensor,
+    a: &Tensor,
+    b_colmajor_view: impl Fn(usize, usize) -> f32,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    for r in 0..m {
+        for c in 0..n {
+            let mut exact = 0.0f64;
+            let mut abs_sum = 0.0f64;
+            for kk in 0..k {
+                let term = a.data()[r * k + kk] as f64 * b_colmajor_view(kk, c) as f64;
+                exact += term;
+                abs_sum += term.abs();
+            }
+            let bound = 2.0 * k as f64 * f32::EPSILON as f64 * abs_sum + f32::MIN_POSITIVE as f64;
+            let err = (got.data()[r * n + c] as f64 - exact).abs();
+            assert!(
+                err <= bound,
+                "[{r},{c}] of {m}x{k}x{n}: err {err:e} > bound {bound:e}"
+            );
+        }
+    }
+}
+
+fn with_tiled<T>(f: impl FnOnce() -> T) -> T {
+    let _guard = MODE_LOCK.lock().unwrap();
+    assert_eq!(set_kernel_mode(KernelMode::Tiled), KernelMode::Tiled);
+    let out = f();
+    set_kernel_mode(KernelMode::Scalar);
+    out
+}
+
+#[test]
+fn tiled_mode_engages_and_reports() {
+    let _guard = MODE_LOCK.lock().unwrap();
+    assert_eq!(set_kernel_mode(KernelMode::Tiled), KernelMode::Tiled);
+    assert_eq!(pac_tensor::kernel_mode(), KernelMode::Tiled);
+    assert_eq!(set_kernel_mode(KernelMode::Scalar), KernelMode::Scalar);
+    assert_eq!(pac_tensor::kernel_mode(), KernelMode::Scalar);
+}
+
+#[test]
+fn tiled_matmul_handles_all_edge_shapes() {
+    // k % 8 ∈ {0, odd}, n % 16 ∈ {0, <16 tails}, m % 4 ∈ {0..3}, and a
+    // parallel-threshold crosser.
+    for &(m, k, n) in &[
+        (1, 1, 1),
+        (4, 8, 16),
+        (5, 9, 17),
+        (3, 7, 15),
+        (6, 64, 48),
+        (33, 65, 31),
+        (64, 64, 64),
+        (128, 96, 130),
+    ] {
+        let a = tensor_of(1000 + m as u64, m, k);
+        let b = tensor_of(2000 + n as u64, k, n);
+        let tiled = with_tiled(|| ops::matmul(&a, &b).unwrap());
+        assert_eq!(tiled.dims(), &[m, n]);
+        let bd = b.data().to_vec();
+        assert_within_2ulp_per_step(&tiled, &a, |kk, c| bd[kk * n + c], m, k, n);
+    }
+}
+
+#[test]
+fn tiled_nt_and_tn_handle_edge_shapes() {
+    for &(m, k, n) in &[
+        (1, 1, 1),
+        (5, 9, 17),
+        (4, 16, 4),
+        (33, 65, 31),
+        (64, 64, 64),
+    ] {
+        let a = tensor_of(3000 + k as u64, m, k);
+        let bt = tensor_of(4000 + k as u64, n, k); // B already transposed
+        let nt = with_tiled(|| ops::matmul_nt(&a, &bt).unwrap());
+        let btd = bt.data().to_vec();
+        assert_within_2ulp_per_step(&nt, &a, |kk, c| btd[c * k + kk], m, k, n);
+
+        let at = a.transpose_2d(); // [k, m]
+        let b = tensor_of(5000 + k as u64, k, n);
+        let tn = with_tiled(|| ops::matmul_tn(&at, &b).unwrap());
+        let bd = b.data().to_vec();
+        assert_within_2ulp_per_step(&tn, &a, |kk, c| bd[kk * n + c], m, k, n);
+    }
+}
+
+#[test]
+fn tiled_addmm_adds_bias_after_accumulation() {
+    let a = tensor_of(71, 9, 21);
+    let b = tensor_of(72, 21, 19);
+    let bias = tensor_of(73, 1, 19);
+    let (plain, fused) = with_tiled(|| {
+        (
+            ops::matmul(&a, &b).unwrap(),
+            ops::addmm(&a, &b, &bias).unwrap(),
+        )
+    });
+    let want = plain.add_row_broadcast(&bias).unwrap();
+    assert_eq!(
+        fused.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        want.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn scalar_mode_is_bitwise_stable_across_pool_widths() {
+    // KernelMode::Scalar must keep the pre-existing determinism contract:
+    // identical bits at pool widths 1/2/8 (and identical to the default-
+    // mode result, i.e. the switch itself changes nothing when Scalar).
+    let _guard = MODE_LOCK.lock().unwrap();
+    let a = tensor_of(81, 128, 96);
+    let b = tensor_of(82, 96, 130);
+    let reference = ops::matmul(&a, &b).unwrap(); // default mode = Scalar
+    let ref_bits: Vec<u32> = reference.data().iter().map(|v| v.to_bits()).collect();
+    set_kernel_mode(KernelMode::Scalar);
+    for &w in &[1usize, 2, 8] {
+        rayon::pool::set_max_concurrency(w);
+        let got = ops::matmul(&a, &b).unwrap();
+        let got_bits: Vec<u32> = got.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ref_bits, got_bits, "scalar mode diverged at width {w}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tiled_matmul_within_2ulp_per_step(
+        m in 1usize..40, k in 1usize..50, n in 1usize..40, seed in 0u64..1000
+    ) {
+        let a = tensor_of(seed, m, k);
+        let b = tensor_of(seed.wrapping_add(1), k, n);
+        let tiled = with_tiled(|| ops::matmul(&a, &b).unwrap());
+        let bd = b.data().to_vec();
+        assert_within_2ulp_per_step(&tiled, &a, |kk, c| bd[kk * n + c], m, k, n);
+    }
+
+    #[test]
+    fn tiled_nt_within_2ulp_per_step(
+        m in 1usize..40, k in 1usize..50, n in 1usize..40, seed in 0u64..1000
+    ) {
+        let a = tensor_of(seed, m, k);
+        let bt = tensor_of(seed.wrapping_add(2), n, k);
+        let tiled = with_tiled(|| ops::matmul_nt(&a, &bt).unwrap());
+        let btd = bt.data().to_vec();
+        assert_within_2ulp_per_step(&tiled, &a, |kk, c| btd[c * k + kk], m, k, n);
+    }
+
+    #[test]
+    fn tiled_tn_within_2ulp_per_step(
+        m in 1usize..40, k in 1usize..50, n in 1usize..40, seed in 0u64..1000
+    ) {
+        let at = tensor_of(seed, k, m);
+        let b = tensor_of(seed.wrapping_add(3), k, n);
+        let tiled = with_tiled(|| ops::matmul_tn(&at, &b).unwrap());
+        let atd = at.data().to_vec();
+        let a_rowmajor = {
+            // Fold A back to [m, k] row-major for the shared bound helper.
+            let mut v = vec![0.0f32; m * k];
+            for kk in 0..k {
+                for r in 0..m {
+                    v[r * k + kk] = atd[kk * m + r];
+                }
+            }
+            Tensor::from_vec(v, [m, k]).unwrap()
+        };
+        let bd = b.data().to_vec();
+        assert_within_2ulp_per_step(&tiled, &a_rowmajor, |kk, c| bd[kk * n + c], m, k, n);
+    }
+
+    #[test]
+    fn tiled_into_reuses_dirty_out(
+        m in 1usize..24, k in 1usize..24, n in 1usize..24, seed in 0u64..500
+    ) {
+        // A dirty, wrongly-shaped out tensor must not influence tiled results.
+        let a = tensor_of(seed, m, k);
+        let b = tensor_of(seed.wrapping_add(4), k, n);
+        let (fresh, reused) = with_tiled(|| {
+            let fresh = ops::matmul(&a, &b).unwrap();
+            let mut out = tensor_of(seed.wrapping_add(5), 3, 5);
+            ops::matmul_into(&a, &b, &mut out).unwrap();
+            (fresh, out)
+        });
+        prop_assert_eq!(
+            fresh.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            reused.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

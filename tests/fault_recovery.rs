@@ -43,6 +43,7 @@ fn session(devices: usize) -> PacSession {
         lr: 1e-2,
         seed: 42,
         checkpoint_every: 4,
+        cache_int8: false,
     })
 }
 
@@ -116,6 +117,7 @@ fn transient_allreduce_is_retried_and_bitwise_transparent() {
             lr: 1e-2,
             seed: 7,
             checkpoint_every: 3,
+            cache_int8: false,
         })
     };
     let backbone = pac_model::EncDecModel::new(&cfg, task.n_out(), &mut seeded(77));

@@ -142,8 +142,22 @@ fn measure(
     // percentiles below have an actual distribution behind them.
     let samples = 20usize;
     let sample_iters = (target / samples as u64).max(1);
+
+    // Warm-up proper: the calibration loop above spends most of its time
+    // at tiny iteration counts, so caches, branch predictors, and the
+    // allocator's free lists are still cold when the first measured
+    // sample runs. Burn a few discarded samples at the measurement count
+    // so the first *recorded* sample sees the same steady state as the
+    // last one.
+    for _ in 0..3 {
+        let mut b = Bencher {
+            iters: sample_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+    }
+
     let mut per_iter_ns: Vec<u64> = Vec::with_capacity(samples);
-    let mut total = Duration::ZERO;
     let mut total_iters: u64 = 0;
     for _ in 0..samples {
         let mut b = Bencher {
@@ -152,16 +166,26 @@ fn measure(
         };
         f(&mut b);
         per_iter_ns.push((b.elapsed.as_nanos() as u64) / sample_iters);
-        total += b.elapsed;
         total_iters += sample_iters;
     }
     per_iter_ns.sort_unstable();
-    let p50_ns = per_iter_ns[samples / 2];
-    let p95_ns = per_iter_ns[(samples * 95 / 100).min(samples - 1)];
+
+    // Cold-start outlier drop: one-off samples inflated by first-touch
+    // page faults or scheduler preemption showed up as p95 ≈ 3× p50 on
+    // alloc-heavy benches (`kernel_alloc_64/into_reused_out`). Trim
+    // trailing samples beyond 2× the median, but keep at least 3/4 of
+    // the set so a genuinely bimodal workload still surfaces in p95.
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let keep_min = per_iter_ns.len() * 3 / 4;
+    while per_iter_ns.len() > keep_min && *per_iter_ns.last().unwrap() > median.saturating_mul(2) {
+        per_iter_ns.pop();
+    }
+
+    let n = per_iter_ns.len();
+    let p50_ns = per_iter_ns[n / 2];
+    let p95_ns = per_iter_ns[(n * 95 / 100).min(n - 1)];
     let min_ns = per_iter_ns[0];
-    let mean = total
-        .checked_div(total_iters as u32)
-        .unwrap_or(Duration::ZERO);
+    let mean_ns = per_iter_ns.iter().sum::<u64>() / n as u64;
 
     let units = match throughput {
         Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => Some(n),
@@ -188,7 +212,7 @@ fn measure(
         iters: total_iters,
         p50_ns,
         p95_ns,
-        mean_ns: mean.as_nanos() as u64,
+        mean_ns,
         min_ns,
         throughput: thrpt_per_s,
     }
