@@ -24,12 +24,16 @@ pub mod personalize;
 pub mod quality;
 pub mod session;
 pub mod systems;
+pub mod tenant;
 pub mod trainer;
 
 pub use personalize::{Personalizer, PersonalizerConfig};
 pub use quality::{run_quality_experiment, QualityCell};
 pub use session::{PacConfig, PacReport, PacSession, RecoveryReport};
 pub use systems::{estimate_cell, CellResult, System};
+pub use tenant::{
+    run_tenant_burst, BurstOutcome, BurstSpec, TenantError, TenantPhase, TenantSession,
+};
 pub use trainer::{evaluate, finetune, finetune_with_cache, TrainConfig, TrainReport};
 
 /// Common imports for PAC users.
@@ -37,6 +41,7 @@ pub mod prelude {
     pub use crate::personalize::{Personalizer, PersonalizerConfig};
     pub use crate::session::{PacConfig, PacReport, PacSession, RecoveryReport};
     pub use crate::systems::{estimate_cell, CellResult, System};
+    pub use crate::tenant::{run_tenant_burst, BurstSpec, TenantSession};
     pub use crate::trainer::{evaluate, finetune, finetune_with_cache, TrainConfig, TrainReport};
     pub use pac_cluster::{Cluster, DeviceSpec, LinkSpec};
     pub use pac_data::{Dataset, TaskKind};

@@ -809,25 +809,33 @@ impl DistTrainer {
             // context where a dead writer can abort the job directly.
             let mut persist_due = false;
 
-            // ---- Elastic join: admit a new device chain as one more lane.
-            if clock.join(step) {
-                if alive_lanes.len() + 1 > min_micro_rows {
+            // ---- Elastic join: admit every device chain that offered to
+            // join before this step as one membership *wave* — a single
+            // `replan_with` and a single catch-up snapshot regardless of
+            // how many joiners arrive together.
+            let join_wave = clock.joins(step);
+            if join_wave > 0 {
+                let headroom = min_micro_rows.saturating_sub(alive_lanes.len());
+                let admit = join_wave.min(headroom);
+                if join_wave > admit {
                     clock.note(
                         step,
                         TimelineKind::Join,
                         format!(
-                            "join rejected: {} lanes cannot split micro-batches of {} row(s)",
-                            alive_lanes.len() + 1,
+                            "join rejected for {} of {join_wave} joiner(s): {} lanes cannot split micro-batches of {} row(s)",
+                            join_wave - admit,
+                            alive_lanes.len() + join_wave,
                             min_micro_rows
                         ),
                     );
-                } else {
+                }
+                if admit > 0 {
                     let lanes_now = alive_lanes.len();
                     let planner = Planner::paper_defaults(
                         Cluster::nanos(stages * lanes_now).with_link(cfg.link),
                         mini_batch_rows.max(1),
                     );
-                    let joined = vec![DeviceSpec::jetson_nano(); stages];
+                    let joined = vec![DeviceSpec::jetson_nano(); stages * admit];
                     match planner.replan_with(&cost, &joined) {
                         None => clock.note(
                             step,
@@ -839,7 +847,10 @@ impl DistTrainer {
                             clock.note(
                                 step,
                                 TimelineKind::Join,
-                                format!("admitted +{stages} device(s) as one lane via replan_with"),
+                                format!(
+                                    "admitted +{} device(s) as {admit} lane(s) in one wave via replan_with",
+                                    stages * admit
+                                ),
                             );
                             clock.note(
                                 step,
@@ -869,34 +880,37 @@ impl DistTrainer {
                             };
                             persist_snapshot(store, &clock, &snapshot, &losses, step)?;
                             // Tear the old round down *before* accepting the
-                            // joiner: a pending joiner must not sit on its
+                            // joiners: a pending joiner must not sit on its
                             // connect deadline while the coordinator blocks
                             // reaping old worker threads.
                             round.teardown();
-                            // The joiner's late Hello arrives at the same
-                            // rendezvous listener the job has used all along.
+                            // Every late Hello in the wave arrives at the
+                            // same rendezvous listener the job has used all
+                            // along.
                             let extra = spawner
-                                .launch(rdv.port(), 1)
+                                .launch(rdv.port(), admit)
                                 .map_err(|e| DistError::Net(NetError::Io(e)))?;
-                            let joiner =
-                                match rdv.accept_world(1, cfg.setup_timeout, cfg.net_timeout) {
-                                    Ok(mut v) => v.pop().expect("accept_world returned one conn"),
+                            let joiners =
+                                match rdv.accept_world(admit, cfg.setup_timeout, cfg.net_timeout) {
+                                    Ok(v) => v,
                                     Err(e) => {
                                         extra.shutdown();
                                         return Err(e.into());
                                     }
                                 };
-                            // Revive the smallest departed original lane id,
-                            // else mint a fresh one.
-                            let lane_id = (0..lanes0)
-                                .find(|l| !alive_lanes.contains(l))
-                                .unwrap_or_else(|| {
-                                    let id = next_fresh_lane;
-                                    next_fresh_lane += 1;
-                                    id
-                                });
-                            alive_lanes.push(lane_id);
-                            alive_lanes.sort_unstable();
+                            // Revive departed original lane ids smallest
+                            // first, then mint fresh ones.
+                            for _ in 0..admit {
+                                let lane_id = (0..lanes0)
+                                    .find(|l| !alive_lanes.contains(l))
+                                    .unwrap_or_else(|| {
+                                        let id = next_fresh_lane;
+                                        next_fresh_lane += 1;
+                                        id
+                                    });
+                                alive_lanes.push(lane_id);
+                                alive_lanes.sort_unstable();
+                            }
                             lane_weights = vec![1.0; alive_lanes.len()];
                             lane_cost_ewma = vec![0.0; alive_lanes.len()];
                             last_rtts.clear();
@@ -906,16 +920,21 @@ impl DistTrainer {
                                 alive_lanes.len(),
                                 m_n,
                                 Some(&snapshot),
-                                vec![joiner],
+                                joiners,
                                 Some(extra),
                             )?;
                             t = snapshot.next_t;
                             losses.truncate(snapshot.losses_len);
+                            let who = if admit == 1 {
+                                "joiner caught up from snapshot".to_string()
+                            } else {
+                                format!("{admit} joiners caught up from one snapshot")
+                            };
                             clock.note(
                                 step,
                                 TimelineKind::Resume,
                                 format!(
-                                    "joiner caught up from snapshot, resuming at step cursor {t} over {} lane(s)",
+                                    "{who}, resuming at step cursor {t} over {} lane(s)",
                                     alive_lanes.len()
                                 ),
                             );

@@ -68,7 +68,7 @@ pub mod worker;
 pub use calib::{calibrate_loopback, LinkCalibration, BULK_ACK_NONCE};
 pub use chan::FramedConn;
 pub use driver::{DistConfig, DistError, DistReport, DistTrainer};
-pub use rendezvous::{probe_liveness, Rendezvous, Topology, WorkerConn};
+pub use rendezvous::{probe_liveness, Admission, Rendezvous, Topology, WorkerConn};
 pub use simnet::{Partition, SimConfig, SimConn, SimNet, SimSpawner};
 pub use spawn::{Spawn, SpawnedWorld, Spawner};
 pub use transport::{Conn, Listener, Tcp, Transport};

@@ -111,6 +111,44 @@ impl<T: Transport> Rendezvous<T> {
         Ok(workers)
     }
 
+    /// Polls for one pending dial on the long-lived listener, classifying
+    /// it by its first frame: a `Hello` is a worker wanting into the
+    /// world, a `JobSubmit` is a tenant job for the serve layer (the
+    /// connection stays open for further job frames and `JobDone`
+    /// replies). `Ok(None)` when nobody is dialing. Sharing one listener
+    /// keeps a serve deployment to a single admission point for
+    /// membership *and* tenant traffic.
+    pub fn try_accept_admission(
+        &self,
+        accept_wait: Duration,
+        conn_timeout: Duration,
+    ) -> Result<Option<Admission<T::Conn>>, NetError> {
+        let mut ctrl = match self.listener.accept(accept_wait, conn_timeout) {
+            Ok(ctrl) => ctrl,
+            Err(NetError::Timeout) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        match ctrl.recv()? {
+            Msg::Hello { listen_port, .. } => Ok(Some(Admission::Worker(WorkerConn {
+                ctrl,
+                data_port: listen_port,
+            }))),
+            Msg::JobSubmit {
+                tenant,
+                steps,
+                seed,
+            } => Ok(Some(Admission::Job {
+                conn: ctrl,
+                tenant,
+                steps,
+                seed,
+            })),
+            _ => Err(NetError::Malformed(
+                "expected Hello or JobSubmit on control channel",
+            )),
+        }
+    }
+
     /// Polls for at most one pending dial: waits up to `accept_wait` for a
     /// connection, returning `Ok(None)` when nobody is dialing. Used by the
     /// driver's re-admission path, where an absent worker is the common
@@ -133,6 +171,27 @@ impl<T: Transport> Rendezvous<T> {
             _ => Err(NetError::Malformed("expected Hello on control channel")),
         }
     }
+}
+
+/// What arrived on the coordinator's long-lived rendezvous listener: a
+/// worker joining the training world, or tenant-tagged job traffic for
+/// the serve layer.
+#[derive(Debug)]
+pub enum Admission<C: Conn> {
+    /// A worker `Hello`: the dialer wants to join the world.
+    Worker(WorkerConn<C>),
+    /// A tenant `JobSubmit`: the first job on a connection that stays
+    /// open for further submissions and `JobDone` replies.
+    Job {
+        /// The open control connection the job arrived on.
+        conn: C,
+        /// Tenant whose personal adapter the first job trains.
+        tenant: u64,
+        /// Requested cached-training steps for the first job.
+        steps: u32,
+        /// Seed for the tenant's private workload rows.
+        seed: u64,
+    },
 }
 
 /// Most stray heartbeat acks tolerated per rank before a probe gives up:
@@ -350,6 +409,73 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn admission_classifies_workers_and_tenant_jobs() {
+        let rdv = Rendezvous::bind_on(&Tcp::LOOPBACK).unwrap();
+        let port = rdv.port();
+        let client = std::thread::spawn(move || {
+            // A tenant job client and a worker dial the same listener.
+            let mut job = Tcp::LOOPBACK.connect(port, Duration::from_secs(5)).unwrap();
+            job.send(&Msg::JobSubmit {
+                tenant: 42,
+                steps: 3,
+                seed: 7,
+            })
+            .unwrap();
+            let mut worker = Tcp::LOOPBACK.connect(port, Duration::from_secs(5)).unwrap();
+            worker
+                .send(&Msg::Hello {
+                    slot: 0,
+                    listen_port: 3000,
+                })
+                .unwrap();
+            // The job connection stays open for the reply.
+            match job.recv().unwrap() {
+                Msg::JobDone {
+                    tenant, version, ..
+                } => {
+                    assert_eq!(tenant, 42);
+                    assert_eq!(version, 1);
+                }
+                other => panic!("expected JobDone, got {other:?}"),
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+
+        let mut saw_job = false;
+        let mut saw_worker = false;
+        for _ in 0..2 {
+            match rdv
+                .try_accept_admission(Duration::from_secs(5), Duration::from_secs(5))
+                .unwrap()
+                .expect("an admission is pending")
+            {
+                Admission::Job {
+                    mut conn,
+                    tenant,
+                    steps,
+                    seed,
+                } => {
+                    assert_eq!((tenant, steps, seed), (42, 3, 7));
+                    conn.send(&Msg::JobDone {
+                        tenant,
+                        version: 1,
+                        faulted: false,
+                        final_loss: 0.25,
+                    })
+                    .unwrap();
+                    saw_job = true;
+                }
+                Admission::Worker(w) => {
+                    assert_eq!(w.data_port, 3000);
+                    saw_worker = true;
+                }
+            }
+        }
+        assert!(saw_job && saw_worker);
+        client.join().unwrap();
     }
 
     #[test]

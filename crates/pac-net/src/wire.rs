@@ -360,6 +360,31 @@ pub enum Msg {
     },
     /// Coordinator → worker: stop cleanly (reply with `Stats`, then exit).
     Shutdown,
+    /// Client → serve gate: one tenant fine-tuning job submitted through
+    /// the long-lived rendezvous listener. Job traffic is tenant-tagged at
+    /// admission so the scheduler can enforce per-tenant fairness and
+    /// attribute faults before any compute starts.
+    JobSubmit {
+        /// Tenant whose personal adapter this job trains.
+        tenant: u64,
+        /// Cached-training steps requested for this job.
+        steps: u32,
+        /// Seed for the tenant's private workload rows.
+        seed: u64,
+    },
+    /// Serve gate → client: outcome of one tenant job.
+    JobDone {
+        /// Tenant the result belongs to.
+        tenant: u64,
+        /// Adapter version this job published in the registry (the
+        /// tenant's last published version when the job faulted).
+        version: u32,
+        /// True when the job faulted: the fault was attributed to this
+        /// tenant and its adapter rolled back to `version`.
+        faulted: bool,
+        /// Final training loss (NaN when the job faulted).
+        final_loss: f32,
+    },
 }
 
 impl PartialEq for Msg {
@@ -392,6 +417,8 @@ impl Msg {
             Msg::Stats { .. } => 17,
             Msg::Shutdown => 18,
             Msg::ActQ8 { .. } => 19,
+            Msg::JobSubmit { .. } => 20,
+            Msg::JobDone { .. } => 21,
         }
     }
 
@@ -401,7 +428,7 @@ impl Msg {
     /// until an actual v2 frame reaches it.
     pub fn wire_version(&self) -> u8 {
         match self {
-            Msg::ActQ8 { .. } => 2,
+            Msg::ActQ8 { .. } | Msg::JobSubmit { .. } | Msg::JobDone { .. } => 2,
             _ => 1,
         }
     }
@@ -751,6 +778,26 @@ fn encode_payload(msg: &Msg) -> Vec<u8> {
             e.u8(*logits as u8);
             e.qtensor(q);
         }
+        Msg::JobSubmit {
+            tenant,
+            steps,
+            seed,
+        } => {
+            e.u64(*tenant);
+            e.u32(*steps);
+            e.u64(*seed);
+        }
+        Msg::JobDone {
+            tenant,
+            version,
+            faulted,
+            final_loss,
+        } => {
+            e.u64(*tenant);
+            e.u32(*version);
+            e.u8(*faulted as u8);
+            e.f32(*final_loss);
+        }
         Msg::Grad { micro, grad } => {
             e.u32(*micro);
             e.tensor(grad);
@@ -966,6 +1013,17 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Msg, NetError> {
             micro: d.u32()?,
             logits: d.bool()?,
             q: d.qtensor()?,
+        },
+        20 => Msg::JobSubmit {
+            tenant: d.u64()?,
+            steps: d.u32()?,
+            seed: d.u64()?,
+        },
+        21 => Msg::JobDone {
+            tenant: d.u64()?,
+            version: d.u32()?,
+            faulted: d.bool()?,
+            final_loss: d.f32()?,
         },
         other => return Err(NetError::BadType(other)),
     };
@@ -1190,6 +1248,26 @@ mod tests {
         for m in &msgs {
             assert_eq!(&roundtrip(m), m);
         }
+    }
+
+    #[test]
+    fn job_messages_roundtrip_as_v2_frames() {
+        let submit = Msg::JobSubmit {
+            tenant: 0xdead_beef,
+            steps: 3,
+            seed: 42,
+        };
+        let frame = encode_frame(&submit);
+        assert_eq!(frame[4], 2, "job admission must travel as a v2 frame");
+        assert_eq!(&roundtrip(&submit), &submit);
+        let done = Msg::JobDone {
+            tenant: u64::MAX,
+            version: 7,
+            faulted: true,
+            final_loss: f32::NAN,
+        };
+        // Frame equality is bitwise, so even a NaN loss round-trips.
+        assert_eq!(&roundtrip(&done), &done);
     }
 
     #[test]

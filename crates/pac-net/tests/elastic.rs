@@ -121,6 +121,62 @@ fn join_mid_run_is_admitted_and_catches_up() {
     );
 }
 
+/// Two devices offering to join at the same step form one membership
+/// *wave*: a single `replan_with`, a single catch-up snapshot, and both
+/// joiners admitted together in one round restart — not one membership
+/// event (and one snapshot) per joiner.
+#[test]
+fn two_joiner_wave_costs_exactly_one_replan() {
+    let cfg = DistConfig::loopback(2, 1);
+    let batches = make_batches();
+    let reference = inprocess_final_loss(&cfg, &batches);
+
+    let plan = FaultPlan {
+        faults: vec![Fault::Join { step: 2 }, Fault::Join { step: 2 }],
+    };
+    let (report, net) = sim_run(41, cfg, &batches, &plan, Buggify::default());
+    let report = report.expect("wave run");
+    assert!(net.panics().is_empty(), "worker panics: {:?}", net.panics());
+
+    assert_eq!(report.losses.len(), batches.len(), "full loss history");
+    assert_eq!(
+        report.recovery.replans, 1,
+        "exactly one replan for the whole two-joiner wave"
+    );
+    assert_eq!(report.final_lanes, 3, "both joiners grew the world");
+    let catch_ups = report
+        .recovery
+        .timeline
+        .iter()
+        .filter(|e| e.kind == TimelineKind::Checkpoint && e.detail.contains("catch-up snapshot"))
+        .count();
+    assert_eq!(catch_ups, 1, "one catch-up snapshot for the whole wave");
+    let has = |kind: TimelineKind, needle: &str| {
+        report
+            .recovery
+            .timeline
+            .iter()
+            .any(|e| e.kind == kind && e.detail.contains(needle))
+    };
+    assert!(
+        has(TimelineKind::Join, "as 2 lane(s) in one wave"),
+        "wave admission noted as one membership event"
+    );
+    assert!(
+        has(
+            TimelineKind::Resume,
+            "2 joiners caught up from one snapshot"
+        ),
+        "both joiners resumed from the single catch-up snapshot"
+    );
+    let last = *report.losses.last().unwrap();
+    assert!(last.is_finite());
+    assert!(
+        (last - reference).abs() < 0.5,
+        "wave-grown world drifted: {last} vs reference {reference}"
+    );
+}
+
 /// Leave → join → leave churn: each membership change costs exactly one
 /// replan, the revived lane id is reused, and training still converges to
 /// the reference within tolerance with a full-length loss history.

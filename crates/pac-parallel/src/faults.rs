@@ -415,14 +415,23 @@ impl FaultClock {
         })
     }
 
-    /// True when a device offers to join the pool before `step`. Fires
-    /// once per step regardless of how many join faults name it; the
-    /// caller admits at most one device per membership event.
+    /// True when at least one device offers to join the pool before
+    /// `step`. Convenience over [`FaultClock::joins`] for callers that
+    /// only care whether a membership event is due.
     pub fn join(&self, step: u64) -> bool {
+        self.joins(step) > 0
+    }
+
+    /// How many devices offer to join the pool before `step`. Repeated
+    /// `join@step=N` faults form a *wave*: the driver admits the whole
+    /// wave with one replan and one catch-up snapshot rather than one
+    /// membership event per joiner.
+    pub fn joins(&self, step: u64) -> usize {
         self.plan
             .faults
             .iter()
-            .any(|f| matches!(f, Fault::Join { step: s } if *s == step))
+            .filter(|f| matches!(f, Fault::Join { step: s } if *s == step))
+            .count()
     }
 
     /// Byte offset at which the durable checkpoint writer is killed during

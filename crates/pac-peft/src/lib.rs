@@ -42,7 +42,7 @@ pub use checkpoint::{
 pub use full::FullTuner;
 pub use lora::LoraTuner;
 pub use memory::{MemoryBreakdown, MemoryModel};
-pub use parallel::{ParallelAdapters, SideCtx};
+pub use parallel::{AdapterBaseline, ParallelAdapters, ParallelCtx, ParallelTuner, SideCtx};
 pub use prompt::{PromptCtx, PromptTuner};
 pub use technique::Technique;
 pub use tuner::{Tuner, TunerCtx};

@@ -20,6 +20,7 @@
 //! 3. **Structural-pruning init** — side weights are initialized from the
 //!    backbone's weights (§6.1), implemented in `pac_tensor::init`.
 
+use crate::checkpoint::{CheckpointError, TrainCheckpoint};
 use pac_model::{EncDecModel, ModelConfig};
 use pac_nn::{Activation, LayerNorm, LayerNormCtx, Linear, LinearCtx, Module, Param};
 use pac_tensor::{init, Result, Tensor, TensorError};
@@ -364,6 +365,65 @@ impl ParallelTuner {
     pub fn backward(&mut self, ctx: &SideCtx, dlogits: &Tensor) -> Result<()> {
         self.side.backward(ctx, dlogits)
     }
+
+    /// Captures the current side-network state as a swap baseline. A
+    /// multi-tenant host calls this once right after construction, while
+    /// the side network is still pristine, so [`ParallelTuner::reset_to`]
+    /// can scrub one tenant's weights before the next tenant attaches.
+    pub fn baseline(&self) -> AdapterBaseline {
+        AdapterBaseline {
+            snap: TrainCheckpoint::capture(self, 0, 0, 0),
+        }
+    }
+
+    /// Attaches a tenant's personal adapter: restores side-network weights
+    /// and Adam moments from `adapter` and clears gradients. The frozen
+    /// backbone is untouched — `ParallelTuner`'s [`Module`] impl visits the
+    /// side network only, so a swap can never leak into shared state.
+    ///
+    /// # Errors
+    /// Propagates name/shape mismatches from checkpoint restore.
+    pub fn swap_in(
+        &mut self,
+        adapter: &TrainCheckpoint,
+    ) -> std::result::Result<(), CheckpointError> {
+        adapter.restore(self)?;
+        self.zero_grads();
+        Ok(())
+    }
+
+    /// Detaches the current tenant: resets the side network (weights,
+    /// moments, gradients) to the captured `baseline`. Every tenant job
+    /// must start from this state — skipping it leaks the previous
+    /// tenant's weights into the next tenant's trajectory, which the
+    /// serve-layer isolation suite detects bitwise.
+    ///
+    /// # Errors
+    /// Propagates name/shape mismatches from checkpoint restore.
+    pub fn reset_to(
+        &mut self,
+        baseline: &AdapterBaseline,
+    ) -> std::result::Result<(), CheckpointError> {
+        baseline.snap.restore(self)?;
+        self.zero_grads();
+        Ok(())
+    }
+}
+
+/// Pristine side-network state captured by [`ParallelTuner::baseline`],
+/// used to scrub tenant state between adapter swaps.
+#[derive(Debug, Clone)]
+pub struct AdapterBaseline {
+    snap: TrainCheckpoint,
+}
+
+impl AdapterBaseline {
+    /// Serialized size of the baseline snapshot in bytes — also the
+    /// resident size of one blank adapter, which the serve-layer cache
+    /// uses to size its eviction budget.
+    pub fn size_bytes(&self) -> usize {
+        self.snap.size_bytes()
+    }
 }
 
 impl Module for ParallelTuner {
@@ -462,6 +522,44 @@ mod tests {
                 grad.data()[i]
             );
         }
+    }
+
+    #[test]
+    fn adapter_swap_round_trips_tenant_state_bitwise() {
+        let mut t = tuner(170);
+        let base = t.baseline();
+        let batch = toks(171, 2);
+        let (pristine_logits, ctx) = t.forward_full(&batch).unwrap();
+        let acts = ctx.layer_outputs;
+
+        // Tenant A trains a few cached steps; capture its adapter.
+        let mut opt = Adam::new(5e-2);
+        for _ in 0..3 {
+            let (logits, sctx) = t.forward_cached(&acts).unwrap();
+            let (_, dl) = cross_entropy(&logits, &[0, 1]).unwrap();
+            t.zero_grads();
+            t.backward(&sctx, &dl).unwrap();
+            opt.step(&mut t);
+        }
+        let adapter_a = TrainCheckpoint::capture(&t, 0, 3, opt.t);
+        let (logits_a, _) = t.forward_cached(&acts).unwrap();
+        assert!(!logits_a.approx_eq(&pristine_logits, 0.0));
+
+        // Detach: the tuner is bitwise back at the pristine baseline.
+        t.reset_to(&base).unwrap();
+        let (logits_reset, _) = t.forward_cached(&acts).unwrap();
+        assert!(logits_reset.approx_eq(&pristine_logits, 0.0));
+        let mut moments = 0usize;
+        t.visit_params_ref(&mut |p| moments += usize::from(p.opt_m.is_some()));
+        assert_eq!(moments, 0, "reset_to must scrub Adam moments");
+
+        // Re-attach tenant A: identical logits, moments back in place.
+        t.swap_in(&adapter_a).unwrap();
+        let (logits_back, _) = t.forward_cached(&acts).unwrap();
+        assert!(logits_back.approx_eq(&logits_a, 0.0));
+        let mut moments = 0usize;
+        t.visit_params_ref(&mut |p| moments += usize::from(p.opt_m.is_some()));
+        assert!(moments > 0, "swap_in must restore Adam moments");
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! Per-rank resident-adapter cache: byte budget from the planner's
+//! device-memory ceiling, LRU-with-pin eviction.
+//!
+//! The budget question is the planner's Eq. 4–6 question re-asked at
+//! serve time: after the frozen backbone, the trainable side net (with
+//! Adam moments and gradients), and the retained activations of one
+//! burst, how many bytes of *other tenants'* adapters may stay resident?
+//! [`CacheBudget::plan`] computes that ceiling from the same
+//! [`CostModel`] the planner uses; the demo additionally clamps it to a
+//! small multiple of the adapter size so eviction is actually exercised
+//! at micro scale (a Jetson-class ceiling would hold every adapter).
+
+use std::collections::HashMap;
+
+use pac_cluster::{CostModel, DeviceSpec};
+use pac_peft::TrainCheckpoint;
+use pac_telemetry::{counter_inc, gauge_max};
+
+/// The resident-adapter byte budget and the ceiling it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheBudget {
+    /// Eq. 4–6 headroom: device memory minus backbone weights, trainable
+    /// state (params + grads + Adam m/v), and one burst's retained
+    /// activations.
+    pub device_ceiling_bytes: u64,
+    /// The budget actually enforced: the ceiling, optionally clamped.
+    pub budget_bytes: u64,
+}
+
+impl CacheBudget {
+    /// Plans the adapter budget for `device` running `cost`'s workload
+    /// with `rows` resident activation rows. `clamp_bytes` caps the
+    /// enforced budget below the ceiling (micro-scale demos).
+    pub fn plan(
+        device: &DeviceSpec,
+        cost: &CostModel,
+        rows: usize,
+        clamp_bytes: Option<u64>,
+    ) -> Self {
+        let layers = cost.layer_costs();
+        let backbone: usize = layers.iter().map(|l| l.weight_bytes).sum();
+        let acts: usize = layers.iter().map(|l| l.retained_act_bytes).sum::<usize>() * rows;
+        // Trainable params carry grad + Adam m + Adam v alongside the
+        // value: 4x the parameter bytes stay resident while training.
+        let trainable = cost.trainable_bytes_total() * 4;
+        let resident = backbone + trainable + acts;
+        let ceiling = device.usable_memory.saturating_sub(resident) as u64;
+        CacheBudget {
+            device_ceiling_bytes: ceiling,
+            budget_bytes: clamp_bytes.map_or(ceiling, |c| c.min(ceiling)),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    version: u32,
+    adapter: TrainCheckpoint,
+    bytes: u64,
+    last_used: u64,
+    pinned: bool,
+}
+
+/// LRU-with-pin adapter cache for one rank executor.
+#[derive(Debug)]
+pub struct AdapterCache {
+    budget_bytes: u64,
+    resident: u64,
+    clock: u64,
+    slots: HashMap<u64, Slot>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl AdapterCache {
+    /// An empty cache enforcing `budget_bytes`.
+    pub fn new(budget_bytes: u64) -> Self {
+        AdapterCache {
+            budget_bytes,
+            resident: 0,
+            clock: 0,
+            slots: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The enforced byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident
+    }
+
+    /// Resident adapter count.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// (hits, misses, evictions) booked through this cache.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Whether the tenant's adapter is resident (any version).
+    pub fn contains(&self, tenant: u64) -> bool {
+        self.slots.contains_key(&tenant)
+    }
+
+    /// The resident version for `tenant`, without touching recency or
+    /// hit/miss accounting — the router's eligibility probe.
+    pub fn peek_version(&self, tenant: u64) -> Option<u32> {
+        self.slots.get(&tenant).map(|s| s.version)
+    }
+
+    /// Books a miss decided elsewhere (e.g. a resident-but-stale version
+    /// the scheduler chose to refetch).
+    pub fn note_miss(&mut self) {
+        self.misses += 1;
+        counter_inc("serve.cache.misses");
+    }
+
+    /// Looks the tenant's adapter up, bumping recency. A hit returns the
+    /// resident `(version, adapter)`; the caller decides whether the
+    /// version is current. A miss is booked for the hit-rate ledger.
+    pub fn get(&mut self, tenant: u64) -> Option<(u32, TrainCheckpoint)> {
+        self.clock += 1;
+        match self.slots.get_mut(&tenant) {
+            Some(slot) => {
+                slot.last_used = self.clock;
+                self.hits += 1;
+                counter_inc("serve.cache.hits");
+                Some((slot.version, slot.adapter.clone()))
+            }
+            None => {
+                self.misses += 1;
+                counter_inc("serve.cache.misses");
+                None
+            }
+        }
+    }
+
+    /// Pins the tenant's slot for an in-flight burst: pinned slots are
+    /// never evicted.
+    pub fn pin(&mut self, tenant: u64) {
+        if let Some(slot) = self.slots.get_mut(&tenant) {
+            slot.pinned = true;
+        }
+    }
+
+    /// Releases a pin.
+    pub fn unpin(&mut self, tenant: u64) {
+        if let Some(slot) = self.slots.get_mut(&tenant) {
+            slot.pinned = false;
+        }
+    }
+
+    /// Drops the tenant's slot outright (a stale copy superseded by a
+    /// publish elsewhere). Not an eviction: nothing was displaced.
+    pub fn drop_slot(&mut self, tenant: u64) {
+        if let Some(slot) = self.slots.remove(&tenant) {
+            self.resident -= slot.bytes;
+        }
+    }
+
+    /// Inserts (or replaces) the tenant's adapter, evicting unpinned LRU
+    /// slots until the budget holds. Returns the evicted tenants. A
+    /// working set of pinned slots may transiently exceed the budget —
+    /// pins win over the budget, and the peak gauge records the overshoot.
+    pub fn insert(&mut self, tenant: u64, version: u32, adapter: TrainCheckpoint) -> Vec<u64> {
+        self.clock += 1;
+        let bytes = adapter.size_bytes() as u64;
+        if let Some(old) = self.slots.remove(&tenant) {
+            self.resident -= old.bytes;
+        }
+        let mut evicted = Vec::new();
+        while self.resident + bytes > self.budget_bytes {
+            let victim = self
+                .slots
+                .iter()
+                .filter(|(_, s)| !s.pinned)
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(&t, _)| t);
+            match victim {
+                Some(t) => {
+                    let slot = self.slots.remove(&t).expect("victim is resident");
+                    self.resident -= slot.bytes;
+                    self.evictions += 1;
+                    counter_inc("serve.cache.evictions");
+                    evicted.push(t);
+                }
+                None => break, // everything left is pinned
+            }
+        }
+        self.resident += bytes;
+        self.slots.insert(
+            tenant,
+            Slot {
+                version,
+                adapter,
+                bytes,
+                last_used: self.clock,
+                pinned: false,
+            },
+        );
+        gauge_max("serve.cache.resident_peak_bytes", self.resident);
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pac_model::{EncDecModel, ModelConfig};
+    use pac_peft::{ParallelTuner, Technique};
+    use pac_tensor::rng::seeded;
+
+    fn adapter(seed: u64) -> TrainCheckpoint {
+        let cfg = ModelConfig::micro(2, 1, 16, 2);
+        let model = EncDecModel::new(&cfg, 2, &mut seeded(seed));
+        let t = ParallelTuner::new(model, 4, 2, &mut seeded(seed + 1));
+        TrainCheckpoint::capture(&t, 0, 0, 0)
+    }
+
+    #[test]
+    fn budget_comes_from_the_planner_ceiling() {
+        let cfg = ModelConfig::micro(2, 1, 16, 2);
+        let cost = CostModel::new(cfg, Technique::ParallelAdapters { reduction: 4 }, 8);
+        let dev = DeviceSpec::jetson_nano();
+        let open = CacheBudget::plan(&dev, &cost, 4, None);
+        assert!(open.device_ceiling_bytes > 0);
+        assert!(open.device_ceiling_bytes < dev.usable_memory as u64);
+        assert_eq!(open.budget_bytes, open.device_ceiling_bytes);
+        let clamped = CacheBudget::plan(&dev, &cost, 4, Some(1234));
+        assert_eq!(clamped.budget_bytes, 1234);
+        assert_eq!(clamped.device_ceiling_bytes, open.device_ceiling_bytes);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_unpinned_first_and_respects_pins() {
+        let a = adapter(1);
+        let bytes = a.size_bytes() as u64;
+        // Room for exactly two adapters.
+        let mut cache = AdapterCache::new(2 * bytes + 1);
+        assert!(cache.insert(1, 1, a.clone()).is_empty());
+        assert!(cache.insert(2, 1, a.clone()).is_empty());
+        // Touch tenant 1 so tenant 2 is LRU.
+        assert!(cache.get(1).is_some());
+        assert_eq!(cache.insert(3, 1, a.clone()), vec![2]);
+        assert!(cache.contains(1) && cache.contains(3) && !cache.contains(2));
+
+        // Pin both residents: the next insert evicts nothing and the
+        // working set overshoots the budget rather than breaking a pin.
+        cache.pin(1);
+        cache.pin(3);
+        assert!(cache.insert(4, 1, a.clone()).is_empty());
+        assert!(cache.resident_bytes() > cache.budget_bytes());
+        cache.unpin(1);
+        cache.unpin(3);
+        // Once the pins release, re-inserting evicts back under budget;
+        // the replaced slot is not double-counted.
+        cache.insert(4, 2, a.clone());
+        assert!(cache.resident_bytes() <= cache.budget_bytes());
+        assert_eq!(cache.peek_version(4), Some(2));
+        let (hits, misses, _) = cache.stats();
+        assert_eq!((hits, misses), (1, 0));
+        assert!(cache.get(99).is_none());
+        assert_eq!(cache.stats().1, 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Loopback serve demo: tenant clients stream `JobSubmit` frames over
+//! real TCP to the same rendezvous listener the training world uses, the
+//! platform runs every job, and `JobDone` replies carry each job's
+//! published adapter version and final loss back.
+//!
+//! One connection, many jobs: the first `JobSubmit` classifies the
+//! connection via [`Rendezvous::try_accept_admission`]
+//! ([`Admission::Job`]), further submissions stream on the same
+//! connection, and a `Shutdown` frame marks the end of the batch. Replies
+//! come back in submission order after the run, so the client can match
+//! them positionally.
+
+use std::fmt;
+use std::time::Duration;
+
+use pac_net::{Admission, Msg, NetError, Rendezvous, Tcp, Transport};
+use pac_store::MemStore;
+
+use crate::scheduler::{JobSpec, ServeConfig, ServeError, ServePlatform, ServeReport};
+
+/// Demo shape: how many tenants, how many jobs each, how many ranks.
+#[derive(Debug, Clone)]
+pub struct DemoConfig {
+    /// Tenant population; tenant ids are `0..tenants`.
+    pub tenants: u64,
+    /// Jobs per tenant (each a burst against the tenant's adapter).
+    pub jobs_per_tenant: usize,
+    /// Rank executors in the world.
+    pub ranks: usize,
+    /// Cached training steps per job.
+    pub steps: usize,
+    /// Tenants whose *second* job faults mid-burst (isolation showcase).
+    pub fault_tenants: Vec<u64>,
+    /// Plants the reset-skip bug in the platform (self-test target).
+    pub buggify_skip_reset: bool,
+    /// Completed jobs per hit-rate trajectory sample.
+    pub trajectory_window: usize,
+    /// Cache slots per rank (budget = slots × trained-adapter bytes).
+    pub cache_slots_per_rank: usize,
+    /// Every `k`-th tenant is a *returning* tenant: it parks between its
+    /// jobs and re-enters through the admission backlog, so its adapter
+    /// is usually evicted by the time it comes back (the realistic source
+    /// of cold misses). `0` makes every tenant an interactive session
+    /// that stays in the window (all-warm revisits).
+    pub returning_every: u64,
+}
+
+impl DemoConfig {
+    /// `tenants` tenants × 2 jobs over `ranks` ranks, no faults.
+    pub fn new(tenants: u64, ranks: usize) -> Self {
+        DemoConfig {
+            tenants,
+            jobs_per_tenant: 2,
+            ranks,
+            steps: 2,
+            fault_tenants: Vec::new(),
+            buggify_skip_reset: false,
+            trajectory_window: 100,
+            cache_slots_per_rank: 6,
+            returning_every: 4,
+        }
+    }
+
+    /// The job batch a client submits: per-tenant sessions in tenant
+    /// order, each tenant's jobs back to back in the stream (the
+    /// platform's admission window restores concurrency).
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        let mut out = Vec::with_capacity(self.tenants as usize * self.jobs_per_tenant);
+        for tenant in 0..self.tenants {
+            for round in 0..self.jobs_per_tenant {
+                let faulted = round == 1 && self.fault_tenants.contains(&tenant);
+                let returning = self.returning_every > 0 && tenant % self.returning_every == 0;
+                out.push(JobSpec {
+                    tenant,
+                    steps: self.steps,
+                    seed: 4000 + round as u64,
+                    fault_at: if faulted { Some(1) } else { None },
+                    park: returning && round + 1 < self.jobs_per_tenant,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Demo failure: network or platform.
+#[derive(Debug)]
+pub enum DemoError {
+    /// A wire/transport failure on either side.
+    Net(NetError),
+    /// The platform failed fatally (registry/store).
+    Serve(ServeError),
+    /// The client saw a reply stream that didn't match its submissions.
+    Protocol(String),
+}
+
+impl fmt::Display for DemoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DemoError::Net(e) => write!(f, "demo net: {e}"),
+            DemoError::Serve(e) => write!(f, "demo serve: {e}"),
+            DemoError::Protocol(s) => write!(f, "demo protocol: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DemoError {}
+
+impl From<NetError> for DemoError {
+    fn from(e: NetError) -> Self {
+        DemoError::Net(e)
+    }
+}
+
+impl From<ServeError> for DemoError {
+    fn from(e: ServeError) -> Self {
+        DemoError::Serve(e)
+    }
+}
+
+/// What the demo proved end to end.
+#[derive(Debug)]
+pub struct DemoReport {
+    /// The platform's own report.
+    pub serve: ServeReport,
+    /// `JobDone` replies the client received, in submission order:
+    /// `(tenant, version, faulted, final_loss)`.
+    pub acks: Vec<(u64, u32, bool, f32)>,
+}
+
+/// Runs the loopback demo: binds a rendezvous listener, streams every
+/// job from a client thread, services the batch through a
+/// [`ServePlatform`] over an in-memory registry store, and returns both
+/// sides' views.
+pub fn run_loopback_demo(cfg: &DemoConfig) -> Result<DemoReport, DemoError> {
+    let rdv = Rendezvous::bind_on(&Tcp::LOOPBACK)?;
+    let port = rdv.port();
+    let jobs = cfg.jobs();
+    let n_jobs = jobs.len();
+
+    let client_jobs: Vec<(u64, u32, u64)> = jobs
+        .iter()
+        .map(|j| (j.tenant, j.steps as u32, j.seed))
+        .collect();
+    let client = std::thread::spawn(move || -> Result<Vec<(u64, u32, bool, f32)>, NetError> {
+        let mut conn = Tcp::LOOPBACK.connect(port, Duration::from_secs(30))?;
+        for (tenant, steps, seed) in client_jobs {
+            conn.send(&Msg::JobSubmit {
+                tenant,
+                steps,
+                seed,
+            })?;
+        }
+        conn.send(&Msg::Shutdown)?;
+        // The whole batch computes before the first reply: wait long.
+        conn.set_timeout(Some(Duration::from_secs(600)))?;
+        let mut acks = Vec::with_capacity(n_jobs);
+        while acks.len() < n_jobs {
+            match conn.recv()? {
+                Msg::JobDone {
+                    tenant,
+                    version,
+                    faulted,
+                    final_loss,
+                } => acks.push((tenant, version, faulted, final_loss)),
+                _ => return Err(NetError::Malformed("expected JobDone replies")),
+            }
+        }
+        Ok(acks)
+    });
+
+    // Server side: classify the dial, then drain the submission stream.
+    let admission = rdv
+        .try_accept_admission(Duration::from_secs(30), Duration::from_secs(30))?
+        .ok_or(DemoError::Protocol("no client dialed".to_string()))?;
+    let (mut conn, first) = match admission {
+        Admission::Job {
+            conn,
+            tenant,
+            steps,
+            seed,
+        } => (conn, (tenant, steps, seed)),
+        Admission::Worker(_) => {
+            return Err(DemoError::Protocol(
+                "expected a tenant job, got a worker Hello".to_string(),
+            ))
+        }
+    };
+    let mut submitted = vec![first];
+    loop {
+        match conn.recv()? {
+            Msg::JobSubmit {
+                tenant,
+                steps,
+                seed,
+            } => submitted.push((tenant, steps, seed)),
+            Msg::Shutdown => break,
+            _ => {
+                return Err(DemoError::Protocol(
+                    "expected JobSubmit or Shutdown".to_string(),
+                ))
+            }
+        }
+    }
+    // Re-attach the server-side-only fault plan (fault injection never
+    // rides the wire) by matching submissions against the config's batch.
+    if submitted.len() != jobs.len() {
+        return Err(DemoError::Protocol(format!(
+            "client submitted {} jobs, expected {}",
+            submitted.len(),
+            jobs.len()
+        )));
+    }
+
+    let mut serve_cfg = ServeConfig::micro(cfg.ranks);
+    serve_cfg.cached_adapters_per_rank = cfg.cache_slots_per_rank;
+    serve_cfg.trajectory_window = cfg.trajectory_window;
+    serve_cfg.buggify_skip_reset = cfg.buggify_skip_reset;
+    let mut platform = ServePlatform::new(serve_cfg, MemStore::new())?;
+    let report = platform.run(&jobs)?;
+
+    for outcome in &report.job_outcomes {
+        conn.send(&Msg::JobDone {
+            tenant: outcome.tenant,
+            version: outcome.version,
+            faulted: outcome.faulted,
+            final_loss: outcome.final_loss,
+        })?;
+    }
+    let acks = client
+        .join()
+        .map_err(|_| DemoError::Protocol("client thread panicked".to_string()))??;
+    Ok(DemoReport {
+        serve: report,
+        acks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_demo_round_trips_jobs_and_replies() {
+        let mut cfg = DemoConfig::new(10, 2);
+        cfg.fault_tenants = vec![3];
+        cfg.trajectory_window = 5;
+        let report = run_loopback_demo(&cfg).unwrap();
+        assert_eq!(report.acks.len(), 20);
+        assert_eq!(report.serve.jobs_completed, 19);
+        assert_eq!(report.serve.jobs_faulted, 1);
+        // The client's acks agree with the platform's outcomes.
+        for (ack, outcome) in report.acks.iter().zip(&report.serve.job_outcomes) {
+            assert_eq!(ack.0, outcome.tenant);
+            assert_eq!(ack.1, outcome.version);
+            assert_eq!(ack.2, outcome.faulted);
+        }
+        // Tenant 3's second job faulted: it stays at version 1, the fault
+        // is attributed to it, and nobody else faulted.
+        let faulted: Vec<_> = report.acks.iter().filter(|a| a.2).collect();
+        assert_eq!(faulted.len(), 1);
+        assert_eq!(faulted[0].0, 3);
+    }
+}

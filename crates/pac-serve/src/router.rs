@@ -1,0 +1,103 @@
+//! Warm-affinity routing: send a tenant's job to the rank whose cache
+//! already holds the adapter; otherwise to the cheapest (least-loaded)
+//! rank, rotating ties so cold tenants spread evenly.
+
+use pac_telemetry::counter_inc;
+
+/// How a job reached its rank, which is also what its adapter load will
+/// cost: a warm hit is a cache clone, a cold miss is a registry fetch +
+/// decode, a fresh tenant has nothing to load at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// The chosen rank's cache holds the tenant's adapter.
+    Warm,
+    /// The adapter exists but is resident nowhere cheap — registry fetch.
+    Cold,
+    /// First burst of a brand-new tenant: baseline only.
+    Fresh,
+}
+
+/// Stateful router: a rotation cursor spreads tie-breaks.
+#[derive(Debug, Default)]
+pub struct Router {
+    rr: usize,
+}
+
+impl Router {
+    /// A router with the rotation cursor at rank 0.
+    pub fn new() -> Self {
+        Router::default()
+    }
+
+    /// Picks a rank for one job. `has_adapter` is whether the tenant has
+    /// a published adapter; `warm[r]` whether rank `r`'s cache holds it;
+    /// `load[r]` the jobs already assigned to rank `r` this tick.
+    pub fn route(&mut self, has_adapter: bool, warm: &[bool], load: &[usize]) -> (usize, Route) {
+        debug_assert_eq!(warm.len(), load.len());
+        let n = load.len();
+        if has_adapter {
+            // Warm affinity first: among warm ranks, least loaded.
+            if let Some(rank) = Self::argmin(load, |r| warm[r], self.rr, n) {
+                counter_inc("serve.route.warm");
+                return (rank, Route::Warm);
+            }
+        }
+        let rank = Self::argmin(load, |_| true, self.rr, n).expect("at least one rank");
+        self.rr = (rank + 1) % n;
+        let route = if has_adapter {
+            counter_inc("serve.route.cold");
+            Route::Cold
+        } else {
+            counter_inc("serve.route.fresh");
+            Route::Fresh
+        };
+        (rank, route)
+    }
+
+    /// Least-loaded eligible rank, scanning from `start` so equal loads
+    /// rotate instead of piling onto rank 0.
+    fn argmin(
+        load: &[usize],
+        eligible: impl Fn(usize) -> bool,
+        start: usize,
+        n: usize,
+    ) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for i in 0..n {
+            let r = (start + i) % n;
+            if !eligible(r) {
+                continue;
+            }
+            if best.is_none_or(|b| load[r] < load[b]) {
+                best = Some(r);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_rank_wins_even_when_busier() {
+        let mut router = Router::new();
+        let (rank, route) = router.route(true, &[false, true, false], &[0, 1, 0]);
+        assert_eq!((rank, route), (1, Route::Warm));
+    }
+
+    #[test]
+    fn cold_and_fresh_spread_round_robin_over_equal_loads() {
+        let mut router = Router::new();
+        let mut picks = Vec::new();
+        for _ in 0..4 {
+            let (rank, route) = router.route(false, &[false; 2], &[0; 2]);
+            assert_eq!(route, Route::Fresh);
+            picks.push(rank);
+        }
+        assert_eq!(picks, vec![0, 1, 0, 1]);
+        let (rank, route) = router.route(true, &[false, false], &[3, 1]);
+        assert_eq!((rank, route), (1, Route::Cold));
+    }
+}

@@ -188,6 +188,48 @@ pub struct Committed {
     pub meta: Vec<u8>,
 }
 
+/// Cross-tenant dedup accounting: how much payload a store *didn't* have
+/// to hold because a commit referenced chunks an earlier commit already
+/// stored. Near-identical personal adapters (same backbone, same shapes,
+/// slightly different weights) share most of their 4 KiB chunks, so these
+/// numbers are the registry's "bytes saved by multi-tenancy" ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DedupStats {
+    /// Chunk references resolved against an already-resident chunk.
+    pub chunks_deduped: u64,
+    /// Payload bytes those shared chunks covered (the storage avoided).
+    pub bytes_shared: u64,
+}
+
+fn note_dedup(stats: &mut DedupStats, chunk_len: usize) {
+    stats.chunks_deduped += 1;
+    stats.bytes_shared += chunk_len as u64;
+    pac_telemetry::counter_inc("store.dedup_hits");
+    pac_telemetry::counter_inc("store.chunks_deduped");
+    pac_telemetry::counter_add("store.bytes_shared", chunk_len as u64);
+}
+
+/// Reassembles a committed payload from its chunk-hash list.
+fn reassemble(
+    chunks: &HashMap<u64, Vec<u8>>,
+    hashes: &[u64],
+    payload_len: u64,
+) -> Result<Vec<u8>, StoreError> {
+    let mut payload = Vec::with_capacity((payload_len as usize).min(1 << 20));
+    for h in hashes {
+        let chunk = chunks
+            .get(h)
+            .ok_or(StoreError::Malformed("committed chunk missing from log"))?;
+        payload.extend_from_slice(chunk);
+    }
+    if payload.len() as u64 != payload_len {
+        return Err(StoreError::Malformed(
+            "reassembled snapshot length mismatch",
+        ));
+    }
+    Ok(payload)
+}
+
 /// What [`DiskStore::open`] found and did: how much log it scanned, how
 /// many commits survived, and how many torn-tail bytes it truncated.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -213,8 +255,16 @@ pub trait Store {
     fn commit(&mut self, payload: &[u8], meta: &[u8]) -> Result<u64, StoreError>;
     /// The latest committed snapshot, if any.
     fn latest(&self) -> Result<Option<Committed>, StoreError>;
+    /// The snapshot committed with sequence number `seq`, if it exists.
+    /// Stores retain every commit, so a registry layered on top can pin a
+    /// tenant to a historical adapter version, not just the newest one.
+    fn committed(&self, seq: u64) -> Result<Option<Committed>, StoreError>;
     /// Number of snapshots committed so far (including recovered ones).
     fn commits(&self) -> u64;
+    /// Cross-commit chunk sharing observed through this handle.
+    fn dedup_stats(&self) -> DedupStats {
+        DedupStats::default()
+    }
     /// Arms the [`CrashPoint`] adversary: the writer dies `at_byte` bytes
     /// into its subsequent appends. No-op for stores without a writer to
     /// kill (the in-memory impl).
@@ -223,12 +273,17 @@ pub trait Store {
     }
 }
 
-/// Volatile [`Store`]: snapshots live in process memory exactly as before
-/// this crate existed. Used as the default so every pre-existing recovery
-/// test runs unchanged.
+/// Volatile [`Store`]: commits live in process memory, chunked and
+/// content-addressed exactly like [`DiskStore`] (same 4 KiB chunks, same
+/// dedup key, same collision rejection) but with no durability. The
+/// default store for in-process tests and the loopback serve demo, where
+/// dedup accounting still matters but `kill -9` does not.
 #[derive(Debug, Default)]
 pub struct MemStore {
-    snaps: Vec<(Vec<u8>, Vec<u8>)>,
+    chunks: HashMap<u64, Vec<u8>>,
+    // Per commit: chunk-hash list, payload length, caller metadata.
+    log: Vec<(Vec<u64>, u64, Vec<u8>)>,
+    stats: DedupStats,
 }
 
 impl MemStore {
@@ -236,24 +291,54 @@ impl MemStore {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Bytes held by unique chunks (what dedup actually keeps resident).
+    pub fn chunk_bytes(&self) -> u64 {
+        self.chunks.values().map(|c| c.len() as u64).sum()
+    }
 }
 
 impl Store for MemStore {
     fn commit(&mut self, payload: &[u8], meta: &[u8]) -> Result<u64, StoreError> {
-        self.snaps.push((payload.to_vec(), meta.to_vec()));
-        Ok(self.snaps.len() as u64 - 1)
+        let mut hashes = Vec::with_capacity(payload.len() / CHUNK_BYTES + 1);
+        for chunk in payload.chunks(CHUNK_BYTES) {
+            let hash = content_hash(chunk);
+            hashes.push(hash);
+            match self.chunks.get(&hash) {
+                Some(existing) if existing == chunk => {
+                    note_dedup(&mut self.stats, chunk.len());
+                }
+                Some(_) => return Err(StoreError::Malformed("chunk hash collision")),
+                None => {
+                    self.chunks.insert(hash, chunk.to_vec());
+                }
+            }
+        }
+        self.log.push((hashes, payload.len() as u64, meta.to_vec()));
+        Ok(self.log.len() as u64 - 1)
     }
 
     fn latest(&self) -> Result<Option<Committed>, StoreError> {
-        Ok(self.snaps.last().map(|(payload, meta)| Committed {
-            seq: self.snaps.len() as u64 - 1,
-            payload: payload.clone(),
+        self.committed(self.log.len().wrapping_sub(1) as u64)
+    }
+
+    fn committed(&self, seq: u64) -> Result<Option<Committed>, StoreError> {
+        let Some((hashes, payload_len, meta)) = self.log.get(seq as usize) else {
+            return Ok(None);
+        };
+        Ok(Some(Committed {
+            seq,
+            payload: reassemble(&self.chunks, hashes, *payload_len)?,
             meta: meta.clone(),
         }))
     }
 
     fn commits(&self) -> u64 {
-        self.snaps.len() as u64
+        self.log.len() as u64
+    }
+
+    fn dedup_stats(&self) -> DedupStats {
+        self.stats
     }
 }
 
@@ -268,10 +353,12 @@ pub struct DiskStore {
     segment_bytes: u64,
     segments: usize,
     chunks: HashMap<u64, Vec<u8>>,
-    latest: Option<(u64, Vec<u64>, u64, Vec<u8>)>,
+    // Per commit, indexed by seq: chunk-hash list, payload length, meta.
+    log: Vec<(Vec<u64>, u64, Vec<u8>)>,
     commits: u64,
     commit_sizes: Vec<u64>,
     bytes_written: u64,
+    stats: DedupStats,
     crash: Option<(u64, u64)>,
 }
 
@@ -428,7 +515,7 @@ impl DiskStore {
         }
 
         let mut chunks: HashMap<u64, Vec<u8>> = HashMap::new();
-        let mut latest: Option<(u64, Vec<u64>, u64, Vec<u8>)> = None;
+        let mut log: Vec<(Vec<u64>, u64, Vec<u8>)> = Vec::new();
         let mut commits = 0u64;
         let mut report = OpenReport::default();
         // (segment index, byte offset) where the valid log ends.
@@ -463,7 +550,10 @@ impl DiskStore {
                                     cut = Some((idx, off as u64));
                                     break 'scan;
                                 }
-                                latest = Some((seq, hashes, payload_len, meta.to_vec()));
+                                // `seq` is informational; recovery indexes
+                                // commits by their order in the log.
+                                let _ = seq;
+                                log.push((hashes, payload_len, meta.to_vec()));
                                 commits += 1;
                             }
                         }
@@ -515,10 +605,11 @@ impl DiskStore {
                 segment_bytes,
                 segments: indices.len(),
                 chunks,
-                latest,
+                log,
                 commits,
                 commit_sizes: Vec::new(),
                 bytes_written: 0,
+                stats: DedupStats::default(),
                 crash: None,
             },
             report,
@@ -598,7 +689,7 @@ impl Store for DiskStore {
                 // Content-addressed hit: only trust the hash when the
                 // bytes really are identical.
                 Some(existing) if existing == chunk => {
-                    pac_telemetry::counter_inc("store.dedup_hits");
+                    note_dedup(&mut self.stats, chunk.len());
                     continue;
                 }
                 Some(_) => {
@@ -636,38 +727,33 @@ impl Store for DiskStore {
         self.write_raw(&rec)?;
         self.seg_file.sync_data()?;
 
-        self.latest = Some((seq, hashes, payload.len() as u64, meta.to_vec()));
+        self.log.push((hashes, payload.len() as u64, meta.to_vec()));
         self.commits += 1;
         self.commit_sizes.push(self.bytes_written - before);
         Ok(seq)
     }
 
     fn latest(&self) -> Result<Option<Committed>, StoreError> {
-        let Some((seq, hashes, payload_len, meta)) = &self.latest else {
+        self.committed(self.log.len().wrapping_sub(1) as u64)
+    }
+
+    fn committed(&self, seq: u64) -> Result<Option<Committed>, StoreError> {
+        let Some((hashes, payload_len, meta)) = self.log.get(seq as usize) else {
             return Ok(None);
         };
-        let mut payload = Vec::with_capacity((*payload_len as usize).min(1 << 20));
-        for h in hashes {
-            let chunk = self
-                .chunks
-                .get(h)
-                .ok_or(StoreError::Malformed("committed chunk missing from log"))?;
-            payload.extend_from_slice(chunk);
-        }
-        if payload.len() as u64 != *payload_len {
-            return Err(StoreError::Malformed(
-                "reassembled snapshot length mismatch",
-            ));
-        }
         Ok(Some(Committed {
-            seq: *seq,
-            payload,
+            seq,
+            payload: reassemble(&self.chunks, hashes, *payload_len)?,
             meta: meta.clone(),
         }))
     }
 
     fn commits(&self) -> u64 {
         self.commits
+    }
+
+    fn dedup_stats(&self) -> DedupStats {
+        self.stats
     }
 
     fn arm_crash(&mut self, at_byte: u64) {
@@ -790,6 +876,47 @@ mod tests {
         );
         store.arm_crash(3); // no-op by contract
         assert_eq!(store.commit(b"p2", b"m2").expect("c2"), 2);
+    }
+
+    #[test]
+    fn committed_history_is_addressable_on_both_stores() {
+        let dir = tmp_dir("history");
+        let mut mem = MemStore::new();
+        let (mut disk, _) = DiskStore::open(&dir).expect("open");
+        for store in [&mut mem as &mut dyn Store, &mut disk as &mut dyn Store] {
+            store.commit(b"v0", b"m0").expect("c0");
+            store.commit(b"v1", b"m1").expect("c1");
+            store.commit(b"v2", b"m2").expect("c2");
+            let mid = store.committed(1).expect("committed").expect("some");
+            assert_eq!(
+                (mid.seq, &mid.payload[..], &mid.meta[..]),
+                (1, &b"v1"[..], &b"m1"[..])
+            );
+            assert!(store.committed(3).expect("committed").is_none());
+        }
+        drop(disk);
+        // History survives recovery, not just the latest commit.
+        let (disk, report) = DiskStore::open(&dir).expect("reopen");
+        assert_eq!(report.commits, 3);
+        let first = disk.committed(0).expect("committed").expect("some");
+        assert_eq!(first.payload, b"v0");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mem_store_dedups_chunks_with_accounting() {
+        let mut store = MemStore::new();
+        let payload: Vec<u8> = (0..3 * CHUNK_BYTES).map(|i| (i % 253) as u8).collect();
+        store.commit(&payload, b"a").expect("first");
+        assert_eq!(store.dedup_stats(), DedupStats::default());
+        store.commit(&payload, b"b").expect("second");
+        let stats = store.dedup_stats();
+        assert_eq!(stats.chunks_deduped, 3);
+        assert_eq!(stats.bytes_shared, payload.len() as u64);
+        // Unique chunk bytes did not grow on the second commit.
+        assert_eq!(store.chunk_bytes(), payload.len() as u64);
+        let last = store.latest().expect("latest").expect("some");
+        assert_eq!(last.payload, payload);
     }
 
     #[test]

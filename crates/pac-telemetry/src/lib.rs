@@ -10,8 +10,15 @@
 //! `<subsystem>.<object>.<measure>`, e.g. `cache.hits`,
 //! `pipeline.stage0.busy_ns`, `allreduce.bytes`, `membership.leaves` /
 //! `membership.stale_probes` (elastic-membership churn and
-//! liveness-sweep evictions). Spans append `.ns` and `.calls` to their
-//! base name.
+//! liveness-sweep evictions). The multi-tenant serving platform books
+//! under `serve.*`: `serve.registry.publishes`, `serve.cache.hits` /
+//! `serve.cache.misses` / `serve.cache.evictions` /
+//! `serve.cache.resident_peak_bytes` (a max-gauge),
+//! `serve.route.warm` / `serve.route.cold` / `serve.route.fresh`,
+//! `serve.wait.ticks`, `serve.steps.serviced`, and
+//! `serve.jobs.completed` / `serve.jobs.faulted` — the fairness and
+//! hit-rate ledgers `pac-bench --serve` reports. Spans append `.ns` and
+//! `.calls` to their base name.
 //!
 //! The registry is deliberately global (a process models one training
 //! node); tests that assert on metrics should [`reset`] first and not run
