@@ -29,6 +29,16 @@
 //!   on-disk log must recover the last committed snapshot and finish with
 //!   losses and parameters *bitwise identical* to the clean reference.
 //!   `--durable` runs this phase alone.
+//! * **F (multi-world chaos)** — one poll-driven coordinator multiplexes
+//!   2–3 tenant worlds ([`pac_net::run_multiworld`]) with staggered
+//!   admissions and a seeded rank death in one world. Every tenant's
+//!   losses and final parameters must be *bitwise identical* to its solo
+//!   single-world run, the whole multi-world schedule must be
+//!   byte-identical on re-run, each world's recovery log must name only
+//!   its own ranks, and filling the tenants' pipeline bubbles
+//!   ([`pac_parallel::fill`]) must come in *strictly below* the unbatched
+//!   serialized baseline's `bubble_fraction`. `--multiworld` runs this
+//!   phase alone.
 //!
 //! A failing seed is reported with its event trace dumped to
 //! `simsweep-trace-seed-<K>-<phase>.txt` (one file per phase, never
@@ -36,20 +46,25 @@
 //! from `--seed=K` alone — no schedule, no timing, no environment needed.
 //!
 //! `--planted` runs the harness self-tests: a worker buggified to apply
-//! its local gradient *before* the AllReduce, and a joiner buggified to
-//! skip its catch-up `Restore`, must both be caught (divergence from the
-//! reference run) within the seed budget.
+//! its local gradient *before* the AllReduce, a joiner buggified to
+//! skip its catch-up `Restore`, and a bubble-filling executor with a
+//! planted cross-tenant [`SlotLeak`] must all be caught (divergence from
+//! the reference run) within the seed budget.
 
 #![deny(missing_docs)]
 
-use pac_model::{EncoderModel, ModelConfig};
+use pac_model::{EncoderModel, ModelConfig, StageModel};
 use pac_net::{
-    Buggify, DistConfig, DistError, DistTrainer, Partition, SimConfig, SimNet, SimSpawner,
+    run_multiworld, Buggify, DistConfig, DistError, DistTrainer, Partition, SimConfig, SimNet,
+    SimSpawner, TenantJob,
 };
 use pac_nn::optim::Sgd;
-use pac_nn::Optimizer;
-use pac_parallel::engine::{HybridEngine, MicroBatch};
-use pac_parallel::{Fault, FaultPlan, Schedule};
+use pac_nn::{Module, Optimizer};
+use pac_parallel::engine::{run_pipeline_mini_batch, HybridEngine, MicroBatch};
+use pac_parallel::fill::{run_filled_mini_batch, FillTenant, SlotLeak};
+use pac_parallel::{
+    plan_filled, plan_serialized, Fault, FaultPlan, Schedule, SimStage, TenantLoad,
+};
 use pac_store::{DiskStore, Store, StoreError};
 use pac_tensor::rng::seeded;
 use rand::Rng;
@@ -142,29 +157,33 @@ fn bitwise_check(
     reference: &Reference,
     what: &str,
 ) -> Result<(), String> {
-    if report.losses.len() != reference.losses.len() {
+    bitwise_check_parts(&report.losses, &report.final_params, reference, what)
+}
+
+fn bitwise_check_parts(
+    losses: &[f32],
+    final_params: &[(String, pac_tensor::Tensor)],
+    reference: &Reference,
+    what: &str,
+) -> Result<(), String> {
+    if losses.len() != reference.losses.len() {
         return Err(format!(
             "{what}: loss trajectory truncated: {} vs {}",
-            report.losses.len(),
+            losses.len(),
             reference.losses.len()
         ));
     }
-    for (t, (d, r)) in report
-        .losses
-        .iter()
-        .zip(reference.losses.iter())
-        .enumerate()
-    {
+    for (t, (d, r)) in losses.iter().zip(reference.losses.iter()).enumerate() {
         if d.to_bits() != r.to_bits() {
             return Err(format!(
                 "{what}: loss diverged at step {t}: sim {d} vs ref {r}"
             ));
         }
     }
-    if report.final_params.len() != reference.params.len() {
+    if final_params.len() != reference.params.len() {
         return Err(format!("{what}: param set mismatch"));
     }
-    for ((dn, dt), (rn, rt)) in report.final_params.iter().zip(reference.params.iter()) {
+    for ((dn, dt), (rn, rt)) in final_params.iter().zip(reference.params.iter()) {
         if dn != rn {
             return Err(format!("{what}: param order mismatch: {dn} vs {rn}"));
         }
@@ -633,6 +652,255 @@ fn phase_e(
     Ok(())
 }
 
+/// Tenant world shapes phase F multiplexes, `(stages, lanes)`. Tenant `t`
+/// always runs shape `F_SHAPES[t]`, so solo references are computed once
+/// per tenant, not per seed.
+const F_SHAPES: [(usize, usize); 3] = [(2, 1), (2, 2), (3, 1)];
+/// Steps per tenant in phase F — short enough that a seed sweep multiplexes
+/// hundreds of worlds, long enough to cross a checkpoint boundary
+/// (`checkpoint_every = 2`) so mid-run recovery has a snapshot to restore.
+const F_STEPS: usize = 3;
+
+/// Phase F's per-tenant job config: tenant-distinct model seed so a
+/// cross-tenant leak of state can never be bitwise coincidental.
+fn f_cfg(t: usize) -> DistConfig {
+    let (stages, lanes) = F_SHAPES[t];
+    let mut cfg = DistConfig::loopback(stages, lanes);
+    cfg.seed = 900 + t as u64;
+    cfg
+}
+
+/// Phase F's per-tenant data: tenant-distinct batch stream.
+fn f_batches(t: usize) -> Vec<Vec<MicroBatch>> {
+    let mut rng = seeded(7000 + t as u64);
+    (0..F_STEPS)
+        .map(|_| {
+            (0..MICROS)
+                .map(|_| {
+                    let rows: Vec<Vec<usize>> = (0..ROWS_PER_MICRO)
+                        .map(|_| (0..SEQ).map(|_| rng.gen_range(0..64usize)).collect())
+                        .collect();
+                    let labels: Vec<usize> = (0..ROWS_PER_MICRO)
+                        .map(|_| rng.gen_range(0..2usize))
+                        .collect();
+                    (rows, labels)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Solo single-world runs of every phase F tenant: the trajectories each
+/// multi-world tenant must reproduce bitwise. Recovery is invariant-
+/// preserving (restore + replay lands on the same bits), so the fault-free
+/// solo reference is valid even for seeds that kill a rank mid-run.
+fn f_references() -> Vec<Reference> {
+    (0..F_SHAPES.len())
+        .map(|t| {
+            let net = SimNet::new(SimConfig::clean(9_100 + t as u64));
+            let _coord = net.register(0);
+            let spawner = SimSpawner::new(net.clone());
+            let report = DistTrainer::new(f_cfg(t))
+                .run(&spawner, &f_batches(t), &FaultPlan::none())
+                .expect("phase F solo reference");
+            assert!(
+                net.panics().is_empty(),
+                "phase F solo reference world panicked"
+            );
+            Reference {
+                losses: report.losses,
+                params: report.final_params,
+            }
+        })
+        .collect()
+}
+
+/// Phase F: multi-world chaos. One poll-driven coordinator runs 2–3 tenant
+/// worlds with seed-staggered admissions; most seeds also fail-stop one
+/// seeded rank in one seeded world mid-run. Checks, per seed:
+///
+/// * every tenant's losses and final params are bitwise identical to its
+///   solo single-world run (gradient streams never mix);
+/// * the dead rank is recovered in, and logged by, its own world only —
+///   sibling worlds see zero recoveries and no `rank .. down` lines;
+/// * the whole multi-world schedule is a pure function of the seed: a
+///   second run yields byte-identical net traces, end times, and logs;
+/// * filling the tenants' pipeline bubbles plans *strictly below* the
+///   unbatched back-to-back baseline's `bubble_fraction`, and the filled
+///   plan itself re-plans byte-identically.
+fn phase_f(seed: u64, refs: &[Reference]) -> Result<(), (String, SimNet)> {
+    let tenants = 2 + (seed % 2) as usize;
+    let stagger = 1 + seed % 2;
+    let die_world = (seed % tenants as u64) as usize;
+    // Every 4th seed runs fault-free; the rest kill one seeded rank of one
+    // seeded world at world-local dispatch counter 1 or 2.
+    let die = (seed % 4 != 3).then(|| {
+        let (stages, lanes) = F_SHAPES[die_world];
+        (1 + (seed / 4) % 2, ((seed / 2) as usize) % (stages * lanes))
+    });
+    let jobs = || -> Vec<TenantJob> {
+        (0..tenants)
+            .map(|t| {
+                let mut job = TenantJob::new(t as u64, f_cfg(t), f_batches(t));
+                job.admit_after_steps = t as u64 * stagger;
+                if t == die_world {
+                    job.die = die;
+                }
+                job
+            })
+            .collect()
+    };
+    let run = || {
+        let net = SimNet::new(SimConfig::clean(seed));
+        let _coord = net.register(0);
+        let spawner = SimSpawner::new(net.clone());
+        let out = run_multiworld(&spawner, jobs());
+        (out, net)
+    };
+
+    let (out_a, net_a) = run();
+    if let Err(e) = check_world(&net_a, "F") {
+        return Err((e, net_a));
+    }
+    let report = match &out_a {
+        Ok(r) => r,
+        Err(e) => return Err((format!("F: multi-world run failed: {e}"), net_a)),
+    };
+    if report.worlds.len() != tenants {
+        return Err((
+            format!(
+                "F: {} tenant(s) retired, expected {tenants}",
+                report.worlds.len()
+            ),
+            net_a,
+        ));
+    }
+    if report.max_concurrent < 2 {
+        return Err((
+            "F: worlds never overlapped — the coordinator serialized the tenants".to_string(),
+            net_a,
+        ));
+    }
+    for (t, reference) in refs.iter().enumerate().take(tenants) {
+        let Some(world) = report.worlds.iter().find(|w| w.tenant == t as u64) else {
+            return Err((format!("F: tenant {t} missing from the report"), net_a));
+        };
+        let what = format!("F[tenant {t}]");
+        if let Err(e) = bitwise_check_parts(&world.losses, &world.final_params, reference, &what) {
+            return Err((e, net_a));
+        }
+        // Recovery and its log stay scoped to the world that died.
+        let expect_rec = u32::from(die.is_some() && t == die_world);
+        if world.recoveries != expect_rec {
+            return Err((
+                format!(
+                    "{what}: {} recovery cycle(s), expected {expect_rec}: {:?}",
+                    world.recoveries, world.log
+                ),
+                net_a,
+            ));
+        }
+        let prefix = format!("{}: ", world.world);
+        if let Some(alien) = world.log.iter().find(|l| !l.starts_with(&prefix)) {
+            return Err((
+                format!("{what}: log line leaked across worlds: '{alien}'"),
+                net_a,
+            ));
+        }
+        if expect_rec == 1 {
+            let named = format!("rank {} down", die.expect("die set").1);
+            if !world.log.iter().any(|l| l.contains(&named)) {
+                return Err((
+                    format!(
+                        "{what}: log never attributes its dead rank: {:?}",
+                        world.log
+                    ),
+                    net_a,
+                ));
+            }
+        } else if let Some(bogus) = world.log.iter().find(|l| l.contains(" down (")) {
+            return Err((
+                format!("{what}: log blames a rank that never died there: '{bogus}'"),
+                net_a,
+            ));
+        }
+    }
+
+    // Determinism: the whole multi-world schedule is a pure function of
+    // the seed — traces, end time, per-world logs, losses.
+    let (out_b, net_b) = run();
+    let digest = |r: &Result<pac_net::MultiWorldReport, DistError>| match r {
+        Ok(m) => format!(
+            "ok worlds={} max_concurrent={} steps={} logs={:?} loss_bits={:?}",
+            m.worlds.len(),
+            m.max_concurrent,
+            m.steps_total,
+            m.worlds.iter().map(|w| &w.log).collect::<Vec<_>>(),
+            m.worlds
+                .iter()
+                .map(|w| w.losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>())
+                .collect::<Vec<_>>(),
+        ),
+        Err(e) => format!("err {e}"),
+    };
+    if digest(&out_a) != digest(&out_b) {
+        return Err((
+            "F: same seed, different multi-world outcome".to_string(),
+            net_b,
+        ));
+    }
+    if net_a.trace_lines() != net_b.trace_lines() || net_a.now_ns() != net_b.now_ns() {
+        return Err((
+            "F: multi-world trace is not a pure function of the seed".to_string(),
+            net_b,
+        ));
+    }
+
+    // Continuous batching: co-scheduling these tenants' pipeline slots must
+    // plan strictly fewer bubbles than running them back to back. Stage
+    // count is fixed (the shared backbone); per-tenant compute costs vary
+    // by seed so the sweep covers many cost ratios.
+    let loads: Vec<TenantLoad> = (0..tenants)
+        .map(|t| {
+            let f = 0.5 + ((seed + t as u64) % 5) as f64 * 0.25;
+            TenantLoad {
+                stages: vec![
+                    SimStage {
+                        fwd_s: f,
+                        bwd_s: 2.0 * f,
+                        send_fwd_s: 0.1,
+                        send_bwd_s: 0.1,
+                        weight_bytes: 0,
+                        act_bytes_per_mb: 0,
+                        fixed_bytes: 0,
+                        allreduce_s: 0.0,
+                    };
+                    3
+                ],
+                micros: MICROS,
+            }
+        })
+        .collect();
+    let filled = plan_filled(&loads);
+    let serial = plan_serialized(&loads);
+    if filled.combined.bubble_fraction >= serial.combined.bubble_fraction {
+        return Err((
+            format!(
+                "F: bubble filling did not beat the unbatched baseline: {:.4} vs {:.4}",
+                filled.combined.bubble_fraction, serial.combined.bubble_fraction
+            ),
+            net_b,
+        ));
+    }
+    if filled.trace_lines() != plan_filled(&loads).trace_lines() {
+        return Err((
+            "F: filled plan is not a pure function of its loads".to_string(),
+            net_b,
+        ));
+    }
+    Ok(())
+}
+
 /// The planted-bug self-test: grad applied before the AllReduce completes
 /// must be *caught* (divergence from the reference) — if the harness can't
 /// see an ordering bug we planted, it can't see one we didn't.
@@ -699,6 +967,70 @@ fn planted_churn_probe(seed: u64, batches: &[Vec<MicroBatch>]) -> bool {
     }
 }
 
+/// Every gradient bit of a stage chain, flattened in visit order.
+fn grad_bits(stages: &[StageModel]) -> Vec<u32> {
+    let mut bits = Vec::new();
+    for st in stages {
+        st.visit_params_ref(&mut |p| bits.extend(p.grad.data().iter().map(|v| v.to_bits())));
+    }
+    bits
+}
+
+/// The isolation planted-bug self-test: a bubble-filled run with a planted
+/// [`SlotLeak`] — one tenant silently consuming another tenant's boundary
+/// activation — must be caught by the bitwise comparison against each
+/// tenant's solo pipeline run (or fail typed). If the harness can't see a
+/// cross-tenant leak we planted, it can't see one we didn't.
+fn planted_fill_probe(seed: u64) -> bool {
+    let tenant = |model_seed: u64, data_seed: u64| {
+        let cfg = ModelConfig::micro(4, 0, 16, 2);
+        let model = EncoderModel::new(&cfg, 2, &mut seeded(model_seed));
+        let mut rng = seeded(data_seed);
+        let micro_batches: Vec<MicroBatch> = (0..MICROS)
+            .map(|_| {
+                let rows: Vec<Vec<usize>> = (0..2)
+                    .map(|_| (0..4).map(|_| rng.gen_range(0..64usize)).collect())
+                    .collect();
+                let labels: Vec<usize> = (0..2).map(|_| rng.gen_range(0..2usize)).collect();
+                (rows, labels)
+            })
+            .collect();
+        (model, micro_batches)
+    };
+    let inputs = [
+        tenant(400 + seed, 500 + seed),
+        tenant(600 + seed, 700 + seed),
+    ];
+    let solos: Vec<_> = inputs
+        .iter()
+        .map(|(m, mbs)| {
+            run_pipeline_mini_batch(
+                m.clone().partition(&[2, 2]).expect("partition"),
+                mbs.clone(),
+                Schedule::OneFOneB,
+            )
+            .expect("solo pipeline run")
+        })
+        .collect();
+    let tenants: Vec<FillTenant> = inputs
+        .iter()
+        .map(|(m, mbs)| FillTenant {
+            stages: m.clone().partition(&[2, 2]).expect("partition"),
+            micro_batches: mbs.clone(),
+        })
+        .collect();
+    let leak = SlotLeak {
+        from_slot: (seed % 4) as usize,
+    };
+    match run_filled_mini_batch(tenants, Some(leak)) {
+        // A typed failure also counts as "caught": the bug was surfaced.
+        Err(_) => true,
+        Ok(run) => solos.iter().zip(run.tenants.iter()).any(|(s, f)| {
+            s.loss.to_bits() != f.loss.to_bits() || grad_bits(&s.stages) != grad_bits(&f.stages)
+        }),
+    }
+}
+
 fn dump_trace(out_dir: &Path, seed: u64, phase: &str, net: &SimNet, why: &str) -> PathBuf {
     if let Err(e) = std::fs::create_dir_all(out_dir) {
         eprintln!(
@@ -730,6 +1062,7 @@ struct Args {
     planted: bool,
     churn: bool,
     durable: bool,
+    multiworld: bool,
     out_dir: PathBuf,
 }
 
@@ -741,6 +1074,7 @@ fn parse_args() -> Result<Args, String> {
         planted: false,
         churn: false,
         durable: false,
+        multiworld: false,
         out_dir: PathBuf::from("."),
     };
     for a in std::env::args().skip(1) {
@@ -758,17 +1092,21 @@ fn parse_args() -> Result<Args, String> {
             args.churn = true;
         } else if a == "--durable" {
             args.durable = true;
+        } else if a == "--multiworld" {
+            args.multiworld = true;
         } else if a == "--help" || a == "-h" {
             return Err(
-                "usage: simsweep [--seeds=N] [--seed=K] [--quick] [--planted] [--churn] [--durable] [--out-dir=DIR]\n\
+                "usage: simsweep [--seeds=N] [--seed=K] [--quick] [--planted] [--churn] [--durable] [--multiworld] [--out-dir=DIR]\n\
                  \n\
                  --seeds=N    sweep seeds 0..N (default 200)\n\
                  --seed=K     reproduce one seed, always dumping its trace\n\
-                 --quick      phase B on every 10th seed, phases D/E on every 5th/10th\n\
-                 --planted    self-test: planted AllReduce-ordering and skipped\n\
-                 \u{20}             catch-up bugs must both be caught\n\
+                 --quick      phase B on every 10th seed, phases D/E/F on every 5th/10th\n\
+                 --planted    self-test: planted AllReduce-ordering, skipped\n\
+                 \u{20}             catch-up, and cross-tenant slot-leak bugs must\n\
+                 \u{20}             all be caught\n\
                  --churn      phase D (elastic churn) only\n\
                  --durable    phase E (durable crash-recovery) only\n\
+                 --multiworld phase F (multi-world chaos) only\n\
                  --out-dir    where failing-seed traces and durable logs are\n\
                  \u{20}             written (default .)"
                     .to_string(),
@@ -795,6 +1133,7 @@ fn main() -> ExitCode {
         let reference = inprocess_run(&DistConfig::loopback(2, 2), &batches);
         let mut allreduce_at: Option<u64> = None;
         let mut churn_at: Option<u64> = None;
+        let mut leak_at: Option<u64> = None;
         for seed in 0..args.seeds {
             if allreduce_at.is_none() && planted_probe(seed, &batches, &reference) {
                 allreduce_at = Some(seed);
@@ -802,9 +1141,12 @@ fn main() -> ExitCode {
             if churn_at.is_none() && planted_churn_probe(seed, &batches) {
                 churn_at = Some(seed);
             }
-            if let (Some(a), Some(c)) = (allreduce_at, churn_at) {
+            if leak_at.is_none() && planted_fill_probe(seed) {
+                leak_at = Some(seed);
+            }
+            if let (Some(a), Some(c), Some(l)) = (allreduce_at, churn_at, leak_at) {
                 println!(
-                    "planted: AllReduce ordering bug caught at seed {a}, skipped catch-up bug caught at seed {c} ({:.1}s)",
+                    "planted: AllReduce ordering bug caught at seed {a}, skipped catch-up bug caught at seed {c}, cross-tenant slot leak caught at seed {l} ({:.1}s)",
                     t0.elapsed().as_secs_f64()
                 );
                 return ExitCode::SUCCESS;
@@ -822,16 +1164,31 @@ fn main() -> ExitCode {
                 args.seeds
             );
         }
+        if leak_at.is_none() {
+            eprintln!(
+                "planted: cross-tenant slot leak NOT caught in {} seeds — the harness is blind",
+                args.seeds
+            );
+        }
         return ExitCode::FAILURE;
     }
 
+    // Phase A–E references are only needed outside --multiworld mode;
+    // phase F brings its own per-tenant solo references.
     let mut refs = HashMap::new();
-    for shape in SHAPES {
-        refs.insert(
-            shape,
-            inprocess_run(&DistConfig::loopback(shape.0, shape.1), &batches),
-        );
+    if !args.multiworld {
+        for shape in SHAPES {
+            refs.insert(
+                shape,
+                inprocess_run(&DistConfig::loopback(shape.0, shape.1), &batches),
+            );
+        }
     }
+    let f_refs = if args.multiworld || (!args.churn && !args.durable) {
+        f_references()
+    } else {
+        Vec::new()
+    };
 
     let seeds: Vec<u64> = match args.seed {
         Some(k) => vec![k],
@@ -864,18 +1221,28 @@ fn main() -> ExitCode {
             }
         };
         let mut ok = true;
-        if !args.churn && !args.durable {
+        if !args.churn && !args.durable && !args.multiworld {
             ok &= run_phase("A", phase_a(seed, &batches, &refs));
             if !args.quick || seed % 10 == 0 || single {
                 ok &= run_phase("B", phase_b(seed, &batches));
             }
             ok &= run_phase("C", phase_c(seed, &batches));
         }
-        if !args.durable && (args.churn || !args.quick || seed % 5 == 0 || single) {
+        if !args.durable
+            && !args.multiworld
+            && (args.churn || !args.quick || seed % 5 == 0 || single)
+        {
             ok &= run_phase("D", phase_d(seed, &batches, &refs[&(2, 2)]));
         }
-        if args.durable || (!args.churn && (!args.quick || seed % 10 == 5 || single)) {
+        if !args.multiworld
+            && (args.durable || (!args.churn && (!args.quick || seed % 10 == 5 || single)))
+        {
             ok &= run_phase("E", phase_e(seed, &batches, &refs[&(2, 2)], &args.out_dir));
+        }
+        if args.multiworld
+            || (!args.churn && !args.durable && (!args.quick || seed % 5 == 2 || single))
+        {
+            ok &= run_phase("F", phase_f(seed, &f_refs));
         }
         if !ok {
             failures += 1;

@@ -11,7 +11,7 @@
 //!   `repro --telemetry` can put *measured* traffic next to the planner's
 //!   *modeled* communication volume.
 
-use crate::transport::Conn;
+use crate::transport::{Conn, PollConn};
 use crate::wire::{encode_frame, FrameReader, Msg, NetError};
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
@@ -84,6 +84,51 @@ impl FramedConn {
         Ok(msg)
     }
 
+    /// Receives one message if bytes are already available, without
+    /// blocking. `Ok(None)` means would-block: no bytes, or a frame still
+    /// partially in flight (the partial stays buffered in the
+    /// [`FrameReader`] and a later `try_recv`/`recv` resumes it).
+    pub fn try_recv(&mut self) -> Result<Option<Msg>, NetError> {
+        self.stream.set_nonblocking(true)?;
+        let got = self
+            .reader
+            .read_from(&mut crate::wire::IoSource(&mut self.stream));
+        // Restore blocking mode before interpreting the result so an early
+        // return can never leave the socket non-blocking for `recv`.
+        let restore = self.stream.set_nonblocking(false);
+        let out = match got {
+            Ok((msg, n)) => {
+                pac_telemetry::counter_add("net.bytes_recv", n as u64);
+                Ok(Some(msg))
+            }
+            // On a non-blocking socket, `IoSource` surfaces `WouldBlock`
+            // as `Timeout` — here that means "not ready", not a deadline.
+            Err(NetError::Timeout) => Ok(None),
+            Err(e) => Err(e),
+        };
+        restore?;
+        out
+    }
+
+    /// Probe used by the TCP `wait_ready` loop: does the socket have bytes
+    /// (or EOF) for `try_recv` to consume right now?
+    pub(crate) fn poll_readable(&self) -> Result<bool, NetError> {
+        self.stream.set_nonblocking(true)?;
+        let mut probe = [0u8; 1];
+        let got = self.stream.peek(&mut probe);
+        let restore = self.stream.set_nonblocking(false);
+        let ready = match got {
+            // n == 0 is EOF — `try_recv` will surface the typed error.
+            Ok(_) => true,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => false,
+            // A broken socket is "ready" too: the next `try_recv` reports it.
+            Err(_) => true,
+        };
+        restore?;
+        Ok(ready)
+    }
+
     /// Receives one message and requires it to be of the shape `want`
     /// describes; anything else is a protocol violation.
     pub fn recv_expecting(
@@ -112,6 +157,20 @@ impl Conn for FramedConn {
 
     fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), NetError> {
         FramedConn::set_timeout(self, timeout)
+    }
+}
+
+impl PollConn for FramedConn {
+    fn try_recv(&mut self) -> Result<Option<Msg>, NetError> {
+        FramedConn::try_recv(self)
+    }
+
+    fn try_send(&mut self, msg: &Msg) -> Result<bool, NetError> {
+        // TCP's socket buffers absorb frames far larger than anything the
+        // protocol sends; backpressure accounting lives in the simulated
+        // transport, where it is deterministic and testable.
+        FramedConn::send(self, msg)?;
+        Ok(true)
     }
 }
 

@@ -34,7 +34,9 @@
 //! in-process session uses. Worker teardown is owned by a drop guard on
 //! the per-round state, so no error path can leak live workers.
 
-use crate::rendezvous::{probe_liveness, Rendezvous, Topology, WorkerConn};
+use crate::rendezvous::{
+    probe_liveness, world_nonce_base, Rendezvous, Topology, WorkerConn, WorldId,
+};
 use crate::spawn::{Spawn, SpawnedWorld};
 use crate::transport::{Conn, Transport};
 use crate::wire::{decode_frame, encode_frame, Assignment, Msg, NetError};
@@ -99,11 +101,6 @@ impl From<StoreError> for DistError {
 /// When the slowest lane's EWMA cost exceeds the fastest lane's by this
 /// ratio, the driver rebalances micro-batch row shares.
 const REBALANCE_RATIO: f64 = 1.75;
-
-/// Heartbeat nonces are namespaced per sweep: `step * NONCE_STRIDE + rank`.
-/// Worlds never approach this many ranks, and the product never reaches
-/// the reserved bulk-ack nonce (`u64::MAX`).
-const NONCE_STRIDE: u64 = 4096;
 
 /// How long the per-step re-admission poll waits for a pending re-dial
 /// when `admit_reconnects` is on. Kept tiny: an absent re-dialer is the
@@ -228,20 +225,26 @@ pub struct DistReport {
     pub final_lanes: usize,
 }
 
-/// One spawned world plus its control connections. Teardown is owned
-/// here: [`Round::teardown`] is idempotent and also runs on drop, so
-/// every coordinator error path — setup included — reaps its workers
-/// instead of leaking them.
-struct Round<C: Conn> {
-    conns: Vec<WorkerConn<C>>,
-    world: Option<SpawnedWorld>,
-    topo: Topology,
+/// One spawned world plus its control connections, tagged with the
+/// [`WorldId`] it belongs to — under a multiplexing coordinator
+/// ([`crate::multiworld`]) several `Round`s are live at once, and every
+/// worker handle in one is reachable only through its own world's entry.
+/// Teardown is owned here: [`Round::teardown`] is idempotent and also
+/// runs on drop, so every coordinator error path — setup included — reaps
+/// its workers instead of leaking them.
+pub(crate) struct Round<C: Conn> {
+    pub(crate) conns: Vec<WorkerConn<C>>,
+    pub(crate) world: Option<SpawnedWorld>,
+    pub(crate) topo: Topology,
+    /// Which world these handles belong to; scopes heartbeat nonces and
+    /// fault attribution. The single-world driver is always world 0.
+    pub(crate) id: WorldId,
 }
 
 impl<C: Conn> Round<C> {
     /// Sends `Shutdown` to every rank (best-effort), merges worker
     /// telemetry, and reaps the world. Safe to call more than once.
-    fn teardown(&mut self) {
+    pub(crate) fn teardown(&mut self) {
         let Some(world) = self.world.take() else {
             return;
         };
@@ -266,7 +269,7 @@ impl<C: Conn> Round<C> {
     /// deadlock the coordinator on a worker that is waiting for the
     /// coordinator. The handles are joined by whichever later round finally
     /// tears down, after every old worker has exited.
-    fn release(&mut self) -> Option<SpawnedWorld> {
+    pub(crate) fn release(&mut self) -> Option<SpawnedWorld> {
         let world = self.world.take();
         if world.is_some() {
             for wc in self.conns.iter_mut() {
@@ -290,15 +293,15 @@ impl<C: Conn> Drop for Round<C> {
 }
 
 /// Named parameter tensors for each pipeline stage, canonical-lane order.
-type StageParams = Vec<Vec<(String, Tensor)>>;
+pub(crate) type StageParams = Vec<Vec<(String, Tensor)>>;
 
-struct Snapshot {
+pub(crate) struct Snapshot {
     /// Trainable parameters per stage (from the canonical lane).
-    stages: StageParams,
+    pub(crate) stages: StageParams,
     /// Data cursor to resume from.
-    next_t: usize,
+    pub(crate) next_t: usize,
     /// Loss history length at snapshot time.
-    losses_len: usize,
+    pub(crate) losses_len: usize,
 }
 
 /// Serializes a snapshot's per-stage entries for durable storage by
@@ -399,11 +402,45 @@ fn persist_snapshot(
     Ok(())
 }
 
-struct StepOk {
-    lane_losses: Vec<f32>,
-    lane0_events: Vec<SimEvent>,
+pub(crate) struct StepOk {
+    pub(crate) lane_losses: Vec<f32>,
+    pub(crate) lane0_events: Vec<SimEvent>,
     /// Per-rank busy time (stall + compute + collective) reported in `Done`.
-    busy_ns: Vec<u64>,
+    pub(crate) busy_ns: Vec<u64>,
+}
+
+/// Broadcasts one `Step` to every rank of `round` — micro-batch payloads
+/// only to the stages that consume them (first and last). The *dispatch*
+/// half of a lockstep step, shared by the blocking single-world driver
+/// and the poll-driven multi-world coordinator, which collect verdicts
+/// differently but must send byte-identical `Step` frames. A send failure
+/// is attributed to the rank it hit.
+pub(crate) fn dispatch_step<C: Conn>(
+    round: &mut Round<C>,
+    step: u64,
+    die_rank: Option<usize>,
+    stalls: &[u32],
+    lane_mbs: &[Vec<MicroBatch>],
+) -> Result<(), (usize, String)> {
+    let topo = round.topo;
+    for rank in 0..topo.world() {
+        let s = topo.stage_of(rank);
+        let needs_data = s == 0 || s == topo.stages - 1;
+        let msg = Msg::Step {
+            step,
+            die: die_rank == Some(rank),
+            stall_ms: stalls[topo.lane_of(rank)],
+            micro_batches: if needs_data {
+                lane_mbs[topo.lane_of(rank)].clone()
+            } else {
+                Vec::new()
+            },
+        };
+        if let Err(e) = round.conns[rank].ctrl.send(&msg) {
+            return Err((rank, format!("step dispatch: {e}")));
+        }
+    }
+    Ok(())
 }
 
 /// Drives a distributed training world.
@@ -425,10 +462,11 @@ impl DistTrainer {
     /// ranks; `carry_world` folds their spawn handles into the new round
     /// so one teardown reaps everything.
     #[allow(clippy::too_many_arguments)]
-    fn start_round<S: Spawn>(
+    pub(crate) fn start_round<S: Spawn>(
         &self,
         spawner: &S,
         rdv: &Rendezvous<S::T>,
+        world_id: WorldId,
         lanes: usize,
         m_n: usize,
         snapshot: Option<&Snapshot>,
@@ -453,6 +491,7 @@ impl DistTrainer {
             conns: pre,
             world: Some(world),
             topo,
+            id: world_id,
         };
         let mut accepted = rdv.accept_world(fresh, cfg.setup_timeout, cfg.net_timeout)?;
         accepted.append(&mut round.conns);
@@ -507,7 +546,7 @@ impl DistTrainer {
     /// snapshot size in bytes; errors are attributed to the rank being
     /// fetched so mid-run callers can fold a dead canonical rank into the
     /// leave path instead of aborting the job.
-    fn fetch_params<C: Conn>(
+    pub(crate) fn fetch_params<C: Conn>(
         round: &mut Round<C>,
         trainable_only: bool,
     ) -> Result<(StageParams, usize), (usize, NetError)> {
@@ -553,23 +592,8 @@ impl DistTrainer {
             step,
             detail,
         };
-        for rank in 0..topo.world() {
-            let s = topo.stage_of(rank);
-            let needs_data = s == 0 || s == topo.stages - 1;
-            let msg = Msg::Step {
-                step,
-                die: die_rank == Some(rank),
-                stall_ms: stalls[topo.lane_of(rank)],
-                micro_batches: if needs_data {
-                    lane_mbs[topo.lane_of(rank)].clone()
-                } else {
-                    Vec::new()
-                },
-            };
-            if let Err(e) = round.conns[rank].ctrl.send(&msg) {
-                return Err(down(rank, format!("step dispatch: {e}")));
-            }
-        }
+        dispatch_step(round, step, die_rank, stalls, lane_mbs)
+            .map_err(|(rank, detail)| down(rank, detail))?;
 
         // Collect exactly one verdict per rank; classify failures.
         let mut dones: Vec<Option<(f32, u64, Vec<SimEvent>)>> =
@@ -758,6 +782,7 @@ impl DistTrainer {
         let mut round = self.start_round(
             spawner,
             &rdv,
+            WorldId(0),
             alive_lanes.len(),
             m_n,
             resumed.as_ref().map(|(s, _, _)| s),
@@ -917,6 +942,7 @@ impl DistTrainer {
                             round = self.start_round(
                                 spawner,
                                 &rdv,
+                                WorldId(0),
                                 alive_lanes.len(),
                                 m_n,
                                 Some(&snapshot),
@@ -1028,6 +1054,7 @@ impl DistTrainer {
                             round = self.start_round(
                                 spawner,
                                 &rdv,
+                                WorldId(0),
                                 alive_lanes.len(),
                                 m_n,
                                 Some(&snapshot),
@@ -1090,7 +1117,7 @@ impl DistTrainer {
                     match probe_liveness(
                         &transport,
                         &mut round.conns,
-                        step.wrapping_mul(NONCE_STRIDE),
+                        world_nonce_base(round.id, step),
                         cfg.liveness_timeout,
                         cfg.net_timeout,
                     ) {
@@ -1273,6 +1300,7 @@ impl DistTrainer {
                     round = self.start_round(
                         spawner,
                         &rdv,
+                        WorldId(0),
                         alive_lanes.len(),
                         m_n,
                         Some(&snapshot),

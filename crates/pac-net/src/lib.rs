@@ -37,6 +37,11 @@
 //! * [`worker`] — one rank: `run_stage` (the same code the in-process
 //!   engine runs, over [`worker::NetStageLinks`]), the collective, a local
 //!   SGD step, lockstep `Done` replies.
+//! * [`multiworld`] — the poll-driven coordinator: one thread multiplexes
+//!   N concurrent tenant worlds over [`transport::PollTransport`]
+//!   readiness wakeups, admitting and retiring jobs on the shared
+//!   rendezvous listener without disturbing the other worlds; all
+//!   per-world state is scoped by [`rendezvous::WorldId`].
 //! * [`driver`] — the coordinator: lockstep stepping, checkpoint
 //!   snapshots, typed [`pac_parallel::EngineError::RankDown`] detection,
 //!   and restart-based recovery over an **elastic membership** — leaves
@@ -58,6 +63,7 @@ pub mod calib;
 pub mod chan;
 pub mod collective;
 pub mod driver;
+pub mod multiworld;
 pub mod rendezvous;
 pub mod simnet;
 pub mod spawn;
@@ -68,9 +74,12 @@ pub mod worker;
 pub use calib::{calibrate_loopback, LinkCalibration, BULK_ACK_NONCE};
 pub use chan::FramedConn;
 pub use driver::{DistConfig, DistError, DistReport, DistTrainer};
-pub use rendezvous::{probe_liveness, Admission, Rendezvous, Topology, WorkerConn};
+pub use multiworld::{run_multiworld, MultiWorldReport, TenantJob, WorldReport};
+pub use rendezvous::{
+    probe_liveness, world_nonce_base, Admission, Rendezvous, Topology, WorkerConn, WorldId,
+};
 pub use simnet::{Partition, SimConfig, SimConn, SimNet, SimSpawner};
 pub use spawn::{Spawn, SpawnedWorld, Spawner};
-pub use transport::{Conn, Listener, Tcp, Transport};
+pub use transport::{Conn, Listener, PollConn, PollTransport, Readiness, Tcp, Transport};
 pub use wire::{Assignment, ByteSource, FrameReader, IoSource, Msg, NetError};
 pub use worker::{run_worker, run_worker_on, Buggify, RunMode, KILLED_EXIT};

@@ -1,0 +1,825 @@
+//! Poll-driven multi-world coordinator: one thread, N concurrent tenant
+//! training worlds.
+//!
+//! The single-world [`DistTrainer`](crate::driver::DistTrainer) parks in a
+//! blocking `recv` per rank, so a coordinator serving several tenants
+//! would need a thread per world (and per connection) — exactly the
+//! control-plane shape the multi-tenant serving work runs into. This
+//! module multiplexes instead: every control connection of every active
+//! world joins one [`PollTransport::wait_ready`] wakeup, verdicts drain
+//! through non-blocking [`PollConn::try_recv`] sweeps in a fixed
+//! `(world, rank)` order, and tenant jobs are admitted and retired on the
+//! job-lifetime rendezvous listener without tearing down the listener or
+//! any other world.
+//!
+//! **Determinism.** Under the simulated transport the wakeup times are
+//! clock events and the sweep order is fixed, so the interleaving of N
+//! worlds is a pure function of the seed — `simsweep --phase f` asserts
+//! byte-identical traces across repeats. Per-tenant isolation is
+//! structural: all coordinator state (worker handles, heartbeat nonce
+//! windows via [`world_nonce_base`], checkpoint cursors, fault timeline
+//! entries) lives inside its world's [`WorldId`]-tagged entry, so a
+//! `Stale` verdict or recovery event can never name another world's
+//! ranks. Recovery respawns the *same* topology from the world's own
+//! snapshot and replays from its own cursor, which keeps every tenant's
+//! loss/parameter trajectory bitwise identical to an undisturbed solo run
+//! of the same job — the phase-F headline invariant.
+
+use crate::driver::{dispatch_step, DistConfig, DistError, DistTrainer, Round, Snapshot};
+use crate::rendezvous::{probe_liveness, world_nonce_base, Rendezvous, WorldId};
+use crate::spawn::{Spawn, SpawnedWorld};
+use crate::transport::{PollConn, PollTransport, Transport};
+use crate::wire::{Msg, NetError};
+use pac_parallel::engine::{split_micro_batches_weighted, MicroBatch};
+use pac_tensor::Tensor;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// How long one readiness wait blocks before the coordinator re-checks
+/// admissions and step deadlines. Virtual time under simnet, wall time
+/// over TCP; either way it only bounds reaction latency — no training
+/// verdict depends on it.
+const POLL_WAIT: Duration = Duration::from_millis(10);
+
+/// One tenant's training job as submitted to the multi-world coordinator.
+#[derive(Debug, Clone)]
+pub struct TenantJob {
+    /// Tenant identity (for reports and logs).
+    pub tenant: u64,
+    /// World configuration — seed, shape, cadence. Each tenant's `seed`
+    /// drives its model init and therefore its whole trajectory.
+    pub cfg: DistConfig,
+    /// The tenant's mini-batches, one entry per lockstep step.
+    pub batches: Vec<Vec<MicroBatch>>,
+    /// Admit this job once the coordinator has completed this many steps
+    /// across all worlds (0 = admit immediately). When nothing is active
+    /// and nothing qualifies, the earliest pending job is admitted
+    /// regardless, so the schedule always makes progress.
+    pub admit_after_steps: u64,
+    /// Injected fail-stop: `(world-local dispatch counter, rank)`. The
+    /// rank dies mid-step; the coordinator recovers *this world only*
+    /// (respawn, restore its snapshot, replay from its cursor).
+    pub die: Option<(u64, usize)>,
+}
+
+impl TenantJob {
+    /// A job with no fault injection, admitted immediately.
+    pub fn new(tenant: u64, cfg: DistConfig, batches: Vec<Vec<MicroBatch>>) -> Self {
+        TenantJob {
+            tenant,
+            cfg,
+            batches,
+            admit_after_steps: 0,
+            die: None,
+        }
+    }
+}
+
+/// Outcome of one tenant's world.
+#[derive(Debug)]
+pub struct WorldReport {
+    /// Tenant identity from the job.
+    pub tenant: u64,
+    /// The world id this job ran under.
+    pub world: WorldId,
+    /// Per-step lane-averaged losses — bitwise comparable to the same
+    /// job's solo [`DistTrainer::run`].
+    pub losses: Vec<f32>,
+    /// Final canonical parameters, stage order, flattened.
+    pub final_params: Vec<(String, Tensor)>,
+    /// This world's coordinator timeline: admission, checkpoints, rank
+    /// failures, recoveries, retirement. Every rank named here belongs to
+    /// this world — the cross-attribution regression surface.
+    pub log: Vec<String>,
+    /// Recovery cycles (release → respawn → restore → replay) this world
+    /// went through.
+    pub recoveries: u32,
+}
+
+/// Outcome of a whole multi-world run.
+#[derive(Debug)]
+pub struct MultiWorldReport {
+    /// One report per job, in job submission order.
+    pub worlds: Vec<WorldReport>,
+    /// Most worlds concurrently active at any point.
+    pub max_concurrent: usize,
+    /// Total lockstep steps completed across all worlds (a step replayed
+    /// after recovery counts again — this measures coordinator work, not
+    /// data progress).
+    pub steps_total: u64,
+}
+
+/// A verdict slot for one rank of one in-flight step.
+enum Verdict {
+    Done(f32),
+    Failed(String),
+}
+
+/// One dispatched-but-unfinished lockstep step.
+struct Pending {
+    die_rank: Option<usize>,
+    verdicts: Vec<Option<Verdict>>,
+    /// Rank a surviving peer blamed via `Fault`, if any.
+    first_blame: Option<(usize, String)>,
+    dispatched_ns: u64,
+}
+
+/// One live world and every piece of coordinator state scoped to it.
+struct ActiveWorld<C: PollConn> {
+    id: WorldId,
+    job_idx: usize,
+    job: TenantJob,
+    trainer: DistTrainer,
+    round: Round<C>,
+    snapshot: Snapshot,
+    losses: Vec<f32>,
+    /// Next batch index to dispatch.
+    t: usize,
+    /// Monotonic dispatch counter — nonce window index and fault-injection
+    /// clock. Never rewinds across recoveries, so an injected fail-stop
+    /// fires exactly once.
+    step: u64,
+    m_n: usize,
+    pending: Option<Pending>,
+    log: Vec<String>,
+    recoveries: u32,
+}
+
+impl<C: PollConn> ActiveWorld<C> {
+    fn note(&mut self, line: String) {
+        self.log.push(format!("{}: {line}", self.id));
+    }
+}
+
+/// Runs every job in `jobs` to completion under one poll-driven
+/// coordinator thread, multiplexing all concurrently-admitted worlds over
+/// a single rendezvous listener. Jobs are admitted when their
+/// `admit_after_steps` threshold is met and retired as they finish, with
+/// the listener and all other worlds undisturbed throughout.
+///
+/// # Errors
+/// Setup failures (spawn, rendezvous) and engine-level failures abort the
+/// whole run; per-rank failures inside one world are recovered
+/// world-locally and do not surface here.
+///
+/// # Panics
+/// On an empty job list, a job with no batches, or a job whose per-step
+/// micro-batch count varies — the same contracts [`DistTrainer::run`]
+/// asserts.
+pub fn run_multiworld<S>(spawner: &S, jobs: Vec<TenantJob>) -> Result<MultiWorldReport, DistError>
+where
+    S: Spawn,
+    S::T: PollTransport,
+    <S::T as Transport>::Conn: PollConn,
+{
+    assert!(!jobs.is_empty(), "need at least one tenant job");
+    for job in &jobs {
+        assert!(
+            !job.batches.is_empty(),
+            "tenant {} submitted no batches",
+            job.tenant
+        );
+        let m_n = job.batches[0].len();
+        assert!(
+            job.batches.iter().all(|b| b.len() == m_n),
+            "micro-batch count must be constant across steps"
+        );
+    }
+    let transport = spawner.transport();
+    // One listener for the whole deployment: every world's workers — and
+    // every later admission — dial the same port.
+    let rdv = Rendezvous::bind_on(&transport)?;
+
+    let mut pending_jobs: VecDeque<(usize, TenantJob)> = jobs.into_iter().enumerate().collect();
+    let mut reports: Vec<Option<WorldReport>> = (0..pending_jobs.len()).map(|_| None).collect();
+    let mut active: Vec<ActiveWorld<<S::T as Transport>::Conn>> = Vec::new();
+    // Worlds released mid-run (recovery, retirement) whose threads are
+    // reaped only at the very end: joining them inline would park the
+    // coordinator while sibling worlds' read deadlines keep running.
+    let mut graveyard: Vec<SpawnedWorld> = Vec::new();
+    let mut next_world: u64 = 0;
+    let mut steps_total: u64 = 0;
+    let mut max_concurrent = 0usize;
+
+    loop {
+        // ---- Admission: bring in every job whose threshold is met; if
+        // nothing is active and nothing qualifies, admit the earliest so
+        // the run always progresses.
+        loop {
+            let admit = match pending_jobs.front() {
+                None => false,
+                Some((_, job)) => steps_total >= job.admit_after_steps || active.is_empty(),
+            };
+            if !admit {
+                break;
+            }
+            let (job_idx, job) = pending_jobs.pop_front().expect("checked non-empty");
+            let id = WorldId(next_world);
+            next_world += 1;
+            let m_n = job.batches[0].len();
+            let trainer = DistTrainer::new(job.cfg.clone());
+            let mut round = trainer.start_round(
+                spawner,
+                &rdv,
+                id,
+                job.cfg.lanes,
+                m_n,
+                None,
+                Vec::new(),
+                None,
+            )?;
+            // Initial snapshot: recovery must always have something to
+            // restore, same as the single-world driver.
+            let (snap_stages, bytes) =
+                DistTrainer::fetch_params(&mut round, true).map_err(|(_, e)| e)?;
+            pac_telemetry::counter_inc("multiworld.admissions");
+            let mut w = ActiveWorld {
+                id,
+                job_idx,
+                trainer,
+                round,
+                snapshot: Snapshot {
+                    stages: snap_stages,
+                    next_t: 0,
+                    losses_len: 0,
+                },
+                losses: Vec::new(),
+                t: 0,
+                step: 0,
+                m_n,
+                pending: None,
+                log: Vec::new(),
+                recoveries: 0,
+                job,
+            };
+            w.note(format!(
+                "admitted tenant {} ({} stages x {} lanes, {} steps, initial snapshot {bytes} B)",
+                w.job.tenant,
+                w.job.cfg.stages(),
+                w.job.cfg.lanes,
+                w.job.batches.len()
+            ));
+            active.push(w);
+        }
+        max_concurrent = max_concurrent.max(active.len());
+
+        // ---- Dispatch & retire: every idle world either starts its next
+        // step or, out of batches, hands back its final parameters and
+        // leaves — listener and sibling worlds untouched.
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].pending.is_some() {
+                i += 1;
+                continue;
+            }
+            if active[i].t >= active[i].job.batches.len() {
+                let mut w = active.remove(i);
+                match DistTrainer::fetch_params(&mut w.round, false) {
+                    Ok((stages, _)) => {
+                        let final_params: Vec<(String, Tensor)> =
+                            stages.into_iter().flatten().collect();
+                        w.note(format!(
+                            "retired tenant {} after {} step(s), {} recovery cycle(s)",
+                            w.job.tenant,
+                            w.losses.len(),
+                            w.recoveries
+                        ));
+                        if let Some(world) = w.round.release() {
+                            graveyard.push(world);
+                        }
+                        pac_telemetry::counter_inc("multiworld.retirements");
+                        reports[w.job_idx] = Some(WorldReport {
+                            tenant: w.job.tenant,
+                            world: w.id,
+                            losses: std::mem::take(&mut w.losses),
+                            final_params,
+                            log: std::mem::take(&mut w.log),
+                            recoveries: w.recoveries,
+                        });
+                    }
+                    Err((rank, e)) => {
+                        // A rank dying under the final fetch is a failure
+                        // like any other: recover, let the world reach
+                        // retirement again after the replay.
+                        let detail = format!("final fetch: {e}");
+                        recover_world(spawner, &rdv, &mut w, &mut graveyard, rank, &detail)?;
+                        active.insert(i, w);
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+
+            let w = &mut active[i];
+            let step = w.step;
+            let cfg = w.trainer.cfg.clone();
+            // Liveness sweep on this world's own nonce window: a silent
+            // rank is surfaced before the step has to time out, and the
+            // verdict can only ever name this world's ranks.
+            if cfg.heartbeat_every > 0 && step.is_multiple_of(cfg.heartbeat_every as u64) {
+                if let Err((rank, e)) = probe_liveness(
+                    &transport,
+                    &mut w.round.conns,
+                    world_nonce_base(w.id, step),
+                    cfg.liveness_timeout,
+                    cfg.net_timeout,
+                ) {
+                    if matches!(e, NetError::Stale) {
+                        pac_telemetry::counter_inc("membership.stale_probes");
+                    }
+                    let detail = format!("liveness probe: {e}");
+                    let mut w = active.remove(i);
+                    recover_world(spawner, &rdv, &mut w, &mut graveyard, rank, &detail)?;
+                    active.insert(i, w);
+                    i += 1;
+                    continue;
+                }
+            }
+            let die_rank = w
+                .job
+                .die
+                .filter(|&(at, rank)| at == step && rank < w.round.topo.world())
+                .map(|(_, rank)| rank);
+            if let Some(rank) = die_rank {
+                w.note(format!("injected fail-stop armed for rank {rank}"));
+            }
+            let lane_weights = vec![1.0f64; cfg.lanes];
+            let lane_mbs = split_micro_batches_weighted(&w.job.batches[w.t], &lane_weights)
+                .map_err(DistError::Engine)?;
+            let stalls = vec![0u32; cfg.lanes];
+            w.step += 1;
+            match dispatch_step(&mut w.round, step, die_rank, &stalls, &lane_mbs) {
+                Ok(()) => {
+                    let world_size = w.round.topo.world();
+                    w.pending = Some(Pending {
+                        die_rank,
+                        verdicts: (0..world_size).map(|_| None).collect(),
+                        first_blame: None,
+                        dispatched_ns: transport.now_ns(),
+                    });
+                    i += 1;
+                }
+                Err((rank, detail)) => {
+                    let mut w = active.remove(i);
+                    recover_world(spawner, &rdv, &mut w, &mut graveyard, rank, &detail)?;
+                    active.insert(i, w);
+                    i += 1;
+                }
+            }
+        }
+
+        if active.is_empty() {
+            if pending_jobs.is_empty() {
+                break;
+            }
+            continue; // the admission loop will seed the next world
+        }
+
+        // ---- Readiness: block until some control connection can make
+        // progress. Under simnet this wait joins the quiescence census, so
+        // the virtual clock advances to the next delivery instead of the
+        // coordinator spinning it into a livelock. Only ranks whose step
+        // verdict is still outstanding join the poll set: a dead rank's
+        // connection stays "ready" (FIN) forever after its verdict is
+        // recorded, and polling it again would wake instantly in a loop
+        // that never blocks — freezing the virtual clock while the other
+        // ranks' verdicts are still in flight.
+        {
+            let mut conns: Vec<&mut <S::T as Transport>::Conn> = Vec::new();
+            for w in active.iter_mut() {
+                let Some(p) = w.pending.as_ref() else {
+                    continue;
+                };
+                for (rank, wc) in w.round.conns.iter_mut().enumerate() {
+                    if p.verdicts[rank].is_none() {
+                        conns.push(&mut wc.ctrl);
+                    }
+                }
+            }
+            if !conns.is_empty() {
+                transport.wait_ready(&mut conns, POLL_WAIT)?;
+                pac_telemetry::counter_inc("multiworld.wakeups");
+            }
+        }
+
+        // ---- Drain: sweep every world's connections in fixed (world,
+        // rank) order; `try_recv` never blocks, and a partial frame stays
+        // buffered in the connection for the next wakeup.
+        for w in active.iter_mut() {
+            let Some(p) = w.pending.as_mut() else {
+                continue;
+            };
+            for rank in 0..w.round.conns.len() {
+                while p.verdicts[rank].is_none() {
+                    match w.round.conns[rank].ctrl.try_recv() {
+                        Ok(None) => break,
+                        Ok(Some(Msg::Done { loss_sum, .. })) => {
+                            p.verdicts[rank] = Some(Verdict::Done(loss_sum));
+                        }
+                        Ok(Some(Msg::Fault { blamed, detail, .. })) => {
+                            if p.first_blame.is_none() {
+                                p.first_blame = Some((blamed as usize, detail));
+                            }
+                            p.verdicts[rank] =
+                                Some(Verdict::Failed("observed a peer fault".to_string()));
+                        }
+                        Ok(Some(other)) => {
+                            p.verdicts[rank] =
+                                Some(Verdict::Failed(format!("protocol violation: {other:?}")));
+                        }
+                        Err(e) => {
+                            p.verdicts[rank] =
+                                Some(Verdict::Failed(format!("no step verdict: {e}")));
+                        }
+                    }
+                }
+            }
+            // A step that outlived the world's net deadline resolves every
+            // still-silent rank as failed — the poll-loop analogue of a
+            // blocking recv timing out.
+            let net_timeout_ns = w.trainer.cfg.net_timeout.as_nanos() as u64;
+            if transport.now_ns().saturating_sub(p.dispatched_ns) > net_timeout_ns {
+                for v in p.verdicts.iter_mut() {
+                    if v.is_none() {
+                        *v = Some(Verdict::Failed(
+                            "no step verdict: poll deadline".to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // ---- Settle: worlds whose every rank has a verdict either commit
+        // the step or recover — each strictly within its own WorldId scope.
+        let mut i = 0;
+        while i < active.len() {
+            let settled = active[i]
+                .pending
+                .as_ref()
+                .is_some_and(|p| p.verdicts.iter().all(Option::is_some));
+            if !settled {
+                i += 1;
+                continue;
+            }
+            let p = active[i].pending.take().expect("checked pending");
+            let failed = p.verdicts.iter().enumerate().find_map(|(rank, v)| match v {
+                Some(Verdict::Failed(d)) => Some((rank, d.clone())),
+                _ => None,
+            });
+            match failed {
+                None => {
+                    let w = &mut active[i];
+                    let topo = w.round.topo;
+                    // The exact float expressions of the blocking driver,
+                    // for bitwise loss equality with solo runs.
+                    let mut lane_losses = Vec::with_capacity(topo.lanes);
+                    for k in 0..topo.lanes {
+                        let rank = topo.rank_of(topo.stages - 1, k);
+                        match p.verdicts[rank] {
+                            Some(Verdict::Done(loss_sum)) => {
+                                lane_losses.push(loss_sum / w.m_n as f32)
+                            }
+                            _ => unreachable!("settled step has a Done per rank"),
+                        }
+                    }
+                    let loss = lane_losses.iter().sum::<f32>() / lane_losses.len() as f32;
+                    w.losses.push(loss);
+                    w.t += 1;
+                    steps_total += 1;
+                    pac_telemetry::counter_inc("multiworld.steps");
+                    let cfg = &w.trainer.cfg;
+                    if cfg.checkpoint_every > 0
+                        && w.t.is_multiple_of(cfg.checkpoint_every)
+                        && w.t < w.job.batches.len()
+                    {
+                        match DistTrainer::fetch_params(&mut w.round, true) {
+                            Ok((stages, bytes)) => {
+                                let (next_t, losses_len) = (w.t, w.losses.len());
+                                w.snapshot = Snapshot {
+                                    stages,
+                                    next_t,
+                                    losses_len,
+                                };
+                                w.note(format!("snapshot at step cursor {next_t} ({bytes} B)"));
+                            }
+                            Err((rank, e)) => {
+                                let detail = format!("snapshot fetch: {e}");
+                                let mut w = active.remove(i);
+                                recover_world(
+                                    spawner,
+                                    &rdv,
+                                    &mut w,
+                                    &mut graveyard,
+                                    rank,
+                                    &detail,
+                                )?;
+                                active.insert(i, w);
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+                Some((silent_rank, silent_detail)) => {
+                    // Attribution priority mirrors the blocking driver:
+                    // injected death, then a peer's blame, then silence.
+                    let (rank, detail) = if let Some(r) = p.die_rank {
+                        (r, "injected fail-stop".to_string())
+                    } else if let Some((r, d)) = p.first_blame.clone() {
+                        (r, d)
+                    } else {
+                        (silent_rank, silent_detail)
+                    };
+                    let mut w = active.remove(i);
+                    recover_world(spawner, &rdv, &mut w, &mut graveyard, rank, &detail)?;
+                    active.insert(i, w);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    drop(rdv);
+    for world in graveyard {
+        world.shutdown();
+    }
+    Ok(MultiWorldReport {
+        worlds: reports
+            .into_iter()
+            .map(|r| r.expect("every job produced a report"))
+            .collect(),
+        max_concurrent,
+        steps_total,
+    })
+}
+
+/// World-scoped recovery: release *this* world's round (Shutdown + stats,
+/// thread joins deferred to the graveyard so the coordinator never parks
+/// on a dying world while sibling worlds' deadlines run), respawn the
+/// same topology on the shared listener, restore the world's own snapshot,
+/// and rewind its cursor for replay. No other world's state — connections,
+/// nonces, cursors, logs — is touched; respawning the *same* shape (no
+/// lane drop) is what keeps the post-recovery trajectory bitwise equal to
+/// the fault-free solo run.
+fn recover_world<S>(
+    spawner: &S,
+    rdv: &Rendezvous<S::T>,
+    w: &mut ActiveWorld<<S::T as Transport>::Conn>,
+    graveyard: &mut Vec<SpawnedWorld>,
+    rank: usize,
+    detail: &str,
+) -> Result<(), DistError>
+where
+    S: Spawn,
+    S::T: PollTransport,
+    <S::T as Transport>::Conn: PollConn,
+{
+    let topo = w.round.topo;
+    w.note(format!(
+        "rank {rank} down (stage {}, lane {}): {detail}",
+        topo.stage_of(rank),
+        topo.lane_of(rank)
+    ));
+    pac_telemetry::counter_inc("multiworld.recoveries");
+    if let Some(world) = w.round.release() {
+        graveyard.push(world);
+    }
+    w.pending = None;
+    w.round = w.trainer.start_round(
+        spawner,
+        rdv,
+        w.id,
+        w.trainer.cfg.lanes,
+        w.m_n,
+        Some(&w.snapshot),
+        Vec::new(),
+        None,
+    )?;
+    w.t = w.snapshot.next_t;
+    w.losses.truncate(w.snapshot.losses_len);
+    w.recoveries += 1;
+    let (t, lanes) = (w.t, topo.lanes);
+    w.note(format!(
+        "restored snapshot, replaying from step cursor {t} over {lanes} lane(s)"
+    ));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simnet::{SimConfig, SimNet, SimSpawner};
+    use pac_parallel::FaultPlan;
+    use pac_tensor::rng::seeded;
+    use rand::Rng;
+
+    /// Deterministic token batches for tenant `tenant`: `steps` mini-batches
+    /// of `m_n` micro-batches of 4 rows each.
+    fn batches_for(tenant: u64, steps: usize, m_n: usize) -> Vec<Vec<MicroBatch>> {
+        let mut rng = seeded(9000 + tenant);
+        (0..steps)
+            .map(|_| {
+                (0..m_n)
+                    .map(|_| {
+                        let rows: Vec<Vec<usize>> = (0..4)
+                            .map(|_| (0..3).map(|_| rng.gen_range(0..12)).collect())
+                            .collect();
+                        let labels: Vec<usize> = (0..4).map(|_| rng.gen_range(0..2)).collect();
+                        (rows, labels)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn cfg_for(seed: u64, stages: usize, lanes: usize) -> DistConfig {
+        let mut cfg = DistConfig::loopback(stages, lanes);
+        cfg.seed = seed;
+        cfg
+    }
+
+    /// The solo reference: the same job under the blocking single-world
+    /// driver on its own private simulated network.
+    fn solo(
+        sim_seed: u64,
+        cfg: &DistConfig,
+        batches: &[Vec<MicroBatch>],
+    ) -> (Vec<f32>, Vec<(String, pac_tensor::Tensor)>) {
+        let net = SimNet::new(SimConfig::clean(sim_seed));
+        let _coord = net.register(0);
+        let spawner = SimSpawner::new(net.clone());
+        let report = DistTrainer::new(cfg.clone())
+            .run(&spawner, batches, &FaultPlan::none())
+            .expect("solo run");
+        assert!(net.panics().is_empty(), "solo panics: {:?}", net.panics());
+        (report.losses, report.final_params)
+    }
+
+    fn assert_bitwise_eq(
+        tenant: u64,
+        (solo_losses, solo_params): &(Vec<f32>, Vec<(String, pac_tensor::Tensor)>),
+        multi: &WorldReport,
+    ) {
+        let multi_bits: Vec<u32> = multi.losses.iter().map(|l| l.to_bits()).collect();
+        let solo_bits: Vec<u32> = solo_losses.iter().map(|l| l.to_bits()).collect();
+        assert_eq!(
+            multi_bits, solo_bits,
+            "tenant {tenant}: multiplexed losses diverge from solo"
+        );
+        assert_eq!(
+            solo_params.len(),
+            multi.final_params.len(),
+            "tenant {tenant}"
+        );
+        for ((sn, sp), (mn, mp)) in solo_params.iter().zip(multi.final_params.iter()) {
+            assert_eq!(sn, mn, "tenant {tenant}: param order");
+            let sb: Vec<u32> = sp.data().iter().map(|v| v.to_bits()).collect();
+            let mb: Vec<u32> = mp.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, mb, "tenant {tenant}: param {sn} bits diverge");
+        }
+    }
+
+    /// Two concurrent fault-free worlds multiplexed by one coordinator:
+    /// each tenant's losses and final parameters are bitwise identical to
+    /// its solo run, and both worlds were genuinely concurrent.
+    #[test]
+    fn two_worlds_bitwise_match_their_solo_runs() {
+        let b1 = batches_for(1, 3, 2);
+        let b2 = batches_for(2, 3, 2);
+        let c1 = cfg_for(11, 2, 1);
+        let c2 = cfg_for(12, 2, 2);
+        let ref1 = solo(61, &c1, &b1);
+        let ref2 = solo(62, &c2, &b2);
+
+        let net = SimNet::new(SimConfig::clean(60));
+        let _coord = net.register(0);
+        let spawner = SimSpawner::new(net.clone());
+        let jobs = vec![TenantJob::new(1, c1, b1), TenantJob::new(2, c2, b2)];
+        let report = run_multiworld(&spawner, jobs).expect("multiworld run");
+        assert!(net.panics().is_empty(), "panics: {:?}", net.panics());
+        assert_eq!(report.worlds.len(), 2);
+        assert_eq!(report.max_concurrent, 2, "worlds must overlap in time");
+        assert_bitwise_eq(1, &ref1, &report.worlds[0]);
+        assert_bitwise_eq(2, &ref2, &report.worlds[1]);
+        assert_eq!(report.worlds[0].recoveries, 0);
+        assert_eq!(report.worlds[1].recoveries, 0);
+    }
+
+    /// Two worlds, one injected fail-stop each: every recovery-log entry is
+    /// tagged with its own world id and names only ranks of that world —
+    /// the cross-attribution regression for WorldId-scoped state — and both
+    /// tenants still finish bitwise identical to their solo runs.
+    #[test]
+    fn per_world_recovery_logs_name_only_their_own_ranks() {
+        let b1 = batches_for(3, 4, 2);
+        let b2 = batches_for(4, 4, 2);
+        let c1 = cfg_for(13, 2, 1);
+        let c2 = cfg_for(14, 2, 1);
+        let ref1 = solo(71, &c1, &b1);
+        let ref2 = solo(72, &c2, &b2);
+
+        let net = SimNet::new(SimConfig::clean(70));
+        let _coord = net.register(0);
+        let spawner = SimSpawner::new(net.clone());
+        let mut j1 = TenantJob::new(1, c1, b1);
+        j1.die = Some((1, 1)); // world 0: rank 1 dies on its second dispatch
+        let mut j2 = TenantJob::new(2, c2, b2);
+        j2.die = Some((2, 0)); // world 1: rank 0 dies on its third dispatch
+        let report = run_multiworld(&spawner, vec![j1, j2]).expect("multiworld run");
+        assert!(net.panics().is_empty(), "panics: {:?}", net.panics());
+
+        let w0 = &report.worlds[0];
+        let w1 = &report.worlds[1];
+        assert_eq!(w0.recoveries, 1, "world 0 log: {:?}", w0.log);
+        assert_eq!(w1.recoveries, 1, "world 1 log: {:?}", w1.log);
+        // Every line carries its own world tag; no line leaks into the
+        // sibling's log.
+        assert!(w0.log.iter().all(|l| l.starts_with("w0: ")), "{:?}", w0.log);
+        assert!(w1.log.iter().all(|l| l.starts_with("w1: ")), "{:?}", w1.log);
+        assert!(
+            w0.log.iter().any(|l| l.contains("rank 1 down")),
+            "world 0 must attribute its own dead rank: {:?}",
+            w0.log
+        );
+        assert!(
+            w1.log.iter().any(|l| l.contains("rank 0 down")),
+            "world 1 must attribute its own dead rank: {:?}",
+            w1.log
+        );
+        // World 0's only failure is rank 1; world 1's only failure is rank
+        // 0. A cross-attribution bug would put the other world's rank id in
+        // the log.
+        assert!(
+            !w0.log.iter().any(|l| l.contains("rank 0 down")),
+            "world 0 log blames a rank that never died there: {:?}",
+            w0.log
+        );
+        assert!(
+            !w1.log.iter().any(|l| l.contains("rank 1 down")),
+            "world 1 log blames a rank that never died there: {:?}",
+            w1.log
+        );
+
+        // Same-topology recovery + replay keeps both trajectories bitwise
+        // equal to the fault-free solo runs.
+        assert_bitwise_eq(1, &ref1, w0);
+        assert_bitwise_eq(2, &ref2, w1);
+    }
+
+    /// Staggered admission: the second tenant only enters after the first
+    /// has completed two steps; the listener serves both without restart
+    /// and the late world still matches its solo run bitwise.
+    #[test]
+    fn late_admission_joins_live_coordinator() {
+        let b1 = batches_for(5, 4, 2);
+        let b2 = batches_for(6, 2, 2);
+        let c1 = cfg_for(15, 2, 1);
+        let c2 = cfg_for(16, 2, 1);
+        let ref2 = solo(81, &c2, &b2);
+
+        let net = SimNet::new(SimConfig::clean(80));
+        let _coord = net.register(0);
+        let spawner = SimSpawner::new(net.clone());
+        let j1 = TenantJob::new(1, c1, b1);
+        let mut j2 = TenantJob::new(2, c2, b2);
+        j2.admit_after_steps = 2;
+        let report = run_multiworld(&spawner, vec![j1, j2]).expect("multiworld run");
+        assert!(net.panics().is_empty(), "panics: {:?}", net.panics());
+        assert_eq!(
+            report.max_concurrent, 2,
+            "late world must overlap the first"
+        );
+        assert_bitwise_eq(2, &ref2, &report.worlds[1]);
+        assert_eq!(report.worlds[0].losses.len(), 4);
+    }
+
+    /// The whole multi-world interleaving is a pure function of the seed:
+    /// same seed → byte-identical logs and bitwise-identical trajectories.
+    #[test]
+    fn multiworld_run_is_deterministic() {
+        let run = || {
+            let net = SimNet::new(SimConfig::clean(90));
+            let _coord = net.register(0);
+            let spawner = SimSpawner::new(net.clone());
+            let mut j1 = TenantJob::new(1, cfg_for(17, 2, 1), batches_for(7, 3, 2));
+            j1.die = Some((1, 0));
+            let mut j2 = TenantJob::new(2, cfg_for(18, 2, 1), batches_for(8, 3, 2));
+            j2.admit_after_steps = 1;
+            let report = run_multiworld(&spawner, vec![j1, j2]).expect("multiworld run");
+            assert!(net.panics().is_empty(), "panics: {:?}", net.panics());
+            report
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.steps_total, b.steps_total);
+        assert_eq!(a.max_concurrent, b.max_concurrent);
+        for (wa, wb) in a.worlds.iter().zip(b.worlds.iter()) {
+            assert_eq!(
+                wa.log, wb.log,
+                "coordinator timelines must be byte-identical"
+            );
+            let la: Vec<u32> = wa.losses.iter().map(|l| l.to_bits()).collect();
+            let lb: Vec<u32> = wb.losses.iter().map(|l| l.to_bits()).collect();
+            assert_eq!(la, lb);
+        }
+    }
+}

@@ -32,7 +32,7 @@
 //! seeded sweep harness built on this module.
 
 use crate::spawn::{Spawn, SpawnedWorld};
-use crate::transport::{Conn, Listener, Transport};
+use crate::transport::{Conn, Listener, PollConn, PollTransport, Readiness, Transport};
 use crate::wire::{encode_frame, ByteSource, FrameReader, Msg, NetError};
 use crate::worker::{run_worker_on, Buggify, RunMode};
 use std::cell::Cell;
@@ -168,6 +168,16 @@ pub struct SimConfig {
     pub crashes: Vec<(u64, u32)>,
     /// Timed pairwise partitions.
     pub partitions: Vec<Partition>,
+    /// Per-direction link capacity in bytes: the most *undelivered* data
+    /// (scheduled segments plus a held reorder frame) one stream may
+    /// carry. `None` (the default) means unbounded — existing traces are
+    /// unaffected. With a bound, `try_send` on a saturated link refuses
+    /// ([`NetError::WouldBlock`] internally, `Ok(false)` at the
+    /// [`PollConn`] surface) and a blocking `send` waits for in-flight
+    /// segments to deliver, honoring the connection deadline. Capacity
+    /// frees on clock-driven *delivery*, never on receiver reads, so a
+    /// blocked sender's wake time stays a pure function of the seed.
+    pub link_capacity_bytes: Option<u64>,
 }
 
 impl SimConfig {
@@ -188,6 +198,7 @@ impl SimConfig {
             swap_per_mille: 0,
             crashes: Vec::new(),
             partitions: Vec::new(),
+            link_capacity_bytes: None,
         }
     }
 
@@ -555,6 +566,36 @@ fn partitioned(st: &State, a: Option<u32>, b: Option<u32>) -> bool {
     st.cfg.partitions.iter().any(|p| {
         p.from_ns <= now && now < p.to_ns && ((p.a == a && p.b == b) || (p.a == b && p.b == a))
     })
+}
+
+/// Bytes the stream out of `idx` is currently carrying: scheduled
+/// (undelivered) segments plus a held reorder frame. This is what a
+/// bounded link ([`SimConfig::link_capacity_bytes`]) charges against.
+/// Delivered-but-unread bytes deliberately do *not* count: delivery times
+/// are clock events (deterministic), receiver reads are thread-order
+/// events — charging the latter would make a blocked sender's wake time
+/// depend on scheduling instead of the seed.
+fn link_in_flight(st: &State, idx: usize) -> u64 {
+    let rx = st.endpoints[idx].peer;
+    let ep = &st.endpoints[rx];
+    let pending: u64 = ep
+        .pending
+        .iter()
+        .filter(|s| !s.fin)
+        .map(|s| s.bytes.len() as u64)
+        .sum();
+    pending + ep.held.as_ref().map_or(0, |h| h.len() as u64)
+}
+
+/// Whether a `len`-byte frame fits under the link capacity right now.
+/// Checked *before* the adversary's frame counter moves, so a refused
+/// send burns no adversary decisions and retrying it later replays the
+/// exact same fate the frame would have had.
+fn link_has_capacity(st: &State, idx: usize, len: usize) -> bool {
+    match st.cfg.link_capacity_bytes {
+        None => true,
+        Some(cap) => link_in_flight(st, idx).saturating_add(len as u64) <= cap,
+    }
 }
 
 /// Run one frame through the adversary and schedule whatever survives.
@@ -943,6 +984,42 @@ impl ByteSource for EndpointSource<'_> {
     }
 }
 
+/// Non-blocking byte source for [`SimConn::try_recv`]: pops whatever is
+/// already delivered and reports [`NetError::WouldBlock`] instead of
+/// parking in `wait_op` when nothing is. EOF and crash verdicts surface
+/// exactly as the blocking source reports them.
+struct TryEndpointSource<'a> {
+    net: &'a SimNet,
+    idx: usize,
+}
+
+impl ByteSource for TryEndpointSource<'_> {
+    fn read_bytes(&mut self, buf: &mut [u8]) -> Result<usize, NetError> {
+        let mut st = self.net.lock();
+        if let Some(why) = st.deadlock {
+            return Err(NetError::Deadlock(why));
+        }
+        let ep = &mut st.endpoints[self.idx];
+        if ep.dead {
+            return Err(sim_io(
+                std::io::ErrorKind::NotConnected,
+                "simulated endpoint closed by crash",
+            ));
+        }
+        if !ep.ready.is_empty() {
+            let n = buf.len().min(ep.ready.len());
+            for b in buf[..n].iter_mut() {
+                *b = ep.ready.pop_front().expect("checked non-empty");
+            }
+            return Ok(n);
+        }
+        if ep.fin_received {
+            return Err(NetError::Eof);
+        }
+        Err(NetError::WouldBlock)
+    }
+}
+
 impl SimConn {
     fn new(net: SimNet, idx: usize) -> Self {
         SimConn {
@@ -959,15 +1036,75 @@ impl SimConn {
         let mut st = self.net.lock();
         send_on(&mut st, self.idx, bytes)
     }
+
+    /// Receives one message from already-delivered bytes without blocking;
+    /// `Ok(None)` when no complete frame is available yet. A frame caught
+    /// partway through delivery stays buffered in the [`FrameReader`], so
+    /// the poll wakeup that brings the rest of it resumes cleanly.
+    pub fn try_recv(&mut self) -> Result<Option<Msg>, NetError> {
+        let mut src = TryEndpointSource {
+            net: &self.net,
+            idx: self.idx,
+        };
+        match self.reader.read_from(&mut src) {
+            Ok((msg, n)) => {
+                pac_telemetry::counter_add("net.bytes_recv", n as u64);
+                Ok(Some(msg))
+            }
+            Err(NetError::WouldBlock) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Sends one message if the link has capacity for it right now;
+    /// `Ok(false)` when the link is saturated
+    /// ([`SimConfig::link_capacity_bytes`]). The capacity check runs
+    /// before the adversary's frame counter moves, so a refused send
+    /// burns no adversary decisions.
+    pub fn try_send(&mut self, msg: &Msg) -> Result<bool, NetError> {
+        let frame = encode_frame(msg);
+        {
+            let mut st = self.net.lock();
+            if let Some(why) = st.deadlock {
+                return Err(NetError::Deadlock(why));
+            }
+            let peer = st.endpoints[self.idx].peer;
+            let alive = !st.endpoints[self.idx].dead && !st.endpoints[peer].dead;
+            if alive && !link_has_capacity(&st, self.idx, frame.len()) {
+                return Ok(false);
+            }
+            // Dead endpoints fall through: `send_on` reports the typed
+            // error rather than masking it as a full link.
+            send_on(&mut st, self.idx, &frame)?;
+        }
+        pac_telemetry::counter_add("net.bytes_sent", frame.len() as u64);
+        pac_telemetry::counter_inc("net.msgs");
+        Ok(true)
+    }
 }
 
 impl Conn for SimConn {
     fn send(&mut self, msg: &Msg) -> Result<(), NetError> {
         let frame = encode_frame(msg);
-        {
-            let mut st = self.net.lock();
-            send_on(&mut st, self.idx, &frame)?;
-        }
+        let idx = self.idx;
+        let deadline = {
+            let st = self.net.lock();
+            st.endpoints[idx]
+                .recv_timeout
+                .map(|t| st.now.saturating_add(t))
+        };
+        // With unbounded capacity (the default) the first poll always
+        // succeeds and this is the plain old send. With a bound, a
+        // saturated link parks here until in-flight segments deliver —
+        // a clock event, so the wake time is a pure function of the seed.
+        self.net.wait_op(deadline, |st| {
+            let peer = st.endpoints[idx].peer;
+            let alive = !st.endpoints[idx].dead && !st.endpoints[peer].dead;
+            if alive && !link_has_capacity(st, idx, frame.len()) {
+                return None;
+            }
+            Some(send_on(st, idx, &frame))
+        })?;
         pac_telemetry::counter_add("net.bytes_sent", frame.len() as u64);
         pac_telemetry::counter_inc("net.msgs");
         Ok(())
@@ -987,6 +1124,16 @@ impl Conn for SimConn {
         let mut st = self.net.lock();
         st.endpoints[self.idx].recv_timeout = d.map(dur_ns);
         Ok(())
+    }
+}
+
+impl PollConn for SimConn {
+    fn try_recv(&mut self) -> Result<Option<Msg>, NetError> {
+        SimConn::try_recv(self)
+    }
+
+    fn try_send(&mut self, msg: &Msg) -> Result<bool, NetError> {
+        SimConn::try_send(self, msg)
     }
 }
 
@@ -1185,6 +1332,40 @@ impl Transport for SimNet {
     }
 }
 
+impl PollTransport for SimNet {
+    /// Readiness participates in the quiescence protocol via `wait_op`: a
+    /// poll-driven coordinator blocked here counts as blocked, so the
+    /// virtual clock keeps advancing (a bare `try_recv` spin would look
+    /// permanently runnable and livelock the clock). Lowest ready index
+    /// wins, and "ready" is purely delivered-bytes/FIN/crash state — all
+    /// clock-event driven — so which connection is reported is a pure
+    /// function of the seed.
+    fn wait_ready(
+        &self,
+        conns: &mut [&mut SimConn],
+        wait: Duration,
+    ) -> Result<Readiness, NetError> {
+        let idxs: Vec<usize> = conns.iter().map(|c| c.idx).collect();
+        let deadline = {
+            let st = self.lock();
+            Some(st.now.saturating_add(dur_ns(wait)))
+        };
+        match self.wait_op(deadline, move |st| {
+            for (i, &idx) in idxs.iter().enumerate() {
+                let ep = &st.endpoints[idx];
+                if ep.dead || ep.fin_received || !ep.ready.is_empty() {
+                    return Some(Ok(Readiness::Conn(i)));
+                }
+            }
+            None
+        }) {
+            Ok(r) => Ok(r),
+            Err(NetError::Timeout) => Ok(Readiness::TimedOut),
+            Err(e) => Err(e),
+        }
+    }
+}
+
 /// Spawns simulated workers as threads registered with the world's
 /// quiescence census. Worker panics are caught and recorded (the sweep
 /// asserts there are none); repeated launches (recovery respawns) get
@@ -1339,6 +1520,186 @@ mod tests {
         assert_eq!(echoed, Msg::Heartbeat { nonce: 9 });
         net.block_external(|| server.join().expect("server thread"));
         assert!(net.now_ns() > 0, "virtual time advanced");
+        assert!(net.deadlocked().is_none());
+    }
+
+    /// A frame whose bytes land across two poll wakeups must not desync:
+    /// the first `wait_ready`/`try_recv` pair buffers the partial frame
+    /// and reports would-block, and the wakeup that brings the tail
+    /// completes the same frame. No panic, no lost frame, no `BadMagic`.
+    #[test]
+    fn partial_frame_straddles_two_poll_wakeups() {
+        let mut cfg = SimConfig::clean(21);
+        cfg.frag_per_mille = 0; // we fragment by hand below
+        cfg.jitter_ns = 0;
+        let net = SimNet::new(cfg);
+        let _g = net.register(0);
+        net.preregister(1);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let sender = {
+            let net = net.clone();
+            std::thread::spawn(move || {
+                let _g = net.adopt(1);
+                let listener = net.bind().expect("bind");
+                tx.send(listener.port()).expect("port handoff");
+                let mut conn = listener
+                    .accept(Duration::from_secs(5), Duration::from_secs(5))
+                    .expect("accept");
+                let frame = encode_frame(&Msg::Heartbeat { nonce: 77 });
+                let cut = frame.len() / 2;
+                conn.send_raw(&frame[..cut]).expect("first half");
+                // Block for 50 virtual ms so the receiver observably wakes
+                // twice: once for the head, once for the tail.
+                conn.set_timeout(Some(Duration::from_millis(50)))
+                    .expect("set timeout");
+                assert!(matches!(conn.recv(), Err(NetError::Timeout)));
+                conn.send_raw(&frame[cut..]).expect("second half");
+                // Hold the conn open until the receiver is done.
+                conn.set_timeout(Some(Duration::from_millis(200)))
+                    .expect("set timeout");
+                assert!(matches!(conn.recv(), Err(NetError::Timeout)));
+            })
+        };
+        let port = rx.recv().expect("sender bound");
+        let mut conn = net.connect(port, Duration::from_secs(5)).expect("connect");
+
+        assert_eq!(
+            net.wait_ready(&mut [&mut conn], Duration::from_secs(5))
+                .expect("first wakeup"),
+            Readiness::Conn(0)
+        );
+        assert!(matches!(conn.try_recv(), Ok(None)), "head is not a frame");
+        assert!(conn.reader.mid_frame(), "partial frame stays buffered");
+        assert_eq!(
+            net.wait_ready(&mut [&mut conn], Duration::from_secs(5))
+                .expect("second wakeup"),
+            Readiness::Conn(0)
+        );
+        assert_eq!(
+            conn.try_recv().expect("tail completes the frame"),
+            Some(Msg::Heartbeat { nonce: 77 })
+        );
+        net.block_external(|| sender.join().expect("sender thread"));
+        assert!(net.deadlocked().is_none());
+    }
+
+    /// A dial that lands while the coordinator is retiring a world must
+    /// not be lost: retirement drops that world's connections, never the
+    /// shared listener, so the next `accept` still drains the backlog.
+    /// Dials arriving *after* the listener itself is gone get a typed
+    /// refusal, not a hang.
+    #[test]
+    fn accept_races_world_retirement() {
+        let mut cfg = SimConfig::clean(22);
+        cfg.frag_per_mille = 0;
+        let net = SimNet::new(cfg);
+        let _g = net.register(0);
+        net.preregister(1);
+        let listener = net.bind().expect("bind");
+        let port = listener.port();
+
+        // World A: established, then retired below.
+        let world_a = {
+            let net = net.clone();
+            std::thread::spawn(move || {
+                let _g = net.adopt(1);
+                let mut conn = net.connect(port, Duration::from_secs(5)).expect("dial A");
+                // Retirement closes the coordinator side; we see EOF.
+                assert!(matches!(conn.recv(), Err(NetError::Eof)));
+            })
+        };
+        let conn_a = listener
+            .accept(Duration::from_secs(5), Duration::from_secs(5))
+            .expect("accept A");
+
+        // World B dials while A is being retired. (Preregistered only now:
+        // an actor in the census before any thread can run it would freeze
+        // the clock — nothing else may block on its behalf.)
+        net.preregister(2);
+        let world_b = {
+            let net = net.clone();
+            std::thread::spawn(move || {
+                let _g = net.adopt(2);
+                let mut conn = net.connect(port, Duration::from_secs(5)).expect("dial B");
+                assert_eq!(
+                    conn.recv().expect("hello from coordinator"),
+                    Msg::Heartbeat { nonce: 2 }
+                );
+            })
+        };
+        drop(conn_a); // retire world A — the listener stays bound
+        let mut conn_b = listener
+            .accept(Duration::from_secs(5), Duration::from_secs(5))
+            .expect("accept B survives A's retirement");
+        conn_b.send(&Msg::Heartbeat { nonce: 2 }).expect("greet B");
+        net.block_external(|| {
+            world_a.join().expect("world A thread");
+            world_b.join().expect("world B thread");
+        });
+
+        // Once the listener itself is dropped, dials are refused, typed.
+        drop(listener);
+        match net.connect(port, Duration::from_secs(1)) {
+            Err(NetError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::ConnectionRefused)
+            }
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        assert!(net.deadlocked().is_none());
+    }
+
+    /// `try_send` on a saturated bounded link refuses without consuming an
+    /// adversary decision or losing a frame; once in-flight segments
+    /// deliver, capacity frees and every frame arrives in order.
+    #[test]
+    fn saturated_link_try_send_would_blocks_without_losing_frames() {
+        let mut cfg = SimConfig::clean(23);
+        cfg.frag_per_mille = 0;
+        cfg.jitter_ns = 0;
+        let frame_len = encode_frame(&Msg::Heartbeat { nonce: 0 }).len() as u64;
+        cfg.link_capacity_bytes = Some(2 * frame_len); // exactly two frames deep
+        let net = SimNet::new(cfg);
+        let _g = net.register(0);
+        net.preregister(1);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let receiver = {
+            let net = net.clone();
+            std::thread::spawn(move || {
+                let _g = net.adopt(1);
+                let listener = net.bind().expect("bind");
+                tx.send(listener.port()).expect("port handoff");
+                let mut conn = listener
+                    .accept(Duration::from_secs(5), Duration::from_secs(5))
+                    .expect("accept");
+                let mut nonces = Vec::new();
+                for _ in 0..3 {
+                    match conn.recv().expect("recv") {
+                        Msg::Heartbeat { nonce } => nonces.push(nonce),
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+                nonces
+            })
+        };
+        let port = rx.recv().expect("receiver bound");
+        let mut conn = net.connect(port, Duration::from_secs(5)).expect("connect");
+
+        // Two frames fit; the third hits the bound — typed would-block at
+        // the PollConn surface, nothing sent, nothing lost.
+        assert!(conn.try_send(&Msg::Heartbeat { nonce: 1 }).expect("send 1"));
+        assert!(conn.try_send(&Msg::Heartbeat { nonce: 2 }).expect("send 2"));
+        assert!(
+            !conn
+                .try_send(&Msg::Heartbeat { nonce: 3 })
+                .expect("refusal"),
+            "third frame must would-block on the saturated link"
+        );
+        // The blocking path waits for delivery (a clock event) instead of
+        // refusing, then sends the same frame — in order, after 1 and 2.
+        conn.send(&Msg::Heartbeat { nonce: 3 })
+            .expect("send 3 blocks then lands");
+        let nonces = net.block_external(|| receiver.join().expect("receiver thread"));
+        assert_eq!(nonces, vec![1, 2, 3], "no frame lost or reordered");
         assert!(net.deadlocked().is_none());
     }
 

@@ -62,6 +62,63 @@ pub trait Conn: Send + Debug {
     }
 }
 
+/// What a [`PollTransport::wait_ready`] wakeup reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Readiness {
+    /// `conns[i]` has bytes (or an EOF / crash verdict) to consume: a
+    /// `try_recv` on it will make progress.
+    Conn(usize),
+    /// The wait bound expired with nothing ready. Not an error — the
+    /// caller's event loop uses the bound to interleave listener polls
+    /// and admission checks between connection wakeups.
+    TimedOut,
+}
+
+/// A connection that additionally supports *non-blocking* operations, for
+/// readiness-loop coordinators that multiplex many connections on one
+/// thread instead of parking a thread per peer.
+///
+/// The contract mirrors non-blocking sockets: `try_recv` never waits, a
+/// partial frame stays buffered across calls (the poll loop may wake twice
+/// before one frame fully arrives), and `try_send` refuses rather than
+/// blocks when the link has no capacity.
+pub trait PollConn: Conn {
+    /// Receives one message if a complete frame can be assembled from
+    /// already-delivered bytes; `Ok(None)` when the operation would block
+    /// (no bytes, or a partial frame still in flight). EOF, crashes, and
+    /// protocol violations surface as the same typed errors `recv` uses.
+    fn try_recv(&mut self) -> Result<Option<Msg>, NetError>;
+
+    /// Sends one message if the link can take the frame *now*; `Ok(false)`
+    /// when the operation would block (link saturated). Transports without
+    /// backpressure accounting always send.
+    fn try_send(&mut self, msg: &Msg) -> Result<bool, NetError>;
+}
+
+/// A transport whose connections can be multiplexed by one thread: block
+/// until *some* connection is ready instead of blocking on one of them.
+///
+/// This is the seam the multi-world coordinator
+/// ([`crate::multiworld`]) runs on. Over TCP readiness comes from
+/// non-blocking `peek`s on a short poll cadence; over the simulated
+/// transport the wait participates in the virtual-clock quiescence
+/// protocol, so a poll-driven coordinator blocked here still lets the
+/// simulation advance deterministically (a spinning `try_recv` loop would
+/// livelock the virtual clock, which only moves when every actor blocks).
+pub trait PollTransport: Transport
+where
+    Self::Conn: PollConn,
+{
+    /// Blocks until at least one of `conns` is readable, or `wait`
+    /// expires. Returns the *lowest* ready index, so servicing order is a
+    /// deterministic function of the poll set, never of OS wake order.
+    fn wait_ready(
+        &self,
+        conns: &mut [&mut Self::Conn],
+        wait: Duration,
+    ) -> Result<Readiness, NetError>;
+}
+
 /// Accepts incoming connections on one bound port.
 pub trait Listener: Send + Debug {
     /// Connection type produced by [`Listener::accept`].
@@ -188,5 +245,31 @@ impl Transport for Tcp {
 
     fn connect(&self, port: u16, timeout: Duration) -> Result<FramedConn, NetError> {
         FramedConn::connect(SocketAddr::from((self.host, port)), timeout)
+    }
+}
+
+impl PollTransport for Tcp {
+    /// Readiness over TCP is a short-cadence `peek` scan — the same
+    /// poll-against-deadline idiom [`TcpPortListener::accept_deadline`]
+    /// uses. Index order (not OS wake order) decides which ready
+    /// connection is reported, so coordinator behavior stays a function of
+    /// the poll set even over real sockets.
+    fn wait_ready(
+        &self,
+        conns: &mut [&mut FramedConn],
+        wait: Duration,
+    ) -> Result<Readiness, NetError> {
+        let deadline = Instant::now() + wait;
+        loop {
+            for (i, conn) in conns.iter().enumerate() {
+                if conn.poll_readable()? {
+                    return Ok(Readiness::Conn(i));
+                }
+            }
+            if Instant::now() >= deadline {
+                return Ok(Readiness::TimedOut);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 }

@@ -92,6 +92,12 @@ pub enum NetError {
     /// *membership* verdict — the rank is presumed gone and the world
     /// must be replanned without waiting for EOF.
     Stale,
+    /// A non-blocking operation could not make progress *right now*: a
+    /// `try_send` found the link at capacity, or a poll-mode receive had
+    /// no complete frame buffered. Distinct from [`NetError::Timeout`]
+    /// (a deadline actually expired) — would-block is the readiness
+    /// loop's "come back after the next wakeup", not a failure.
+    WouldBlock,
 }
 
 impl fmt::Display for NetError {
@@ -110,6 +116,7 @@ impl fmt::Display for NetError {
             NetError::Malformed(what) => write!(f, "malformed payload: {what}"),
             NetError::Deadlock(why) => write!(f, "simulated world deadlocked: {why}"),
             NetError::Stale => write!(f, "peer missed its liveness deadline"),
+            NetError::WouldBlock => write!(f, "operation would block"),
         }
     }
 }

@@ -23,12 +23,17 @@
 
 pub mod engine;
 pub mod faults;
+pub mod fill;
 pub mod plan;
 pub mod schedule;
 pub mod simulate;
 
 pub use engine::{EngineError, EngineResult};
 pub use faults::{Fault, FaultClock, FaultPlan, TimelineEvent, TimelineKind};
+pub use fill::{
+    plan_filled, plan_serialized, run_filled_mini_batch, FillTenant, FilledOp, FilledPlan,
+    FilledRun, SlotLeak, TenantLoad,
+};
 pub use plan::{ParallelPlan, StageAssignment};
 pub use schedule::{Schedule, SimResult, SimStage};
 pub use simulate::{
